@@ -1,0 +1,181 @@
+//! Criterion benchmarks for the stages of the invariant-generation pipeline.
+//!
+//! Each group corresponds to an experiment listed in DESIGN.md §5:
+//! generation (Steps 1–3) for representative Table 2 / Table 3 rows,
+//! the ϒ and encoding ablations, the Farkas baseline, certificate checking
+//! and end-to-end weak synthesis on a small program.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polyinv::prelude::*;
+use polyinv::weak::TargetAssertion;
+use polyinv_bench::options_for;
+use polyinv_farkas::FarkasBaseline;
+use polyinv_lang::program::RUNNING_EXAMPLE_SOURCE;
+
+fn table2_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_system_generation");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for name in ["sqrt", "freire1", "petter", "cohendiv", "mannadiv", "cohencu"] {
+        let benchmark = polyinv_benchmarks::by_name(name).unwrap();
+        let program = benchmark.program().unwrap();
+        let pre = benchmark.precondition().unwrap();
+        let options = options_for(&benchmark);
+        group.bench_function(name, |b| {
+            b.iter(|| polyinv_constraints::generate(&program, &pre, &options).size())
+        });
+    }
+    group.finish();
+}
+
+fn table3_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_system_generation");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for name in ["recursive-sum", "recursive-square-sum", "pw2"] {
+        let benchmark = polyinv_benchmarks::by_name(name).unwrap();
+        let program = benchmark.program().unwrap();
+        let pre = benchmark.precondition().unwrap();
+        let options = options_for(&benchmark);
+        group.bench_function(name, |b| {
+            b.iter(|| polyinv_constraints::generate(&program, &pre, &options).size())
+        });
+    }
+    group.finish();
+}
+
+fn ablation_upsilon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_upsilon");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+    let pre = Precondition::from_program(&program);
+    for upsilon in [0u32, 2, 4] {
+        let options = SynthesisOptions {
+            upsilon,
+            ..SynthesisOptions::default()
+        };
+        group.bench_function(format!("upsilon_{upsilon}"), |b| {
+            b.iter(|| polyinv_constraints::generate(&program, &pre, &options).size())
+        });
+    }
+    group.finish();
+}
+
+fn ablation_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_encoding");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+    let pre = Precondition::from_program(&program);
+    for (name, encoding) in [("cholesky", SosEncoding::Cholesky), ("gram", SosEncoding::Gram)] {
+        let options = SynthesisOptions {
+            encoding,
+            ..SynthesisOptions::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| polyinv_constraints::generate(&program, &pre, &options).size())
+        });
+    }
+    group.finish();
+}
+
+fn baseline_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_comparison");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+    let pre = Precondition::from_program(&program);
+    group.bench_function("farkas_linear", |b| {
+        b.iter(|| FarkasBaseline::default().generate(&program, &pre).unwrap().size())
+    });
+    group.bench_function("putinar_quadratic", |b| {
+        b.iter(|| {
+            polyinv_constraints::generate(&program, &pre, &SynthesisOptions::default()).size()
+        })
+    });
+    group.finish();
+}
+
+fn certificate_checking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("certificate_check");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+    let pre = Precondition::from_program(&program);
+    // The margin-aware linear strengthening used in the test suite.
+    let labels = program.main().labels().to_vec();
+    let parse = |text: &str| parse_assertion(&program, "sum", text).unwrap().0;
+    let mut invariant = InvariantMap::new();
+    invariant.add(labels[0], parse("n > 0"));
+    for (index, (i_term, combined)) in [
+        ("8*i - 7", "4*i + 4*s - 3"),
+        ("4*i - 3", "4*i + 4*s + 1"),
+        ("4*i - 2", "4*i + 4*s + 2"),
+        ("4*i - 1", "4*i + 4*s + 3"),
+        ("4*i - 1", "4*i + 4*s + 3"),
+        ("4*i - 0", "4*i + 4*s + 4"),
+        ("4*i - 2", "4*i + 4*s + 2"),
+        ("4*i - 1", "4*i + 4*s + 3"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        invariant.add(labels[index + 1], parse(&format!("{i_term} > 0")));
+        invariant.add(labels[index + 1], parse(&format!("{combined} > 0")));
+    }
+    group.bench_function("running_example_strengthening", |b| {
+        b.iter(|| {
+            let report = check_inductive(
+                &program,
+                &pre,
+                &invariant,
+                &Postcondition::new(),
+                &CheckOptions::default(),
+            );
+            assert!(report.all_certified());
+        })
+    });
+    group.finish();
+}
+
+fn weak_synthesis_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weak_synthesis");
+    group.sample_size(10).measurement_time(Duration::from_secs(20));
+    let source = r#"
+        inc(x) {
+            @pre(x >= 0);
+            while x <= 10 do
+                x := x + 1
+            od;
+            return x
+        }
+    "#;
+    let program = parse_program(source).unwrap();
+    let pre = Precondition::from_program(&program);
+    let exit = program.main().exit_label();
+    let (target, _) = parse_assertion(&program, "inc", "x + 1 > 0").unwrap();
+    group.bench_function("bounded_counter_degree1", |b| {
+        b.iter(|| {
+            let synth = WeakSynthesis::with_options(SynthesisOptions {
+                degree: 1,
+                ..SynthesisOptions::default()
+            });
+            let outcome = synth.synthesize(
+                &program,
+                &pre,
+                &[TargetAssertion::new(exit, target.clone())],
+            );
+            outcome.status
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    table2_generation,
+    table3_generation,
+    ablation_upsilon,
+    ablation_encoding,
+    baseline_comparison,
+    certificate_checking,
+    weak_synthesis_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! Regenerates the paper's evaluation tables.
+//!
+//! ```text
+//! reproduce [table2|table3|ablations|baseline|all] [--solve]
+//! ```
+//!
+//! Without `--solve` only the reduction (Steps 1–3) is run and the table
+//! reports `|V|`, `|S|` and generation times next to the paper's numbers.
+//! With `--solve`, a weak-synthesis attempt (Step 4) is made for every row
+//! whose generated system is small enough for the local solver
+//! (see EXPERIMENTS.md for the recorded outcomes).
+
+use std::time::Instant;
+
+use polyinv::prelude::*;
+use polyinv_bench::{format_table, options_for, run_row};
+use polyinv_farkas::FarkasBaseline;
+use polyinv_lang::program::RUNNING_EXAMPLE_SOURCE;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let solve = args.iter().any(|a| a == "--solve");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    match what.as_str() {
+        "table2" => table2(solve),
+        "table3" => table3(solve),
+        "ablations" => ablations(),
+        "baseline" => baseline(),
+        "all" => {
+            table2(solve);
+            table3(solve);
+            ablations();
+            baseline();
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`; expected table2|table3|ablations|baseline|all");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn table2(solve: bool) {
+    let rows: Vec<_> = polyinv_benchmarks::table2()
+        .iter()
+        .map(|b| {
+            // Large systems are generated but not solved by default.
+            let solve_this = solve && b.paper.system_size <= 6000;
+            run_row(b, solve_this)
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table("Table 2 — non-recursive benchmarks (Rodríguez-Carbonell)", &rows)
+    );
+}
+
+fn table3(solve: bool) {
+    let rows: Vec<_> = polyinv_benchmarks::table3()
+        .iter()
+        .map(|b| {
+            let solve_this = solve && b.paper.system_size <= 6000;
+            run_row(b, solve_this)
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table("Table 3 — recursive and reinforcement-learning benchmarks", &rows)
+    );
+}
+
+/// Ablations called out in the paper: the technical parameter ϒ (Remark 3),
+/// the SOS encoding, and the bounded-reals augmentation (Remark 5),
+/// measured on the running example.
+fn ablations() {
+    println!("## Ablations (running example, Figure 2)");
+    let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+    let pre = Precondition::from_program(&program);
+    println!(
+        "{:<34} {:>10} {:>10} {:>12}",
+        "configuration", "|S|", "unknowns", "gen-time"
+    );
+    let report = |name: &str, options: SynthesisOptions| {
+        let start = Instant::now();
+        let generated = polyinv_constraints::generate(&program, &pre, &options);
+        println!(
+            "{:<34} {:>10} {:>10} {:>10.3}s",
+            name,
+            generated.size(),
+            generated.system.num_unknowns(),
+            start.elapsed().as_secs_f64()
+        );
+    };
+    for upsilon in [0, 2, 4] {
+        report(
+            &format!("Cholesky, d=2, upsilon={upsilon}"),
+            SynthesisOptions {
+                upsilon,
+                ..SynthesisOptions::default()
+            },
+        );
+    }
+    report(
+        "Gram, d=2, upsilon=2",
+        SynthesisOptions {
+            encoding: SosEncoding::Gram,
+            ..SynthesisOptions::default()
+        },
+    );
+    report(
+        "Cholesky + bounded reals (c=1000)",
+        SynthesisOptions {
+            bounded_reals: Some(polyinv_arith::Rational::from_int(1000)),
+            ..SynthesisOptions::default()
+        },
+    );
+    report(
+        "Cholesky, d=1 (linear templates)",
+        SynthesisOptions {
+            degree: 1,
+            ..SynthesisOptions::default()
+        },
+    );
+    println!();
+}
+
+/// The Table-1 comparison against the Colón et al. 2003 baseline: the
+/// baseline handles the linear benchmarks but rejects every benchmark that
+/// needs polynomial reasoning.
+fn baseline() {
+    println!("## Baseline comparison (Colón et al. 2003, Farkas' lemma)");
+    println!(
+        "{:<26} {:>14} {:>14} {:>30}",
+        "benchmark", "farkas |S|", "putinar |S|", "baseline status"
+    );
+    for benchmark in polyinv_benchmarks::table2() {
+        let program = benchmark.program().unwrap();
+        let pre = benchmark.precondition().unwrap();
+        let baseline = FarkasBaseline::default();
+        let putinar = polyinv_constraints::generate(&program, &pre, &options_for(&benchmark));
+        match baseline.generate(&program, &pre) {
+            Ok(system) => println!(
+                "{:<26} {:>14} {:>14} {:>30}",
+                benchmark.name,
+                system.size(),
+                putinar.size(),
+                "applicable (linear)"
+            ),
+            Err(reason) => println!(
+                "{:<26} {:>14} {:>14} {:>30}",
+                benchmark.name,
+                "-",
+                putinar.size(),
+                format!("rejected: {reason}")
+            ),
+        }
+    }
+    println!();
+}

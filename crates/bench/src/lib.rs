@@ -1,0 +1,171 @@
+//! Shared harness code for regenerating the paper's evaluation tables.
+//!
+//! The `reproduce` binary prints the rows of Tables 2 and 3 (and the
+//! ablations); the Criterion benches in `benches/` measure the individual
+//! pipeline stages. Both are thin wrappers around [`run_row`].
+
+use std::time::{Duration, Instant};
+
+use polyinv::prelude::*;
+use polyinv::weak::TargetAssertion;
+use polyinv_benchmarks::Benchmark;
+use polyinv_constraints::{SosEncoding, SynthesisOptions};
+use polyinv_qcqp::LmOptions;
+
+/// The measurements taken for one benchmark row.
+#[derive(Debug, Clone)]
+pub struct RowResult {
+    /// Benchmark name (paper row name).
+    pub name: String,
+    /// Template size `n` (from the paper's configuration).
+    pub n: usize,
+    /// Template degree `d` (from the paper's configuration).
+    pub d: u32,
+    /// Paper-reported number of program variables.
+    pub paper_vars: usize,
+    /// Our number of program variables (`|V^f|` of the main function,
+    /// including shadow parameters and the return variable).
+    pub our_vars: usize,
+    /// Paper-reported system size `|S|`.
+    pub paper_size: usize,
+    /// Our system size `|S|`.
+    pub our_size: usize,
+    /// Paper-reported runtime in seconds.
+    pub paper_runtime: f64,
+    /// Time we spent generating the system (Steps 1–3).
+    pub generation_time: Duration,
+    /// Outcome of the solve attempt, if one was made.
+    pub solve: Option<SolveRow>,
+}
+
+/// The solve part of a row.
+#[derive(Debug, Clone)]
+pub struct SolveRow {
+    /// Whether the quadratic system was solved (an invariant containing the
+    /// target was synthesized).
+    pub synthesized: bool,
+    /// Time spent solving.
+    pub solve_time: Duration,
+    /// Final constraint violation of the best assignment.
+    pub violation: f64,
+}
+
+/// The reduction options matching a benchmark's paper configuration.
+pub fn options_for(benchmark: &Benchmark) -> SynthesisOptions {
+    SynthesisOptions {
+        degree: benchmark.paper.d,
+        size: benchmark.paper.n,
+        upsilon: 2,
+        encoding: SosEncoding::Cholesky,
+        ..SynthesisOptions::default()
+    }
+}
+
+/// Runs Steps 1–3 (and optionally Step 4) for one benchmark row.
+///
+/// # Panics
+///
+/// Panics if the embedded benchmark program fails to parse (guarded by the
+/// benchmark crate's tests).
+pub fn run_row(benchmark: &Benchmark, solve: bool) -> RowResult {
+    let program = benchmark.program().expect("benchmark parses");
+    let pre = benchmark.precondition().expect("benchmark parses");
+    let options = options_for(benchmark);
+
+    let generation_start = Instant::now();
+    let synth = WeakSynthesis::with_options(options);
+    let generated = synth.generate_only(&program, &pre);
+    let generation_time = generation_start.elapsed();
+
+    let solve_row = if solve {
+        let target = benchmark
+            .target_polynomial(&program)
+            .expect("targets resolve")
+            .map(|poly| TargetAssertion::new(program.main().exit_label(), poly));
+        let targets: Vec<TargetAssertion> = target.into_iter().collect();
+        let synth = synth.backend(polyinv::weak::SolverBackend::Lm(LmOptions {
+            max_iterations: 150,
+            restarts: 2,
+            ..LmOptions::default()
+        }));
+        let outcome = synth.synthesize(&program, &pre, &targets);
+        Some(SolveRow {
+            synthesized: outcome.status == polyinv::weak::SynthesisStatus::Synthesized,
+            solve_time: outcome.solve_time,
+            violation: outcome.violation,
+        })
+    } else {
+        None
+    };
+
+    RowResult {
+        name: benchmark.name.to_string(),
+        n: benchmark.paper.n,
+        d: benchmark.paper.d,
+        paper_vars: benchmark.paper.vars,
+        our_vars: program.main().vars().len(),
+        paper_size: benchmark.paper.system_size,
+        our_size: generated.size(),
+        paper_runtime: benchmark.paper.runtime_secs,
+        generation_time,
+        solve: solve_row,
+    }
+}
+
+/// Formats a collection of rows as the table printed by the `reproduce`
+/// binary.
+pub fn format_table(title: &str, rows: &[RowResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    out.push_str(&format!(
+        "{:<26} {:>2} {:>2} {:>8} {:>8} {:>10} {:>10} {:>12} {:>12} {:>10}\n",
+        "benchmark",
+        "n",
+        "d",
+        "|V|paper",
+        "|V|ours",
+        "|S|paper",
+        "|S|ours",
+        "gen-time",
+        "paper-time",
+        "solve"
+    ));
+    for row in rows {
+        let solve = match &row.solve {
+            None => "-".to_string(),
+            Some(s) if s.synthesized => format!("ok({:.1}s)", s.solve_time.as_secs_f64()),
+            Some(s) => format!("fail({:.0e})", s.violation),
+        };
+        out.push_str(&format!(
+            "{:<26} {:>2} {:>2} {:>8} {:>8} {:>10} {:>10} {:>10.2}s {:>11.1}s {:>10}\n",
+            row.name,
+            row.n,
+            row.d,
+            row.paper_vars,
+            row.our_vars,
+            row.paper_size,
+            row.our_size,
+            row.generation_time.as_secs_f64(),
+            row.paper_runtime,
+            solve
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_row_reports_generation_metrics_for_a_small_benchmark() {
+        let benchmark = polyinv_benchmarks::by_name("recursive-sum").unwrap();
+        let row = run_row(&benchmark, false);
+        assert_eq!(row.paper_size, 1700);
+        assert!(row.our_size > 100);
+        assert!(row.solve.is_none());
+        let table = format_table("Table 3 (excerpt)", &[row]);
+        assert!(table.contains("recursive-sum"));
+        assert!(table.contains("|S|ours"));
+    }
+}

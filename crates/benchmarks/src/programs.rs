@@ -1,0 +1,625 @@
+//! The benchmark programs of the paper's evaluation, written in the
+//! mini-language of Figure 5.
+//!
+//! * Table 2: the non-recursive programs of the Rodríguez-Carbonell
+//!   collection ("some programs that need polynomial invariants in order to
+//!   be verified"). The loop structure and variable counts follow the
+//!   published descriptions of these classical algorithms; branching on data
+//!   we cannot express (e.g. array contents) is replaced by non-determinism,
+//!   exactly as the paper does for merge-sort.
+//! * Table 3: the recursive benchmarks of Appendix B.2 plus synthetic
+//!   stand-ins for the three reinforcement-learning controllers of Zhu et
+//!   al. 2019 (see DESIGN.md §4 — the relevant behaviour is a polynomial
+//!   plant of degree ≤ 4 with a linear safety envelope).
+
+/// `cohendiv` — Cohen's integer division by repeated doubling.
+pub const COHENDIV: &str = r#"
+cohendiv(x, y) {
+    @pre(x >= 0 && y >= 1);
+    q := 0;
+    r := x;
+    while r >= y do
+        a := 1;
+        b := y;
+        while r >= 2 * b do
+            a := 2 * a;
+            b := 2 * b
+        od;
+        r := r - b;
+        q := q + a
+    od;
+    return q
+}
+"#;
+
+/// `divbin` — binary division.
+pub const DIVBIN: &str = r#"
+divbin(x, y) {
+    @pre(x >= 0 && y >= 1);
+    q := 0;
+    r := x;
+    b := y;
+    while r >= b do
+        b := 2 * b
+    od;
+    while b > y do
+        b := 0.5 * b;
+        q := 2 * q;
+        if r >= b then
+            r := r - b;
+            q := q + 1
+        else
+            skip
+        fi
+    od;
+    return q
+}
+"#;
+
+/// `hard` — hardware-style division (Kaldewaij).
+pub const HARD: &str = r#"
+hard(x, d) {
+    @pre(x >= 0 && d >= 1);
+    r := x;
+    q := 0;
+    dd := d;
+    p := 1;
+    while r >= dd do
+        dd := 2 * dd;
+        p := 2 * p
+    od;
+    while p > 1 do
+        dd := 0.5 * dd;
+        p := 0.5 * p;
+        if r >= dd then
+            r := r - dd;
+            q := q + p
+        else
+            skip
+        fi
+    od;
+    return q
+}
+"#;
+
+/// `mannadiv` — Manna's division algorithm.
+pub const MANNADIV: &str = r#"
+mannadiv(x1, x2) {
+    @pre(x1 >= 0 && x2 >= 1);
+    y1 := 0;
+    y2 := 0;
+    y3 := x1;
+    while y3 > 0 do
+        if y2 + 1 >= x2 then
+            y1 := y1 + 1;
+            y2 := 0;
+            y3 := y3 - 1
+        else
+            y2 := y2 + 1;
+            y3 := y3 - 1
+        fi
+    od;
+    return y1
+}
+"#;
+
+/// `wensley` (spelled `wensely` in the paper's table) — Wensley's real
+/// division.
+pub const WENSLEY: &str = r#"
+wensley(p, q) {
+    @pre(q > p && p >= 0);
+    a := 0;
+    b := 0.5 * q;
+    d := 1;
+    y := 0;
+    while d >= 0.0001 do
+        if p < a + b then
+            b := 0.5 * b;
+            d := 0.5 * d
+        else
+            a := a + b;
+            y := y + 0.5 * d;
+            b := 0.5 * b;
+            d := 0.5 * d
+        fi
+    od;
+    return y
+}
+"#;
+
+/// `sqrt` — integer square root by odd numbers.
+pub const SQRT: &str = r#"
+sqrt(n) {
+    @pre(n >= 0);
+    a := 0;
+    s := 1;
+    t := 1;
+    while s <= n do
+        a := a + 1;
+        t := t + 2;
+        s := s + t
+    od;
+    return a
+}
+"#;
+
+/// `dijkstra` — Dijkstra's integer square root.
+pub const DIJKSTRA: &str = r#"
+dijkstra(n) {
+    @pre(n >= 0);
+    p := 0;
+    q := 1;
+    r := n;
+    while q <= n do
+        q := 4 * q
+    od;
+    while q > 1 do
+        q := 0.25 * q;
+        h := p + q;
+        p := 0.5 * p;
+        if r >= h then
+            p := p + q;
+            r := r - h
+        else
+            skip
+        fi
+    od;
+    return p
+}
+"#;
+
+/// `z3sqrt` — square-root kernel extracted from Z3's test suite.
+pub const Z3SQRT: &str = r#"
+z3sqrt(x) {
+    @pre(x >= 1);
+    r := 0;
+    s := 1;
+    q := x;
+    while s <= q do
+        q := q - s;
+        r := r + 1;
+        s := s + 2
+    od;
+    return r
+}
+"#;
+
+/// `freire1` — Freire's first square-root algorithm (real-valued).
+pub const FREIRE1: &str = r#"
+freire1(a) {
+    @pre(a >= 1);
+    x := 0.5 * a;
+    r := 0;
+    while x > r do
+        x := x - r;
+        r := r + 1
+    od;
+    return r
+}
+"#;
+
+/// `freire2` — Freire's cube-root algorithm.
+pub const FREIRE2: &str = r#"
+freire2(a) {
+    @pre(a >= 1);
+    x := a;
+    r := 1;
+    s := 3.25;
+    while x - s > 0 do
+        x := x - s;
+        s := s + 6 * r + 3;
+        r := r + 1
+    od;
+    return r
+}
+"#;
+
+/// `euclidex1` — extended Euclid, version 1.
+pub const EUCLIDEX1: &str = r#"
+euclidex1(x, y) {
+    @pre(x >= 1 && y >= 1);
+    a := x;
+    b := y;
+    p := 1;
+    q := 0;
+    r := 0;
+    s := 1;
+    while a > b do
+        if * then
+            a := a - b;
+            p := p - q;
+            r := r - s
+        else
+            b := b - a;
+            q := q - p;
+            s := s - r
+        fi
+    od;
+    return a
+}
+"#;
+
+/// `euclidex2` — extended Euclid, version 2.
+pub const EUCLIDEX2: &str = r#"
+euclidex2(x, y) {
+    @pre(x >= 1 && y >= 1);
+    a := x;
+    b := y;
+    p := 1;
+    q := 0;
+    r := 0;
+    s := 1;
+    while b > 0 do
+        c := a - b;
+        k := p - q;
+        a := b;
+        b := c;
+        p := q;
+        q := k;
+        c := r - s;
+        r := s;
+        s := c
+    od;
+    return a
+}
+"#;
+
+/// `euclidex3` — extended Euclid with additional bookkeeping variables.
+pub const EUCLIDEX3: &str = r#"
+euclidex3(x, y) {
+    @pre(x >= 1 && y >= 1);
+    a := x;
+    b := y;
+    p := 1;
+    q := 0;
+    r := 0;
+    s := 1;
+    k := 0;
+    c := 0;
+    d := 0;
+    v := 0;
+    while a > b do
+        if * then
+            a := a - b;
+            p := p - q;
+            r := r - s;
+            k := k + 1
+        else
+            b := b - a;
+            q := q - p;
+            s := s - r;
+            v := v + 1
+        fi;
+        c := a * p;
+        d := b * q
+    od;
+    return a
+}
+"#;
+
+/// `lcm1` — least common multiple, version 1.
+pub const LCM1: &str = r#"
+lcm1(a, b) {
+    @pre(a >= 1 && b >= 1);
+    x := a;
+    y := b;
+    u := b;
+    v := 0;
+    while x > y || y > x do
+        while x > y do
+            x := x - y;
+            v := v + u
+        od;
+        while y > x do
+            y := y - x;
+            u := u + v
+        od
+    od;
+    return x
+}
+"#;
+
+/// `lcm2` — least common multiple, version 2 (single loop with
+/// non-deterministic branch order).
+pub const LCM2: &str = r#"
+lcm2(a, b) {
+    @pre(a >= 1 && b >= 1);
+    x := a;
+    y := b;
+    u := b;
+    v := 0;
+    while x > y || y > x do
+        if x > y then
+            x := x - y;
+            v := v + u
+        else
+            y := y - x;
+            u := u + v
+        fi
+    od;
+    return x
+}
+"#;
+
+/// `prodbin` — binary multiplication (Russian peasant).
+pub const PRODBIN: &str = r#"
+prodbin(a, b) {
+    @pre(a >= 0 && b >= 0);
+    x := a;
+    y := b;
+    z := 0;
+    while y > 0 do
+        if * then
+            z := z + x;
+            y := y - 1
+        else
+            x := 2 * x;
+            y := 0.5 * y
+        fi
+    od;
+    return z
+}
+"#;
+
+/// `prod4br` — multiplication with four branches.
+pub const PROD4BR: &str = r#"
+prod4br(x, y) {
+    @pre(x >= 0 && y >= 0);
+    a := x;
+    b := y;
+    p := 1;
+    q := 0;
+    while a > 0 && b > 0 do
+        if * then
+            a := a - 1;
+            q := q + b * p
+        else
+            if * then
+                b := b - 1;
+                q := q + a * p
+            else
+                a := 0.5 * a;
+                b := 0.5 * b;
+                p := 4 * p
+            fi
+        fi
+    od;
+    return q
+}
+"#;
+
+/// `cohencu` — Cohen's cube computation by finite differences.
+pub const COHENCU: &str = r#"
+cohencu(a) {
+    @pre(a >= 0);
+    n := 0;
+    x := 0;
+    y := 1;
+    z := 6;
+    while n <= a do
+        x := x + y;
+        y := y + z;
+        z := z + 6;
+        n := n + 1
+    od;
+    return x
+}
+"#;
+
+/// `petter` — Petter's sum of fourth powers (polynomial summation).
+pub const PETTER: &str = r#"
+petter(n) {
+    @pre(n >= 0);
+    x := 0;
+    i := 0;
+    while i < n do
+        x := x + i * i;
+        i := i + 1
+    od;
+    return x
+}
+"#;
+
+// ----- Table 3: recursive and reinforcement-learning benchmarks ------------
+
+/// `recursive-sum` — Figure 4 of the paper.
+pub const RECURSIVE_SUM: &str = r#"
+rsum(n) {
+    @pre(n >= 0);
+    if n <= 0 then
+        return n
+    else
+        m := n - 1;
+        s := rsum(m);
+        if * then
+            s := s + n
+        else
+            skip
+        fi;
+        return s
+    fi
+}
+"#;
+
+/// `recursive-square-sum` — Appendix B.2.
+pub const RECURSIVE_SQUARE_SUM: &str = r#"
+rsqsum(n) {
+    @pre(n >= 0);
+    if n <= 0 then
+        return n
+    else
+        m := n - 1;
+        s := rsqsum(m);
+        if * then
+            s := s + n * n
+        else
+            skip
+        fi;
+        return s
+    fi
+}
+"#;
+
+/// `recursive-cube-sum` — Appendix B.2.
+pub const RECURSIVE_CUBE_SUM: &str = r#"
+rcubesum(n) {
+    @pre(n >= 0);
+    if n <= 0 then
+        return n
+    else
+        m := n - 1;
+        s := rcubesum(m);
+        if * then
+            s := s + n * n * n
+        else
+            skip
+        fi;
+        return s
+    fi
+}
+"#;
+
+/// `pw2` — the largest power of two not exceeding the input (Appendix B.2).
+pub const PW2: &str = r#"
+pw2(x) {
+    @pre(x >= 1);
+    if x >= 2 then
+        y := 0.5 * x;
+        z := pw2(y);
+        return 2 * z
+    else
+        return 1
+    fi
+}
+"#;
+
+/// `merge-sort` — counts inversions; comparisons on array contents are
+/// replaced by non-determinism and the floor operation by a havoc bounded by
+/// the pre-condition of the following label (Appendix B.2).
+pub const MERGE_SORT: &str = r#"
+msort(s, e) {
+    @pre(e >= s);
+    if s >= e then
+        return 0
+    else
+        j := *;
+        @pre(j >= s && e >= j + 1);
+        i := j + 1;
+        r := msort(s, j);
+        ans := msort(i, e);
+        ans := ans + r;
+        k := s;
+        while i <= e do
+            while k <= j && i <= e do
+                if * then
+                    k := k + 1
+                else
+                    ans := ans + j - k + 1;
+                    i := i + 1
+                fi
+            od;
+            i := i + 1
+        od;
+        while s <= e do
+            s := s + 1
+        od;
+        return ans
+    fi
+}
+"#;
+
+/// `inverted-pendulum` — synthetic stand-in for the Zhu et al. 2019
+/// reinforcement-learning benchmark: a linear controller acting on a
+/// degree-3 polynomial plant with a box safety envelope.
+pub const INVERTED_PENDULUM: &str = r#"
+pendulum(theta, omega, u) {
+    @pre(theta >= 0 - 1 && 1 >= theta && omega >= 0 - 1 && 1 >= omega && u >= 0 - 1 && 1 >= u);
+    t := 0;
+    while t <= 50 do
+        u := 0 - 2 * theta - 3 * omega;
+        a := theta - 0.1666 * theta * theta * theta;
+        omega := 0.98 * omega + 0.01 * a + 0.01 * u;
+        theta := theta + 0.01 * omega;
+        t := t + 1
+    od;
+    return theta
+}
+"#;
+
+/// `strict-inverted-pendulum` — as above with a degree-4 plant term and a
+/// four-assertion invariant in the paper's configuration.
+pub const STRICT_INVERTED_PENDULUM: &str = r#"
+spendulum(theta, omega, u) {
+    @pre(theta >= 0 - 1 && 1 >= theta && omega >= 0 - 1 && 1 >= omega && u >= 0 - 1 && 1 >= u);
+    t := 0;
+    while t <= 50 do
+        u := 0 - 2 * theta - 3 * omega - 0.5 * theta * omega;
+        a := theta - 0.1666 * theta * theta * theta + 0.008 * theta * theta * theta * theta;
+        omega := 0.98 * omega + 0.01 * a + 0.01 * u;
+        theta := theta + 0.01 * omega;
+        t := t + 1
+    od;
+    return theta
+}
+"#;
+
+/// `oscillator` — a damped Duffing-style oscillator with a quadratic
+/// controller, stand-in for the third Zhu et al. benchmark.
+pub const OSCILLATOR: &str = r#"
+oscillator(x, v, u) {
+    @pre(x >= 0 - 1 && 1 >= x && v >= 0 - 1 && 1 >= v && u >= 0 - 1 && 1 >= u);
+    t := 0;
+    while t <= 100 do
+        u := 0 - x - v;
+        v := 0.99 * v - 0.01 * x - 0.01 * x * x * v + 0.01 * u;
+        x := x + 0.01 * v;
+        t := t + 1
+    od;
+    return x
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyinv_lang::parse_program;
+
+    #[test]
+    fn every_benchmark_program_parses() {
+        for (name, source) in [
+            ("cohendiv", COHENDIV),
+            ("divbin", DIVBIN),
+            ("hard", HARD),
+            ("mannadiv", MANNADIV),
+            ("wensley", WENSLEY),
+            ("sqrt", SQRT),
+            ("dijkstra", DIJKSTRA),
+            ("z3sqrt", Z3SQRT),
+            ("freire1", FREIRE1),
+            ("freire2", FREIRE2),
+            ("euclidex1", EUCLIDEX1),
+            ("euclidex2", EUCLIDEX2),
+            ("euclidex3", EUCLIDEX3),
+            ("lcm1", LCM1),
+            ("lcm2", LCM2),
+            ("prodbin", PRODBIN),
+            ("prod4br", PROD4BR),
+            ("cohencu", COHENCU),
+            ("petter", PETTER),
+            ("recursive-sum", RECURSIVE_SUM),
+            ("recursive-square-sum", RECURSIVE_SQUARE_SUM),
+            ("recursive-cube-sum", RECURSIVE_CUBE_SUM),
+            ("pw2", PW2),
+            ("merge-sort", MERGE_SORT),
+            ("inverted-pendulum", INVERTED_PENDULUM),
+            ("strict-inverted-pendulum", STRICT_INVERTED_PENDULUM),
+            ("oscillator", OSCILLATOR),
+        ] {
+            assert!(
+                parse_program(source).is_ok(),
+                "benchmark `{name}` fails to parse: {:?}",
+                parse_program(source).err()
+            );
+        }
+    }
+}

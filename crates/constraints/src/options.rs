@@ -1,0 +1,206 @@
+//! Top-level assembly: from a program and pre-condition to the quadratic
+//! system (Steps 1–3 in one call).
+
+use polyinv_arith::Rational;
+use polyinv_lang::{Cfg, Precondition, Program};
+
+use crate::pairs::{generate_pairs, ConstraintPair, PairOptions};
+use crate::putinar::{translate_pair, PutinarOptions};
+pub use crate::putinar::SosEncoding;
+use crate::system::QuadraticSystem;
+use crate::template::TemplateSet;
+use crate::unknowns::UnknownRegistry;
+
+/// All knobs of the reduction.
+#[derive(Debug, Clone)]
+pub struct SynthesisOptions {
+    /// Maximum degree `d` of the invariant polynomials (Step 1).
+    pub degree: u32,
+    /// Number `n` of conjuncts per label (Step 1).
+    pub size: usize,
+    /// The technical parameter `ϒ` bounding the multiplier degrees (Step 3,
+    /// Remark 3).
+    pub upsilon: u32,
+    /// Sum-of-squares encoding (Cholesky as in the paper, or Gram for the
+    /// projection-based solver).
+    pub encoding: SosEncoding,
+    /// When set, adds the bounded-reals pre-condition of Remark 5 with this
+    /// bound `c` at every label, which guarantees the compactness condition
+    /// of Putinar's positivstellensatz.
+    pub bounded_reals: Option<Rational>,
+    /// Lower bound enforced on positivity witnesses.
+    pub epsilon_lower: Rational,
+    /// Force recursive treatment (post-condition templates and Steps 2.a /
+    /// 2.b) even for call-free programs. Programs containing calls are
+    /// always treated recursively regardless of this flag.
+    pub force_recursive: bool,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions {
+            degree: 2,
+            size: 1,
+            upsilon: 2,
+            encoding: SosEncoding::Cholesky,
+            bounded_reals: None,
+            epsilon_lower: Rational::new(1, 100),
+            force_recursive: false,
+        }
+    }
+}
+
+impl SynthesisOptions {
+    /// Convenience constructor setting the template degree and size.
+    pub fn with_degree_and_size(degree: u32, size: usize) -> Self {
+        SynthesisOptions {
+            degree,
+            size,
+            ..SynthesisOptions::default()
+        }
+    }
+}
+
+/// The full output of the reduction: the quadratic system plus everything
+/// needed to interpret its solutions (templates and constraint pairs).
+#[derive(Debug, Clone)]
+pub struct GeneratedSystem {
+    /// The quadratic system over the unknowns (Step 3 output).
+    pub system: QuadraticSystem,
+    /// The invariant / post-condition templates (Step 1 output).
+    pub templates: TemplateSet,
+    /// The constraint pairs (Step 2 output), in the order in which they were
+    /// translated (the `pair` index of unknowns refers to this order).
+    pub pairs: Vec<ConstraintPair>,
+    /// Whether the recursive variants of the algorithm were used.
+    pub recursive: bool,
+    /// The pre-condition actually used (including the bounded-reals
+    /// augmentation if requested).
+    pub precondition: Precondition,
+}
+
+impl GeneratedSystem {
+    /// The size `|S|` of the generated quadratic system.
+    pub fn size(&self) -> usize {
+        self.system.size()
+    }
+}
+
+/// Runs Steps 1–3 of `StrongInvSynth` / `RecStrongInvSynth`.
+///
+/// The pre-condition passed in is extended with the implicit entry
+/// assertions already (callers usually obtain it from
+/// [`Precondition::from_program`]) and, if `options.bounded_reals` is set,
+/// with the bounded-reals assertions of Remark 5.
+pub fn generate(
+    program: &Program,
+    precondition: &Precondition,
+    options: &SynthesisOptions,
+) -> GeneratedSystem {
+    let mut pre = precondition.clone();
+    if let Some(bound) = options.bounded_reals {
+        pre.add_bounded_reals(program, bound);
+    }
+    let recursive = options.force_recursive || !program.is_simple();
+
+    let cfg = Cfg::build(program);
+    let mut registry = UnknownRegistry::new();
+    let templates = TemplateSet::build(program, &mut registry, options.degree, options.size, recursive);
+    let pairs = generate_pairs(program, &cfg, &pre, &templates, PairOptions { recursive });
+
+    let mut system = QuadraticSystem::new(registry);
+    let putinar_options = PutinarOptions {
+        upsilon: options.upsilon,
+        encoding: options.encoding,
+        epsilon_lower: options.epsilon_lower,
+    };
+    for (index, pair) in pairs.iter().enumerate() {
+        translate_pair(pair, index, &putinar_options, &mut system);
+    }
+    system.num_pairs = pairs.len();
+
+    GeneratedSystem {
+        system,
+        templates,
+        pairs,
+        recursive,
+        precondition: pre,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyinv_lang::parse_program;
+    use polyinv_lang::program::{RECURSIVE_EXAMPLE_SOURCE, RUNNING_EXAMPLE_SOURCE};
+
+    #[test]
+    fn running_example_generates_a_system_of_plausible_size() {
+        let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        let pre = Precondition::from_program(&program);
+        let generated = generate(&program, &pre, &SynthesisOptions::default());
+        assert!(!generated.recursive);
+        assert_eq!(generated.pairs.len(), 11);
+        // The system must be quadratic, non-trivial and reference the
+        // template unknowns.
+        assert!(generated.size() > 100);
+        assert!(generated.system.num_unknowns() > 9 * 21);
+        assert_eq!(generated.system.num_pairs, 11);
+    }
+
+    #[test]
+    fn recursive_example_is_detected_and_gets_postconditions() {
+        let program = parse_program(RECURSIVE_EXAMPLE_SOURCE).unwrap();
+        let pre = Precondition::from_program(&program);
+        let generated = generate(&program, &pre, &SynthesisOptions::default());
+        assert!(generated.recursive);
+        assert!(generated.templates.postcondition("rsum").is_some());
+    }
+
+    #[test]
+    fn bounded_reals_increases_system_size() {
+        let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        let pre = Precondition::from_program(&program);
+        let plain = generate(&program, &pre, &SynthesisOptions::default());
+        let bounded = generate(
+            &program,
+            &pre,
+            &SynthesisOptions {
+                bounded_reals: Some(Rational::from_int(1000)),
+                ..SynthesisOptions::default()
+            },
+        );
+        assert!(bounded.size() > plain.size());
+    }
+
+    #[test]
+    fn gram_encoding_is_smaller_than_cholesky() {
+        let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        let pre = Precondition::from_program(&program);
+        let cholesky = generate(&program, &pre, &SynthesisOptions::default());
+        let gram = generate(
+            &program,
+            &pre,
+            &SynthesisOptions {
+                encoding: SosEncoding::Gram,
+                ..SynthesisOptions::default()
+            },
+        );
+        assert!(gram.size() < cholesky.size());
+        assert!(!gram.system.psd_blocks.is_empty());
+        assert!(cholesky.system.psd_blocks.is_empty());
+    }
+
+    #[test]
+    fn degree_one_templates_shrink_the_system() {
+        let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        let pre = Precondition::from_program(&program);
+        let degree_two = generate(&program, &pre, &SynthesisOptions::default());
+        let degree_one = generate(
+            &program,
+            &pre,
+            &SynthesisOptions::with_degree_and_size(1, 1),
+        );
+        assert!(degree_one.size() < degree_two.size());
+    }
+}

@@ -1,0 +1,507 @@
+//! Step 2 / 2.a / 2.b: generation of constraint pairs.
+//!
+//! A constraint pair `(Γ, g)` encodes the requirement
+//! `∀ν. (⋀_{gᵢ ∈ Γ} gᵢ(ν) ≥ 0) ⇒ g(ν) > 0`, where the polynomials have
+//! coefficients that are affine in the template unknowns. The paper builds
+//! one set of pairs per CFG transition (consecution), one for each function
+//! entry (initiation), one per function-call transition (call consecution,
+//! Step 2.a) and one per return transition (post-condition consecution,
+//! Step 2.b).
+
+use std::collections::HashSet;
+
+use polyinv_lang::cfg::{Cfg, Transition, TransitionKind};
+use polyinv_lang::guard::Atom;
+use polyinv_lang::{Label, Precondition, Program};
+use polyinv_poly::{Polynomial, TemplatePoly, VarId};
+
+use crate::template::TemplateSet;
+
+/// The provenance of a constraint pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairKind {
+    /// Initiation at a function entry label.
+    Initiation,
+    /// Consecution along an ordinary CFG transition.
+    Consecution,
+    /// Consecution across an abstracted function call (Step 2.a).
+    CallConsecution,
+    /// Post-condition consecution at a return transition (Step 2.b).
+    PostConsecution,
+}
+
+/// A constraint pair `(Γ, g)`.
+#[derive(Debug, Clone)]
+pub struct ConstraintPair {
+    /// The antecedent `Γ`: each entry is required to be `≥ 0`.
+    pub context: Vec<TemplatePoly>,
+    /// The consequent `g`, required to be `> 0`.
+    pub goal: TemplatePoly,
+    /// Provenance.
+    pub kind: PairKind,
+    /// Human-readable description (source/target label, transition kind).
+    pub description: String,
+    /// The program variables over which the Putinar multipliers range.
+    pub scope_vars: Vec<VarId>,
+}
+
+impl ConstraintPair {
+    fn new(
+        context: Vec<TemplatePoly>,
+        goal: TemplatePoly,
+        kind: PairKind,
+        description: String,
+    ) -> Self {
+        let mut scope: HashSet<VarId> = HashSet::new();
+        for entry in &context {
+            scope.extend(entry.variables());
+        }
+        scope.extend(goal.variables());
+        let mut scope_vars: Vec<VarId> = scope.into_iter().collect();
+        scope_vars.sort();
+        ConstraintPair {
+            context,
+            goal,
+            kind,
+            description,
+            scope_vars,
+        }
+    }
+}
+
+/// Options controlling pair generation.
+#[derive(Debug, Clone, Copy)]
+pub struct PairOptions {
+    /// Generate the recursive variants (Steps 1.a, 2.a and 2.b). Required
+    /// whenever the program contains function-call statements.
+    pub recursive: bool,
+}
+
+/// Generates all constraint pairs of the program.
+///
+/// This corresponds to Step 2 of `StrongInvSynth` plus, when
+/// `options.recursive` is set, Steps 2.a and 2.b of `RecStrongInvSynth`.
+///
+/// # Panics
+///
+/// Panics if the program contains function calls but `options.recursive` is
+/// not set, or if a call's callee is missing a post-condition template.
+pub fn generate_pairs(
+    program: &Program,
+    cfg: &Cfg,
+    pre: &Precondition,
+    templates: &TemplateSet,
+    options: PairOptions,
+) -> Vec<ConstraintPair> {
+    let mut generator = PairGenerator {
+        program,
+        pre,
+        templates,
+        options,
+        next_fresh_var: program.var_table().len(),
+        pairs: Vec::new(),
+    };
+    // Initiation pairs (for fmain in the non-recursive case; for every
+    // function in the recursive case — a non-recursive program has a single
+    // function, so generating them for all functions is uniform).
+    for function in program.functions() {
+        generator.initiation(function.entry_label());
+    }
+    // Consecution pairs along every CFG transition.
+    for transition in cfg.transitions() {
+        generator.transition(transition);
+    }
+    generator.pairs
+}
+
+struct PairGenerator<'a> {
+    program: &'a Program,
+    pre: &'a Precondition,
+    templates: &'a TemplateSet,
+    options: PairOptions,
+    next_fresh_var: usize,
+    pairs: Vec<ConstraintPair>,
+}
+
+impl<'a> PairGenerator<'a> {
+    fn fresh_var(&mut self) -> VarId {
+        let id = VarId::new(self.next_fresh_var);
+        self.next_fresh_var += 1;
+        id
+    }
+
+    /// The pre-condition of a label, lifted to (constant-coefficient)
+    /// template polynomials with strict atoms relaxed.
+    fn pre_templates(&self, label: Label) -> Vec<TemplatePoly> {
+        self.pre
+            .get(label)
+            .iter()
+            .map(|atom| TemplatePoly::from_polynomial(&atom.relaxed().poly))
+            .collect()
+    }
+
+    /// The pre-condition of a label with a substitution applied.
+    fn pre_templates_substituted<F>(&self, label: Label, mut subst: F) -> Vec<TemplatePoly>
+    where
+        F: FnMut(VarId) -> Option<Polynomial>,
+    {
+        self.pre
+            .get(label)
+            .iter()
+            .map(|atom| TemplatePoly::from_polynomial(&atom.relaxed().poly.substitute(&mut subst)))
+            .collect()
+    }
+
+    /// The invariant template conjuncts at a label. The returned borrow is
+    /// tied to the template set, not to `self`, so pairs can be pushed while
+    /// iterating over it.
+    fn invariant_conjuncts(&self, label: Label) -> &'a [TemplatePoly] {
+        let templates: &'a TemplateSet = self.templates;
+        &templates.invariant(label).conjuncts
+    }
+
+    fn initiation(&mut self, entry: Label) {
+        let context = self.pre_templates(entry);
+        for goal in self.invariant_conjuncts(entry) {
+            self.pairs.push(ConstraintPair::new(
+                context.clone(),
+                goal.clone(),
+                PairKind::Initiation,
+                format!("initiation at {entry}"),
+            ));
+        }
+    }
+
+    fn transition(&mut self, transition: &Transition) {
+        let from = transition.from;
+        let to = transition.to;
+        match &transition.kind {
+            TransitionKind::Update(updates) => {
+                self.update_transition(from, to, updates);
+            }
+            TransitionKind::Guard(formula) => {
+                // The guard is rewritten in DNF; each disjunct contributes a
+                // separate family of constraint pairs.
+                for (index, disjunct) in formula.to_dnf().into_iter().enumerate() {
+                    self.guard_transition(from, to, &disjunct, index);
+                }
+            }
+            TransitionKind::Nondet => {
+                let mut context = self.pre_templates(from);
+                context.extend(self.invariant_conjuncts(from).iter().cloned());
+                context.extend(self.pre_templates(to));
+                for goal in self.invariant_conjuncts(to) {
+                    self.pairs.push(ConstraintPair::new(
+                        context.clone(),
+                        goal.clone(),
+                        PairKind::Consecution,
+                        format!("nondet {from} -> {to}"),
+                    ));
+                }
+            }
+            TransitionKind::Havoc(var) => {
+                // The havoced variable takes an arbitrary value after the
+                // transition; model it with a fresh variable v*.
+                let fresh = self.fresh_var();
+                let var = *var;
+                let subst = |v: VarId| {
+                    if v == var {
+                        Some(Polynomial::variable(fresh))
+                    } else {
+                        None
+                    }
+                };
+                let mut context = self.pre_templates(from);
+                context.extend(self.invariant_conjuncts(from).iter().cloned());
+                context.extend(self.pre_templates_substituted(to, subst));
+                for goal in self.invariant_conjuncts(to) {
+                    self.pairs.push(ConstraintPair::new(
+                        context.clone(),
+                        goal.substitute(subst),
+                        PairKind::Consecution,
+                        format!("havoc {from} -> {to}"),
+                    ));
+                }
+            }
+            TransitionKind::Call { dest, callee, args } => {
+                assert!(
+                    self.options.recursive,
+                    "program contains function calls; recursive synthesis is required"
+                );
+                self.call_transition(from, to, *dest, callee, args);
+            }
+        }
+    }
+
+    fn update_transition(&mut self, from: Label, to: Label, updates: &[(VarId, Polynomial)]) {
+        let subst = |v: VarId| {
+            updates
+                .iter()
+                .find(|(var, _)| *var == v)
+                .map(|(_, poly)| poly.clone())
+        };
+        let mut context = self.pre_templates(from);
+        context.extend(self.invariant_conjuncts(from).iter().cloned());
+        context.extend(self.pre_templates_substituted(to, subst));
+        // Ordinary consecution into the invariant template of the target.
+        for goal in self.invariant_conjuncts(to) {
+            self.pairs.push(ConstraintPair::new(
+                context.clone(),
+                goal.substitute(subst),
+                PairKind::Consecution,
+                format!("update {from} -> {to}"),
+            ));
+        }
+        // Post-condition consecution (Step 2.b): return transitions target
+        // the endpoint label of their function.
+        if self.options.recursive {
+            let function = self.program.label_function(from);
+            if to == function.exit_label() {
+                if let Some(post) = self.templates.postcondition(function.name()) {
+                    for goal in &post.conjuncts {
+                        self.pairs.push(ConstraintPair::new(
+                            context.clone(),
+                            goal.substitute(subst),
+                            PairKind::PostConsecution,
+                            format!("post-condition of {} via {from}", function.name()),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    fn guard_transition(&mut self, from: Label, to: Label, disjunct: &[Atom], index: usize) {
+        let mut context = self.pre_templates(from);
+        context.extend(self.invariant_conjuncts(from).iter().cloned());
+        context.extend(self.pre_templates(to));
+        context.extend(
+            disjunct
+                .iter()
+                .map(|atom| TemplatePoly::from_polynomial(&atom.relaxed().poly)),
+        );
+        for goal in self.invariant_conjuncts(to) {
+            self.pairs.push(ConstraintPair::new(
+                context.clone(),
+                goal.clone(),
+                PairKind::Consecution,
+                format!("guard {from} -> {to} (disjunct {index})"),
+            ));
+        }
+    }
+
+    fn call_transition(
+        &mut self,
+        from: Label,
+        to: Label,
+        dest: VarId,
+        callee: &str,
+        args: &[VarId],
+    ) {
+        let callee_fn = self
+            .program
+            .function(callee)
+            .expect("resolver guarantees the callee exists");
+        let caller_fn = self.program.label_function(from);
+        let post = self
+            .templates
+            .postcondition(callee)
+            .expect("recursive synthesis generates a post-condition template per function");
+
+        // v₀* models the value of `dest` after the call.
+        let fresh = self.fresh_var();
+
+        // Substitution for the callee's entry pre-condition:
+        // parameters and shadow parameters are replaced by the caller's
+        // argument variables.
+        let params = callee_fn.params().to_vec();
+        let shadows = callee_fn.shadow_params().to_vec();
+        let args_vec = args.to_vec();
+        let entry_subst = |v: VarId| -> Option<Polynomial> {
+            if let Some(pos) = params.iter().position(|&p| p == v) {
+                return Some(Polynomial::variable(args_vec[pos]));
+            }
+            if let Some(pos) = shadows.iter().position(|&p| p == v) {
+                return Some(Polynomial::variable(args_vec[pos]));
+            }
+            None
+        };
+        // Atoms of the callee's entry pre-condition that, after the
+        // substitution, only mention the caller's variables. (Atoms about
+        // the callee's local variables — which are zero on entry — carry no
+        // information about the caller's state and are dropped.)
+        let caller_vars: HashSet<VarId> = caller_fn.vars().iter().copied().collect();
+        let entry_pre: Vec<TemplatePoly> = self
+            .pre
+            .get(callee_fn.entry_label())
+            .iter()
+            .map(|atom| atom.relaxed().poly.substitute(entry_subst))
+            .filter(|poly| poly.variables().iter().all(|v| caller_vars.contains(v)))
+            .map(|poly| TemplatePoly::from_polynomial(&poly))
+            .collect();
+
+        // Substitution for the callee's post-condition template:
+        // ret_f' ↦ v₀*, v̄'ᵢ ↦ argᵢ.
+        let ret_var = callee_fn.ret_var();
+        let post_subst = |v: VarId| -> Option<Polynomial> {
+            if v == ret_var {
+                return Some(Polynomial::variable(fresh));
+            }
+            if let Some(pos) = shadows.iter().position(|&p| p == v) {
+                return Some(Polynomial::variable(args_vec[pos]));
+            }
+            None
+        };
+        let post_templates: Vec<TemplatePoly> = post
+            .conjuncts
+            .iter()
+            .map(|c| c.substitute(post_subst))
+            .collect();
+
+        // Substitution replacing the destination variable by v₀* in the
+        // target label's pre-condition and invariant template.
+        let dest_subst = |v: VarId| {
+            if v == dest {
+                Some(Polynomial::variable(fresh))
+            } else {
+                None
+            }
+        };
+
+        let mut context = self.pre_templates(from);
+        context.extend(self.invariant_conjuncts(from).iter().cloned());
+        context.extend(entry_pre);
+        context.extend(post_templates);
+        context.extend(self.pre_templates_substituted(to, dest_subst));
+
+        for goal in self.invariant_conjuncts(to) {
+            self.pairs.push(ConstraintPair::new(
+                context.clone(),
+                goal.substitute(dest_subst),
+                PairKind::CallConsecution,
+                format!("call {callee} at {from} -> {to}"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unknowns::UnknownRegistry;
+    use polyinv_lang::parse_program;
+    use polyinv_lang::program::{RECURSIVE_EXAMPLE_SOURCE, RUNNING_EXAMPLE_SOURCE};
+
+    fn setup(
+        source: &str,
+        recursive: bool,
+    ) -> (Program, Vec<ConstraintPair>) {
+        let program = parse_program(source).unwrap();
+        let cfg = Cfg::build(&program);
+        let pre = Precondition::from_program(&program);
+        let mut registry = UnknownRegistry::new();
+        let templates = TemplateSet::build(&program, &mut registry, 2, 1, recursive);
+        let pairs = generate_pairs(&program, &cfg, &pre, &templates, PairOptions { recursive });
+        (program, pairs)
+    }
+
+    #[test]
+    fn running_example_produces_one_pair_per_transition_plus_initiation() {
+        let (_, pairs) = setup(RUNNING_EXAMPLE_SOURCE, false);
+        // 10 CFG transitions (all guards are atomic, so one disjunct each)
+        // + 1 initiation pair, with n = 1 conjunct per label.
+        assert_eq!(pairs.len(), 11);
+        assert_eq!(
+            pairs
+                .iter()
+                .filter(|p| p.kind == PairKind::Initiation)
+                .count(),
+            1
+        );
+        // Every pair's scope contains at most |V^sum| + 1 variables.
+        for pair in &pairs {
+            assert!(pair.scope_vars.len() <= 6);
+            assert!(!pair.goal.is_zero());
+        }
+    }
+
+    #[test]
+    fn initiation_pair_context_is_the_entry_precondition() {
+        let (program, pairs) = setup(RUNNING_EXAMPLE_SOURCE, false);
+        let initiation = pairs
+            .iter()
+            .find(|p| p.kind == PairKind::Initiation)
+            .unwrap();
+        let pre = Precondition::from_program(&program);
+        let entry = program.main().entry_label();
+        assert_eq!(initiation.context.len(), pre.get(entry).len());
+    }
+
+    #[test]
+    fn recursive_example_has_call_and_post_pairs() {
+        let (_, pairs) = setup(RECURSIVE_EXAMPLE_SOURCE, true);
+        let call_pairs = pairs
+            .iter()
+            .filter(|p| p.kind == PairKind::CallConsecution)
+            .count();
+        let post_pairs = pairs
+            .iter()
+            .filter(|p| p.kind == PairKind::PostConsecution)
+            .count();
+        // One call statement, one conjunct -> one call-consecution pair.
+        assert_eq!(call_pairs, 1);
+        // Two return statements -> two post-condition consecution pairs.
+        assert_eq!(post_pairs, 2);
+    }
+
+    #[test]
+    fn call_pair_scope_contains_the_fresh_variable() {
+        let (program, pairs) = setup(RECURSIVE_EXAMPLE_SOURCE, true);
+        let call_pair = pairs
+            .iter()
+            .find(|p| p.kind == PairKind::CallConsecution)
+            .unwrap();
+        let max_program_var = program.var_table().len();
+        assert!(call_pair
+            .scope_vars
+            .iter()
+            .any(|v| v.index() >= max_program_var));
+    }
+
+    #[test]
+    fn update_pairs_substitute_the_assignment() {
+        // For the transition `i := 1` (entry of the running example), the
+        // goal polynomial must not contain the variable i.
+        let (program, pairs) = setup(RUNNING_EXAMPLE_SOURCE, false);
+        let i = program.var_table().id_of("sum", "i").unwrap();
+        let entry = program.main().entry_label();
+        let pair = pairs
+            .iter()
+            .find(|p| p.kind == PairKind::Consecution && p.description.contains(&format!("update {entry}")))
+            .unwrap();
+        assert!(!pair.goal.variables().contains(&i));
+    }
+
+    #[test]
+    #[should_panic(expected = "recursive synthesis is required")]
+    fn calls_without_recursive_mode_panic() {
+        setup(RECURSIVE_EXAMPLE_SOURCE, false);
+    }
+
+    #[test]
+    fn guard_with_disjunction_produces_multiple_pairs() {
+        let source = r#"
+            f(x) {
+                while x >= 0 || x <= 0 - 10 do
+                    x := x - 1
+                od;
+                return x
+            }
+        "#;
+        let (_, pairs) = setup(source, false);
+        // The loop guard has 2 disjuncts; its negation (a conjunction) has 1.
+        // Transitions: guard-true (2 disjuncts), guard-false (1), body
+        // update, return, plus initiation = 2 + 1 + 1 + 1 + 1 = 6.
+        assert_eq!(pairs.len(), 6);
+    }
+}

@@ -1,0 +1,386 @@
+//! Step 3: the Putinar translation of constraint pairs into quadratic
+//! constraints.
+//!
+//! For a constraint pair `(Γ = {g₁ ≥ 0, …, g_m ≥ 0}, g > 0)` the paper
+//! writes the identity
+//!
+//! ```text
+//!     g  =  ε + h₀ + Σᵢ hᵢ·gᵢ                                   (†)
+//! ```
+//!
+//! where `ε > 0` is a fresh positivity witness and every `hᵢ` is a
+//! sum-of-squares polynomial of degree at most `ϒ` over the pair's program
+//! variables. Matching the coefficients of the two sides monomial by
+//! monomial yields quadratic *equalities* over the unknowns; the
+//! sum-of-squares side conditions become either
+//!
+//! * quadratic equalities and diagonal inequalities via the Cholesky
+//!   factorization `Q = L·Lᵀ` (Theorem 3.5 — the paper's QCLP encoding), or
+//! * an explicit PSD constraint on the Gram matrix `Q` (Theorem 3.4 — the
+//!   encoding our alternating-projection solver consumes natively).
+
+use polyinv_arith::Rational;
+use polyinv_poly::{LinExpr, Monomial, QuadExpr, QuadraticPoly, TemplatePoly, UnknownId};
+
+use crate::pairs::ConstraintPair;
+use crate::system::{PsdBlock, QuadraticSystem};
+use crate::unknowns::UnknownKind;
+
+/// How sum-of-squares side conditions are encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SosEncoding {
+    /// `hᵢ = yᵀ·L·Lᵀ·y` with a fresh lower-triangular matrix of l-variables,
+    /// non-negative diagonal, and one quadratic equality per coefficient of
+    /// `hᵢ`. This is the encoding described in Section 3.1 of the paper and
+    /// the one whose constraint count matches the reported `|S|`.
+    Cholesky,
+    /// `hᵢ = yᵀ·Q·y` with a symmetric Gram matrix `Q ⪰ 0` whose entries are
+    /// the unknowns. No t-variables or SOS equalities are needed; the PSD
+    /// requirement is recorded as a [`PsdBlock`].
+    Gram,
+}
+
+/// Tuning knobs of the translation.
+#[derive(Debug, Clone, Copy)]
+pub struct PutinarOptions {
+    /// The technical parameter `ϒ`: the maximum degree of the multipliers
+    /// `hᵢ` (Remark 3). Must be even to admit a sum-of-squares
+    /// decomposition; odd values are rounded down.
+    pub upsilon: u32,
+    /// The sum-of-squares encoding.
+    pub encoding: SosEncoding,
+    /// Lower bound enforced on every positivity witness `ε` (the paper's
+    /// `ε` is strictly positive; a concrete lower bound keeps the numeric
+    /// solver away from the degenerate `ε = 0` solutions).
+    pub epsilon_lower: Rational,
+}
+
+impl Default for PutinarOptions {
+    fn default() -> Self {
+        PutinarOptions {
+            upsilon: 2,
+            encoding: SosEncoding::Cholesky,
+            epsilon_lower: Rational::new(1, 100),
+        }
+    }
+}
+
+/// Translates one constraint pair and appends the resulting constraints to
+/// `system`. Returns the number of constraints added.
+pub fn translate_pair(
+    pair: &ConstraintPair,
+    pair_index: usize,
+    options: &PutinarOptions,
+    system: &mut QuadraticSystem,
+) -> usize {
+    let before = system.size();
+    let upsilon = options.upsilon;
+    let half_degree = upsilon / 2;
+
+    // Monomial bases over the pair's scope.
+    let multiplier_basis = Monomial::all_up_to_degree(&pair.scope_vars, upsilon);
+    let gram_basis = Monomial::all_up_to_degree(&pair.scope_vars, half_degree);
+
+    // Right-hand side of (†): ε + h₀ + Σ hᵢ·gᵢ.
+    let mut rhs = QuadraticPoly::zero();
+
+    // Positivity witness ε.
+    let eps = system
+        .registry
+        .fresh(UnknownKind::Witness { pair: pair_index });
+    let mut eps_term = QuadExpr::zero();
+    eps_term.add_linear(eps, Rational::one());
+    rhs.add_term(eps_term, Monomial::one());
+    // ε ≥ ε_lower.
+    let mut eps_bound = QuadExpr::constant(-options.epsilon_lower);
+    eps_bound.add_linear(eps, Rational::one());
+    system.inequalities.push(eps_bound);
+
+    // Multipliers: h₀ (multiplied by the constant 1) plus one per context
+    // entry.
+    let one = TemplatePoly::from_polynomial(&polyinv_poly::Polynomial::one());
+    let context_polys: Vec<&TemplatePoly> = std::iter::once(&one).chain(pair.context.iter()).collect();
+    for (multiplier_index, g_i) in context_polys.iter().enumerate() {
+        let h_i = match options.encoding {
+            SosEncoding::Cholesky => build_cholesky_multiplier(
+                pair_index,
+                multiplier_index,
+                &multiplier_basis,
+                &gram_basis,
+                system,
+            ),
+            SosEncoding::Gram => build_gram_multiplier(
+                pair_index,
+                multiplier_index,
+                &gram_basis,
+                system,
+            ),
+        };
+        rhs = rhs.add(&h_i.mul_template(g_i));
+    }
+
+    // Left-hand side: the goal polynomial.
+    let lhs = pair.goal.to_quadratic();
+
+    // Coefficient matching: every monomial of lhs − rhs must vanish.
+    let difference = lhs.sub(&rhs);
+    for (_monomial, coeff) in difference.iter() {
+        if !coeff.is_zero() {
+            system.equalities.push(coeff.clone());
+        }
+    }
+
+    system.size() - before
+}
+
+/// Builds a multiplier `hᵢ` in the Cholesky encoding: fresh t-variables for
+/// its coefficients, fresh l-variables for the Cholesky factor, quadratic
+/// equalities `t = (L·Lᵀ)-expansion` and inequalities `l_{r,r} ≥ 0`.
+fn build_cholesky_multiplier(
+    pair: usize,
+    multiplier: usize,
+    multiplier_basis: &[Monomial],
+    gram_basis: &[Monomial],
+    system: &mut QuadraticSystem,
+) -> TemplatePoly {
+    // t-variables: the coefficients of hᵢ.
+    let mut h = TemplatePoly::zero();
+    let mut t_vars: Vec<(Monomial, UnknownId)> = Vec::with_capacity(multiplier_basis.len());
+    for (monomial_index, monomial) in multiplier_basis.iter().enumerate() {
+        let t = system.registry.fresh(UnknownKind::Multiplier {
+            pair,
+            multiplier,
+            monomial: monomial_index,
+        });
+        t_vars.push((monomial.clone(), t));
+        h.add_term(LinExpr::unknown(t), monomial.clone());
+    }
+
+    // l-variables: lower triangle (row ≥ col) of the Cholesky factor.
+    let dim = gram_basis.len();
+    let mut l = vec![vec![None::<UnknownId>; dim]; dim];
+    for (row, l_row) in l.iter_mut().enumerate() {
+        for (col, entry) in l_row.iter_mut().enumerate().take(row + 1) {
+            let id = system.registry.fresh(UnknownKind::Cholesky {
+                pair,
+                multiplier,
+                row,
+                col,
+            });
+            *entry = Some(id);
+            if row == col {
+                // Diagonal entries are non-negative.
+                let mut diag = QuadExpr::zero();
+                diag.add_linear(id, Rational::one());
+                system.inequalities.push(diag);
+            }
+        }
+    }
+
+    // Expand yᵀ·L·Lᵀ·y symbolically: the coefficient of each monomial µ is
+    // Σ_{(j,k) : y_j·y_k = µ} Σ_{c ≤ min(j,k)} l_{j,c}·l_{k,c}.
+    let mut expansion: Vec<(Monomial, QuadExpr)> = Vec::new();
+    for j in 0..dim {
+        for k in 0..dim {
+            let product = gram_basis[j].mul(&gram_basis[k]);
+            let limit = j.min(k);
+            let mut contribution = QuadExpr::zero();
+            for c in 0..=limit {
+                let (Some(a), Some(b)) = (l[j][c], l[k][c]) else {
+                    continue;
+                };
+                contribution.add_quadratic(a, b, Rational::one());
+            }
+            if contribution.is_zero() {
+                continue;
+            }
+            match expansion.iter_mut().find(|(m, _)| *m == product) {
+                Some((_, existing)) => *existing = existing.clone() + contribution,
+                None => expansion.push((product, contribution)),
+            }
+        }
+    }
+
+    // Equalities t_µ = coefficient of µ in the expansion (coefficients not
+    // present in the expansion force the corresponding t to zero, and
+    // expansion monomials outside the t-basis force that part of L·Lᵀ to
+    // vanish — both are captured by matching over the union).
+    for (monomial, t) in &t_vars {
+        let mut eq = QuadExpr::zero();
+        eq.add_linear(*t, Rational::one());
+        if let Some((_, contribution)) = expansion.iter().find(|(m, _)| m == monomial) {
+            eq = eq - contribution.clone();
+        }
+        system.equalities.push(eq);
+    }
+    for (monomial, contribution) in &expansion {
+        if !t_vars.iter().any(|(m, _)| m == monomial) {
+            // Should not happen: the Gram basis squares stay within the
+            // multiplier basis. Kept as a defensive equality.
+            system.equalities.push(-contribution.clone());
+            let _ = monomial;
+        }
+    }
+
+    h
+}
+
+/// Builds a multiplier `hᵢ` in the Gram encoding: its coefficients are
+/// linear expressions in the Gram-matrix entries, and a [`PsdBlock`] records
+/// the `Q ⪰ 0` requirement.
+fn build_gram_multiplier(
+    pair: usize,
+    multiplier: usize,
+    gram_basis: &[Monomial],
+    system: &mut QuadraticSystem,
+) -> TemplatePoly {
+    let dim = gram_basis.len();
+    let mut entries = Vec::with_capacity(dim * (dim + 1) / 2);
+    let mut matrix = vec![vec![None::<UnknownId>; dim]; dim];
+    for row in 0..dim {
+        for col in row..dim {
+            let id = system.registry.fresh(UnknownKind::Gram {
+                pair,
+                multiplier,
+                row,
+                col,
+            });
+            entries.push(id);
+            matrix[row][col] = Some(id);
+            matrix[col][row] = Some(id);
+        }
+    }
+    system.psd_blocks.push(PsdBlock {
+        pair,
+        multiplier,
+        dim,
+        entries,
+    });
+
+    // h = yᵀ·Q·y: coefficient of y_j·y_k is Q[j,k] (doubled off-diagonal).
+    let mut h = TemplatePoly::zero();
+    for j in 0..dim {
+        for k in j..dim {
+            let monomial = gram_basis[j].mul(&gram_basis[k]);
+            let factor = if j == k {
+                Rational::one()
+            } else {
+                Rational::from_int(2)
+            };
+            let q = matrix[j][k].expect("entry allocated above");
+            h.add_term(LinExpr::unknown(q).scale(factor), monomial);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairs::{ConstraintPair, PairKind};
+    use crate::unknowns::UnknownRegistry;
+    use polyinv_poly::{Polynomial, VarId};
+
+    /// A tiny hand-built pair: context {x ≥ 0}, goal x + 1 > 0.
+    fn simple_pair() -> ConstraintPair {
+        let x = VarId::new(0);
+        let context = vec![TemplatePoly::from_polynomial(&Polynomial::variable(x))];
+        let goal = TemplatePoly::from_polynomial(
+            &(Polynomial::variable(x) + Polynomial::constant(Rational::one())),
+        );
+        ConstraintPair {
+            context,
+            goal,
+            kind: PairKind::Consecution,
+            description: "test".to_string(),
+            scope_vars: vec![x],
+        }
+    }
+
+    #[test]
+    fn cholesky_translation_produces_expected_constraint_counts() {
+        let pair = simple_pair();
+        let mut system = QuadraticSystem::new(UnknownRegistry::new());
+        let options = PutinarOptions::default();
+        translate_pair(&pair, 0, &options, &mut system);
+        // One variable x, ϒ = 2: multiplier basis {1, x, x²} (3 monomials),
+        // Gram basis {1, x} (2 monomials).
+        // Unknowns: ε + 2 multipliers × (3 t + 3 l) = 13.
+        assert_eq!(system.num_unknowns(), 13);
+        // Inequalities: ε bound + 2 diagonals per multiplier = 5.
+        assert_eq!(system.inequalities.len(), 5);
+        // Equalities: 3 SOS equalities per multiplier (6) + coefficient
+        // matching over monomials of degree ≤ 3 (1, x, x², x³) = 4.
+        assert_eq!(system.equalities.len(), 10);
+        assert!(system.psd_blocks.is_empty());
+    }
+
+    #[test]
+    fn gram_translation_produces_psd_blocks_instead_of_t_variables() {
+        let pair = simple_pair();
+        let mut system = QuadraticSystem::new(UnknownRegistry::new());
+        let options = PutinarOptions {
+            encoding: SosEncoding::Gram,
+            ..PutinarOptions::default()
+        };
+        translate_pair(&pair, 0, &options, &mut system);
+        // Unknowns: ε + 2 multipliers × 3 Gram entries = 7.
+        assert_eq!(system.num_unknowns(), 7);
+        assert_eq!(system.psd_blocks.len(), 2);
+        // Equalities: coefficient matching only (degree ≤ 3 → 4 monomials).
+        assert_eq!(system.equalities.len(), 4);
+        // Inequalities: only the ε bound.
+        assert_eq!(system.inequalities.len(), 1);
+    }
+
+    /// The Putinar identity must hold *symbolically*: for any assignment of
+    /// the unknowns that satisfies the generated equalities, the polynomial
+    /// identity (†) holds. We check the contrapositive numerically: evaluate
+    /// both sides of the coefficient-matching at a random assignment and
+    /// confirm that the residual of the equalities equals the coefficient
+    /// difference.
+    #[test]
+    fn coefficient_matching_is_consistent_with_direct_expansion() {
+        let pair = simple_pair();
+        let mut system = QuadraticSystem::new(UnknownRegistry::new());
+        let options = PutinarOptions {
+            encoding: SosEncoding::Gram,
+            ..PutinarOptions::default()
+        };
+        translate_pair(&pair, 0, &options, &mut system);
+        // Assignment: ε = 1, Q₀ = identity-ish, Q₁ = 0. Then
+        // rhs = 1 + (1 + x²) and lhs = x + 1, so the difference has
+        // coefficients {1: -1, x: 1, x²: -1} and the equalities must have
+        // residuals with exactly these magnitudes.
+        let mut assignment = vec![0.0; system.num_unknowns()];
+        // ε is unknown 0 (allocated first).
+        assignment[0] = 1.0;
+        // The first Gram block's entries are (0,0), (0,1), (1,1) = unknowns 1, 2, 3.
+        assignment[1] = 1.0; // Q[0,0] = 1 → constant 1
+        assignment[3] = 1.0; // Q[1,1] = 1 → x²
+        let residuals: Vec<f64> = system
+            .equalities
+            .iter()
+            .map(|eq| eq.eval(|u| assignment[u.index()]))
+            .collect();
+        let mut sorted: Vec<f64> = residuals.iter().map(|r| r.abs()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(residuals.len(), 4);
+        assert_eq!(sorted, vec![0.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn upsilon_zero_still_produces_constant_multipliers() {
+        let pair = simple_pair();
+        let mut system = QuadraticSystem::new(UnknownRegistry::new());
+        let options = PutinarOptions {
+            upsilon: 0,
+            ..PutinarOptions::default()
+        };
+        let added = translate_pair(&pair, 0, &options, &mut system);
+        assert!(added > 0);
+        // Multiplier basis = {1}: each hᵢ is a single non-negative constant.
+        // Coefficient matching over monomials {1, x}.
+        assert_eq!(system.equalities.len(), 2 + 2);
+    }
+}

@@ -1,0 +1,377 @@
+//! Certificate-based checking and trace-based falsification of candidate
+//! invariants.
+//!
+//! * [`check_inductive`] instantiates the paper's constraint pairs with a
+//!   *given* invariant map (and post-condition) and searches for the
+//!   sum-of-squares certificate of every pair. If every pair is certified,
+//!   the map is an inductive invariant by Lemma 3.6 — this is the sound
+//!   direction, independent of how the candidate was produced.
+//! * [`falsify`] executes the program on sampled inputs and non-deterministic
+//!   choices and reports any reachable state that violates the candidate —
+//!   the complementary (refutation) direction.
+
+use std::collections::HashMap;
+
+use polyinv_arith::Rational;
+use polyinv_constraints::pairs::{generate_pairs, PairKind, PairOptions};
+use polyinv_constraints::putinar::{translate_pair, PutinarOptions, SosEncoding};
+use polyinv_constraints::template::{LabelTemplate, TemplateSet};
+use polyinv_constraints::{QuadraticSystem, UnknownRegistry};
+use polyinv_lang::interp::{Interpreter, SeededOracle};
+use polyinv_lang::{Cfg, InvariantMap, Label, Postcondition, Precondition, Program};
+use polyinv_poly::TemplatePoly;
+use polyinv_qcqp::{LmOptions, LmSolver, SolveStatus};
+
+use crate::bridge::system_to_problem;
+
+/// Options of the certificate checker.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// The technical parameter `ϒ` (degree bound of the SOS multipliers).
+    pub upsilon: u32,
+    /// Lower bound imposed on the positivity witnesses. A smaller value
+    /// certifies invariants with smaller positivity margins but is more
+    /// sensitive to numerical noise.
+    pub epsilon_lower: Rational,
+    /// When set, adds the bounded-reals pre-condition of Remark 5 with this
+    /// bound, which often makes certificates easier to find (compactness).
+    pub bounded_reals: Option<Rational>,
+    /// Options of the underlying certificate-search solver.
+    pub solver: LmOptions,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            upsilon: 2,
+            epsilon_lower: Rational::new(1, 1_000_000),
+            bounded_reals: None,
+            solver: LmOptions {
+                tolerance: 1e-7,
+                max_iterations: 300,
+                restarts: 3,
+                ..LmOptions::default()
+            },
+        }
+    }
+}
+
+/// The result of attempting to certify one constraint pair.
+#[derive(Debug, Clone)]
+pub struct PairCertificate {
+    /// Description of the pair (transition or initiation point).
+    pub description: String,
+    /// The kind of requirement the pair encodes.
+    pub kind: PairKind,
+    /// Whether a sum-of-squares certificate was found.
+    pub certified: bool,
+    /// The size of the per-pair certificate problem (constraints).
+    pub problem_size: usize,
+}
+
+/// The report of a full inductiveness check.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// One certificate attempt per constraint pair.
+    pub certificates: Vec<PairCertificate>,
+}
+
+impl CheckReport {
+    /// `true` if every constraint pair was certified, i.e. the candidate is
+    /// proven to be an inductive invariant.
+    pub fn all_certified(&self) -> bool {
+        self.certificates.iter().all(|c| c.certified)
+    }
+
+    /// The number of certified pairs.
+    pub fn num_certified(&self) -> usize {
+        self.certificates.iter().filter(|c| c.certified).count()
+    }
+
+    /// The descriptions of the pairs that could not be certified.
+    pub fn failures(&self) -> Vec<&str> {
+        self.certificates
+            .iter()
+            .filter(|c| !c.certified)
+            .map(|c| c.description.as_str())
+            .collect()
+    }
+}
+
+/// Builds a constant (unknown-free) template set from a concrete invariant
+/// map and post-condition.
+fn concrete_templates(
+    program: &Program,
+    invariant: &InvariantMap,
+    post: &Postcondition,
+) -> TemplateSet {
+    let mut set = TemplateSet::default();
+    for function in program.functions() {
+        for &label in function.labels() {
+            let conjuncts: Vec<TemplatePoly> = invariant
+                .get(label)
+                .iter()
+                .map(|atom| TemplatePoly::from_polynomial(&atom.poly))
+                .collect();
+            set.invariants.insert(
+                label,
+                LabelTemplate {
+                    conjuncts,
+                    basis: Vec::new(),
+                },
+            );
+        }
+        let post_conjuncts: Vec<TemplatePoly> = post
+            .get(function.name())
+            .iter()
+            .map(|atom| TemplatePoly::from_polynomial(&atom.poly))
+            .collect();
+        set.postconditions.insert(
+            function.name().to_string(),
+            LabelTemplate {
+                conjuncts: post_conjuncts,
+                basis: Vec::new(),
+            },
+        );
+    }
+    set
+}
+
+/// Checks whether `(post, invariant)` is a (recursive) inductive invariant
+/// of `program` under `pre`, by searching for the sum-of-squares
+/// certificates of every constraint pair.
+///
+/// A report with [`CheckReport::all_certified`] `== true` is a *proof* of
+/// inductiveness (soundness, Lemma 3.6). A failed pair is inconclusive: the
+/// certificate may simply require a larger `ϒ` (semi-completeness,
+/// Lemma 3.7).
+pub fn check_inductive(
+    program: &Program,
+    pre: &Precondition,
+    invariant: &InvariantMap,
+    post: &Postcondition,
+    options: &CheckOptions,
+) -> CheckReport {
+    let mut pre = pre.clone();
+    if let Some(bound) = options.bounded_reals {
+        pre.add_bounded_reals(program, bound);
+    }
+    let recursive = !program.is_simple() || post.iter().next().is_some();
+    let cfg = Cfg::build(program);
+    let templates = concrete_templates(program, invariant, post);
+    let pairs = generate_pairs(program, &cfg, &pre, &templates, PairOptions { recursive });
+
+    let solver = LmSolver::new(options.solver.clone());
+    // Degree ladder: constant multipliers (Handelman-style certificates,
+    // cheap and very robust) first, then the full degree-ϒ multipliers.
+    let mut ladder = vec![0];
+    if options.upsilon > 0 {
+        ladder.push(options.upsilon);
+    }
+
+    let mut certificates = Vec::with_capacity(pairs.len());
+    for (index, pair) in pairs.iter().enumerate() {
+        // Each pair gets its own small, independent certificate problem:
+        // with the template coefficients fixed, only the multiplier and
+        // Cholesky unknowns remain. The Cholesky encoding turns the search
+        // into quadratic equalities with simple variable bounds, which the
+        // projected Levenberg–Marquardt solver handles robustly.
+        let mut certified = false;
+        let mut problem_size = 0;
+        for &upsilon in &ladder {
+            let putinar_options = PutinarOptions {
+                upsilon,
+                encoding: SosEncoding::Cholesky,
+                epsilon_lower: options.epsilon_lower,
+            };
+            let mut system = QuadraticSystem::new(UnknownRegistry::new());
+            translate_pair(pair, index, &putinar_options, &mut system);
+            let problem = system_to_problem(&system);
+            problem_size = problem_size.max(problem.equalities.len() + problem.inequalities.len());
+            // A slightly positive warm start keeps the Cholesky diagonals and
+            // the witness in the interior of their bounds.
+            let warm = vec![0.05; problem.num_vars];
+            if solver.solve(&problem, Some(&warm)).status == SolveStatus::Feasible {
+                certified = true;
+                break;
+            }
+        }
+        certificates.push(PairCertificate {
+            description: pair.description.clone(),
+            kind: pair.kind,
+            certified,
+            problem_size,
+        });
+    }
+    CheckReport { certificates }
+}
+
+/// A reachable state violating a candidate invariant.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The label at which the violation occurred.
+    pub label: Label,
+    /// The variable valuation witnessing the violation.
+    pub valuation: HashMap<polyinv_poly::VarId, Rational>,
+}
+
+/// Tries to falsify a candidate invariant by executing the program on
+/// sampled inputs and non-deterministic choices.
+///
+/// Runs whose states violate the pre-condition are discarded (they are not
+/// valid runs in the paper's sense). Returns the first violating state
+/// found, or `None` if no violation was observed within `runs` executions.
+pub fn falsify(
+    program: &Program,
+    pre: &Precondition,
+    invariant: &InvariantMap,
+    runs: usize,
+    seed: u64,
+) -> Option<Violation> {
+    let interpreter = Interpreter::new(program, 20_000);
+    let arity = program.main().params().len();
+    for run in 0..runs {
+        let mut oracle = SeededOracle::new(seed.wrapping_add(run as u64), 8);
+        // Small non-negative integer inputs exercise the benchmark
+        // pre-conditions well; occasionally include negative values.
+        let inputs: Vec<Rational> = (0..arity)
+            .map(|k| {
+                let raw = ((run as i64) * 7 + k as i64 * 3) % 13;
+                Rational::from_int(if run % 5 == 4 { raw - 6 } else { raw })
+            })
+            .collect();
+        let trace = interpreter.run(&inputs, &mut oracle);
+        // Validity: every visited state satisfies its pre-condition.
+        let valid = trace.states.iter().all(|state| {
+            pre.get(state.label).iter().all(|atom| {
+                atom.eval(|v| state.valuation.get(&v).copied().unwrap_or_default())
+            })
+        });
+        if !valid {
+            continue;
+        }
+        for state in &trace.states {
+            let holds = invariant.holds_at(state.label, |v| {
+                state.valuation.get(&v).copied().unwrap_or_default()
+            });
+            if !holds {
+                return Some(Violation {
+                    label: state.label,
+                    valuation: state.valuation.clone(),
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyinv_lang::program::RUNNING_EXAMPLE_SOURCE;
+    use polyinv_lang::{parse_assertion, parse_program};
+    use polyinv_poly::Polynomial;
+
+    fn running_example() -> (Program, Precondition) {
+        let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        let pre = Precondition::from_program(&program);
+        (program, pre)
+    }
+
+    /// A hand-written inductive invariant of the running example in the
+    /// spirit of Example 3 of the paper. Because consecution constraints
+    /// relax the antecedent to `≥ 0` but require the consequent with a
+    /// positivity witness, every conjunct must be implied with a strict
+    /// margin; the margins are provided by staggering the constant terms
+    /// along the control flow and recovering slack from `i := i + 1`.
+    fn margin_aware_invariant(program: &Program) -> InvariantMap {
+        let labels = program.main().labels().to_vec();
+        let mut invariant = InvariantMap::new();
+        let parse = |text: &str| parse_assertion(program, "sum", text).unwrap().0;
+        // Label 1 in the paper's numbering is labels[0], etc.
+        invariant.add(labels[0], parse("n > 0"));
+        for (index, (i_term, combined)) in [
+            ("8*i - 7", "4*i + 4*s - 3"), // label 2
+            ("4*i - 3", "4*i + 4*s + 1"), // label 3 (loop head)
+            ("4*i - 2", "4*i + 4*s + 2"), // label 4 (if ⋆)
+            ("4*i - 1", "4*i + 4*s + 3"), // label 5 (s := s + i)
+            ("4*i - 1", "4*i + 4*s + 3"), // label 6 (skip)
+            ("4*i - 0", "4*i + 4*s + 4"), // label 7 (i := i + 1)
+            ("4*i - 2", "4*i + 4*s + 2"), // label 8 (return)
+            ("4*i - 1", "4*i + 4*s + 3"), // label 9 (endpoint)
+        ]
+        .iter()
+        .enumerate()
+        {
+            invariant.add(labels[index + 1], parse(&format!("{i_term} > 0")));
+            invariant.add(labels[index + 1], parse(&format!("{combined} > 0")));
+        }
+        invariant
+    }
+
+    #[test]
+    fn margin_aware_invariant_is_certified() {
+        let (program, pre) = running_example();
+        let invariant = margin_aware_invariant(&program);
+        let report = check_inductive(
+            &program,
+            &pre,
+            &invariant,
+            &Postcondition::new(),
+            &CheckOptions::default(),
+        );
+        assert!(
+            report.all_certified(),
+            "failures: {:?}",
+            report.failures()
+        );
+    }
+
+    #[test]
+    fn a_wrong_invariant_is_not_certified_and_is_falsified() {
+        let (program, pre) = running_example();
+        let mut invariant = InvariantMap::new();
+        // Claim s < 1 at the return label — false as soon as the loop adds
+        // i = 1 and n ≥ 2.
+        let (poly, _) = parse_assertion(&program, "sum", "1 - s > 0").unwrap();
+        let return_label = program.main().labels()[7];
+        invariant.add(return_label, poly);
+        let report = check_inductive(
+            &program,
+            &pre,
+            &invariant,
+            &Postcondition::new(),
+            &CheckOptions::default(),
+        );
+        assert!(!report.all_certified());
+        let violation = falsify(&program, &pre, &invariant, 200, 1);
+        assert!(violation.is_some());
+        assert_eq!(violation.unwrap().label, return_label);
+    }
+
+    #[test]
+    fn falsification_accepts_true_invariants() {
+        let (program, pre) = running_example();
+        let invariant = margin_aware_invariant(&program);
+        assert!(falsify(&program, &pre, &invariant, 100, 7).is_none());
+    }
+
+    #[test]
+    fn trivial_invariant_is_certified_everywhere() {
+        let (program, pre) = running_example();
+        // 1 > 0 at every label.
+        let mut invariant = InvariantMap::new();
+        for &label in program.main().labels() {
+            invariant.add(label, Polynomial::constant(Rational::one()));
+        }
+        let report = check_inductive(
+            &program,
+            &pre,
+            &invariant,
+            &Postcondition::new(),
+            &CheckOptions::default(),
+        );
+        assert!(report.all_certified());
+        assert_eq!(report.num_certified(), report.certificates.len());
+    }
+}

@@ -1,0 +1,75 @@
+//! # polyinv — Polynomial Invariant Generation for Non-deterministic Recursive Programs
+//!
+//! A Rust implementation of the sound and semi-complete invariant generation
+//! method of Chatterjee, Fu, Goharshady and Goharshady (PLDI 2020): templates
+//! of polynomial inequalities are made inductive by translating every
+//! initiation / consecution requirement through Putinar's positivstellensatz
+//! into a system of quadratic constraints, which is then handed to a
+//! quadratically-constrained solver.
+//!
+//! The crate re-exports the front-end (`polyinv-lang`), the reduction
+//! (`polyinv-constraints`) and the solving substrate (`polyinv-qcqp`), and
+//! adds the paper's four algorithms on top:
+//!
+//! * [`WeakSynthesis`] — `WeakInvSynth` / `RecWeakInvSynth`: find one
+//!   inductive invariant optimizing an objective (typically: proving a given
+//!   target assertion at a given label);
+//! * [`StrongSynthesis`] — `StrongInvSynth` / `RecStrongInvSynth`: find a
+//!   *representative set* of inductive invariants (the paper's theoretical
+//!   algorithm uses Grigor'ev–Vorobjov; we enumerate by multi-start search,
+//!   see DESIGN.md §4);
+//! * [`check::check_inductive`] — a sound certificate checker: given a
+//!   concrete invariant map (and post-conditions for recursive programs) it
+//!   searches for the sum-of-squares certificates of every constraint pair,
+//!   which proves inductiveness;
+//! * [`check::falsify`] — a falsifier based on the concrete interpreter.
+//!
+//! # Quick start
+//!
+//! ```
+//! use polyinv::prelude::*;
+//!
+//! // The paper's running example (Figure 2).
+//! let program = parse_program(polyinv_lang::program::RUNNING_EXAMPLE_SOURCE)?;
+//! let pre = Precondition::from_program(&program);
+//!
+//! // Check the paper's own invariant for label 9 (the function endpoint):
+//! // ret_sum < 0.5·n̄² + 0.5·n̄ + 1.
+//! let mut invariant = InvariantMap::new();
+//! let exit = program.main().exit_label();
+//! let (poly, _) = parse_assertion(&program, "sum", "0.5*n_in*n_in + 0.5*n_in + 1 - ret > 0")?;
+//! invariant.add(exit, poly);
+//! // (A full inductive strengthening is required to *prove* it — see the
+//! // `nondet_summation` example.)
+//! assert_eq!(invariant.get(exit).len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod bridge;
+pub mod check;
+pub mod strong;
+pub mod weak;
+
+pub use bridge::{system_to_problem, system_to_problem_with_fixed};
+pub use check::{check_inductive, falsify, CheckOptions, CheckReport, PairCertificate};
+pub use strong::{StrongOptions, StrongSynthesis};
+pub use weak::{SolverBackend, SynthesisOutcome, SynthesisStatus, TargetAssertion, WeakSynthesis};
+
+/// Convenient glob-import for downstream users and examples.
+pub mod prelude {
+    pub use crate::check::{check_inductive, falsify, CheckOptions};
+    pub use crate::strong::{StrongOptions, StrongSynthesis};
+    pub use crate::weak::{SolverBackend, SynthesisStatus, TargetAssertion, WeakSynthesis};
+    pub use polyinv_constraints::{SosEncoding, SynthesisOptions};
+    pub use polyinv_lang::{
+        parse_assertion, parse_program, InvariantMap, Postcondition, Precondition,
+    };
+}
+
+// Re-export the component crates so that downstream users only need one
+// dependency.
+pub use polyinv_arith as arith;
+pub use polyinv_constraints as constraints;
+pub use polyinv_lang as lang;
+pub use polyinv_poly as poly;
+pub use polyinv_qcqp as qcqp;

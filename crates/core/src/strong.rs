@@ -1,0 +1,187 @@
+//! Strong invariant synthesis (`StrongInvSynth` / `RecStrongInvSynth`).
+//!
+//! The strong variant asks for a *representative set* of inductive
+//! invariants. The paper's theoretical algorithm obtains one solution per
+//! connected component of the solution variety via Grigor'ev–Vorobjov, but
+//! explicitly notes (Remark 8) that the procedure is impractical and never
+//! runs it. This module provides the practical substitute documented in
+//! DESIGN.md §4: the same quadratic system is solved repeatedly from
+//! different random seeds and with diversified regularization objectives;
+//! distinct feasible solutions (measured by the distance between their
+//! template coefficient vectors) form the returned representative set.
+
+use polyinv_constraints::{generate, SynthesisOptions};
+use polyinv_lang::{InvariantMap, Postcondition, Precondition, Program};
+use polyinv_qcqp::{LmOptions, LmSolver, QuadraticForm, SolveStatus};
+
+use crate::bridge::system_to_problem;
+use crate::weak::instantiate_solution;
+
+/// Options of the multi-start enumeration.
+#[derive(Debug, Clone)]
+pub struct StrongOptions {
+    /// Reduction options (degree, size, ϒ, encoding, …).
+    pub synthesis: SynthesisOptions,
+    /// Solver options used for each start.
+    pub solver: LmOptions,
+    /// Number of solve attempts.
+    pub attempts: usize,
+    /// Two solutions whose template-coefficient vectors differ by less than
+    /// this (Euclidean) distance are considered the same invariant.
+    pub distinctness_threshold: f64,
+}
+
+impl Default for StrongOptions {
+    fn default() -> Self {
+        StrongOptions {
+            synthesis: SynthesisOptions::default(),
+            solver: LmOptions {
+                restarts: 1,
+                objective_weight: 0.02,
+                ..LmOptions::default()
+            },
+            attempts: 8,
+            distinctness_threshold: 0.5,
+        }
+    }
+}
+
+/// A member of the representative set returned by [`StrongSynthesis`].
+#[derive(Debug, Clone)]
+pub struct StrongSolution {
+    /// The invariant map.
+    pub invariant: InvariantMap,
+    /// The post-conditions (recursive programs).
+    pub postconditions: Postcondition,
+    /// The template-coefficient vector of the solution (used for
+    /// distinctness).
+    pub coefficients: Vec<f64>,
+}
+
+/// The strong-synthesis driver.
+#[derive(Debug, Clone, Default)]
+pub struct StrongSynthesis {
+    options: StrongOptions,
+}
+
+impl StrongSynthesis {
+    /// Creates a driver with the given options.
+    pub fn new(options: StrongOptions) -> Self {
+        StrongSynthesis { options }
+    }
+
+    /// Enumerates a representative set of inductive invariants of the
+    /// requested shape.
+    pub fn enumerate(&self, program: &Program, pre: &Precondition) -> Vec<StrongSolution> {
+        let generated = generate(program, pre, &self.options.synthesis);
+        let template_ids = generated.system.registry.template_unknowns();
+        let base_problem = system_to_problem(&generated.system);
+
+        let mut solutions: Vec<StrongSolution> = Vec::new();
+        for attempt in 0..self.options.attempts.max(1) {
+            let mut problem = base_problem.clone();
+            // Diversify: alternate between pushing the template coefficients
+            // towards and away from zero along random directions derived
+            // from the attempt index.
+            let mut objective = QuadraticForm::constant(0.0);
+            for (k, id) in template_ids.iter().enumerate() {
+                let direction = if (attempt + k) % 2 == 0 { 1.0 } else { -1.0 };
+                let weight = 0.01 * direction * ((attempt + 1) as f64);
+                objective.linear.push((id.index(), weight));
+            }
+            problem.objective = Some(objective);
+
+            let solver = LmSolver::new(LmOptions {
+                seed: self.options.solver.seed.wrapping_add(attempt as u64 * 7919),
+                ..self.options.solver.clone()
+            });
+            let outcome = solver.solve(&problem, None);
+            if outcome.status != SolveStatus::Feasible {
+                continue;
+            }
+            let coefficients: Vec<f64> = template_ids
+                .iter()
+                .map(|id| outcome.assignment[id.index()])
+                .collect();
+            let is_new = solutions.iter().all(|existing| {
+                let distance: f64 = existing
+                    .coefficients
+                    .iter()
+                    .zip(&coefficients)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                distance > self.options.distinctness_threshold
+            });
+            if is_new {
+                let (invariant, postconditions) =
+                    instantiate_solution(program, &generated, &outcome.assignment);
+                solutions.push(StrongSolution {
+                    invariant,
+                    postconditions,
+                    coefficients,
+                });
+            }
+        }
+        solutions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyinv_constraints::SosEncoding;
+    use polyinv_lang::parse_program;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow without optimizations; run with `cargo test --release`")]
+    fn enumeration_finds_multiple_distinct_invariants_for_a_tiny_program() {
+        // x := x + 1 in a bounded loop admits many linear invariants.
+        let source = r#"
+            inc(x) {
+                @pre(x >= 0);
+                while x <= 5 do
+                    x := x + 1
+                od;
+                return x
+            }
+        "#;
+        let program = parse_program(source).unwrap();
+        let pre = Precondition::from_program(&program);
+        let options = StrongOptions {
+            synthesis: SynthesisOptions {
+                degree: 1,
+                size: 1,
+                upsilon: 2,
+                encoding: SosEncoding::Cholesky,
+                ..SynthesisOptions::default()
+            },
+            solver: LmOptions {
+                restarts: 1,
+                objective_weight: 0.02,
+                tolerance: 1e-6,
+                ..LmOptions::default()
+            },
+            attempts: 4,
+            distinctness_threshold: 0.25,
+        };
+        let solutions = StrongSynthesis::new(options).enumerate(&program, &pre);
+        assert!(
+            !solutions.is_empty(),
+            "at least one inductive invariant should be found"
+        );
+        // Every returned solution is a *distinct* coefficient vector.
+        for (i, a) in solutions.iter().enumerate() {
+            for b in solutions.iter().skip(i + 1) {
+                let distance: f64 = a
+                    .coefficients
+                    .iter()
+                    .zip(&b.coefficients)
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum::<f64>()
+                    .sqrt();
+                assert!(distance > 0.25);
+            }
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Weak invariant synthesis (`WeakInvSynth` / `RecWeakInvSynth`).
+//!
+//! The weak variant of the synthesis problem fixes an objective over the
+//! template coefficients and asks for one invariant optimizing it. As in the
+//! paper's evaluation, the objective used here is "prove the given target
+//! assertion(s)": the template coefficients at the target labels are pinned
+//! to the target's coefficients (the optimum of the paper's distance
+//! objective), and the remaining quadratic system — whose solutions are the
+//! inductive strengthenings — is handed to the QCQP back-end.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use polyinv_arith::Rational;
+use polyinv_constraints::{generate, GeneratedSystem, SynthesisOptions};
+use polyinv_lang::{InvariantMap, Label, Postcondition, Precondition, Program};
+use polyinv_poly::{Polynomial, UnknownId};
+use polyinv_qcqp::{AlmOptions, AlmSolver, LmOptions, LmSolver, SolveStatus};
+
+use crate::bridge::{round_assignment, system_to_problem_with_fixed};
+
+/// A target assertion `poly > 0` that the synthesized invariant must contain
+/// at `label`.
+#[derive(Debug, Clone)]
+pub struct TargetAssertion {
+    /// The label at which the assertion is required.
+    pub label: Label,
+    /// The polynomial `p` of the assertion `p > 0`.
+    pub poly: Polynomial,
+}
+
+impl TargetAssertion {
+    /// Creates a target assertion.
+    pub fn new(label: Label, poly: Polynomial) -> Self {
+        TargetAssertion { label, poly }
+    }
+}
+
+/// The numerical back-end used to solve the quadratic system.
+#[derive(Debug, Clone)]
+pub enum SolverBackend {
+    /// Projected Levenberg–Marquardt on the equality residuals (the
+    /// default; best suited to the Cholesky encoding).
+    Lm(LmOptions),
+    /// The augmented-Lagrangian first-order solver (scales to larger
+    /// systems at the cost of much slower convergence).
+    Alm(AlmOptions),
+}
+
+impl Default for SolverBackend {
+    fn default() -> Self {
+        SolverBackend::Lm(LmOptions {
+            max_iterations: 400,
+            restarts: 4,
+            tolerance: 1e-6,
+            ..LmOptions::default()
+        })
+    }
+}
+
+/// The overall result of a synthesis attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynthesisStatus {
+    /// A solution of the quadratic system was found within tolerance; the
+    /// instantiated templates form an inductive invariant containing the
+    /// targets.
+    Synthesized,
+    /// The solver did not reach feasibility; the returned invariant is the
+    /// best (infeasible) attempt and must not be trusted.
+    Failed,
+}
+
+/// The outcome of [`WeakSynthesis::synthesize`].
+#[derive(Debug, Clone)]
+pub struct SynthesisOutcome {
+    /// Whether the quadratic system was solved.
+    pub status: SynthesisStatus,
+    /// The synthesized invariant map (templates instantiated with the
+    /// solver's assignment).
+    pub invariant: InvariantMap,
+    /// The synthesized post-conditions (recursive programs only).
+    pub postconditions: Postcondition,
+    /// `|S|`: the number of quadratic equalities and inequalities generated
+    /// (the quantity reported in Tables 2 and 3 of the paper).
+    pub system_size: usize,
+    /// The number of unknowns of the quadratic system.
+    pub num_unknowns: usize,
+    /// The worst constraint violation of the returned assignment.
+    pub violation: f64,
+    /// Time spent generating the system (Steps 1–3).
+    pub generation_time: Duration,
+    /// Time spent solving (Step 4).
+    pub solve_time: Duration,
+}
+
+/// The weak-synthesis driver.
+#[derive(Debug, Clone, Default)]
+pub struct WeakSynthesis {
+    options: SynthesisOptions,
+    backend: SolverBackend,
+}
+
+impl WeakSynthesis {
+    /// Creates a driver with default reduction options (degree 2, one
+    /// conjunct, ϒ = 2, Cholesky encoding).
+    pub fn new() -> Self {
+        WeakSynthesis::default()
+    }
+
+    /// Creates a driver with the given reduction options.
+    pub fn with_options(options: SynthesisOptions) -> Self {
+        WeakSynthesis {
+            options,
+            backend: SolverBackend::default(),
+        }
+    }
+
+    /// Sets the solver back-end.
+    pub fn backend(mut self, backend: SolverBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The reduction options in use.
+    pub fn options(&self) -> &SynthesisOptions {
+        &self.options
+    }
+
+    /// Runs Steps 1–3 only, returning the generated system (used by the
+    /// benchmark harness to report `|V|` and `|S|` without solving).
+    pub fn generate_only(&self, program: &Program, pre: &Precondition) -> GeneratedSystem {
+        generate(program, pre, &self.options)
+    }
+
+    /// Synthesizes an inductive invariant containing the target assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target mentions a monomial outside the template basis at
+    /// its label (e.g. a cubic target with a quadratic template).
+    pub fn synthesize(
+        &self,
+        program: &Program,
+        pre: &Precondition,
+        targets: &[TargetAssertion],
+    ) -> SynthesisOutcome {
+        // Multiplier-degree ladder: cheaper constant multipliers often
+        // suffice and produce a much smaller quadratic system; the requested
+        // ϒ is attempted only when the cheap attempt fails. Soundness is
+        // unaffected (every accepted solution satisfies its own system).
+        let mut ladder = vec![0];
+        if self.options.upsilon > 0 {
+            ladder.push(self.options.upsilon);
+        }
+        let mut last: Option<SynthesisOutcome> = None;
+        for (step, &upsilon) in ladder.iter().enumerate() {
+            let options = SynthesisOptions {
+                upsilon,
+                ..self.options.clone()
+            };
+            let outcome = self.synthesize_with(program, pre, targets, &options);
+            let done = outcome.status == SynthesisStatus::Synthesized || step + 1 == ladder.len();
+            last = Some(outcome);
+            if done {
+                break;
+            }
+        }
+        last.expect("the ladder is never empty")
+    }
+
+    fn synthesize_with(
+        &self,
+        program: &Program,
+        pre: &Precondition,
+        targets: &[TargetAssertion],
+        options: &SynthesisOptions,
+    ) -> SynthesisOutcome {
+        let generation_start = Instant::now();
+        let generated = generate(program, pre, options);
+        let generation_time = generation_start.elapsed();
+
+        // Pin the template coefficients at the target labels.
+        let fixed = fix_targets(&generated, targets);
+        let (problem, mapping) = system_to_problem_with_fixed(&generated.system, &fixed);
+
+        let solve_start = Instant::now();
+        let warm = vec![0.05; problem.num_vars];
+        let outcome = match &self.backend {
+            SolverBackend::Lm(solver_options) => {
+                LmSolver::new(solver_options.clone()).solve(&problem, Some(&warm))
+            }
+            SolverBackend::Alm(solver_options) => {
+                AlmSolver::new(solver_options.clone()).solve(&problem, Some(&warm))
+            }
+        };
+        let solve_time = solve_start.elapsed();
+
+        // Reassemble the full assignment over all unknowns.
+        let mut assignment = vec![0.0; generated.system.num_unknowns()];
+        for (id, value) in &fixed {
+            assignment[id.index()] = value.to_f64();
+        }
+        for (problem_index, id) in mapping.iter().enumerate() {
+            assignment[id.index()] = outcome.assignment[problem_index];
+        }
+        let (invariant, postconditions) = instantiate_solution(program, &generated, &assignment);
+
+        SynthesisOutcome {
+            status: if outcome.status == SolveStatus::Feasible {
+                SynthesisStatus::Synthesized
+            } else {
+                SynthesisStatus::Failed
+            },
+            invariant,
+            postconditions,
+            system_size: generated.size(),
+            num_unknowns: generated.system.num_unknowns(),
+            violation: outcome.violation,
+            generation_time,
+            solve_time,
+        }
+    }
+}
+
+/// Builds the map of s-variables pinned by the target assertions: for every
+/// target, conjunct 0 (or the next free conjunct) of the template at the
+/// target label is forced to equal the target polynomial coefficient-wise.
+pub(crate) fn fix_targets(
+    generated: &GeneratedSystem,
+    targets: &[TargetAssertion],
+) -> HashMap<UnknownId, Rational> {
+    let mut fixed = HashMap::new();
+    let mut used_conjuncts: HashMap<Label, usize> = HashMap::new();
+    for target in targets {
+        let template = generated.templates.invariant(target.label);
+        let conjunct = *used_conjuncts.entry(target.label).or_insert(0);
+        used_conjuncts.insert(target.label, conjunct + 1);
+        assert!(
+            conjunct < template.conjuncts.len(),
+            "more targets at {} than template conjuncts",
+            target.label
+        );
+        for monomial in &template.basis {
+            let unknown = template
+                .coefficient_unknown(conjunct, monomial)
+                .expect("template coefficients are single unknowns");
+            fixed.insert(unknown, target.poly.coefficient(monomial));
+        }
+        // Every monomial of the target must be representable.
+        for (monomial, _) in target.poly.iter() {
+            assert!(
+                template.basis.contains(monomial),
+                "target at {} uses monomial {} outside the degree-{} template",
+                target.label,
+                monomial,
+                template.basis.iter().map(|m| m.degree()).max().unwrap_or(0)
+            );
+        }
+    }
+    fixed
+}
+
+/// Instantiates the templates of a generated system under a numeric
+/// assignment of the unknowns, returning the invariant map and
+/// post-conditions. Conjuncts that instantiate to the zero polynomial are
+/// dropped.
+pub(crate) fn instantiate_solution(
+    program: &Program,
+    generated: &GeneratedSystem,
+    assignment: &[f64],
+) -> (InvariantMap, Postcondition) {
+    let rounded = round_assignment(assignment);
+    let lookup = |u: UnknownId| rounded[u.index()];
+    let mut invariant = InvariantMap::new();
+    for function in program.functions() {
+        for &label in function.labels() {
+            let template = generated.templates.invariant(label);
+            for poly in template.instantiate(lookup) {
+                if !poly.is_zero() {
+                    invariant.add(label, poly);
+                }
+            }
+        }
+    }
+    let mut postconditions = Postcondition::new();
+    for (name, template) in &generated.templates.postconditions {
+        for poly in template.instantiate(lookup) {
+            if !poly.is_zero() {
+                postconditions.add(name, poly);
+            }
+        }
+    }
+    (invariant, postconditions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyinv_constraints::SosEncoding;
+    use polyinv_lang::program::RUNNING_EXAMPLE_SOURCE;
+    use polyinv_lang::{parse_assertion, parse_program};
+
+    #[test]
+    fn generate_only_reports_paper_scale_metrics() {
+        let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        let pre = Precondition::from_program(&program);
+        let synth = WeakSynthesis::new();
+        let generated = synth.generate_only(&program, &pre);
+        // |V^sum| = 5, matching the running example.
+        assert_eq!(program.main().vars().len(), 5);
+        assert!(generated.size() > 500);
+    }
+
+    #[test]
+    fn fixing_targets_pins_whole_template_rows() {
+        let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        let pre = Precondition::from_program(&program);
+        let generated = generate(&program, &pre, &SynthesisOptions::default());
+        let exit = program.main().exit_label();
+        let (poly, _) =
+            parse_assertion(&program, "sum", "0.5*n_in*n_in + 0.5*n_in + 1 - ret > 0").unwrap();
+        let fixed = fix_targets(&generated, &[TargetAssertion::new(exit, poly.clone())]);
+        // All 21 coefficients of the exit template are pinned.
+        assert_eq!(fixed.len(), 21);
+        // The pinned values reproduce the target polynomial.
+        let template = generated.templates.invariant(exit);
+        let instantiated = template.instantiate(|u| fixed.get(&u).copied().unwrap_or_default());
+        assert_eq!(instantiated[0], poly);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the degree")]
+    fn cubic_target_with_quadratic_template_is_rejected() {
+        let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        let pre = Precondition::from_program(&program);
+        let generated = generate(&program, &pre, &SynthesisOptions::default());
+        let exit = program.main().exit_label();
+        let (poly, _) = parse_assertion(&program, "sum", "n*n*n + 1 > 0").unwrap();
+        fix_targets(&generated, &[TargetAssertion::new(exit, poly)]);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow without optimizations; run with `cargo test --release`")]
+    fn synthesis_on_a_tiny_loop_finds_a_feasible_invariant() {
+        // A minimal program whose target is easy to strengthen: x only
+        // increases, prove x + 1 > 0 at the end.
+        let source = r#"
+            inc(x) {
+                @pre(x >= 0);
+                while x <= 10 do
+                    x := x + 1
+                od;
+                return x
+            }
+        "#;
+        let program = parse_program(source).unwrap();
+        let pre = Precondition::from_program(&program);
+        let exit = program.main().exit_label();
+        let (target, _) = parse_assertion(&program, "inc", "x + 1 > 0").unwrap();
+        let options = SynthesisOptions {
+            degree: 1,
+            size: 1,
+            upsilon: 2,
+            encoding: SosEncoding::Cholesky,
+            ..SynthesisOptions::default()
+        };
+        let synth = WeakSynthesis::with_options(options);
+        let outcome = synth.synthesize(&program, &pre, &[TargetAssertion::new(exit, target)]);
+        assert_eq!(outcome.status, SynthesisStatus::Synthesized, "violation {}", outcome.violation);
+        // The synthesized invariant contains the target at the exit label.
+        assert!(!outcome.invariant.get(exit).is_empty());
+    }
+}

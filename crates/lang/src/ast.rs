@@ -1,0 +1,155 @@
+//! Raw abstract syntax tree produced by the parser.
+//!
+//! The AST mirrors the grammar of Figure 5 of the paper, with three
+//! pragmatic extensions used by the benchmark suite:
+//!
+//! * `@pre(φ)` annotation statements attaching a pre-condition to the label
+//!   of the *following* statement,
+//! * non-deterministic ("havoc") assignments `x := *`,
+//! * line comments starting with `//` (handled by the lexer).
+//!
+//! Names are plain strings at this stage; the resolver in
+//! [`crate::program`] lowers them to variable ids and polynomials.
+
+use polyinv_arith::Rational;
+
+/// A parsed program: a non-empty list of function definitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstProgram {
+    /// The function definitions in source order.
+    pub functions: Vec<AstFunction>,
+}
+
+/// A parsed function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstFunction {
+    /// The function name.
+    pub name: String,
+    /// The parameter names (pairwise distinct).
+    pub params: Vec<String>,
+    /// The function body.
+    pub body: Vec<AstStmt>,
+    /// Source line of the definition (for error messages).
+    pub line: usize,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstStmt {
+    /// The statement payload.
+    pub kind: AstStmtKind,
+    /// Source line of the statement.
+    pub line: usize,
+}
+
+/// The different statement forms of the grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstStmtKind {
+    /// `skip`
+    Skip,
+    /// `v := e`
+    Assign { var: String, expr: AstExpr },
+    /// `v := *` — non-deterministic (havoc) assignment. Extension of the
+    /// paper's grammar used to model operations such as `⌊·⌋` in the
+    /// merge-sort benchmark.
+    Havoc { var: String },
+    /// `if b then … else … fi`
+    If {
+        cond: AstBExpr,
+        then_branch: Vec<AstStmt>,
+        else_branch: Vec<AstStmt>,
+    },
+    /// `if * then … else … fi`
+    NondetIf {
+        then_branch: Vec<AstStmt>,
+        else_branch: Vec<AstStmt>,
+    },
+    /// `while b do … od`
+    While { cond: AstBExpr, body: Vec<AstStmt> },
+    /// `v := f(v₁, …, vₙ)`
+    Call {
+        dest: String,
+        callee: String,
+        args: Vec<String>,
+    },
+    /// `return e`
+    Return { expr: AstExpr },
+    /// `@pre(b)` — attaches the (conjunctive) condition to the label of the
+    /// next statement.
+    PreAnnotation { cond: AstBExpr },
+}
+
+/// A polynomial arithmetic expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// A variable reference.
+    Var(String),
+    /// A rational constant.
+    Const(Rational),
+    /// Addition.
+    Add(Box<AstExpr>, Box<AstExpr>),
+    /// Subtraction.
+    Sub(Box<AstExpr>, Box<AstExpr>),
+    /// Multiplication.
+    Mul(Box<AstExpr>, Box<AstExpr>),
+    /// Unary negation.
+    Neg(Box<AstExpr>),
+}
+
+/// The comparison operators of the grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+/// A propositional polynomial predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstBExpr {
+    /// `e₁ ▷◁ e₂`
+    Cmp(AstExpr, CmpOp, AstExpr),
+    /// Negation.
+    Not(Box<AstBExpr>),
+    /// Conjunction.
+    And(Box<AstBExpr>, Box<AstBExpr>),
+    /// Disjunction.
+    Or(Box<AstBExpr>, Box<AstBExpr>),
+}
+
+impl AstExpr {
+    /// Convenience constructor for a variable expression.
+    pub fn var(name: &str) -> Self {
+        AstExpr::Var(name.to_string())
+    }
+
+    /// Convenience constructor for an integer constant.
+    pub fn int(value: i64) -> Self {
+        AstExpr::Const(Rational::from_int(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expression_constructors() {
+        let e = AstExpr::Add(
+            Box::new(AstExpr::var("x")),
+            Box::new(AstExpr::int(3)),
+        );
+        match e {
+            AstExpr::Add(lhs, rhs) => {
+                assert_eq!(*lhs, AstExpr::Var("x".to_string()));
+                assert_eq!(*rhs, AstExpr::Const(Rational::from_int(3)));
+            }
+            _ => panic!("unexpected shape"),
+        }
+    }
+}

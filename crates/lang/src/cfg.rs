@@ -1,0 +1,317 @@
+//! Control-flow graphs (Section 2.2 of the paper).
+//!
+//! A CFG transition `(ℓ, α, ℓ′)` carries one of:
+//!
+//! * an *update function* `α : R^f → R^f` given as a list of simultaneous
+//!   polynomial assignments (labels in `L_a`);
+//! * a propositional polynomial predicate (labels in `L_b`);
+//! * `⊥`, i.e. a function call (labels in `L_c`);
+//! * `⋆`, i.e. a non-deterministic choice (labels in `L_d`), including the
+//!   havoc extension `x := *`.
+
+use std::collections::HashMap;
+
+use polyinv_poly::{Polynomial, VarId};
+
+use crate::guard::BoolFormula;
+use crate::program::{Function, LStmt, Label, Program, StmtKind};
+
+/// The annotation of a CFG transition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransitionKind {
+    /// An update function given by simultaneous assignments
+    /// `var ← polynomial` (variables not listed are unchanged). The empty
+    /// list is the identity update (`skip`).
+    Update(Vec<(VarId, Polynomial)>),
+    /// A guard: the transition may be taken only in states satisfying the
+    /// predicate.
+    Guard(BoolFormula),
+    /// A non-deterministic branch (`⋆`).
+    Nondet,
+    /// A non-deterministic assignment to a single variable (havoc).
+    Havoc(VarId),
+    /// A function call `dest := callee(args)`; the transition target is the
+    /// label following the call (the `⊥` transitions of the paper).
+    Call {
+        /// Destination variable of the call.
+        dest: VarId,
+        /// Name of the called function.
+        callee: String,
+        /// Argument variables.
+        args: Vec<VarId>,
+    },
+}
+
+/// A CFG transition `(from, kind, to)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Source label.
+    pub from: Label,
+    /// Target label.
+    pub to: Label,
+    /// The annotation.
+    pub kind: TransitionKind,
+}
+
+/// The control-flow graph of a resolved program.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    transitions: Vec<Transition>,
+    outgoing: HashMap<Label, Vec<usize>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of a resolved program.
+    pub fn build(program: &Program) -> Cfg {
+        let mut builder = CfgBuilder {
+            transitions: Vec::new(),
+        };
+        for function in program.functions() {
+            builder.function(function);
+        }
+        let mut outgoing: HashMap<Label, Vec<usize>> = HashMap::new();
+        for (index, transition) in builder.transitions.iter().enumerate() {
+            outgoing.entry(transition.from).or_default().push(index);
+        }
+        Cfg {
+            transitions: builder.transitions,
+            outgoing,
+        }
+    }
+
+    /// All transitions of the CFG.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// The transitions leaving a label.
+    pub fn outgoing(&self, label: Label) -> Vec<&Transition> {
+        self.outgoing
+            .get(&label)
+            .map(|indices| indices.iter().map(|&i| &self.transitions[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// The number of transitions.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Returns `true` if the CFG has no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+}
+
+struct CfgBuilder {
+    transitions: Vec<Transition>,
+}
+
+impl CfgBuilder {
+    fn function(&mut self, function: &Function) {
+        let exit = function.exit_label();
+        self.stmt_list(function, function.body(), exit);
+    }
+
+    /// Emits the transitions of a statement list whose fall-through target
+    /// is `after`.
+    fn stmt_list(&mut self, function: &Function, stmts: &[LStmt], after: Label) {
+        for (index, stmt) in stmts.iter().enumerate() {
+            let next = stmts
+                .get(index + 1)
+                .map(|s| s.label)
+                .unwrap_or(after);
+            self.stmt(function, stmt, next);
+        }
+    }
+
+    fn stmt(&mut self, function: &Function, stmt: &LStmt, next: Label) {
+        let from = stmt.label;
+        match &stmt.kind {
+            StmtKind::Skip => self.transitions.push(Transition {
+                from,
+                to: next,
+                kind: TransitionKind::Update(Vec::new()),
+            }),
+            StmtKind::Assign { var, expr } => self.transitions.push(Transition {
+                from,
+                to: next,
+                kind: TransitionKind::Update(vec![(*var, expr.clone())]),
+            }),
+            StmtKind::Havoc { var } => self.transitions.push(Transition {
+                from,
+                to: next,
+                kind: TransitionKind::Havoc(*var),
+            }),
+            StmtKind::Return { expr } => self.transitions.push(Transition {
+                from,
+                to: function.exit_label(),
+                kind: TransitionKind::Update(vec![(function.ret_var(), expr.clone())]),
+            }),
+            StmtKind::Call { dest, callee, args } => self.transitions.push(Transition {
+                from,
+                to: next,
+                kind: TransitionKind::Call {
+                    dest: *dest,
+                    callee: callee.clone(),
+                    args: args.clone(),
+                },
+            }),
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.transitions.push(Transition {
+                    from,
+                    to: then_branch[0].label,
+                    kind: TransitionKind::Guard(cond.clone()),
+                });
+                self.transitions.push(Transition {
+                    from,
+                    to: else_branch[0].label,
+                    kind: TransitionKind::Guard(cond.negate()),
+                });
+                self.stmt_list(function, then_branch, next);
+                self.stmt_list(function, else_branch, next);
+            }
+            StmtKind::NondetIf {
+                then_branch,
+                else_branch,
+            } => {
+                self.transitions.push(Transition {
+                    from,
+                    to: then_branch[0].label,
+                    kind: TransitionKind::Nondet,
+                });
+                self.transitions.push(Transition {
+                    from,
+                    to: else_branch[0].label,
+                    kind: TransitionKind::Nondet,
+                });
+                self.stmt_list(function, then_branch, next);
+                self.stmt_list(function, else_branch, next);
+            }
+            StmtKind::While { cond, body } => {
+                self.transitions.push(Transition {
+                    from,
+                    to: body[0].label,
+                    kind: TransitionKind::Guard(cond.clone()),
+                });
+                self.transitions.push(Transition {
+                    from,
+                    to: next,
+                    kind: TransitionKind::Guard(cond.negate()),
+                });
+                // The loop body falls through back to the loop head.
+                self.stmt_list(function, body, from);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+    use crate::program::{RECURSIVE_EXAMPLE_SOURCE, RUNNING_EXAMPLE_SOURCE};
+
+    #[test]
+    fn running_example_cfg_matches_figure_3() {
+        let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        let cfg = Cfg::build(&program);
+        // Figure 3: transitions 1→2, 2→3, 3→4 (guard), 3→8 (negated guard),
+        // 4→5, 4→6 (both ⋆), 5→7, 6→7, 7→3, 8→9.  Total 10.
+        assert_eq!(cfg.len(), 10);
+        let func = program.main();
+        let while_label = func
+            .labels()
+            .iter()
+            .copied()
+            .find(|&l| {
+                cfg.outgoing(l)
+                    .iter()
+                    .any(|t| matches!(t.kind, TransitionKind::Guard(_)))
+            })
+            .expect("loop head exists");
+        let outgoing = cfg.outgoing(while_label);
+        assert_eq!(outgoing.len(), 2);
+        // Exactly one of the two guard transitions leaves the loop.
+        let to_loop_exit = outgoing
+            .iter()
+            .filter(|t| t.to > while_label)
+            .count();
+        assert!(to_loop_exit >= 1);
+    }
+
+    #[test]
+    fn return_transitions_target_the_exit_label() {
+        let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        let cfg = Cfg::build(&program);
+        let func = program.main();
+        let returns: Vec<&Transition> = cfg
+            .transitions()
+            .iter()
+            .filter(|t| t.to == func.exit_label())
+            .collect();
+        assert_eq!(returns.len(), 1);
+        match &returns[0].kind {
+            TransitionKind::Update(updates) => {
+                assert_eq!(updates.len(), 1);
+                assert_eq!(updates[0].0, func.ret_var());
+            }
+            other => panic!("expected update, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recursive_example_cfg_has_call_transition() {
+        let program = parse_program(RECURSIVE_EXAMPLE_SOURCE).unwrap();
+        let cfg = Cfg::build(&program);
+        let calls: Vec<&Transition> = cfg
+            .transitions()
+            .iter()
+            .filter(|t| matches!(t.kind, TransitionKind::Call { .. }))
+            .collect();
+        assert_eq!(calls.len(), 1);
+        match &calls[0].kind {
+            TransitionKind::Call { callee, args, .. } => {
+                assert_eq!(callee, "rsum");
+                assert_eq!(args.len(), 1);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn every_non_end_label_has_an_outgoing_transition() {
+        for source in [RUNNING_EXAMPLE_SOURCE, RECURSIVE_EXAMPLE_SOURCE] {
+            let program = parse_program(source).unwrap();
+            let cfg = Cfg::build(&program);
+            for function in program.functions() {
+                for &label in function.labels() {
+                    if label == function.exit_label() {
+                        assert!(cfg.outgoing(label).is_empty());
+                    } else {
+                        assert!(
+                            !cfg.outgoing(label).is_empty(),
+                            "label {label} has no outgoing transition"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn while_body_loops_back_to_the_head() {
+        let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        let cfg = Cfg::build(&program);
+        // There must be a back edge: a transition whose target label is
+        // strictly smaller than its source label.
+        assert!(cfg
+            .transitions()
+            .iter()
+            .any(|t| t.to.index() < t.from.index()));
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type shared by the lexer, parser and resolver.
+
+use std::fmt;
+
+/// An error produced while lexing, parsing or resolving a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    line: Option<usize>,
+}
+
+impl Error {
+    /// Creates an error without position information.
+    pub fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+            line: None,
+        }
+    }
+
+    /// Creates an error attached to a 1-based source line.
+    pub fn at_line(message: impl Into<String>, line: usize) -> Self {
+        Error {
+            message: message.into(),
+            line: Some(line),
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The 1-based source line, if known.
+    pub fn line(&self) -> Option<usize> {
+        self.line
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "line {}: {}", line, self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

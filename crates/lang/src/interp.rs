@@ -1,0 +1,402 @@
+//! A concrete interpreter of the stack semantics of Section 2.2.
+//!
+//! The interpreter executes a resolved program under a pluggable
+//! non-determinism oracle and records every visited `(label, valuation)`
+//! pair. It is used throughout the workspace as a *falsification* tool:
+//! a candidate invariant that is violated by some recorded reachable state
+//! is certainly not an invariant, which provides an end-to-end sanity check
+//! that is independent of the constraint-solving pipeline.
+
+use std::collections::HashMap;
+
+use polyinv_arith::Rational;
+use polyinv_poly::VarId;
+
+use crate::program::{Function, LStmt, Label, Program, StmtKind};
+
+/// Resolves the non-deterministic choices of a run.
+pub trait NondetOracle {
+    /// Chooses a branch of an `if ⋆` statement (`true` = then-branch).
+    fn choose(&mut self) -> bool;
+
+    /// Chooses the value of a havoc assignment `x := *`.
+    fn havoc(&mut self) -> Rational;
+}
+
+/// A deterministic pseudo-random oracle based on a linear congruential
+/// generator, so the interpreter needs no external dependencies and runs are
+/// reproducible from the seed.
+#[derive(Debug, Clone)]
+pub struct SeededOracle {
+    state: u64,
+    /// Havoc values are drawn uniformly from `[-range, range]`.
+    range: i64,
+}
+
+impl SeededOracle {
+    /// Creates an oracle with the given seed, drawing havoc values from
+    /// `[-range, range]`.
+    pub fn new(seed: u64, range: i64) -> Self {
+        SeededOracle {
+            state: seed.wrapping_mul(6364136223846793005).wrapping_add(1),
+            range: range.max(1),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // Standard LCG step (Numerical Recipes constants).
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.state
+    }
+}
+
+impl NondetOracle for SeededOracle {
+    fn choose(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    fn havoc(&mut self) -> Rational {
+        let span = (2 * self.range + 1) as u64;
+        let value = (self.next_u64() % span) as i64 - self.range;
+        Rational::from_int(value)
+    }
+}
+
+/// A single recorded program state: the stack-top label and the valuation of
+/// the enclosing function's variables.
+#[derive(Debug, Clone)]
+pub struct StateRecord {
+    /// The label about to be executed (or the endpoint label).
+    pub label: Label,
+    /// The valuation of the function's variables.
+    pub valuation: HashMap<VarId, Rational>,
+}
+
+/// The result of executing a program.
+#[derive(Debug, Clone)]
+pub struct ExecutionTrace {
+    /// Every visited state, in execution order, across all stack frames.
+    pub states: Vec<StateRecord>,
+    /// The value returned by `fmain`, if the run terminated within the step
+    /// limit.
+    pub return_value: Option<Rational>,
+    /// `false` if the step limit was reached before termination.
+    pub completed: bool,
+}
+
+/// The interpreter configuration.
+#[derive(Debug, Clone)]
+pub struct Interpreter<'p> {
+    program: &'p Program,
+    step_limit: usize,
+}
+
+enum Flow {
+    Normal,
+    Returned,
+    OutOfFuel,
+}
+
+impl<'p> Interpreter<'p> {
+    /// Creates an interpreter for `program` with the given step limit.
+    pub fn new(program: &'p Program, step_limit: usize) -> Self {
+        Interpreter {
+            program,
+            step_limit,
+        }
+    }
+
+    /// Runs `fmain` on the given argument values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs does not match the arity of `fmain`.
+    pub fn run(&self, inputs: &[Rational], oracle: &mut dyn NondetOracle) -> ExecutionTrace {
+        let main = self.program.main();
+        assert_eq!(
+            inputs.len(),
+            main.params().len(),
+            "wrong number of arguments for `{}`",
+            main.name()
+        );
+        let mut trace = ExecutionTrace {
+            states: Vec::new(),
+            return_value: None,
+            completed: true,
+        };
+        let mut fuel = self.step_limit;
+        let result = self.call(main, inputs, oracle, &mut trace, &mut fuel, 0);
+        match result {
+            Some(value) => trace.return_value = Some(value),
+            None => trace.completed = false,
+        }
+        trace
+    }
+
+    /// Executes a function call and returns the return value (or `None` if
+    /// the step limit or recursion-depth limit was exhausted).
+    fn call(
+        &self,
+        function: &Function,
+        args: &[Rational],
+        oracle: &mut dyn NondetOracle,
+        trace: &mut ExecutionTrace,
+        fuel: &mut usize,
+        depth: usize,
+    ) -> Option<Rational> {
+        if depth > 256 {
+            return None;
+        }
+        let mut valuation: HashMap<VarId, Rational> = HashMap::new();
+        for &var in function.vars() {
+            valuation.insert(var, Rational::zero());
+        }
+        for (&param, &value) in function.params().iter().zip(args) {
+            valuation.insert(param, value);
+        }
+        for (&shadow, &value) in function.shadow_params().iter().zip(args) {
+            valuation.insert(shadow, value);
+        }
+        let flow = self.exec_list(function, function.body(), &mut valuation, oracle, trace, fuel, depth);
+        match flow {
+            Flow::OutOfFuel => None,
+            _ => {
+                // Record the endpoint state.
+                trace.states.push(StateRecord {
+                    label: function.exit_label(),
+                    valuation: valuation.clone(),
+                });
+                Some(valuation[&function.ret_var()])
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_list(
+        &self,
+        function: &Function,
+        stmts: &[LStmt],
+        valuation: &mut HashMap<VarId, Rational>,
+        oracle: &mut dyn NondetOracle,
+        trace: &mut ExecutionTrace,
+        fuel: &mut usize,
+        depth: usize,
+    ) -> Flow {
+        for stmt in stmts {
+            match self.exec_stmt(function, stmt, valuation, oracle, trace, fuel, depth) {
+                Flow::Normal => {}
+                other => return other,
+            }
+        }
+        Flow::Normal
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_stmt(
+        &self,
+        function: &Function,
+        stmt: &LStmt,
+        valuation: &mut HashMap<VarId, Rational>,
+        oracle: &mut dyn NondetOracle,
+        trace: &mut ExecutionTrace,
+        fuel: &mut usize,
+        depth: usize,
+    ) -> Flow {
+        if *fuel == 0 {
+            return Flow::OutOfFuel;
+        }
+        *fuel -= 1;
+        trace.states.push(StateRecord {
+            label: stmt.label,
+            valuation: valuation.clone(),
+        });
+        let lookup = |val: &HashMap<VarId, Rational>, v: VarId| -> Rational {
+            val.get(&v).copied().unwrap_or_default()
+        };
+        match &stmt.kind {
+            StmtKind::Skip => Flow::Normal,
+            StmtKind::Assign { var, expr } => {
+                let value = expr.eval(|v| lookup(valuation, v));
+                valuation.insert(*var, value);
+                Flow::Normal
+            }
+            StmtKind::Havoc { var } => {
+                valuation.insert(*var, oracle.havoc());
+                Flow::Normal
+            }
+            StmtKind::Return { expr } => {
+                let value = expr.eval(|v| lookup(valuation, v));
+                valuation.insert(function.ret_var(), value);
+                Flow::Returned
+            }
+            StmtKind::Call { dest, callee, args } => {
+                let callee_fn = self
+                    .program
+                    .function(callee)
+                    .expect("resolver guarantees callee exists");
+                let arg_values: Vec<Rational> =
+                    args.iter().map(|&a| lookup(valuation, a)).collect();
+                match self.call(callee_fn, &arg_values, oracle, trace, fuel, depth + 1) {
+                    Some(value) => {
+                        valuation.insert(*dest, value);
+                        Flow::Normal
+                    }
+                    None => Flow::OutOfFuel,
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let taken = cond.eval(&mut |v| lookup(valuation, v));
+                let branch = if taken { then_branch } else { else_branch };
+                self.exec_list(function, branch, valuation, oracle, trace, fuel, depth)
+            }
+            StmtKind::NondetIf {
+                then_branch,
+                else_branch,
+            } => {
+                let branch = if oracle.choose() {
+                    then_branch
+                } else {
+                    else_branch
+                };
+                self.exec_list(function, branch, valuation, oracle, trace, fuel, depth)
+            }
+            StmtKind::While { cond, body } => {
+                loop {
+                    if *fuel == 0 {
+                        return Flow::OutOfFuel;
+                    }
+                    let taken = cond.eval(&mut |v| lookup(valuation, v));
+                    if !taken {
+                        return Flow::Normal;
+                    }
+                    match self.exec_list(function, body, valuation, oracle, trace, fuel, depth) {
+                        Flow::Normal => {}
+                        other => return other,
+                    }
+                    // Re-record the loop head on every iteration, mirroring
+                    // the run semantics where the label is visited again.
+                    *fuel = fuel.saturating_sub(1);
+                    trace.states.push(StateRecord {
+                        label: stmt.label,
+                        valuation: valuation.clone(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+    use crate::program::{RECURSIVE_EXAMPLE_SOURCE, RUNNING_EXAMPLE_SOURCE};
+
+    struct AlwaysTake(bool);
+    impl NondetOracle for AlwaysTake {
+        fn choose(&mut self) -> bool {
+            self.0
+        }
+        fn havoc(&mut self) -> Rational {
+            Rational::zero()
+        }
+    }
+
+    #[test]
+    fn summation_returns_full_sum_when_always_adding() {
+        let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        let interp = Interpreter::new(&program, 10_000);
+        let trace = interp.run(&[Rational::from_int(5)], &mut AlwaysTake(true));
+        assert!(trace.completed);
+        assert_eq!(trace.return_value, Some(Rational::from_int(15)));
+    }
+
+    #[test]
+    fn summation_returns_zero_when_never_adding() {
+        let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        let interp = Interpreter::new(&program, 10_000);
+        let trace = interp.run(&[Rational::from_int(5)], &mut AlwaysTake(false));
+        assert_eq!(trace.return_value, Some(Rational::zero()));
+    }
+
+    #[test]
+    fn summation_respects_paper_bound_under_random_choices() {
+        let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        let interp = Interpreter::new(&program, 10_000);
+        for seed in 0..50 {
+            let mut oracle = SeededOracle::new(seed, 3);
+            let n = (seed % 7) as i64;
+            let trace = interp.run(&[Rational::from_int(n)], &mut oracle);
+            let ret = trace.return_value.unwrap();
+            // The paper's target invariant: ret < 0.5 n² + 0.5 n + 1.
+            let bound = Rational::new(1, 2) * Rational::from_int(n * n)
+                + Rational::new(1, 2) * Rational::from_int(n)
+                + Rational::one();
+            assert!(ret < bound, "seed {seed}: {ret} >= {bound}");
+        }
+    }
+
+    #[test]
+    fn recursive_summation_matches_iterative_behaviour() {
+        let program = parse_program(RECURSIVE_EXAMPLE_SOURCE).unwrap();
+        let interp = Interpreter::new(&program, 100_000);
+        let trace = interp.run(&[Rational::from_int(6)], &mut AlwaysTake(true));
+        assert_eq!(trace.return_value, Some(Rational::from_int(21)));
+        // Recursion produces states in the callee as well; entry label of the
+        // callee frames must appear multiple times.
+        let entry = program.main().entry_label();
+        let entry_visits = trace
+            .states
+            .iter()
+            .filter(|s| s.label == entry)
+            .count();
+        assert!(entry_visits >= 6);
+    }
+
+    #[test]
+    fn step_limit_stops_divergent_programs() {
+        let source = r#"
+            loop(x) {
+                while x >= 0 do
+                    x := x + 1
+                od;
+                return x
+            }
+        "#;
+        let program = parse_program(source).unwrap();
+        let interp = Interpreter::new(&program, 500);
+        let trace = interp.run(&[Rational::zero()], &mut AlwaysTake(true));
+        assert!(!trace.completed);
+        assert!(trace.return_value.is_none());
+        assert!(!trace.states.is_empty());
+    }
+
+    #[test]
+    fn traces_record_states_at_every_label_kind() {
+        let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        let interp = Interpreter::new(&program, 10_000);
+        let mut oracle = SeededOracle::new(7, 2);
+        let trace = interp.run(&[Rational::from_int(4)], &mut oracle);
+        let visited: std::collections::HashSet<Label> =
+            trace.states.iter().map(|s| s.label).collect();
+        // All 9 labels of the running example are visited for n = 4.
+        assert_eq!(visited.len(), 9);
+    }
+
+    #[test]
+    fn seeded_oracle_is_reproducible() {
+        let mut a = SeededOracle::new(42, 5);
+        let mut b = SeededOracle::new(42, 5);
+        for _ in 0..100 {
+            assert_eq!(a.choose(), b.choose());
+            assert_eq!(a.havoc(), b.havoc());
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Hand-written lexer for the mini-language.
+
+use polyinv_arith::Rational;
+
+use crate::error::Error;
+
+/// A lexical token together with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// The token kinds of the mini-language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword candidate.
+    Ident(String),
+    /// A numeric literal (integer or decimal), stored exactly.
+    Number(Rational),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `:=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `!`
+    Bang,
+    /// `&&` or the keyword `and`
+    And,
+    /// `||` or the keyword `or`
+    Or,
+    /// `@pre`
+    AtPre,
+}
+
+impl TokenKind {
+    /// A short human-readable description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("identifier `{name}`"),
+            TokenKind::Number(value) => format!("number `{value}`"),
+            TokenKind::LParen => "`(`".to_string(),
+            TokenKind::RParen => "`)`".to_string(),
+            TokenKind::LBrace => "`{`".to_string(),
+            TokenKind::RBrace => "`}`".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+            TokenKind::Semicolon => "`;`".to_string(),
+            TokenKind::Assign => "`:=`".to_string(),
+            TokenKind::Plus => "`+`".to_string(),
+            TokenKind::Minus => "`-`".to_string(),
+            TokenKind::Star => "`*`".to_string(),
+            TokenKind::Lt => "`<`".to_string(),
+            TokenKind::Le => "`<=`".to_string(),
+            TokenKind::Gt => "`>`".to_string(),
+            TokenKind::Ge => "`>=`".to_string(),
+            TokenKind::Bang => "`!`".to_string(),
+            TokenKind::And => "`&&`".to_string(),
+            TokenKind::Or => "`||`".to_string(),
+            TokenKind::AtPre => "`@pre`".to_string(),
+        }
+    }
+}
+
+/// Tokenizes a source string.
+///
+/// Line comments start with `//` and run to the end of the line. Identifiers
+/// may contain letters, digits, `_` and a trailing sequence of `'`
+/// characters (so `n'` is a valid variable name).
+///
+/// # Errors
+///
+/// Returns an [`Error`] on unexpected characters or malformed numbers.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, Error> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut pos = 0;
+    let mut line = 1;
+    while pos < chars.len() {
+        let c = chars[pos];
+        match c {
+            '\n' => {
+                line += 1;
+                pos += 1;
+            }
+            ' ' | '\t' | '\r' => pos += 1,
+            '/' if pos + 1 < chars.len() && chars[pos + 1] == '/' => {
+                while pos < chars.len() && chars[pos] != '\n' {
+                    pos += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, line });
+                pos += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, line });
+                pos += 1;
+            }
+            '{' => {
+                tokens.push(Token { kind: TokenKind::LBrace, line });
+                pos += 1;
+            }
+            '}' => {
+                tokens.push(Token { kind: TokenKind::RBrace, line });
+                pos += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, line });
+                pos += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, line });
+                pos += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, line });
+                pos += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, line });
+                pos += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, line });
+                pos += 1;
+            }
+            '!' => {
+                tokens.push(Token { kind: TokenKind::Bang, line });
+                pos += 1;
+            }
+            ':' => {
+                if pos + 1 < chars.len() && chars[pos + 1] == '=' {
+                    tokens.push(Token { kind: TokenKind::Assign, line });
+                    pos += 2;
+                } else {
+                    return Err(Error::at_line("expected `:=`", line));
+                }
+            }
+            '<' => {
+                if pos + 1 < chars.len() && chars[pos + 1] == '=' {
+                    tokens.push(Token { kind: TokenKind::Le, line });
+                    pos += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, line });
+                    pos += 1;
+                }
+            }
+            '>' => {
+                if pos + 1 < chars.len() && chars[pos + 1] == '=' {
+                    tokens.push(Token { kind: TokenKind::Ge, line });
+                    pos += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, line });
+                    pos += 1;
+                }
+            }
+            '&' => {
+                if pos + 1 < chars.len() && chars[pos + 1] == '&' {
+                    tokens.push(Token { kind: TokenKind::And, line });
+                    pos += 2;
+                } else {
+                    return Err(Error::at_line("expected `&&`", line));
+                }
+            }
+            '|' => {
+                if pos + 1 < chars.len() && chars[pos + 1] == '|' {
+                    tokens.push(Token { kind: TokenKind::Or, line });
+                    pos += 2;
+                } else {
+                    return Err(Error::at_line("expected `||`", line));
+                }
+            }
+            '@' => {
+                // Only `@pre` is recognized.
+                let start = pos + 1;
+                let mut end = start;
+                while end < chars.len() && chars[end].is_ascii_alphanumeric() {
+                    end += 1;
+                }
+                let word: String = chars[start..end].iter().collect();
+                if word == "pre" {
+                    tokens.push(Token { kind: TokenKind::AtPre, line });
+                    pos = end;
+                } else {
+                    return Err(Error::at_line(
+                        format!("unknown annotation `@{word}` (only `@pre` is supported)"),
+                        line,
+                    ));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = pos;
+                let mut end = pos;
+                let mut seen_dot = false;
+                while end < chars.len()
+                    && (chars[end].is_ascii_digit() || (chars[end] == '.' && !seen_dot))
+                {
+                    if chars[end] == '.' {
+                        seen_dot = true;
+                    }
+                    end += 1;
+                }
+                let text: String = chars[start..end].iter().collect();
+                let value: Rational = text
+                    .parse()
+                    .map_err(|_| Error::at_line(format!("invalid number `{text}`"), line))?;
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    line,
+                });
+                pos = end;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = pos;
+                let mut end = pos;
+                while end < chars.len()
+                    && (chars[end].is_ascii_alphanumeric()
+                        || chars[end] == '_'
+                        || chars[end] == '\'')
+                {
+                    end += 1;
+                }
+                let word: String = chars[start..end].iter().collect();
+                let kind = match word.as_str() {
+                    "and" => TokenKind::And,
+                    "or" => TokenKind::Or,
+                    "not" => TokenKind::Bang,
+                    _ => TokenKind::Ident(word),
+                };
+                tokens.push(Token { kind, line });
+                pos = end;
+            }
+            other => {
+                return Err(Error::at_line(
+                    format!("unexpected character `{other}`"),
+                    line,
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        tokenize(source).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_assignment() {
+        assert_eq!(
+            kinds("x := x + 1;"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("x".into()),
+                TokenKind::Plus,
+                TokenKind::Number(Rational::from_int(1)),
+                TokenKind::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_decimals_and_comparisons() {
+        assert_eq!(
+            kinds("0.5 * n <= y >= 2"),
+            vec![
+                TokenKind::Number(Rational::new(1, 2)),
+                TokenKind::Star,
+                TokenKind::Ident("n".into()),
+                TokenKind::Le,
+                TokenKind::Ident("y".into()),
+                TokenKind::Ge,
+                TokenKind::Number(Rational::from_int(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let tokens = tokenize("x := 1; // set x\ny := 2").unwrap();
+        assert_eq!(tokens.last().unwrap().line, 2);
+        assert_eq!(tokens.len(), 7);
+    }
+
+    #[test]
+    fn recognizes_annotations_and_keyword_operators() {
+        assert_eq!(
+            kinds("@pre(n >= 0 and x > 1 or not y < 2)")[0],
+            TokenKind::AtPre
+        );
+        assert!(kinds("a and b").contains(&TokenKind::And));
+        assert!(kinds("a or b").contains(&TokenKind::Or));
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(tokenize("x := #").is_err());
+        assert!(tokenize("x : 1").is_err());
+        assert!(tokenize("a & b").is_err());
+        assert!(tokenize("@post(x)").is_err());
+    }
+
+    #[test]
+    fn primed_identifiers_are_allowed() {
+        assert_eq!(
+            kinds("n'")[0],
+            TokenKind::Ident("n'".into())
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Front-end for the paper's mini-language of non-deterministic recursive
+//! programs with polynomial assignments and guards (Figures 1 and 5).
+//!
+//! The crate provides:
+//!
+//! * [`ast`] — the raw abstract syntax tree produced by the parser;
+//! * [`lexer`] / [`parser`] — a hand-written lexer and recursive-descent
+//!   parser for the grammar of Figure 5, extended with `@pre(...)`
+//!   annotations, non-deterministic assignments `x := *` and line comments;
+//! * [`program`] — the *resolved* program: every statement carries a unique
+//!   [`Label`](program::Label) with its type (`L_a` … `L_e`), expressions are
+//!   lowered to [`polyinv_poly::Polynomial`]s, and each function knows its
+//!   variable set `V^f` including the `ret_f` and shadow-parameter variables
+//!   required by the paper's semantics;
+//! * [`cfg`] — control-flow graphs in the sense of Section 2.2;
+//! * [`guard`] — propositional polynomial predicates with negation-normal
+//!   form and DNF conversion (used by Step 2 of the algorithm);
+//! * [`spec`] — pre-conditions, post-conditions and invariant maps;
+//! * [`interp`] — a concrete interpreter of the stack semantics of
+//!   Section 2.2, used for testing and for falsifying candidate invariants.
+//!
+//! # Example
+//!
+//! ```
+//! use polyinv_lang::parse_program;
+//!
+//! let source = r#"
+//!     sum(n) {
+//!         @pre(n >= 0);
+//!         i := 1;
+//!         s := 0;
+//!         while i <= n do
+//!             if * then s := s + i else skip fi;
+//!             i := i + 1
+//!         od;
+//!         return s
+//!     }
+//! "#;
+//! let program = parse_program(source)?;
+//! assert_eq!(program.functions().len(), 1);
+//! # Ok::<(), polyinv_lang::Error>(())
+//! ```
+
+pub mod ast;
+pub mod cfg;
+pub mod error;
+pub mod guard;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod program;
+pub mod spec;
+
+pub use cfg::{Cfg, Transition, TransitionKind};
+pub use error::Error;
+pub use guard::{Atom, BoolFormula, Conjunction};
+pub use program::{Function, Label, LabelKind, Program, VarInfo, VarTable};
+pub use spec::{InvariantMap, Postcondition, Precondition};
+
+use polyinv_poly::Polynomial;
+
+/// Parses a full program from source text and resolves it (labels, variable
+/// tables, polynomial lowering).
+///
+/// # Errors
+///
+/// Returns an [`Error`] if the source is not syntactically valid or violates
+/// the well-formedness rules of Appendix A (duplicate functions, arity
+/// mismatches, assignments to shadow variables, …).
+pub fn parse_program(source: &str) -> Result<Program, Error> {
+    let tokens = lexer::tokenize(source)?;
+    let ast = parser::parse(&tokens)?;
+    program::resolve(&ast)
+}
+
+/// Parses a single polynomial assertion such as `"x*x - 2*y >= 1"` in the
+/// variable scope of function `func` of `program`.
+///
+/// Returns the polynomial `p` such that the assertion is `p ≥ 0` (or `p > 0`
+/// when the comparison is strict) together with the strictness flag
+/// (`true` for a strict comparison).
+///
+/// # Errors
+///
+/// Returns an [`Error`] if the text is not a valid comparison of polynomial
+/// expressions or mentions unknown variables.
+pub fn parse_assertion(
+    program: &Program,
+    func: &str,
+    text: &str,
+) -> Result<(Polynomial, bool), Error> {
+    let tokens = lexer::tokenize(text)?;
+    let ast = parser::parse_comparison(&tokens)?;
+    program.lower_comparison(func, &ast)
+}

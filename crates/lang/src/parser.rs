@@ -1,0 +1,545 @@
+//! Recursive-descent parser for the grammar of Figure 5.
+
+use polyinv_arith::Rational;
+
+use crate::ast::{AstBExpr, AstExpr, AstFunction, AstProgram, AstStmt, AstStmtKind, CmpOp};
+use crate::error::Error;
+use crate::lexer::{Token, TokenKind};
+
+/// Parses a token stream into a raw AST program.
+///
+/// # Errors
+///
+/// Returns an [`Error`] describing the first syntax error encountered.
+pub fn parse(tokens: &[Token]) -> Result<AstProgram, Error> {
+    let mut parser = Parser::new(tokens);
+    let mut functions = Vec::new();
+    while !parser.at_end() {
+        functions.push(parser.function()?);
+    }
+    if functions.is_empty() {
+        return Err(Error::new("a program must define at least one function"));
+    }
+    Ok(AstProgram { functions })
+}
+
+/// Parses a single comparison `e₁ ▷◁ e₂` (used for assertions supplied
+/// outside program text, e.g. target invariants of the weak synthesis
+/// problem).
+///
+/// # Errors
+///
+/// Returns an [`Error`] if the tokens do not form exactly one comparison.
+pub fn parse_comparison(tokens: &[Token]) -> Result<AstBExpr, Error> {
+    let mut parser = Parser::new(tokens);
+    let cmp = parser.comparison()?;
+    if !parser.at_end() {
+        return Err(parser.unexpected("end of assertion"));
+    }
+    Ok(cmp)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(tokens: &'a [Token]) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&TokenKind> {
+        self.tokens.get(self.pos + offset).map(|t| &t.kind)
+    }
+
+    fn current_line(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn advance(&mut self) -> Option<&'a Token> {
+        let token = self.tokens.get(self.pos);
+        if token.is_some() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn unexpected(&self, expected: &str) -> Error {
+        match self.tokens.get(self.pos) {
+            Some(token) => Error::at_line(
+                format!("expected {expected}, found {}", token.kind.describe()),
+                token.line,
+            ),
+            None => Error::new(format!("expected {expected}, found end of input")),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, expected: &str) -> Result<(), Error> {
+        if self.peek() == Some(kind) {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.unexpected(expected))
+        }
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<(), Error> {
+        match self.peek() {
+            Some(TokenKind::Ident(name)) if name == keyword => {
+                self.advance();
+                Ok(())
+            }
+            _ => Err(self.unexpected(&format!("`{keyword}`"))),
+        }
+    }
+
+    fn peek_keyword(&self, keyword: &str) -> bool {
+        matches!(self.peek(), Some(TokenKind::Ident(name)) if name == keyword)
+    }
+
+    fn ident(&mut self, expected: &str) -> Result<String, Error> {
+        match self.peek() {
+            Some(TokenKind::Ident(name)) if !is_keyword(name) => {
+                let name = name.clone();
+                self.advance();
+                Ok(name)
+            }
+            _ => Err(self.unexpected(expected)),
+        }
+    }
+
+    fn function(&mut self) -> Result<AstFunction, Error> {
+        let line = self.current_line();
+        let name = self.ident("a function name")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if self.peek() != Some(&TokenKind::RParen) {
+            loop {
+                params.push(self.ident("a parameter name")?);
+                if self.peek() == Some(&TokenKind::Comma) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)`")?;
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let body = self.stmt_list()?;
+        self.expect(&TokenKind::RBrace, "`}`")?;
+        Ok(AstFunction {
+            name,
+            params,
+            body,
+            line,
+        })
+    }
+
+    fn at_stmt_list_end(&self) -> bool {
+        self.at_end()
+            || self.peek() == Some(&TokenKind::RBrace)
+            || self.peek_keyword("else")
+            || self.peek_keyword("fi")
+            || self.peek_keyword("od")
+    }
+
+    fn stmt_list(&mut self) -> Result<Vec<AstStmt>, Error> {
+        let mut statements = Vec::new();
+        loop {
+            if self.at_stmt_list_end() {
+                break;
+            }
+            statements.push(self.statement()?);
+            if self.peek() == Some(&TokenKind::Semicolon) {
+                // Consume separators (and tolerate a trailing semicolon).
+                while self.peek() == Some(&TokenKind::Semicolon) {
+                    self.advance();
+                }
+            } else {
+                break;
+            }
+        }
+        if statements.is_empty() {
+            return Err(self.unexpected("a statement"));
+        }
+        Ok(statements)
+    }
+
+    fn statement(&mut self) -> Result<AstStmt, Error> {
+        let line = self.current_line();
+        let kind = match self.peek() {
+            Some(TokenKind::AtPre) => {
+                self.advance();
+                self.expect(&TokenKind::LParen, "`(`")?;
+                let cond = self.bexpr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                AstStmtKind::PreAnnotation { cond }
+            }
+            Some(TokenKind::Ident(name)) if name == "skip" => {
+                self.advance();
+                AstStmtKind::Skip
+            }
+            Some(TokenKind::Ident(name)) if name == "return" => {
+                self.advance();
+                let expr = self.expr()?;
+                AstStmtKind::Return { expr }
+            }
+            Some(TokenKind::Ident(name)) if name == "if" => {
+                self.advance();
+                if self.peek() == Some(&TokenKind::Star) {
+                    self.advance();
+                    self.expect_keyword("then")?;
+                    let then_branch = self.stmt_list()?;
+                    self.expect_keyword("else")?;
+                    let else_branch = self.stmt_list()?;
+                    self.expect_keyword("fi")?;
+                    AstStmtKind::NondetIf {
+                        then_branch,
+                        else_branch,
+                    }
+                } else {
+                    let cond = self.bexpr()?;
+                    self.expect_keyword("then")?;
+                    let then_branch = self.stmt_list()?;
+                    self.expect_keyword("else")?;
+                    let else_branch = self.stmt_list()?;
+                    self.expect_keyword("fi")?;
+                    AstStmtKind::If {
+                        cond,
+                        then_branch,
+                        else_branch,
+                    }
+                }
+            }
+            Some(TokenKind::Ident(name)) if name == "while" => {
+                self.advance();
+                let cond = self.bexpr()?;
+                self.expect_keyword("do")?;
+                let body = self.stmt_list()?;
+                self.expect_keyword("od")?;
+                AstStmtKind::While { cond, body }
+            }
+            Some(TokenKind::Ident(name)) if !is_keyword(name) => {
+                let var = name.clone();
+                self.advance();
+                self.expect(&TokenKind::Assign, "`:=`")?;
+                match (self.peek(), self.peek_at(1)) {
+                    (Some(TokenKind::Star), _) => {
+                        self.advance();
+                        AstStmtKind::Havoc { var }
+                    }
+                    (Some(TokenKind::Ident(callee)), Some(TokenKind::LParen))
+                        if !is_keyword(callee) =>
+                    {
+                        let callee = callee.clone();
+                        self.advance();
+                        self.expect(&TokenKind::LParen, "`(`")?;
+                        let mut args = Vec::new();
+                        if self.peek() != Some(&TokenKind::RParen) {
+                            loop {
+                                args.push(self.ident("an argument variable")?);
+                                if self.peek() == Some(&TokenKind::Comma) {
+                                    self.advance();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&TokenKind::RParen, "`)`")?;
+                        AstStmtKind::Call {
+                            dest: var,
+                            callee,
+                            args,
+                        }
+                    }
+                    _ => {
+                        let expr = self.expr()?;
+                        AstStmtKind::Assign { var, expr }
+                    }
+                }
+            }
+            _ => return Err(self.unexpected("a statement")),
+        };
+        Ok(AstStmt { kind, line })
+    }
+
+    // ----- boolean expressions ---------------------------------------------
+
+    fn bexpr(&mut self) -> Result<AstBExpr, Error> {
+        let mut lhs = self.band()?;
+        while self.peek() == Some(&TokenKind::Or) {
+            self.advance();
+            let rhs = self.band()?;
+            lhs = AstBExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn band(&mut self) -> Result<AstBExpr, Error> {
+        let mut lhs = self.bnot()?;
+        while self.peek() == Some(&TokenKind::And) {
+            self.advance();
+            let rhs = self.bnot()?;
+            lhs = AstBExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bnot(&mut self) -> Result<AstBExpr, Error> {
+        if self.peek() == Some(&TokenKind::Bang) {
+            self.advance();
+            let inner = self.bnot()?;
+            return Ok(AstBExpr::Not(Box::new(inner)));
+        }
+        // A primary boolean expression is either a comparison or a
+        // parenthesized boolean expression. `(` is ambiguous between the two,
+        // so try the comparison first and backtrack on failure.
+        let saved = self.pos;
+        match self.comparison() {
+            Ok(cmp) => Ok(cmp),
+            Err(_) => {
+                self.pos = saved;
+                self.expect(&TokenKind::LParen, "`(` or a comparison")?;
+                let inner = self.bexpr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(inner)
+            }
+        }
+    }
+
+    fn comparison(&mut self) -> Result<AstBExpr, Error> {
+        let lhs = self.expr()?;
+        let op = match self.peek() {
+            Some(TokenKind::Lt) => CmpOp::Lt,
+            Some(TokenKind::Le) => CmpOp::Le,
+            Some(TokenKind::Ge) => CmpOp::Ge,
+            Some(TokenKind::Gt) => CmpOp::Gt,
+            _ => return Err(self.unexpected("a comparison operator")),
+        };
+        self.advance();
+        let rhs = self.expr()?;
+        Ok(AstBExpr::Cmp(lhs, op, rhs))
+    }
+
+    // ----- arithmetic expressions ------------------------------------------
+
+    fn expr(&mut self) -> Result<AstExpr, Error> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                Some(TokenKind::Plus) => {
+                    self.advance();
+                    let rhs = self.term()?;
+                    lhs = AstExpr::Add(Box::new(lhs), Box::new(rhs));
+                }
+                Some(TokenKind::Minus) => {
+                    self.advance();
+                    let rhs = self.term()?;
+                    lhs = AstExpr::Sub(Box::new(lhs), Box::new(rhs));
+                }
+                _ => break,
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<AstExpr, Error> {
+        let mut lhs = self.factor()?;
+        while self.peek() == Some(&TokenKind::Star) {
+            self.advance();
+            let rhs = self.factor()?;
+            lhs = AstExpr::Mul(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<AstExpr, Error> {
+        match self.peek() {
+            Some(TokenKind::Minus) => {
+                self.advance();
+                let inner = self.factor()?;
+                Ok(AstExpr::Neg(Box::new(inner)))
+            }
+            Some(TokenKind::Number(value)) => {
+                let value: Rational = *value;
+                self.advance();
+                Ok(AstExpr::Const(value))
+            }
+            Some(TokenKind::Ident(name)) if !is_keyword(name) => {
+                let name = name.clone();
+                self.advance();
+                Ok(AstExpr::Var(name))
+            }
+            Some(TokenKind::LParen) => {
+                self.advance();
+                let inner = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(inner)
+            }
+            _ => Err(self.unexpected("an arithmetic expression")),
+        }
+    }
+}
+
+fn is_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "skip" | "if" | "then" | "else" | "fi" | "while" | "do" | "od" | "return"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn parse_source(source: &str) -> Result<AstProgram, Error> {
+        parse(&tokenize(source).unwrap())
+    }
+
+    #[test]
+    fn parses_the_running_example() {
+        let source = r#"
+            sum(n) {
+                i := 1;
+                s := 0;
+                while i <= n do
+                    if * then
+                        s := s + i
+                    else
+                        skip
+                    fi;
+                    i := i + 1
+                od;
+                return s
+            }
+        "#;
+        let program = parse_source(source).unwrap();
+        assert_eq!(program.functions.len(), 1);
+        let func = &program.functions[0];
+        assert_eq!(func.name, "sum");
+        assert_eq!(func.params, vec!["n".to_string()]);
+        assert_eq!(func.body.len(), 4);
+        match &func.body[2].kind {
+            AstStmtKind::While { body, .. } => assert_eq!(body.len(), 2),
+            other => panic!("expected while, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_recursive_calls_and_annotations() {
+        let source = r#"
+            rsum(n) {
+                @pre(n >= 0);
+                if n <= 0 then
+                    return n
+                else
+                    m := n - 1;
+                    s := rsum(m);
+                    if * then s := s + n else skip fi;
+                    return s
+                fi
+            }
+        "#;
+        let program = parse_source(source).unwrap();
+        let func = &program.functions[0];
+        assert!(matches!(func.body[0].kind, AstStmtKind::PreAnnotation { .. }));
+        match &func.body[1].kind {
+            AstStmtKind::If { else_branch, .. } => {
+                assert!(matches!(
+                    else_branch[1].kind,
+                    AstStmtKind::Call { ref callee, .. } if callee == "rsum"
+                ));
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_havoc_and_decimal_constants() {
+        let source = r#"
+            f(x) {
+                y := 0.5 * x;
+                z := *;
+                return y + z
+            }
+        "#;
+        let program = parse_source(source).unwrap();
+        let func = &program.functions[0];
+        assert!(matches!(func.body[1].kind, AstStmtKind::Havoc { .. }));
+        match &func.body[0].kind {
+            AstStmtKind::Assign { expr, .. } => match expr {
+                AstExpr::Mul(lhs, _) => {
+                    assert_eq!(**lhs, AstExpr::Const(Rational::new(1, 2)));
+                }
+                other => panic!("expected multiplication, got {other:?}"),
+            },
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_boolean_structure() {
+        let source = r#"
+            f(x, y) {
+                while (x >= 0 && y >= 0) || !(x + y < 10) do
+                    x := x - 1
+                od;
+                return x
+            }
+        "#;
+        let program = parse_source(source).unwrap();
+        match &program.functions[0].body[0].kind {
+            AstStmtKind::While { cond, .. } => {
+                assert!(matches!(cond, AstBExpr::Or(_, _)));
+            }
+            other => panic!("expected while, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_arithmetic_in_comparisons() {
+        let source = "f(x) { if (x + 1) * x >= 2 then skip else skip fi; return x }";
+        assert!(parse_source(source).is_ok());
+    }
+
+    #[test]
+    fn reports_errors_with_context() {
+        assert!(parse_source("f(x) { }").is_err());
+        assert!(parse_source("f(x) { x := ; return x }").is_err());
+        assert!(parse_source("f(x) { if x then skip fi; return x }").is_err());
+        let err = parse_source("f(x) { while x do skip od; return x }").unwrap_err();
+        assert!(err.message().contains("comparison"));
+    }
+
+    #[test]
+    fn parse_comparison_accepts_exactly_one_comparison() {
+        let tokens = tokenize("0.5*n*n + 0.5*n + 1 > r").unwrap();
+        assert!(parse_comparison(&tokens).is_ok());
+        let tokens = tokenize("x > 1 && y > 2").unwrap();
+        assert!(parse_comparison(&tokens).is_err());
+    }
+
+    #[test]
+    fn multiple_functions_parse() {
+        let source = r#"
+            main(x) { y := helper(x); return y }
+            helper(z) { return z * z }
+        "#;
+        let program = parse_source(source).unwrap();
+        assert_eq!(program.functions.len(), 2);
+    }
+}

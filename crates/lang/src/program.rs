@@ -1,0 +1,1022 @@
+//! Resolved programs: labels, variable tables and lowered statements.
+//!
+//! Resolution turns the raw AST into the representation used by the rest of
+//! the workspace, mirroring Section 2 of the paper:
+//!
+//! * every statement receives a unique [`Label`] with its type
+//!   ([`LabelKind`]: `L_a`, `L_b`, `L_c`, `L_d`), and every function an
+//!   additional endpoint label of type `L_e`;
+//! * every function `f` gets the *new variables* `ret_f` and `v̄₁ … v̄ₙ`
+//!   (shadow parameters) of Section 2.2, and its variable set `V^f` collects
+//!   the parameters, the new variables and every variable appearing in the
+//!   body;
+//! * arithmetic expressions are lowered to [`Polynomial`]s and guards to
+//!   [`BoolFormula`]s;
+//! * `@pre(...)` annotations are collected into a per-label pre-condition
+//!   seed that [`crate::spec::Precondition`] can be built from.
+
+use std::collections::HashMap;
+
+use polyinv_poly::{Polynomial, VarId};
+
+use crate::ast::{AstBExpr, AstExpr, AstFunction, AstProgram, AstStmt, AstStmtKind, CmpOp};
+use crate::error::Error;
+use crate::guard::{Atom, BoolFormula};
+
+/// A program counter / label in the sense of Section 2.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(usize);
+
+impl Label {
+    /// Creates a label from a raw index.
+    pub fn new(index: usize) -> Self {
+        Label(index)
+    }
+
+    /// The raw index of the label.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// The type of a label (the partition `L_a … L_e` of Section 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LabelKind {
+    /// `L_a`: assignment, skip or return statements.
+    Assign,
+    /// `L_b`: conditional branching and while-loop statements.
+    Branch,
+    /// `L_c`: function-call statements.
+    Call,
+    /// `L_d`: non-deterministic branching statements (and havoc assignments).
+    Nondet,
+    /// `L_e`: function endpoints.
+    End,
+}
+
+/// The role a variable plays within its function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// A function parameter `vᵢ`.
+    Param,
+    /// A shadow parameter `v̄ᵢ` holding the value passed by the caller.
+    Shadow,
+    /// The return-value variable `ret_f`.
+    Return,
+    /// Any other variable appearing in the body.
+    Local,
+}
+
+/// Metadata about a program variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Pretty display name (e.g. `n`, `n_in`, `ret_sum`).
+    pub display: String,
+    /// The function owning the variable.
+    pub function: String,
+    /// The role of the variable.
+    pub kind: VarKind,
+}
+
+/// The global table of program variables. Variable sets of different
+/// functions are pairwise disjoint (as assumed w.l.o.g. in the paper), so a
+/// single global table indexed by [`VarId`] suffices.
+#[derive(Debug, Clone, Default)]
+pub struct VarTable {
+    infos: Vec<VarInfo>,
+    lookup: HashMap<(String, String), VarId>,
+}
+
+impl VarTable {
+    fn intern(&mut self, function: &str, name: &str, display: &str, kind: VarKind) -> VarId {
+        let key = (function.to_string(), name.to_string());
+        if let Some(&id) = self.lookup.get(&key) {
+            return id;
+        }
+        let id = VarId::new(self.infos.len());
+        self.infos.push(VarInfo {
+            display: display.to_string(),
+            function: function.to_string(),
+            kind,
+        });
+        self.lookup.insert(key, id);
+        id
+    }
+
+    /// Looks up a variable by function and source name.
+    pub fn id_of(&self, function: &str, name: &str) -> Option<VarId> {
+        self.lookup
+            .get(&(function.to_string(), name.to_string()))
+            .copied()
+    }
+
+    /// The metadata of a variable.
+    pub fn info(&self, id: VarId) -> &VarInfo {
+        &self.infos[id.index()]
+    }
+
+    /// The display name of a variable.
+    pub fn display_name(&self, id: VarId) -> &str {
+        &self.infos[id.index()].display
+    }
+
+    /// The total number of variables across all functions.
+    pub fn len(&self) -> usize {
+        self.infos.len()
+    }
+
+    /// Returns `true` if no variables have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.infos.is_empty()
+    }
+}
+
+/// A resolved, labeled statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LStmt {
+    /// The unique label of the statement.
+    pub label: Label,
+    /// The statement payload.
+    pub kind: StmtKind,
+}
+
+/// Resolved statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `skip`
+    Skip,
+    /// `v := e` with `e` lowered to a polynomial.
+    Assign {
+        /// Assigned variable.
+        var: VarId,
+        /// Right-hand side polynomial.
+        expr: Polynomial,
+    },
+    /// `v := *` (non-deterministic assignment).
+    Havoc {
+        /// Assigned variable.
+        var: VarId,
+    },
+    /// `if b then … else … fi`
+    If {
+        /// Branch condition.
+        cond: BoolFormula,
+        /// The `then` branch.
+        then_branch: Vec<LStmt>,
+        /// The `else` branch.
+        else_branch: Vec<LStmt>,
+    },
+    /// `if ⋆ then … else … fi`
+    NondetIf {
+        /// The `then` branch.
+        then_branch: Vec<LStmt>,
+        /// The `else` branch.
+        else_branch: Vec<LStmt>,
+    },
+    /// `while b do … od`
+    While {
+        /// Loop guard.
+        cond: BoolFormula,
+        /// Loop body.
+        body: Vec<LStmt>,
+    },
+    /// `v := f(v₁, …, vₙ)`
+    Call {
+        /// Destination variable.
+        dest: VarId,
+        /// Callee function name.
+        callee: String,
+        /// Argument variables.
+        args: Vec<VarId>,
+    },
+    /// `return e`
+    Return {
+        /// Returned polynomial expression.
+        expr: Polynomial,
+    },
+}
+
+/// A resolved function.
+#[derive(Debug, Clone)]
+pub struct Function {
+    name: String,
+    params: Vec<VarId>,
+    shadow_params: Vec<VarId>,
+    ret_var: VarId,
+    vars: Vec<VarId>,
+    body: Vec<LStmt>,
+    entry_label: Label,
+    exit_label: Label,
+    labels: Vec<Label>,
+    pre_annotations: HashMap<Label, Vec<Atom>>,
+}
+
+impl Function {
+    /// The function name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameter variables `v₁ … vₙ`.
+    pub fn params(&self) -> &[VarId] {
+        &self.params
+    }
+
+    /// The shadow parameters `v̄₁ … v̄ₙ`.
+    pub fn shadow_params(&self) -> &[VarId] {
+        &self.shadow_params
+    }
+
+    /// The return-value variable `ret_f`.
+    pub fn ret_var(&self) -> VarId {
+        self.ret_var
+    }
+
+    /// The variable set `V^f`, sorted by id.
+    pub fn vars(&self) -> &[VarId] {
+        &self.vars
+    }
+
+    /// The resolved function body.
+    pub fn body(&self) -> &[LStmt] {
+        &self.body
+    }
+
+    /// The entry label `ℓ_in^f`.
+    pub fn entry_label(&self) -> Label {
+        self.entry_label
+    }
+
+    /// The endpoint label `ℓ_out^f`.
+    pub fn exit_label(&self) -> Label {
+        self.exit_label
+    }
+
+    /// All labels belonging to the function (including the endpoint label).
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Pre-condition atoms contributed by `@pre(...)` annotations, keyed by
+    /// the label they attach to.
+    pub fn pre_annotations(&self) -> &HashMap<Label, Vec<Atom>> {
+        &self.pre_annotations
+    }
+}
+
+/// A fully resolved program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    functions: Vec<Function>,
+    var_table: VarTable,
+    label_kinds: Vec<LabelKind>,
+    label_function: Vec<usize>,
+    main_index: usize,
+}
+
+impl Program {
+    /// The functions of the program, in source order.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name() == name)
+    }
+
+    /// The distinguished `fmain` function (the first function in the
+    /// source, following the paper's convention).
+    pub fn main(&self) -> &Function {
+        &self.functions[self.main_index]
+    }
+
+    /// The global variable table.
+    pub fn var_table(&self) -> &VarTable {
+        &self.var_table
+    }
+
+    /// The total number of labels in the program.
+    pub fn num_labels(&self) -> usize {
+        self.label_kinds.len()
+    }
+
+    /// The type of a label.
+    pub fn label_kind(&self, label: Label) -> LabelKind {
+        self.label_kinds[label.index()]
+    }
+
+    /// The function a label belongs to.
+    pub fn label_function(&self, label: Label) -> &Function {
+        &self.functions[self.label_function[label.index()]]
+    }
+
+    /// Returns `true` if the program contains no function-call statements
+    /// and only one function (a *simple* program in the paper's
+    /// terminology).
+    pub fn is_simple(&self) -> bool {
+        self.functions.len() == 1 && !self.label_kinds.iter().any(|&k| k == LabelKind::Call)
+    }
+
+    /// Lowers a parsed comparison into `(p, strict)` such that the assertion
+    /// is `p > 0` (strict) or `p ≥ 0`, in the variable scope of `func`.
+    ///
+    /// The return-value variable of `func` can be referred to as `ret`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] if `func` does not exist or the comparison
+    /// mentions unknown variables.
+    pub fn lower_comparison(
+        &self,
+        func: &str,
+        cmp: &AstBExpr,
+    ) -> Result<(Polynomial, bool), Error> {
+        let function = self
+            .function(func)
+            .ok_or_else(|| Error::new(format!("unknown function `{func}`")))?;
+        match cmp {
+            AstBExpr::Cmp(lhs, op, rhs) => {
+                let lhs = self.lower_expr_readonly(function, lhs)?;
+                let rhs = self.lower_expr_readonly(function, rhs)?;
+                Ok(lower_comparison_parts(&lhs, *op, &rhs))
+            }
+            _ => Err(Error::new("expected a single comparison")),
+        }
+    }
+
+    /// Lowers an expression using only existing variables of `function`
+    /// (unknown variables are an error rather than being created).
+    fn lower_expr_readonly(
+        &self,
+        function: &Function,
+        expr: &AstExpr,
+    ) -> Result<Polynomial, Error> {
+        match expr {
+            AstExpr::Var(name) => {
+                let id = if name == "ret" {
+                    Some(function.ret_var())
+                } else {
+                    self.var_table.id_of(function.name(), name).or_else(|| {
+                        // Shadow parameters can be referred to by their
+                        // display name `<param>_in`.
+                        name.strip_suffix("_in").and_then(|base| {
+                            self.var_table
+                                .id_of(function.name(), &format!("{base}#shadow"))
+                        })
+                    })
+                }
+                .ok_or_else(|| {
+                    Error::new(format!(
+                        "unknown variable `{name}` in function `{}`",
+                        function.name()
+                    ))
+                })?;
+                Ok(Polynomial::variable(id))
+            }
+            AstExpr::Const(value) => Ok(Polynomial::constant(*value)),
+            AstExpr::Add(a, b) => {
+                Ok(self.lower_expr_readonly(function, a)? + self.lower_expr_readonly(function, b)?)
+            }
+            AstExpr::Sub(a, b) => {
+                Ok(self.lower_expr_readonly(function, a)? - self.lower_expr_readonly(function, b)?)
+            }
+            AstExpr::Mul(a, b) => {
+                Ok(&self.lower_expr_readonly(function, a)? * &self.lower_expr_readonly(function, b)?)
+            }
+            AstExpr::Neg(a) => Ok(-self.lower_expr_readonly(function, a)?),
+        }
+    }
+
+    /// A human-readable rendering of a polynomial in the scope of the
+    /// program's variable names.
+    pub fn render_poly(&self, poly: &Polynomial) -> String {
+        poly.display_with(|v| self.var_table.display_name(v).to_string())
+    }
+}
+
+/// Resolves a parsed program.
+///
+/// # Errors
+///
+/// Returns an [`Error`] if the program violates the well-formedness rules of
+/// Appendix A (duplicate function definitions, duplicate parameters, calls
+/// to undefined functions, arity mismatches, a variable appearing on both
+/// sides of a call, or an `@pre` annotation with no following statement).
+pub fn resolve(ast: &AstProgram) -> Result<Program, Error> {
+    let mut names = Vec::new();
+    for func in &ast.functions {
+        if names.contains(&func.name) {
+            return Err(Error::at_line(
+                format!("function `{}` is defined more than once", func.name),
+                func.line,
+            ));
+        }
+        names.push(func.name.clone());
+    }
+    let arities: HashMap<String, usize> = ast
+        .functions
+        .iter()
+        .map(|f| (f.name.clone(), f.params.len()))
+        .collect();
+
+    let mut resolver = Resolver {
+        var_table: VarTable::default(),
+        label_kinds: Vec::new(),
+        label_function: Vec::new(),
+        arities,
+    };
+    let mut functions = Vec::new();
+    for (index, func) in ast.functions.iter().enumerate() {
+        functions.push(resolver.resolve_function(func, index)?);
+    }
+    Ok(Program {
+        functions,
+        var_table: resolver.var_table,
+        label_kinds: resolver.label_kinds,
+        label_function: resolver.label_function,
+        main_index: 0,
+    })
+}
+
+struct Resolver {
+    var_table: VarTable,
+    label_kinds: Vec<LabelKind>,
+    label_function: Vec<usize>,
+    arities: HashMap<String, usize>,
+}
+
+impl Resolver {
+    fn fresh_label(&mut self, kind: LabelKind, function_index: usize) -> Label {
+        let label = Label::new(self.label_kinds.len());
+        self.label_kinds.push(kind);
+        self.label_function.push(function_index);
+        label
+    }
+
+    fn resolve_function(
+        &mut self,
+        func: &AstFunction,
+        function_index: usize,
+    ) -> Result<Function, Error> {
+        for (i, p) in func.params.iter().enumerate() {
+            if func.params[..i].contains(p) {
+                return Err(Error::at_line(
+                    format!("duplicate parameter `{p}` in function `{}`", func.name),
+                    func.line,
+                ));
+            }
+        }
+        let params: Vec<VarId> = func
+            .params
+            .iter()
+            .map(|p| self.var_table.intern(&func.name, p, p, VarKind::Param))
+            .collect();
+        let shadow_params: Vec<VarId> = func
+            .params
+            .iter()
+            .map(|p| {
+                self.var_table.intern(
+                    &func.name,
+                    &format!("{p}#shadow"),
+                    &format!("{p}_in"),
+                    VarKind::Shadow,
+                )
+            })
+            .collect();
+        let ret_var = self.var_table.intern(
+            &func.name,
+            "#ret",
+            &format!("ret_{}", func.name),
+            VarKind::Return,
+        );
+
+        let mut ctx = FunctionContext {
+            resolver: self,
+            function_name: func.name.clone(),
+            function_index,
+            pre_annotations: HashMap::new(),
+        };
+        let mut body = ctx.resolve_stmt_list(&func.body)?;
+        let pre_annotations = ctx.pre_annotations;
+
+        // Return assumption: if the body does not end in a statement that
+        // returns on every path, append `return 0`.
+        let ends_with_return = body.last().is_some_and(always_returns);
+        if !ends_with_return {
+            let label = self.fresh_label(LabelKind::Assign, function_index);
+            body.push(LStmt {
+                label,
+                kind: StmtKind::Return {
+                    expr: Polynomial::zero(),
+                },
+            });
+        }
+        let exit_label = self.fresh_label(LabelKind::End, function_index);
+
+        let mut labels = Vec::new();
+        collect_labels(&body, &mut labels);
+        labels.push(exit_label);
+        let entry_label = labels[0];
+
+        let mut vars: Vec<VarId> = Vec::new();
+        vars.extend_from_slice(&params);
+        vars.extend_from_slice(&shadow_params);
+        vars.push(ret_var);
+        collect_vars(&body, &mut vars);
+        for atoms in pre_annotations.values() {
+            for atom in atoms {
+                vars.extend(atom.poly.variables());
+            }
+        }
+        vars.sort();
+        vars.dedup();
+
+        Ok(Function {
+            name: func.name.clone(),
+            params,
+            shadow_params,
+            ret_var,
+            vars,
+            body,
+            entry_label,
+            exit_label,
+            labels,
+            pre_annotations,
+        })
+    }
+}
+
+struct FunctionContext<'a> {
+    resolver: &'a mut Resolver,
+    function_name: String,
+    function_index: usize,
+    pre_annotations: HashMap<Label, Vec<Atom>>,
+}
+
+impl<'a> FunctionContext<'a> {
+    fn var(&mut self, name: &str) -> VarId {
+        self.resolver
+            .var_table
+            .intern(&self.function_name, name, name, VarKind::Local)
+    }
+
+    fn fresh_label(&mut self, kind: LabelKind) -> Label {
+        self.resolver.fresh_label(kind, self.function_index)
+    }
+
+    fn lower_expr(&mut self, expr: &AstExpr) -> Polynomial {
+        match expr {
+            AstExpr::Var(name) => Polynomial::variable(self.var(name)),
+            AstExpr::Const(value) => Polynomial::constant(*value),
+            AstExpr::Add(a, b) => self.lower_expr(a) + self.lower_expr(b),
+            AstExpr::Sub(a, b) => self.lower_expr(a) - self.lower_expr(b),
+            AstExpr::Mul(a, b) => &self.lower_expr(a) * &self.lower_expr(b),
+            AstExpr::Neg(a) => -self.lower_expr(a),
+        }
+    }
+
+    fn lower_bexpr(&mut self, bexpr: &AstBExpr) -> BoolFormula {
+        match bexpr {
+            AstBExpr::Cmp(lhs, op, rhs) => {
+                let lhs = self.lower_expr(lhs);
+                let rhs = self.lower_expr(rhs);
+                let (poly, strict) = lower_comparison_parts(&lhs, *op, &rhs);
+                BoolFormula::Atom(if strict {
+                    Atom::strict(poly)
+                } else {
+                    Atom::non_strict(poly)
+                })
+            }
+            AstBExpr::Not(inner) => BoolFormula::Not(Box::new(self.lower_bexpr(inner))),
+            AstBExpr::And(a, b) => BoolFormula::And(vec![self.lower_bexpr(a), self.lower_bexpr(b)]),
+            AstBExpr::Or(a, b) => BoolFormula::Or(vec![self.lower_bexpr(a), self.lower_bexpr(b)]),
+        }
+    }
+
+    fn resolve_stmt_list(&mut self, stmts: &[AstStmt]) -> Result<Vec<LStmt>, Error> {
+        let mut result = Vec::new();
+        let mut pending: Vec<Atom> = Vec::new();
+        for stmt in stmts {
+            if let AstStmtKind::PreAnnotation { cond } = &stmt.kind {
+                let formula = self.lower_bexpr(cond);
+                let atoms = flatten_conjunction(&formula).ok_or_else(|| {
+                    Error::at_line(
+                        "`@pre` annotations must be conjunctions of comparisons",
+                        stmt.line,
+                    )
+                })?;
+                pending.extend(atoms);
+                continue;
+            }
+            let resolved = self.resolve_stmt(stmt)?;
+            if !pending.is_empty() {
+                self.pre_annotations
+                    .entry(resolved.label)
+                    .or_default()
+                    .extend(std::mem::take(&mut pending));
+            }
+            result.push(resolved);
+        }
+        if !pending.is_empty() {
+            return Err(Error::new(
+                "`@pre` annotation must be followed by a statement in the same block",
+            ));
+        }
+        if result.is_empty() {
+            return Err(Error::new("statement blocks must not be empty"));
+        }
+        Ok(result)
+    }
+
+    fn resolve_stmt(&mut self, stmt: &AstStmt) -> Result<LStmt, Error> {
+        match &stmt.kind {
+            AstStmtKind::Skip => {
+                let label = self.fresh_label(LabelKind::Assign);
+                Ok(LStmt {
+                    label,
+                    kind: StmtKind::Skip,
+                })
+            }
+            AstStmtKind::Assign { var, expr } => {
+                let label = self.fresh_label(LabelKind::Assign);
+                let var = self.var(var);
+                let expr = self.lower_expr(expr);
+                Ok(LStmt {
+                    label,
+                    kind: StmtKind::Assign { var, expr },
+                })
+            }
+            AstStmtKind::Havoc { var } => {
+                let label = self.fresh_label(LabelKind::Nondet);
+                let var = self.var(var);
+                Ok(LStmt {
+                    label,
+                    kind: StmtKind::Havoc { var },
+                })
+            }
+            AstStmtKind::Return { expr } => {
+                let label = self.fresh_label(LabelKind::Assign);
+                let expr = self.lower_expr(expr);
+                Ok(LStmt {
+                    label,
+                    kind: StmtKind::Return { expr },
+                })
+            }
+            AstStmtKind::Call { dest, callee, args } => {
+                let arity = self.resolver.arities.get(callee).copied().ok_or_else(|| {
+                    Error::at_line(format!("call to undefined function `{callee}`"), stmt.line)
+                })?;
+                if arity != args.len() {
+                    return Err(Error::at_line(
+                        format!(
+                            "function `{callee}` expects {arity} argument(s), got {}",
+                            args.len()
+                        ),
+                        stmt.line,
+                    ));
+                }
+                if args.contains(dest) {
+                    return Err(Error::at_line(
+                        format!("variable `{dest}` appears on both sides of a call"),
+                        stmt.line,
+                    ));
+                }
+                let label = self.fresh_label(LabelKind::Call);
+                let dest = self.var(dest);
+                let args: Vec<VarId> = args.iter().map(|a| self.var(a)).collect();
+                Ok(LStmt {
+                    label,
+                    kind: StmtKind::Call {
+                        dest,
+                        callee: callee.clone(),
+                        args,
+                    },
+                })
+            }
+            AstStmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let label = self.fresh_label(LabelKind::Branch);
+                let cond = self.lower_bexpr(cond);
+                let then_branch = self.resolve_stmt_list(then_branch)?;
+                let else_branch = self.resolve_stmt_list(else_branch)?;
+                Ok(LStmt {
+                    label,
+                    kind: StmtKind::If {
+                        cond,
+                        then_branch,
+                        else_branch,
+                    },
+                })
+            }
+            AstStmtKind::NondetIf {
+                then_branch,
+                else_branch,
+            } => {
+                let label = self.fresh_label(LabelKind::Nondet);
+                let then_branch = self.resolve_stmt_list(then_branch)?;
+                let else_branch = self.resolve_stmt_list(else_branch)?;
+                Ok(LStmt {
+                    label,
+                    kind: StmtKind::NondetIf {
+                        then_branch,
+                        else_branch,
+                    },
+                })
+            }
+            AstStmtKind::While { cond, body } => {
+                let label = self.fresh_label(LabelKind::Branch);
+                let cond = self.lower_bexpr(cond);
+                let body = self.resolve_stmt_list(body)?;
+                Ok(LStmt {
+                    label,
+                    kind: StmtKind::While { cond, body },
+                })
+            }
+            AstStmtKind::PreAnnotation { .. } => {
+                unreachable!("annotations are handled by resolve_stmt_list")
+            }
+        }
+    }
+}
+
+/// Returns `true` if the statement returns on every execution path.
+fn always_returns(stmt: &LStmt) -> bool {
+    match &stmt.kind {
+        StmtKind::Return { .. } => true,
+        StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        }
+        | StmtKind::NondetIf {
+            then_branch,
+            else_branch,
+        } => {
+            then_branch.last().is_some_and(always_returns)
+                && else_branch.last().is_some_and(always_returns)
+        }
+        _ => false,
+    }
+}
+
+fn collect_labels(body: &[LStmt], out: &mut Vec<Label>) {
+    for stmt in body {
+        out.push(stmt.label);
+        match &stmt.kind {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            }
+            | StmtKind::NondetIf {
+                then_branch,
+                else_branch,
+            } => {
+                collect_labels(then_branch, out);
+                collect_labels(else_branch, out);
+            }
+            StmtKind::While { body, .. } => collect_labels(body, out),
+            _ => {}
+        }
+    }
+}
+
+fn collect_vars(body: &[LStmt], out: &mut Vec<VarId>) {
+    for stmt in body {
+        match &stmt.kind {
+            StmtKind::Assign { var, expr } => {
+                out.push(*var);
+                out.extend(expr.variables());
+            }
+            StmtKind::Havoc { var } => out.push(*var),
+            StmtKind::Return { expr } => out.extend(expr.variables()),
+            StmtKind::Call { dest, args, .. } => {
+                out.push(*dest);
+                out.extend_from_slice(args);
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                for atom in cond.atoms() {
+                    out.extend(atom.poly.variables());
+                }
+                collect_vars(then_branch, out);
+                collect_vars(else_branch, out);
+            }
+            StmtKind::NondetIf {
+                then_branch,
+                else_branch,
+            } => {
+                collect_vars(then_branch, out);
+                collect_vars(else_branch, out);
+            }
+            StmtKind::While { cond, body } => {
+                for atom in cond.atoms() {
+                    out.extend(atom.poly.variables());
+                }
+                collect_vars(body, out);
+            }
+            StmtKind::Skip => {}
+        }
+    }
+}
+
+/// Converts a conjunction-only formula into its list of atoms; returns
+/// `None` if the formula contains disjunctions.
+fn flatten_conjunction(formula: &BoolFormula) -> Option<Vec<Atom>> {
+    match formula.to_nnf() {
+        BoolFormula::Atom(atom) => Some(vec![atom]),
+        BoolFormula::And(parts) => {
+            let mut atoms = Vec::new();
+            for part in parts {
+                atoms.extend(flatten_conjunction(&part)?);
+            }
+            Some(atoms)
+        }
+        _ => None,
+    }
+}
+
+/// Lowers `lhs ▷◁ rhs` into `(p, strict)` with meaning `p > 0` (strict) or
+/// `p ≥ 0` (non-strict).
+fn lower_comparison_parts(lhs: &Polynomial, op: CmpOp, rhs: &Polynomial) -> (Polynomial, bool) {
+    match op {
+        CmpOp::Lt => (rhs - lhs, true),
+        CmpOp::Le => (rhs - lhs, false),
+        CmpOp::Ge => (lhs - rhs, false),
+        CmpOp::Gt => (lhs - rhs, true),
+    }
+}
+
+/// The running example of the paper (Figure 2), provided for tests,
+/// examples and documentation.
+pub const RUNNING_EXAMPLE_SOURCE: &str = r#"
+sum(n) {
+    @pre(n >= 1);
+    i := 1;
+    s := 0;
+    while i <= n do
+        if * then
+            s := s + i
+        else
+            skip
+        fi;
+        i := i + 1
+    od;
+    return s
+}
+"#;
+
+/// The recursive variant of the running example (Figure 4).
+pub const RECURSIVE_EXAMPLE_SOURCE: &str = r#"
+rsum(n) {
+    @pre(n >= 0);
+    if n <= 0 then
+        return n
+    else
+        m := n - 1;
+        s := rsum(m);
+        if * then
+            s := s + n
+        else
+            skip
+        fi;
+        return s
+    fi
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn running_example_has_the_expected_shape() {
+        let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        assert!(program.is_simple());
+        let func = program.main();
+        assert_eq!(func.name(), "sum");
+        // Labels: i:=1, s:=0, while, if*, s:=s+i, skip, i:=i+1, return, end = 9.
+        assert_eq!(func.labels().len(), 9);
+        assert_eq!(program.label_kind(func.entry_label()), LabelKind::Assign);
+        assert_eq!(program.label_kind(func.exit_label()), LabelKind::End);
+        // V^sum = {n, n_in, ret_sum, i, s}.
+        assert_eq!(func.vars().len(), 5);
+        // The @pre annotation attaches to the entry label.
+        assert!(func.pre_annotations().contains_key(&func.entry_label()));
+    }
+
+    #[test]
+    fn recursive_example_resolves_call() {
+        let program = parse_program(RECURSIVE_EXAMPLE_SOURCE).unwrap();
+        assert!(!program.is_simple());
+        let func = program.main();
+        let call_labels: Vec<Label> = func
+            .labels()
+            .iter()
+            .copied()
+            .filter(|&l| program.label_kind(l) == LabelKind::Call)
+            .collect();
+        assert_eq!(call_labels.len(), 1);
+        // V^rsum = {n, n_in, ret, m, s}.
+        assert_eq!(func.vars().len(), 5);
+    }
+
+    #[test]
+    fn label_kinds_partition_matches_statement_types() {
+        let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        let func = program.main();
+        let mut counts: HashMap<LabelKind, usize> = HashMap::new();
+        for &label in func.labels() {
+            *counts.entry(program.label_kind(label)).or_insert(0) += 1;
+        }
+        assert_eq!(counts[&LabelKind::Assign], 6); // i:=1, s:=0, s:=s+i, skip, i:=i+1, return
+        assert_eq!(counts[&LabelKind::Branch], 1); // while
+        assert_eq!(counts[&LabelKind::Nondet], 1); // if *
+        assert_eq!(counts[&LabelKind::End], 1);
+    }
+
+    #[test]
+    fn functions_get_return_zero_appended() {
+        let program = parse_program("f(x) { y := x + 1 }").unwrap();
+        let func = program.main();
+        assert!(matches!(
+            func.body().last().unwrap().kind,
+            StmtKind::Return { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_ill_formed_programs() {
+        assert!(parse_program("f(x, x) { return x }").is_err());
+        assert!(parse_program("f(x) { return x } f(y) { return y }").is_err());
+        assert!(parse_program("f(x) { y := g(x); return y }").is_err());
+        assert!(parse_program("main(x) { y := h(x, x); return y } h(a) { return a }").is_err());
+        assert!(parse_program("main(x) { x := h(x); return x } h(a) { return a }").is_err());
+        assert!(parse_program("f(x) { skip; @pre(x >= 0) }").is_err());
+    }
+
+    #[test]
+    fn lower_comparison_handles_all_operators() {
+        let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        let cmp = crate::parser::parse_comparison(&crate::lexer::tokenize("n > 2").unwrap()).unwrap();
+        let (p, strict) = program.lower_comparison("sum", &cmp).unwrap();
+        assert!(strict);
+        assert_eq!(program.render_poly(&p), "-2 + n");
+        let cmp = crate::parser::parse_comparison(&crate::lexer::tokenize("i <= n").unwrap()).unwrap();
+        let (p2, strict2) = program.lower_comparison("sum", &cmp).unwrap();
+        assert!(!strict2);
+        assert_eq!(program.render_poly(&p2), "n - i");
+        // `ret` resolves to the return variable.
+        let cmp = crate::parser::parse_comparison(&crate::lexer::tokenize("ret >= 0").unwrap()).unwrap();
+        let (p3, _) = program.lower_comparison("sum", &cmp).unwrap();
+        assert_eq!(program.render_poly(&p3), "ret_sum");
+    }
+
+    #[test]
+    fn variables_are_scoped_per_function() {
+        let source = r#"
+            main(x) { y := helper(x); return y }
+            helper(x) { return x * x }
+        "#;
+        let program = parse_program(source).unwrap();
+        let main_x = program.var_table().id_of("main", "x").unwrap();
+        let helper_x = program.var_table().id_of("helper", "x").unwrap();
+        assert_ne!(main_x, helper_x);
+        let info = program.var_table().info(helper_x);
+        assert_eq!(info.kind, VarKind::Param);
+        assert_eq!(info.function, "helper");
+    }
+
+    #[test]
+    fn pre_annotations_inside_loops_attach_to_inner_labels() {
+        let source = r#"
+            f(x) {
+                while x >= 1 do
+                    @pre(x <= 100);
+                    x := x - 1
+                od;
+                return x
+            }
+        "#;
+        let program = parse_program(source).unwrap();
+        let func = program.main();
+        assert_eq!(func.pre_annotations().len(), 1);
+        let (&label, atoms) = func.pre_annotations().iter().next().unwrap();
+        assert_eq!(program.label_kind(label), LabelKind::Assign);
+        assert_eq!(atoms.len(), 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! Multivariate polynomial and symbolic-template algebra.
+//!
+//! This crate implements the polynomial machinery needed by the invariant
+//! generator:
+//!
+//! * [`Monomial`] and [`Polynomial`] — sparse multivariate polynomials over
+//!   exact [`polyinv_arith::Rational`] coefficients (program expressions,
+//!   guards, update functions), with substitution/composition, evaluation and
+//!   monomial-basis enumeration.
+//! * [`LinExpr`] and [`QuadExpr`] — affine and quadratic expressions over
+//!   *unknowns* (the template coefficients called s-, t-, l- and ε-variables
+//!   in the paper). A polynomial whose coefficients are [`LinExpr`]s is a
+//!   *template polynomial*; multiplying two template polynomials (as done in
+//!   the Putinar identity `g = ε + h₀ + Σ hᵢ·gᵢ`) produces a polynomial with
+//!   [`QuadExpr`] coefficients, whose coefficient-matching yields exactly the
+//!   quadratic constraints the paper hands to a QCLP solver.
+//!
+//! # Example
+//!
+//! ```
+//! use polyinv_poly::{Monomial, Polynomial, VarId};
+//! use polyinv_arith::Rational;
+//!
+//! let x = VarId::new(0);
+//! let y = VarId::new(1);
+//! // p = (x + y)^2
+//! let p = (Polynomial::variable(x) + Polynomial::variable(y)).pow(2);
+//! assert_eq!(p.degree(), 2);
+//! assert_eq!(
+//!     p.coefficient(&Monomial::from_powers(&[(x, 1), (y, 1)])),
+//!     Rational::from_int(2)
+//! );
+//! ```
+
+pub mod monomial;
+pub mod polynomial;
+pub mod symbolic;
+
+pub use monomial::{Monomial, VarId};
+pub use polynomial::{Polynomial, RationalPoly};
+pub use symbolic::{LinExpr, QuadExpr, QuadraticPoly, TemplatePoly, UnknownId};

@@ -1,0 +1,175 @@
+//! Property-based tests for polynomial and template algebra.
+
+use polyinv_arith::Rational;
+use polyinv_poly::{LinExpr, Monomial, Polynomial, TemplatePoly, UnknownId, VarId};
+use proptest::prelude::*;
+
+const NUM_VARS: usize = 3;
+
+fn arb_poly() -> impl Strategy<Value = Polynomial> {
+    // Up to 6 terms, degree <= 3, small integer coefficients.
+    prop::collection::vec(
+        (
+            -5i64..6,
+            prop::collection::vec(0u32..3, NUM_VARS),
+        ),
+        0..6,
+    )
+    .prop_map(|terms| {
+        let mut poly = Polynomial::zero();
+        for (coeff, exps) in terms {
+            let powers: Vec<(VarId, u32)> = exps
+                .iter()
+                .enumerate()
+                .map(|(i, &e)| (VarId::new(i), e))
+                .collect();
+            poly.add_term(Rational::from_int(coeff), Monomial::from_powers(&powers));
+        }
+        poly
+    })
+}
+
+fn arb_valuation() -> impl Strategy<Value = Vec<Rational>> {
+    prop::collection::vec((-4i64..5).prop_map(Rational::from_int), NUM_VARS)
+}
+
+fn eval(poly: &Polynomial, valuation: &[Rational]) -> Rational {
+    poly.eval(|v| valuation[v.index()])
+}
+
+proptest! {
+    #[test]
+    fn addition_is_homomorphic_under_evaluation(
+        p in arb_poly(), q in arb_poly(), val in arb_valuation()
+    ) {
+        let sum = &p + &q;
+        prop_assert_eq!(eval(&sum, &val), eval(&p, &val) + eval(&q, &val));
+    }
+
+    #[test]
+    fn multiplication_is_homomorphic_under_evaluation(
+        p in arb_poly(), q in arb_poly(), val in arb_valuation()
+    ) {
+        let product = &p * &q;
+        prop_assert_eq!(eval(&product, &val), eval(&p, &val) * eval(&q, &val));
+    }
+
+    #[test]
+    fn multiplication_is_commutative(p in arb_poly(), q in arb_poly()) {
+        prop_assert_eq!(&p * &q, &q * &p);
+    }
+
+    #[test]
+    fn multiplication_distributes(p in arb_poly(), q in arb_poly(), r in arb_poly()) {
+        let lhs = &p * &(&q + &r);
+        let rhs = &(&p * &q) + &(&p * &r);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn subtraction_is_inverse_of_addition(p in arb_poly(), q in arb_poly()) {
+        let restored = &(&p + &q) - &q;
+        prop_assert_eq!(restored, p);
+    }
+
+    #[test]
+    fn substitution_commutes_with_evaluation(
+        p in arb_poly(), q in arb_poly(), val in arb_valuation()
+    ) {
+        // Substitute x0 := q, then evaluate; must equal evaluating p at
+        // (q(val), val[1], val[2]).
+        let substituted = p.substitute(|v| if v.index() == 0 { Some(q.clone()) } else { None });
+        let q_value = eval(&q, &val);
+        let mut shifted = val.clone();
+        shifted[0] = q_value;
+        prop_assert_eq!(eval(&substituted, &val), eval(&p, &shifted));
+    }
+
+    #[test]
+    fn degree_of_product_is_sum_of_degrees(p in arb_poly(), q in arb_poly()) {
+        prop_assume!(!p.is_zero() && !q.is_zero());
+        let product = &p * &q;
+        // Over an integral domain the degree is exactly additive.
+        prop_assert_eq!(product.degree(), p.degree() + q.degree());
+    }
+
+    #[test]
+    fn monomial_basis_is_complete(degree in 0u32..4) {
+        let vars: Vec<VarId> = (0..NUM_VARS).map(VarId::new).collect();
+        let basis = Monomial::all_up_to_degree(&vars, degree);
+        // Every monomial in the basis respects the bound and all are distinct.
+        for m in &basis {
+            prop_assert!(m.degree() <= degree);
+        }
+        let mut sorted = basis.clone();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), basis.len());
+        // Binomial-coefficient count: C(NUM_VARS + degree, degree).
+        let expected = {
+            let mut num = 1usize;
+            let mut den = 1usize;
+            for i in 0..degree as usize {
+                num *= NUM_VARS + degree as usize - i;
+                den *= i + 1;
+            }
+            num / den
+        };
+        prop_assert_eq!(basis.len(), expected);
+    }
+}
+
+fn arb_template() -> impl Strategy<Value = TemplatePoly> {
+    prop::collection::vec(
+        (0usize..4, prop::collection::vec(0u32..3, NUM_VARS)),
+        1..5,
+    )
+    .prop_map(|terms| {
+        let mut template = TemplatePoly::zero();
+        for (unknown, exps) in terms {
+            let powers: Vec<(VarId, u32)> = exps
+                .iter()
+                .enumerate()
+                .map(|(i, &e)| (VarId::new(i), e))
+                .collect();
+            template.add_term(
+                LinExpr::unknown(UnknownId::new(unknown)),
+                Monomial::from_powers(&powers),
+            );
+        }
+        template
+    })
+}
+
+proptest! {
+    #[test]
+    fn template_product_agrees_with_instantiated_product(
+        a in arb_template(), b in arb_template(),
+        assignment in prop::collection::vec(-3i64..4, 4),
+        val in arb_valuation()
+    ) {
+        let assign = |u: UnknownId| Rational::from_int(assignment[u.index()]);
+        let symbolic = a.mul_template(&b);
+        let concrete = &a.instantiate(assign) * &b.instantiate(assign);
+        // Evaluate both at `val`; coefficient-wise equality implies this.
+        let mut symbolic_value = Rational::zero();
+        for (monomial, coeff) in symbolic.iter() {
+            symbolic_value += coeff.eval_rational(assign) * monomial.eval(|v| val[v.index()]);
+        }
+        prop_assert_eq!(symbolic_value, concrete.eval(|v| val[v.index()]));
+    }
+
+    #[test]
+    fn template_substitution_agrees_with_instantiated_substitution(
+        a in arb_template(), q in arb_poly(),
+        assignment in prop::collection::vec(-3i64..4, 4)
+    ) {
+        let assign = |u: UnknownId| Rational::from_int(assignment[u.index()]);
+        let substituted_then_instantiated = a
+            .substitute(|v| if v.index() == 0 { Some(q.clone()) } else { None })
+            .instantiate(assign);
+        let instantiated_then_substituted = a
+            .instantiate(assign)
+            .substitute(|v| if v.index() == 0 { Some(q.clone()) } else { None });
+        prop_assert_eq!(substituted_then_instantiated, instantiated_then_substituted);
+    }
+}

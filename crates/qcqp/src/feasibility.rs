@@ -1,0 +1,263 @@
+//! Alternating-projection feasibility solver for affine + PSD + box
+//! problems.
+//!
+//! When the template coefficients (s-variables) are fixed — i.e. when a
+//! *given* invariant is being checked — the Gram-encoded system of Step 3
+//! becomes convex: linear equalities over the Gram entries and the
+//! positivity witnesses, PSD constraints on the Gram blocks and box bounds.
+//! Feasibility of such a system is decided here by the projection-onto-
+//! convex-sets (POCS) method:
+//!
+//! 1. project the current point onto the affine subspace defined by the
+//!    equalities (a single dense least-squares solve, factored once);
+//! 2. project onto every PSD block (eigenvalue clipping) and the box;
+//! 3. repeat until the distances moved vanish (feasible) or stagnate above
+//!    the tolerance (numerically infeasible).
+
+use polyinv_arith::{Matrix, Vector};
+
+use crate::problem::Problem;
+
+/// Configuration of the alternating-projection solver.
+#[derive(Debug, Clone)]
+pub struct FeasibilityOptions {
+    /// Maximum number of projection rounds.
+    pub max_iterations: usize,
+    /// Tolerance on the final constraint violation.
+    pub tolerance: f64,
+    /// Tikhonov damping used when the equality system is rank deficient.
+    pub damping: f64,
+}
+
+impl Default for FeasibilityOptions {
+    fn default() -> Self {
+        FeasibilityOptions {
+            max_iterations: 400,
+            tolerance: 1e-6,
+            damping: 1e-9,
+        }
+    }
+}
+
+/// The alternating-projection solver.
+#[derive(Debug, Clone, Default)]
+pub struct FeasibilitySolver {
+    options: FeasibilityOptions,
+}
+
+impl FeasibilitySolver {
+    /// Creates a solver with the given options.
+    pub fn new(options: FeasibilityOptions) -> Self {
+        FeasibilitySolver { options }
+    }
+
+    /// Attempts to find a point satisfying all constraints of `problem`.
+    ///
+    /// Every equality of the problem must be affine; quadratic equalities
+    /// are rejected.
+    ///
+    /// Returns `Some(assignment)` on success and `None` if no feasible point
+    /// was found within the iteration budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the problem contains non-affine equality or inequality
+    /// constraints.
+    pub fn solve(&self, problem: &Problem, start: Option<&[f64]>) -> Option<Vec<f64>> {
+        for eq in problem.equalities.iter().chain(&problem.inequalities) {
+            assert!(
+                eq.is_affine(),
+                "the alternating-projection solver requires affine constraints"
+            );
+        }
+        let n = problem.num_vars;
+        let m = problem.equalities.len();
+        let mut x = match start {
+            Some(values) if values.len() == n => values.to_vec(),
+            _ => vec![0.0; n],
+        };
+        if m == 0 && problem.psd.is_empty() && problem.inequalities.is_empty() {
+            return Some(x);
+        }
+
+        // Assemble the coefficient matrix A of the equality system A·x = b
+        // (b enters through the constant terms when residuals are evaluated).
+        let mut a = Matrix::zeros(m, n);
+        for (row, eq) in problem.equalities.iter().enumerate() {
+            for &(col, coeff) in &eq.linear {
+                a.add_to(row, col, coeff);
+            }
+        }
+        let at = a.transpose();
+        // The orthogonal projection onto {x : A·x = b} is
+        // x − Aᵀ·(A·Aᵀ)⁻¹·(A·x − b). The Gram matrix A·Aᵀ is m×m and is
+        // regularized to tolerate redundant rows; it is inverted once.
+        let mut aat = &a * &at;
+        for i in 0..m {
+            aat.add_to(i, i, self.options.damping.max(1e-12));
+        }
+        let aat_inverse = aat.inverse();
+
+        let mut best_violation = f64::INFINITY;
+        let mut best_x = x.clone();
+        for _ in 0..self.options.max_iterations {
+            // Projection onto the affine subspace: minimize ‖y − x‖ s.t.
+            // A·y = b. Solved approximately through the damped normal
+            // equations of the KKT system: y = x − Aᵀ·(A·Aᵀ)⁻¹·(A·x − b).
+            // We use the equivalent least-norm correction obtained from
+            // (AᵀA + δI)·Δ = Aᵀ·(A·x − b), y = x − Δ, which is accurate for
+            // small δ and tolerates rank deficiency.
+            let ax_minus_b: Vector = {
+                let mut r = Vector::zeros(m);
+                for (row, eq) in problem.equalities.iter().enumerate() {
+                    r[row] = eq.eval(&x);
+                }
+                r
+            };
+            // Δ = Aᵀ·(A·Aᵀ + δI)⁻¹·(A·x − b).
+            let y = match &aat_inverse {
+                Some(inv) => Some(inv.mul_vec(&ax_minus_b)),
+                None => aat.solve(&ax_minus_b),
+            };
+            if let Some(y) = y {
+                let delta = at.mul_vec(&y);
+                for i in 0..n {
+                    x[i] -= delta[i];
+                }
+            }
+            // Projection onto the PSD cones.
+            for block in &problem.psd {
+                block.project(&mut x);
+            }
+            // Projection onto affine inequalities (half-spaces) and the box.
+            for ineq in &problem.inequalities {
+                let value = ineq.eval(&x);
+                if value < 0.0 {
+                    // Move along the constraint normal to the boundary.
+                    let norm_sq: f64 = ineq.linear.iter().map(|&(_, c)| c * c).sum();
+                    if norm_sq > 1e-15 {
+                        let step = -value / norm_sq;
+                        for &(i, c) in &ineq.linear {
+                            x[i] += step * c;
+                        }
+                    }
+                }
+            }
+            problem.clamp(&mut x);
+
+            let violation = problem.max_violation(&x);
+            if violation < best_violation {
+                best_violation = violation;
+                best_x = x.clone();
+            }
+            if violation <= self.options.tolerance {
+                return Some(x);
+            }
+        }
+        if best_violation <= self.options.tolerance * 10.0 {
+            Some(best_x)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{PsdConstraint, QuadraticForm};
+
+    #[test]
+    fn solves_affine_equalities() {
+        // x + y = 4, x − y = 2 → (3, 1).
+        let mut problem = Problem::new(2);
+        problem.equalities.push(QuadraticForm {
+            constant: -4.0,
+            linear: vec![(0, 1.0), (1, 1.0)],
+            quadratic: Vec::new(),
+        });
+        problem.equalities.push(QuadraticForm {
+            constant: -2.0,
+            linear: vec![(0, 1.0), (1, -1.0)],
+            quadratic: Vec::new(),
+        });
+        let solution = FeasibilitySolver::default().solve(&problem, None).unwrap();
+        assert!((solution[0] - 3.0).abs() < 1e-4);
+        assert!((solution[1] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn solves_affine_plus_psd() {
+        // Q = [[a, 1], [1, b]] PSD with a + b = 3: e.g. a·b ≥ 1.
+        let mut problem = Problem::new(3);
+        problem.equalities.push(QuadraticForm {
+            constant: -1.0,
+            linear: vec![(1, 1.0)],
+            quadratic: Vec::new(),
+        });
+        problem.equalities.push(QuadraticForm {
+            constant: -3.0,
+            linear: vec![(0, 1.0), (2, 1.0)],
+            quadratic: Vec::new(),
+        });
+        problem.psd.push(PsdConstraint {
+            dim: 2,
+            indices: vec![0, 1, 2],
+        });
+        let solution = FeasibilitySolver::default().solve(&problem, None).unwrap();
+        assert!((solution[1] - 1.0).abs() < 1e-4);
+        assert!((solution[0] + solution[2] - 3.0).abs() < 1e-4);
+        assert!(solution[0] * solution[2] >= 1.0 - 1e-3);
+    }
+
+    #[test]
+    fn detects_infeasible_psd_systems() {
+        // [[a, 2], [2, b]] PSD with a = b = 1 is infeasible (det = −3).
+        let mut problem = Problem::new(3);
+        for (index, value) in [(0usize, 1.0f64), (1, 2.0), (2, 1.0)] {
+            problem.equalities.push(QuadraticForm {
+                constant: -value,
+                linear: vec![(index, 1.0)],
+                quadratic: Vec::new(),
+            });
+        }
+        problem.psd.push(PsdConstraint {
+            dim: 2,
+            indices: vec![0, 1, 2],
+        });
+        assert!(FeasibilitySolver::default().solve(&problem, None).is_none());
+    }
+
+    #[test]
+    fn respects_affine_inequalities_and_bounds() {
+        // x + y = 1, x ≥ 0.8, y ≥ 0 → x ∈ [0.8, 1].
+        let mut problem = Problem::new(2);
+        problem.equalities.push(QuadraticForm {
+            constant: -1.0,
+            linear: vec![(0, 1.0), (1, 1.0)],
+            quadratic: Vec::new(),
+        });
+        problem.inequalities.push(QuadraticForm {
+            constant: -0.8,
+            linear: vec![(0, 1.0)],
+            quadratic: Vec::new(),
+        });
+        problem.inequalities.push(QuadraticForm::variable(1));
+        let solution = FeasibilitySolver::default().solve(&problem, None).unwrap();
+        assert!(solution[0] >= 0.8 - 1e-4);
+        assert!(solution[1] >= -1e-4);
+        assert!((solution[0] + solution[1] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "affine constraints")]
+    fn rejects_quadratic_constraints() {
+        let mut problem = Problem::new(1);
+        problem.equalities.push(QuadraticForm {
+            constant: -1.0,
+            linear: Vec::new(),
+            quadratic: vec![(0, 0, 1.0)],
+        });
+        let _ = FeasibilitySolver::default().solve(&problem, None);
+    }
+}

@@ -1,0 +1,30 @@
+//! Quadratically-constrained programming and sum-of-squares feasibility.
+//!
+//! The paper solves its weak invariant-synthesis problems by handing a QCLP
+//! (quadratically-constrained linear program) to the commercial interior
+//! point solver LOQO. This crate is the open substitute used by the
+//! reproduction (see DESIGN.md §4): the reduction that produces the systems
+//! is identical to the paper's, only the numerical back-end differs.
+//!
+//! Three solvers are provided:
+//!
+//! * [`AlmSolver`] — an augmented-Lagrangian method with an Adam-style
+//!   first-order inner loop for general (non-convex) quadratic systems, with
+//!   optional projection onto PSD blocks after every step. This is the
+//!   workhorse used by weak synthesis.
+//! * [`FeasibilitySolver`] — alternating projections (POCS) between an
+//!   affine subspace (the linear equalities), the PSD cones of the Gram
+//!   blocks and box bounds. It solves the *verification* problems obtained
+//!   by fixing the template coefficients, which are convex.
+//! * [`least_squares`](problem::Problem::least_squares_step) style helpers
+//!   used by the bilinear alternation in the `polyinv` crate.
+
+pub mod feasibility;
+pub mod lm;
+pub mod penalty;
+pub mod problem;
+
+pub use feasibility::{FeasibilityOptions, FeasibilitySolver};
+pub use lm::{LmOptions, LmSolver};
+pub use penalty::{AlmOptions, AlmSolver, SolveOutcome, SolveStatus};
+pub use problem::{Problem, PsdConstraint, QuadraticForm};

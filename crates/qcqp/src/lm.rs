@@ -1,0 +1,386 @@
+//! A projected Levenberg–Marquardt solver for quadratic constraint systems.
+//!
+//! The quadratic systems produced by the paper's Cholesky encoding have a
+//! convenient shape: all hard constraints are quadratic *equalities*, and the
+//! only inequalities are simple lower bounds on individual variables
+//! (diagonal Cholesky entries and positivity witnesses). Finding a feasible
+//! point is therefore a nonlinear least-squares problem
+//! `min ‖r(x)‖²` (with `r` the vector of equality residuals and inequality
+//! hinges) over a box — exactly the setting in which Levenberg–Marquardt
+//! with projection onto the box excels. Compared to the first-order
+//! augmented-Lagrangian solver it converges orders of magnitude faster on
+//! the small and medium systems of the benchmark suite, at the cost of a
+//! dense `JᵀJ` factorization per iteration.
+
+use polyinv_arith::{Matrix, Vector};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::penalty::{SolveOutcome, SolveStatus};
+use crate::problem::Problem;
+
+/// Configuration of the Levenberg–Marquardt solver.
+#[derive(Debug, Clone)]
+pub struct LmOptions {
+    /// Maximum number of LM iterations per restart.
+    pub max_iterations: usize,
+    /// Feasibility tolerance declaring success (maximum constraint
+    /// violation).
+    pub tolerance: f64,
+    /// Initial damping factor λ.
+    pub initial_lambda: f64,
+    /// Factor by which λ grows after a rejected step.
+    pub lambda_up: f64,
+    /// Factor by which λ shrinks after an accepted step.
+    pub lambda_down: f64,
+    /// Number of random restarts.
+    pub restarts: usize,
+    /// Random seed.
+    pub seed: u64,
+    /// Scale of the random initialization.
+    pub init_scale: f64,
+    /// Weight given to the objective (if any) relative to the constraint
+    /// residuals; the objective is treated as a soft residual
+    /// `objective_weight · objective(x)` so that among near-feasible points
+    /// lower objectives are preferred.
+    pub objective_weight: f64,
+}
+
+impl Default for LmOptions {
+    fn default() -> Self {
+        LmOptions {
+            max_iterations: 250,
+            tolerance: 1e-7,
+            initial_lambda: 1e-3,
+            lambda_up: 7.0,
+            lambda_down: 0.35,
+            restarts: 3,
+            seed: 0x1a2b3c,
+            init_scale: 0.3,
+            objective_weight: 0.0,
+        }
+    }
+}
+
+/// The projected Levenberg–Marquardt solver.
+#[derive(Debug, Clone, Default)]
+pub struct LmSolver {
+    options: LmOptions,
+}
+
+impl LmSolver {
+    /// Creates a solver with the given options.
+    pub fn new(options: LmOptions) -> Self {
+        LmSolver { options }
+    }
+
+    /// Solves the problem, optionally starting from a warm-start point.
+    ///
+    /// PSD blocks are handled by projection after every accepted step (they
+    /// are absent from Cholesky-encoded systems, which are the intended
+    /// input).
+    pub fn solve(&self, problem: &Problem, warm_start: Option<&[f64]>) -> SolveOutcome {
+        let mut best: Option<SolveOutcome> = None;
+        for restart in 0..self.options.restarts.max(1) {
+            let mut rng = StdRng::seed_from_u64(self.options.seed.wrapping_add(restart as u64));
+            let mut x: Vec<f64> = match (restart, warm_start) {
+                (0, Some(start)) if start.len() == problem.num_vars => start.to_vec(),
+                _ => (0..problem.num_vars)
+                    .map(|_| rng.random_range(-self.options.init_scale..self.options.init_scale))
+                    .collect(),
+            };
+            problem.clamp(&mut x);
+            let outcome = self.solve_from(problem, &mut x);
+            let better = match &best {
+                None => true,
+                Some(current) => {
+                    (outcome.status == SolveStatus::Feasible
+                        && current.status != SolveStatus::Feasible)
+                        || (outcome.status == current.status
+                            && outcome.violation < current.violation)
+                }
+            };
+            if better {
+                best = Some(outcome);
+            }
+            if best
+                .as_ref()
+                .is_some_and(|o| o.status == SolveStatus::Feasible)
+            {
+                break;
+            }
+        }
+        best.expect("at least one restart runs")
+    }
+
+    fn solve_from(&self, problem: &Problem, x: &mut Vec<f64>) -> SolveOutcome {
+        let opts = &self.options;
+        let n = problem.num_vars;
+        let mut lambda = opts.initial_lambda;
+        let mut iterations = 0usize;
+
+        let objective_at = |point: &[f64]| {
+            problem
+                .objective
+                .as_ref()
+                .map(|o| o.eval(point))
+                .unwrap_or(0.0)
+        };
+        let minimizing = problem.objective.is_some() && opts.objective_weight > 0.0;
+        let mut best_x = x.clone();
+        let mut best_violation = problem.max_violation(x);
+        let mut best_objective = objective_at(x);
+
+        for _ in 0..opts.max_iterations {
+            iterations += 1;
+            let (residuals, jacobian_rows) = self.residuals_and_rows(problem, x);
+            let cost: f64 = residuals.iter().map(|r| r * r).sum();
+            if !minimizing && problem.max_violation(x) <= opts.tolerance {
+                best_x = x.clone();
+                best_violation = problem.max_violation(x);
+                break;
+            }
+            let m = residuals.len();
+            if m == 0 {
+                break;
+            }
+            // Dense Jacobian.
+            let mut jacobian = Matrix::zeros(m, n);
+            for (row, entries) in jacobian_rows.iter().enumerate() {
+                for &(col, value) in entries {
+                    jacobian.add_to(row, col, value);
+                }
+            }
+            let jt = jacobian.transpose();
+            let mut jtj = &jt * &jacobian;
+            let r_vec = Vector::from_slice(&residuals);
+            let jtr = jt.mul_vec(&r_vec);
+
+            // Try steps with increasing damping until one reduces the cost.
+            let mut accepted = false;
+            for _ in 0..8 {
+                let mut damped = jtj.clone();
+                for i in 0..n {
+                    damped.add_to(i, i, lambda * (1.0 + jtj.get(i, i)));
+                }
+                let Some(step) = damped.solve(&jtr) else {
+                    lambda *= opts.lambda_up;
+                    continue;
+                };
+                let mut candidate = x.clone();
+                for i in 0..n {
+                    candidate[i] -= step[i];
+                }
+                problem.clamp(&mut candidate);
+                for block in &problem.psd {
+                    block.project(&mut candidate);
+                }
+                let (candidate_residuals, _) = self.residuals_and_rows(problem, &candidate);
+                let candidate_cost: f64 = candidate_residuals.iter().map(|r| r * r).sum();
+                if candidate_cost < cost {
+                    *x = candidate;
+                    lambda = (lambda * opts.lambda_down).max(1e-12);
+                    accepted = true;
+                    break;
+                }
+                lambda *= opts.lambda_up;
+            }
+            let violation = problem.max_violation(x);
+            let objective = objective_at(x);
+            let better = if violation <= opts.tolerance && best_violation <= opts.tolerance {
+                objective < best_objective
+            } else {
+                violation < best_violation
+            };
+            if better {
+                best_violation = violation;
+                best_objective = objective;
+                best_x = x.clone();
+            }
+            if !accepted {
+                break;
+            }
+            // Avoid needless work once jtj gets reused.
+            jtj.symmetrize();
+        }
+
+        let violation = best_violation;
+        let objective = problem
+            .objective
+            .as_ref()
+            .map(|o| o.eval(&best_x))
+            .unwrap_or(0.0);
+        SolveOutcome {
+            assignment: best_x,
+            violation,
+            objective,
+            status: if violation <= opts.tolerance {
+                SolveStatus::Feasible
+            } else {
+                SolveStatus::Infeasible
+            },
+            iterations,
+        }
+    }
+
+    /// Evaluates the residual vector and the sparse Jacobian rows at `x`.
+    ///
+    /// Residuals: every equality value; `max(0, −value)` for every
+    /// inequality (with the corresponding active-set Jacobian row); the
+    /// weighted objective if configured.
+    #[allow(clippy::type_complexity)]
+    fn residuals_and_rows(
+        &self,
+        problem: &Problem,
+        x: &[f64],
+    ) -> (Vec<f64>, Vec<Vec<(usize, f64)>>) {
+        let mut residuals = Vec::with_capacity(problem.equalities.len() + problem.inequalities.len());
+        let mut rows = Vec::with_capacity(residuals.capacity());
+        let mut gradient_buffer = vec![0.0; problem.num_vars];
+        let sparse_gradient = |form: &crate::problem::QuadraticForm,
+                                   x: &[f64],
+                                   buffer: &mut Vec<f64>|
+         -> Vec<(usize, f64)> {
+            for value in buffer.iter_mut() {
+                *value = 0.0;
+            }
+            form.add_gradient(x, buffer, 1.0);
+            buffer
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v != 0.0)
+                .map(|(i, &v)| (i, v))
+                .collect()
+        };
+        for eq in &problem.equalities {
+            residuals.push(eq.eval(x));
+            rows.push(sparse_gradient(eq, x, &mut gradient_buffer));
+        }
+        for ineq in &problem.inequalities {
+            let value = ineq.eval(x);
+            if value < 0.0 {
+                residuals.push(-value);
+                let row = sparse_gradient(ineq, x, &mut gradient_buffer)
+                    .into_iter()
+                    .map(|(i, v)| (i, -v))
+                    .collect();
+                rows.push(row);
+            } else {
+                residuals.push(0.0);
+                rows.push(Vec::new());
+            }
+        }
+        if let (Some(objective), true) = (&problem.objective, self.options.objective_weight > 0.0) {
+            residuals.push(self.options.objective_weight * objective.eval(x));
+            let row = sparse_gradient(objective, x, &mut gradient_buffer)
+                .into_iter()
+                .map(|(i, v)| (i, self.options.objective_weight * v))
+                .collect();
+            rows.push(row);
+        }
+        (residuals, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::QuadraticForm;
+
+    #[test]
+    fn solves_bilinear_systems_quickly() {
+        // x·y = 6, x − y = 1, x ≥ 0 → (3, 2).
+        let mut problem = Problem::new(2);
+        problem.equalities.push(QuadraticForm {
+            constant: -6.0,
+            linear: Vec::new(),
+            quadratic: vec![(0, 1, 1.0)],
+        });
+        problem.equalities.push(QuadraticForm {
+            constant: -1.0,
+            linear: vec![(0, 1.0), (1, -1.0)],
+            quadratic: Vec::new(),
+        });
+        problem.inequalities.push(QuadraticForm::variable(0));
+        let outcome = LmSolver::default().solve(&problem, None);
+        assert_eq!(outcome.status, SolveStatus::Feasible);
+        assert!((outcome.assignment[0] - 3.0).abs() < 1e-4);
+        assert!((outcome.assignment[1] - 2.0).abs() < 1e-4);
+        assert!(outcome.iterations < 100);
+    }
+
+    #[test]
+    fn solves_sum_of_squares_style_systems_on_the_boundary() {
+        // t = l², with t forced to 0: boundary solution l = 0, plus an
+        // unrelated equality u = 5.
+        let mut problem = Problem::new(3);
+        problem.equalities.push(QuadraticForm {
+            constant: 0.0,
+            linear: vec![(0, 1.0)],
+            quadratic: vec![(1, 1, -1.0)],
+        });
+        problem.equalities.push(QuadraticForm {
+            constant: 0.0,
+            linear: vec![(0, 1.0)],
+            quadratic: Vec::new(),
+        });
+        problem.equalities.push(QuadraticForm {
+            constant: -5.0,
+            linear: vec![(2, 1.0)],
+            quadratic: Vec::new(),
+        });
+        problem.inequalities.push(QuadraticForm::variable(1));
+        let outcome = LmSolver::default().solve(&problem, None);
+        assert_eq!(outcome.status, SolveStatus::Feasible);
+        assert!(outcome.assignment[0].abs() < 1e-5);
+        assert!((outcome.assignment[2] - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn respects_variable_bounds() {
+        // x² = 4 with x ≥ 0 must pick the positive root.
+        let mut problem = Problem::new(1);
+        problem.equalities.push(QuadraticForm {
+            constant: -4.0,
+            linear: Vec::new(),
+            quadratic: vec![(0, 0, 1.0)],
+        });
+        problem.set_bound(0, 0.0, 100.0);
+        let outcome = LmSolver::default().solve(&problem, Some(&[-3.0]));
+        assert_eq!(outcome.status, SolveStatus::Feasible);
+        assert!((outcome.assignment[0] - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reports_infeasibility() {
+        // x = 0 and x = 1.
+        let mut problem = Problem::new(1);
+        problem.equalities.push(QuadraticForm::variable(0));
+        problem.equalities.push(QuadraticForm {
+            constant: -1.0,
+            linear: vec![(0, 1.0)],
+            quadratic: Vec::new(),
+        });
+        let outcome = LmSolver::default().solve(&problem, None);
+        assert_eq!(outcome.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn soft_objective_prefers_smaller_values_among_feasible_points() {
+        // x ≥ 3 (no equalities), minimize x via the soft objective.
+        let mut problem = Problem::new(1);
+        problem.inequalities.push(QuadraticForm {
+            constant: -3.0,
+            linear: vec![(0, 1.0)],
+            quadratic: Vec::new(),
+        });
+        problem.objective = Some(QuadraticForm::variable(0));
+        let solver = LmSolver::new(LmOptions {
+            objective_weight: 0.05,
+            ..LmOptions::default()
+        });
+        let outcome = solver.solve(&problem, Some(&[50.0]));
+        assert_eq!(outcome.status, SolveStatus::Feasible);
+        assert!(outcome.assignment[0] < 10.0);
+    }
+}

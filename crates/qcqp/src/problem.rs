@@ -1,0 +1,275 @@
+//! Problem representation for quadratically-constrained programs.
+
+use polyinv_arith::Matrix;
+
+/// A sparse quadratic form `c + Σ aᵢ·xᵢ + Σ bᵢⱼ·xᵢ·xⱼ`.
+#[derive(Debug, Clone, Default)]
+pub struct QuadraticForm {
+    /// The constant term.
+    pub constant: f64,
+    /// Linear terms `(variable, coefficient)`.
+    pub linear: Vec<(usize, f64)>,
+    /// Quadratic terms `(i, j, coefficient)` with `i ≤ j`; the coefficient
+    /// multiplies `xᵢ·xⱼ` exactly once (no symmetrization).
+    pub quadratic: Vec<(usize, usize, f64)>,
+}
+
+impl QuadraticForm {
+    /// A constant form.
+    pub fn constant(value: f64) -> Self {
+        QuadraticForm {
+            constant: value,
+            ..QuadraticForm::default()
+        }
+    }
+
+    /// A form consisting of a single variable.
+    pub fn variable(index: usize) -> Self {
+        QuadraticForm {
+            constant: 0.0,
+            linear: vec![(index, 1.0)],
+            quadratic: Vec::new(),
+        }
+    }
+
+    /// Returns `true` if the form has no quadratic terms.
+    pub fn is_affine(&self) -> bool {
+        self.quadratic.is_empty()
+    }
+
+    /// Evaluates the form at `x`.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        let mut value = self.constant;
+        for &(i, c) in &self.linear {
+            value += c * x[i];
+        }
+        for &(i, j, c) in &self.quadratic {
+            value += c * x[i] * x[j];
+        }
+        value
+    }
+
+    /// Accumulates `scale · ∇form(x)` into `grad`.
+    pub fn add_gradient(&self, x: &[f64], grad: &mut [f64], scale: f64) {
+        for &(i, c) in &self.linear {
+            grad[i] += scale * c;
+        }
+        for &(i, j, c) in &self.quadratic {
+            if i == j {
+                grad[i] += scale * 2.0 * c * x[i];
+            } else {
+                grad[i] += scale * c * x[j];
+                grad[j] += scale * c * x[i];
+            }
+        }
+    }
+
+    /// The largest variable index mentioned (plus one), i.e. the minimum
+    /// dimension of a compatible assignment vector.
+    pub fn min_dimension(&self) -> usize {
+        let lin = self.linear.iter().map(|&(i, _)| i + 1).max().unwrap_or(0);
+        let quad = self
+            .quadratic
+            .iter()
+            .map(|&(_, j, _)| j + 1)
+            .max()
+            .unwrap_or(0);
+        lin.max(quad)
+    }
+}
+
+/// A positive-semidefiniteness constraint: the symmetric matrix whose upper
+/// triangle (row-major) is given by the listed variables must be PSD.
+#[derive(Debug, Clone)]
+pub struct PsdConstraint {
+    /// The dimension of the matrix.
+    pub dim: usize,
+    /// Indices of the upper-triangle entries, row-major:
+    /// `(0,0), (0,1), …, (0,dim−1), (1,1), …`.
+    pub indices: Vec<usize>,
+}
+
+impl PsdConstraint {
+    /// Extracts the symmetric matrix from an assignment.
+    pub fn extract(&self, x: &[f64]) -> Matrix {
+        let mut m = Matrix::zeros(self.dim, self.dim);
+        let mut k = 0;
+        for row in 0..self.dim {
+            for col in row..self.dim {
+                let value = x[self.indices[k]];
+                m.set(row, col, value);
+                m.set(col, row, value);
+                k += 1;
+            }
+        }
+        m
+    }
+
+    /// Writes a symmetric matrix back into an assignment.
+    pub fn store(&self, m: &Matrix, x: &mut [f64]) {
+        let mut k = 0;
+        for row in 0..self.dim {
+            for col in row..self.dim {
+                x[self.indices[k]] = 0.5 * (m.get(row, col) + m.get(col, row));
+                k += 1;
+            }
+        }
+    }
+
+    /// Projects the block of `x` onto the PSD cone in place and returns the
+    /// Frobenius distance moved.
+    pub fn project(&self, x: &mut [f64]) -> f64 {
+        let matrix = self.extract(x);
+        let projected = matrix.project_psd();
+        let distance = (&projected - &matrix).frobenius_norm();
+        self.store(&projected, x);
+        distance
+    }
+
+    /// The minimum eigenvalue of the block under the assignment.
+    pub fn min_eigenvalue(&self, x: &[f64]) -> f64 {
+        self.extract(x).min_eigenvalue()
+    }
+}
+
+/// A quadratically-constrained program
+/// `min objective(x)  s.t.  eqᵢ(x) = 0,  ineqⱼ(x) ≥ 0,  Q_k(x) ⪰ 0,
+///  lo ≤ x ≤ hi`.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    /// The number of variables.
+    pub num_vars: usize,
+    /// Equality constraints `form = 0`.
+    pub equalities: Vec<QuadraticForm>,
+    /// Inequality constraints `form ≥ 0`.
+    pub inequalities: Vec<QuadraticForm>,
+    /// PSD block constraints.
+    pub psd: Vec<PsdConstraint>,
+    /// The objective to *minimize* (`None` for pure feasibility problems).
+    pub objective: Option<QuadraticForm>,
+    /// Per-variable box bounds (defaults to `(-BOUND, BOUND)`).
+    pub bounds: Vec<(f64, f64)>,
+}
+
+/// Default symmetric box bound applied to every variable; it keeps the
+/// first-order solver from diverging and matches the bounded-reals model.
+pub const DEFAULT_BOUND: f64 = 1.0e4;
+
+impl Problem {
+    /// Creates an unconstrained problem with `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        Problem {
+            num_vars,
+            equalities: Vec::new(),
+            inequalities: Vec::new(),
+            psd: Vec::new(),
+            objective: None,
+            bounds: vec![(-DEFAULT_BOUND, DEFAULT_BOUND); num_vars],
+        }
+    }
+
+    /// Sets the box bound of one variable.
+    pub fn set_bound(&mut self, var: usize, lower: f64, upper: f64) {
+        self.bounds[var] = (lower, upper);
+    }
+
+    /// The worst constraint violation at `x` (equalities, inequalities, PSD
+    /// blocks and box bounds).
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        let mut worst: f64 = 0.0;
+        for eq in &self.equalities {
+            worst = worst.max(eq.eval(x).abs());
+        }
+        for ineq in &self.inequalities {
+            worst = worst.max((-ineq.eval(x)).max(0.0));
+        }
+        for block in &self.psd {
+            worst = worst.max((-block.min_eigenvalue(x)).max(0.0));
+        }
+        for (i, &(lo, hi)) in self.bounds.iter().enumerate() {
+            worst = worst.max(lo - x[i]).max(x[i] - hi);
+        }
+        worst
+    }
+
+    /// Returns `true` if `x` satisfies every constraint up to `tolerance`.
+    pub fn is_feasible(&self, x: &[f64], tolerance: f64) -> bool {
+        self.max_violation(x) <= tolerance
+    }
+
+    /// Clamps an assignment into the box bounds in place.
+    pub fn clamp(&self, x: &mut [f64]) {
+        for (value, &(lo, hi)) in x.iter_mut().zip(&self.bounds) {
+            *value = value.clamp(lo, hi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_form_evaluation_and_gradient() {
+        // f(x, y) = 1 + 2x + 3xy + y²
+        let form = QuadraticForm {
+            constant: 1.0,
+            linear: vec![(0, 2.0)],
+            quadratic: vec![(0, 1, 3.0), (1, 1, 1.0)],
+        };
+        let x = [2.0, -1.0];
+        assert_eq!(form.eval(&x), 1.0 + 4.0 - 6.0 + 1.0);
+        let mut grad = vec![0.0; 2];
+        form.add_gradient(&x, &mut grad, 1.0);
+        // df/dx = 2 + 3y = -1, df/dy = 3x + 2y = 4.
+        assert_eq!(grad, vec![-1.0, 4.0]);
+        assert_eq!(form.min_dimension(), 2);
+        assert!(!form.is_affine());
+    }
+
+    #[test]
+    fn gradient_scaling_accumulates() {
+        let form = QuadraticForm::variable(1);
+        let mut grad = vec![0.0; 3];
+        form.add_gradient(&[0.0; 3], &mut grad, 2.5);
+        form.add_gradient(&[0.0; 3], &mut grad, -0.5);
+        assert_eq!(grad, vec![0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn psd_constraint_round_trip_and_projection() {
+        let block = PsdConstraint {
+            dim: 2,
+            indices: vec![0, 1, 2],
+        };
+        // Indefinite matrix [[0, 1], [1, 0]].
+        let mut x = vec![0.0, 1.0, 0.0];
+        assert!(block.min_eigenvalue(&x) < -0.5);
+        let moved = block.project(&mut x);
+        assert!(moved > 0.0);
+        assert!(block.min_eigenvalue(&x) >= -1e-9);
+        // The projection of [[0,1],[1,0]] is [[0.5,0.5],[0.5,0.5]].
+        assert!((x[0] - 0.5).abs() < 1e-9);
+        assert!((x[1] - 0.5).abs() < 1e-9);
+        assert!((x[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn problem_violation_includes_all_constraint_classes() {
+        let mut problem = Problem::new(2);
+        problem.equalities.push(QuadraticForm {
+            constant: -1.0,
+            linear: vec![(0, 1.0)],
+            quadratic: Vec::new(),
+        });
+        problem.inequalities.push(QuadraticForm::variable(1));
+        problem.set_bound(1, -2.0, 2.0);
+        assert!(problem.is_feasible(&[1.0, 0.5], 1e-9));
+        assert!(!problem.is_feasible(&[0.0, 0.5], 1e-9));
+        assert!(!problem.is_feasible(&[1.0, -0.5], 1e-9));
+        assert!((problem.max_violation(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+        let mut x = vec![5.0, -7.0];
+        problem.clamp(&mut x);
+        assert_eq!(x, vec![5.0, -2.0]);
+    }
+}

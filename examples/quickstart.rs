@@ -1,0 +1,56 @@
+//! Quickstart: parse a program, run the reduction, and inspect the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use polyinv::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small non-deterministic program in the paper's mini-language.
+    let source = r#"
+        double(n) {
+            @pre(n >= 0);
+            x := 0;
+            i := 0;
+            while i < n do
+                if * then
+                    x := x + 2
+                else
+                    x := x + 1
+                fi;
+                i := i + 1
+            od;
+            return x
+        }
+    "#;
+    let program = parse_program(source)?;
+    println!("parsed `{}` with {} labels", program.main().name(), program.main().labels().len());
+
+    // Steps 1-3: build the quadratic system for degree-2 invariant templates.
+    let pre = Precondition::from_program(&program);
+    let options = SynthesisOptions::default();
+    let generated = polyinv_constraints::generate(&program, &pre, &options);
+    println!("generated quadratic system: {}", generated.system.summary());
+
+    // Step 4 (weak synthesis): prove that the return value is at most 2n.
+    let exit = program.main().exit_label();
+    let (target, _) = parse_assertion(&program, "double", "2 * n_in + 1 - ret > 0")?;
+    let synth = WeakSynthesis::with_options(SynthesisOptions {
+        degree: 1,
+        ..SynthesisOptions::default()
+    });
+    let outcome = synth.synthesize(
+        &program,
+        &pre,
+        &[polyinv::weak::TargetAssertion::new(exit, target)],
+    );
+    println!(
+        "weak synthesis: {:?} (|S| = {}, violation = {:.2e}, solve time = {:?})",
+        outcome.status, outcome.system_size, outcome.violation, outcome.solve_time
+    );
+    if outcome.status == polyinv::weak::SynthesisStatus::Synthesized {
+        println!("synthesized inductive invariant:\n{}", outcome.invariant.render(&program));
+    }
+    Ok(())
+}

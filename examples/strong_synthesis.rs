@@ -1,0 +1,43 @@
+//! Strong invariant synthesis: enumerate a representative set of distinct
+//! inductive invariants of a bounded counter loop.
+//!
+//! ```text
+//! cargo run --release --example strong_synthesis
+//! ```
+
+use polyinv::prelude::*;
+use polyinv::strong::StrongSynthesis;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = r#"
+        counter(x) {
+            @pre(x >= 0);
+            while x <= 5 do
+                x := x + 1
+            od;
+            return x
+        }
+    "#;
+    let program = parse_program(source)?;
+    let pre = Precondition::from_program(&program);
+
+    let options = StrongOptions {
+        synthesis: SynthesisOptions {
+            degree: 1,
+            ..SynthesisOptions::default()
+        },
+        attempts: 6,
+        ..StrongOptions::default()
+    };
+    let solutions = StrongSynthesis::new(options).enumerate(&program, &pre);
+    println!(
+        "found {} distinct inductive invariant(s) for the counter loop",
+        solutions.len()
+    );
+    for (index, solution) in solutions.iter().enumerate() {
+        println!("--- invariant #{index} ---");
+        print!("{}", solution.invariant.render(&program));
+    }
+    assert!(!solutions.is_empty());
+    Ok(())
+}

@@ -1,0 +1,164 @@
+//! Integration tests running the reduction over the benchmark suite and the
+//! baseline, checking the "shape" properties reported in the paper's tables.
+
+use polyinv::prelude::*;
+use polyinv::weak::{SynthesisStatus, TargetAssertion};
+use polyinv_benchmarks::{by_name, table2, table3, Category};
+use polyinv_farkas::{FarkasBaseline, Inapplicability};
+
+#[test]
+fn small_table2_benchmarks_generate_systems_of_paper_scale() {
+    // Generation (Steps 1-3) for a representative subset; the full sweep is
+    // done by the `reproduce` binary and the Criterion benches.
+    for name in ["sqrt", "freire1", "petter", "cohendiv", "mannadiv"] {
+        let benchmark = by_name(name).unwrap();
+        let program = benchmark.program().unwrap();
+        let pre = benchmark.precondition().unwrap();
+        let options = SynthesisOptions {
+            degree: benchmark.paper.d,
+            size: benchmark.paper.n,
+            ..SynthesisOptions::default()
+        };
+        let generated = polyinv_constraints::generate(&program, &pre, &options);
+        // Same order of magnitude as the paper's |S| (our encoding counts a
+        // few more variables per benchmark — shadow parameters, return
+        // variables and sequentialization temporaries — which inflates the
+        // monomial bases; see EXPERIMENTS.md).
+        assert!(
+            generated.size() >= benchmark.paper.system_size / 20
+                && generated.size() <= benchmark.paper.system_size * 20,
+            "{name}: |S| = {} vs paper {}",
+            generated.size(),
+            benchmark.paper.system_size
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow without optimizations; run with `cargo test --release`")]
+fn benchmark_difficulty_ordering_is_preserved() {
+    // The paper's largest Table 2 system (euclidex3) must also be our
+    // largest among a sample, and the smallest (cohendiv, d=1) our smallest.
+    let sizes: Vec<(String, usize)> = ["cohendiv", "sqrt", "euclidex3"]
+        .iter()
+        .map(|name| {
+            let benchmark = by_name(name).unwrap();
+            let program = benchmark.program().unwrap();
+            let pre = benchmark.precondition().unwrap();
+            let options = SynthesisOptions {
+                degree: benchmark.paper.d,
+                size: benchmark.paper.n,
+                ..SynthesisOptions::default()
+            };
+            (
+                name.to_string(),
+                polyinv_constraints::generate(&program, &pre, &options).size(),
+            )
+        })
+        .collect();
+    assert!(sizes[0].1 < sizes[2].1, "{sizes:?}");
+    assert!(sizes[1].1 < sizes[2].1, "{sizes:?}");
+}
+
+#[test]
+fn every_benchmark_has_consistent_metadata() {
+    for benchmark in table2().iter().chain(table3().iter()) {
+        let program = benchmark.program().unwrap();
+        if benchmark.category == Category::Recursive {
+            // The recursive block contains recursive programs (except the
+            // RL block which is single-loop by construction).
+        } else if benchmark.category == Category::NonRecursive {
+            assert!(program.is_simple(), "{} should be simple", benchmark.name);
+        }
+        // Targets must be representable within the configured degree.
+        if let Some(target) = benchmark.target_polynomial(&program).unwrap() {
+            assert!(
+                target.degree() <= benchmark.paper.d.max(2) + 2,
+                "{}: target degree {}",
+                benchmark.name,
+                target.degree()
+            );
+        }
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow without optimizations; run with `cargo test --release`")]
+fn weak_synthesis_closes_a_small_linear_benchmark() {
+    // End-to-end Steps 1-4 on a small bounded-counter program: the local
+    // solver reliably closes lower-bound style targets of this size.
+    let source = r#"
+        clamp(x) {
+            @pre(x >= 0 && 10 >= x);
+            y := 0;
+            while y < x do
+                y := y + 1
+            od;
+            return y
+        }
+    "#;
+    let program = parse_program(source).unwrap();
+    let pre = Precondition::from_program(&program);
+    let exit = program.main().exit_label();
+    let (target, _) = parse_assertion(&program, "clamp", "y + 1 - ret > 0").unwrap();
+    let synth = WeakSynthesis::with_options(SynthesisOptions {
+        degree: 1,
+        ..SynthesisOptions::default()
+    });
+    let outcome = synth.synthesize(&program, &pre, &[TargetAssertion::new(exit, target)]);
+    assert_eq!(
+        outcome.status,
+        SynthesisStatus::Synthesized,
+        "violation {:.3e}",
+        outcome.violation
+    );
+    // Any synthesized invariant must survive falsification.
+    assert!(falsify(&program, &pre, &outcome.invariant, 200, 23).is_none());
+}
+
+#[test]
+fn farkas_baseline_rejects_polynomial_benchmarks_but_handles_linear_ones() {
+    // The Table-1 comparison: Colón et al. 2003 cannot handle the polynomial
+    // benchmarks the paper targets.
+    let cohencu = by_name("cohencu").unwrap();
+    let program = cohencu.program().unwrap();
+    // cohencu is linear in its updates, so pick one that is genuinely
+    // polynomial: prod4br multiplies variables.
+    let prod4br = by_name("prod4br").unwrap();
+    let poly_program = prod4br.program().unwrap();
+    assert!(matches!(
+        FarkasBaseline::default().check_applicable(&poly_program),
+        Err(Inapplicability::NonLinearAssignment { .. })
+    ));
+    // The linear ones are accepted and produce smaller systems than Putinar.
+    let pre = Precondition::from_program(&program);
+    if FarkasBaseline::default().check_applicable(&program).is_ok() {
+        let farkas = FarkasBaseline::default().generate(&program, &pre).unwrap();
+        let putinar =
+            polyinv_constraints::generate(&program, &pre, &SynthesisOptions::default());
+        assert!(farkas.size() < putinar.size());
+    }
+}
+
+#[test]
+fn recursive_benchmarks_are_treated_recursively() {
+    for name in ["recursive-sum", "pw2"] {
+        let benchmark = by_name(name).unwrap();
+        let program = benchmark.program().unwrap();
+        let pre = benchmark.precondition().unwrap();
+        let options = SynthesisOptions {
+            degree: benchmark.paper.d,
+            size: benchmark.paper.n,
+            ..SynthesisOptions::default()
+        };
+        let generated = polyinv_constraints::generate(&program, &pre, &options);
+        assert!(generated.recursive, "{name} must use the recursive algorithm");
+        assert!(
+            generated
+                .templates
+                .postcondition(program.main().name())
+                .is_some(),
+            "{name} must get a post-condition template"
+        );
+    }
+}
