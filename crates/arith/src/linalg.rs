@@ -212,7 +212,11 @@ impl Matrix {
     ///
     /// Panics if the dimensions are incompatible.
     pub fn mul_vec(&self, v: &Vector) -> Vector {
-        assert_eq!(self.cols, v.len(), "dimension mismatch in matrix-vector product");
+        assert_eq!(
+            self.cols,
+            v.len(),
+            "dimension mismatch in matrix-vector product"
+        );
         let mut result = Vector::zeros(self.rows);
         for i in 0..self.rows {
             let mut acc = 0.0;
@@ -241,7 +245,10 @@ impl Matrix {
 
     /// Symmetrizes the matrix in place: `A ← (A + Aᵀ)/2`.
     pub fn symmetrize(&mut self) {
-        assert_eq!(self.rows, self.cols, "only square matrices can be symmetrized");
+        assert_eq!(
+            self.rows, self.cols,
+            "only square matrices can be symmetrized"
+        );
         for i in 0..self.rows {
             for j in (i + 1)..self.cols {
                 let avg = 0.5 * (self.get(i, j) + self.get(j, i));
@@ -448,7 +455,10 @@ impl Matrix {
     /// eigenvector matrix corresponds to `eigenvalues[k]`. The input must be
     /// symmetric.
     pub fn symmetric_eigen(&self) -> (Vec<f64>, Matrix) {
-        assert_eq!(self.rows, self.cols, "eigendecomposition requires a square matrix");
+        assert_eq!(
+            self.rows, self.cols,
+            "eigendecomposition requires a square matrix"
+        );
         let n = self.rows;
         let mut a = self.clone();
         a.symmetrize();
@@ -572,8 +582,14 @@ impl Add for &Matrix {
 impl Sub for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.rows, rhs.rows, "dimension mismatch in matrix subtraction");
-        assert_eq!(self.cols, rhs.cols, "dimension mismatch in matrix subtraction");
+        assert_eq!(
+            self.rows, rhs.rows,
+            "dimension mismatch in matrix subtraction"
+        );
+        assert_eq!(
+            self.cols, rhs.cols,
+            "dimension mismatch in matrix subtraction"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,

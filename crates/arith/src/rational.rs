@@ -255,7 +255,12 @@ impl Rational {
         let numer = self
             .numer
             .checked_mul(lhs_scale)
-            .and_then(|a| other.numer.checked_mul(rhs_scale).and_then(|b| a.checked_add(b)))
+            .and_then(|a| {
+                other
+                    .numer
+                    .checked_mul(rhs_scale)
+                    .and_then(|b| a.checked_add(b))
+            })
             .ok_or(RationalError::Overflow)?;
         let denom = self
             .denom
@@ -298,7 +303,7 @@ impl Rational {
         let mut e = exp;
         while e > 0 {
             if e & 1 == 1 {
-                result = result * base;
+                result *= base;
             }
             base = base * base;
             e >>= 1;
@@ -427,7 +432,11 @@ impl FromStr for Rational {
             let frac_rat = Rational::new(frac, scale);
             let int_rat = Rational::new(int.abs(), 1);
             let magnitude = int_rat + frac_rat;
-            return Ok(if negative || int < 0 { -magnitude } else { magnitude });
+            return Ok(if negative || int < 0 {
+                -magnitude
+            } else {
+                magnitude
+            });
         }
         let numer: i128 = s.parse().map_err(|_| ParseRationalError::new(s))?;
         Ok(Rational::new(numer, 1))
@@ -618,7 +627,11 @@ mod tests {
 
     #[test]
     fn sums_and_products() {
-        let values = [Rational::new(1, 2), Rational::new(1, 3), Rational::new(1, 6)];
+        let values = [
+            Rational::new(1, 2),
+            Rational::new(1, 3),
+            Rational::new(1, 6),
+        ];
         let sum: Rational = values.iter().copied().sum();
         assert_eq!(sum, Rational::one());
         let product: Rational = values.iter().copied().product();

@@ -54,7 +54,7 @@ proptest! {
     fn pow_matches_repeated_multiplication(a in small_rational(), e in 0u32..5) {
         let mut expected = Rational::one();
         for _ in 0..e {
-            expected = expected * a;
+            expected *= a;
         }
         prop_assert_eq!(a.pow(e), expected);
     }

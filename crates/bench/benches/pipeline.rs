@@ -1,23 +1,78 @@
 //! Criterion benchmarks for the stages of the invariant-generation pipeline.
 //!
 //! Each group corresponds to an experiment listed in DESIGN.md §5:
-//! generation (Steps 1–3) for representative Table 2 / Table 3 rows,
-//! the ϒ and encoding ablations, the Farkas baseline, certificate checking
-//! and end-to-end weak synthesis on a small program.
+//! the individual pipeline stages (Steps 1–3) on the running example,
+//! generation for representative Table 2 / Table 3 rows, the ϒ and encoding
+//! ablations, the Farkas baseline, certificate checking and end-to-end weak
+//! synthesis on a small program.
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use polyinv::pipeline::{run_stage, PairStage, ReductionStage, TemplateStage};
 use polyinv::prelude::*;
 use polyinv::weak::TargetAssertion;
 use polyinv_bench::options_for;
 use polyinv_farkas::FarkasBaseline;
 use polyinv_lang::program::RUNNING_EXAMPLE_SOURCE;
 
+fn pipeline_stage_breakdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_stages");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+    let pre = Precondition::from_program(&program);
+    let pipeline = Pipeline::default();
+    group.bench_function("templates", |b| {
+        b.iter(|| {
+            let mut ctx = pipeline.context(&program, &pre);
+            run_stage(&mut ctx, &TemplateStage, ()).num_unknowns()
+        })
+    });
+    group.bench_function("pairs", |b| {
+        // Per-iteration setup (fresh context + templates) stays untimed.
+        b.iter_batched(
+            || {
+                let mut ctx = pipeline.context(&program, &pre);
+                let templates = run_stage(&mut ctx, &TemplateStage, ());
+                (ctx, templates)
+            },
+            |(mut ctx, templates)| run_stage(&mut ctx, &PairStage, &templates).len(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("reduction", |b| {
+        b.iter_batched(
+            || {
+                let mut ctx = pipeline.context(&program, &pre);
+                let templates = run_stage(&mut ctx, &TemplateStage, ());
+                let pairs = run_stage(&mut ctx, &PairStage, &templates);
+                (ctx, templates, pairs)
+            },
+            |(mut ctx, templates, pairs)| {
+                run_stage(&mut ctx, &ReductionStage, (templates, pairs)).size()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("full_generation", |b| {
+        b.iter(|| {
+            let mut ctx = pipeline.context(&program, &pre);
+            pipeline.generate(&mut ctx).size()
+        })
+    });
+    group.finish();
+}
+
 fn table2_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_system_generation");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
-    for name in ["sqrt", "freire1", "petter", "cohendiv", "mannadiv", "cohencu"] {
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    for name in [
+        "sqrt", "freire1", "petter", "cohendiv", "mannadiv", "cohencu",
+    ] {
         let benchmark = polyinv_benchmarks::by_name(name).unwrap();
         let program = benchmark.program().unwrap();
         let pre = benchmark.precondition().unwrap();
@@ -31,7 +86,9 @@ fn table2_generation(c: &mut Criterion) {
 
 fn table3_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_system_generation");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     for name in ["recursive-sum", "recursive-square-sum", "pw2"] {
         let benchmark = polyinv_benchmarks::by_name(name).unwrap();
         let program = benchmark.program().unwrap();
@@ -46,7 +103,9 @@ fn table3_generation(c: &mut Criterion) {
 
 fn ablation_upsilon(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_upsilon");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
     let pre = Precondition::from_program(&program);
     for upsilon in [0u32, 2, 4] {
@@ -63,10 +122,15 @@ fn ablation_upsilon(c: &mut Criterion) {
 
 fn ablation_encoding(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_encoding");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
     let pre = Precondition::from_program(&program);
-    for (name, encoding) in [("cholesky", SosEncoding::Cholesky), ("gram", SosEncoding::Gram)] {
+    for (name, encoding) in [
+        ("cholesky", SosEncoding::Cholesky),
+        ("gram", SosEncoding::Gram),
+    ] {
         let options = SynthesisOptions {
             encoding,
             ..SynthesisOptions::default()
@@ -80,11 +144,18 @@ fn ablation_encoding(c: &mut Criterion) {
 
 fn baseline_comparison(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline_comparison");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
     let pre = Precondition::from_program(&program);
     group.bench_function("farkas_linear", |b| {
-        b.iter(|| FarkasBaseline::default().generate(&program, &pre).unwrap().size())
+        b.iter(|| {
+            FarkasBaseline::default()
+                .generate(&program, &pre)
+                .unwrap()
+                .size()
+        })
     });
     group.bench_function("putinar_quadratic", |b| {
         b.iter(|| {
@@ -96,7 +167,9 @@ fn baseline_comparison(c: &mut Criterion) {
 
 fn certificate_checking(c: &mut Criterion) {
     let mut group = c.benchmark_group("certificate_check");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
     let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
     let pre = Precondition::from_program(&program);
     // The margin-aware linear strengthening used in the test suite.
@@ -137,7 +210,9 @@ fn certificate_checking(c: &mut Criterion) {
 
 fn weak_synthesis_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("weak_synthesis");
-    group.sample_size(10).measurement_time(Duration::from_secs(20));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20));
     let source = r#"
         inc(x) {
             @pre(x >= 0);
@@ -170,6 +245,7 @@ fn weak_synthesis_end_to_end(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    pipeline_stage_breakdown,
     table2_generation,
     table3_generation,
     ablation_upsilon,

@@ -5,9 +5,10 @@
 //! ```
 //!
 //! Without `--solve` only the reduction (Steps 1–3) is run and the table
-//! reports `|V|`, `|S|` and generation times next to the paper's numbers.
-//! With `--solve`, a weak-synthesis attempt (Step 4) is made for every row
-//! whose generated system is small enough for the local solver
+//! reports `|V|`, `|S|` and the per-stage generation times (template
+//! instantiation, constraint pairs, Putinar reduction) next to the paper's
+//! numbers. With `--solve`, a weak-synthesis attempt (Step 4) is made for
+//! every row whose generated system is small enough for the local solver
 //! (see EXPERIMENTS.md for the recorded outcomes).
 
 use std::time::Instant;
@@ -38,7 +39,9 @@ fn main() {
             baseline();
         }
         other => {
-            eprintln!("unknown experiment `{other}`; expected table2|table3|ablations|baseline|all");
+            eprintln!(
+                "unknown experiment `{other}`; expected table2|table3|ablations|baseline|all"
+            );
             std::process::exit(1);
         }
     }
@@ -55,7 +58,10 @@ fn table2(solve: bool) {
         .collect();
     println!(
         "{}",
-        format_table("Table 2 — non-recursive benchmarks (Rodríguez-Carbonell)", &rows)
+        format_table(
+            "Table 2 — non-recursive benchmarks (Rodríguez-Carbonell)",
+            &rows
+        )
     );
 }
 
@@ -69,7 +75,10 @@ fn table3(solve: bool) {
         .collect();
     println!(
         "{}",
-        format_table("Table 3 — recursive and reinforcement-learning benchmarks", &rows)
+        format_table(
+            "Table 3 — recursive and reinforcement-learning benchmarks",
+            &rows
+        )
     );
 }
 

@@ -2,15 +2,19 @@
 //!
 //! The `reproduce` binary prints the rows of Tables 2 and 3 (and the
 //! ablations); the Criterion benches in `benches/` measure the individual
-//! pipeline stages. Both are thin wrappers around [`run_row`].
+//! pipeline stages. Both are thin wrappers around [`run_row`], which itself
+//! is a thin wrapper around the staged `Pipeline` of the `polyinv` crate —
+//! the per-stage wall-clock breakdown recorded by the pipeline's
+//! `SynthesisContext` flows directly into the printed tables.
 
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
+use polyinv::pipeline::stage_names;
 use polyinv::prelude::*;
 use polyinv::weak::TargetAssertion;
 use polyinv_benchmarks::Benchmark;
-use polyinv_constraints::{SosEncoding, SynthesisOptions};
-use polyinv_qcqp::LmOptions;
+use polyinv_qcqp::{LmOptions, LmSolver};
 
 /// The measurements taken for one benchmark row.
 #[derive(Debug, Clone)]
@@ -32,10 +36,18 @@ pub struct RowResult {
     pub our_size: usize,
     /// Paper-reported runtime in seconds.
     pub paper_runtime: f64,
-    /// Time we spent generating the system (Steps 1–3).
-    pub generation_time: Duration,
+    /// Per-stage wall-clock breakdown of the generation stages (and, when a
+    /// solve was attempted, the accumulated solve stage of the attempt).
+    pub timings: StageTimings,
     /// Outcome of the solve attempt, if one was made.
     pub solve: Option<SolveRow>,
+}
+
+impl RowResult {
+    /// Combined time of the generation stages (Steps 1–3).
+    pub fn generation_time(&self) -> Duration {
+        self.timings.generation()
+    }
 }
 
 /// The solve part of a row.
@@ -48,6 +60,8 @@ pub struct SolveRow {
     pub solve_time: Duration,
     /// Final constraint violation of the best assignment.
     pub violation: f64,
+    /// The back-end that produced the attempt.
+    pub backend: &'static str,
 }
 
 /// The reduction options matching a benchmark's paper configuration.
@@ -61,6 +75,15 @@ pub fn options_for(benchmark: &Benchmark) -> SynthesisOptions {
     }
 }
 
+/// The solver configuration used for the solve attempts of the tables.
+pub fn solver_for_tables() -> Arc<dyn QcqpBackend> {
+    Arc::new(LmSolver::new(LmOptions {
+        max_iterations: 150,
+        restarts: 2,
+        ..LmOptions::default()
+    }))
+}
+
 /// Runs Steps 1–3 (and optionally Step 4) for one benchmark row.
 ///
 /// # Panics
@@ -72,10 +95,11 @@ pub fn run_row(benchmark: &Benchmark, solve: bool) -> RowResult {
     let pre = benchmark.precondition().expect("benchmark parses");
     let options = options_for(benchmark);
 
-    let generation_start = Instant::now();
-    let synth = WeakSynthesis::with_options(options);
-    let generated = synth.generate_only(&program, &pre);
-    let generation_time = generation_start.elapsed();
+    // Steps 1–3 through the staged pipeline; the row's |S| and per-stage
+    // generation breakdown come from this run (with the configured ϒ, not
+    // the ladder's cheapest rung).
+    let synth = WeakSynthesis::with_options(options).backend(solver_for_tables());
+    let (generated, mut timings) = synth.generate_staged(&program, &pre);
 
     let solve_row = if solve {
         let target = benchmark
@@ -83,16 +107,17 @@ pub fn run_row(benchmark: &Benchmark, solve: bool) -> RowResult {
             .expect("targets resolve")
             .map(|poly| TargetAssertion::new(program.main().exit_label(), poly));
         let targets: Vec<TargetAssertion> = target.into_iter().collect();
-        let synth = synth.backend(polyinv::weak::SolverBackend::Lm(LmOptions {
-            max_iterations: 150,
-            restarts: 2,
-            ..LmOptions::default()
-        }));
+        // `synthesize` generates its own per-rung systems: the ϒ-ladder
+        // deliberately attempts the much smaller ϒ = 0 reduction before the
+        // full one above, so the staged system cannot simply be reused here.
+        // The row's gen-time columns report the full-ϒ staged run only.
         let outcome = synth.synthesize(&program, &pre, &targets);
+        timings.record(stage_names::SOLVE, outcome.solve_time);
         Some(SolveRow {
-            synthesized: outcome.status == polyinv::weak::SynthesisStatus::Synthesized,
+            synthesized: outcome.status == SynthesisStatus::Synthesized,
             solve_time: outcome.solve_time,
             violation: outcome.violation,
+            backend: outcome.backend,
         })
     } else {
         None
@@ -107,18 +132,18 @@ pub fn run_row(benchmark: &Benchmark, solve: bool) -> RowResult {
         paper_size: benchmark.paper.system_size,
         our_size: generated.size(),
         paper_runtime: benchmark.paper.runtime_secs,
-        generation_time,
+        timings,
         solve: solve_row,
     }
 }
 
 /// Formats a collection of rows as the table printed by the `reproduce`
-/// binary.
+/// binary, with one column per pipeline stage.
 pub fn format_table(title: &str, rows: &[RowResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!("## {title}\n"));
     out.push_str(&format!(
-        "{:<26} {:>2} {:>2} {:>8} {:>8} {:>10} {:>10} {:>12} {:>12} {:>10}\n",
+        "{:<26} {:>2} {:>2} {:>8} {:>8} {:>10} {:>10} {:>9} {:>9} {:>9} {:>10} {:>11} {:>12}\n",
         "benchmark",
         "n",
         "d",
@@ -126,6 +151,9 @@ pub fn format_table(title: &str, rows: &[RowResult]) -> String {
         "|V|ours",
         "|S|paper",
         "|S|ours",
+        "tmpl",
+        "pairs",
+        "reduce",
         "gen-time",
         "paper-time",
         "solve"
@@ -133,11 +161,14 @@ pub fn format_table(title: &str, rows: &[RowResult]) -> String {
     for row in rows {
         let solve = match &row.solve {
             None => "-".to_string(),
-            Some(s) if s.synthesized => format!("ok({:.1}s)", s.solve_time.as_secs_f64()),
+            Some(s) if s.synthesized => {
+                format!("{}({:.1}s)", s.backend, s.solve_time.as_secs_f64())
+            }
             Some(s) => format!("fail({:.0e})", s.violation),
         };
+        let stage = |name: &str| format!("{:.3}s", row.timings.get(name).as_secs_f64());
         out.push_str(&format!(
-            "{:<26} {:>2} {:>2} {:>8} {:>8} {:>10} {:>10} {:>10.2}s {:>11.1}s {:>10}\n",
+            "{:<26} {:>2} {:>2} {:>8} {:>8} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9.2}s {:>10.1}s {:>12}\n",
             row.name,
             row.n,
             row.d,
@@ -145,7 +176,10 @@ pub fn format_table(title: &str, rows: &[RowResult]) -> String {
             row.our_vars,
             row.paper_size,
             row.our_size,
-            row.generation_time.as_secs_f64(),
+            stage(stage_names::TEMPLATES),
+            stage(stage_names::PAIRS),
+            stage(stage_names::REDUCTION),
+            row.generation_time().as_secs_f64(),
             row.paper_runtime,
             solve
         ));
@@ -164,8 +198,20 @@ mod tests {
         assert_eq!(row.paper_size, 1700);
         assert!(row.our_size > 100);
         assert!(row.solve.is_none());
+        // The staged pipeline recorded every generation stage.
+        for stage in [
+            stage_names::TEMPLATES,
+            stage_names::PAIRS,
+            stage_names::REDUCTION,
+        ] {
+            assert!(
+                row.timings.get(stage) > Duration::ZERO,
+                "missing stage timing: {stage}"
+            );
+        }
         let table = format_table("Table 3 (excerpt)", &[row]);
         assert!(table.contains("recursive-sum"));
         assert!(table.contains("|S|ours"));
+        assert!(table.contains("reduce"));
     }
 }

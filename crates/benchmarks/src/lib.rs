@@ -298,16 +298,16 @@ pub fn table3() -> Vec<Benchmark> {
             category: Category::Recursive,
             source: RECURSIVE_SQUARE_SUM,
             paper: row(1, 3, 3, 1121, 17.438),
-            target: Some("0.34 * n_in * n_in * n_in + 0.5 * n_in * n_in + 0.17 * n_in + 1 - ret > 0"),
+            target: Some(
+                "0.34 * n_in * n_in * n_in + 0.5 * n_in * n_in + 0.17 * n_in + 1 - ret > 0",
+            ),
         },
         Benchmark {
             name: "recursive-cube-sum",
             category: Category::Recursive,
             source: RECURSIVE_CUBE_SUM,
             paper: row(1, 4, 3, 15840, 221.211),
-            target: Some(
-                "0.25 * n_in * n_in * (n_in + 1) * (n_in + 1) + 1 - ret > 0",
-            ),
+            target: Some("0.25 * n_in * n_in * (n_in + 1) * (n_in + 1) + 1 - ret > 0"),
         },
         Benchmark {
             name: "pw2",

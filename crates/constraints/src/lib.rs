@@ -29,7 +29,9 @@ pub mod system;
 pub mod template;
 pub mod unknowns;
 
-pub use options::{generate, GeneratedSystem, SosEncoding, SynthesisOptions};
+pub use options::{
+    generate, prepare, reduce_pairs, GeneratedSystem, SosEncoding, SynthesisOptions,
+};
 pub use pairs::{ConstraintPair, PairKind};
 pub use system::{PsdBlock, QuadraticSystem};
 pub use template::{LabelTemplate, TemplateSet};

@@ -5,8 +5,8 @@ use polyinv_arith::Rational;
 use polyinv_lang::{Cfg, Precondition, Program};
 
 use crate::pairs::{generate_pairs, ConstraintPair, PairOptions};
-use crate::putinar::{translate_pair, PutinarOptions};
 pub use crate::putinar::SosEncoding;
+use crate::putinar::{translate_pair, PutinarOptions};
 use crate::system::QuadraticSystem;
 use crate::template::TemplateSet;
 use crate::unknowns::UnknownRegistry;
@@ -86,28 +86,36 @@ impl GeneratedSystem {
     }
 }
 
-/// Runs Steps 1–3 of `StrongInvSynth` / `RecStrongInvSynth`.
+/// Decides the run parameters shared by every Steps-1–3 entry point:
+/// extends the pre-condition with the bounded-reals assertions of Remark 5
+/// when requested, and decides recursive treatment.
 ///
-/// The pre-condition passed in is extended with the implicit entry
-/// assertions already (callers usually obtain it from
-/// [`Precondition::from_program`]) and, if `options.bounded_reals` is set,
-/// with the bounded-reals assertions of Remark 5.
-pub fn generate(
+/// Both [`generate`] and the staged pipeline of the `polyinv` crate start
+/// from this, so the two entry points cannot diverge.
+pub fn prepare(
     program: &Program,
     precondition: &Precondition,
     options: &SynthesisOptions,
-) -> GeneratedSystem {
+) -> (Precondition, bool) {
     let mut pre = precondition.clone();
     if let Some(bound) = options.bounded_reals {
         pre.add_bounded_reals(program, bound);
     }
     let recursive = options.force_recursive || !program.is_simple();
+    (pre, recursive)
+}
 
-    let cfg = Cfg::build(program);
-    let mut registry = UnknownRegistry::new();
-    let templates = TemplateSet::build(program, &mut registry, options.degree, options.size, recursive);
-    let pairs = generate_pairs(program, &cfg, &pre, &templates, PairOptions { recursive });
-
+/// Runs Step 3 on already-built templates and pairs, assembling the final
+/// [`GeneratedSystem`]. Shared by [`generate`] and the staged pipeline's
+/// reduction stage.
+pub fn reduce_pairs(
+    templates: TemplateSet,
+    registry: UnknownRegistry,
+    pairs: Vec<ConstraintPair>,
+    options: &SynthesisOptions,
+    recursive: bool,
+    precondition: Precondition,
+) -> GeneratedSystem {
     let mut system = QuadraticSystem::new(registry);
     let putinar_options = PutinarOptions {
         upsilon: options.upsilon,
@@ -124,8 +132,33 @@ pub fn generate(
         templates,
         pairs,
         recursive,
-        precondition: pre,
+        precondition,
     }
+}
+
+/// Runs Steps 1–3 of `StrongInvSynth` / `RecStrongInvSynth`.
+///
+/// The pre-condition passed in is extended with the implicit entry
+/// assertions already (callers usually obtain it from
+/// [`Precondition::from_program`]) and, if `options.bounded_reals` is set,
+/// with the bounded-reals assertions of Remark 5.
+pub fn generate(
+    program: &Program,
+    precondition: &Precondition,
+    options: &SynthesisOptions,
+) -> GeneratedSystem {
+    let (pre, recursive) = prepare(program, precondition, options);
+    let cfg = Cfg::build(program);
+    let mut registry = UnknownRegistry::new();
+    let templates = TemplateSet::build(
+        program,
+        &mut registry,
+        options.degree,
+        options.size,
+        recursive,
+    );
+    let pairs = generate_pairs(program, &cfg, &pre, &templates, PairOptions { recursive });
+    reduce_pairs(templates, registry, pairs, options, recursive, pre)
 }
 
 #[cfg(test)]

@@ -392,10 +392,7 @@ mod tests {
     use polyinv_lang::parse_program;
     use polyinv_lang::program::{RECURSIVE_EXAMPLE_SOURCE, RUNNING_EXAMPLE_SOURCE};
 
-    fn setup(
-        source: &str,
-        recursive: bool,
-    ) -> (Program, Vec<ConstraintPair>) {
+    fn setup(source: &str, recursive: bool) -> (Program, Vec<ConstraintPair>) {
         let program = parse_program(source).unwrap();
         let cfg = Cfg::build(&program);
         let pre = Precondition::from_program(&program);
@@ -477,7 +474,10 @@ mod tests {
         let entry = program.main().entry_label();
         let pair = pairs
             .iter()
-            .find(|p| p.kind == PairKind::Consecution && p.description.contains(&format!("update {entry}")))
+            .find(|p| {
+                p.kind == PairKind::Consecution
+                    && p.description.contains(&format!("update {entry}"))
+            })
             .unwrap();
         assert!(!pair.goal.variables().contains(&i));
     }

@@ -99,24 +99,48 @@ pub fn translate_pair(
     // Multipliers: h₀ (multiplied by the constant 1) plus one per context
     // entry.
     let one = TemplatePoly::from_polynomial(&polyinv_poly::Polynomial::one());
-    let context_polys: Vec<&TemplatePoly> = std::iter::once(&one).chain(pair.context.iter()).collect();
+    let context_polys: Vec<&TemplatePoly> =
+        std::iter::once(&one).chain(pair.context.iter()).collect();
     for (multiplier_index, g_i) in context_polys.iter().enumerate() {
-        let h_i = match options.encoding {
-            SosEncoding::Cholesky => build_cholesky_multiplier(
-                pair_index,
-                multiplier_index,
-                &multiplier_basis,
-                &gram_basis,
-                system,
-            ),
-            SosEncoding::Gram => build_gram_multiplier(
-                pair_index,
-                multiplier_index,
-                &gram_basis,
-                system,
-            ),
-        };
-        rhs = rhs.add(&h_i.mul_template(g_i));
+        match options.encoding {
+            SosEncoding::Cholesky => {
+                let expansion =
+                    build_cholesky_expansion(pair_index, multiplier_index, &gram_basis, system);
+                if is_concrete(g_i) {
+                    // `gᵢ` has no template unknowns (the constant 1, guard
+                    // atoms, pre-condition polynomials), so `hᵢ·gᵢ` stays
+                    // quadratic even with hᵢ's coefficients expressed
+                    // directly as the `(L·Lᵀ)` entries. Skipping the
+                    // t-variable aliases removes one unknown and one
+                    // equality per multiplier monomial — a significant
+                    // reduction of `|S|` (DESIGN.md §3).
+                    for (mono_h, contribution) in &expansion {
+                        for (mono_g, coeff) in g_i.iter() {
+                            rhs.add_term(
+                                contribution.scale(coeff.constant_part()),
+                                mono_h.mul(mono_g),
+                            );
+                        }
+                    }
+                } else {
+                    // `gᵢ` mentions template unknowns (source-label template
+                    // conjuncts): alias hᵢ's coefficients through fresh
+                    // t-variables so the product stays quadratic.
+                    let h_i = alias_through_multiplier_unknowns(
+                        pair_index,
+                        multiplier_index,
+                        &multiplier_basis,
+                        &expansion,
+                        system,
+                    );
+                    rhs = rhs.add(&h_i.mul_template(g_i));
+                }
+            }
+            SosEncoding::Gram => {
+                let h_i = build_gram_multiplier(pair_index, multiplier_index, &gram_basis, system);
+                rhs = rhs.add(&h_i.mul_template(g_i));
+            }
+        }
     }
 
     // Left-hand side: the goal polynomial.
@@ -133,29 +157,22 @@ pub fn translate_pair(
     system.size() - before
 }
 
-/// Builds a multiplier `hᵢ` in the Cholesky encoding: fresh t-variables for
-/// its coefficients, fresh l-variables for the Cholesky factor, quadratic
-/// equalities `t = (L·Lᵀ)-expansion` and inequalities `l_{r,r} ≥ 0`.
-fn build_cholesky_multiplier(
+/// `true` when a template polynomial has no template unknowns (all
+/// coefficients are rational constants).
+fn is_concrete(poly: &TemplatePoly) -> bool {
+    poly.iter().all(|(_, coeff)| coeff.is_constant())
+}
+
+/// Allocates the Cholesky factor of one multiplier `hᵢ` — fresh l-variables
+/// for the lower triangle with `l_{r,r} ≥ 0` inequalities — and returns the
+/// symbolic expansion of `yᵀ·L·Lᵀ·y`: for each monomial µ of `hᵢ`, the
+/// quadratic expression `Σ_{(j,k) : y_j·y_k = µ} Σ_{c} l_{j,c}·l_{k,c}`.
+fn build_cholesky_expansion(
     pair: usize,
     multiplier: usize,
-    multiplier_basis: &[Monomial],
     gram_basis: &[Monomial],
     system: &mut QuadraticSystem,
-) -> TemplatePoly {
-    // t-variables: the coefficients of hᵢ.
-    let mut h = TemplatePoly::zero();
-    let mut t_vars: Vec<(Monomial, UnknownId)> = Vec::with_capacity(multiplier_basis.len());
-    for (monomial_index, monomial) in multiplier_basis.iter().enumerate() {
-        let t = system.registry.fresh(UnknownKind::Multiplier {
-            pair,
-            multiplier,
-            monomial: monomial_index,
-        });
-        t_vars.push((monomial.clone(), t));
-        h.add_term(LinExpr::unknown(t), monomial.clone());
-    }
-
+) -> Vec<(Monomial, QuadExpr)> {
     // l-variables: lower triangle (row ≥ col) of the Cholesky factor.
     let dim = gram_basis.len();
     let mut l = vec![vec![None::<UnknownId>; dim]; dim];
@@ -177,8 +194,7 @@ fn build_cholesky_multiplier(
         }
     }
 
-    // Expand yᵀ·L·Lᵀ·y symbolically: the coefficient of each monomial µ is
-    // Σ_{(j,k) : y_j·y_k = µ} Σ_{c ≤ min(j,k)} l_{j,c}·l_{k,c}.
+    // Expand yᵀ·L·Lᵀ·y symbolically.
     let mut expansion: Vec<(Monomial, QuadExpr)> = Vec::new();
     for j in 0..dim {
         for k in 0..dim {
@@ -200,11 +216,37 @@ fn build_cholesky_multiplier(
             }
         }
     }
+    expansion
+}
 
-    // Equalities t_µ = coefficient of µ in the expansion (coefficients not
-    // present in the expansion force the corresponding t to zero, and
-    // expansion monomials outside the t-basis force that part of L·Lᵀ to
-    // vanish — both are captured by matching over the union).
+/// Aliases a Cholesky expansion through fresh t-variables, producing the
+/// multiplier `hᵢ` as a template polynomial: one t-variable per monomial of
+/// the multiplier basis and one quadratic equality `t_µ = (L·Lᵀ)_µ` each.
+///
+/// This is required exactly when `hᵢ` multiplies a context polynomial with
+/// template unknowns — substituting the quadratic expansion directly would
+/// produce cubic terms. Coefficients not present in the expansion force the
+/// corresponding t to zero, and expansion monomials outside the t-basis
+/// force that part of `L·Lᵀ` to vanish — both are captured by matching over
+/// the union.
+fn alias_through_multiplier_unknowns(
+    pair: usize,
+    multiplier: usize,
+    multiplier_basis: &[Monomial],
+    expansion: &[(Monomial, QuadExpr)],
+    system: &mut QuadraticSystem,
+) -> TemplatePoly {
+    let mut h = TemplatePoly::zero();
+    let mut t_vars: Vec<(Monomial, UnknownId)> = Vec::with_capacity(multiplier_basis.len());
+    for (monomial_index, monomial) in multiplier_basis.iter().enumerate() {
+        let t = system.registry.fresh(UnknownKind::Multiplier {
+            pair,
+            multiplier,
+            monomial: monomial_index,
+        });
+        t_vars.push((monomial.clone(), t));
+        h.add_term(LinExpr::unknown(t), monomial.clone());
+    }
     for (monomial, t) in &t_vars {
         let mut eq = QuadExpr::zero();
         eq.add_linear(*t, Rational::one());
@@ -213,15 +255,13 @@ fn build_cholesky_multiplier(
         }
         system.equalities.push(eq);
     }
-    for (monomial, contribution) in &expansion {
+    for (monomial, contribution) in expansion {
         if !t_vars.iter().any(|(m, _)| m == monomial) {
             // Should not happen: the Gram basis squares stay within the
             // multiplier basis. Kept as a defensive equality.
             system.equalities.push(-contribution.clone());
-            let _ = monomial;
         }
     }
-
     h
 }
 
@@ -303,16 +343,46 @@ mod tests {
         let mut system = QuadraticSystem::new(UnknownRegistry::new());
         let options = PutinarOptions::default();
         translate_pair(&pair, 0, &options, &mut system);
-        // One variable x, ϒ = 2: multiplier basis {1, x, x²} (3 monomials),
-        // Gram basis {1, x} (2 monomials).
-        // Unknowns: ε + 2 multipliers × (3 t + 3 l) = 13.
-        assert_eq!(system.num_unknowns(), 13);
+        // One variable x, ϒ = 2: Gram basis {1, x} (2 monomials). Both
+        // context polynomials (1 and x) are concrete, so the t-variable
+        // aliases are eliminated and hᵢ's coefficients are the (L·Lᵀ)
+        // entries directly.
+        // Unknowns: ε + 2 multipliers × 3 l = 7.
+        assert_eq!(system.num_unknowns(), 7);
         // Inequalities: ε bound + 2 diagonals per multiplier = 5.
         assert_eq!(system.inequalities.len(), 5);
-        // Equalities: 3 SOS equalities per multiplier (6) + coefficient
-        // matching over monomials of degree ≤ 3 (1, x, x², x³) = 4.
-        assert_eq!(system.equalities.len(), 10);
+        // Equalities: coefficient matching over monomials of degree ≤ 3
+        // (1, x, x², x³) = 4.
+        assert_eq!(system.equalities.len(), 4);
         assert!(system.psd_blocks.is_empty());
+    }
+
+    #[test]
+    fn template_contexts_still_alias_through_t_variables() {
+        // A context polynomial mentioning a template unknown cannot be
+        // multiplied by the quadratic (L·Lᵀ) expansion directly (the product
+        // would be cubic); it must keep the t-variable aliases.
+        let mut registry = UnknownRegistry::new();
+        let s = registry.fresh(UnknownKind::Witness { pair: 999 });
+        let mut system = QuadraticSystem::new(registry);
+        let x = VarId::new(0);
+        let mut context_poly = TemplatePoly::zero();
+        context_poly.add_term(LinExpr::unknown(s), Monomial::from_powers(&[(x, 1)]));
+        let goal = TemplatePoly::from_polynomial(
+            &(Polynomial::variable(x) + Polynomial::constant(Rational::one())),
+        );
+        let pair = ConstraintPair {
+            context: vec![context_poly],
+            goal,
+            kind: PairKind::Consecution,
+            description: "template context".to_string(),
+            scope_vars: vec![x],
+        };
+        translate_pair(&pair, 0, &PutinarOptions::default(), &mut system);
+        // Unknowns: s + ε + 3 l (h₀, eliminated) + 3 t + 3 l (h₁) = 11.
+        assert_eq!(system.num_unknowns(), 11);
+        // Equalities: 3 t-aliases for h₁ + matching over {1, x, x², x³} = 7.
+        assert_eq!(system.equalities.len(), 7);
     }
 
     #[test]
@@ -379,8 +449,9 @@ mod tests {
         };
         let added = translate_pair(&pair, 0, &options, &mut system);
         assert!(added > 0);
-        // Multiplier basis = {1}: each hᵢ is a single non-negative constant.
+        // Multiplier basis = {1}: each hᵢ is a single non-negative constant
+        // (l², with the t-alias eliminated for the concrete contexts).
         // Coefficient matching over monomials {1, x}.
-        assert_eq!(system.equalities.len(), 2 + 2);
+        assert_eq!(system.equalities.len(), 2);
     }
 }

@@ -155,10 +155,10 @@ mod tests {
         let u = registry.fresh(UnknownKind::Witness { pair: 0 });
         let mut system = QuadraticSystem::new(registry);
         // u - 2 = 0 and u >= 0.
-        system
-            .equalities
-            .push(LinExpr::unknown(u).mul(&LinExpr::constant(Rational::one()))
-                + polyinv_poly::QuadExpr::constant(Rational::from_int(-2)));
+        system.equalities.push(
+            LinExpr::unknown(u).mul(&LinExpr::constant(Rational::one()))
+                + QuadExpr::constant(Rational::from_int(-2)),
+        );
         system
             .inequalities
             .push(LinExpr::unknown(u).mul(&LinExpr::constant(Rational::one())));

@@ -41,9 +41,8 @@ pub fn system_to_problem_with_fixed(
     }
 
     let mut problem = Problem::new(mapping.len());
-    let convert = |expr: &QuadExpr| -> QuadraticForm {
-        convert_expr(expr, fixed, &to_problem_index)
-    };
+    let convert =
+        |expr: &QuadExpr| -> QuadraticForm { convert_expr(expr, fixed, &to_problem_index) };
 
     for eq in &system.equalities {
         let form = convert(eq);
@@ -60,10 +59,8 @@ pub fn system_to_problem_with_fixed(
     }
     for ineq in &system.inequalities {
         let form = convert(ineq);
-        if form.linear.is_empty() && form.quadratic.is_empty() {
-            if form.constant >= -1e-12 {
-                continue;
-            }
+        if form.linear.is_empty() && form.quadratic.is_empty() && form.constant >= -1e-12 {
+            continue;
         }
         problem.inequalities.push(form);
     }
@@ -128,10 +125,7 @@ fn convert_expr(
         }
     }
 
-    let mut linear: Vec<(usize, f64)> = linear_acc
-        .into_iter()
-        .filter(|&(_, c)| c != 0.0)
-        .collect();
+    let mut linear: Vec<(usize, f64)> = linear_acc.into_iter().filter(|&(_, c)| c != 0.0).collect();
     linear.sort_by_key(|&(i, _)| i);
     form.linear = linear;
     let mut quadratic: Vec<(usize, usize, f64)> = quad_acc

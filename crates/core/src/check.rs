@@ -20,7 +20,8 @@ use polyinv_constraints::{QuadraticSystem, UnknownRegistry};
 use polyinv_lang::interp::{Interpreter, SeededOracle};
 use polyinv_lang::{Cfg, InvariantMap, Label, Postcondition, Precondition, Program};
 use polyinv_poly::TemplatePoly;
-use polyinv_qcqp::{LmOptions, LmSolver, SolveStatus};
+use polyinv_qcqp::par::parallel_indexed;
+use polyinv_qcqp::{LmOptions, LmSolver, QcqpBackend, SolveStatus};
 
 use crate::bridge::system_to_problem;
 
@@ -50,6 +51,9 @@ impl Default for CheckOptions {
                 tolerance: 1e-7,
                 max_iterations: 300,
                 restarts: 3,
+                // The checker parallelizes across pairs; nested parallel
+                // restarts would oversubscribe the CPU.
+                parallel_restarts: false,
                 ..LmOptions::default()
             },
         }
@@ -161,7 +165,15 @@ pub fn check_inductive(
     let templates = concrete_templates(program, invariant, post);
     let pairs = generate_pairs(program, &cfg, &pre, &templates, PairOptions { recursive });
 
-    let solver = LmSolver::new(options.solver.clone());
+    // The certificate search goes through the same back-end abstraction as
+    // the synthesis pipeline's solve stage. Restarts stay sequential here
+    // regardless of the caller's options — the pair loop below is the
+    // parallel level.
+    let solver = LmSolver::new(LmOptions {
+        parallel_restarts: false,
+        ..options.solver.clone()
+    });
+    let backend: &dyn QcqpBackend = &solver;
     // Degree ladder: constant multipliers (Handelman-style certificates,
     // cheap and very robust) first, then the full degree-ϒ multipliers.
     let mut ladder = vec![0];
@@ -169,13 +181,14 @@ pub fn check_inductive(
         ladder.push(options.upsilon);
     }
 
-    let mut certificates = Vec::with_capacity(pairs.len());
-    for (index, pair) in pairs.iter().enumerate() {
-        // Each pair gets its own small, independent certificate problem:
-        // with the template coefficients fixed, only the multiplier and
-        // Cholesky unknowns remain. The Cholesky encoding turns the search
-        // into quadratic equalities with simple variable bounds, which the
-        // projected Levenberg–Marquardt solver handles robustly.
+    // Each pair gets its own small, independent certificate problem: with
+    // the template coefficients fixed, only the multiplier and Cholesky
+    // unknowns remain. The Cholesky encoding turns the search into quadratic
+    // equalities with simple variable bounds, which the projected
+    // Levenberg–Marquardt solver handles robustly. Independence also means
+    // the pairs certify in parallel.
+    let certificates = parallel_indexed(pairs.len(), |index| {
+        let pair = &pairs[index];
         let mut certified = false;
         let mut problem_size = 0;
         for &upsilon in &ladder {
@@ -191,18 +204,18 @@ pub fn check_inductive(
             // A slightly positive warm start keeps the Cholesky diagonals and
             // the witness in the interior of their bounds.
             let warm = vec![0.05; problem.num_vars];
-            if solver.solve(&problem, Some(&warm)).status == SolveStatus::Feasible {
+            if backend.solve(&problem, Some(&warm)).status == SolveStatus::Feasible {
                 certified = true;
                 break;
             }
         }
-        certificates.push(PairCertificate {
+        PairCertificate {
             description: pair.description.clone(),
             kind: pair.kind,
             certified,
             problem_size,
-        });
-    }
+        }
+    });
     CheckReport { certificates }
 }
 
@@ -243,9 +256,9 @@ pub fn falsify(
         let trace = interpreter.run(&inputs, &mut oracle);
         // Validity: every visited state satisfies its pre-condition.
         let valid = trace.states.iter().all(|state| {
-            pre.get(state.label).iter().all(|atom| {
-                atom.eval(|v| state.valuation.get(&v).copied().unwrap_or_default())
-            })
+            pre.get(state.label)
+                .iter()
+                .all(|atom| atom.eval(|v| state.valuation.get(&v).copied().unwrap_or_default()))
         });
         if !valid {
             continue;
@@ -320,11 +333,7 @@ mod tests {
             &Postcondition::new(),
             &CheckOptions::default(),
         );
-        assert!(
-            report.all_certified(),
-            "failures: {:?}",
-            report.failures()
-        );
+        assert!(report.all_certified(), "failures: {:?}", report.failures());
     }
 
     #[test]

@@ -9,15 +9,21 @@
 //!
 //! The crate re-exports the front-end (`polyinv-lang`), the reduction
 //! (`polyinv-constraints`) and the solving substrate (`polyinv-qcqp`), and
-//! adds the paper's four algorithms on top:
+//! adds the paper's four algorithms on top of an explicit staged
+//! [`pipeline`]:
 //!
+//! * [`pipeline::Pipeline`] — the paper's Steps 1–4 as named stages with
+//!   typed artifacts (`TemplateArtifact → ConstraintPairs →
+//!   GeneratedSystem → Solution`), a shared [`pipeline::SynthesisContext`]
+//!   carrying options/diagnostics/timings, and a pluggable
+//!   [`QcqpBackend`](polyinv_qcqp::QcqpBackend) solve stage;
 //! * [`WeakSynthesis`] — `WeakInvSynth` / `RecWeakInvSynth`: find one
 //!   inductive invariant optimizing an objective (typically: proving a given
 //!   target assertion at a given label);
 //! * [`StrongSynthesis`] — `StrongInvSynth` / `RecStrongInvSynth`: find a
 //!   *representative set* of inductive invariants (the paper's theoretical
-//!   algorithm uses Grigor'ev–Vorobjov; we enumerate by multi-start search,
-//!   see DESIGN.md §4);
+//!   algorithm uses Grigor'ev–Vorobjov; we enumerate by parallel multi-start
+//!   search, see DESIGN.md §4);
 //! * [`check::check_inductive`] — a sound certificate checker: given a
 //!   concrete invariant map (and post-conditions for recursive programs) it
 //!   searches for the sum-of-squares certificates of every constraint pair,
@@ -42,28 +48,39 @@
 //! // (A full inductive strengthening is required to *prove* it — see the
 //! // `nondet_summation` example.)
 //! assert_eq!(invariant.get(exit).len(), 1);
+//!
+//! // The staged pipeline exposes the reduction with per-stage timings:
+//! let pipeline = Pipeline::default();
+//! let mut ctx = pipeline.context(&program, &pre);
+//! let generated = pipeline.generate(&mut ctx);
+//! assert!(generated.size() > 0);
+//! assert!(ctx.timings().generation() > std::time::Duration::ZERO);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 pub mod bridge;
 pub mod check;
+pub mod pipeline;
 pub mod strong;
 pub mod weak;
 
 pub use bridge::{system_to_problem, system_to_problem_with_fixed};
 pub use check::{check_inductive, falsify, CheckOptions, CheckReport, PairCertificate};
+pub use pipeline::{Pipeline, Solution, StageTimings, SynthesisContext};
 pub use strong::{StrongOptions, StrongSynthesis};
-pub use weak::{SolverBackend, SynthesisOutcome, SynthesisStatus, TargetAssertion, WeakSynthesis};
+pub use weak::{SynthesisOutcome, SynthesisStatus, TargetAssertion, WeakSynthesis};
 
 /// Convenient glob-import for downstream users and examples.
 pub mod prelude {
     pub use crate::check::{check_inductive, falsify, CheckOptions};
+    pub use crate::pipeline::{Pipeline, StageTimings, SynthesisContext};
     pub use crate::strong::{StrongOptions, StrongSynthesis};
-    pub use crate::weak::{SolverBackend, SynthesisStatus, TargetAssertion, WeakSynthesis};
+    pub use crate::weak::{SynthesisStatus, TargetAssertion, WeakSynthesis};
     pub use polyinv_constraints::{SosEncoding, SynthesisOptions};
     pub use polyinv_lang::{
         parse_assertion, parse_program, InvariantMap, Postcondition, Precondition,
     };
+    pub use polyinv_qcqp::{backend_by_name, default_backend, QcqpBackend};
 }
 
 // Re-export the component crates so that downstream users only need one

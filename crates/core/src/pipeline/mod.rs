@@ -1,0 +1,198 @@
+//! The staged synthesis pipeline (DESIGN.md §2).
+//!
+//! The paper's algorithms are four sequential steps; this module makes each
+//! one an explicit, named [`Stage`] with a typed artifact:
+//!
+//! ```text
+//! TemplateStage   ()                          → TemplateArtifact   (Step 1)
+//! PairStage       &TemplateArtifact           → ConstraintPairs    (Step 2)
+//! ReductionStage  (TemplateArtifact, Pairs)   → GeneratedSystem    (Step 3)
+//! SolveStage      &GeneratedSystem            → Solution           (Step 4)
+//! ```
+//!
+//! A [`SynthesisContext`] threads the options, diagnostics and per-stage
+//! wall-clock timings through the run; [`Pipeline`] wires the stages
+//! together and carries the pluggable [`QcqpBackend`]. `WeakSynthesis`,
+//! `StrongSynthesis`, the certificate checker and the whole benchmark
+//! harness are thin layers over this module.
+
+pub mod artifacts;
+pub mod context;
+pub mod stages;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use polyinv_arith::Rational;
+use polyinv_constraints::{GeneratedSystem, SynthesisOptions};
+use polyinv_lang::{Precondition, Program};
+use polyinv_poly::UnknownId;
+use polyinv_qcqp::{default_backend, QcqpBackend};
+
+pub use artifacts::{instantiate_solution, ConstraintPairs, Solution, TemplateArtifact};
+pub use context::{stage_names, StageTimings, SynthesisContext};
+pub use stages::{run_stage, PairStage, ReductionStage, SolveStage, Stage, TemplateStage};
+
+/// The staged synthesis pipeline: reduction options plus a pluggable solver
+/// back-end.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    options: SynthesisOptions,
+    backend: Arc<dyn QcqpBackend>,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline::new(SynthesisOptions::default())
+    }
+}
+
+impl Pipeline {
+    /// A pipeline with the given reduction options and the default LM
+    /// back-end.
+    pub fn new(options: SynthesisOptions) -> Self {
+        Pipeline {
+            options,
+            backend: default_backend(),
+        }
+    }
+
+    /// Replaces the solver back-end (any [`QcqpBackend`] implementation).
+    pub fn with_backend(mut self, backend: Arc<dyn QcqpBackend>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The reduction options in use.
+    pub fn options(&self) -> &SynthesisOptions {
+        &self.options
+    }
+
+    /// The solver back-end in use.
+    pub fn backend(&self) -> &Arc<dyn QcqpBackend> {
+        &self.backend
+    }
+
+    /// Builds the per-run context for `program` under `pre`.
+    pub fn context<'p>(&self, program: &'p Program, pre: &Precondition) -> SynthesisContext<'p> {
+        SynthesisContext::new(program, pre, self.options.clone())
+    }
+
+    /// Runs Steps 1–3, producing the quadratic system and recording one
+    /// timing entry per stage in `ctx`.
+    ///
+    /// The output is identical to `polyinv_constraints::generate` (the
+    /// single-call form used by code that does not need staging).
+    pub fn generate(&self, ctx: &mut SynthesisContext<'_>) -> GeneratedSystem {
+        let templates = run_stage(ctx, &TemplateStage, ());
+        let pairs = run_stage(ctx, &PairStage, &templates);
+        run_stage(ctx, &ReductionStage, (templates, pairs))
+    }
+
+    /// Runs Step 4 on a generated system with some unknowns pinned to exact
+    /// values (pass an empty map to leave all unknowns free).
+    pub fn solve(
+        &self,
+        ctx: &mut SynthesisContext<'_>,
+        generated: &GeneratedSystem,
+        fixed: HashMap<UnknownId, Rational>,
+        warm_start: Option<Vec<f64>>,
+    ) -> Solution {
+        let stage = SolveStage {
+            backend: Arc::clone(&self.backend),
+            fixed,
+            warm_start,
+        };
+        run_stage(ctx, &stage, generated)
+    }
+
+    /// Convenience: full Steps 1–4 run with nothing pinned.
+    pub fn run(
+        &self,
+        program: &Program,
+        pre: &Precondition,
+    ) -> (GeneratedSystem, Solution, StageTimings) {
+        let mut ctx = self.context(program, pre);
+        let generated = self.generate(&mut ctx);
+        let solution = self.solve(&mut ctx, &generated, HashMap::new(), None);
+        let timings = ctx.timings().clone();
+        (generated, solution, timings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyinv_lang::program::RUNNING_EXAMPLE_SOURCE;
+    use polyinv_lang::{parse_program, Precondition};
+
+    #[test]
+    fn staged_generation_matches_the_single_call_reduction() {
+        let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        let pre = Precondition::from_program(&program);
+        let options = SynthesisOptions::default();
+
+        let pipeline = Pipeline::new(options.clone());
+        let mut ctx = pipeline.context(&program, &pre);
+        let staged = pipeline.generate(&mut ctx);
+        let reference = polyinv_constraints::generate(&program, &pre, &options);
+
+        assert_eq!(staged.size(), reference.size());
+        assert_eq!(
+            staged.system.num_unknowns(),
+            reference.system.num_unknowns()
+        );
+        assert_eq!(staged.pairs.len(), reference.pairs.len());
+        assert_eq!(staged.recursive, reference.recursive);
+    }
+
+    #[test]
+    fn every_generation_stage_records_a_timing_and_a_diagnostic() {
+        let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        let pre = Precondition::from_program(&program);
+        let pipeline = Pipeline::default();
+        let mut ctx = pipeline.context(&program, &pre);
+        let _ = pipeline.generate(&mut ctx);
+
+        let stages: Vec<&str> = ctx.timings().iter().map(|(name, _)| name).collect();
+        assert_eq!(
+            stages,
+            vec![
+                stage_names::TEMPLATES,
+                stage_names::PAIRS,
+                stage_names::REDUCTION
+            ]
+        );
+        assert_eq!(ctx.diagnostics().len(), 3);
+        assert!(ctx.timings().generation() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn backends_are_pluggable_without_touching_the_pipeline() {
+        let program = parse_program(
+            r#"
+            tiny(x) {
+                @pre(x >= 0);
+                while x <= 2 do
+                    x := x + 1
+                od;
+                return x
+            }
+        "#,
+        )
+        .unwrap();
+        let pre = Precondition::from_program(&program);
+        let options = SynthesisOptions {
+            degree: 1,
+            upsilon: 0,
+            ..SynthesisOptions::default()
+        };
+        for name in ["lm", "penalty"] {
+            let backend = polyinv_qcqp::backend_by_name(name).unwrap();
+            let pipeline = Pipeline::new(options.clone()).with_backend(backend);
+            let (_, solution, timings) = pipeline.run(&program, &pre);
+            assert_eq!(solution.backend, name);
+            assert!(timings.solve() > std::time::Duration::ZERO);
+        }
+    }
+}

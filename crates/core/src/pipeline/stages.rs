@@ -1,0 +1,214 @@
+//! The named stages of the synthesis pipeline.
+//!
+//! Each stage implements [`Stage`]: a pure function from its typed input to
+//! its typed artifact, parameterized by the shared [`SynthesisContext`].
+//! [`run_stage`] drives one stage and records its wall-clock time under the
+//! stage's name, which is how per-stage breakdowns reach the benchmark
+//! tables.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use polyinv_arith::Rational;
+use polyinv_constraints::pairs::{generate_pairs, PairOptions};
+use polyinv_constraints::template::TemplateSet;
+use polyinv_constraints::{GeneratedSystem, UnknownRegistry};
+use polyinv_poly::UnknownId;
+use polyinv_qcqp::{QcqpBackend, SolveStatus};
+
+use super::artifacts::{instantiate_solution, ConstraintPairs, Solution, TemplateArtifact};
+use super::context::{stage_names, SynthesisContext};
+use crate::bridge::system_to_problem_with_fixed;
+
+/// A named pipeline stage transforming `Input` into `Self::Output`.
+pub trait Stage<Input> {
+    /// The artifact this stage produces.
+    type Output;
+
+    /// The stable stage name used for timing entries and reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs the stage.
+    fn run(&self, ctx: &mut SynthesisContext<'_>, input: Input) -> Self::Output;
+}
+
+/// Runs one stage, recording its wall-clock time in the context.
+pub fn run_stage<Input, S: Stage<Input>>(
+    ctx: &mut SynthesisContext<'_>,
+    stage: &S,
+    input: Input,
+) -> S::Output {
+    let start = Instant::now();
+    let output = stage.run(ctx, input);
+    ctx.record(stage.name(), start.elapsed());
+    output
+}
+
+/// Step 1: instantiate one invariant template per label (and, for recursive
+/// programs, one post-condition template per function).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TemplateStage;
+
+impl Stage<()> for TemplateStage {
+    type Output = TemplateArtifact;
+
+    fn name(&self) -> &'static str {
+        stage_names::TEMPLATES
+    }
+
+    fn run(&self, ctx: &mut SynthesisContext<'_>, _input: ()) -> TemplateArtifact {
+        let mut registry = UnknownRegistry::new();
+        let templates = TemplateSet::build(
+            ctx.program,
+            &mut registry,
+            ctx.options.degree,
+            ctx.options.size,
+            ctx.recursive,
+        );
+        let artifact = TemplateArtifact {
+            templates,
+            registry,
+        };
+        ctx.note(format!(
+            "templates: {} label template(s), {} post-condition template(s), {} unknown(s)",
+            artifact.num_invariant_templates(),
+            artifact.num_postcondition_templates(),
+            artifact.num_unknowns(),
+        ));
+        artifact
+    }
+}
+
+/// Step 2: generate the constraint pairs `(Γ, g)` for every CFG transition,
+/// initiation point, call and return.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PairStage;
+
+impl<'a> Stage<&'a TemplateArtifact> for PairStage {
+    type Output = ConstraintPairs;
+
+    fn name(&self) -> &'static str {
+        stage_names::PAIRS
+    }
+
+    fn run(&self, ctx: &mut SynthesisContext<'_>, input: &'a TemplateArtifact) -> ConstraintPairs {
+        let pairs = generate_pairs(
+            ctx.program,
+            &ctx.cfg,
+            &ctx.precondition,
+            &input.templates,
+            PairOptions {
+                recursive: ctx.recursive,
+            },
+        );
+        ctx.note(format!("pairs: {} constraint pair(s)", pairs.len()));
+        ConstraintPairs { pairs }
+    }
+}
+
+/// Step 3: translate every pair through Putinar's positivstellensatz into
+/// quadratic equalities and inequalities over the unknowns.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReductionStage;
+
+impl Stage<(TemplateArtifact, ConstraintPairs)> for ReductionStage {
+    type Output = GeneratedSystem;
+
+    fn name(&self) -> &'static str {
+        stage_names::REDUCTION
+    }
+
+    fn run(
+        &self,
+        ctx: &mut SynthesisContext<'_>,
+        (templates, pairs): (TemplateArtifact, ConstraintPairs),
+    ) -> GeneratedSystem {
+        // Step 3 itself is shared with `polyinv_constraints::generate`, so
+        // the staged and single-call entry points cannot diverge.
+        let generated = polyinv_constraints::reduce_pairs(
+            templates.templates,
+            templates.registry,
+            pairs.pairs,
+            &ctx.options,
+            ctx.recursive,
+            ctx.precondition.clone(),
+        );
+        ctx.note(format!(
+            "reduction: |S| = {}, {} unknown(s)",
+            generated.size(),
+            generated.system.num_unknowns(),
+        ));
+        generated
+    }
+}
+
+/// Step 4: hand the quadratic system (with some unknowns optionally pinned)
+/// to the configured [`QcqpBackend`] and interpret the best point found.
+#[derive(Debug, Clone)]
+pub struct SolveStage {
+    /// The back-end to solve with.
+    pub backend: Arc<dyn QcqpBackend>,
+    /// Unknowns pinned to exact values before solving (weak synthesis pins
+    /// the template rows of the target assertions; the certificate checker
+    /// pins all template coefficients).
+    pub fixed: HashMap<UnknownId, Rational>,
+    /// Optional warm start over the *free* problem variables; when absent a
+    /// slightly-positive default keeps Cholesky diagonals in the interior.
+    pub warm_start: Option<Vec<f64>>,
+}
+
+impl SolveStage {
+    /// A solve stage with no pinned unknowns and the default warm start.
+    pub fn new(backend: Arc<dyn QcqpBackend>) -> Self {
+        SolveStage {
+            backend,
+            fixed: HashMap::new(),
+            warm_start: None,
+        }
+    }
+}
+
+impl<'a> Stage<&'a GeneratedSystem> for SolveStage {
+    type Output = Solution;
+
+    fn name(&self) -> &'static str {
+        stage_names::SOLVE
+    }
+
+    fn run(&self, ctx: &mut SynthesisContext<'_>, generated: &'a GeneratedSystem) -> Solution {
+        let (problem, mapping) = system_to_problem_with_fixed(&generated.system, &self.fixed);
+        let warm: Vec<f64> = match &self.warm_start {
+            Some(start) if start.len() == problem.num_vars => start.clone(),
+            _ => vec![0.05; problem.num_vars],
+        };
+        let outcome = self.backend.solve(&problem, Some(&warm));
+
+        // Reassemble the full assignment over all unknowns.
+        let mut assignment = vec![0.0; generated.system.num_unknowns()];
+        for (id, value) in &self.fixed {
+            assignment[id.index()] = value.to_f64();
+        }
+        for (problem_index, id) in mapping.iter().enumerate() {
+            assignment[id.index()] = outcome.assignment[problem_index];
+        }
+        let (invariant, postconditions) = instantiate_solution(ctx.program, generated, &assignment);
+        let feasible = outcome.status == SolveStatus::Feasible;
+        ctx.note(format!(
+            "solve[{}]: {} (violation {:.2e}, {} iteration(s))",
+            self.backend.name(),
+            if feasible { "feasible" } else { "infeasible" },
+            outcome.violation,
+            outcome.iterations,
+        ));
+        Solution {
+            feasible,
+            invariant,
+            postconditions,
+            assignment,
+            violation: outcome.violation,
+            backend: self.backend.name(),
+            iterations: outcome.iterations,
+        }
+    }
+}

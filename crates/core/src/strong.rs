@@ -5,17 +5,25 @@
 //! connected component of the solution variety via Grigor'ev–Vorobjov, but
 //! explicitly notes (Remark 8) that the procedure is impractical and never
 //! runs it. This module provides the practical substitute documented in
-//! DESIGN.md §4: the same quadratic system is solved repeatedly from
-//! different random seeds and with diversified regularization objectives;
-//! distinct feasible solutions (measured by the distance between their
-//! template coefficient vectors) form the returned representative set.
+//! DESIGN.md §4: the quadratic system produced by the pipeline's generation
+//! stages is solved repeatedly from different random seeds and with
+//! diversified regularization objectives; distinct feasible solutions
+//! (measured by the distance between their template coefficient vectors)
+//! form the returned representative set.
+//!
+//! The solve attempts are independent, so they run **in parallel**; the
+//! deduplication that builds the representative set scans the outcomes in
+//! attempt order, keeping the result identical to the sequential algorithm.
 
-use polyinv_constraints::{generate, SynthesisOptions};
+use polyinv_constraints::SynthesisOptions;
 use polyinv_lang::{InvariantMap, Postcondition, Precondition, Program};
+use polyinv_qcqp::par::parallel_indexed;
 use polyinv_qcqp::{LmOptions, LmSolver, QuadraticForm, SolveStatus};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 use crate::bridge::system_to_problem;
-use crate::weak::instantiate_solution;
+use crate::pipeline::{instantiate_solution, Pipeline};
 
 /// Options of the multi-start enumeration.
 #[derive(Debug, Clone)]
@@ -73,16 +81,37 @@ impl StrongSynthesis {
     /// Enumerates a representative set of inductive invariants of the
     /// requested shape.
     pub fn enumerate(&self, program: &Program, pre: &Precondition) -> Vec<StrongSolution> {
-        let generated = generate(program, pre, &self.options.synthesis);
+        let pipeline = Pipeline::new(self.options.synthesis.clone());
+        let mut ctx = pipeline.context(program, pre);
+        let generated = pipeline.generate(&mut ctx);
         let template_ids = generated.system.registry.template_unknowns();
         let base_problem = system_to_problem(&generated.system);
 
-        let mut solutions: Vec<StrongSolution> = Vec::new();
-        for attempt in 0..self.options.attempts.max(1) {
+        // Independent diversified attempts, fanned out over worker threads.
+        // Each attempt starts from its own slightly-positive warm start:
+        // centered near 0.05 (keeping the Cholesky diagonals in the interior
+        // of their bounds, like the pipeline's solve stage) but jittered
+        // deterministically per attempt, so the attempts explore different
+        // basins even when the solver runs a single restart.
+        let attempts = self.options.attempts.max(1);
+        let outcomes = parallel_indexed(attempts, |attempt| {
+            // Attempt 0 keeps the uniform interior point the solve stage
+            // uses (the most reliable start); later attempts jitter it with
+            // a per-attempt seeded generator, staying in `[0.01, 0.09)` so
+            // Cholesky diagonals and witnesses start inside their bounds.
+            let warm: Vec<f64> = if attempt == 0 {
+                vec![0.05; base_problem.num_vars]
+            } else {
+                let mut rng =
+                    StdRng::seed_from_u64(self.options.solver.seed.wrapping_add(attempt as u64));
+                (0..base_problem.num_vars)
+                    .map(|_| rng.random_range(0.01..0.09))
+                    .collect()
+            };
             let mut problem = base_problem.clone();
             // Diversify: alternate between pushing the template coefficients
-            // towards and away from zero along random directions derived
-            // from the attempt index.
+            // towards and away from zero along directions derived from the
+            // attempt index.
             let mut objective = QuadraticForm::constant(0.0);
             for (k, id) in template_ids.iter().enumerate() {
                 let direction = if (attempt + k) % 2 == 0 { 1.0 } else { -1.0 };
@@ -93,9 +122,16 @@ impl StrongSynthesis {
 
             let solver = LmSolver::new(LmOptions {
                 seed: self.options.solver.seed.wrapping_add(attempt as u64 * 7919),
+                // The attempt loop is already the parallel level.
+                parallel_restarts: false,
                 ..self.options.solver.clone()
             });
-            let outcome = solver.solve(&problem, None);
+            solver.solve(&problem, Some(&warm))
+        });
+
+        // Deterministic dedup in attempt order.
+        let mut solutions: Vec<StrongSolution> = Vec::new();
+        for outcome in outcomes {
             if outcome.status != SolveStatus::Feasible {
                 continue;
             }
@@ -134,7 +170,10 @@ mod tests {
     use polyinv_lang::parse_program;
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow without optimizations; run with `cargo test --release`")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; run with `cargo test --release`"
+    )]
     fn enumeration_finds_multiple_distinct_invariants_for_a_tiny_program() {
         // x := x + 1 in a bounded loop admits many linear invariants.
         let source = r#"

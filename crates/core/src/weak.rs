@@ -7,17 +7,23 @@
 //! to the target's coefficients (the optimum of the paper's distance
 //! objective), and the remaining quadratic system — whose solutions are the
 //! inductive strengthenings — is handed to the QCQP back-end.
+//!
+//! The driver is a thin layer over the staged [`Pipeline`]: Steps 1–3 run as
+//! the template/pair/reduction stages, target pinning happens between the
+//! reduction and solve stages, and Step 4 is the pluggable
+//! [`QcqpBackend`](polyinv_qcqp::QcqpBackend) solve stage.
 
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 use polyinv_arith::Rational;
-use polyinv_constraints::{generate, GeneratedSystem, SynthesisOptions};
+use polyinv_constraints::{GeneratedSystem, SynthesisOptions};
 use polyinv_lang::{InvariantMap, Label, Postcondition, Precondition, Program};
 use polyinv_poly::{Polynomial, UnknownId};
-use polyinv_qcqp::{AlmOptions, AlmSolver, LmOptions, LmSolver, SolveStatus};
+use polyinv_qcqp::{default_backend, QcqpBackend};
 
-use crate::bridge::{round_assignment, system_to_problem_with_fixed};
+use crate::pipeline::{Pipeline, StageTimings};
 
 /// A target assertion `poly > 0` that the synthesized invariant must contain
 /// at `label`.
@@ -33,28 +39,6 @@ impl TargetAssertion {
     /// Creates a target assertion.
     pub fn new(label: Label, poly: Polynomial) -> Self {
         TargetAssertion { label, poly }
-    }
-}
-
-/// The numerical back-end used to solve the quadratic system.
-#[derive(Debug, Clone)]
-pub enum SolverBackend {
-    /// Projected Levenberg–Marquardt on the equality residuals (the
-    /// default; best suited to the Cholesky encoding).
-    Lm(LmOptions),
-    /// The augmented-Lagrangian first-order solver (scales to larger
-    /// systems at the cost of much slower convergence).
-    Alm(AlmOptions),
-}
-
-impl Default for SolverBackend {
-    fn default() -> Self {
-        SolverBackend::Lm(LmOptions {
-            max_iterations: 400,
-            restarts: 4,
-            tolerance: 1e-6,
-            ..LmOptions::default()
-        })
     }
 }
 
@@ -87,22 +71,36 @@ pub struct SynthesisOutcome {
     pub num_unknowns: usize,
     /// The worst constraint violation of the returned assignment.
     pub violation: f64,
-    /// Time spent generating the system (Steps 1–3).
+    /// Time spent generating the system (Steps 1–3), summed over the
+    /// ϒ-ladder attempts.
     pub generation_time: Duration,
-    /// Time spent solving (Step 4).
+    /// Time spent solving (Step 4), summed over the ϒ-ladder attempts.
     pub solve_time: Duration,
+    /// Per-stage wall-clock breakdown (accumulated over ladder attempts).
+    pub timings: StageTimings,
+    /// The stable name of the back-end that produced the solution.
+    pub backend: &'static str,
 }
 
 /// The weak-synthesis driver.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct WeakSynthesis {
     options: SynthesisOptions,
-    backend: SolverBackend,
+    backend: Arc<dyn QcqpBackend>,
+}
+
+impl Default for WeakSynthesis {
+    fn default() -> Self {
+        WeakSynthesis {
+            options: SynthesisOptions::default(),
+            backend: default_backend(),
+        }
+    }
 }
 
 impl WeakSynthesis {
     /// Creates a driver with default reduction options (degree 2, one
-    /// conjunct, ϒ = 2, Cholesky encoding).
+    /// conjunct, ϒ = 2, Cholesky encoding) and the default LM back-end.
     pub fn new() -> Self {
         WeakSynthesis::default()
     }
@@ -111,12 +109,12 @@ impl WeakSynthesis {
     pub fn with_options(options: SynthesisOptions) -> Self {
         WeakSynthesis {
             options,
-            backend: SolverBackend::default(),
+            ..WeakSynthesis::default()
         }
     }
 
-    /// Sets the solver back-end.
-    pub fn backend(mut self, backend: SolverBackend) -> Self {
+    /// Sets the solver back-end (any [`QcqpBackend`] implementation).
+    pub fn backend(mut self, backend: Arc<dyn QcqpBackend>) -> Self {
         self.backend = backend;
         self
     }
@@ -126,10 +124,30 @@ impl WeakSynthesis {
         &self.options
     }
 
+    /// The pipeline this driver runs (stages 1–4 with the configured
+    /// back-end).
+    pub fn pipeline(&self) -> Pipeline {
+        Pipeline::new(self.options.clone()).with_backend(Arc::clone(&self.backend))
+    }
+
     /// Runs Steps 1–3 only, returning the generated system (used by the
     /// benchmark harness to report `|V|` and `|S|` without solving).
     pub fn generate_only(&self, program: &Program, pre: &Precondition) -> GeneratedSystem {
-        generate(program, pre, &self.options)
+        self.generate_staged(program, pre).0
+    }
+
+    /// Runs Steps 1–3 only, returning the generated system together with
+    /// the per-stage timings.
+    pub fn generate_staged(
+        &self,
+        program: &Program,
+        pre: &Precondition,
+    ) -> (GeneratedSystem, StageTimings) {
+        let pipeline = self.pipeline();
+        let mut ctx = pipeline.context(program, pre);
+        let generated = pipeline.generate(&mut ctx);
+        let timings = ctx.timings().clone();
+        (generated, timings)
     }
 
     /// Synthesizes an inductive invariant containing the target assertions.
@@ -152,13 +170,18 @@ impl WeakSynthesis {
         if self.options.upsilon > 0 {
             ladder.push(self.options.upsilon);
         }
+        let mut total = StageTimings::new();
         let mut last: Option<SynthesisOutcome> = None;
         for (step, &upsilon) in ladder.iter().enumerate() {
             let options = SynthesisOptions {
                 upsilon,
                 ..self.options.clone()
             };
-            let outcome = self.synthesize_with(program, pre, targets, &options);
+            let mut outcome = self.synthesize_with(program, pre, targets, &options);
+            total.absorb(&outcome.timings);
+            outcome.timings = total.clone();
+            outcome.generation_time = total.generation();
+            outcome.solve_time = total.solve();
             let done = outcome.status == SynthesisStatus::Synthesized || step + 1 == ladder.len();
             last = Some(outcome);
             if done {
@@ -175,49 +198,29 @@ impl WeakSynthesis {
         targets: &[TargetAssertion],
         options: &SynthesisOptions,
     ) -> SynthesisOutcome {
-        let generation_start = Instant::now();
-        let generated = generate(program, pre, options);
-        let generation_time = generation_start.elapsed();
+        let pipeline = Pipeline::new(options.clone()).with_backend(Arc::clone(&self.backend));
+        let mut ctx = pipeline.context(program, pre);
+        let generated = pipeline.generate(&mut ctx);
 
         // Pin the template coefficients at the target labels.
         let fixed = fix_targets(&generated, targets);
-        let (problem, mapping) = system_to_problem_with_fixed(&generated.system, &fixed);
-
-        let solve_start = Instant::now();
-        let warm = vec![0.05; problem.num_vars];
-        let outcome = match &self.backend {
-            SolverBackend::Lm(solver_options) => {
-                LmSolver::new(solver_options.clone()).solve(&problem, Some(&warm))
-            }
-            SolverBackend::Alm(solver_options) => {
-                AlmSolver::new(solver_options.clone()).solve(&problem, Some(&warm))
-            }
-        };
-        let solve_time = solve_start.elapsed();
-
-        // Reassemble the full assignment over all unknowns.
-        let mut assignment = vec![0.0; generated.system.num_unknowns()];
-        for (id, value) in &fixed {
-            assignment[id.index()] = value.to_f64();
-        }
-        for (problem_index, id) in mapping.iter().enumerate() {
-            assignment[id.index()] = outcome.assignment[problem_index];
-        }
-        let (invariant, postconditions) = instantiate_solution(program, &generated, &assignment);
+        let solution = pipeline.solve(&mut ctx, &generated, fixed, None);
 
         SynthesisOutcome {
-            status: if outcome.status == SolveStatus::Feasible {
+            status: if solution.feasible {
                 SynthesisStatus::Synthesized
             } else {
                 SynthesisStatus::Failed
             },
-            invariant,
-            postconditions,
+            invariant: solution.invariant,
+            postconditions: solution.postconditions,
             system_size: generated.size(),
             num_unknowns: generated.system.num_unknowns(),
-            violation: outcome.violation,
-            generation_time,
-            solve_time,
+            violation: solution.violation,
+            generation_time: ctx.timings().generation(),
+            solve_time: ctx.timings().solve(),
+            timings: ctx.timings().clone(),
+            backend: solution.backend,
         }
     }
 }
@@ -260,43 +263,11 @@ pub(crate) fn fix_targets(
     fixed
 }
 
-/// Instantiates the templates of a generated system under a numeric
-/// assignment of the unknowns, returning the invariant map and
-/// post-conditions. Conjuncts that instantiate to the zero polynomial are
-/// dropped.
-pub(crate) fn instantiate_solution(
-    program: &Program,
-    generated: &GeneratedSystem,
-    assignment: &[f64],
-) -> (InvariantMap, Postcondition) {
-    let rounded = round_assignment(assignment);
-    let lookup = |u: UnknownId| rounded[u.index()];
-    let mut invariant = InvariantMap::new();
-    for function in program.functions() {
-        for &label in function.labels() {
-            let template = generated.templates.invariant(label);
-            for poly in template.instantiate(lookup) {
-                if !poly.is_zero() {
-                    invariant.add(label, poly);
-                }
-            }
-        }
-    }
-    let mut postconditions = Postcondition::new();
-    for (name, template) in &generated.templates.postconditions {
-        for poly in template.instantiate(lookup) {
-            if !poly.is_zero() {
-                postconditions.add(name, poly);
-            }
-        }
-    }
-    (invariant, postconditions)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use polyinv_constraints::SosEncoding;
+    use crate::pipeline::stage_names;
+    use polyinv_constraints::{generate, SosEncoding};
     use polyinv_lang::program::RUNNING_EXAMPLE_SOURCE;
     use polyinv_lang::{parse_assertion, parse_program};
 
@@ -340,7 +311,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow without optimizations; run with `cargo test --release`")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; run with `cargo test --release`"
+    )]
     fn synthesis_on_a_tiny_loop_finds_a_feasible_invariant() {
         // A minimal program whose target is easy to strengthen: x only
         // increases, prove x + 1 > 0 at the end.
@@ -366,8 +340,19 @@ mod tests {
         };
         let synth = WeakSynthesis::with_options(options);
         let outcome = synth.synthesize(&program, &pre, &[TargetAssertion::new(exit, target)]);
-        assert_eq!(outcome.status, SynthesisStatus::Synthesized, "violation {}", outcome.violation);
+        assert_eq!(
+            outcome.status,
+            SynthesisStatus::Synthesized,
+            "violation {}",
+            outcome.violation
+        );
         // The synthesized invariant contains the target at the exit label.
         assert!(!outcome.invariant.get(exit).is_empty());
+        // The pipeline recorded every stage, and the reported aggregates are
+        // consistent with the per-stage table.
+        assert_eq!(outcome.backend, "lm");
+        assert!(outcome.timings.get(stage_names::TEMPLATES) > Duration::ZERO);
+        assert_eq!(outcome.generation_time, outcome.timings.generation());
+        assert_eq!(outcome.solve_time, outcome.timings.solve());
     }
 }

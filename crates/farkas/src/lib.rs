@@ -160,15 +160,18 @@ mod tests {
         let baseline = FarkasBaseline::default();
         let generated = baseline.generate(&program, &pre).unwrap();
         // Linear templates over 5 variables: 6 coefficients per label.
-        assert_eq!(generated.templates.invariant(program.main().entry_label()).basis.len(), 6);
+        assert_eq!(
+            generated
+                .templates
+                .invariant(program.main().entry_label())
+                .basis
+                .len(),
+            6
+        );
         assert!(generated.size() > 0);
         // The Farkas system is much smaller than the Putinar system of the
         // same program at degree 2.
-        let full = generate(
-            &program,
-            &pre,
-            &polyinv_constraints::SynthesisOptions::default(),
-        );
+        let full = generate(&program, &pre, &SynthesisOptions::default());
         assert!(generated.size() < full.size());
     }
 

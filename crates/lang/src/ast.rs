@@ -140,10 +140,7 @@ mod tests {
 
     #[test]
     fn expression_constructors() {
-        let e = AstExpr::Add(
-            Box::new(AstExpr::var("x")),
-            Box::new(AstExpr::int(3)),
-        );
+        let e = AstExpr::Add(Box::new(AstExpr::var("x")), Box::new(AstExpr::int(3)));
         match e {
             AstExpr::Add(lhs, rhs) => {
                 assert_eq!(*lhs, AstExpr::Var("x".to_string()));

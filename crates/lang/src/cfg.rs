@@ -117,10 +117,7 @@ impl CfgBuilder {
     /// is `after`.
     fn stmt_list(&mut self, function: &Function, stmts: &[LStmt], after: Label) {
         for (index, stmt) in stmts.iter().enumerate() {
-            let next = stmts
-                .get(index + 1)
-                .map(|s| s.label)
-                .unwrap_or(after);
+            let next = stmts.get(index + 1).map(|s| s.label).unwrap_or(after);
             self.stmt(function, stmt, next);
         }
     }
@@ -237,10 +234,7 @@ mod tests {
         let outgoing = cfg.outgoing(while_label);
         assert_eq!(outgoing.len(), 2);
         // Exactly one of the two guard transitions leaves the loop.
-        let to_loop_exit = outgoing
-            .iter()
-            .filter(|t| t.to > while_label)
-            .count();
+        let to_loop_exit = outgoing.iter().filter(|t| t.to > while_label).count();
         assert!(to_loop_exit >= 1);
     }
 

@@ -191,7 +191,11 @@ impl BoolFormula {
 
     /// The maximum degree of any atom's polynomial.
     pub fn degree(&self) -> u32 {
-        self.atoms().iter().map(|a| a.poly.degree()).max().unwrap_or(0)
+        self.atoms()
+            .iter()
+            .map(|a| a.poly.degree())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Renders the formula with a variable-name resolver.

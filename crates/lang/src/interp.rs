@@ -160,7 +160,15 @@ impl<'p> Interpreter<'p> {
         for (&shadow, &value) in function.shadow_params().iter().zip(args) {
             valuation.insert(shadow, value);
         }
-        let flow = self.exec_list(function, function.body(), &mut valuation, oracle, trace, fuel, depth);
+        let flow = self.exec_list(
+            function,
+            function.body(),
+            &mut valuation,
+            oracle,
+            trace,
+            fuel,
+            depth,
+        );
         match flow {
             Flow::OutOfFuel => None,
             _ => {
@@ -352,11 +360,7 @@ mod tests {
         // Recursion produces states in the callee as well; entry label of the
         // callee frames must appear multiple times.
         let entry = program.main().entry_label();
-        let entry_visits = trace
-            .states
-            .iter()
-            .filter(|s| s.label == entry)
-            .count();
+        let entry_visits = trace.states.iter().filter(|s| s.label == entry).count();
         assert!(entry_visits >= 6);
     }
 

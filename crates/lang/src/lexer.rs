@@ -114,48 +114,81 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, Error> {
                 }
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                });
                 pos += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                });
                 pos += 1;
             }
             '{' => {
-                tokens.push(Token { kind: TokenKind::LBrace, line });
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    line,
+                });
                 pos += 1;
             }
             '}' => {
-                tokens.push(Token { kind: TokenKind::RBrace, line });
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    line,
+                });
                 pos += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, line });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
                 pos += 1;
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semicolon, line });
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    line,
+                });
                 pos += 1;
             }
             '+' => {
-                tokens.push(Token { kind: TokenKind::Plus, line });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    line,
+                });
                 pos += 1;
             }
             '-' => {
-                tokens.push(Token { kind: TokenKind::Minus, line });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    line,
+                });
                 pos += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, line });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    line,
+                });
                 pos += 1;
             }
             '!' => {
-                tokens.push(Token { kind: TokenKind::Bang, line });
+                tokens.push(Token {
+                    kind: TokenKind::Bang,
+                    line,
+                });
                 pos += 1;
             }
             ':' => {
                 if pos + 1 < chars.len() && chars[pos + 1] == '=' {
-                    tokens.push(Token { kind: TokenKind::Assign, line });
+                    tokens.push(Token {
+                        kind: TokenKind::Assign,
+                        line,
+                    });
                     pos += 2;
                 } else {
                     return Err(Error::at_line("expected `:=`", line));
@@ -163,25 +196,40 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, Error> {
             }
             '<' => {
                 if pos + 1 < chars.len() && chars[pos + 1] == '=' {
-                    tokens.push(Token { kind: TokenKind::Le, line });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        line,
+                    });
                     pos += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, line });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        line,
+                    });
                     pos += 1;
                 }
             }
             '>' => {
                 if pos + 1 < chars.len() && chars[pos + 1] == '=' {
-                    tokens.push(Token { kind: TokenKind::Ge, line });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        line,
+                    });
                     pos += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, line });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        line,
+                    });
                     pos += 1;
                 }
             }
             '&' => {
                 if pos + 1 < chars.len() && chars[pos + 1] == '&' {
-                    tokens.push(Token { kind: TokenKind::And, line });
+                    tokens.push(Token {
+                        kind: TokenKind::And,
+                        line,
+                    });
                     pos += 2;
                 } else {
                     return Err(Error::at_line("expected `&&`", line));
@@ -189,7 +237,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, Error> {
             }
             '|' => {
                 if pos + 1 < chars.len() && chars[pos + 1] == '|' {
-                    tokens.push(Token { kind: TokenKind::Or, line });
+                    tokens.push(Token {
+                        kind: TokenKind::Or,
+                        line,
+                    });
                     pos += 2;
                 } else {
                     return Err(Error::at_line("expected `||`", line));
@@ -204,7 +255,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, Error> {
                 }
                 let word: String = chars[start..end].iter().collect();
                 if word == "pre" {
-                    tokens.push(Token { kind: TokenKind::AtPre, line });
+                    tokens.push(Token {
+                        kind: TokenKind::AtPre,
+                        line,
+                    });
                     pos = end;
                 } else {
                     return Err(Error::at_line(
@@ -271,7 +325,11 @@ mod tests {
     use super::*;
 
     fn kinds(source: &str) -> Vec<TokenKind> {
-        tokenize(source).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(source)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -332,9 +390,6 @@ mod tests {
 
     #[test]
     fn primed_identifiers_are_allowed() {
-        assert_eq!(
-            kinds("n'")[0],
-            TokenKind::Ident("n'".into())
-        );
+        assert_eq!(kinds("n'")[0], TokenKind::Ident("n'".into()));
     }
 }

@@ -456,7 +456,10 @@ mod tests {
         "#;
         let program = parse_source(source).unwrap();
         let func = &program.functions[0];
-        assert!(matches!(func.body[0].kind, AstStmtKind::PreAnnotation { .. }));
+        assert!(matches!(
+            func.body[0].kind,
+            AstStmtKind::PreAnnotation { .. }
+        ));
         match &func.body[1].kind {
             AstStmtKind::If { else_branch, .. } => {
                 assert!(matches!(

@@ -321,7 +321,7 @@ impl Program {
     /// and only one function (a *simple* program in the paper's
     /// terminology).
     pub fn is_simple(&self) -> bool {
-        self.functions.len() == 1 && !self.label_kinds.iter().any(|&k| k == LabelKind::Call)
+        self.functions.len() == 1 && !self.label_kinds.contains(&LabelKind::Call)
     }
 
     /// Lowers a parsed comparison into `(p, strict)` such that the assertion
@@ -382,13 +382,16 @@ impl Program {
             }
             AstExpr::Const(value) => Ok(Polynomial::constant(*value)),
             AstExpr::Add(a, b) => {
-                Ok(self.lower_expr_readonly(function, a)? + self.lower_expr_readonly(function, b)?)
+                Ok(self.lower_expr_readonly(function, a)?
+                    + self.lower_expr_readonly(function, b)?)
             }
             AstExpr::Sub(a, b) => {
-                Ok(self.lower_expr_readonly(function, a)? - self.lower_expr_readonly(function, b)?)
+                Ok(self.lower_expr_readonly(function, a)?
+                    - self.lower_expr_readonly(function, b)?)
             }
             AstExpr::Mul(a, b) => {
-                Ok(&self.lower_expr_readonly(function, a)? * &self.lower_expr_readonly(function, b)?)
+                Ok(&self.lower_expr_readonly(function, a)?
+                    * &self.lower_expr_readonly(function, b)?)
             }
             AstExpr::Neg(a) => Ok(-self.lower_expr_readonly(function, a)?),
         }
@@ -972,16 +975,19 @@ mod tests {
     #[test]
     fn lower_comparison_handles_all_operators() {
         let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
-        let cmp = crate::parser::parse_comparison(&crate::lexer::tokenize("n > 2").unwrap()).unwrap();
+        let cmp =
+            crate::parser::parse_comparison(&crate::lexer::tokenize("n > 2").unwrap()).unwrap();
         let (p, strict) = program.lower_comparison("sum", &cmp).unwrap();
         assert!(strict);
         assert_eq!(program.render_poly(&p), "-2 + n");
-        let cmp = crate::parser::parse_comparison(&crate::lexer::tokenize("i <= n").unwrap()).unwrap();
+        let cmp =
+            crate::parser::parse_comparison(&crate::lexer::tokenize("i <= n").unwrap()).unwrap();
         let (p2, strict2) = program.lower_comparison("sum", &cmp).unwrap();
         assert!(!strict2);
         assert_eq!(program.render_poly(&p2), "n - i");
         // `ret` resolves to the return variable.
-        let cmp = crate::parser::parse_comparison(&crate::lexer::tokenize("ret >= 0").unwrap()).unwrap();
+        let cmp =
+            crate::parser::parse_comparison(&crate::lexer::tokenize("ret >= 0").unwrap()).unwrap();
         let (p3, _) = program.lower_comparison("sum", &cmp).unwrap();
         assert_eq!(program.render_poly(&p3), "ret_sum");
     }

@@ -142,10 +142,7 @@ impl Postcondition {
 
     /// The atoms of a function's post-condition.
     pub fn get(&self, function: &str) -> &[Atom] {
-        self.atoms
-            .get(function)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.atoms.get(function).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Iterates over all `(function, atoms)` pairs.
@@ -262,10 +259,7 @@ mod tests {
         pre.add_bounded_reals(&program, Rational::from_int(1000));
         let func = program.main();
         let per_label = 2 * func.vars().len() + 1;
-        assert_eq!(
-            pre.num_atoms(),
-            before + per_label * func.labels().len()
-        );
+        assert_eq!(pre.num_atoms(), before + per_label * func.labels().len());
     }
 
     #[test]

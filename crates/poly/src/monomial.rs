@@ -145,7 +145,7 @@ impl Monomial {
     {
         let mut result = Rational::one();
         for &(var, exp) in &self.powers {
-            result = result * valuation(var).pow(exp);
+            result *= valuation(var).pow(exp);
         }
         result
     }
@@ -302,7 +302,7 @@ mod tests {
         assert_eq!(basis.len(), 10); // C(5,2)
         let basis3 = Monomial::all_up_to_degree(&vars, 3);
         assert_eq!(basis3.len(), 20); // C(6,3)
-        // The basis starts with the constant monomial.
+                                      // The basis starts with the constant monomial.
         assert!(basis[0].is_one());
         // All entries are distinct and within degree bound.
         for m in &basis3 {

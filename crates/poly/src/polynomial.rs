@@ -91,7 +91,8 @@ impl Polynomial {
 
     /// Returns `true` if the polynomial is a constant (possibly zero).
     pub fn is_constant(&self) -> bool {
-        self.terms.is_empty() || (self.terms.len() == 1 && self.terms.contains_key(&Monomial::one()))
+        self.terms.is_empty()
+            || (self.terms.len() == 1 && self.terms.contains_key(&Monomial::one()))
     }
 
     /// Returns the constant value if the polynomial is constant.
@@ -215,7 +216,7 @@ impl Polynomial {
                 let replacement = mapping(var).unwrap_or_else(|| Polynomial::variable(var));
                 term_value = &term_value * &replacement.pow(exp);
             }
-            result = result + term_value;
+            result += term_value;
         }
         result
     }
@@ -453,10 +454,7 @@ mod tests {
     fn constant_detection() {
         assert!(Polynomial::zero().is_constant());
         assert_eq!(Polynomial::zero().as_constant(), Some(Rational::zero()));
-        assert_eq!(
-            Polynomial::constant(int(4)).as_constant(),
-            Some(int(4))
-        );
+        assert_eq!(Polynomial::constant(int(4)).as_constant(), Some(int(4)));
         assert_eq!(Polynomial::variable(x()).as_constant(), None);
     }
 

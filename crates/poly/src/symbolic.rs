@@ -131,11 +131,7 @@ impl LinExpr {
         }
         LinExpr {
             constant: self.constant * factor,
-            terms: self
-                .terms
-                .iter()
-                .map(|&(u, c)| (u, c * factor))
-                .collect(),
+            terms: self.terms.iter().map(|&(u, c)| (u, c * factor)).collect(),
         }
     }
 
@@ -838,10 +834,7 @@ mod tests {
     fn template_substitution_expands_monomials() {
         // template: s * x^2; substitute x := y + 1.
         let mut template = TemplatePoly::zero();
-        template.add_term(
-            LinExpr::unknown(u(0)),
-            Monomial::from_powers(&[(v(0), 2)]),
-        );
+        template.add_term(LinExpr::unknown(u(0)), Monomial::from_powers(&[(v(0), 2)]));
         let substituted = template.substitute(|var| {
             if var == v(0) {
                 Some(Polynomial::variable(v(1)) + Polynomial::constant(int(1)))

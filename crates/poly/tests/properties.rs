@@ -8,25 +8,20 @@ const NUM_VARS: usize = 3;
 
 fn arb_poly() -> impl Strategy<Value = Polynomial> {
     // Up to 6 terms, degree <= 3, small integer coefficients.
-    prop::collection::vec(
-        (
-            -5i64..6,
-            prop::collection::vec(0u32..3, NUM_VARS),
-        ),
-        0..6,
+    prop::collection::vec((-5i64..6, prop::collection::vec(0u32..3, NUM_VARS)), 0..6).prop_map(
+        |terms| {
+            let mut poly = Polynomial::zero();
+            for (coeff, exps) in terms {
+                let powers: Vec<(VarId, u32)> = exps
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &e)| (VarId::new(i), e))
+                    .collect();
+                poly.add_term(Rational::from_int(coeff), Monomial::from_powers(&powers));
+            }
+            poly
+        },
     )
-    .prop_map(|terms| {
-        let mut poly = Polynomial::zero();
-        for (coeff, exps) in terms {
-            let powers: Vec<(VarId, u32)> = exps
-                .iter()
-                .enumerate()
-                .map(|(i, &e)| (VarId::new(i), e))
-                .collect();
-            poly.add_term(Rational::from_int(coeff), Monomial::from_powers(&powers));
-        }
-        poly
-    })
 }
 
 fn arb_valuation() -> impl Strategy<Value = Vec<Rational>> {
@@ -119,25 +114,23 @@ proptest! {
 }
 
 fn arb_template() -> impl Strategy<Value = TemplatePoly> {
-    prop::collection::vec(
-        (0usize..4, prop::collection::vec(0u32..3, NUM_VARS)),
-        1..5,
+    prop::collection::vec((0usize..4, prop::collection::vec(0u32..3, NUM_VARS)), 1..5).prop_map(
+        |terms| {
+            let mut template = TemplatePoly::zero();
+            for (unknown, exps) in terms {
+                let powers: Vec<(VarId, u32)> = exps
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &e)| (VarId::new(i), e))
+                    .collect();
+                template.add_term(
+                    LinExpr::unknown(UnknownId::new(unknown)),
+                    Monomial::from_powers(&powers),
+                );
+            }
+            template
+        },
     )
-    .prop_map(|terms| {
-        let mut template = TemplatePoly::zero();
-        for (unknown, exps) in terms {
-            let powers: Vec<(VarId, u32)> = exps
-                .iter()
-                .enumerate()
-                .map(|(i, &e)| (VarId::new(i), e))
-                .collect();
-            template.add_term(
-                LinExpr::unknown(UnknownId::new(unknown)),
-                Monomial::from_powers(&powers),
-            );
-        }
-        template
-    })
 }
 
 proptest! {

@@ -1,0 +1,125 @@
+//! The pluggable solver back-end abstraction.
+//!
+//! The paper hands its quadratic systems to a single commercial QCLP solver
+//! (LOQO). This reproduction instead treats Step 4 as a pluggable stage: any
+//! type implementing [`QcqpBackend`] can solve the numeric problems produced
+//! by the reduction, and the synthesis pipeline in the `polyinv` crate is
+//! written purely against this trait. Two implementations ship here:
+//!
+//! * [`LmSolver`] (`"lm"`) — projected Levenberg–Marquardt on the equality
+//!   residuals, the default for Cholesky-encoded systems;
+//! * [`AlmSolver`] (`"penalty"`) — the augmented-Lagrangian penalty solver,
+//!   which scales to larger systems at the cost of slower convergence.
+//!
+//! New back-ends plug in without touching the pipeline: implement the trait
+//! and hand an `Arc` of the solver to `Pipeline::with_backend`.
+
+use std::sync::Arc;
+
+use crate::lm::{LmOptions, LmSolver};
+use crate::penalty::{AlmOptions, AlmSolver, SolveOutcome};
+use crate::problem::Problem;
+
+/// A numerical solver for quadratically-constrained feasibility problems.
+///
+/// Implementations must be deterministic for a fixed configuration (the
+/// multi-start seeds are part of the configuration), and `Send + Sync` so
+/// that restarts and benchmark rows can run on worker threads.
+pub trait QcqpBackend: std::fmt::Debug + Send + Sync {
+    /// A short stable identifier (`"lm"`, `"penalty"`, …) used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Attempts to find a feasible point of `problem`, optionally starting
+    /// from `warm_start`. Must always return the best point found, even
+    /// when infeasible.
+    fn solve(&self, problem: &Problem, warm_start: Option<&[f64]>) -> SolveOutcome;
+}
+
+impl QcqpBackend for LmSolver {
+    fn name(&self) -> &'static str {
+        "lm"
+    }
+
+    fn solve(&self, problem: &Problem, warm_start: Option<&[f64]>) -> SolveOutcome {
+        LmSolver::solve(self, problem, warm_start)
+    }
+}
+
+impl QcqpBackend for AlmSolver {
+    fn name(&self) -> &'static str {
+        "penalty"
+    }
+
+    fn solve(&self, problem: &Problem, warm_start: Option<&[f64]>) -> SolveOutcome {
+        AlmSolver::solve(self, problem, warm_start)
+    }
+}
+
+/// The default back-end used by weak synthesis: LM with the multi-start
+/// configuration the evaluation tables were produced with.
+pub fn default_backend() -> Arc<dyn QcqpBackend> {
+    Arc::new(LmSolver::new(LmOptions {
+        max_iterations: 400,
+        restarts: 4,
+        tolerance: 1e-6,
+        ..LmOptions::default()
+    }))
+}
+
+/// Looks a back-end up by its stable name (`"lm"` or `"penalty"`), with
+/// default options. Returns `None` for unknown names.
+pub fn backend_by_name(name: &str) -> Option<Arc<dyn QcqpBackend>> {
+    match name {
+        "lm" => Some(default_backend()),
+        "penalty" | "alm" => Some(Arc::new(AlmSolver::new(AlmOptions::default()))),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::QuadraticForm;
+    use crate::SolveStatus;
+
+    /// The bilinear system x·y = 6, x − y = 1, x ≥ 0 → (3, 2).
+    fn bilinear_problem() -> Problem {
+        let mut problem = Problem::new(2);
+        problem.equalities.push(QuadraticForm {
+            constant: -6.0,
+            linear: Vec::new(),
+            quadratic: vec![(0, 1, 1.0)],
+        });
+        problem.equalities.push(QuadraticForm {
+            constant: -1.0,
+            linear: vec![(0, 1.0), (1, -1.0)],
+            quadratic: Vec::new(),
+        });
+        problem.inequalities.push(QuadraticForm::variable(0));
+        problem
+    }
+
+    #[test]
+    fn both_named_backends_solve_the_same_problem() {
+        let problem = bilinear_problem();
+        for name in ["lm", "penalty"] {
+            let backend = backend_by_name(name).unwrap();
+            assert_eq!(backend.name(), if name == "lm" { "lm" } else { "penalty" });
+            let outcome = backend.solve(&problem, None);
+            assert_eq!(outcome.status, SolveStatus::Feasible, "{name}");
+            assert!((outcome.assignment[0] - 3.0).abs() < 0.05, "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_backend_names_are_rejected() {
+        assert!(backend_by_name("loqo").is_none());
+    }
+
+    #[test]
+    fn trait_objects_solve_through_a_shared_handle() {
+        let backend: Arc<dyn QcqpBackend> = default_backend();
+        let outcome = backend.solve(&bilinear_problem(), None);
+        assert_eq!(outcome.status, SolveStatus::Feasible);
+    }
+}

@@ -6,24 +6,29 @@
 //! reproduction (see DESIGN.md §4): the reduction that produces the systems
 //! is identical to the paper's, only the numerical back-end differs.
 //!
-//! Three solvers are provided:
+//! Solvers are exposed through the [`QcqpBackend`] trait (see
+//! [`backend`]), so the synthesis pipeline in the `polyinv` crate is
+//! back-end agnostic. Three solvers are provided:
 //!
-//! * [`AlmSolver`] — an augmented-Lagrangian method with an Adam-style
-//!   first-order inner loop for general (non-convex) quadratic systems, with
-//!   optional projection onto PSD blocks after every step. This is the
-//!   workhorse used by weak synthesis.
+//! * [`LmSolver`] (`"lm"`) — projected Levenberg–Marquardt on the equality
+//!   residuals with **parallel multi-start restarts**; the default for the
+//!   Cholesky-encoded systems of the benchmark suite.
+//! * [`AlmSolver`] (`"penalty"`) — an augmented-Lagrangian method with an
+//!   Adam-style first-order inner loop for general (non-convex) quadratic
+//!   systems, with optional projection onto PSD blocks after every step.
 //! * [`FeasibilitySolver`] — alternating projections (POCS) between an
 //!   affine subspace (the linear equalities), the PSD cones of the Gram
 //!   blocks and box bounds. It solves the *verification* problems obtained
 //!   by fixing the template coefficients, which are convex.
-//! * [`least_squares`](problem::Problem::least_squares_step) style helpers
-//!   used by the bilinear alternation in the `polyinv` crate.
 
+pub mod backend;
 pub mod feasibility;
 pub mod lm;
+pub mod par;
 pub mod penalty;
 pub mod problem;
 
+pub use backend::{backend_by_name, default_backend, QcqpBackend};
 pub use feasibility::{FeasibilityOptions, FeasibilitySolver};
 pub use lm::{LmOptions, LmSolver};
 pub use penalty::{AlmOptions, AlmSolver, SolveOutcome, SolveStatus};

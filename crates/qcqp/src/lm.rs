@@ -44,6 +44,11 @@ pub struct LmOptions {
     /// `objective_weight · objective(x)` so that among near-feasible points
     /// lower objectives are preferred.
     pub objective_weight: f64,
+    /// Whether the restarts may fan out over worker threads. Callers that
+    /// already run *inside* a parallel region (the certificate checker's
+    /// per-pair fan-out, strong synthesis' per-attempt fan-out) set this to
+    /// `false` to avoid oversubscribing the CPU with nested waves.
+    pub parallel_restarts: bool,
 }
 
 impl Default for LmOptions {
@@ -58,6 +63,7 @@ impl Default for LmOptions {
             seed: 0x1a2b3c,
             init_scale: 0.3,
             objective_weight: 0.0,
+            parallel_restarts: true,
         }
     }
 }
@@ -76,21 +82,65 @@ impl LmSolver {
 
     /// Solves the problem, optionally starting from a warm-start point.
     ///
+    /// The multi-start restarts are independent (restart `k` seeds its own
+    /// generator with `seed + k`) and run **in parallel** on worker threads;
+    /// the selection among their outcomes is deterministic — the
+    /// lowest-index feasible restart wins, otherwise the restart with the
+    /// smallest violation — so the result is identical to the sequential
+    /// first-feasible-wins policy.
+    ///
     /// PSD blocks are handled by projection after every accepted step (they
     /// are absent from Cholesky-encoded systems, which are the intended
     /// input).
     pub fn solve(&self, problem: &Problem, warm_start: Option<&[f64]>) -> SolveOutcome {
+        let restarts = self.options.restarts.max(1);
+        let outcomes = if self.options.parallel_restarts {
+            crate::par::parallel_indexed_until(
+                restarts,
+                |restart| self.run_restart(problem, warm_start, restart),
+                |outcome| outcome.status == SolveStatus::Feasible,
+            )
+        } else {
+            // Sequential with the classic first-feasible early exit; used
+            // when the caller already parallelizes one level up.
+            let mut outcomes = Vec::with_capacity(restarts);
+            for restart in 0..restarts {
+                let outcome = self.run_restart(problem, warm_start, restart);
+                let feasible = outcome.status == SolveStatus::Feasible;
+                outcomes.push(outcome);
+                if feasible {
+                    break;
+                }
+            }
+            outcomes
+        };
+        Self::pick_best(outcomes)
+    }
+
+    /// Runs one independent restart: restart 0 consumes the warm start, all
+    /// others draw a fresh random initialization from their own generator.
+    fn run_restart(
+        &self,
+        problem: &Problem,
+        warm_start: Option<&[f64]>,
+        restart: usize,
+    ) -> SolveOutcome {
+        let mut rng = StdRng::seed_from_u64(self.options.seed.wrapping_add(restart as u64));
+        let mut x: Vec<f64> = match (restart, warm_start) {
+            (0, Some(start)) if start.len() == problem.num_vars => start.to_vec(),
+            _ => (0..problem.num_vars)
+                .map(|_| rng.random_range(-self.options.init_scale..self.options.init_scale))
+                .collect(),
+        };
+        problem.clamp(&mut x);
+        self.solve_from(problem, &mut x)
+    }
+
+    /// Deterministic selection: the first feasible outcome in restart order,
+    /// otherwise the first outcome attaining the minimum violation.
+    fn pick_best(outcomes: Vec<SolveOutcome>) -> SolveOutcome {
         let mut best: Option<SolveOutcome> = None;
-        for restart in 0..self.options.restarts.max(1) {
-            let mut rng = StdRng::seed_from_u64(self.options.seed.wrapping_add(restart as u64));
-            let mut x: Vec<f64> = match (restart, warm_start) {
-                (0, Some(start)) if start.len() == problem.num_vars => start.to_vec(),
-                _ => (0..problem.num_vars)
-                    .map(|_| rng.random_range(-self.options.init_scale..self.options.init_scale))
-                    .collect(),
-            };
-            problem.clamp(&mut x);
-            let outcome = self.solve_from(problem, &mut x);
+        for outcome in outcomes {
             let better = match &best {
                 None => true,
                 Some(current) => {
@@ -234,12 +284,13 @@ impl LmSolver {
         problem: &Problem,
         x: &[f64],
     ) -> (Vec<f64>, Vec<Vec<(usize, f64)>>) {
-        let mut residuals = Vec::with_capacity(problem.equalities.len() + problem.inequalities.len());
+        let mut residuals =
+            Vec::with_capacity(problem.equalities.len() + problem.inequalities.len());
         let mut rows = Vec::with_capacity(residuals.capacity());
         let mut gradient_buffer = vec![0.0; problem.num_vars];
         let sparse_gradient = |form: &crate::problem::QuadraticForm,
-                                   x: &[f64],
-                                   buffer: &mut Vec<f64>|
+                               x: &[f64],
+                               buffer: &mut Vec<f64>|
          -> Vec<(usize, f64)> {
             for value in buffer.iter_mut() {
                 *value = 0.0;

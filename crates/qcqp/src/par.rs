@@ -1,0 +1,115 @@
+//! Tiny scoped-thread fan-out used by the multi-start machinery.
+//!
+//! The solvers and the synthesis pipeline repeatedly need the same shape of
+//! parallelism: run `count` independent, CPU-bound closures and collect
+//! their results **in index order** so that downstream selection stays
+//! deterministic. This helper provides exactly that on `std::thread::scope`
+//! (no external dependency), bounding live threads by the machine's
+//! available parallelism.
+
+/// Runs `f(0..count)` on worker threads and returns the results in index
+/// order. Falls back to a plain loop when `count <= 1`.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker closure.
+pub fn parallel_indexed<R, F>(count: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    parallel_indexed_until(count, f, |_| false)
+}
+
+/// Like [`parallel_indexed`], but stops scheduling further work once any
+/// completed result satisfies `stop` (results computed so far are still
+/// returned, in index order, possibly fewer than `count`).
+///
+/// This restores the sequential "first success wins" economy of multi-start
+/// loops: a wave of up to `available_parallelism` closures runs at a time,
+/// and later waves are skipped when an earlier one already produced a
+/// satisfying result.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker closure.
+pub fn parallel_indexed_until<R, F, S>(count: usize, f: F, stop: S) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+    S: Fn(&R) -> bool,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(1);
+    if count <= 1 || workers == 1 {
+        let mut results = Vec::with_capacity(count);
+        for index in 0..count {
+            let result = f(index);
+            let done = stop(&result);
+            results.push(result);
+            if done {
+                break;
+            }
+        }
+        return results;
+    }
+    std::thread::scope(|scope| {
+        let mut results: Vec<R> = Vec::with_capacity(count);
+        let indices: Vec<usize> = (0..count).collect();
+        for chunk in indices.chunks(workers) {
+            let handles: Vec<_> = chunk
+                .iter()
+                .map(|&index| {
+                    scope.spawn({
+                        let f = &f;
+                        move || f(index)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                results.push(handle.join().expect("worker thread panicked"));
+            }
+            if results.iter().any(&stop) {
+                break;
+            }
+        }
+        results
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let results = parallel_indexed(37, |i| i * i);
+        assert_eq!(results, (0..37).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn early_exit_skips_later_waves() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let results = parallel_indexed_until(
+            100,
+            |i| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                i
+            },
+            |&i| i == 0,
+        );
+        // The first wave contains index 0, which satisfies the stop
+        // predicate, so far fewer than 100 closures run.
+        assert!(results.contains(&0));
+        assert!(calls.load(Ordering::SeqCst) < 100);
+    }
+
+    #[test]
+    fn zero_and_one_item_shortcuts_work() {
+        assert_eq!(parallel_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_indexed(1, |i| i + 10), vec![10]);
+    }
+}

@@ -124,7 +124,7 @@ impl AlmSolver {
         best.expect("at least one restart runs")
     }
 
-    fn solve_from(&self, problem: &Problem, x: &mut Vec<f64>, rng: &mut StdRng) -> SolveOutcome {
+    fn solve_from(&self, problem: &Problem, x: &mut [f64], rng: &mut StdRng) -> SolveOutcome {
         let n = problem.num_vars;
         let opts = &self.options;
         let mut rho = opts.initial_penalty;
@@ -146,7 +146,7 @@ impl AlmSolver {
                 .map(|o| o.eval(point))
                 .unwrap_or(0.0)
         };
-        let mut best_x = x.clone();
+        let mut best_x = x.to_vec();
         let mut best_violation = problem.max_violation(x);
         let mut best_objective = objective_at(x);
 
@@ -195,7 +195,7 @@ impl AlmSolver {
                 *lambda = lambda.clamp(-1e6, 1e6);
             }
             for (ineq, lambda) in problem.inequalities.iter().zip(lambda_ineq.iter_mut()) {
-                *lambda = (*lambda - rho * ineq.eval(x)).max(0.0).min(1e6);
+                *lambda = (*lambda - rho * ineq.eval(x)).clamp(0.0, 1e6);
             }
             rho *= opts.penalty_growth;
 
@@ -211,7 +211,7 @@ impl AlmSolver {
             if better {
                 best_violation = violation;
                 best_objective = objective;
-                best_x = x.clone();
+                best_x = x.to_vec();
             }
             if violation <= opts.tolerance && problem.objective.is_none() {
                 break;

@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     "#;
     let program = parse_program(source)?;
-    println!("parsed `{}` with {} labels", program.main().name(), program.main().labels().len());
+    println!(
+        "parsed `{}` with {} labels",
+        program.main().name(),
+        program.main().labels().len()
+    );
 
     // Steps 1-3: build the quadratic system for degree-2 invariant templates.
     let pre = Precondition::from_program(&program);
@@ -40,17 +44,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         degree: 1,
         ..SynthesisOptions::default()
     });
-    let outcome = synth.synthesize(
-        &program,
-        &pre,
-        &[polyinv::weak::TargetAssertion::new(exit, target)],
-    );
+    let outcome = synth.synthesize(&program, &pre, &[TargetAssertion::new(exit, target)]);
     println!(
         "weak synthesis: {:?} (|S| = {}, violation = {:.2e}, solve time = {:?})",
         outcome.status, outcome.system_size, outcome.violation, outcome.solve_time
     );
-    if outcome.status == polyinv::weak::SynthesisStatus::Synthesized {
-        println!("synthesized inductive invariant:\n{}", outcome.invariant.render(&program));
+    if outcome.status == SynthesisStatus::Synthesized {
+        println!(
+            "synthesized inductive invariant:\n{}",
+            outcome.invariant.render(&program)
+        );
     }
     Ok(())
 }

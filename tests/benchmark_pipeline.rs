@@ -35,7 +35,10 @@ fn small_table2_benchmarks_generate_systems_of_paper_scale() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow without optimizations; run with `cargo test --release`")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; run with `cargo test --release`"
+)]
 fn benchmark_difficulty_ordering_is_preserved() {
     // The paper's largest Table 2 system (euclidex3) must also be our
     // largest among a sample, and the smallest (cohendiv, d=1) our smallest.
@@ -83,7 +86,10 @@ fn every_benchmark_has_consistent_metadata() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow without optimizations; run with `cargo test --release`")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; run with `cargo test --release`"
+)]
 fn weak_synthesis_closes_a_small_linear_benchmark() {
     // End-to-end Steps 1-4 on a small bounded-counter program: the local
     // solver reliably closes lower-bound style targets of this size.
@@ -134,8 +140,7 @@ fn farkas_baseline_rejects_polynomial_benchmarks_but_handles_linear_ones() {
     let pre = Precondition::from_program(&program);
     if FarkasBaseline::default().check_applicable(&program).is_ok() {
         let farkas = FarkasBaseline::default().generate(&program, &pre).unwrap();
-        let putinar =
-            polyinv_constraints::generate(&program, &pre, &SynthesisOptions::default());
+        let putinar = polyinv_constraints::generate(&program, &pre, &SynthesisOptions::default());
         assert!(farkas.size() < putinar.size());
     }
 }
@@ -152,7 +157,10 @@ fn recursive_benchmarks_are_treated_recursively() {
             ..SynthesisOptions::default()
         };
         let generated = polyinv_constraints::generate(&program, &pre, &options);
-        assert!(generated.recursive, "{name} must use the recursive algorithm");
+        assert!(
+            generated.recursive,
+            "{name} must use the recursive algorithm"
+        );
         assert!(
             generated
                 .templates

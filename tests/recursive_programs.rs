@@ -38,7 +38,12 @@ fn figure_4_reduction_produces_call_and_post_condition_pairs() {
     assert_eq!(post_pairs, 2, "two return statements");
     // The µ(rsum) template of Example 11 has 6 monomials.
     assert_eq!(
-        generated.templates.postcondition("rsum").unwrap().basis.len(),
+        generated
+            .templates
+            .postcondition("rsum")
+            .unwrap()
+            .basis
+            .len(),
         6
     );
 }

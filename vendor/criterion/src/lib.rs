@@ -1,0 +1,204 @@
+//! A minimal, dependency-free stand-in for the `criterion` bench harness.
+//!
+//! The workspace builds without network access, so the slice of the
+//! criterion API used by `crates/bench/benches/` is vendored here:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`] /
+//! [`BenchmarkGroup::measurement_time`] / [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`] and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Instead of criterion's statistical analysis it reports the
+//! minimum, mean and maximum wall-clock time over the configured number of
+//! samples — enough to compare pipeline stages against each other.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// The top-level harness handle passed to bench functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Honors a substring filter passed on the command line
+    /// (`cargo bench -- <filter>`), ignoring harness flags.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+            criterion: self,
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_ref().is_none_or(|f| id.contains(f.as_str()))
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let deadline = Instant::now() + self.measurement_time;
+        // One untimed warm-up pass, then up to `sample_size` timed samples
+        // within the measurement budget (always at least one).
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            samples.push(bencher.elapsed);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let mean = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+        println!(
+            "{full:<50} time: [{:>10.4?} {:>10.4?} {:>10.4?}]  ({} samples)",
+            min,
+            mean,
+            max,
+            samples.len()
+        );
+        self
+    }
+
+    /// Ends the group (retained for criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Hint for how batched inputs are grouped (accepted for criterion API
+/// compatibility; the shim always uses one input per sample).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many per allocation in real criterion.
+    SmallInput,
+    /// Large inputs: fewer per batch in real criterion.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The per-benchmark timing handle.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` (called once per sample).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+    }
+
+    /// Times `routine` on an input produced by `setup`; only the routine is
+    /// measured, so per-iteration setup (clones, context rebuilds) stays out
+    /// of the reported numbers.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Declares a group function running each listed benchmark in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut criterion = Criterion::default();
+        let mut calls = 0;
+        let mut group = criterion.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(200));
+        group.bench_function("counting", |b| b.iter(|| calls += 1));
+        group.finish();
+        // warm-up + up to 3 samples
+        assert!(calls >= 2);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut criterion = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        let mut calls = 0;
+        let mut group = criterion.benchmark_group("shim");
+        group.bench_function("skipped", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 0);
+    }
+}

@@ -1,0 +1,276 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The workspace builds without network access, so the slice of the
+//! proptest API used by the property tests is vendored here: range and
+//! tuple [`Strategy`]s, [`Strategy::prop_map`], [`collection::vec`], the
+//! [`proptest!`] macro and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Unlike real proptest there is no shrinking: each test runs a fixed
+//! number of deterministically-seeded cases and reports the first failing
+//! input via the standard assertion panic message.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// The per-test case generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// Creates the deterministic per-test generator (used by [`proptest!`]).
+pub fn new_test_rng(seed: u64) -> TestRng {
+    use rand::SeedableRng;
+    TestRng::seed_from_u64(seed)
+}
+
+/// Test-runner configuration (only the case count is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty => $via:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.random_range(0u64..u64::MAX) as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(i32 => i64, i64 => i64, i128 => i128, u32 => i64, usize => i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.random_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// The number of elements a [`vec`] strategy may produce.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                start: n,
+                end: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.end > self.size.start + 1 {
+                rng.random_range(self.size.start..self.size.end)
+            } else {
+                self.size.start
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of values drawn from `element`, with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The usual glob-import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a property (no shrinking; plain panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (no shrinking; plain panic).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(x in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over deterministically-seeded
+/// random cases.
+#[macro_export]
+macro_rules! proptest {
+    (@config ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng =
+                    $crate::new_test_rng(0x70726f70u64 ^ stringify!($name).len() as u64);
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)*
+                    #[allow(unused_mut)]
+                    let mut case = move || $body;
+                    case();
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@config ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -5i64..6, y in 0u32..3) {
+            prop_assert!((-5..6).contains(&x));
+            prop_assert!(y < 3);
+        }
+
+        #[test]
+        fn mapped_strategies_apply_the_function(x in (0i64..10).prop_map(|v| v * 2)) {
+            prop_assert_eq!(x % 2, 0);
+            prop_assert!(x < 20);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0i64..10) {
+            prop_assume!(x != 3);
+            prop_assert!(x != 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn vec_strategy_respects_sizes(xs in prop::collection::vec(0i64..5, 3), ys in prop::collection::vec(0i64..5, 0..4)) {
+            prop_assert_eq!(xs.len(), 3);
+            prop_assert!(ys.len() < 4);
+        }
+    }
+}
