@@ -1,0 +1,595 @@
+//! The Engine: one front door for every synthesis workload.
+//!
+//! An [`Engine`] owns the solver back-end and a parsed-program cache keyed
+//! by source hash, consumes [`SynthesisRequest`]s and produces
+//! [`SynthesisReport`]s. It is `Sync`, so one Engine instance can serve many
+//! threads; [`Engine::run_batch`] fans a slice of requests out over scoped
+//! worker threads and returns the results in request order, making batch
+//! output deterministic.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use polyinv::pipeline::{stage_names, Pipeline, StageTimings};
+use polyinv::{check_inductive, CheckOptions};
+use polyinv_lang::{InvariantMap, Label, Postcondition, Precondition, Program};
+use polyinv_poly::Polynomial;
+use polyinv_qcqp::par::parallel_indexed;
+use polyinv_qcqp::{backend_by_name, default_backend, QcqpBackend};
+
+#[allow(deprecated)]
+use polyinv::strong::{StrongOptions, StrongSynthesis};
+#[allow(deprecated)]
+use polyinv::weak::{SynthesisStatus, TargetAssertion, WeakSynthesis};
+
+use crate::error::ApiError;
+use crate::report::{ReportStatus, SynthesisReport};
+use crate::request::{Mode, SynthesisRequest};
+
+/// Parsed programs keyed by FNV-1a hash of their source; each bucket keeps
+/// the source alongside the program to rule out hash collisions.
+type ProgramCache = HashMap<u64, Vec<(String, Arc<Program>)>>;
+
+/// The stable front door: parses (and caches) programs, dispatches the four
+/// modes, and serializes everything that comes back.
+///
+/// ```
+/// use polyinv_api::{Engine, SynthesisRequest};
+///
+/// let engine = Engine::new();
+/// let request = SynthesisRequest::generate_only(
+///     polyinv_lang::program::RUNNING_EXAMPLE_SOURCE,
+/// );
+/// let report = engine.run(&request)?;
+/// assert!(report.system_size > 0);
+/// # Ok::<(), polyinv_api::ApiError>(())
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    backend: Arc<dyn QcqpBackend>,
+    cache: Mutex<ProgramCache>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An Engine with the default solver back-end (multi-start LM).
+    pub fn new() -> Self {
+        Engine::with_backend(default_backend())
+    }
+
+    /// An Engine with a caller-supplied back-end implementation.
+    pub fn with_backend(backend: Arc<dyn QcqpBackend>) -> Self {
+        Engine {
+            backend,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// An Engine with a back-end selected by stable name (`"lm"`,
+    /// `"penalty"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::UnknownBackend`] for unrecognized names.
+    pub fn with_backend_name(name: &str) -> Result<Self, ApiError> {
+        let backend = backend_by_name(name).ok_or_else(|| ApiError::UnknownBackend {
+            name: name.to_string(),
+        })?;
+        Ok(Engine::with_backend(backend))
+    }
+
+    /// The stable name of the Engine's default back-end.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Parses a program, consulting the source-hash cache first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Parse`] (with the front-end's source span) when
+    /// the source does not lex, parse or resolve.
+    pub fn parse_program(&self, source: &str) -> Result<Arc<Program>, ApiError> {
+        let key = fnv1a(source.as_bytes());
+        {
+            let cache = self.cache.lock().expect("cache lock");
+            if let Some(bucket) = cache.get(&key) {
+                if let Some((_, program)) = bucket.iter().find(|(text, _)| text == source) {
+                    return Ok(Arc::clone(program));
+                }
+            }
+        }
+        let program = Arc::new(polyinv_lang::parse_program(source)?);
+        let mut cache = self.cache.lock().expect("cache lock");
+        let bucket = cache.entry(key).or_default();
+        // Re-check under the lock: a concurrent batch worker may have parsed
+        // the same source while this thread was parsing (check-then-act).
+        if let Some((_, cached)) = bucket.iter().find(|(text, _)| text == source) {
+            return Ok(Arc::clone(cached));
+        }
+        bucket.push((source.to_string(), Arc::clone(&program)));
+        Ok(program)
+    }
+
+    /// Number of distinct programs currently cached.
+    pub fn cached_programs(&self) -> usize {
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Serves one request.
+    ///
+    /// Request-level problems (unparseable source, unknown back-end, bad
+    /// assertion, out-of-range label) come back as `Err`; a solver that runs
+    /// but does not converge is a *report* with
+    /// [`ReportStatus::Failed`] — use [`SynthesisReport::into_result`] to
+    /// turn negative outcomes into [`ApiError`]s when failing hard is
+    /// wanted (the CLI does this for its exit codes).
+    pub fn run(&self, request: &SynthesisRequest) -> Result<SynthesisReport, ApiError> {
+        let program = self.parse_program(&request.source)?;
+        let backend = match &request.backend {
+            Some(name) => {
+                // Strong enumeration and certificate checking are built on
+                // the seeded LM multi-start substrate and cannot honor an
+                // arbitrary back-end; rejecting beats silently ignoring.
+                if matches!(request.mode, Mode::Strong | Mode::Check) {
+                    return Err(ApiError::InvalidRequest {
+                        message: format!(
+                            "back-end selection applies to weak and generate-only requests; \
+                             {} requests use the built-in LM substrate",
+                            request.mode.as_str()
+                        ),
+                    });
+                }
+                backend_by_name(name)
+                    .ok_or_else(|| ApiError::UnknownBackend { name: name.clone() })?
+            }
+            None => Arc::clone(&self.backend),
+        };
+        let pre = Precondition::from_program(&program);
+        match request.mode {
+            Mode::GenerateOnly => self.run_generate(request, &program, &pre, backend),
+            Mode::Weak => self.run_weak(request, &program, &pre, backend),
+            Mode::Strong => self.run_strong(request, &program, &pre),
+            Mode::Check => self.run_check(request, &program, &pre),
+        }
+    }
+
+    /// Serves a slice of requests in parallel on scoped worker threads.
+    ///
+    /// The result vector is index-aligned with `requests` regardless of
+    /// completion order, so batch output is deterministic and
+    /// request-ordered. The program cache is shared across the batch:
+    /// requests with identical sources parse once.
+    pub fn run_batch(
+        &self,
+        requests: &[SynthesisRequest],
+    ) -> Vec<Result<SynthesisReport, ApiError>> {
+        parallel_indexed(requests.len(), |index| self.run(&requests[index]))
+    }
+
+    fn run_generate(
+        &self,
+        request: &SynthesisRequest,
+        program: &Program,
+        pre: &Precondition,
+        backend: Arc<dyn QcqpBackend>,
+    ) -> Result<SynthesisReport, ApiError> {
+        if !request.assertions.is_empty() {
+            return Err(ApiError::InvalidRequest {
+                message: "generate-only requests take no assertions".to_string(),
+            });
+        }
+        let pipeline = Pipeline::new(request.options.clone()).with_backend(backend);
+        let mut ctx = pipeline.context(program, pre);
+        let generated = pipeline.generate(&mut ctx);
+        let mut report =
+            SynthesisReport::skeleton(&request.id, request.mode, ReportStatus::Generated);
+        report.system_size = generated.size();
+        report.num_unknowns = generated.system.num_unknowns();
+        report.timings = timings_to_seconds(ctx.timings());
+        report.diagnostics = ctx.diagnostics().to_vec();
+        Ok(report)
+    }
+
+    #[allow(deprecated)]
+    fn run_weak(
+        &self,
+        request: &SynthesisRequest,
+        program: &Program,
+        pre: &Precondition,
+        backend: Arc<dyn QcqpBackend>,
+    ) -> Result<SynthesisReport, ApiError> {
+        let targets: Vec<TargetAssertion> = request
+            .assertions
+            .iter()
+            .map(|spec| {
+                if spec.function.is_some() {
+                    return Err(ApiError::InvalidRequest {
+                        message: "post-condition assertions only apply to check requests"
+                            .to_string(),
+                    });
+                }
+                let label = resolve_label(program, spec.label)?;
+                let poly = parse_assertion(program, &spec.text)?;
+                if poly.degree() > request.options.degree {
+                    return Err(ApiError::InvalidRequest {
+                        message: format!(
+                            "target `{}` has degree {} but the template degree is {}",
+                            spec.text,
+                            poly.degree(),
+                            request.options.degree
+                        ),
+                    });
+                }
+                Ok(TargetAssertion::new(label, poly))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut per_label: HashMap<Label, usize> = HashMap::new();
+        for target in &targets {
+            let count = per_label.entry(target.label).or_insert(0);
+            *count += 1;
+            if *count > request.options.size {
+                return Err(ApiError::InvalidRequest {
+                    message: format!(
+                        "more than {} target(s) at label {}; raise `options.size`",
+                        request.options.size, target.label
+                    ),
+                });
+            }
+        }
+
+        let synth = WeakSynthesis::with_options(request.options.clone()).backend(backend);
+        let outcome = synth.synthesize(program, pre, &targets);
+        let status = match outcome.status {
+            SynthesisStatus::Synthesized => ReportStatus::Synthesized,
+            SynthesisStatus::Failed => ReportStatus::Failed,
+        };
+        let mut report = SynthesisReport::skeleton(&request.id, request.mode, status);
+        report.backend = outcome.backend.to_string();
+        report.system_size = outcome.system_size;
+        report.num_unknowns = outcome.num_unknowns;
+        report.violation = outcome.violation;
+        report.timings = timings_to_seconds(&outcome.timings);
+        if status == ReportStatus::Synthesized {
+            report.invariants = render_lines(&outcome.invariant.render(program));
+            report.postconditions = render_postconditions(program, &outcome.postconditions);
+        } else {
+            report.diagnostics.push(format!(
+                "solver `{}` stopped at violation {:.3e}",
+                outcome.backend, outcome.violation
+            ));
+        }
+        Ok(report)
+    }
+
+    #[allow(deprecated)]
+    fn run_strong(
+        &self,
+        request: &SynthesisRequest,
+        program: &Program,
+        pre: &Precondition,
+    ) -> Result<SynthesisReport, ApiError> {
+        if !request.assertions.is_empty() {
+            return Err(ApiError::InvalidRequest {
+                message: "strong requests take no assertions (they enumerate, not prove)"
+                    .to_string(),
+            });
+        }
+        let mut options = StrongOptions {
+            synthesis: request.options.clone(),
+            ..StrongOptions::default()
+        };
+        if let Some(attempts) = request.attempts {
+            options.attempts = attempts;
+        }
+        // A staged generation pass supplies the report's |S|/unknown metrics
+        // and per-stage generation timings. (The enumeration re-generates
+        // internally; generation is milliseconds next to the solve attempts.)
+        let pipeline = Pipeline::new(request.options.clone());
+        let mut ctx = pipeline.context(program, pre);
+        let generated = pipeline.generate(&mut ctx);
+        let start = Instant::now();
+        let solutions = StrongSynthesis::new(options).enumerate(program, pre);
+        let elapsed = start.elapsed().as_secs_f64();
+        let status = if solutions.is_empty() {
+            ReportStatus::Failed
+        } else {
+            ReportStatus::Synthesized
+        };
+        let mut report = SynthesisReport::skeleton(&request.id, request.mode, status);
+        report.backend = "lm".to_string();
+        report.system_size = generated.size();
+        report.num_unknowns = generated.system.num_unknowns();
+        report.timings = timings_to_seconds(ctx.timings());
+        report
+            .timings
+            .push((stage_names::SOLVE.to_string(), elapsed));
+        report
+            .diagnostics
+            .push(format!("{} distinct invariant(s) found", solutions.len()));
+        for (index, solution) in solutions.iter().enumerate() {
+            for line in render_lines(&solution.invariant.render(program)) {
+                report.invariants.push(format!("[{index}] {line}"));
+            }
+            for line in render_postconditions(program, &solution.postconditions) {
+                report.postconditions.push(format!("[{index}] {line}"));
+            }
+        }
+        Ok(report)
+    }
+
+    fn run_check(
+        &self,
+        request: &SynthesisRequest,
+        program: &Program,
+        pre: &Precondition,
+    ) -> Result<SynthesisReport, ApiError> {
+        if request.assertions.is_empty() {
+            return Err(ApiError::InvalidRequest {
+                message: "check requests need at least one invariant assertion".to_string(),
+            });
+        }
+        let mut invariant = InvariantMap::new();
+        let mut post = Postcondition::new();
+        for spec in &request.assertions {
+            let poly = parse_assertion(program, &spec.text)?;
+            match &spec.function {
+                Some(function) => post.add(function, poly),
+                None => invariant.add(resolve_label(program, spec.label)?, poly),
+            }
+        }
+        let start = Instant::now();
+        let check = check_inductive(program, pre, &invariant, &post, &CheckOptions::default());
+        let elapsed = start.elapsed().as_secs_f64();
+        let status = if check.all_certified() {
+            ReportStatus::Certified
+        } else {
+            ReportStatus::NotCertified
+        };
+        let mut report = SynthesisReport::skeleton(&request.id, request.mode, status);
+        report.backend = "lm".to_string();
+        report.pairs_total = check.certificates.len();
+        report.pairs_certified = check.num_certified();
+        report.system_size = check
+            .certificates
+            .iter()
+            .map(|c| c.problem_size)
+            .max()
+            .unwrap_or(0);
+        report.timings = vec![(stage_names::SOLVE.to_string(), elapsed)];
+        report.invariants = render_lines(&invariant.render(program));
+        report.postconditions = render_postconditions(program, &post);
+        for failure in check.failures() {
+            report.diagnostics.push(format!("uncertified: {failure}"));
+        }
+        Ok(report)
+    }
+}
+
+/// Resolves an assertion label index against the main function.
+fn resolve_label(program: &Program, index: Option<usize>) -> Result<Label, ApiError> {
+    let labels = program.main().labels();
+    match index {
+        None => Ok(program.main().exit_label()),
+        Some(index) if index < labels.len() => Ok(labels[index]),
+        Some(index) => Err(ApiError::UnknownLabel {
+            index,
+            available: labels.len(),
+        }),
+    }
+}
+
+/// Parses one assertion in the scope of the main function, mapping the
+/// front-end error to [`ApiError::Assertion`].
+fn parse_assertion(program: &Program, text: &str) -> Result<Polynomial, ApiError> {
+    polyinv_lang::parse_assertion(program, program.main().name(), text)
+        .map(|(poly, _)| poly)
+        .map_err(|error| ApiError::Assertion {
+            text: text.to_string(),
+            line: error.line(),
+            column: error.column(),
+            message: error.message().to_string(),
+        })
+}
+
+fn timings_to_seconds(timings: &StageTimings) -> Vec<(String, f64)> {
+    timings
+        .iter()
+        .map(|(stage, duration)| (stage.to_string(), duration.as_secs_f64()))
+        .collect()
+}
+
+fn render_lines(rendered: &str) -> Vec<String> {
+    rendered.lines().map(str::to_string).collect()
+}
+
+fn render_postconditions(program: &Program, post: &Postcondition) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (function, atoms) in post.iter() {
+        for atom in atoms {
+            lines.push(format!(
+                "{function}: {} {} 0",
+                program.render_poly(&atom.poly),
+                if atom.strict { ">" } else { ">=" }
+            ));
+        }
+    }
+    lines.sort();
+    lines
+}
+
+/// 64-bit FNV-1a: small, dependency-free and good enough to key a cache
+/// whose buckets verify the full source anyway.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyinv_lang::program::RUNNING_EXAMPLE_SOURCE;
+
+    #[test]
+    fn generate_only_reports_paper_scale_metrics() {
+        let engine = Engine::new();
+        let report = engine
+            .run(&SynthesisRequest::generate_only(RUNNING_EXAMPLE_SOURCE).with_id("gen"))
+            .unwrap();
+        assert_eq!(report.id, "gen");
+        assert_eq!(report.status, ReportStatus::Generated);
+        assert!(report.system_size > 500);
+        assert!(report.num_unknowns > 0);
+        assert!(report.stage_seconds(stage_names::TEMPLATES) > 0.0);
+        assert!(report.stage_seconds(stage_names::REDUCTION) > 0.0);
+    }
+
+    #[test]
+    fn programs_parse_once_per_source() {
+        let engine = Engine::new();
+        let a = engine.parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        let b = engine.parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(engine.cached_programs(), 1);
+        engine.parse_program("f(x) { return x }").unwrap();
+        assert_eq!(engine.cached_programs(), 2);
+    }
+
+    #[test]
+    fn parse_errors_carry_spans() {
+        let engine = Engine::new();
+        let error = engine.parse_program("f(x) { x : 1 }").unwrap_err();
+        match error {
+            ApiError::Parse { line, column, .. } => {
+                assert_eq!(line, Some(1));
+                assert!(column.is_some());
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_backends_and_labels_are_rejected() {
+        let engine = Engine::new();
+        let request = SynthesisRequest::generate_only("f(x) { return x }").with_backend("loqo");
+        assert!(matches!(
+            engine.run(&request),
+            Err(ApiError::UnknownBackend { .. })
+        ));
+        let request = SynthesisRequest::weak("f(x) { return x }").with_target_at(99, "x + 1 > 0");
+        assert!(matches!(
+            engine.run(&request),
+            Err(ApiError::UnknownLabel { index: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn over_degree_targets_are_rejected_not_panicking() {
+        let engine = Engine::new();
+        let request = SynthesisRequest::weak(RUNNING_EXAMPLE_SOURCE).with_target("n*n*n + 1 > 0");
+        assert!(matches!(
+            engine.run(&request),
+            Err(ApiError::InvalidRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn check_mode_certifies_the_trivial_invariant() {
+        let engine = Engine::new();
+        // 1 > 0 at every label of the running example.
+        let mut request = SynthesisRequest::check(RUNNING_EXAMPLE_SOURCE).with_id("trivial");
+        for index in 0..9 {
+            request = request.with_target_at(index, "1 > 0");
+        }
+        let report = engine.run(&request).unwrap();
+        assert_eq!(report.status, ReportStatus::Certified);
+        assert_eq!(report.pairs_certified, report.pairs_total);
+        assert!(report.pairs_total > 0);
+        assert!(report.into_result().is_ok());
+    }
+
+    #[test]
+    fn check_mode_rejects_a_wrong_invariant() {
+        let engine = Engine::new();
+        let report = engine
+            .run(&SynthesisRequest::check(RUNNING_EXAMPLE_SOURCE).with_target_at(7, "1 - s > 0"))
+            .unwrap();
+        assert_eq!(report.status, ReportStatus::NotCertified);
+        assert!(report.pairs_certified < report.pairs_total);
+        assert!(matches!(
+            report.into_result(),
+            Err(ApiError::Uncertified { .. })
+        ));
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; run with `cargo test --release`"
+    )]
+    fn weak_mode_synthesizes_on_a_tiny_loop() {
+        let engine = Engine::new();
+        let request = SynthesisRequest::weak(
+            r#"
+            inc(x) {
+                @pre(x >= 0);
+                while x <= 10 do
+                    x := x + 1
+                od;
+                return x
+            }
+            "#,
+        )
+        .with_degree(1)
+        .with_target("x + 1 > 0");
+        let report = engine.run(&request).unwrap();
+        assert_eq!(report.status, ReportStatus::Synthesized);
+        assert_eq!(report.backend, "lm");
+        assert!(!report.invariants.is_empty());
+        assert!(report.stage_seconds(stage_names::SOLVE) > 0.0);
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; run with `cargo test --release`"
+    )]
+    fn strong_mode_reports_system_metrics_and_stage_timings() {
+        let engine = Engine::new();
+        let request = SynthesisRequest::strong(
+            r#"
+            counter(x) {
+                @pre(x >= 0);
+                while x <= 5 do
+                    x := x + 1
+                od;
+                return x
+            }
+            "#,
+        )
+        .with_degree(1)
+        .with_attempts(4);
+        let report = engine.run(&request).unwrap();
+        assert_eq!(report.status, ReportStatus::Synthesized);
+        assert!(report.system_size > 0);
+        assert!(report.num_unknowns > 0);
+        assert!(report.stage_seconds(stage_names::TEMPLATES) > 0.0);
+        assert!(report.stage_seconds(stage_names::SOLVE) > 0.0);
+        assert!(report.invariants.iter().all(|line| line.starts_with('[')));
+    }
+}

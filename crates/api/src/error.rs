@@ -1,0 +1,283 @@
+//! The one exhaustive error type of the API surface.
+//!
+//! Every failure mode of the Engine — front-end parse errors (with source
+//! spans), unresolvable requests, unknown back-ends, baseline
+//! inapplicability, solver non-convergence and JSON/IO problems — is a
+//! variant of [`ApiError`]. Callers below the API keep their precise error
+//! types (`polyinv_lang::Error`, `polyinv_farkas::Inapplicability`); the
+//! conversions here are the single place where they meet.
+
+use std::fmt;
+
+use crate::json::{Json, JsonError};
+
+/// Everything that can go wrong when serving a
+/// [`SynthesisRequest`](crate::SynthesisRequest).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiError {
+    /// The program source did not lex, parse or resolve.
+    Parse {
+        /// The front-end's message.
+        message: String,
+        /// 1-based source line, when known.
+        line: Option<usize>,
+        /// 1-based source column, when known.
+        column: Option<usize>,
+    },
+    /// A target / invariant assertion did not parse in the scope of the
+    /// program's main function.
+    Assertion {
+        /// The assertion text as given in the request.
+        text: String,
+        /// The front-end's message.
+        message: String,
+        /// 1-based line within the assertion text, when known.
+        line: Option<usize>,
+        /// 1-based column within the assertion text, when known.
+        column: Option<usize>,
+    },
+    /// The request named a solver back-end the Engine does not know.
+    UnknownBackend {
+        /// The unrecognized name.
+        name: String,
+    },
+    /// An assertion referenced a label index outside the main function.
+    UnknownLabel {
+        /// The requested label index.
+        index: usize,
+        /// The number of labels the main function has.
+        available: usize,
+    },
+    /// The request is structurally invalid (wrong mode/field combination,
+    /// target degree above the template degree, …).
+    InvalidRequest {
+        /// What is wrong.
+        message: String,
+    },
+    /// A baseline or algorithm rejected the program as out of scope (e.g.
+    /// the Farkas baseline on a non-linear program).
+    Inapplicable {
+        /// The reason reported by the rejecting component.
+        reason: String,
+    },
+    /// The solver ran but did not reach feasibility; the attempt's best
+    /// violation and back-end identify the failure.
+    Unsolved {
+        /// Worst constraint violation of the returned point.
+        violation: f64,
+        /// The back-end that made the attempt.
+        backend: String,
+    },
+    /// The certificate checker could not certify every constraint pair.
+    Uncertified {
+        /// Number of pairs without a certificate.
+        failed: usize,
+        /// Total number of constraint pairs.
+        total: usize,
+    },
+    /// A JSON document (batch file, serialized request/report) was invalid.
+    Json {
+        /// What is wrong.
+        message: String,
+        /// Byte offset into the document.
+        offset: usize,
+    },
+    /// A file could not be read or written (CLI only).
+    Io {
+        /// The offending path.
+        path: String,
+        /// The OS error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::Parse {
+                message,
+                line,
+                column,
+            } => {
+                write!(f, "parse error")?;
+                write_span(f, *line, *column)?;
+                write!(f, ": {message}")
+            }
+            ApiError::Assertion {
+                text,
+                message,
+                line,
+                column,
+            } => {
+                write!(f, "invalid assertion `{text}`")?;
+                write_span(f, *line, *column)?;
+                write!(f, ": {message}")
+            }
+            ApiError::UnknownBackend { name } => {
+                write!(
+                    f,
+                    "unknown solver back-end `{name}` (expected `lm` or `penalty`)"
+                )
+            }
+            ApiError::UnknownLabel { index, available } => write!(
+                f,
+                "label index {index} out of range (the main function has {available} labels)"
+            ),
+            ApiError::InvalidRequest { message } => write!(f, "invalid request: {message}"),
+            ApiError::Inapplicable { reason } => write!(f, "not applicable: {reason}"),
+            ApiError::Unsolved { violation, backend } => write!(
+                f,
+                "solver `{backend}` did not reach feasibility (violation {violation:.3e})"
+            ),
+            ApiError::Uncertified { failed, total } => write!(
+                f,
+                "{failed} of {total} constraint pairs could not be certified"
+            ),
+            ApiError::Json { message, offset } => {
+                write!(f, "invalid JSON at byte {offset}: {message}")
+            }
+            ApiError::Io { path, message } => write!(f, "cannot access `{path}`: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<polyinv_lang::Error> for ApiError {
+    fn from(error: polyinv_lang::Error) -> Self {
+        ApiError::Parse {
+            line: error.line(),
+            column: error.column(),
+            message: error.message().to_string(),
+        }
+    }
+}
+
+impl From<polyinv_farkas::Inapplicability> for ApiError {
+    fn from(reason: polyinv_farkas::Inapplicability) -> Self {
+        ApiError::Inapplicable {
+            reason: reason.to_string(),
+        }
+    }
+}
+
+impl From<JsonError> for ApiError {
+    fn from(error: JsonError) -> Self {
+        ApiError::Json {
+            message: error.message,
+            offset: error.offset,
+        }
+    }
+}
+
+impl ApiError {
+    /// A short stable identifier for the variant (used as the `error` field
+    /// of the JSON form).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ApiError::Parse { .. } => "parse",
+            ApiError::Assertion { .. } => "assertion",
+            ApiError::UnknownBackend { .. } => "unknown-backend",
+            ApiError::UnknownLabel { .. } => "unknown-label",
+            ApiError::InvalidRequest { .. } => "invalid-request",
+            ApiError::Inapplicable { .. } => "inapplicable",
+            ApiError::Unsolved { .. } => "unsolved",
+            ApiError::Uncertified { .. } => "uncertified",
+            ApiError::Json { .. } => "json",
+            ApiError::Io { .. } => "io",
+        }
+    }
+
+    /// Serializes the error as a JSON object (`{"error": kind, "message":
+    /// human-readable}` plus the variant's structured fields).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("error".to_string(), Json::string(self.kind())),
+            ("message".to_string(), Json::string(self.to_string())),
+        ];
+        match self {
+            ApiError::Parse { line, column, .. } | ApiError::Assertion { line, column, .. } => {
+                fields.push(("line".to_string(), opt_number(*line)));
+                fields.push(("column".to_string(), opt_number(*column)));
+            }
+            ApiError::UnknownLabel { index, available } => {
+                fields.push(("index".to_string(), Json::Number(*index as f64)));
+                fields.push(("available".to_string(), Json::Number(*available as f64)));
+            }
+            ApiError::Unsolved { violation, backend } => {
+                fields.push(("violation".to_string(), Json::Number(*violation)));
+                fields.push(("backend".to_string(), Json::string(backend.clone())));
+            }
+            ApiError::Uncertified { failed, total } => {
+                fields.push(("failed".to_string(), Json::Number(*failed as f64)));
+                fields.push(("total".to_string(), Json::Number(*total as f64)));
+            }
+            _ => {}
+        }
+        Json::Object(fields)
+    }
+}
+
+fn write_span(
+    f: &mut fmt::Formatter<'_>,
+    line: Option<usize>,
+    column: Option<usize>,
+) -> fmt::Result {
+    match (line, column) {
+        (Some(l), Some(c)) => write!(f, " at line {l}, column {c}"),
+        (Some(l), None) => write!(f, " at line {l}"),
+        _ => Ok(()),
+    }
+}
+
+fn opt_number(value: Option<usize>) -> Json {
+    match value {
+        Some(v) => Json::Number(v as f64),
+        None => Json::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_spans_when_known() {
+        let error = ApiError::from(polyinv_lang::Error::at("expected `)`", 3, 14));
+        assert_eq!(
+            error.to_string(),
+            "parse error at line 3, column 14: expected `)`"
+        );
+        let error = ApiError::from(polyinv_lang::Error::new("empty program"));
+        assert_eq!(error.to_string(), "parse error: empty program");
+    }
+
+    #[test]
+    fn implements_std_error_end_to_end() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        let error = ApiError::UnknownBackend {
+            name: "loqo".to_string(),
+        };
+        assert_error(&error);
+        assert_eq!(error.kind(), "unknown-backend");
+    }
+
+    #[test]
+    fn inapplicability_converts() {
+        let reason = polyinv_farkas::Inapplicability::Recursive;
+        let error: ApiError = reason.into();
+        assert!(matches!(error, ApiError::Inapplicable { .. }));
+        assert!(error.to_string().contains("recursive"));
+    }
+
+    #[test]
+    fn json_form_carries_structured_fields() {
+        let error = ApiError::Unsolved {
+            violation: 1.5e-3,
+            backend: "lm".to_string(),
+        };
+        let json = error.to_json();
+        assert_eq!(json.get("error").unwrap().as_str(), Some("unsolved"));
+        assert_eq!(json.get("violation").unwrap().as_f64(), Some(1.5e-3));
+    }
+}

@@ -1,0 +1,336 @@
+//! The serializable response side of the API.
+
+use std::fmt;
+
+use crate::error::ApiError;
+use crate::json::Json;
+use crate::request::Mode;
+
+/// The outcome of serving a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportStatus {
+    /// Weak/strong synthesis found (at least) one inductive invariant.
+    Synthesized,
+    /// The solver ran but did not reach feasibility; the report's invariants
+    /// are the best attempt and must not be trusted.
+    Failed,
+    /// Every constraint pair of the candidate was certified: the candidate
+    /// is a proven inductive invariant.
+    Certified,
+    /// At least one pair could not be certified (inconclusive; see the
+    /// report diagnostics).
+    NotCertified,
+    /// Generation-only run completed (Steps 1–3, no solve attempt).
+    Generated,
+}
+
+impl ReportStatus {
+    /// The stable string form used in JSON and on the CLI.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ReportStatus::Synthesized => "synthesized",
+            ReportStatus::Failed => "failed",
+            ReportStatus::Certified => "certified",
+            ReportStatus::NotCertified => "not-certified",
+            ReportStatus::Generated => "generated",
+        }
+    }
+
+    /// `true` for the statuses that mean "the request succeeded".
+    pub fn is_success(&self) -> bool {
+        matches!(
+            self,
+            ReportStatus::Synthesized | ReportStatus::Certified | ReportStatus::Generated
+        )
+    }
+}
+
+impl std::str::FromStr for ReportStatus {
+    type Err = ApiError;
+
+    fn from_str(text: &str) -> Result<ReportStatus, ApiError> {
+        match text {
+            "synthesized" => Ok(ReportStatus::Synthesized),
+            "failed" => Ok(ReportStatus::Failed),
+            "certified" => Ok(ReportStatus::Certified),
+            "not-certified" => Ok(ReportStatus::NotCertified),
+            "generated" => Ok(ReportStatus::Generated),
+            other => Err(ApiError::InvalidRequest {
+                message: format!("unknown report status `{other}`"),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for ReportStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The full, serializable result of one Engine run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisReport {
+    /// The request id, echoed back.
+    pub id: String,
+    /// The request mode.
+    pub mode: Mode,
+    /// The outcome.
+    pub status: ReportStatus,
+    /// The stable name of the back-end that served the request (empty for
+    /// generation-only runs that never solve).
+    pub backend: String,
+    /// `|S|`: the number of quadratic (in)equalities generated (the paper's
+    /// Tables 2/3 metric). For checks: the largest per-pair certificate
+    /// problem.
+    pub system_size: usize,
+    /// The number of unknowns of the quadratic system.
+    pub num_unknowns: usize,
+    /// The worst constraint violation of the final assignment (0 when not
+    /// applicable).
+    pub violation: f64,
+    /// Check mode: total number of constraint pairs of the candidate.
+    pub pairs_total: usize,
+    /// Check mode: number of pairs with a sum-of-squares certificate.
+    pub pairs_certified: usize,
+    /// Pretty-printed invariants, one `label: conjuncts` line per label
+    /// (strong synthesis prefixes each line with the solution index).
+    pub invariants: Vec<String>,
+    /// Pretty-printed post-conditions (recursive programs only).
+    pub postconditions: Vec<String>,
+    /// Per-stage wall-clock timings in seconds, in execution order.
+    pub timings: Vec<(String, f64)>,
+    /// Human-readable diagnostics accumulated during the run.
+    pub diagnostics: Vec<String>,
+}
+
+impl SynthesisReport {
+    /// An empty report skeleton for `id`/`mode` (the Engine fills the rest).
+    pub(crate) fn skeleton(id: &str, mode: Mode, status: ReportStatus) -> Self {
+        SynthesisReport {
+            id: id.to_string(),
+            mode,
+            status,
+            backend: String::new(),
+            system_size: 0,
+            num_unknowns: 0,
+            violation: 0.0,
+            pairs_total: 0,
+            pairs_certified: 0,
+            invariants: Vec::new(),
+            postconditions: Vec::new(),
+            timings: Vec::new(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Seconds spent in one named stage (0 when it never ran).
+    pub fn stage_seconds(&self, stage: &str) -> f64 {
+        self.timings
+            .iter()
+            .find(|(name, _)| name == stage)
+            .map(|(_, secs)| *secs)
+            .unwrap_or(0.0)
+    }
+
+    /// Total seconds across all stages.
+    pub fn total_seconds(&self) -> f64 {
+        self.timings.iter().map(|(_, secs)| secs).sum()
+    }
+
+    /// Converts a negative outcome into the matching [`ApiError`]
+    /// ([`ApiError::Unsolved`] for failed synthesis, [`ApiError::Uncertified`]
+    /// for failed checks), passing successful reports through.
+    pub fn into_result(self) -> Result<SynthesisReport, ApiError> {
+        match self.status {
+            ReportStatus::Failed => Err(ApiError::Unsolved {
+                violation: self.violation,
+                backend: self.backend,
+            }),
+            ReportStatus::NotCertified => Err(ApiError::Uncertified {
+                failed: self.pairs_total.saturating_sub(self.pairs_certified),
+                total: self.pairs_total,
+            }),
+            _ => Ok(self),
+        }
+    }
+
+    /// The report with its timings zeroed: the canonical form compared by
+    /// the batch-determinism guarantee (wall-clock is the one field two
+    /// identical runs legitimately disagree on).
+    pub fn canonical(mut self) -> SynthesisReport {
+        for (_, secs) in &mut self.timings {
+            *secs = 0.0;
+        }
+        self
+    }
+
+    /// Serializes the report as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("id", Json::string(self.id.clone())),
+            ("mode", Json::string(self.mode.as_str())),
+            ("status", Json::string(self.status.as_str())),
+            ("backend", Json::string(self.backend.clone())),
+            ("system_size", Json::Number(self.system_size as f64)),
+            ("num_unknowns", Json::Number(self.num_unknowns as f64)),
+            ("violation", Json::Number(self.violation)),
+            ("pairs_total", Json::Number(self.pairs_total as f64)),
+            ("pairs_certified", Json::Number(self.pairs_certified as f64)),
+            (
+                "invariants",
+                Json::Array(self.invariants.iter().cloned().map(Json::Str).collect()),
+            ),
+            (
+                "postconditions",
+                Json::Array(self.postconditions.iter().cloned().map(Json::Str).collect()),
+            ),
+            (
+                "timings",
+                Json::Object(
+                    self.timings
+                        .iter()
+                        .map(|(stage, secs)| (stage.clone(), Json::Number(*secs)))
+                        .collect(),
+                ),
+            ),
+            (
+                "diagnostics",
+                Json::Array(self.diagnostics.iter().cloned().map(Json::Str).collect()),
+            ),
+        ])
+    }
+
+    /// Serializes the report as compact JSON text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Reads a report back from its JSON object form.
+    pub fn from_json(json: &Json) -> Result<Self, ApiError> {
+        let field = |name: &str| -> Result<&Json, ApiError> {
+            json.get(name).ok_or_else(|| ApiError::InvalidRequest {
+                message: format!("missing report field `{name}`"),
+            })
+        };
+        let strings = |name: &str| -> Result<Vec<String>, ApiError> {
+            field(name)?
+                .as_array()
+                .ok_or_else(|| ApiError::InvalidRequest {
+                    message: format!("report field `{name}` must be an array"),
+                })?
+                .iter()
+                .map(|item| {
+                    item.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| ApiError::InvalidRequest {
+                            message: format!("report field `{name}` must contain strings"),
+                        })
+                })
+                .collect()
+        };
+        let number = |name: &str| -> Result<f64, ApiError> {
+            field(name)?
+                .as_f64()
+                .ok_or_else(|| ApiError::InvalidRequest {
+                    message: format!("report field `{name}` must be a number"),
+                })
+        };
+        let timings = field("timings")?
+            .as_object()
+            .ok_or_else(|| ApiError::InvalidRequest {
+                message: "report field `timings` must be an object".to_string(),
+            })?
+            .iter()
+            .map(|(stage, secs)| {
+                secs.as_f64()
+                    .map(|s| (stage.clone(), s))
+                    .ok_or_else(|| ApiError::InvalidRequest {
+                        message: "report timings must be numbers".to_string(),
+                    })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SynthesisReport {
+            id: field("id")?
+                .as_str()
+                .ok_or_else(|| ApiError::InvalidRequest {
+                    message: "report field `id` must be a string".to_string(),
+                })?
+                .to_string(),
+            mode: field("mode")?.as_str().unwrap_or_default().parse()?,
+            status: field("status")?.as_str().unwrap_or_default().parse()?,
+            backend: field("backend")?.as_str().unwrap_or_default().to_string(),
+            system_size: number("system_size")? as usize,
+            num_unknowns: number("num_unknowns")? as usize,
+            violation: number("violation")?,
+            pairs_total: number("pairs_total")? as usize,
+            pairs_certified: number("pairs_certified")? as usize,
+            invariants: strings("invariants")?,
+            postconditions: strings("postconditions")?,
+            timings,
+            diagnostics: strings("diagnostics")?,
+        })
+    }
+
+    /// Parses a report from JSON text.
+    pub fn from_json_str(text: &str) -> Result<Self, ApiError> {
+        SynthesisReport::from_json(&Json::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SynthesisReport {
+        SynthesisReport {
+            id: "r7".to_string(),
+            mode: Mode::Weak,
+            status: ReportStatus::Synthesized,
+            backend: "lm".to_string(),
+            system_size: 2348,
+            num_unknowns: 1923,
+            violation: 4.2e-9,
+            pairs_total: 0,
+            pairs_certified: 0,
+            invariants: vec!["ℓ5: 4*i + 4*s + 3 > 0".to_string()],
+            postconditions: vec![],
+            timings: vec![("templates".to_string(), 0.012), ("solve".to_string(), 1.5)],
+            diagnostics: vec!["ladder rung ϒ=0 solved".to_string()],
+        }
+    }
+
+    #[test]
+    fn reports_round_trip_through_json() {
+        let report = sample();
+        let reparsed = SynthesisReport::from_json_str(&report.to_json_string()).unwrap();
+        assert_eq!(reparsed, report);
+    }
+
+    #[test]
+    fn canonical_zeroes_only_timings() {
+        let canonical = sample().canonical();
+        assert_eq!(canonical.total_seconds(), 0.0);
+        assert_eq!(canonical.timings.len(), 2);
+        assert_eq!(canonical.system_size, 2348);
+    }
+
+    #[test]
+    fn into_result_maps_failures_to_api_errors() {
+        let mut failed = sample();
+        failed.status = ReportStatus::Failed;
+        assert!(matches!(
+            failed.into_result(),
+            Err(ApiError::Unsolved { .. })
+        ));
+        assert!(sample().into_result().is_ok());
+    }
+
+    #[test]
+    fn stage_accessors_sum_correctly() {
+        let report = sample();
+        assert_eq!(report.stage_seconds("solve"), 1.5);
+        assert_eq!(report.stage_seconds("missing"), 0.0);
+        assert!((report.total_seconds() - 1.512).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,168 @@
+//! Engine batch semantics: parallel execution with deterministic,
+//! request-ordered output.
+
+use polyinv_api::{ApiError, Engine, Mode, ReportStatus, SynthesisRequest};
+
+const TICK: &str = r#"
+    tick(x) {
+        @pre(x >= 0);
+        while x <= 2 do
+            x := x + 1
+        od;
+        return x
+    }
+"#;
+
+const DOUBLE: &str = r#"
+    double(n) {
+        @pre(n >= 0);
+        x := 0;
+        i := 0;
+        while i < n do
+            x := x + 2;
+            i := i + 1
+        od;
+        return x
+    }
+"#;
+
+/// A mixed batch: four generation runs over two distinct programs and two
+/// option sets, plus a cheap certificate check and one failing request.
+fn batch() -> Vec<SynthesisRequest> {
+    vec![
+        SynthesisRequest::generate_only(TICK).with_id("tick/d2"),
+        SynthesisRequest::generate_only(TICK)
+            .with_id("tick/d1")
+            .with_degree(1),
+        SynthesisRequest::generate_only(DOUBLE).with_id("double/d2"),
+        SynthesisRequest::generate_only(DOUBLE)
+            .with_id("double/d1")
+            .with_degree(1)
+            .with_upsilon(0),
+        SynthesisRequest::check(TICK)
+            .with_id("tick/check")
+            .with_target("1 > 0"),
+        SynthesisRequest::generate_only("f(x) { x := ; return x }").with_id("broken"),
+    ]
+}
+
+#[test]
+fn batches_run_at_least_four_requests_with_request_ordered_output() {
+    let engine = Engine::new();
+    let requests = batch();
+    assert!(requests.len() >= 4);
+    let outcomes = engine.run_batch(&requests);
+    assert_eq!(outcomes.len(), requests.len());
+
+    // Output order is request order, whatever the completion order was.
+    for (request, outcome) in requests.iter().zip(&outcomes) {
+        match outcome {
+            Ok(report) => assert_eq!(report.id, request.id),
+            Err(error) => {
+                assert_eq!(request.id, "broken");
+                assert!(matches!(error, ApiError::Parse { .. }));
+            }
+        }
+    }
+    let statuses: Vec<ReportStatus> = outcomes
+        .iter()
+        .filter_map(|o| o.as_ref().ok().map(|r| r.status))
+        .collect();
+    assert_eq!(
+        statuses,
+        vec![
+            ReportStatus::Generated,
+            ReportStatus::Generated,
+            ReportStatus::Generated,
+            ReportStatus::Generated,
+            ReportStatus::Certified,
+        ]
+    );
+
+    // The degree-1 reduction is strictly smaller than the degree-2 one.
+    let size = |index: usize| outcomes[index].as_ref().unwrap().system_size;
+    assert!(size(1) < size(0));
+    assert!(size(3) < size(2));
+
+    // Two sources were parsed despite six requests: the cache deduplicates
+    // per-source (the broken request never caches).
+    assert_eq!(engine.cached_programs(), 2);
+}
+
+#[test]
+fn identical_batches_serialize_to_identical_json() {
+    let engine = Engine::new();
+    let requests = batch();
+
+    let serialize = |outcomes: Vec<Result<polyinv_api::SynthesisReport, ApiError>>| -> String {
+        outcomes
+            .into_iter()
+            .map(|outcome| match outcome {
+                // `canonical()` zeroes the wall-clock timings — the one
+                // field two identical runs legitimately disagree on.
+                Ok(report) => report.canonical().to_json_string(),
+                Err(error) => error.to_json().to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    let first = serialize(engine.run_batch(&requests));
+    let second = serialize(engine.run_batch(&requests));
+    assert_eq!(first, second, "batch output must be byte-identical");
+
+    // A fresh engine (cold cache) also produces the same bytes.
+    let third = serialize(Engine::new().run_batch(&requests));
+    assert_eq!(first, third);
+}
+
+#[test]
+fn batch_requests_can_pick_their_own_backend() {
+    let engine = Engine::new();
+    let requests = vec![
+        SynthesisRequest::generate_only(TICK).with_id("default"),
+        SynthesisRequest::generate_only(TICK)
+            .with_id("penalty")
+            .with_backend("penalty"),
+        SynthesisRequest::generate_only(TICK)
+            .with_id("bogus")
+            .with_backend("loqo"),
+    ];
+    let outcomes = engine.run_batch(&requests);
+    assert!(outcomes[0].is_ok());
+    assert!(outcomes[1].is_ok());
+    assert!(matches!(
+        outcomes[2],
+        Err(ApiError::UnknownBackend { ref name }) if name == "loqo"
+    ));
+    assert_eq!(engine.backend_name(), "lm");
+}
+
+#[test]
+fn strong_and_check_requests_reject_backend_overrides() {
+    let engine = Engine::new();
+    for request in [
+        SynthesisRequest::strong(TICK).with_backend("penalty"),
+        SynthesisRequest::check(TICK)
+            .with_target("1 > 0")
+            .with_backend("lm"),
+    ] {
+        assert!(matches!(
+            engine.run(&request),
+            Err(ApiError::InvalidRequest { .. })
+        ));
+    }
+}
+
+#[test]
+fn empty_batches_are_fine() {
+    let engine = Engine::new();
+    assert!(engine.run_batch(&[]).is_empty());
+}
+
+#[test]
+fn modes_echo_through_reports() {
+    let engine = Engine::new();
+    let report = engine.run(&SynthesisRequest::generate_only(TICK)).unwrap();
+    assert_eq!(report.mode, Mode::GenerateOnly);
+}

@@ -11,7 +11,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use polyinv::pipeline::{run_stage, PairStage, ReductionStage, TemplateStage};
 use polyinv::prelude::*;
-use polyinv::weak::TargetAssertion;
+use polyinv_api::{Engine, ReportStatus, SynthesisRequest};
 use polyinv_bench::options_for;
 use polyinv_farkas::FarkasBaseline;
 use polyinv_lang::program::RUNNING_EXAMPLE_SOURCE;
@@ -222,22 +222,17 @@ fn weak_synthesis_end_to_end(c: &mut Criterion) {
             return x
         }
     "#;
-    let program = parse_program(source).unwrap();
-    let pre = Precondition::from_program(&program);
-    let exit = program.main().exit_label();
-    let (target, _) = parse_assertion(&program, "inc", "x + 1 > 0").unwrap();
+    // End-to-end through the stable Engine surface: parse (cached), pin
+    // the target, ladder, solve, report.
+    let engine = Engine::new();
+    let request = SynthesisRequest::weak(source)
+        .with_degree(1)
+        .with_target("x + 1 > 0");
     group.bench_function("bounded_counter_degree1", |b| {
         b.iter(|| {
-            let synth = WeakSynthesis::with_options(SynthesisOptions {
-                degree: 1,
-                ..SynthesisOptions::default()
-            });
-            let outcome = synth.synthesize(
-                &program,
-                &pre,
-                &[TargetAssertion::new(exit, target.clone())],
-            );
-            outcome.status
+            let report = engine.run(&request).expect("valid request");
+            assert_eq!(report.status, ReportStatus::Synthesized);
+            report.system_size
         })
     });
     group.finish();

@@ -14,7 +14,8 @@
 use std::time::Instant;
 
 use polyinv::prelude::*;
-use polyinv_bench::{format_table, options_for, run_row};
+use polyinv_api::ApiError;
+use polyinv_bench::{baseline_status, engine_for_tables, format_table, options_for, run_row_on};
 use polyinv_farkas::FarkasBaseline;
 use polyinv_lang::program::RUNNING_EXAMPLE_SOURCE;
 
@@ -48,12 +49,13 @@ fn main() {
 }
 
 fn table2(solve: bool) {
+    let engine = engine_for_tables();
     let rows: Vec<_> = polyinv_benchmarks::table2()
         .iter()
         .map(|b| {
             // Large systems are generated but not solved by default.
             let solve_this = solve && b.paper.system_size <= 6000;
-            run_row(b, solve_this)
+            run_row_on(&engine, b, solve_this)
         })
         .collect();
     println!(
@@ -66,11 +68,12 @@ fn table2(solve: bool) {
 }
 
 fn table3(solve: bool) {
+    let engine = engine_for_tables();
     let rows: Vec<_> = polyinv_benchmarks::table3()
         .iter()
         .map(|b| {
             let solve_this = solve && b.paper.system_size <= 6000;
-            run_row(b, solve_this)
+            run_row_on(&engine, b, solve_this)
         })
         .collect();
     println!(
@@ -107,66 +110,49 @@ fn ablations() {
     for upsilon in [0, 2, 4] {
         report(
             &format!("Cholesky, d=2, upsilon={upsilon}"),
-            SynthesisOptions {
-                upsilon,
-                ..SynthesisOptions::default()
-            },
+            SynthesisOptions::default().with_upsilon(upsilon),
         );
     }
     report(
         "Gram, d=2, upsilon=2",
-        SynthesisOptions {
-            encoding: SosEncoding::Gram,
-            ..SynthesisOptions::default()
-        },
+        SynthesisOptions::default().with_encoding(SosEncoding::Gram),
     );
     report(
         "Cholesky + bounded reals (c=1000)",
-        SynthesisOptions {
-            bounded_reals: Some(polyinv_arith::Rational::from_int(1000)),
-            ..SynthesisOptions::default()
-        },
+        SynthesisOptions::default().with_bounded_reals(polyinv_arith::Rational::from_int(1000)),
     );
     report(
         "Cholesky, d=1 (linear templates)",
-        SynthesisOptions {
-            degree: 1,
-            ..SynthesisOptions::default()
-        },
+        SynthesisOptions::default().with_degree(1),
     );
     println!();
 }
 
 /// The Table-1 comparison against the Colón et al. 2003 baseline: the
 /// baseline handles the linear benchmarks but rejects every benchmark that
-/// needs polynomial reasoning.
+/// needs polynomial reasoning. Baseline inapplicability flows through the
+/// unified [`ApiError`] story of `polyinv-api`.
 fn baseline() {
     println!("## Baseline comparison (Colón et al. 2003, Farkas' lemma)");
     println!(
-        "{:<26} {:>14} {:>14} {:>30}",
-        "benchmark", "farkas |S|", "putinar |S|", "baseline status"
+        "{:<26} {:>14} {:>40}",
+        "benchmark", "putinar |S|", "baseline status"
     );
     for benchmark in polyinv_benchmarks::table2() {
         let program = benchmark.program().unwrap();
         let pre = benchmark.precondition().unwrap();
         let baseline = FarkasBaseline::default();
         let putinar = polyinv_constraints::generate(&program, &pre, &options_for(&benchmark));
-        match baseline.generate(&program, &pre) {
-            Ok(system) => println!(
-                "{:<26} {:>14} {:>14} {:>30}",
-                benchmark.name,
-                system.size(),
-                putinar.size(),
-                "applicable (linear)"
-            ),
-            Err(reason) => println!(
-                "{:<26} {:>14} {:>14} {:>30}",
-                benchmark.name,
-                "-",
-                putinar.size(),
-                format!("rejected: {reason}")
-            ),
-        }
+        let outcome = baseline
+            .generate(&program, &pre)
+            .map(|system| system.size())
+            .map_err(ApiError::from);
+        println!(
+            "{:<26} {:>14} {:>40}",
+            benchmark.name,
+            putinar.size(),
+            baseline_status(outcome)
+        );
     }
     println!();
 }

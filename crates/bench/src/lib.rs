@@ -3,18 +3,20 @@
 //! The `reproduce` binary prints the rows of Tables 2 and 3 (and the
 //! ablations); the Criterion benches in `benches/` measure the individual
 //! pipeline stages. Both are thin wrappers around [`run_row`], which itself
-//! is a thin wrapper around the staged `Pipeline` of the `polyinv` crate —
-//! the per-stage wall-clock breakdown recorded by the pipeline's
-//! `SynthesisContext` flows directly into the printed tables.
+//! sits on the stable [`Engine`] API of `polyinv-api`: each table row is two
+//! [`SynthesisRequest`]s (a generation-only run for `|S|` and the per-stage
+//! breakdown, plus — with `--solve` — a weak-synthesis run for the solve
+//! columns), and the per-stage wall-clock timings of the reports flow
+//! directly into the printed tables.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use polyinv::pipeline::stage_names;
-use polyinv::prelude::*;
-use polyinv::weak::TargetAssertion;
+use polyinv_api::{ApiError, Engine, ReportStatus, SynthesisRequest};
 use polyinv_benchmarks::Benchmark;
-use polyinv_qcqp::{LmOptions, LmSolver};
+use polyinv_constraints::{SosEncoding, SynthesisOptions};
+use polyinv_qcqp::{LmOptions, LmSolver, QcqpBackend};
 
 /// The measurements taken for one benchmark row.
 #[derive(Debug, Clone)]
@@ -36,17 +38,30 @@ pub struct RowResult {
     pub our_size: usize,
     /// Paper-reported runtime in seconds.
     pub paper_runtime: f64,
-    /// Per-stage wall-clock breakdown of the generation stages (and, when a
-    /// solve was attempted, the accumulated solve stage of the attempt).
-    pub timings: StageTimings,
+    /// Per-stage wall-clock breakdown in seconds, in execution order (the
+    /// generation stages; plus the solve stage when a solve was attempted).
+    pub timings: Vec<(String, f64)>,
     /// Outcome of the solve attempt, if one was made.
     pub solve: Option<SolveRow>,
 }
 
 impl RowResult {
+    /// Seconds spent in one named stage (0 when it never ran).
+    pub fn stage_seconds(&self, stage: &str) -> f64 {
+        self.timings
+            .iter()
+            .find(|(name, _)| name == stage)
+            .map(|(_, secs)| *secs)
+            .unwrap_or(0.0)
+    }
+
     /// Combined time of the generation stages (Steps 1–3).
     pub fn generation_time(&self) -> Duration {
-        self.timings.generation()
+        Duration::from_secs_f64(
+            self.stage_seconds(stage_names::TEMPLATES)
+                + self.stage_seconds(stage_names::PAIRS)
+                + self.stage_seconds(stage_names::REDUCTION),
+        )
     }
 }
 
@@ -61,18 +76,14 @@ pub struct SolveRow {
     /// Final constraint violation of the best assignment.
     pub violation: f64,
     /// The back-end that produced the attempt.
-    pub backend: &'static str,
+    pub backend: String,
 }
 
 /// The reduction options matching a benchmark's paper configuration.
 pub fn options_for(benchmark: &Benchmark) -> SynthesisOptions {
-    SynthesisOptions {
-        degree: benchmark.paper.d,
-        size: benchmark.paper.n,
-        upsilon: 2,
-        encoding: SosEncoding::Cholesky,
-        ..SynthesisOptions::default()
-    }
+    SynthesisOptions::with_degree_and_size(benchmark.paper.d, benchmark.paper.n)
+        .with_upsilon(2)
+        .with_encoding(SosEncoding::Cholesky)
 }
 
 /// The solver configuration used for the solve attempts of the tables.
@@ -84,41 +95,74 @@ pub fn solver_for_tables() -> Arc<dyn QcqpBackend> {
     }))
 }
 
-/// Runs Steps 1–3 (and optionally Step 4) for one benchmark row.
+/// An Engine configured like the paper's evaluation runs (shared across
+/// rows so that programs parse once).
+pub fn engine_for_tables() -> Engine {
+    Engine::with_backend(solver_for_tables())
+}
+
+/// The generation-only request of a row.
+pub fn generation_request(benchmark: &Benchmark) -> SynthesisRequest {
+    SynthesisRequest::generate_only(benchmark.source)
+        .with_id(format!("{}/generate", benchmark.name))
+        .with_options(options_for(benchmark))
+}
+
+/// The weak-synthesis request of a row (target pinned when the paper row
+/// has one).
+pub fn solve_request(benchmark: &Benchmark) -> SynthesisRequest {
+    let mut request = SynthesisRequest::weak(benchmark.source)
+        .with_id(format!("{}/solve", benchmark.name))
+        .with_options(options_for(benchmark));
+    if let Some(target) = benchmark.target {
+        request = request.with_target(target);
+    }
+    request
+}
+
+/// Runs Steps 1–3 (and optionally Step 4) for one benchmark row on a shared
+/// Engine.
 ///
 /// # Panics
 ///
 /// Panics if the embedded benchmark program fails to parse (guarded by the
 /// benchmark crate's tests).
-pub fn run_row(benchmark: &Benchmark, solve: bool) -> RowResult {
-    let program = benchmark.program().expect("benchmark parses");
-    let pre = benchmark.precondition().expect("benchmark parses");
-    let options = options_for(benchmark);
+pub fn run_row_on(engine: &Engine, benchmark: &Benchmark, solve: bool) -> RowResult {
+    let program = engine
+        .parse_program(benchmark.source)
+        .expect("benchmark parses");
 
-    // Steps 1–3 through the staged pipeline; the row's |S| and per-stage
-    // generation breakdown come from this run (with the configured ϒ, not
-    // the ladder's cheapest rung).
-    let synth = WeakSynthesis::with_options(options).backend(solver_for_tables());
-    let (generated, mut timings) = synth.generate_staged(&program, &pre);
+    // Steps 1–3 through the Engine; the row's |S| and per-stage generation
+    // breakdown come from this run (with the configured ϒ, not the
+    // ladder's cheapest rung).
+    let generated = engine
+        .run(&generation_request(benchmark))
+        .expect("generation requests are valid");
+    let mut timings = generated.timings.clone();
 
     let solve_row = if solve {
-        let target = benchmark
-            .target_polynomial(&program)
-            .expect("targets resolve")
-            .map(|poly| TargetAssertion::new(program.main().exit_label(), poly));
-        let targets: Vec<TargetAssertion> = target.into_iter().collect();
-        // `synthesize` generates its own per-rung systems: the ϒ-ladder
+        // The weak request generates its own per-rung systems: the ϒ-ladder
         // deliberately attempts the much smaller ϒ = 0 reduction before the
         // full one above, so the staged system cannot simply be reused here.
         // The row's gen-time columns report the full-ϒ staged run only.
-        let outcome = synth.synthesize(&program, &pre, &targets);
-        timings.record(stage_names::SOLVE, outcome.solve_time);
-        Some(SolveRow {
-            synthesized: outcome.status == SynthesisStatus::Synthesized,
-            solve_time: outcome.solve_time,
-            violation: outcome.violation,
-            backend: outcome.backend,
-        })
+        match engine.run(&solve_request(benchmark)) {
+            Ok(report) => {
+                let solve_secs = report.stage_seconds(stage_names::SOLVE);
+                timings.push((stage_names::SOLVE.to_string(), solve_secs));
+                Some(SolveRow {
+                    synthesized: report.status == ReportStatus::Synthesized,
+                    solve_time: Duration::from_secs_f64(solve_secs),
+                    violation: report.violation,
+                    backend: report.backend,
+                })
+            }
+            Err(error) => Some(SolveRow {
+                synthesized: false,
+                solve_time: Duration::ZERO,
+                violation: f64::INFINITY,
+                backend: format!("error:{}", error.kind()),
+            }),
+        }
     } else {
         None
     };
@@ -130,10 +174,25 @@ pub fn run_row(benchmark: &Benchmark, solve: bool) -> RowResult {
         paper_vars: benchmark.paper.vars,
         our_vars: program.main().vars().len(),
         paper_size: benchmark.paper.system_size,
-        our_size: generated.size(),
+        our_size: generated.system_size,
         paper_runtime: benchmark.paper.runtime_secs,
         timings,
         solve: solve_row,
+    }
+}
+
+/// Like [`run_row_on`], with a throwaway Engine (the benches and tests use
+/// this; the `reproduce` binary shares one Engine across all rows).
+pub fn run_row(benchmark: &Benchmark, solve: bool) -> RowResult {
+    run_row_on(&engine_for_tables(), benchmark, solve)
+}
+
+/// Converts a baseline outcome into the short status cell printed by the
+/// comparison table ([`ApiError`] is the unified error story end-to-end).
+pub fn baseline_status(outcome: Result<usize, ApiError>) -> String {
+    match outcome {
+        Ok(size) => format!("applicable (|S| = {size})"),
+        Err(error) => format!("{error}"),
     }
 }
 
@@ -166,7 +225,7 @@ pub fn format_table(title: &str, rows: &[RowResult]) -> String {
             }
             Some(s) => format!("fail({:.0e})", s.violation),
         };
-        let stage = |name: &str| format!("{:.3}s", row.timings.get(name).as_secs_f64());
+        let stage = |name: &str| format!("{:.3}s", row.stage_seconds(name));
         out.push_str(&format!(
             "{:<26} {:>2} {:>2} {:>8} {:>8} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9.2}s {:>10.1}s {:>12}\n",
             row.name,
@@ -198,14 +257,14 @@ mod tests {
         assert_eq!(row.paper_size, 1700);
         assert!(row.our_size > 100);
         assert!(row.solve.is_none());
-        // The staged pipeline recorded every generation stage.
+        // The Engine recorded every generation stage.
         for stage in [
             stage_names::TEMPLATES,
             stage_names::PAIRS,
             stage_names::REDUCTION,
         ] {
             assert!(
-                row.timings.get(stage) > Duration::ZERO,
+                row.stage_seconds(stage) > 0.0,
                 "missing stage timing: {stage}"
             );
         }
@@ -213,5 +272,14 @@ mod tests {
         assert!(table.contains("recursive-sum"));
         assert!(table.contains("|S|ours"));
         assert!(table.contains("reduce"));
+    }
+
+    #[test]
+    fn a_shared_engine_parses_each_benchmark_once() {
+        let engine = engine_for_tables();
+        let benchmark = polyinv_benchmarks::by_name("recursive-sum").unwrap();
+        let _ = run_row_on(&engine, &benchmark, false);
+        let _ = run_row_on(&engine, &benchmark, false);
+        assert_eq!(engine.cached_programs(), 1);
     }
 }

@@ -1,0 +1,452 @@
+//! `polyinv` — the command-line front end over the Engine API.
+//!
+//! ```text
+//! polyinv parse <file> [--json]
+//! polyinv synth <file> [assertion options] [reduction options] [--json]
+//! polyinv check <file> --invariant <text> ... [--json]
+//! polyinv batch <requests.json> [--json]
+//! ```
+//!
+//! Every subcommand supports `--json` (machine-readable reports on stdout)
+//! and exits with a meaningful code:
+//!
+//! * `0` — success (parsed / synthesized / certified / all batch items ok);
+//! * `1` — the operation ran but the outcome is negative (solver did not
+//!   converge, a pair was not certified, a batch item failed);
+//! * `2` — usage error (unknown subcommand or flag, missing argument);
+//! * `3` — invalid input (unparseable program or assertion, unknown
+//!   back-end or label, bad batch file).
+
+use std::process::ExitCode;
+
+use polyinv_api::{
+    ApiError, AssertionSpec, Engine, Json, Mode, ReportStatus, SynthesisReport, SynthesisRequest,
+};
+
+const USAGE: &str = "\
+polyinv — polynomial invariant generation for non-deterministic recursive programs
+
+USAGE:
+    polyinv <SUBCOMMAND> [OPTIONS]
+
+SUBCOMMANDS:
+    parse <file>              Parse and resolve a program, print its shape
+    synth <file>              Synthesize an inductive invariant (weak mode)
+    check <file>              Certify a given candidate invariant
+    batch <requests.json>     Run a JSON array of requests in parallel
+
+ASSERTION OPTIONS (synth: targets; check: candidate conjuncts):
+    --target <text>           Assertion at the exit label (synonym: --invariant)
+    --target-at <idx> <text>  Assertion at label index <idx> of the main function
+    --post <func> <text>      Post-condition conjunct for <func> (check, recursive)
+
+REDUCTION OPTIONS:
+    --degree <n>              Template degree d          (default 2)
+    --size <n>                Conjuncts per label n      (default 1)
+    --upsilon <n>             Multiplier degree bound ϒ  (default 2)
+    --encoding <name>         cholesky | gram            (default cholesky)
+    --backend <name>          lm | penalty               (default lm)
+    --strong                  Enumerate a representative set instead (synth)
+    --attempts <n>            Multi-start attempts for --strong
+    --generate-only           Steps 1-3 only: report |S|, unknowns, timings
+
+OUTPUT:
+    --json                    Machine-readable JSON on stdout
+
+EXIT CODES:
+    0 success · 1 negative outcome · 2 usage error · 3 invalid input
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(CliError::Usage(message)) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Api(error)) => {
+            eprintln!("error: {error}");
+            ExitCode::from(3)
+        }
+    }
+}
+
+enum CliError {
+    Usage(String),
+    Api(ApiError),
+}
+
+impl From<ApiError> for CliError {
+    fn from(error: ApiError) -> Self {
+        CliError::Api(error)
+    }
+}
+
+fn usage(message: impl Into<String>) -> CliError {
+    CliError::Usage(message.into())
+}
+
+fn run(args: &[String]) -> Result<ExitCode, CliError> {
+    let Some(subcommand) = args.first() else {
+        return Err(usage("missing subcommand"));
+    };
+    match subcommand.as_str() {
+        "parse" => cmd_parse(&args[1..]),
+        "synth" => cmd_synth(&args[1..]),
+        "check" => cmd_check(&args[1..]),
+        "batch" => cmd_batch(&args[1..]),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(usage(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+/// The flags shared by `synth` and `check`.
+struct CommonArgs {
+    file: Option<String>,
+    json: bool,
+    assertions: Vec<AssertionSpec>,
+    degree: Option<u32>,
+    size: Option<usize>,
+    upsilon: Option<u32>,
+    encoding: Option<String>,
+    backend: Option<String>,
+    strong: bool,
+    attempts: Option<usize>,
+    generate_only: bool,
+}
+
+fn parse_common(args: &[String]) -> Result<CommonArgs, CliError> {
+    let mut parsed = CommonArgs {
+        file: None,
+        json: false,
+        assertions: Vec::new(),
+        degree: None,
+        size: None,
+        upsilon: None,
+        encoding: None,
+        backend: None,
+        strong: false,
+        attempts: None,
+        generate_only: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| -> Result<String, CliError> {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| usage(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--json" => parsed.json = true,
+            "--strong" => parsed.strong = true,
+            "--generate-only" => parsed.generate_only = true,
+            "--target" | "--invariant" => {
+                let text = value(arg)?;
+                parsed.assertions.push(AssertionSpec::at_exit(text));
+            }
+            "--target-at" | "--invariant-at" => {
+                let index = parse_number::<usize>(arg, &value(arg)?)?;
+                let text = value(arg)?;
+                parsed.assertions.push(AssertionSpec::at(index, text));
+            }
+            "--post" => {
+                let function = value(arg)?;
+                let text = value(arg)?;
+                parsed
+                    .assertions
+                    .push(AssertionSpec::postcondition(function, text));
+            }
+            "--degree" => parsed.degree = Some(parse_number(arg, &value(arg)?)?),
+            "--size" => parsed.size = Some(parse_number(arg, &value(arg)?)?),
+            "--upsilon" => parsed.upsilon = Some(parse_number(arg, &value(arg)?)?),
+            "--encoding" => parsed.encoding = Some(value(arg)?),
+            "--backend" => parsed.backend = Some(value(arg)?),
+            "--attempts" => parsed.attempts = Some(parse_number(arg, &value(arg)?)?),
+            other if other.starts_with("--") => {
+                return Err(usage(format!("unknown flag `{other}`")));
+            }
+            _ => {
+                if parsed.file.replace(arg.clone()).is_some() {
+                    return Err(usage("more than one input file"));
+                }
+            }
+        }
+    }
+    Ok(parsed)
+}
+
+fn parse_number<T: std::str::FromStr>(flag: &str, text: &str) -> Result<T, CliError> {
+    text.parse()
+        .map_err(|_| usage(format!("{flag}: `{text}` is not a valid number")))
+}
+
+fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|error| {
+        CliError::Api(ApiError::Io {
+            path: path.to_string(),
+            message: error.to_string(),
+        })
+    })
+}
+
+fn build_request(
+    parsed: &CommonArgs,
+    mode: Mode,
+    source: String,
+) -> Result<SynthesisRequest, CliError> {
+    let mut request = SynthesisRequest::new(mode, source);
+    request.assertions = parsed.assertions.clone();
+    request.backend = parsed.backend.clone();
+    request.attempts = parsed.attempts;
+    if let Some(degree) = parsed.degree {
+        request.options.degree = degree;
+    }
+    if let Some(size) = parsed.size {
+        request.options.size = size;
+    }
+    if let Some(upsilon) = parsed.upsilon {
+        request.options.upsilon = upsilon;
+    }
+    if let Some(encoding) = &parsed.encoding {
+        request.options.encoding = match encoding.as_str() {
+            "cholesky" => polyinv_api::SosEncoding::Cholesky,
+            "gram" => polyinv_api::SosEncoding::Gram,
+            other => {
+                return Err(usage(format!(
+                    "--encoding: unknown encoding `{other}` (expected cholesky|gram)"
+                )))
+            }
+        };
+    }
+    Ok(request)
+}
+
+fn cmd_parse(args: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = parse_common(args)?;
+    let path = parsed.file.ok_or_else(|| usage("parse needs a file"))?;
+    let source = read_file(&path)?;
+    let engine = Engine::new();
+    let program = engine.parse_program(&source)?;
+    if parsed.json {
+        let functions: Vec<Json> = program
+            .functions()
+            .iter()
+            .map(|function| {
+                Json::object(vec![
+                    ("name", Json::string(function.name())),
+                    ("labels", Json::Number(function.labels().len() as f64)),
+                    ("vars", Json::Number(function.vars().len() as f64)),
+                ])
+            })
+            .collect();
+        let doc = Json::object(vec![
+            ("file", Json::string(path)),
+            ("functions", Json::Array(functions)),
+            ("recursive", Json::Bool(!program.is_simple())),
+        ]);
+        println!("{}", doc.pretty());
+    } else {
+        println!(
+            "parsed `{path}`: {} function(s), {}",
+            program.functions().len(),
+            if program.is_simple() {
+                "non-recursive"
+            } else {
+                "recursive"
+            }
+        );
+        for function in program.functions() {
+            println!(
+                "  {}: {} labels, |V| = {}",
+                function.name(),
+                function.labels().len(),
+                function.vars().len()
+            );
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_synth(args: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = parse_common(args)?;
+    let path = parsed
+        .file
+        .clone()
+        .ok_or_else(|| usage("synth needs a file"))?;
+    let source = read_file(&path)?;
+    let mode = if parsed.generate_only {
+        Mode::GenerateOnly
+    } else if parsed.strong {
+        Mode::Strong
+    } else {
+        Mode::Weak
+    };
+    let request = build_request(&parsed, mode, source)?.with_id(path);
+    let engine = Engine::new();
+    let report = engine.run(&request)?;
+    emit_report(&report, parsed.json);
+    Ok(exit_for(&report))
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = parse_common(args)?;
+    let path = parsed
+        .file
+        .clone()
+        .ok_or_else(|| usage("check needs a file"))?;
+    let source = read_file(&path)?;
+    let request = build_request(&parsed, Mode::Check, source)?.with_id(path);
+    let engine = Engine::new();
+    let report = engine.run(&request)?;
+    emit_report(&report, parsed.json);
+    Ok(exit_for(&report))
+}
+
+fn cmd_batch(args: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = parse_common(args)?;
+    let path = parsed.file.ok_or_else(|| usage("batch needs a file"))?;
+    let text = read_file(&path)?;
+    let doc = Json::parse(&text).map_err(ApiError::from)?;
+    let items = doc
+        .as_array()
+        .or_else(|| doc.get("requests").and_then(Json::as_array))
+        .ok_or_else(|| {
+            CliError::Api(ApiError::InvalidRequest {
+                message: "batch file must be a JSON array of requests (or {\"requests\": [...]})"
+                    .to_string(),
+            })
+        })?;
+    let requests: Vec<SynthesisRequest> = items
+        .iter()
+        .map(SynthesisRequest::from_json)
+        .collect::<Result<_, _>>()?;
+    let engine = Engine::new();
+    let outcomes = engine.run_batch(&requests);
+
+    let mut all_ok = true;
+    if parsed.json {
+        let entries: Vec<Json> = outcomes
+            .iter()
+            .map(|outcome| match outcome {
+                Ok(report) => {
+                    all_ok &= report.status.is_success();
+                    Json::object(vec![("ok", report.to_json())])
+                }
+                Err(error) => {
+                    all_ok = false;
+                    Json::object(vec![("err", error.to_json())])
+                }
+            })
+            .collect();
+        println!("{}", Json::Array(entries).pretty());
+    } else {
+        for (request, outcome) in requests.iter().zip(&outcomes) {
+            match outcome {
+                Ok(report) => {
+                    all_ok &= report.status.is_success();
+                    println!(
+                        "{:<20} {:<13} {}",
+                        display_id(&request.id),
+                        report.status,
+                        summary_line(report)
+                    );
+                }
+                Err(error) => {
+                    all_ok = false;
+                    println!("{:<20} error         {error}", display_id(&request.id));
+                }
+            }
+        }
+    }
+    Ok(if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn display_id(id: &str) -> &str {
+    if id.is_empty() {
+        "(unnamed)"
+    } else {
+        id
+    }
+}
+
+fn summary_line(report: &SynthesisReport) -> String {
+    match report.mode {
+        Mode::Check => format!(
+            "{}/{} pairs certified in {:.2}s",
+            report.pairs_certified,
+            report.pairs_total,
+            report.total_seconds()
+        ),
+        _ => format!(
+            "|S| = {}, unknowns = {}, {:.2}s",
+            report.system_size,
+            report.num_unknowns,
+            report.total_seconds()
+        ),
+    }
+}
+
+fn exit_for(report: &SynthesisReport) -> ExitCode {
+    if report.status.is_success() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn emit_report(report: &SynthesisReport, json: bool) {
+    if json {
+        println!("{}", report.to_json().pretty());
+        return;
+    }
+    println!("status: {}", report.status);
+    if !report.backend.is_empty() {
+        println!("backend: {}", report.backend);
+    }
+    println!(
+        "system: |S| = {}, unknowns = {}",
+        report.system_size, report.num_unknowns
+    );
+    if report.mode == Mode::Check {
+        println!(
+            "certified: {}/{} constraint pairs",
+            report.pairs_certified, report.pairs_total
+        );
+    }
+    if report.status == ReportStatus::Failed {
+        println!("violation: {:.3e}", report.violation);
+    }
+    if !report.timings.is_empty() {
+        let rendered: Vec<String> = report
+            .timings
+            .iter()
+            .map(|(stage, secs)| format!("{stage} {secs:.3}s"))
+            .collect();
+        println!("timings: {}", rendered.join(", "));
+    }
+    if !report.invariants.is_empty() {
+        println!("invariants:");
+        for line in &report.invariants {
+            println!("  {line}");
+        }
+    }
+    if !report.postconditions.is_empty() {
+        println!("postconditions:");
+        for line in &report.postconditions {
+            println!("  {line}");
+        }
+    }
+    for line in &report.diagnostics {
+        println!("note: {line}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Smoke tests driving the compiled `polyinv` binary end-to-end via
+//! `std::process::Command`, on the program sources under `programs/`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use polyinv_api::Json;
+
+fn polyinv(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_polyinv"))
+        .args(args)
+        .output()
+        .expect("the polyinv binary runs")
+}
+
+fn program(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../programs")
+        .join(name);
+    path.to_str().expect("utf-8 path").to_string()
+}
+
+fn stdout_json(output: &Output) -> Json {
+    let text = String::from_utf8(output.stdout.clone()).expect("utf-8 stdout");
+    Json::parse(&text).unwrap_or_else(|error| panic!("invalid JSON output: {error}\n{text}"))
+}
+
+#[test]
+fn parse_reports_the_program_shape_as_json() {
+    let output = polyinv(&["parse", &program("running_example.poly"), "--json"]);
+    assert!(output.status.success(), "exit: {:?}", output.status);
+    let doc = stdout_json(&output);
+    let functions = doc.get("functions").unwrap().as_array().unwrap();
+    assert_eq!(functions.len(), 1);
+    assert_eq!(functions[0].get("name").unwrap().as_str(), Some("sum"));
+    assert_eq!(functions[0].get("labels").unwrap().as_usize(), Some(9));
+    assert_eq!(doc.get("recursive").unwrap().as_bool(), Some(false));
+}
+
+#[test]
+fn synth_generate_only_emits_a_machine_readable_report() {
+    let output = polyinv(&[
+        "synth",
+        &program("running_example.poly"),
+        "--generate-only",
+        "--json",
+    ]);
+    assert!(output.status.success(), "exit: {:?}", output.status);
+    let doc = stdout_json(&output);
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("generated"));
+    assert!(doc.get("system_size").unwrap().as_usize().unwrap() > 500);
+    // Per-stage timings are present for every generation stage.
+    let timings = doc.get("timings").unwrap().as_object().unwrap();
+    let stages: Vec<&str> = timings.iter().map(|(stage, _)| stage.as_str()).collect();
+    assert_eq!(stages, vec!["templates", "pairs", "reduction"]);
+}
+
+#[test]
+fn parse_errors_exit_3_with_a_span() {
+    let dir = std::env::temp_dir().join("polyinv-cli-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.poly");
+    std::fs::write(&path, "inc(x) {\n    x : 1\n}\n").unwrap();
+    let output = polyinv(&["parse", path.to_str().unwrap()]);
+    assert_eq!(output.status.code(), Some(3));
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("line 2"), "stderr: {stderr}");
+}
+
+#[test]
+fn unknown_flags_exit_2_with_usage() {
+    let output = polyinv(&["synth", &program("inc.poly"), "--loqo"]);
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("USAGE"), "stderr: {stderr}");
+    // And so do missing files, but with the input-error code.
+    let output = polyinv(&["synth", "no-such-file.poly"]);
+    assert_eq!(output.status.code(), Some(3));
+}
+
+#[test]
+fn check_certifies_the_trivial_invariant() {
+    let output = polyinv(&[
+        "check",
+        &program("inc.poly"),
+        "--invariant",
+        "1 > 0",
+        "--json",
+    ]);
+    assert!(output.status.success(), "exit: {:?}", output.status);
+    let doc = stdout_json(&output);
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("certified"));
+    let total = doc.get("pairs_total").unwrap().as_usize().unwrap();
+    assert_eq!(doc.get("pairs_certified").unwrap().as_usize(), Some(total));
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "drives a full weak synthesis; run with `cargo test --release`"
+)]
+fn synth_closes_the_bounded_counter_and_batch_runs_it_four_times() {
+    // Full weak synthesis through the binary.
+    let output = polyinv(&[
+        "synth",
+        &program("inc.poly"),
+        "--target",
+        "x + 1 > 0",
+        "--degree",
+        "1",
+        "--json",
+    ]);
+    assert!(output.status.success(), "exit: {:?}", output.status);
+    let doc = stdout_json(&output);
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("synthesized"));
+    assert!(!doc
+        .get("invariants")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .is_empty());
+    assert!(doc.get("timings").unwrap().get("solve").is_some());
+
+    // The same request four times over, through `polyinv batch`.
+    let source = std::fs::read_to_string(program("inc.poly")).unwrap();
+    let requests: Vec<Json> = (0..4)
+        .map(|k| {
+            polyinv_api::SynthesisRequest::weak(source.clone())
+                .with_id(format!("inc-{k}"))
+                .with_degree(1)
+                .with_target("x + 1 > 0")
+                .to_json()
+        })
+        .collect();
+    let dir = std::env::temp_dir().join("polyinv-cli-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let batch_path = dir.join("batch.json");
+    std::fs::write(&batch_path, Json::Array(requests).to_string()).unwrap();
+    let output = polyinv(&["batch", batch_path.to_str().unwrap(), "--json"]);
+    assert!(output.status.success(), "exit: {:?}", output.status);
+    let doc = stdout_json(&output);
+    let entries = doc.as_array().unwrap();
+    assert_eq!(entries.len(), 4);
+    for (k, entry) in entries.iter().enumerate() {
+        let report = entry.get("ok").expect("every entry succeeded");
+        assert_eq!(
+            report.get("id").unwrap().as_str(),
+            Some(format!("inc-{k}").as_str())
+        );
+        assert_eq!(report.get("status").unwrap().as_str(), Some("synthesized"));
+    }
+}

@@ -53,11 +53,54 @@ impl Default for SynthesisOptions {
 impl SynthesisOptions {
     /// Convenience constructor setting the template degree and size.
     pub fn with_degree_and_size(degree: u32, size: usize) -> Self {
-        SynthesisOptions {
-            degree,
-            size,
-            ..SynthesisOptions::default()
-        }
+        SynthesisOptions::default()
+            .with_degree(degree)
+            .with_size(size)
+    }
+
+    /// Sets the template degree `d` (builder style).
+    pub fn with_degree(mut self, degree: u32) -> Self {
+        self.degree = degree;
+        self
+    }
+
+    /// Sets the number `n` of conjuncts per label (builder style).
+    pub fn with_size(mut self, size: usize) -> Self {
+        self.size = size;
+        self
+    }
+
+    /// Sets the technical parameter `ϒ` (builder style).
+    pub fn with_upsilon(mut self, upsilon: u32) -> Self {
+        self.upsilon = upsilon;
+        self
+    }
+
+    /// Sets the sum-of-squares encoding (builder style).
+    pub fn with_encoding(mut self, encoding: SosEncoding) -> Self {
+        self.encoding = encoding;
+        self
+    }
+
+    /// Enables the bounded-reals augmentation of Remark 5 with bound `c`
+    /// (builder style).
+    pub fn with_bounded_reals(mut self, bound: Rational) -> Self {
+        self.bounded_reals = Some(bound);
+        self
+    }
+
+    /// Sets the lower bound enforced on positivity witnesses (builder
+    /// style).
+    pub fn with_epsilon_lower(mut self, epsilon: Rational) -> Self {
+        self.epsilon_lower = epsilon;
+        self
+    }
+
+    /// Forces recursive treatment even for call-free programs (builder
+    /// style).
+    pub fn with_force_recursive(mut self, force: bool) -> Self {
+        self.force_recursive = force;
+        self
     }
 }
 
@@ -198,10 +241,7 @@ mod tests {
         let bounded = generate(
             &program,
             &pre,
-            &SynthesisOptions {
-                bounded_reals: Some(Rational::from_int(1000)),
-                ..SynthesisOptions::default()
-            },
+            &SynthesisOptions::default().with_bounded_reals(Rational::from_int(1000)),
         );
         assert!(bounded.size() > plain.size());
     }
@@ -214,10 +254,7 @@ mod tests {
         let gram = generate(
             &program,
             &pre,
-            &SynthesisOptions {
-                encoding: SosEncoding::Gram,
-                ..SynthesisOptions::default()
-            },
+            &SynthesisOptions::default().with_encoding(SosEncoding::Gram),
         );
         assert!(gram.size() < cholesky.size());
         assert!(!gram.system.psd_blocks.is_empty());

@@ -17,46 +17,52 @@
 //!   GeneratedSystem → Solution`), a shared [`pipeline::SynthesisContext`]
 //!   carrying options/diagnostics/timings, and a pluggable
 //!   [`QcqpBackend`](polyinv_qcqp::QcqpBackend) solve stage;
-//! * [`WeakSynthesis`] — `WeakInvSynth` / `RecWeakInvSynth`: find one
-//!   inductive invariant optimizing an objective (typically: proving a given
-//!   target assertion at a given label);
-//! * [`StrongSynthesis`] — `StrongInvSynth` / `RecStrongInvSynth`: find a
-//!   *representative set* of inductive invariants (the paper's theoretical
-//!   algorithm uses Grigor'ev–Vorobjov; we enumerate by parallel multi-start
-//!   search, see DESIGN.md §4);
 //! * [`check::check_inductive`] — a sound certificate checker: given a
 //!   concrete invariant map (and post-conditions for recursive programs) it
 //!   searches for the sum-of-squares certificates of every constraint pair,
 //!   which proves inductiveness;
-//! * [`check::falsify`] — a falsifier based on the concrete interpreter.
+//! * [`check::falsify`] — a falsifier based on the concrete interpreter;
+//! * [`WeakSynthesis`] / [`StrongSynthesis`] — the per-algorithm drivers
+//!   (`WeakInvSynth`/`RecWeakInvSynth` and `StrongInvSynth`/
+//!   `RecStrongInvSynth`). **Deprecated as public entry points**: the
+//!   stable surface is the `Engine` of the `polyinv-api` crate, which wraps
+//!   these drivers with program caching, request validation, batch
+//!   execution and serializable reports. They remain the Engine's internal
+//!   implementation.
 //!
 //! # Quick start
 //!
+//! The front door is the `polyinv-api` Engine: describe what you want as a
+//! [`SynthesisRequest`](../polyinv_api/struct.SynthesisRequest.html) and get
+//! a serializable report back.
+//!
 //! ```
-//! use polyinv::prelude::*;
+//! use polyinv_api::{Engine, Mode, ReportStatus, SynthesisRequest};
 //!
-//! // The paper's running example (Figure 2).
-//! let program = parse_program(polyinv_lang::program::RUNNING_EXAMPLE_SOURCE)?;
-//! let pre = Precondition::from_program(&program);
+//! let engine = Engine::new();
 //!
-//! // Check the paper's own invariant for label 9 (the function endpoint):
-//! // ret_sum < 0.5·n̄² + 0.5·n̄ + 1.
-//! let mut invariant = InvariantMap::new();
-//! let exit = program.main().exit_label();
-//! let (poly, _) = parse_assertion(&program, "sum", "0.5*n_in*n_in + 0.5*n_in + 1 - ret > 0")?;
-//! invariant.add(exit, poly);
-//! // (A full inductive strengthening is required to *prove* it — see the
-//! // `nondet_summation` example.)
-//! assert_eq!(invariant.get(exit).len(), 1);
+//! // The paper's running example (Figure 2): inspect the reduction.
+//! let request = SynthesisRequest::generate_only(
+//!     polyinv_lang::program::RUNNING_EXAMPLE_SOURCE,
+//! );
+//! let report = engine.run(&request)?;
+//! assert_eq!(report.status, ReportStatus::Generated);
+//! assert!(report.system_size > 500); // |S|, the paper's Table 2/3 metric
+//! assert!(report.stage_seconds("templates") > 0.0);
 //!
-//! // The staged pipeline exposes the reduction with per-stage timings:
-//! let pipeline = Pipeline::default();
-//! let mut ctx = pipeline.context(&program, &pre);
-//! let generated = pipeline.generate(&mut ctx);
-//! assert!(generated.size() > 0);
-//! assert!(ctx.timings().generation() > std::time::Duration::ZERO);
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! // Certify a candidate invariant of a bounded counter (check mode), then
+//! // serialize the report as JSON.
+//! let source = "inc(x) { @pre(x >= 0); while x <= 3 do x := x + 1 od; return x }";
+//! let check = SynthesisRequest::check(source).with_target("1 > 0");
+//! let report = engine.run(&check)?;
+//! assert_eq!(report.status, ReportStatus::Certified);
+//! assert!(report.to_json_string().contains("\"certified\""));
+//! # Ok::<(), polyinv_api::ApiError>(())
 //! ```
+//!
+//! The staged pipeline remains available for callers that need the raw
+//! artifacts (see [`pipeline`]), and `polyinv-cli` ships the same surface
+//! as the `polyinv` binary (`polyinv synth <file> --target "..." --json`).
 
 pub mod bridge;
 pub mod check;
@@ -67,14 +73,18 @@ pub mod weak;
 pub use bridge::{system_to_problem, system_to_problem_with_fixed};
 pub use check::{check_inductive, falsify, CheckOptions, CheckReport, PairCertificate};
 pub use pipeline::{Pipeline, Solution, StageTimings, SynthesisContext};
+#[allow(deprecated)]
 pub use strong::{StrongOptions, StrongSynthesis};
+#[allow(deprecated)]
 pub use weak::{SynthesisOutcome, SynthesisStatus, TargetAssertion, WeakSynthesis};
 
 /// Convenient glob-import for downstream users and examples.
 pub mod prelude {
     pub use crate::check::{check_inductive, falsify, CheckOptions};
     pub use crate::pipeline::{Pipeline, StageTimings, SynthesisContext};
+    #[allow(deprecated)]
     pub use crate::strong::{StrongOptions, StrongSynthesis};
+    #[allow(deprecated)]
     pub use crate::weak::{SynthesisStatus, TargetAssertion, WeakSynthesis};
     pub use polyinv_constraints::{SosEncoding, SynthesisOptions};
     pub use polyinv_lang::{

@@ -182,11 +182,7 @@ mod tests {
         )
         .unwrap();
         let pre = Precondition::from_program(&program);
-        let options = SynthesisOptions {
-            degree: 1,
-            upsilon: 0,
-            ..SynthesisOptions::default()
-        };
+        let options = SynthesisOptions::default().with_degree(1).with_upsilon(0);
         for name in ["lm", "penalty"] {
             let backend = polyinv_qcqp::backend_by_name(name).unwrap();
             let pipeline = Pipeline::new(options.clone()).with_backend(backend);

@@ -67,11 +67,20 @@ pub struct StrongSolution {
 }
 
 /// The strong-synthesis driver.
+///
+/// Deprecated as a public entry point: the stable surface is
+/// `polyinv_api::Engine` with `Mode::Strong`. The driver remains as the
+/// Engine's internal implementation.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `polyinv_api::Engine` with a strong-mode `SynthesisRequest`"
+)]
 #[derive(Debug, Clone, Default)]
 pub struct StrongSynthesis {
     options: StrongOptions,
 }
 
+#[allow(deprecated)]
 impl StrongSynthesis {
     /// Creates a driver with the given options.
     pub fn new(options: StrongOptions) -> Self {
@@ -164,6 +173,7 @@ impl StrongSynthesis {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use polyinv_constraints::SosEncoding;
@@ -188,13 +198,9 @@ mod tests {
         let program = parse_program(source).unwrap();
         let pre = Precondition::from_program(&program);
         let options = StrongOptions {
-            synthesis: SynthesisOptions {
-                degree: 1,
-                size: 1,
-                upsilon: 2,
-                encoding: SosEncoding::Cholesky,
-                ..SynthesisOptions::default()
-            },
+            synthesis: SynthesisOptions::with_degree_and_size(1, 1)
+                .with_upsilon(2)
+                .with_encoding(SosEncoding::Cholesky),
             solver: LmOptions {
                 restarts: 1,
                 objective_weight: 0.02,

@@ -83,12 +83,22 @@ pub struct SynthesisOutcome {
 }
 
 /// The weak-synthesis driver.
+///
+/// Deprecated as a public entry point: the stable surface is
+/// `polyinv_api::Engine` with `Mode::Weak`, which adds program caching,
+/// request validation and serializable reports on top of this driver. The
+/// driver remains as the Engine's internal implementation.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `polyinv_api::Engine` with a weak-mode `SynthesisRequest`"
+)]
 #[derive(Debug, Clone)]
 pub struct WeakSynthesis {
     options: SynthesisOptions,
     backend: Arc<dyn QcqpBackend>,
 }
 
+#[allow(deprecated)]
 impl Default for WeakSynthesis {
     fn default() -> Self {
         WeakSynthesis {
@@ -98,6 +108,7 @@ impl Default for WeakSynthesis {
     }
 }
 
+#[allow(deprecated)]
 impl WeakSynthesis {
     /// Creates a driver with default reduction options (degree 2, one
     /// conjunct, ϒ = 2, Cholesky encoding) and the default LM back-end.
@@ -173,10 +184,7 @@ impl WeakSynthesis {
         let mut total = StageTimings::new();
         let mut last: Option<SynthesisOutcome> = None;
         for (step, &upsilon) in ladder.iter().enumerate() {
-            let options = SynthesisOptions {
-                upsilon,
-                ..self.options.clone()
-            };
+            let options = self.options.clone().with_upsilon(upsilon);
             let mut outcome = self.synthesize_with(program, pre, targets, &options);
             total.absorb(&outcome.timings);
             outcome.timings = total.clone();
@@ -264,6 +272,7 @@ pub(crate) fn fix_targets(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::pipeline::stage_names;
@@ -331,13 +340,9 @@ mod tests {
         let pre = Precondition::from_program(&program);
         let exit = program.main().exit_label();
         let (target, _) = parse_assertion(&program, "inc", "x + 1 > 0").unwrap();
-        let options = SynthesisOptions {
-            degree: 1,
-            size: 1,
-            upsilon: 2,
-            encoding: SosEncoding::Cholesky,
-            ..SynthesisOptions::default()
-        };
+        let options = SynthesisOptions::with_degree_and_size(1, 1)
+            .with_upsilon(2)
+            .with_encoding(SosEncoding::Cholesky);
         let synth = WeakSynthesis::with_options(options);
         let outcome = synth.synthesize(&program, &pre, &[TargetAssertion::new(exit, target)]);
         assert_eq!(

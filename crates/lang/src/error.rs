@@ -2,11 +2,32 @@
 
 use std::fmt;
 
+/// A position in the source text: 1-based line and column.
+///
+/// Columns count characters (not bytes), matching what an editor shows for
+/// the ASCII-only mini-language sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column, when known.
+    pub column: Option<usize>,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.column {
+            Some(column) => write!(f, "line {}, column {}", self.line, column),
+            None => write!(f, "line {}", self.line),
+        }
+    }
+}
+
 /// An error produced while lexing, parsing or resolving a program.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error {
     message: String,
-    line: Option<usize>,
+    span: Option<Span>,
 }
 
 impl Error {
@@ -14,7 +35,7 @@ impl Error {
     pub fn new(message: impl Into<String>) -> Self {
         Error {
             message: message.into(),
-            line: None,
+            span: None,
         }
     }
 
@@ -22,28 +43,74 @@ impl Error {
     pub fn at_line(message: impl Into<String>, line: usize) -> Self {
         Error {
             message: message.into(),
-            line: Some(line),
+            span: Some(Span { line, column: None }),
         }
     }
 
-    /// The human-readable message.
+    /// Creates an error attached to a 1-based line and column.
+    pub fn at(message: impl Into<String>, line: usize, column: usize) -> Self {
+        Error {
+            message: message.into(),
+            span: Some(Span {
+                line,
+                column: Some(column),
+            }),
+        }
+    }
+
+    /// The human-readable message (without the position prefix).
     pub fn message(&self) -> &str {
         &self.message
     }
 
+    /// The source span, if known.
+    pub fn span(&self) -> Option<Span> {
+        self.span
+    }
+
     /// The 1-based source line, if known.
     pub fn line(&self) -> Option<usize> {
-        self.line
+        self.span.map(|s| s.line)
+    }
+
+    /// The 1-based source column, if known.
+    pub fn column(&self) -> Option<usize> {
+        self.span.and_then(|s| s.column)
     }
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.line {
-            Some(line) => write!(f, "line {}: {}", line, self.message),
+        match self.span {
+            Some(span) => write!(f, "{}: {}", span, self.message),
             None => write!(f, "{}", self.message),
         }
     }
 }
 
 impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_the_known_parts_of_the_span() {
+        assert_eq!(Error::new("boom").to_string(), "boom");
+        assert_eq!(Error::at_line("boom", 3).to_string(), "line 3: boom");
+        assert_eq!(
+            Error::at("boom", 3, 14).to_string(),
+            "line 3, column 14: boom"
+        );
+    }
+
+    #[test]
+    fn span_accessors_expose_line_and_column() {
+        let error = Error::at("boom", 2, 7);
+        assert_eq!(error.line(), Some(2));
+        assert_eq!(error.column(), Some(7));
+        assert_eq!(error.message(), "boom");
+        assert_eq!(Error::at_line("boom", 2).column(), None);
+        assert_eq!(Error::new("boom").span(), None);
+    }
+}

@@ -4,13 +4,15 @@ use polyinv_arith::Rational;
 
 use crate::error::Error;
 
-/// A lexical token together with its 1-based source line.
+/// A lexical token together with its 1-based source line and column.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// The token payload.
     pub kind: TokenKind,
     /// 1-based source line.
     pub line: usize,
+    /// 1-based source column of the token's first character.
+    pub column: usize,
 }
 
 /// The token kinds of the mini-language.
@@ -94,18 +96,25 @@ impl TokenKind {
 ///
 /// # Errors
 ///
-/// Returns an [`Error`] on unexpected characters or malformed numbers.
+/// Returns an [`Error`] carrying the line/column span on unexpected
+/// characters or malformed numbers.
 pub fn tokenize(source: &str) -> Result<Vec<Token>, Error> {
     let mut tokens = Vec::new();
     let chars: Vec<char> = source.chars().collect();
     let mut pos = 0;
     let mut line = 1;
+    // Character index right after the most recent newline; `pos -
+    // line_start + 1` is the 1-based column of the character at `pos`.
+    let mut line_start = 0;
     while pos < chars.len() {
         let c = chars[pos];
+        let column = pos - line_start + 1;
+        let mut push = |kind: TokenKind| tokens.push(Token { kind, line, column });
         match c {
             '\n' => {
                 line += 1;
                 pos += 1;
+                line_start = pos;
             }
             ' ' | '\t' | '\r' => pos += 1,
             '/' if pos + 1 < chars.len() && chars[pos + 1] == '/' => {
@@ -114,136 +123,85 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, Error> {
                 }
             }
             '(' => {
-                tokens.push(Token {
-                    kind: TokenKind::LParen,
-                    line,
-                });
+                push(TokenKind::LParen);
                 pos += 1;
             }
             ')' => {
-                tokens.push(Token {
-                    kind: TokenKind::RParen,
-                    line,
-                });
+                push(TokenKind::RParen);
                 pos += 1;
             }
             '{' => {
-                tokens.push(Token {
-                    kind: TokenKind::LBrace,
-                    line,
-                });
+                push(TokenKind::LBrace);
                 pos += 1;
             }
             '}' => {
-                tokens.push(Token {
-                    kind: TokenKind::RBrace,
-                    line,
-                });
+                push(TokenKind::RBrace);
                 pos += 1;
             }
             ',' => {
-                tokens.push(Token {
-                    kind: TokenKind::Comma,
-                    line,
-                });
+                push(TokenKind::Comma);
                 pos += 1;
             }
             ';' => {
-                tokens.push(Token {
-                    kind: TokenKind::Semicolon,
-                    line,
-                });
+                push(TokenKind::Semicolon);
                 pos += 1;
             }
             '+' => {
-                tokens.push(Token {
-                    kind: TokenKind::Plus,
-                    line,
-                });
+                push(TokenKind::Plus);
                 pos += 1;
             }
             '-' => {
-                tokens.push(Token {
-                    kind: TokenKind::Minus,
-                    line,
-                });
+                push(TokenKind::Minus);
                 pos += 1;
             }
             '*' => {
-                tokens.push(Token {
-                    kind: TokenKind::Star,
-                    line,
-                });
+                push(TokenKind::Star);
                 pos += 1;
             }
             '!' => {
-                tokens.push(Token {
-                    kind: TokenKind::Bang,
-                    line,
-                });
+                push(TokenKind::Bang);
                 pos += 1;
             }
             ':' => {
                 if pos + 1 < chars.len() && chars[pos + 1] == '=' {
-                    tokens.push(Token {
-                        kind: TokenKind::Assign,
-                        line,
-                    });
+                    push(TokenKind::Assign);
                     pos += 2;
                 } else {
-                    return Err(Error::at_line("expected `:=`", line));
+                    return Err(Error::at("expected `:=`", line, column));
                 }
             }
             '<' => {
                 if pos + 1 < chars.len() && chars[pos + 1] == '=' {
-                    tokens.push(Token {
-                        kind: TokenKind::Le,
-                        line,
-                    });
+                    push(TokenKind::Le);
                     pos += 2;
                 } else {
-                    tokens.push(Token {
-                        kind: TokenKind::Lt,
-                        line,
-                    });
+                    push(TokenKind::Lt);
                     pos += 1;
                 }
             }
             '>' => {
                 if pos + 1 < chars.len() && chars[pos + 1] == '=' {
-                    tokens.push(Token {
-                        kind: TokenKind::Ge,
-                        line,
-                    });
+                    push(TokenKind::Ge);
                     pos += 2;
                 } else {
-                    tokens.push(Token {
-                        kind: TokenKind::Gt,
-                        line,
-                    });
+                    push(TokenKind::Gt);
                     pos += 1;
                 }
             }
             '&' => {
                 if pos + 1 < chars.len() && chars[pos + 1] == '&' {
-                    tokens.push(Token {
-                        kind: TokenKind::And,
-                        line,
-                    });
+                    push(TokenKind::And);
                     pos += 2;
                 } else {
-                    return Err(Error::at_line("expected `&&`", line));
+                    return Err(Error::at("expected `&&`", line, column));
                 }
             }
             '|' => {
                 if pos + 1 < chars.len() && chars[pos + 1] == '|' {
-                    tokens.push(Token {
-                        kind: TokenKind::Or,
-                        line,
-                    });
+                    push(TokenKind::Or);
                     pos += 2;
                 } else {
-                    return Err(Error::at_line("expected `||`", line));
+                    return Err(Error::at("expected `||`", line, column));
                 }
             }
             '@' => {
@@ -255,15 +213,13 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, Error> {
                 }
                 let word: String = chars[start..end].iter().collect();
                 if word == "pre" {
-                    tokens.push(Token {
-                        kind: TokenKind::AtPre,
-                        line,
-                    });
+                    push(TokenKind::AtPre);
                     pos = end;
                 } else {
-                    return Err(Error::at_line(
+                    return Err(Error::at(
                         format!("unknown annotation `@{word}` (only `@pre` is supported)"),
                         line,
+                        column,
                     ));
                 }
             }
@@ -282,11 +238,8 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, Error> {
                 let text: String = chars[start..end].iter().collect();
                 let value: Rational = text
                     .parse()
-                    .map_err(|_| Error::at_line(format!("invalid number `{text}`"), line))?;
-                tokens.push(Token {
-                    kind: TokenKind::Number(value),
-                    line,
-                });
+                    .map_err(|_| Error::at(format!("invalid number `{text}`"), line, column))?;
+                push(TokenKind::Number(value));
                 pos = end;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -306,13 +259,14 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, Error> {
                     "not" => TokenKind::Bang,
                     _ => TokenKind::Ident(word),
                 };
-                tokens.push(Token { kind, line });
+                push(kind);
                 pos = end;
             }
             other => {
-                return Err(Error::at_line(
+                return Err(Error::at(
                     format!("unexpected character `{other}`"),
                     line,
+                    column,
                 ));
             }
         }
@@ -371,6 +325,16 @@ mod tests {
     }
 
     #[test]
+    fn tracks_columns_within_a_line() {
+        let tokens = tokenize("x := 1;\n  y := 22").unwrap();
+        let columns: Vec<(usize, usize)> = tokens.iter().map(|t| (t.line, t.column)).collect();
+        assert_eq!(
+            columns,
+            vec![(1, 1), (1, 3), (1, 6), (1, 7), (2, 3), (2, 5), (2, 8)]
+        );
+    }
+
+    #[test]
     fn recognizes_annotations_and_keyword_operators() {
         assert_eq!(
             kinds("@pre(n >= 0 and x > 1 or not y < 2)")[0],
@@ -381,11 +345,17 @@ mod tests {
     }
 
     #[test]
-    fn rejects_stray_characters() {
+    fn rejects_stray_characters_with_spans() {
         assert!(tokenize("x := #").is_err());
         assert!(tokenize("x : 1").is_err());
         assert!(tokenize("a & b").is_err());
         assert!(tokenize("@post(x)").is_err());
+        let error = tokenize("x := #").unwrap_err();
+        assert_eq!(error.line(), Some(1));
+        assert_eq!(error.column(), Some(6));
+        let error = tokenize("x := 1;\n  y & 2").unwrap_err();
+        assert_eq!(error.line(), Some(2));
+        assert_eq!(error.column(), Some(5));
     }
 
     #[test]

@@ -79,9 +79,10 @@ impl<'a> Parser<'a> {
 
     fn unexpected(&self, expected: &str) -> Error {
         match self.tokens.get(self.pos) {
-            Some(token) => Error::at_line(
+            Some(token) => Error::at(
                 format!("expected {expected}, found {}", token.kind.describe()),
                 token.line,
+                token.column,
             ),
             None => Error::new(format!("expected {expected}, found end of input")),
         }

@@ -1,12 +1,13 @@
-//! Quickstart: parse a program, run the reduction, and inspect the result.
+//! Quickstart: drive the Engine API end-to-end — parse a program, inspect
+//! the reduction, synthesize an invariant, and serialize the report.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use polyinv::prelude::*;
+use polyinv_api::{Engine, ReportStatus, SynthesisRequest};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), polyinv_api::ApiError> {
     // A small non-deterministic program in the paper's mini-language.
     let source = r#"
         double(n) {
@@ -24,36 +25,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             return x
         }
     "#;
-    let program = parse_program(source)?;
+    let engine = Engine::new();
+    let program = engine.parse_program(source)?;
     println!(
         "parsed `{}` with {} labels",
         program.main().name(),
         program.main().labels().len()
     );
 
-    // Steps 1-3: build the quadratic system for degree-2 invariant templates.
-    let pre = Precondition::from_program(&program);
-    let options = SynthesisOptions::default();
-    let generated = polyinv_constraints::generate(&program, &pre, &options);
-    println!("generated quadratic system: {}", generated.system.summary());
-
-    // Step 4 (weak synthesis): prove that the return value is at most 2n.
-    let exit = program.main().exit_label();
-    let (target, _) = parse_assertion(&program, "double", "2 * n_in + 1 - ret > 0")?;
-    let synth = WeakSynthesis::with_options(SynthesisOptions {
-        degree: 1,
-        ..SynthesisOptions::default()
-    });
-    let outcome = synth.synthesize(&program, &pre, &[TargetAssertion::new(exit, target)]);
+    // Steps 1-3: build the quadratic system for degree-2 invariant
+    // templates and report its size (|S|, the paper's Table 2/3 metric).
+    let generated = engine.run(&SynthesisRequest::generate_only(source))?;
     println!(
-        "weak synthesis: {:?} (|S| = {}, violation = {:.2e}, solve time = {:?})",
-        outcome.status, outcome.system_size, outcome.violation, outcome.solve_time
+        "generated quadratic system: |S| = {}, unknowns = {}",
+        generated.system_size, generated.num_unknowns
     );
-    if outcome.status == SynthesisStatus::Synthesized {
-        println!(
-            "synthesized inductive invariant:\n{}",
-            outcome.invariant.render(&program)
-        );
+
+    // Step 4 (weak synthesis) on a bounded non-deterministic counter: the
+    // local solver closes lower-bound targets of this shape in well under a
+    // second. (Unbounded-loop targets like `ret <= 2n` for `double` need
+    // the commercial interior-point solver the paper used.)
+    let bounded = r#"
+        gain(x) {
+            @pre(x >= 0);
+            while x <= 10 do
+                if * then
+                    x := x + 2
+                else
+                    x := x + 1
+                fi
+            od;
+            return x
+        }
+    "#;
+    let request = SynthesisRequest::weak(bounded)
+        .with_degree(1)
+        .with_target("x + 1 > 0");
+    let report = engine.run(&request)?;
+    println!(
+        "weak synthesis: {} (|S| = {}, violation = {:.2e}, solve time = {:.2}s)",
+        report.status,
+        report.system_size,
+        report.violation,
+        report.stage_seconds("solve")
+    );
+    if report.status == ReportStatus::Synthesized {
+        println!("synthesized inductive invariant:");
+        for line in &report.invariants {
+            println!("  {line}");
+        }
     }
+
+    // Every report round-trips as JSON (the CLI prints exactly this with
+    // `polyinv synth <file> --target "..." --json`).
+    println!("as JSON: {}", report.to_json_string());
     Ok(())
 }

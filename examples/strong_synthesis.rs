@@ -1,14 +1,14 @@
-//! Strong invariant synthesis: enumerate a representative set of distinct
-//! inductive invariants of a bounded counter loop.
+//! Strong invariant synthesis through the Engine: enumerate a
+//! representative set of distinct inductive invariants of a bounded counter
+//! loop.
 //!
 //! ```text
 //! cargo run --release --example strong_synthesis
 //! ```
 
-use polyinv::prelude::*;
-use polyinv::strong::StrongSynthesis;
+use polyinv_api::{Engine, SynthesisRequest};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), polyinv_api::ApiError> {
     let source = r#"
         counter(x) {
             @pre(x >= 0);
@@ -18,26 +18,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             return x
         }
     "#;
-    let program = parse_program(source)?;
-    let pre = Precondition::from_program(&program);
-
-    let options = StrongOptions {
-        synthesis: SynthesisOptions {
-            degree: 1,
-            ..SynthesisOptions::default()
-        },
-        attempts: 6,
-        ..StrongOptions::default()
-    };
-    let solutions = StrongSynthesis::new(options).enumerate(&program, &pre);
-    println!(
-        "found {} distinct inductive invariant(s) for the counter loop",
-        solutions.len()
-    );
-    for (index, solution) in solutions.iter().enumerate() {
-        println!("--- invariant #{index} ---");
-        print!("{}", solution.invariant.render(&program));
+    let engine = Engine::new();
+    let request = SynthesisRequest::strong(source)
+        .with_degree(1)
+        .with_attempts(6);
+    let report = engine.run(&request)?;
+    for note in &report.diagnostics {
+        println!("{note}");
     }
-    assert!(!solutions.is_empty());
+    // Each line is prefixed with the index of the solution it belongs to.
+    for line in &report.invariants {
+        println!("{line}");
+    }
+    assert!(!report.invariants.is_empty());
     Ok(())
 }

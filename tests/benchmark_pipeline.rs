@@ -14,11 +14,7 @@ fn small_table2_benchmarks_generate_systems_of_paper_scale() {
         let benchmark = by_name(name).unwrap();
         let program = benchmark.program().unwrap();
         let pre = benchmark.precondition().unwrap();
-        let options = SynthesisOptions {
-            degree: benchmark.paper.d,
-            size: benchmark.paper.n,
-            ..SynthesisOptions::default()
-        };
+        let options = SynthesisOptions::with_degree_and_size(benchmark.paper.d, benchmark.paper.n);
         let generated = polyinv_constraints::generate(&program, &pre, &options);
         // Same order of magnitude as the paper's |S| (our encoding counts a
         // few more variables per benchmark — shadow parameters, return
@@ -48,11 +44,8 @@ fn benchmark_difficulty_ordering_is_preserved() {
             let benchmark = by_name(name).unwrap();
             let program = benchmark.program().unwrap();
             let pre = benchmark.precondition().unwrap();
-            let options = SynthesisOptions {
-                degree: benchmark.paper.d,
-                size: benchmark.paper.n,
-                ..SynthesisOptions::default()
-            };
+            let options =
+                SynthesisOptions::with_degree_and_size(benchmark.paper.d, benchmark.paper.n);
             (
                 name.to_string(),
                 polyinv_constraints::generate(&program, &pre, &options).size(),
@@ -90,6 +83,7 @@ fn every_benchmark_has_consistent_metadata() {
     debug_assertions,
     ignore = "slow without optimizations; run with `cargo test --release`"
 )]
+#[allow(deprecated)] // exercises the driver layer beneath the Engine
 fn weak_synthesis_closes_a_small_linear_benchmark() {
     // End-to-end Steps 1-4 on a small bounded-counter program: the local
     // solver reliably closes lower-bound style targets of this size.
@@ -107,10 +101,7 @@ fn weak_synthesis_closes_a_small_linear_benchmark() {
     let pre = Precondition::from_program(&program);
     let exit = program.main().exit_label();
     let (target, _) = parse_assertion(&program, "clamp", "y + 1 - ret > 0").unwrap();
-    let synth = WeakSynthesis::with_options(SynthesisOptions {
-        degree: 1,
-        ..SynthesisOptions::default()
-    });
+    let synth = WeakSynthesis::with_options(SynthesisOptions::default().with_degree(1));
     let outcome = synth.synthesize(&program, &pre, &[TargetAssertion::new(exit, target)]);
     assert_eq!(
         outcome.status,
@@ -151,11 +142,7 @@ fn recursive_benchmarks_are_treated_recursively() {
         let benchmark = by_name(name).unwrap();
         let program = benchmark.program().unwrap();
         let pre = benchmark.precondition().unwrap();
-        let options = SynthesisOptions {
-            degree: benchmark.paper.d,
-            size: benchmark.paper.n,
-            ..SynthesisOptions::default()
-        };
+        let options = SynthesisOptions::with_degree_and_size(benchmark.paper.d, benchmark.paper.n);
         let generated = polyinv_constraints::generate(&program, &pre, &options);
         assert!(
             generated.recursive,

@@ -7,6 +7,7 @@ use std::time::Duration;
 
 use polyinv::pipeline::{run_stage, stage_names, PairStage, ReductionStage, TemplateStage};
 use polyinv::prelude::*;
+use polyinv_api::{Engine, SynthesisRequest};
 use polyinv_bench::options_for;
 use polyinv_lang::program::RUNNING_EXAMPLE_SOURCE;
 
@@ -84,11 +85,7 @@ fn solve_stage_runs_through_pluggable_backends() {
     "#;
     let program = parse_program(source).unwrap();
     let pre = Precondition::from_program(&program);
-    let options = SynthesisOptions {
-        degree: 1,
-        upsilon: 0,
-        ..SynthesisOptions::default()
-    };
+    let options = SynthesisOptions::default().with_degree(1).with_upsilon(0);
     for name in ["lm", "penalty"] {
         let backend = backend_by_name(name).unwrap();
         let pipeline = Pipeline::new(options.clone()).with_backend(backend);
@@ -108,22 +105,25 @@ fn solve_stage_runs_through_pluggable_backends() {
 }
 
 #[test]
-fn weak_synthesis_reports_the_stage_breakdown() {
+fn engine_generation_reports_the_stage_breakdown() {
     let benchmark = polyinv_benchmarks::by_name("recursive-sum").unwrap();
-    let program = benchmark.program().unwrap();
-    let pre = benchmark.precondition().unwrap();
-    let synth = WeakSynthesis::with_options(options_for(&benchmark));
-    let (generated, timings) = synth.generate_staged(&program, &pre);
-    assert!(generated.size() > 0);
+    let engine = Engine::new();
+    let report = engine
+        .run(
+            &SynthesisRequest::generate_only(benchmark.source)
+                .with_options(options_for(&benchmark)),
+        )
+        .unwrap();
+    assert!(report.system_size > 0);
     for stage in [
         stage_names::TEMPLATES,
         stage_names::PAIRS,
         stage_names::REDUCTION,
     ] {
         assert!(
-            timings.get(stage) > Duration::ZERO,
+            report.stage_seconds(stage) > 0.0,
             "stage {stage} not recorded"
         );
     }
-    assert_eq!(timings.solve(), Duration::ZERO);
+    assert_eq!(report.stage_seconds(stage_names::SOLVE), 0.0);
 }

@@ -93,11 +93,7 @@ fn pw2_supports_multiple_conjuncts_per_label() {
     let benchmark = polyinv_benchmarks::by_name("pw2").unwrap();
     let program = benchmark.program().unwrap();
     let pre = benchmark.precondition().unwrap();
-    let options = SynthesisOptions {
-        degree: 1,
-        size: 2,
-        ..SynthesisOptions::default()
-    };
+    let options = SynthesisOptions::with_degree_and_size(1, 2);
     let generated = polyinv_constraints::generate(&program, &pre, &options);
     let entry = program.main().entry_label();
     assert_eq!(generated.templates.invariant(entry).conjuncts.len(), 2);
