@@ -27,9 +27,93 @@ use crate::error::ApiError;
 use crate::report::{ReportStatus, SynthesisReport};
 use crate::request::{Mode, SynthesisRequest};
 
-/// Parsed programs keyed by FNV-1a hash of their source; each bucket keeps
-/// the source alongside the program to rule out hash collisions.
-type ProgramCache = HashMap<u64, Vec<(String, Arc<Program>)>>;
+/// Default capacity of the parse cache (distinct programs).
+const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// One cached parse: the full source (to rule out hash collisions), the
+/// parsed program and the recency stamp the LRU eviction uses.
+#[derive(Debug)]
+struct CacheEntry {
+    source: String,
+    program: Arc<Program>,
+    last_used: u64,
+}
+
+/// Parsed programs keyed by FNV-1a hash of their source, capacity-capped
+/// with least-recently-used eviction so a long-running service does not
+/// accumulate every source it ever saw.
+#[derive(Debug)]
+struct ProgramCache {
+    buckets: HashMap<u64, Vec<CacheEntry>>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl ProgramCache {
+    fn new(capacity: usize) -> Self {
+        ProgramCache {
+            buckets: HashMap::new(),
+            capacity: capacity.max(1),
+            clock: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn get(&mut self, key: u64, source: &str) -> Option<Arc<Program>> {
+        let stamp = self.tick();
+        let entry = self
+            .buckets
+            .get_mut(&key)?
+            .iter_mut()
+            .find(|entry| entry.source == source)?;
+        entry.last_used = stamp;
+        Some(Arc::clone(&entry.program))
+    }
+
+    fn len(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+
+    fn insert(&mut self, key: u64, source: &str, program: &Arc<Program>) {
+        let stamp = self.tick();
+        self.buckets.entry(key).or_default().push(CacheEntry {
+            source: source.to_string(),
+            program: Arc::clone(program),
+            last_used: stamp,
+        });
+        while self.len() > self.capacity {
+            self.evict_lru();
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        let Some((&key, _)) = self.buckets.iter().min_by_key(|(_, bucket)| {
+            bucket
+                .iter()
+                .map(|entry| entry.last_used)
+                .min()
+                .unwrap_or(u64::MAX)
+        }) else {
+            return;
+        };
+        let bucket = self.buckets.get_mut(&key).expect("bucket exists");
+        if let Some(pos) = bucket
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, entry)| entry.last_used)
+            .map(|(pos, _)| pos)
+        {
+            bucket.remove(pos);
+        }
+        if bucket.is_empty() {
+            self.buckets.remove(&key);
+        }
+    }
+}
 
 /// The stable front door: parses (and caches) programs, dispatches the four
 /// modes, and serializes everything that comes back.
@@ -67,8 +151,15 @@ impl Engine {
     pub fn with_backend(backend: Arc<dyn QcqpBackend>) -> Self {
         Engine {
             backend,
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(ProgramCache::new(DEFAULT_CACHE_CAPACITY)),
         }
+    }
+
+    /// Caps the parse cache at `capacity` distinct programs (LRU eviction;
+    /// the default is 64). A capacity of zero is treated as one.
+    pub fn with_cache_capacity(self, capacity: usize) -> Self {
+        *self.cache.lock().expect("cache lock") = ProgramCache::new(capacity);
+        self
     }
 
     /// An Engine with a back-end selected by stable name (`"lm"`,
@@ -98,33 +189,25 @@ impl Engine {
     pub fn parse_program(&self, source: &str) -> Result<Arc<Program>, ApiError> {
         let key = fnv1a(source.as_bytes());
         {
-            let cache = self.cache.lock().expect("cache lock");
-            if let Some(bucket) = cache.get(&key) {
-                if let Some((_, program)) = bucket.iter().find(|(text, _)| text == source) {
-                    return Ok(Arc::clone(program));
-                }
+            let mut cache = self.cache.lock().expect("cache lock");
+            if let Some(program) = cache.get(key, source) {
+                return Ok(program);
             }
         }
         let program = Arc::new(polyinv_lang::parse_program(source)?);
         let mut cache = self.cache.lock().expect("cache lock");
-        let bucket = cache.entry(key).or_default();
         // Re-check under the lock: a concurrent batch worker may have parsed
         // the same source while this thread was parsing (check-then-act).
-        if let Some((_, cached)) = bucket.iter().find(|(text, _)| text == source) {
-            return Ok(Arc::clone(cached));
+        if let Some(cached) = cache.get(key, source) {
+            return Ok(cached);
         }
-        bucket.push((source.to_string(), Arc::clone(&program)));
+        cache.insert(key, source, &program);
         Ok(program)
     }
 
     /// Number of distinct programs currently cached.
     pub fn cached_programs(&self) -> usize {
-        self.cache
-            .lock()
-            .expect("cache lock")
-            .values()
-            .map(Vec::len)
-            .sum()
+        self.cache.lock().expect("cache lock").len()
     }
 
     /// Serves one request.
@@ -192,7 +275,7 @@ impl Engine {
         }
         let pipeline = Pipeline::new(request.options.clone()).with_backend(backend);
         let mut ctx = pipeline.context(program, pre);
-        let generated = pipeline.generate(&mut ctx);
+        let generated = pipeline.generate(&mut ctx)?;
         let mut report =
             SynthesisReport::skeleton(&request.id, request.mode, ReportStatus::Generated);
         report.system_size = generated.size();
@@ -250,7 +333,7 @@ impl Engine {
         }
 
         let synth = WeakSynthesis::with_options(request.options.clone()).backend(backend);
-        let outcome = synth.synthesize(program, pre, &targets);
+        let outcome = synth.synthesize(program, pre, &targets)?;
         let status = match outcome.status {
             SynthesisStatus::Synthesized => ReportStatus::Synthesized,
             SynthesisStatus::Failed => ReportStatus::Failed,
@@ -298,9 +381,9 @@ impl Engine {
         // internally; generation is milliseconds next to the solve attempts.)
         let pipeline = Pipeline::new(request.options.clone());
         let mut ctx = pipeline.context(program, pre);
-        let generated = pipeline.generate(&mut ctx);
+        let generated = pipeline.generate(&mut ctx)?;
         let start = Instant::now();
-        let solutions = StrongSynthesis::new(options).enumerate(program, pre);
+        let solutions = StrongSynthesis::new(options).enumerate(program, pre)?;
         let elapsed = start.elapsed().as_secs_f64();
         let status = if solutions.is_empty() {
             ReportStatus::Failed
@@ -350,7 +433,7 @@ impl Engine {
             }
         }
         let start = Instant::now();
-        let check = check_inductive(program, pre, &invariant, &post, &CheckOptions::default());
+        let check = check_inductive(program, pre, &invariant, &post, &CheckOptions::default())?;
         let elapsed = start.elapsed().as_secs_f64();
         let status = if check.all_certified() {
             ReportStatus::Certified
@@ -468,6 +551,37 @@ mod tests {
         assert_eq!(engine.cached_programs(), 1);
         engine.parse_program("f(x) { return x }").unwrap();
         assert_eq!(engine.cached_programs(), 2);
+    }
+
+    #[test]
+    fn parse_cache_is_capped_with_lru_eviction() {
+        let engine = Engine::new().with_cache_capacity(8);
+        // Many distinct sources: the cache must stay at its cap, not leak.
+        for i in 0..100 {
+            let source = format!("f(x) {{ return x + {i} }}");
+            engine.parse_program(&source).unwrap();
+            assert!(engine.cached_programs() <= 8, "cache grew past its cap");
+        }
+        assert_eq!(engine.cached_programs(), 8);
+        // Recently used entries survive; the eldest were evicted.
+        let recent = "f(x) { return x + 99 }";
+        let a = engine.parse_program(recent).unwrap();
+        let b = engine.parse_program(recent).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "recent entry should still be cached");
+    }
+
+    #[test]
+    fn lru_eviction_keeps_the_most_recently_touched_program() {
+        let engine = Engine::new().with_cache_capacity(2);
+        let first = engine.parse_program("f(x) { return x + 1 }").unwrap();
+        engine.parse_program("f(x) { return x + 2 }").unwrap();
+        // Touch the first program again, then insert a third: the second
+        // (least recently used) must be the one evicted.
+        engine.parse_program("f(x) { return x + 1 }").unwrap();
+        engine.parse_program("f(x) { return x + 3 }").unwrap();
+        assert_eq!(engine.cached_programs(), 2);
+        let again = engine.parse_program("f(x) { return x + 1 }").unwrap();
+        assert!(Arc::ptr_eq(&first, &again), "touched entry was evicted");
     }
 
     #[test]

@@ -54,6 +54,18 @@ pub enum ApiError {
         /// What is wrong.
         message: String,
     },
+    /// The program contains function calls but the run was configured
+    /// without the recursive variants of the algorithm, so the call has no
+    /// post-condition template to abstract with. Carries the call's source
+    /// span.
+    RecursionRequired {
+        /// The callee of the offending call.
+        callee: String,
+        /// The label of the call statement.
+        label: String,
+        /// 1-based source line of the call statement, when known.
+        line: Option<usize>,
+    },
     /// A baseline or algorithm rejected the program as out of scope (e.g.
     /// the Farkas baseline on a non-linear program).
     Inapplicable {
@@ -124,6 +136,18 @@ impl fmt::Display for ApiError {
                 "label index {index} out of range (the main function has {available} labels)"
             ),
             ApiError::InvalidRequest { message } => write!(f, "invalid request: {message}"),
+            ApiError::RecursionRequired {
+                callee,
+                label,
+                line,
+            } => {
+                write!(f, "call to `{callee}` at {label}")?;
+                write_span(f, *line, None)?;
+                write!(
+                    f,
+                    " requires recursive synthesis; the run was configured without it"
+                )
+            }
             ApiError::Inapplicable { reason } => write!(f, "not applicable: {reason}"),
             ApiError::Unsolved { violation, backend } => write!(
                 f,
@@ -149,6 +173,25 @@ impl From<polyinv_lang::Error> for ApiError {
             line: error.line(),
             column: error.column(),
             message: error.message().to_string(),
+        }
+    }
+}
+
+impl From<polyinv_constraints::ConstraintError> for ApiError {
+    fn from(error: polyinv_constraints::ConstraintError) -> Self {
+        match &error {
+            polyinv_constraints::ConstraintError::CallsRequireRecursiveMode {
+                label,
+                callee,
+                line,
+            } => ApiError::RecursionRequired {
+                callee: callee.clone(),
+                label: label.to_string(),
+                line: *line,
+            },
+            other => ApiError::InvalidRequest {
+                message: other.to_string(),
+            },
         }
     }
 }
@@ -180,6 +223,7 @@ impl ApiError {
             ApiError::UnknownBackend { .. } => "unknown-backend",
             ApiError::UnknownLabel { .. } => "unknown-label",
             ApiError::InvalidRequest { .. } => "invalid-request",
+            ApiError::RecursionRequired { .. } => "recursion-required",
             ApiError::Inapplicable { .. } => "inapplicable",
             ApiError::Unsolved { .. } => "unsolved",
             ApiError::Uncertified { .. } => "uncertified",
@@ -211,6 +255,15 @@ impl ApiError {
             ApiError::Uncertified { failed, total } => {
                 fields.push(("failed".to_string(), Json::Number(*failed as f64)));
                 fields.push(("total".to_string(), Json::Number(*total as f64)));
+            }
+            ApiError::RecursionRequired {
+                callee,
+                label,
+                line,
+            } => {
+                fields.push(("callee".to_string(), Json::string(callee.clone())));
+                fields.push(("label".to_string(), Json::string(label.clone())));
+                fields.push(("line".to_string(), opt_number(*line)));
             }
             _ => {}
         }
@@ -260,6 +313,33 @@ mod tests {
         };
         assert_error(&error);
         assert_eq!(error.kind(), "unknown-backend");
+    }
+
+    #[test]
+    fn constraint_errors_convert_with_the_call_span() {
+        let error: ApiError = polyinv_constraints::ConstraintError::CallsRequireRecursiveMode {
+            label: polyinv_lang::Label::new(4),
+            callee: "rsum".to_string(),
+            line: Some(7),
+        }
+        .into();
+        match &error {
+            ApiError::RecursionRequired {
+                callee,
+                label,
+                line,
+            } => {
+                assert_eq!(callee, "rsum");
+                assert_eq!(label, "l4");
+                assert_eq!(*line, Some(7));
+            }
+            other => panic!("expected RecursionRequired, got {other:?}"),
+        }
+        assert_eq!(error.kind(), "recursion-required");
+        assert!(error.to_string().contains("line 7"));
+        let json = error.to_json();
+        assert_eq!(json.get("callee").unwrap().as_str(), Some("rsum"));
+        assert_eq!(json.get("line").unwrap().as_usize(), Some(7));
     }
 
     #[test]

@@ -217,13 +217,17 @@ fn write_number(n: f64, out: &mut String) {
         // JSON has no NaN/Infinity; degrade to null rather than emit an
         // unparseable token.
         out.push_str("null");
-    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
-        // Integral values print without the trailing `.0` Rust would not
-        // print anyway, but go through i64 to avoid `-0`.
+    } else if n.fract() == 0.0 && n != 0.0 && n.abs() < 9.0e15 {
+        // Integral values within the exactly-representable i64 range print
+        // as integers. The range guard matters: `n as i64` saturates for
+        // |n| ≥ 2^63 and loses precision beyond 2^53, either of which would
+        // break byte-for-byte round-tripping of large timing/metric values.
+        // Zero is excluded so `-0.0` keeps its sign through the float
+        // formatter instead of collapsing to `0`.
         out.push_str(&(n as i64).to_string());
     } else {
         // Rust's Display for f64 is the shortest string that round-trips,
-        // which keeps the writer deterministic.
+        // which keeps the writer deterministic (`0` and `-0` included).
         out.push_str(&n.to_string());
     }
 }
@@ -560,6 +564,50 @@ mod tests {
                 error.message
             );
         }
+    }
+
+    #[test]
+    fn large_integral_numbers_round_trip_byte_for_byte() {
+        // |n| ≥ 2^63 used to saturate through the `n as i64` fast path;
+        // the range guard must route them through the float formatter.
+        let big = 2f64.powi(63); // 9223372036854775808
+        let huge = 2f64.powi(64) * 3.0;
+        let above_2_53 = 9.3e15; // integral, not exactly i64-precise
+        for value in [
+            big,
+            -big,
+            huge,
+            above_2_53,
+            -above_2_53,
+            1.0e300,
+            -0.0,
+            0.0,
+            42.0,
+            -42.0,
+        ] {
+            let mut text = String::new();
+            Json::Number(value).write(&mut text);
+            let reparsed = Json::parse(&text).unwrap();
+            // Value round-trips exactly...
+            assert_eq!(
+                reparsed.as_f64().unwrap().to_bits(),
+                value.to_bits(),
+                "{text}"
+            );
+            // ...and re-serializing yields the same bytes.
+            let mut again = String::new();
+            reparsed.write(&mut again);
+            assert_eq!(again, text);
+        }
+        // The integer fast path still produces integer tokens.
+        let mut text = String::new();
+        Json::Number(2348.0).write(&mut text);
+        assert_eq!(text, "2348");
+        // Negative zero keeps its sign (the old cast collapsed it to `0`,
+        // breaking byte-for-byte round-trips of documents containing `-0`).
+        let mut neg_zero = String::new();
+        Json::Number(-0.0).write(&mut neg_zero);
+        assert_eq!(neg_zero, "-0");
     }
 
     #[test]

@@ -117,6 +117,27 @@ fn identical_batches_serialize_to_identical_json() {
 }
 
 #[test]
+fn identical_requests_produce_byte_identical_reports_through_the_interned_core() {
+    // The interned monomial core allocates MonoIds in discovery order; two
+    // runs of the same request must still serialize identically (canonical
+    // graded-lexicographic order is restored at every conversion boundary).
+    // The recursive benchmark exercises the call/post-condition paths.
+    let benchmark = polyinv_benchmarks::by_name("recursive-sum").unwrap();
+    let request = SynthesisRequest::generate_only(benchmark.source).with_id("det");
+    let engine = Engine::new();
+    let first = engine.run(&request).unwrap().canonical().to_json_string();
+    let second = engine.run(&request).unwrap().canonical().to_json_string();
+    assert_eq!(first, second);
+    // A fresh engine (cold parse cache, fresh monomial table) too.
+    let third = Engine::new()
+        .run(&request)
+        .unwrap()
+        .canonical()
+        .to_json_string();
+    assert_eq!(first, third);
+}
+
+#[test]
 fn batch_requests_can_pick_their_own_backend() {
     let engine = Engine::new();
     let requests = vec![

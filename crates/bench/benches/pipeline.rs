@@ -38,7 +38,7 @@ fn pipeline_stage_breakdown(c: &mut Criterion) {
                 let templates = run_stage(&mut ctx, &TemplateStage, ());
                 (ctx, templates)
             },
-            |(mut ctx, templates)| run_stage(&mut ctx, &PairStage, &templates).len(),
+            |(mut ctx, templates)| run_stage(&mut ctx, &PairStage, &templates).unwrap().len(),
             BatchSize::SmallInput,
         )
     });
@@ -47,7 +47,7 @@ fn pipeline_stage_breakdown(c: &mut Criterion) {
             || {
                 let mut ctx = pipeline.context(&program, &pre);
                 let templates = run_stage(&mut ctx, &TemplateStage, ());
-                let pairs = run_stage(&mut ctx, &PairStage, &templates);
+                let pairs = run_stage(&mut ctx, &PairStage, &templates).unwrap();
                 (ctx, templates, pairs)
             },
             |(mut ctx, templates, pairs)| {
@@ -59,7 +59,7 @@ fn pipeline_stage_breakdown(c: &mut Criterion) {
     group.bench_function("full_generation", |b| {
         b.iter(|| {
             let mut ctx = pipeline.context(&program, &pre);
-            pipeline.generate(&mut ctx).size()
+            pipeline.generate(&mut ctx).unwrap().size()
         })
     });
     group.finish();
@@ -71,14 +71,25 @@ fn table2_generation(c: &mut Criterion) {
         .sample_size(10)
         .measurement_time(Duration::from_secs(8));
     for name in [
-        "sqrt", "freire1", "petter", "cohendiv", "mannadiv", "cohencu",
+        "sqrt",
+        "freire1",
+        "petter",
+        "cohendiv",
+        "mannadiv",
+        "cohencu",
+        "hard",
+        "euclidex1",
     ] {
         let benchmark = polyinv_benchmarks::by_name(name).unwrap();
         let program = benchmark.program().unwrap();
         let pre = benchmark.precondition().unwrap();
         let options = options_for(&benchmark);
         group.bench_function(name, |b| {
-            b.iter(|| polyinv_constraints::generate(&program, &pre, &options).size())
+            b.iter(|| {
+                polyinv_constraints::generate(&program, &pre, &options)
+                    .unwrap()
+                    .size()
+            })
         });
     }
     group.finish();
@@ -95,7 +106,11 @@ fn table3_generation(c: &mut Criterion) {
         let pre = benchmark.precondition().unwrap();
         let options = options_for(&benchmark);
         group.bench_function(name, |b| {
-            b.iter(|| polyinv_constraints::generate(&program, &pre, &options).size())
+            b.iter(|| {
+                polyinv_constraints::generate(&program, &pre, &options)
+                    .unwrap()
+                    .size()
+            })
         });
     }
     group.finish();
@@ -114,7 +129,11 @@ fn ablation_upsilon(c: &mut Criterion) {
             ..SynthesisOptions::default()
         };
         group.bench_function(format!("upsilon_{upsilon}"), |b| {
-            b.iter(|| polyinv_constraints::generate(&program, &pre, &options).size())
+            b.iter(|| {
+                polyinv_constraints::generate(&program, &pre, &options)
+                    .unwrap()
+                    .size()
+            })
         });
     }
     group.finish();
@@ -136,7 +155,11 @@ fn ablation_encoding(c: &mut Criterion) {
             ..SynthesisOptions::default()
         };
         group.bench_function(name, |b| {
-            b.iter(|| polyinv_constraints::generate(&program, &pre, &options).size())
+            b.iter(|| {
+                polyinv_constraints::generate(&program, &pre, &options)
+                    .unwrap()
+                    .size()
+            })
         });
     }
     group.finish();
@@ -159,7 +182,9 @@ fn baseline_comparison(c: &mut Criterion) {
     });
     group.bench_function("putinar_quadratic", |b| {
         b.iter(|| {
-            polyinv_constraints::generate(&program, &pre, &SynthesisOptions::default()).size()
+            polyinv_constraints::generate(&program, &pre, &SynthesisOptions::default())
+                .unwrap()
+                .size()
         })
     });
     group.finish();
@@ -201,7 +226,8 @@ fn certificate_checking(c: &mut Criterion) {
                 &invariant,
                 &Postcondition::new(),
                 &CheckOptions::default(),
-            );
+            )
+            .unwrap();
             assert!(report.all_certified());
         })
     });

@@ -1,7 +1,7 @@
 //! Regenerates the paper's evaluation tables.
 //!
 //! ```text
-//! reproduce [table2|table3|ablations|baseline|all] [--solve]
+//! reproduce [table2|table3|ablations|baseline|all] [--solve] [--json [PATH]]
 //! ```
 //!
 //! Without `--solve` only the reduction (Steps 1–3) is run and the table
@@ -10,32 +10,64 @@
 //! numbers. With `--solve`, a weak-synthesis attempt (Step 4) is made for
 //! every row whose generated system is small enough for the local solver
 //! (see EXPERIMENTS.md for the recorded outcomes).
+//!
+//! With `--json`, the measured rows are additionally written as a
+//! machine-readable snapshot (default `BENCH_3.json`, override with
+//! `--json PATH`): per benchmark `|S|`, unknowns and the per-stage timing
+//! breakdown. This is the file the perf trajectory tracks across PRs; CI
+//! regenerates it for Table 2 and asserts full coverage.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use polyinv::prelude::*;
 use polyinv_api::ApiError;
-use polyinv_bench::{baseline_status, engine_for_tables, format_table, options_for, run_row_on};
+use polyinv_bench::{
+    baseline_status, engine_for_tables, format_table, options_for, run_row_on, write_bench_json,
+    RowResult,
+};
 use polyinv_farkas::FarkasBaseline;
 use polyinv_lang::program::RUNNING_EXAMPLE_SOURCE;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let solve = args.iter().any(|a| a == "--solve");
-    let what = args
+    let json_value_pos = args.iter().position(|a| a == "--json").and_then(|pos| {
+        args.get(pos + 1)
+            .filter(|next| !next.starts_with("--") && !is_experiment(next))
+            .map(|_| pos + 1)
+    });
+    let json_out = args.iter().any(|a| a == "--json").then(|| {
+        json_value_pos
+            .map(|pos| PathBuf::from(&args[pos]))
+            .unwrap_or_else(|| PathBuf::from("BENCH_3.json"))
+    });
+    // Positional arguments: at most one experiment name; anything else is a
+    // usage error (exit 1), as before.
+    let positionals: Vec<&String> = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
+        .enumerate()
+        .filter(|(index, arg)| !arg.starts_with("--") && Some(*index) != json_value_pos)
+        .map(|(_, arg)| arg)
+        .collect();
+    let what = match positionals.as_slice() {
+        [] => "all".to_string(),
+        [only] => (*only).clone(),
+        _ => {
+            eprintln!("expected at most one experiment, got {positionals:?}");
+            std::process::exit(1);
+        }
+    };
 
+    let mut tables: Vec<(&str, Vec<RowResult>)> = Vec::new();
     match what.as_str() {
-        "table2" => table2(solve),
-        "table3" => table3(solve),
+        "table2" => tables.push(("table2", table2(solve))),
+        "table3" => tables.push(("table3", table3(solve))),
         "ablations" => ablations(),
         "baseline" => baseline(),
         "all" => {
-            table2(solve);
-            table3(solve);
+            tables.push(("table2", table2(solve)));
+            tables.push(("table3", table3(solve)));
             ablations();
             baseline();
         }
@@ -46,9 +78,34 @@ fn main() {
             std::process::exit(1);
         }
     }
+
+    if let Some(path) = json_out {
+        // Only table experiments produce rows; refuse to overwrite a
+        // snapshot with an empty one (e.g. `ablations --json`).
+        if tables.iter().all(|(_, rows)| rows.is_empty()) {
+            eprintln!(
+                "--json needs a row-producing experiment (table2|table3|all); \
+                 refusing to write an empty snapshot"
+            );
+            std::process::exit(1);
+        }
+        let borrowed: Vec<(&str, &[RowResult])> = tables
+            .iter()
+            .map(|(name, rows)| (*name, rows.as_slice()))
+            .collect();
+        if let Err(error) = write_bench_json(&path, &borrowed) {
+            eprintln!("{error}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote {}", path.display());
+    }
 }
 
-fn table2(solve: bool) {
+fn is_experiment(arg: &str) -> bool {
+    matches!(arg, "table2" | "table3" | "ablations" | "baseline" | "all")
+}
+
+fn table2(solve: bool) -> Vec<RowResult> {
     let engine = engine_for_tables();
     let rows: Vec<_> = polyinv_benchmarks::table2()
         .iter()
@@ -65,9 +122,10 @@ fn table2(solve: bool) {
             &rows
         )
     );
+    rows
 }
 
-fn table3(solve: bool) {
+fn table3(solve: bool) -> Vec<RowResult> {
     let engine = engine_for_tables();
     let rows: Vec<_> = polyinv_benchmarks::table3()
         .iter()
@@ -83,6 +141,7 @@ fn table3(solve: bool) {
             &rows
         )
     );
+    rows
 }
 
 /// Ablations called out in the paper: the technical parameter ϒ (Remark 3),
@@ -98,7 +157,8 @@ fn ablations() {
     );
     let report = |name: &str, options: SynthesisOptions| {
         let start = Instant::now();
-        let generated = polyinv_constraints::generate(&program, &pre, &options);
+        let generated = polyinv_constraints::generate(&program, &pre, &options)
+            .expect("ablation programs are call-free");
         println!(
             "{:<34} {:>10} {:>10} {:>10.3}s",
             name,
@@ -142,7 +202,8 @@ fn baseline() {
         let program = benchmark.program().unwrap();
         let pre = benchmark.precondition().unwrap();
         let baseline = FarkasBaseline::default();
-        let putinar = polyinv_constraints::generate(&program, &pre, &options_for(&benchmark));
+        let putinar = polyinv_constraints::generate(&program, &pre, &options_for(&benchmark))
+            .expect("benchmark programs generate");
         let outcome = baseline
             .generate(&program, &pre)
             .map(|system| system.size())

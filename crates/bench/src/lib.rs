@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use polyinv::pipeline::stage_names;
-use polyinv_api::{ApiError, Engine, ReportStatus, SynthesisRequest};
+use polyinv_api::{ApiError, Engine, Json, ReportStatus, SynthesisRequest};
 use polyinv_benchmarks::Benchmark;
 use polyinv_constraints::{SosEncoding, SynthesisOptions};
 use polyinv_qcqp::{LmOptions, LmSolver, QcqpBackend};
@@ -36,6 +36,8 @@ pub struct RowResult {
     pub paper_size: usize,
     /// Our system size `|S|`.
     pub our_size: usize,
+    /// The number of unknowns of our generated quadratic system.
+    pub unknowns: usize,
     /// Paper-reported runtime in seconds.
     pub paper_runtime: f64,
     /// Per-stage wall-clock breakdown in seconds, in execution order (the
@@ -175,6 +177,7 @@ pub fn run_row_on(engine: &Engine, benchmark: &Benchmark, solve: bool) -> RowRes
         our_vars: program.main().vars().len(),
         paper_size: benchmark.paper.system_size,
         our_size: generated.system_size,
+        unknowns: generated.num_unknowns,
         paper_runtime: benchmark.paper.runtime_secs,
         timings,
         solve: solve_row,
@@ -194,6 +197,60 @@ pub fn baseline_status(outcome: Result<usize, ApiError>) -> String {
         Ok(size) => format!("applicable (|S| = {size})"),
         Err(error) => format!("{error}"),
     }
+}
+
+/// Serializes benchmark rows into the machine-readable `BENCH_<n>.json`
+/// snapshot format: a schema marker plus one entry per row with the
+/// benchmark's configuration, `|S|`, unknown count and the per-stage
+/// generation timings (`templates`, `pairs`, `reduction`; plus `solve`
+/// when a solve was attempted).
+pub fn rows_to_json(tables: &[(&str, &[RowResult])]) -> Json {
+    let rows: Vec<Json> = tables
+        .iter()
+        .flat_map(|(table, rows)| {
+            rows.iter().map(move |row| {
+                let timings = Json::Object(
+                    row.timings
+                        .iter()
+                        .map(|(stage, secs)| (stage.clone(), Json::Number(*secs)))
+                        .collect(),
+                );
+                Json::object(vec![
+                    ("name", Json::string(row.name.clone())),
+                    ("table", Json::string(*table)),
+                    ("n", Json::Number(row.n as f64)),
+                    ("d", Json::Number(f64::from(row.d))),
+                    ("vars", Json::Number(row.our_vars as f64)),
+                    ("paper_size", Json::Number(row.paper_size as f64)),
+                    ("size", Json::Number(row.our_size as f64)),
+                    ("unknowns", Json::Number(row.unknowns as f64)),
+                    (
+                        "generation_seconds",
+                        Json::Number(row.generation_time().as_secs_f64()),
+                    ),
+                    ("timings", timings),
+                ])
+            })
+        })
+        .collect();
+    Json::object(vec![
+        ("schema", Json::string("polyinv-bench/v1")),
+        ("rows", Json::Array(rows)),
+    ])
+}
+
+/// Writes the benchmark snapshot to `path` (pretty-printed, trailing
+/// newline), returning an [`ApiError::Io`] on failure.
+pub fn write_bench_json(
+    path: &std::path::Path,
+    tables: &[(&str, &[RowResult])],
+) -> Result<(), ApiError> {
+    let mut text = rows_to_json(tables).pretty();
+    text.push('\n');
+    std::fs::write(path, text).map_err(|error| ApiError::Io {
+        path: path.display().to_string(),
+        message: error.to_string(),
+    })
 }
 
 /// Formats a collection of rows as the table printed by the `reproduce`
@@ -272,6 +329,38 @@ mod tests {
         assert!(table.contains("recursive-sum"));
         assert!(table.contains("|S|ours"));
         assert!(table.contains("reduce"));
+    }
+
+    #[test]
+    fn bench_snapshot_json_covers_rows_with_stage_timings() {
+        let benchmark = polyinv_benchmarks::by_name("recursive-sum").unwrap();
+        let row = run_row(&benchmark, false);
+        let json = rows_to_json(&[("table3", std::slice::from_ref(&row))]);
+        assert_eq!(
+            json.get("schema").unwrap().as_str(),
+            Some("polyinv-bench/v1")
+        );
+        let rows = json.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 1);
+        let entry = &rows[0];
+        assert_eq!(entry.get("name").unwrap().as_str(), Some("recursive-sum"));
+        assert_eq!(entry.get("table").unwrap().as_str(), Some("table3"));
+        assert!(entry.get("size").unwrap().as_usize().unwrap() > 100);
+        assert!(entry.get("unknowns").unwrap().as_usize().unwrap() > 100);
+        let timings = entry.get("timings").unwrap();
+        for stage in [
+            stage_names::TEMPLATES,
+            stage_names::PAIRS,
+            stage_names::REDUCTION,
+        ] {
+            assert!(
+                timings.get(stage).unwrap().as_f64().unwrap() > 0.0,
+                "missing {stage} timing in the snapshot"
+            );
+        }
+        // The document parses back (the CI coverage check relies on this).
+        let reparsed = Json::parse(&json.pretty()).unwrap();
+        assert_eq!(reparsed, json);
     }
 
     #[test]

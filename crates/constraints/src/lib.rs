@@ -22,6 +22,7 @@
 //! The output is a [`QuadraticSystem`], which the `polyinv-qcqp` crate can
 //! solve and the `polyinv` crate interprets back into invariants.
 
+pub mod error;
 pub mod options;
 pub mod pairs;
 pub mod putinar;
@@ -29,6 +30,7 @@ pub mod system;
 pub mod template;
 pub mod unknowns;
 
+pub use error::ConstraintError;
 pub use options::{
     generate, prepare, reduce_pairs, GeneratedSystem, SosEncoding, SynthesisOptions,
 };

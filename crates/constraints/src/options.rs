@@ -3,7 +3,9 @@
 
 use polyinv_arith::Rational;
 use polyinv_lang::{Cfg, Precondition, Program};
+use polyinv_poly::MonomialTable;
 
+use crate::error::ConstraintError;
 use crate::pairs::{generate_pairs, ConstraintPair, PairOptions};
 pub use crate::putinar::SosEncoding;
 use crate::putinar::{translate_pair, PutinarOptions};
@@ -120,6 +122,10 @@ pub struct GeneratedSystem {
     /// The pre-condition actually used (including the bounded-reals
     /// augmentation if requested).
     pub precondition: Precondition,
+    /// The monomial arena the pairs' interned polynomials live in: one table
+    /// serves the whole run, and the pairs' `MonoId`s are meaningful only
+    /// relative to it.
+    pub mono_table: MonomialTable,
 }
 
 impl GeneratedSystem {
@@ -150,7 +156,8 @@ pub fn prepare(
 
 /// Runs Step 3 on already-built templates and pairs, assembling the final
 /// [`GeneratedSystem`]. Shared by [`generate`] and the staged pipeline's
-/// reduction stage.
+/// reduction stage. Takes ownership of the monomial table the pairs were
+/// generated into; it travels with the system.
 pub fn reduce_pairs(
     templates: TemplateSet,
     registry: UnknownRegistry,
@@ -158,6 +165,7 @@ pub fn reduce_pairs(
     options: &SynthesisOptions,
     recursive: bool,
     precondition: Precondition,
+    mut mono_table: MonomialTable,
 ) -> GeneratedSystem {
     let mut system = QuadraticSystem::new(registry);
     let putinar_options = PutinarOptions {
@@ -166,7 +174,7 @@ pub fn reduce_pairs(
         epsilon_lower: options.epsilon_lower,
     };
     for (index, pair) in pairs.iter().enumerate() {
-        translate_pair(pair, index, &putinar_options, &mut system);
+        translate_pair(pair, index, &putinar_options, &mut system, &mut mono_table);
     }
     system.num_pairs = pairs.len();
 
@@ -176,6 +184,7 @@ pub fn reduce_pairs(
         pairs,
         recursive,
         precondition,
+        mono_table,
     }
 }
 
@@ -185,11 +194,18 @@ pub fn reduce_pairs(
 /// assertions already (callers usually obtain it from
 /// [`Precondition::from_program`]) and, if `options.bounded_reals` is set,
 /// with the bounded-reals assertions of Remark 5.
+///
+/// # Errors
+///
+/// Returns a [`ConstraintError`] when pair generation rejects the program
+/// (function calls with recursive treatment disabled). The default options
+/// enable recursive treatment automatically for programs with calls, so the
+/// error is only reachable through inconsistent manual configuration.
 pub fn generate(
     program: &Program,
     precondition: &Precondition,
     options: &SynthesisOptions,
-) -> GeneratedSystem {
+) -> Result<GeneratedSystem, ConstraintError> {
     let (pre, recursive) = prepare(program, precondition, options);
     let cfg = Cfg::build(program);
     let mut registry = UnknownRegistry::new();
@@ -200,8 +216,18 @@ pub fn generate(
         options.size,
         recursive,
     );
-    let pairs = generate_pairs(program, &cfg, &pre, &templates, PairOptions { recursive });
-    reduce_pairs(templates, registry, pairs, options, recursive, pre)
+    let mut mono_table = MonomialTable::new();
+    let pairs = generate_pairs(
+        program,
+        &cfg,
+        &pre,
+        &templates,
+        PairOptions { recursive },
+        &mut mono_table,
+    )?;
+    Ok(reduce_pairs(
+        templates, registry, pairs, options, recursive, pre, mono_table,
+    ))
 }
 
 #[cfg(test)]
@@ -214,7 +240,7 @@ mod tests {
     fn running_example_generates_a_system_of_plausible_size() {
         let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
         let pre = Precondition::from_program(&program);
-        let generated = generate(&program, &pre, &SynthesisOptions::default());
+        let generated = generate(&program, &pre, &SynthesisOptions::default()).unwrap();
         assert!(!generated.recursive);
         assert_eq!(generated.pairs.len(), 11);
         // The system must be quadratic, non-trivial and reference the
@@ -228,7 +254,7 @@ mod tests {
     fn recursive_example_is_detected_and_gets_postconditions() {
         let program = parse_program(RECURSIVE_EXAMPLE_SOURCE).unwrap();
         let pre = Precondition::from_program(&program);
-        let generated = generate(&program, &pre, &SynthesisOptions::default());
+        let generated = generate(&program, &pre, &SynthesisOptions::default()).unwrap();
         assert!(generated.recursive);
         assert!(generated.templates.postcondition("rsum").is_some());
     }
@@ -237,12 +263,13 @@ mod tests {
     fn bounded_reals_increases_system_size() {
         let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
         let pre = Precondition::from_program(&program);
-        let plain = generate(&program, &pre, &SynthesisOptions::default());
+        let plain = generate(&program, &pre, &SynthesisOptions::default()).unwrap();
         let bounded = generate(
             &program,
             &pre,
             &SynthesisOptions::default().with_bounded_reals(Rational::from_int(1000)),
-        );
+        )
+        .unwrap();
         assert!(bounded.size() > plain.size());
     }
 
@@ -250,12 +277,13 @@ mod tests {
     fn gram_encoding_is_smaller_than_cholesky() {
         let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
         let pre = Precondition::from_program(&program);
-        let cholesky = generate(&program, &pre, &SynthesisOptions::default());
+        let cholesky = generate(&program, &pre, &SynthesisOptions::default()).unwrap();
         let gram = generate(
             &program,
             &pre,
             &SynthesisOptions::default().with_encoding(SosEncoding::Gram),
-        );
+        )
+        .unwrap();
         assert!(gram.size() < cholesky.size());
         assert!(!gram.system.psd_blocks.is_empty());
         assert!(cholesky.system.psd_blocks.is_empty());
@@ -265,12 +293,13 @@ mod tests {
     fn degree_one_templates_shrink_the_system() {
         let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
         let pre = Precondition::from_program(&program);
-        let degree_two = generate(&program, &pre, &SynthesisOptions::default());
+        let degree_two = generate(&program, &pre, &SynthesisOptions::default()).unwrap();
         let degree_one = generate(
             &program,
             &pre,
             &SynthesisOptions::with_degree_and_size(1, 1),
-        );
+        )
+        .unwrap();
         assert!(degree_one.size() < degree_two.size());
     }
 }

@@ -7,14 +7,21 @@
 //! entry (initiation), one per function-call transition (call consecution,
 //! Step 2.a) and one per return transition (post-condition consecution,
 //! Step 2.b).
+//!
+//! Pair polynomials are stored in the interned representation
+//! ([`IntTemplate`] over [`MonoId`](polyinv_poly::MonoId)s of the run's
+//! [`MonomialTable`]): substitutions, products and accumulations all happen
+//! on dense ids, and the label templates and pre-condition atoms are
+//! interned once per label instead of cloned per transition.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use polyinv_lang::cfg::{Cfg, Transition, TransitionKind};
 use polyinv_lang::guard::Atom;
 use polyinv_lang::{Label, Precondition, Program};
-use polyinv_poly::{Polynomial, TemplatePoly, VarId};
+use polyinv_poly::{IntPoly, IntTemplate, MonomialTable, VarId};
 
+use crate::error::ConstraintError;
 use crate::template::TemplateSet;
 
 /// The provenance of a constraint pair.
@@ -30,13 +37,13 @@ pub enum PairKind {
     PostConsecution,
 }
 
-/// A constraint pair `(Γ, g)`.
+/// A constraint pair `(Γ, g)` over interned template polynomials.
 #[derive(Debug, Clone)]
 pub struct ConstraintPair {
     /// The antecedent `Γ`: each entry is required to be `≥ 0`.
-    pub context: Vec<TemplatePoly>,
+    pub context: Vec<IntTemplate>,
     /// The consequent `g`, required to be `> 0`.
-    pub goal: TemplatePoly,
+    pub goal: IntTemplate,
     /// Provenance.
     pub kind: PairKind,
     /// Human-readable description (source/target label, transition kind).
@@ -46,17 +53,20 @@ pub struct ConstraintPair {
 }
 
 impl ConstraintPair {
-    fn new(
-        context: Vec<TemplatePoly>,
-        goal: TemplatePoly,
+    /// Assembles a pair, computing the multiplier scope from the variables
+    /// of the context and goal.
+    pub fn new(
+        context: Vec<IntTemplate>,
+        goal: IntTemplate,
         kind: PairKind,
         description: String,
+        table: &MonomialTable,
     ) -> Self {
         let mut scope: HashSet<VarId> = HashSet::new();
         for entry in &context {
-            scope.extend(entry.variables());
+            scope.extend(entry.variables(table));
         }
-        scope.extend(goal.variables());
+        scope.extend(goal.variables(table));
         let mut scope_vars: Vec<VarId> = scope.into_iter().collect();
         scope_vars.sort();
         ConstraintPair {
@@ -77,22 +87,26 @@ pub struct PairOptions {
     pub recursive: bool,
 }
 
-/// Generates all constraint pairs of the program.
+/// Generates all constraint pairs of the program into `table`'s id space.
 ///
 /// This corresponds to Step 2 of `StrongInvSynth` plus, when
 /// `options.recursive` is set, Steps 2.a and 2.b of `RecStrongInvSynth`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the program contains function calls but `options.recursive` is
-/// not set, or if a call's callee is missing a post-condition template.
+/// Returns [`ConstraintError::CallsRequireRecursiveMode`] if the program
+/// contains function calls but `options.recursive` is not set, and
+/// [`ConstraintError::MissingPostcondition`] /
+/// [`ConstraintError::UnknownCallee`] if a call's callee cannot be resolved
+/// against the template set.
 pub fn generate_pairs(
     program: &Program,
     cfg: &Cfg,
     pre: &Precondition,
     templates: &TemplateSet,
     options: PairOptions,
-) -> Vec<ConstraintPair> {
+    table: &mut MonomialTable,
+) -> Result<Vec<ConstraintPair>, ConstraintError> {
     let mut generator = PairGenerator {
         program,
         pre,
@@ -100,7 +114,20 @@ pub fn generate_pairs(
         options,
         next_fresh_var: program.var_table().len(),
         pairs: Vec::new(),
+        invariants: HashMap::new(),
+        pre_cache: HashMap::new(),
+        table,
     };
+    // Intern every label template once; every transition into or out of the
+    // label reuses the interned conjuncts.
+    for (&label, template) in &templates.invariants {
+        let conjuncts: Vec<IntTemplate> = template
+            .conjuncts
+            .iter()
+            .map(|c| IntTemplate::from_template(c, generator.table))
+            .collect();
+        generator.invariants.insert(label, conjuncts);
+    }
     // Initiation pairs (for fmain in the non-recursive case; for every
     // function in the recursive case — a non-recursive program has a single
     // function, so generating them for all functions is uniform).
@@ -109,9 +136,9 @@ pub fn generate_pairs(
     }
     // Consecution pairs along every CFG transition.
     for transition in cfg.transitions() {
-        generator.transition(transition);
+        generator.transition(transition)?;
     }
-    generator.pairs
+    Ok(generator.pairs)
 }
 
 struct PairGenerator<'a> {
@@ -121,58 +148,85 @@ struct PairGenerator<'a> {
     options: PairOptions,
     next_fresh_var: usize,
     pairs: Vec<ConstraintPair>,
+    /// Interned invariant conjuncts per label.
+    invariants: HashMap<Label, Vec<IntTemplate>>,
+    /// Interned (relaxed) pre-condition atoms per label.
+    pre_cache: HashMap<Label, Vec<IntTemplate>>,
+    table: &'a mut MonomialTable,
 }
 
-impl<'a> PairGenerator<'a> {
+impl PairGenerator<'_> {
     fn fresh_var(&mut self) -> VarId {
         let id = VarId::new(self.next_fresh_var);
         self.next_fresh_var += 1;
         id
     }
 
+    fn push_pair(
+        &mut self,
+        context: Vec<IntTemplate>,
+        goal: IntTemplate,
+        kind: PairKind,
+        description: String,
+    ) {
+        self.pairs.push(ConstraintPair::new(
+            context,
+            goal,
+            kind,
+            description,
+            self.table,
+        ));
+    }
+
     /// The pre-condition of a label, lifted to (constant-coefficient)
-    /// template polynomials with strict atoms relaxed.
-    fn pre_templates(&self, label: Label) -> Vec<TemplatePoly> {
-        self.pre
+    /// interned template polynomials with strict atoms relaxed. Interned
+    /// once per label.
+    fn pre_templates(&mut self, label: Label) -> Vec<IntTemplate> {
+        if let Some(cached) = self.pre_cache.get(&label) {
+            return cached.clone();
+        }
+        let atoms: Vec<IntTemplate> = self
+            .pre
             .get(label)
             .iter()
-            .map(|atom| TemplatePoly::from_polynomial(&atom.relaxed().poly))
-            .collect()
+            .map(|atom| IntTemplate::from_polynomial(&atom.relaxed().poly, self.table))
+            .collect();
+        self.pre_cache.insert(label, atoms.clone());
+        atoms
     }
 
     /// The pre-condition of a label with a substitution applied.
-    fn pre_templates_substituted<F>(&self, label: Label, mut subst: F) -> Vec<TemplatePoly>
-    where
-        F: FnMut(VarId) -> Option<Polynomial>,
-    {
-        self.pre
-            .get(label)
+    fn pre_templates_substituted(
+        &mut self,
+        label: Label,
+        subst: &[(VarId, IntPoly)],
+    ) -> Vec<IntTemplate> {
+        let atoms = self.pre_templates(label);
+        atoms
             .iter()
-            .map(|atom| TemplatePoly::from_polynomial(&atom.relaxed().poly.substitute(&mut subst)))
+            .map(|atom| substitute(atom, subst, self.table))
             .collect()
     }
 
-    /// The invariant template conjuncts at a label. The returned borrow is
-    /// tied to the template set, not to `self`, so pairs can be pushed while
-    /// iterating over it.
-    fn invariant_conjuncts(&self, label: Label) -> &'a [TemplatePoly] {
-        let templates: &'a TemplateSet = self.templates;
-        &templates.invariant(label).conjuncts
+    /// The interned invariant template conjuncts at a label (cloned; the
+    /// conjunct lists are short and cloning unties them from `self`).
+    fn invariant_conjuncts(&self, label: Label) -> Vec<IntTemplate> {
+        self.invariants.get(&label).cloned().unwrap_or_default()
     }
 
     fn initiation(&mut self, entry: Label) {
         let context = self.pre_templates(entry);
         for goal in self.invariant_conjuncts(entry) {
-            self.pairs.push(ConstraintPair::new(
+            self.push_pair(
                 context.clone(),
-                goal.clone(),
+                goal,
                 PairKind::Initiation,
                 format!("initiation at {entry}"),
-            ));
+            );
         }
     }
 
-    fn transition(&mut self, transition: &Transition) {
+    fn transition(&mut self, transition: &Transition) -> Result<(), ConstraintError> {
         let from = transition.from;
         let to = transition.to;
         match &transition.kind {
@@ -188,69 +242,71 @@ impl<'a> PairGenerator<'a> {
             }
             TransitionKind::Nondet => {
                 let mut context = self.pre_templates(from);
-                context.extend(self.invariant_conjuncts(from).iter().cloned());
+                context.extend(self.invariant_conjuncts(from));
                 context.extend(self.pre_templates(to));
                 for goal in self.invariant_conjuncts(to) {
-                    self.pairs.push(ConstraintPair::new(
+                    self.push_pair(
                         context.clone(),
-                        goal.clone(),
+                        goal,
                         PairKind::Consecution,
                         format!("nondet {from} -> {to}"),
-                    ));
+                    );
                 }
             }
             TransitionKind::Havoc(var) => {
                 // The havoced variable takes an arbitrary value after the
                 // transition; model it with a fresh variable v*.
                 let fresh = self.fresh_var();
-                let var = *var;
-                let subst = |v: VarId| {
-                    if v == var {
-                        Some(Polynomial::variable(fresh))
-                    } else {
-                        None
-                    }
-                };
+                let subst = vec![(*var, IntPoly::variable(fresh, self.table))];
                 let mut context = self.pre_templates(from);
-                context.extend(self.invariant_conjuncts(from).iter().cloned());
-                context.extend(self.pre_templates_substituted(to, subst));
+                context.extend(self.invariant_conjuncts(from));
+                context.extend(self.pre_templates_substituted(to, &subst));
                 for goal in self.invariant_conjuncts(to) {
-                    self.pairs.push(ConstraintPair::new(
+                    let goal = substitute(&goal, &subst, self.table);
+                    self.push_pair(
                         context.clone(),
-                        goal.substitute(subst),
+                        goal,
                         PairKind::Consecution,
                         format!("havoc {from} -> {to}"),
-                    ));
+                    );
                 }
             }
             TransitionKind::Call { dest, callee, args } => {
-                assert!(
-                    self.options.recursive,
-                    "program contains function calls; recursive synthesis is required"
-                );
-                self.call_transition(from, to, *dest, callee, args);
+                if !self.options.recursive {
+                    return Err(ConstraintError::CallsRequireRecursiveMode {
+                        label: from,
+                        callee: callee.clone(),
+                        line: self.program.line_of_label(from),
+                    });
+                }
+                self.call_transition(from, to, *dest, callee, args)?;
             }
         }
+        Ok(())
     }
 
-    fn update_transition(&mut self, from: Label, to: Label, updates: &[(VarId, Polynomial)]) {
-        let subst = |v: VarId| {
-            updates
-                .iter()
-                .find(|(var, _)| *var == v)
-                .map(|(_, poly)| poly.clone())
-        };
+    fn update_transition(
+        &mut self,
+        from: Label,
+        to: Label,
+        updates: &[(VarId, polyinv_poly::Polynomial)],
+    ) {
+        let subst: Vec<(VarId, IntPoly)> = updates
+            .iter()
+            .map(|(var, poly)| (*var, IntPoly::from_polynomial(poly, self.table)))
+            .collect();
         let mut context = self.pre_templates(from);
-        context.extend(self.invariant_conjuncts(from).iter().cloned());
-        context.extend(self.pre_templates_substituted(to, subst));
+        context.extend(self.invariant_conjuncts(from));
+        context.extend(self.pre_templates_substituted(to, &subst));
         // Ordinary consecution into the invariant template of the target.
         for goal in self.invariant_conjuncts(to) {
-            self.pairs.push(ConstraintPair::new(
+            let goal = substitute(&goal, &subst, self.table);
+            self.push_pair(
                 context.clone(),
-                goal.substitute(subst),
+                goal,
                 PairKind::Consecution,
                 format!("update {from} -> {to}"),
-            ));
+            );
         }
         // Post-condition consecution (Step 2.b): return transitions target
         // the endpoint label of their function.
@@ -258,13 +314,20 @@ impl<'a> PairGenerator<'a> {
             let function = self.program.label_function(from);
             if to == function.exit_label() {
                 if let Some(post) = self.templates.postcondition(function.name()) {
-                    for goal in &post.conjuncts {
-                        self.pairs.push(ConstraintPair::new(
+                    let goals: Vec<IntTemplate> = post
+                        .conjuncts
+                        .iter()
+                        .map(|c| IntTemplate::from_template(c, self.table))
+                        .collect();
+                    let name = function.name().to_string();
+                    for goal in goals {
+                        let goal = substitute(&goal, &subst, self.table);
+                        self.push_pair(
                             context.clone(),
-                            goal.substitute(subst),
+                            goal,
                             PairKind::PostConsecution,
-                            format!("post-condition of {} via {from}", function.name()),
-                        ));
+                            format!("post-condition of {name} via {from}"),
+                        );
                     }
                 }
             }
@@ -273,20 +336,20 @@ impl<'a> PairGenerator<'a> {
 
     fn guard_transition(&mut self, from: Label, to: Label, disjunct: &[Atom], index: usize) {
         let mut context = self.pre_templates(from);
-        context.extend(self.invariant_conjuncts(from).iter().cloned());
+        context.extend(self.invariant_conjuncts(from));
         context.extend(self.pre_templates(to));
         context.extend(
             disjunct
                 .iter()
-                .map(|atom| TemplatePoly::from_polynomial(&atom.relaxed().poly)),
+                .map(|atom| IntTemplate::from_polynomial(&atom.relaxed().poly, self.table)),
         );
         for goal in self.invariant_conjuncts(to) {
-            self.pairs.push(ConstraintPair::new(
+            self.push_pair(
                 context.clone(),
-                goal.clone(),
+                goal,
                 PairKind::Consecution,
                 format!("guard {from} -> {to} (disjunct {index})"),
-            ));
+            );
         }
     }
 
@@ -297,16 +360,26 @@ impl<'a> PairGenerator<'a> {
         dest: VarId,
         callee: &str,
         args: &[VarId],
-    ) {
-        let callee_fn = self
-            .program
-            .function(callee)
-            .expect("resolver guarantees the callee exists");
+    ) -> Result<(), ConstraintError> {
+        let callee_fn =
+            self.program
+                .function(callee)
+                .ok_or_else(|| ConstraintError::UnknownCallee {
+                    label: from,
+                    callee: callee.to_string(),
+                })?;
         let caller_fn = self.program.label_function(from);
-        let post = self
-            .templates
-            .postcondition(callee)
-            .expect("recursive synthesis generates a post-condition template per function");
+        let post = self.templates.postcondition(callee).ok_or_else(|| {
+            ConstraintError::MissingPostcondition {
+                label: from,
+                callee: callee.to_string(),
+            }
+        })?;
+        let post_conjuncts: Vec<IntTemplate> = post
+            .conjuncts
+            .iter()
+            .map(|c| IntTemplate::from_template(c, self.table))
+            .collect();
 
         // v₀* models the value of `dest` after the call.
         let fresh = self.fresh_var();
@@ -316,73 +389,72 @@ impl<'a> PairGenerator<'a> {
         // argument variables.
         let params = callee_fn.params().to_vec();
         let shadows = callee_fn.shadow_params().to_vec();
-        let args_vec = args.to_vec();
-        let entry_subst = |v: VarId| -> Option<Polynomial> {
-            if let Some(pos) = params.iter().position(|&p| p == v) {
-                return Some(Polynomial::variable(args_vec[pos]));
+        let mut entry_subst: Vec<(VarId, IntPoly)> = Vec::new();
+        for (list, arg) in [(&params, args), (&shadows, args)] {
+            for (pos, &param) in list.iter().enumerate() {
+                entry_subst.push((param, IntPoly::variable(arg[pos], self.table)));
             }
-            if let Some(pos) = shadows.iter().position(|&p| p == v) {
-                return Some(Polynomial::variable(args_vec[pos]));
-            }
-            None
-        };
+        }
         // Atoms of the callee's entry pre-condition that, after the
         // substitution, only mention the caller's variables. (Atoms about
         // the callee's local variables — which are zero on entry — carry no
         // information about the caller's state and are dropped.)
         let caller_vars: HashSet<VarId> = caller_fn.vars().iter().copied().collect();
-        let entry_pre: Vec<TemplatePoly> = self
-            .pre
-            .get(callee_fn.entry_label())
-            .iter()
-            .map(|atom| atom.relaxed().poly.substitute(entry_subst))
-            .filter(|poly| poly.variables().iter().all(|v| caller_vars.contains(v)))
-            .map(|poly| TemplatePoly::from_polynomial(&poly))
+        let entry_pre: Vec<IntTemplate> = self
+            .pre_templates_substituted(callee_fn.entry_label(), &entry_subst)
+            .into_iter()
+            .filter(|poly| {
+                poly.variables(self.table)
+                    .iter()
+                    .all(|v| caller_vars.contains(v))
+            })
             .collect();
 
         // Substitution for the callee's post-condition template:
         // ret_f' ↦ v₀*, v̄'ᵢ ↦ argᵢ.
-        let ret_var = callee_fn.ret_var();
-        let post_subst = |v: VarId| -> Option<Polynomial> {
-            if v == ret_var {
-                return Some(Polynomial::variable(fresh));
-            }
-            if let Some(pos) = shadows.iter().position(|&p| p == v) {
-                return Some(Polynomial::variable(args_vec[pos]));
-            }
-            None
-        };
-        let post_templates: Vec<TemplatePoly> = post
-            .conjuncts
+        let mut post_subst: Vec<(VarId, IntPoly)> =
+            vec![(callee_fn.ret_var(), IntPoly::variable(fresh, self.table))];
+        for (pos, &shadow) in shadows.iter().enumerate() {
+            post_subst.push((shadow, IntPoly::variable(args[pos], self.table)));
+        }
+        let post_templates: Vec<IntTemplate> = post_conjuncts
             .iter()
-            .map(|c| c.substitute(post_subst))
+            .map(|c| substitute(c, &post_subst, self.table))
             .collect();
 
         // Substitution replacing the destination variable by v₀* in the
         // target label's pre-condition and invariant template.
-        let dest_subst = |v: VarId| {
-            if v == dest {
-                Some(Polynomial::variable(fresh))
-            } else {
-                None
-            }
-        };
+        let dest_subst = vec![(dest, IntPoly::variable(fresh, self.table))];
 
         let mut context = self.pre_templates(from);
-        context.extend(self.invariant_conjuncts(from).iter().cloned());
+        context.extend(self.invariant_conjuncts(from));
         context.extend(entry_pre);
         context.extend(post_templates);
-        context.extend(self.pre_templates_substituted(to, dest_subst));
+        context.extend(self.pre_templates_substituted(to, &dest_subst));
 
         for goal in self.invariant_conjuncts(to) {
-            self.pairs.push(ConstraintPair::new(
+            let goal = substitute(&goal, &dest_subst, self.table);
+            self.push_pair(
                 context.clone(),
-                goal.substitute(dest_subst),
+                goal,
                 PairKind::CallConsecution,
                 format!("call {callee} at {from} -> {to}"),
-            ));
+            );
         }
+        Ok(())
     }
+}
+
+/// Applies a `variable ↦ polynomial` substitution to an interned template.
+fn substitute(
+    template: &IntTemplate,
+    subst: &[(VarId, IntPoly)],
+    table: &mut MonomialTable,
+) -> IntTemplate {
+    template.substitute(
+        |v| subst.iter().find(|(var, _)| *var == v).map(|(_, p)| p),
+        table,
+    )
 }
 
 #[cfg(test)]
@@ -392,19 +464,39 @@ mod tests {
     use polyinv_lang::parse_program;
     use polyinv_lang::program::{RECURSIVE_EXAMPLE_SOURCE, RUNNING_EXAMPLE_SOURCE};
 
-    fn setup(source: &str, recursive: bool) -> (Program, Vec<ConstraintPair>) {
+    fn setup(
+        source: &str,
+        recursive: bool,
+    ) -> (
+        Program,
+        Result<Vec<ConstraintPair>, ConstraintError>,
+        MonomialTable,
+    ) {
         let program = parse_program(source).unwrap();
         let cfg = Cfg::build(&program);
         let pre = Precondition::from_program(&program);
         let mut registry = UnknownRegistry::new();
         let templates = TemplateSet::build(&program, &mut registry, 2, 1, recursive);
-        let pairs = generate_pairs(&program, &cfg, &pre, &templates, PairOptions { recursive });
-        (program, pairs)
+        let mut table = MonomialTable::new();
+        let pairs = generate_pairs(
+            &program,
+            &cfg,
+            &pre,
+            &templates,
+            PairOptions { recursive },
+            &mut table,
+        );
+        (program, pairs, table)
+    }
+
+    fn setup_ok(source: &str, recursive: bool) -> (Program, Vec<ConstraintPair>, MonomialTable) {
+        let (program, pairs, table) = setup(source, recursive);
+        (program, pairs.expect("pair generation succeeds"), table)
     }
 
     #[test]
     fn running_example_produces_one_pair_per_transition_plus_initiation() {
-        let (_, pairs) = setup(RUNNING_EXAMPLE_SOURCE, false);
+        let (_, pairs, _) = setup_ok(RUNNING_EXAMPLE_SOURCE, false);
         // 10 CFG transitions (all guards are atomic, so one disjunct each)
         // + 1 initiation pair, with n = 1 conjunct per label.
         assert_eq!(pairs.len(), 11);
@@ -424,7 +516,7 @@ mod tests {
 
     #[test]
     fn initiation_pair_context_is_the_entry_precondition() {
-        let (program, pairs) = setup(RUNNING_EXAMPLE_SOURCE, false);
+        let (program, pairs, _) = setup_ok(RUNNING_EXAMPLE_SOURCE, false);
         let initiation = pairs
             .iter()
             .find(|p| p.kind == PairKind::Initiation)
@@ -436,7 +528,7 @@ mod tests {
 
     #[test]
     fn recursive_example_has_call_and_post_pairs() {
-        let (_, pairs) = setup(RECURSIVE_EXAMPLE_SOURCE, true);
+        let (_, pairs, _) = setup_ok(RECURSIVE_EXAMPLE_SOURCE, true);
         let call_pairs = pairs
             .iter()
             .filter(|p| p.kind == PairKind::CallConsecution)
@@ -453,7 +545,7 @@ mod tests {
 
     #[test]
     fn call_pair_scope_contains_the_fresh_variable() {
-        let (program, pairs) = setup(RECURSIVE_EXAMPLE_SOURCE, true);
+        let (program, pairs, _) = setup_ok(RECURSIVE_EXAMPLE_SOURCE, true);
         let call_pair = pairs
             .iter()
             .find(|p| p.kind == PairKind::CallConsecution)
@@ -469,7 +561,7 @@ mod tests {
     fn update_pairs_substitute_the_assignment() {
         // For the transition `i := 1` (entry of the running example), the
         // goal polynomial must not contain the variable i.
-        let (program, pairs) = setup(RUNNING_EXAMPLE_SOURCE, false);
+        let (program, pairs, table) = setup_ok(RUNNING_EXAMPLE_SOURCE, false);
         let i = program.var_table().id_of("sum", "i").unwrap();
         let entry = program.main().entry_label();
         let pair = pairs
@@ -479,13 +571,28 @@ mod tests {
                     && p.description.contains(&format!("update {entry}"))
             })
             .unwrap();
-        assert!(!pair.goal.variables().contains(&i));
+        assert!(!pair.goal.variables(&table).contains(&i));
     }
 
     #[test]
-    #[should_panic(expected = "recursive synthesis is required")]
-    fn calls_without_recursive_mode_panic() {
-        setup(RECURSIVE_EXAMPLE_SOURCE, false);
+    fn calls_without_recursive_mode_are_a_typed_error_with_a_span() {
+        let (program, outcome, _) = setup(RECURSIVE_EXAMPLE_SOURCE, false);
+        let error = outcome.expect_err("call transitions need recursive mode");
+        match &error {
+            ConstraintError::CallsRequireRecursiveMode {
+                label,
+                callee,
+                line,
+            } => {
+                assert_eq!(callee, "rsum");
+                // The span points at the call statement in the source.
+                assert_eq!(*line, program.line_of_label(*label));
+                assert!(line.is_some());
+            }
+            other => panic!("expected CallsRequireRecursiveMode, got {other:?}"),
+        }
+        assert!(error.to_string().contains("recursive"));
+        assert!(error.to_string().contains("rsum"));
     }
 
     #[test]
@@ -498,7 +605,7 @@ mod tests {
                 return x
             }
         "#;
-        let (_, pairs) = setup(source, false);
+        let (_, pairs, _) = setup_ok(source, false);
         // The loop guard has 2 disjuncts; its negation (a conjunction) has 1.
         // Transitions: guard-true (2 disjuncts), guard-false (1), body
         // update, return, plus initiation = 2 + 1 + 1 + 1 + 1 = 6.

@@ -18,9 +18,17 @@
 //!   factorization `Q = L·Lᵀ` (Theorem 3.5 — the paper's QCLP encoding), or
 //! * an explicit PSD constraint on the Gram matrix `Q` (Theorem 3.4 — the
 //!   encoding our alternating-projection solver consumes natively).
+//!
+//! The translation runs entirely on the interned representation: monomial
+//! products are memoized [`MonoId`] lookups, the multiplier bases come from
+//! the table's per-`(scope, degree)` cache, and the right-hand side of (†)
+//! accumulates into a hash-indexed [`QuadAccumulator`] whose coefficient
+//! merges are in place — no `BTreeMap` rebuilds or cloned coefficient
+//! expressions on the hot path.
 
 use polyinv_arith::Rational;
-use polyinv_poly::{LinExpr, Monomial, QuadExpr, QuadraticPoly, TemplatePoly, UnknownId};
+use polyinv_poly::interned::QuadAccumulator;
+use polyinv_poly::{IntTemplate, LinExpr, MonoId, MonomialTable, QuadExpr, UnknownId};
 
 use crate::pairs::ConstraintPair;
 use crate::system::{PsdBlock, QuadraticSystem};
@@ -72,17 +80,19 @@ pub fn translate_pair(
     pair_index: usize,
     options: &PutinarOptions,
     system: &mut QuadraticSystem,
+    table: &mut MonomialTable,
 ) -> usize {
     let before = system.size();
     let upsilon = options.upsilon;
     let half_degree = upsilon / 2;
 
-    // Monomial bases over the pair's scope.
-    let multiplier_basis = Monomial::all_up_to_degree(&pair.scope_vars, upsilon);
-    let gram_basis = Monomial::all_up_to_degree(&pair.scope_vars, half_degree);
+    // Monomial bases over the pair's scope (memoized per scope/degree).
+    let multiplier_basis = table.basis_up_to_degree(&pair.scope_vars, upsilon);
+    let gram_basis = table.basis_up_to_degree(&pair.scope_vars, half_degree);
 
-    // Right-hand side of (†): ε + h₀ + Σ hᵢ·gᵢ.
-    let mut rhs = QuadraticPoly::zero();
+    // Right-hand side of (†): ε + h₀ + Σ hᵢ·gᵢ, hash-indexed so every
+    // coefficient merge is amortized O(1).
+    let mut rhs = QuadAccumulator::new();
 
     // Positivity witness ε.
     let eps = system
@@ -90,7 +100,7 @@ pub fn translate_pair(
         .fresh(UnknownKind::Witness { pair: pair_index });
     let mut eps_term = QuadExpr::zero();
     eps_term.add_linear(eps, Rational::one());
-    rhs.add_term(eps_term, Monomial::one());
+    rhs.add_term(MonoId::ONE, &eps_term);
     // ε ≥ ε_lower.
     let mut eps_bound = QuadExpr::constant(-options.epsilon_lower);
     eps_bound.add_linear(eps, Rational::one());
@@ -98,15 +108,21 @@ pub fn translate_pair(
 
     // Multipliers: h₀ (multiplied by the constant 1) plus one per context
     // entry.
-    let one = TemplatePoly::from_polynomial(&polyinv_poly::Polynomial::one());
-    let context_polys: Vec<&TemplatePoly> =
+    let mut one = IntTemplate::zero();
+    one.add_term(MonoId::ONE, LinExpr::constant(Rational::one()));
+    let context_polys: Vec<&IntTemplate> =
         std::iter::once(&one).chain(pair.context.iter()).collect();
     for (multiplier_index, g_i) in context_polys.iter().enumerate() {
         match options.encoding {
             SosEncoding::Cholesky => {
-                let expansion =
-                    build_cholesky_expansion(pair_index, multiplier_index, &gram_basis, system);
-                if is_concrete(g_i) {
+                let expansion = build_cholesky_expansion(
+                    pair_index,
+                    multiplier_index,
+                    &gram_basis,
+                    system,
+                    table,
+                );
+                if g_i.is_concrete() {
                     // `gᵢ` has no template unknowns (the constant 1, guard
                     // atoms, pre-condition polynomials), so `hᵢ·gᵢ` stays
                     // quadratic even with hᵢ's coefficients expressed
@@ -114,11 +130,12 @@ pub fn translate_pair(
                     // t-variable aliases removes one unknown and one
                     // equality per multiplier monomial — a significant
                     // reduction of `|S|` (DESIGN.md §3).
-                    for (mono_h, contribution) in &expansion {
-                        for (mono_g, coeff) in g_i.iter() {
-                            rhs.add_term(
-                                contribution.scale(coeff.constant_part()),
-                                mono_h.mul(mono_g),
+                    for &(mono_h, ref contribution) in expansion.terms() {
+                        for &(mono_g, ref coeff) in g_i.terms() {
+                            rhs.add_scaled_term(
+                                table.mul(mono_h, mono_g),
+                                contribution,
+                                coeff.constant_part(),
                             );
                         }
                     }
@@ -133,46 +150,44 @@ pub fn translate_pair(
                         &expansion,
                         system,
                     );
-                    rhs = rhs.add(&h_i.mul_template(g_i));
+                    rhs.add_mul_template(&h_i, g_i, table);
                 }
             }
             SosEncoding::Gram => {
-                let h_i = build_gram_multiplier(pair_index, multiplier_index, &gram_basis, system);
-                rhs = rhs.add(&h_i.mul_template(g_i));
+                let h_i =
+                    build_gram_multiplier(pair_index, multiplier_index, &gram_basis, system, table);
+                rhs.add_mul_template(&h_i, g_i, table);
             }
         }
     }
 
-    // Left-hand side: the goal polynomial.
-    let lhs = pair.goal.to_quadratic();
-
-    // Coefficient matching: every monomial of lhs − rhs must vanish.
-    let difference = lhs.sub(&rhs);
-    for (_monomial, coeff) in difference.iter() {
-        if !coeff.is_zero() {
-            system.equalities.push(coeff.clone());
-        }
+    // Coefficient matching: every monomial of lhs − rhs must vanish, where
+    // the left-hand side is the goal polynomial. The accumulated rhs is
+    // negated in place (it is the large side) and the goal added on top.
+    rhs.negate_then_add_template(&pair.goal);
+    let mut terms = rhs.into_terms();
+    // Emit in graded-lexicographic monomial order: deterministic, and
+    // identical to the order of the previous `BTreeMap`-keyed core.
+    table.sort_terms(&mut terms);
+    for (_, coeff) in terms {
+        system.equalities.push(coeff);
     }
 
     system.size() - before
 }
 
-/// `true` when a template polynomial has no template unknowns (all
-/// coefficients are rational constants).
-fn is_concrete(poly: &TemplatePoly) -> bool {
-    poly.iter().all(|(_, coeff)| coeff.is_constant())
-}
-
 /// Allocates the Cholesky factor of one multiplier `hᵢ` — fresh l-variables
 /// for the lower triangle with `l_{r,r} ≥ 0` inequalities — and returns the
-/// symbolic expansion of `yᵀ·L·Lᵀ·y`: for each monomial µ of `hᵢ`, the
-/// quadratic expression `Σ_{(j,k) : y_j·y_k = µ} Σ_{c} l_{j,c}·l_{k,c}`.
+/// symbolic expansion of `yᵀ·L·Lᵀ·y` as a hash-indexed accumulator: for each
+/// monomial µ, the quadratic expression
+/// `Σ_{(j,k) : y_j·y_k = µ} Σ_c l_{j,c}·l_{k,c}`.
 fn build_cholesky_expansion(
     pair: usize,
     multiplier: usize,
-    gram_basis: &[Monomial],
+    gram_basis: &[MonoId],
     system: &mut QuadraticSystem,
-) -> Vec<(Monomial, QuadExpr)> {
+    table: &mut MonomialTable,
+) -> QuadAccumulator {
     // l-variables: lower triangle (row ≥ col) of the Cholesky factor.
     let dim = gram_basis.len();
     let mut l = vec![vec![None::<UnknownId>; dim]; dim];
@@ -194,25 +209,22 @@ fn build_cholesky_expansion(
         }
     }
 
-    // Expand yᵀ·L·Lᵀ·y symbolically.
-    let mut expansion: Vec<(Monomial, QuadExpr)> = Vec::new();
+    // Expand yᵀ·L·Lᵀ·y symbolically; the accumulator's hash index turns the
+    // previous linear scans into O(1) lookups, and the symmetry of L·Lᵀ lets
+    // the loop cover only j ≤ k (the (k, j) entry contributes the same
+    // products, so off-diagonal contributions count twice).
+    let mut expansion = QuadAccumulator::new();
+    let two = Rational::from_int(2);
     for j in 0..dim {
-        for k in 0..dim {
-            let product = gram_basis[j].mul(&gram_basis[k]);
-            let limit = j.min(k);
-            let mut contribution = QuadExpr::zero();
-            for c in 0..=limit {
+        for k in j..dim {
+            let product = table.mul(gram_basis[j], gram_basis[k]);
+            let factor = if j == k { Rational::one() } else { two };
+            let contribution = expansion.slot(product);
+            for c in 0..=j {
                 let (Some(a), Some(b)) = (l[j][c], l[k][c]) else {
                     continue;
                 };
-                contribution.add_quadratic(a, b, Rational::one());
-            }
-            if contribution.is_zero() {
-                continue;
-            }
-            match expansion.iter_mut().find(|(m, _)| *m == product) {
-                Some((_, existing)) => *existing = existing.clone() + contribution,
-                None => expansion.push((product, contribution)),
+                contribution.add_quadratic(a, b, factor);
             }
         }
     }
@@ -232,34 +244,36 @@ fn build_cholesky_expansion(
 fn alias_through_multiplier_unknowns(
     pair: usize,
     multiplier: usize,
-    multiplier_basis: &[Monomial],
-    expansion: &[(Monomial, QuadExpr)],
+    multiplier_basis: &[MonoId],
+    expansion: &QuadAccumulator,
     system: &mut QuadraticSystem,
-) -> TemplatePoly {
-    let mut h = TemplatePoly::zero();
-    let mut t_vars: Vec<(Monomial, UnknownId)> = Vec::with_capacity(multiplier_basis.len());
-    for (monomial_index, monomial) in multiplier_basis.iter().enumerate() {
+) -> IntTemplate {
+    let mut h = IntTemplate::zero();
+    let mut t_vars: Vec<(MonoId, UnknownId)> = Vec::with_capacity(multiplier_basis.len());
+    for (monomial_index, &monomial) in multiplier_basis.iter().enumerate() {
         let t = system.registry.fresh(UnknownKind::Multiplier {
             pair,
             multiplier,
             monomial: monomial_index,
         });
-        t_vars.push((monomial.clone(), t));
-        h.add_term(LinExpr::unknown(t), monomial.clone());
+        t_vars.push((monomial, t));
+        h.add_term(monomial, LinExpr::unknown(t));
     }
-    for (monomial, t) in &t_vars {
+    for &(monomial, t) in &t_vars {
         let mut eq = QuadExpr::zero();
-        eq.add_linear(*t, Rational::one());
-        if let Some((_, contribution)) = expansion.iter().find(|(m, _)| m == monomial) {
-            eq = eq - contribution.clone();
+        eq.add_linear(t, Rational::one());
+        if let Some(contribution) = expansion.get(monomial) {
+            eq.sub_expr(contribution);
         }
         system.equalities.push(eq);
     }
-    for (monomial, contribution) in expansion {
-        if !t_vars.iter().any(|(m, _)| m == monomial) {
+    for &(monomial, ref contribution) in expansion.terms() {
+        if !t_vars.iter().any(|&(m, _)| m == monomial) {
             // Should not happen: the Gram basis squares stay within the
             // multiplier basis. Kept as a defensive equality.
-            system.equalities.push(-contribution.clone());
+            let mut eq = QuadExpr::zero();
+            eq.sub_expr(contribution);
+            system.equalities.push(eq);
         }
     }
     h
@@ -271,9 +285,10 @@ fn alias_through_multiplier_unknowns(
 fn build_gram_multiplier(
     pair: usize,
     multiplier: usize,
-    gram_basis: &[Monomial],
+    gram_basis: &[MonoId],
     system: &mut QuadraticSystem,
-) -> TemplatePoly {
+    table: &mut MonomialTable,
+) -> IntTemplate {
     let dim = gram_basis.len();
     let mut entries = Vec::with_capacity(dim * (dim + 1) / 2);
     let mut matrix = vec![vec![None::<UnknownId>; dim]; dim];
@@ -298,17 +313,17 @@ fn build_gram_multiplier(
     });
 
     // h = yᵀ·Q·y: coefficient of y_j·y_k is Q[j,k] (doubled off-diagonal).
-    let mut h = TemplatePoly::zero();
+    let mut h = IntTemplate::zero();
     for j in 0..dim {
         for k in j..dim {
-            let monomial = gram_basis[j].mul(&gram_basis[k]);
+            let monomial = table.mul(gram_basis[j], gram_basis[k]);
             let factor = if j == k {
                 Rational::one()
             } else {
                 Rational::from_int(2)
             };
             let q = matrix[j][k].expect("entry allocated above");
-            h.add_term(LinExpr::unknown(q).scale(factor), monomial);
+            h.add_term(monomial, LinExpr::unknown(q).scale(factor));
         }
     }
     h
@@ -322,11 +337,15 @@ mod tests {
     use polyinv_poly::{Polynomial, VarId};
 
     /// A tiny hand-built pair: context {x ≥ 0}, goal x + 1 > 0.
-    fn simple_pair() -> ConstraintPair {
+    fn simple_pair(table: &mut MonomialTable) -> ConstraintPair {
         let x = VarId::new(0);
-        let context = vec![TemplatePoly::from_polynomial(&Polynomial::variable(x))];
-        let goal = TemplatePoly::from_polynomial(
+        let context = vec![IntTemplate::from_polynomial(
+            &Polynomial::variable(x),
+            table,
+        )];
+        let goal = IntTemplate::from_polynomial(
             &(Polynomial::variable(x) + Polynomial::constant(Rational::one())),
+            table,
         );
         ConstraintPair {
             context,
@@ -339,10 +358,11 @@ mod tests {
 
     #[test]
     fn cholesky_translation_produces_expected_constraint_counts() {
-        let pair = simple_pair();
+        let mut table = MonomialTable::new();
+        let pair = simple_pair(&mut table);
         let mut system = QuadraticSystem::new(UnknownRegistry::new());
         let options = PutinarOptions::default();
-        translate_pair(&pair, 0, &options, &mut system);
+        translate_pair(&pair, 0, &options, &mut system, &mut table);
         // One variable x, ϒ = 2: Gram basis {1, x} (2 monomials). Both
         // context polynomials (1 and x) are concrete, so the t-variable
         // aliases are eliminated and hᵢ's coefficients are the (L·Lᵀ)
@@ -362,14 +382,17 @@ mod tests {
         // A context polynomial mentioning a template unknown cannot be
         // multiplied by the quadratic (L·Lᵀ) expansion directly (the product
         // would be cubic); it must keep the t-variable aliases.
+        let mut table = MonomialTable::new();
         let mut registry = UnknownRegistry::new();
         let s = registry.fresh(UnknownKind::Witness { pair: 999 });
         let mut system = QuadraticSystem::new(registry);
         let x = VarId::new(0);
-        let mut context_poly = TemplatePoly::zero();
-        context_poly.add_term(LinExpr::unknown(s), Monomial::from_powers(&[(x, 1)]));
-        let goal = TemplatePoly::from_polynomial(
+        let mut context_poly = IntTemplate::zero();
+        let x_mono = table.var(x);
+        context_poly.add_term(x_mono, LinExpr::unknown(s));
+        let goal = IntTemplate::from_polynomial(
             &(Polynomial::variable(x) + Polynomial::constant(Rational::one())),
+            &mut table,
         );
         let pair = ConstraintPair {
             context: vec![context_poly],
@@ -378,7 +401,13 @@ mod tests {
             description: "template context".to_string(),
             scope_vars: vec![x],
         };
-        translate_pair(&pair, 0, &PutinarOptions::default(), &mut system);
+        translate_pair(
+            &pair,
+            0,
+            &PutinarOptions::default(),
+            &mut system,
+            &mut table,
+        );
         // Unknowns: s + ε + 3 l (h₀, eliminated) + 3 t + 3 l (h₁) = 11.
         assert_eq!(system.num_unknowns(), 11);
         // Equalities: 3 t-aliases for h₁ + matching over {1, x, x², x³} = 7.
@@ -387,13 +416,14 @@ mod tests {
 
     #[test]
     fn gram_translation_produces_psd_blocks_instead_of_t_variables() {
-        let pair = simple_pair();
+        let mut table = MonomialTable::new();
+        let pair = simple_pair(&mut table);
         let mut system = QuadraticSystem::new(UnknownRegistry::new());
         let options = PutinarOptions {
             encoding: SosEncoding::Gram,
             ..PutinarOptions::default()
         };
-        translate_pair(&pair, 0, &options, &mut system);
+        translate_pair(&pair, 0, &options, &mut system, &mut table);
         // Unknowns: ε + 2 multipliers × 3 Gram entries = 7.
         assert_eq!(system.num_unknowns(), 7);
         assert_eq!(system.psd_blocks.len(), 2);
@@ -411,13 +441,14 @@ mod tests {
     /// difference.
     #[test]
     fn coefficient_matching_is_consistent_with_direct_expansion() {
-        let pair = simple_pair();
+        let mut table = MonomialTable::new();
+        let pair = simple_pair(&mut table);
         let mut system = QuadraticSystem::new(UnknownRegistry::new());
         let options = PutinarOptions {
             encoding: SosEncoding::Gram,
             ..PutinarOptions::default()
         };
-        translate_pair(&pair, 0, &options, &mut system);
+        translate_pair(&pair, 0, &options, &mut system, &mut table);
         // Assignment: ε = 1, Q₀ = identity-ish, Q₁ = 0. Then
         // rhs = 1 + (1 + x²) and lhs = x + 1, so the difference has
         // coefficients {1: -1, x: 1, x²: -1} and the equalities must have
@@ -441,13 +472,14 @@ mod tests {
 
     #[test]
     fn upsilon_zero_still_produces_constant_multipliers() {
-        let pair = simple_pair();
+        let mut table = MonomialTable::new();
+        let pair = simple_pair(&mut table);
         let mut system = QuadraticSystem::new(UnknownRegistry::new());
         let options = PutinarOptions {
             upsilon: 0,
             ..PutinarOptions::default()
         };
-        let added = translate_pair(&pair, 0, &options, &mut system);
+        let added = translate_pair(&pair, 0, &options, &mut system, &mut table);
         assert!(added > 0);
         // Multiplier basis = {1}: each hᵢ is a single non-negative constant
         // (l², with the t-alias eliminated for the concrete contexts).

@@ -167,7 +167,7 @@ mod tests {
     fn conversion_preserves_dimensions_and_constraint_counts() {
         let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
         let pre = Precondition::from_program(&program);
-        let generated = generate(&program, &pre, &SynthesisOptions::default());
+        let generated = generate(&program, &pre, &SynthesisOptions::default()).unwrap();
         let problem = system_to_problem(&generated.system);
         assert_eq!(problem.num_vars, generated.system.num_unknowns());
         assert_eq!(problem.equalities.len(), generated.system.equalities.len());
@@ -181,7 +181,7 @@ mod tests {
     fn violations_agree_between_exact_and_numeric_forms() {
         let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
         let pre = Precondition::from_program(&program);
-        let generated = generate(&program, &pre, &SynthesisOptions::default());
+        let generated = generate(&program, &pre, &SynthesisOptions::default()).unwrap();
         let problem = system_to_problem(&generated.system);
         let assignment = vec![0.25; problem.num_vars];
         let exact = generated.system.max_violation(&assignment);
@@ -195,7 +195,7 @@ mod tests {
     fn fixing_unknowns_removes_them_from_the_problem() {
         let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
         let pre = Precondition::from_program(&program);
-        let generated = generate(&program, &pre, &SynthesisOptions::default());
+        let generated = generate(&program, &pre, &SynthesisOptions::default()).unwrap();
         let template_ids = generated.system.registry.template_unknowns();
         let fixed: HashMap<_, _> = template_ids
             .iter()

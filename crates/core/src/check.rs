@@ -16,10 +16,10 @@ use polyinv_arith::Rational;
 use polyinv_constraints::pairs::{generate_pairs, PairKind, PairOptions};
 use polyinv_constraints::putinar::{translate_pair, PutinarOptions, SosEncoding};
 use polyinv_constraints::template::{LabelTemplate, TemplateSet};
-use polyinv_constraints::{QuadraticSystem, UnknownRegistry};
+use polyinv_constraints::{ConstraintError, QuadraticSystem, UnknownRegistry};
 use polyinv_lang::interp::{Interpreter, SeededOracle};
 use polyinv_lang::{Cfg, InvariantMap, Label, Postcondition, Precondition, Program};
-use polyinv_poly::TemplatePoly;
+use polyinv_poly::{MonomialTable, TemplatePoly};
 use polyinv_qcqp::par::parallel_indexed;
 use polyinv_qcqp::{LmOptions, LmSolver, QcqpBackend, SolveStatus};
 
@@ -149,13 +149,19 @@ fn concrete_templates(
 /// inductiveness (soundness, Lemma 3.6). A failed pair is inconclusive: the
 /// certificate may simply require a larger `ϒ` (semi-completeness,
 /// Lemma 3.7).
+///
+/// # Errors
+///
+/// Returns a [`ConstraintError`] when pair generation rejects the program
+/// (unreachable through this entry point for resolver-accepted programs:
+/// recursive treatment is enabled automatically whenever calls are present).
 pub fn check_inductive(
     program: &Program,
     pre: &Precondition,
     invariant: &InvariantMap,
     post: &Postcondition,
     options: &CheckOptions,
-) -> CheckReport {
+) -> Result<CheckReport, ConstraintError> {
     let mut pre = pre.clone();
     if let Some(bound) = options.bounded_reals {
         pre.add_bounded_reals(program, bound);
@@ -163,7 +169,15 @@ pub fn check_inductive(
     let recursive = !program.is_simple() || post.iter().next().is_some();
     let cfg = Cfg::build(program);
     let templates = concrete_templates(program, invariant, post);
-    let pairs = generate_pairs(program, &cfg, &pre, &templates, PairOptions { recursive });
+    let mut mono_table = MonomialTable::new();
+    let pairs = generate_pairs(
+        program,
+        &cfg,
+        &pre,
+        &templates,
+        PairOptions { recursive },
+        &mut mono_table,
+    )?;
 
     // The certificate search goes through the same back-end abstraction as
     // the synthesis pipeline's solve stage. Restarts stay sequential here
@@ -181,6 +195,16 @@ pub fn check_inductive(
         ladder.push(options.upsilon);
     }
 
+    // Pre-warm the arena with every pair's multiplier bases so the per-pair
+    // clones below are essentially complete and the workers rarely intern
+    // (their additions are limited to fresh product monomials).
+    for pair in &pairs {
+        for &upsilon in &ladder {
+            mono_table.basis_up_to_degree(&pair.scope_vars, upsilon);
+            mono_table.basis_up_to_degree(&pair.scope_vars, upsilon / 2);
+        }
+    }
+
     // Each pair gets its own small, independent certificate problem: with
     // the template coefficients fixed, only the multiplier and Cholesky
     // unknowns remain. The Cholesky encoding turns the search into quadratic
@@ -191,6 +215,10 @@ pub fn check_inductive(
         let pair = &pairs[index];
         let mut certified = false;
         let mut problem_size = 0;
+        // Each worker gets its own copy of the (small, concrete-template)
+        // arena: translation interns new product monomials, and the pair
+        // problems are independent.
+        let mut table = mono_table.clone();
         for &upsilon in &ladder {
             let putinar_options = PutinarOptions {
                 upsilon,
@@ -198,7 +226,7 @@ pub fn check_inductive(
                 epsilon_lower: options.epsilon_lower,
             };
             let mut system = QuadraticSystem::new(UnknownRegistry::new());
-            translate_pair(pair, index, &putinar_options, &mut system);
+            translate_pair(pair, index, &putinar_options, &mut system, &mut table);
             let problem = system_to_problem(&system);
             problem_size = problem_size.max(problem.equalities.len() + problem.inequalities.len());
             // A slightly positive warm start keeps the Cholesky diagonals and
@@ -216,7 +244,7 @@ pub fn check_inductive(
             problem_size,
         }
     });
-    CheckReport { certificates }
+    Ok(CheckReport { certificates })
 }
 
 /// A reachable state violating a candidate invariant.
@@ -332,7 +360,8 @@ mod tests {
             &invariant,
             &Postcondition::new(),
             &CheckOptions::default(),
-        );
+        )
+        .unwrap();
         assert!(report.all_certified(), "failures: {:?}", report.failures());
     }
 
@@ -351,7 +380,8 @@ mod tests {
             &invariant,
             &Postcondition::new(),
             &CheckOptions::default(),
-        );
+        )
+        .unwrap();
         assert!(!report.all_certified());
         let violation = falsify(&program, &pre, &invariant, 200, 1);
         assert!(violation.is_some());
@@ -379,7 +409,8 @@ mod tests {
             &invariant,
             &Postcondition::new(),
             &CheckOptions::default(),
-        );
+        )
+        .unwrap();
         assert!(report.all_certified());
         assert_eq!(report.num_certified(), report.certificates.len());
     }

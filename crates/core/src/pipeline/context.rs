@@ -4,6 +4,7 @@ use std::time::Duration;
 
 use polyinv_constraints::SynthesisOptions;
 use polyinv_lang::{Cfg, Precondition, Program};
+use polyinv_poly::MonomialTable;
 
 /// Canonical stage names, in execution order (see DESIGN.md §2).
 pub mod stage_names {
@@ -98,6 +99,10 @@ pub struct SynthesisContext<'p> {
     pub recursive: bool,
     /// The control-flow graph of the program.
     pub cfg: Cfg,
+    /// The monomial arena of this run: one table serves every stage, so
+    /// interned ids stay meaningful from pair generation through reduction.
+    /// The reduction stage moves it into the `GeneratedSystem` it produces.
+    pub mono_table: MonomialTable,
     timings: StageTimings,
     diagnostics: Vec<String>,
 }
@@ -115,9 +120,17 @@ impl<'p> SynthesisContext<'p> {
             options,
             recursive,
             cfg,
+            mono_table: MonomialTable::new(),
             timings: StageTimings::new(),
             diagnostics: Vec::new(),
         }
+    }
+
+    /// Moves the monomial table out of the context (used by the reduction
+    /// stage to hand the arena to the `GeneratedSystem`; a fresh table takes
+    /// its place, so a re-used context starts a new arena).
+    pub fn take_mono_table(&mut self) -> MonomialTable {
+        std::mem::replace(&mut self.mono_table, MonomialTable::new())
     }
 
     /// Appends a human-readable diagnostic line.

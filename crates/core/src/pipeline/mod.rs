@@ -24,7 +24,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use polyinv_arith::Rational;
-use polyinv_constraints::{GeneratedSystem, SynthesisOptions};
+use polyinv_constraints::{ConstraintError, GeneratedSystem, SynthesisOptions};
 use polyinv_lang::{Precondition, Program};
 use polyinv_poly::UnknownId;
 use polyinv_qcqp::{default_backend, QcqpBackend};
@@ -83,10 +83,18 @@ impl Pipeline {
     ///
     /// The output is identical to `polyinv_constraints::generate` (the
     /// single-call form used by code that does not need staging).
-    pub fn generate(&self, ctx: &mut SynthesisContext<'_>) -> GeneratedSystem {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConstraintError`] when pair generation rejects the
+    /// program (function calls with recursive treatment disabled).
+    pub fn generate(
+        &self,
+        ctx: &mut SynthesisContext<'_>,
+    ) -> Result<GeneratedSystem, ConstraintError> {
         let templates = run_stage(ctx, &TemplateStage, ());
-        let pairs = run_stage(ctx, &PairStage, &templates);
-        run_stage(ctx, &ReductionStage, (templates, pairs))
+        let pairs = run_stage(ctx, &PairStage, &templates)?;
+        Ok(run_stage(ctx, &ReductionStage, (templates, pairs)))
     }
 
     /// Runs Step 4 on a generated system with some unknowns pinned to exact
@@ -107,16 +115,21 @@ impl Pipeline {
     }
 
     /// Convenience: full Steps 1–4 run with nothing pinned.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConstraintError`] when the generation stages reject the
+    /// program.
     pub fn run(
         &self,
         program: &Program,
         pre: &Precondition,
-    ) -> (GeneratedSystem, Solution, StageTimings) {
+    ) -> Result<(GeneratedSystem, Solution, StageTimings), ConstraintError> {
         let mut ctx = self.context(program, pre);
-        let generated = self.generate(&mut ctx);
+        let generated = self.generate(&mut ctx)?;
         let solution = self.solve(&mut ctx, &generated, HashMap::new(), None);
         let timings = ctx.timings().clone();
-        (generated, solution, timings)
+        Ok((generated, solution, timings))
     }
 }
 
@@ -134,8 +147,8 @@ mod tests {
 
         let pipeline = Pipeline::new(options.clone());
         let mut ctx = pipeline.context(&program, &pre);
-        let staged = pipeline.generate(&mut ctx);
-        let reference = polyinv_constraints::generate(&program, &pre, &options);
+        let staged = pipeline.generate(&mut ctx).unwrap();
+        let reference = polyinv_constraints::generate(&program, &pre, &options).unwrap();
 
         assert_eq!(staged.size(), reference.size());
         assert_eq!(
@@ -152,7 +165,7 @@ mod tests {
         let pre = Precondition::from_program(&program);
         let pipeline = Pipeline::default();
         let mut ctx = pipeline.context(&program, &pre);
-        let _ = pipeline.generate(&mut ctx);
+        let _ = pipeline.generate(&mut ctx).unwrap();
 
         let stages: Vec<&str> = ctx.timings().iter().map(|(name, _)| name).collect();
         assert_eq!(
@@ -186,7 +199,7 @@ mod tests {
         for name in ["lm", "penalty"] {
             let backend = polyinv_qcqp::backend_by_name(name).unwrap();
             let pipeline = Pipeline::new(options.clone()).with_backend(backend);
-            let (_, solution, timings) = pipeline.run(&program, &pre);
+            let (_, solution, timings) = pipeline.run(&program, &pre).unwrap();
             assert_eq!(solution.backend, name);
             assert!(timings.solve() > std::time::Duration::ZERO);
         }

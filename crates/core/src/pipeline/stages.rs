@@ -13,7 +13,7 @@ use std::time::Instant;
 use polyinv_arith::Rational;
 use polyinv_constraints::pairs::{generate_pairs, PairOptions};
 use polyinv_constraints::template::TemplateSet;
-use polyinv_constraints::{GeneratedSystem, UnknownRegistry};
+use polyinv_constraints::{ConstraintError, GeneratedSystem, UnknownRegistry};
 use polyinv_poly::UnknownId;
 use polyinv_qcqp::{QcqpBackend, SolveStatus};
 
@@ -86,13 +86,17 @@ impl Stage<()> for TemplateStage {
 pub struct PairStage;
 
 impl<'a> Stage<&'a TemplateArtifact> for PairStage {
-    type Output = ConstraintPairs;
+    type Output = Result<ConstraintPairs, ConstraintError>;
 
     fn name(&self) -> &'static str {
         stage_names::PAIRS
     }
 
-    fn run(&self, ctx: &mut SynthesisContext<'_>, input: &'a TemplateArtifact) -> ConstraintPairs {
+    fn run(
+        &self,
+        ctx: &mut SynthesisContext<'_>,
+        input: &'a TemplateArtifact,
+    ) -> Result<ConstraintPairs, ConstraintError> {
         let pairs = generate_pairs(
             ctx.program,
             &ctx.cfg,
@@ -101,9 +105,10 @@ impl<'a> Stage<&'a TemplateArtifact> for PairStage {
             PairOptions {
                 recursive: ctx.recursive,
             },
-        );
+            &mut ctx.mono_table,
+        )?;
         ctx.note(format!("pairs: {} constraint pair(s)", pairs.len()));
-        ConstraintPairs { pairs }
+        Ok(ConstraintPairs { pairs })
     }
 }
 
@@ -125,7 +130,9 @@ impl Stage<(TemplateArtifact, ConstraintPairs)> for ReductionStage {
         (templates, pairs): (TemplateArtifact, ConstraintPairs),
     ) -> GeneratedSystem {
         // Step 3 itself is shared with `polyinv_constraints::generate`, so
-        // the staged and single-call entry points cannot diverge.
+        // the staged and single-call entry points cannot diverge. The run's
+        // monomial arena moves into the generated system here.
+        let mono_table = ctx.take_mono_table();
         let generated = polyinv_constraints::reduce_pairs(
             templates.templates,
             templates.registry,
@@ -133,6 +140,7 @@ impl Stage<(TemplateArtifact, ConstraintPairs)> for ReductionStage {
             &ctx.options,
             ctx.recursive,
             ctx.precondition.clone(),
+            mono_table,
         );
         ctx.note(format!(
             "reduction: |S| = {}, {} unknown(s)",

@@ -15,7 +15,7 @@
 //! deduplication that builds the representative set scans the outcomes in
 //! attempt order, keeping the result identical to the sequential algorithm.
 
-use polyinv_constraints::SynthesisOptions;
+use polyinv_constraints::{ConstraintError, SynthesisOptions};
 use polyinv_lang::{InvariantMap, Postcondition, Precondition, Program};
 use polyinv_qcqp::par::parallel_indexed;
 use polyinv_qcqp::{LmOptions, LmSolver, QuadraticForm, SolveStatus};
@@ -89,10 +89,19 @@ impl StrongSynthesis {
 
     /// Enumerates a representative set of inductive invariants of the
     /// requested shape.
-    pub fn enumerate(&self, program: &Program, pre: &Precondition) -> Vec<StrongSolution> {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConstraintError`] when the generation stages reject the
+    /// program.
+    pub fn enumerate(
+        &self,
+        program: &Program,
+        pre: &Precondition,
+    ) -> Result<Vec<StrongSolution>, ConstraintError> {
         let pipeline = Pipeline::new(self.options.synthesis.clone());
         let mut ctx = pipeline.context(program, pre);
-        let generated = pipeline.generate(&mut ctx);
+        let generated = pipeline.generate(&mut ctx)?;
         let template_ids = generated.system.registry.template_unknowns();
         let base_problem = system_to_problem(&generated.system);
 
@@ -168,7 +177,7 @@ impl StrongSynthesis {
                 });
             }
         }
-        solutions
+        Ok(solutions)
     }
 }
 
@@ -210,7 +219,9 @@ mod tests {
             attempts: 4,
             distinctness_threshold: 0.25,
         };
-        let solutions = StrongSynthesis::new(options).enumerate(&program, &pre);
+        let solutions = StrongSynthesis::new(options)
+            .enumerate(&program, &pre)
+            .unwrap();
         assert!(
             !solutions.is_empty(),
             "at least one inductive invariant should be found"

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use polyinv_arith::Rational;
-use polyinv_constraints::{GeneratedSystem, SynthesisOptions};
+use polyinv_constraints::{ConstraintError, GeneratedSystem, SynthesisOptions};
 use polyinv_lang::{InvariantMap, Label, Postcondition, Precondition, Program};
 use polyinv_poly::{Polynomial, UnknownId};
 use polyinv_qcqp::{default_backend, QcqpBackend};
@@ -143,25 +143,44 @@ impl WeakSynthesis {
 
     /// Runs Steps 1–3 only, returning the generated system (used by the
     /// benchmark harness to report `|V|` and `|S|` without solving).
-    pub fn generate_only(&self, program: &Program, pre: &Precondition) -> GeneratedSystem {
-        self.generate_staged(program, pre).0
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConstraintError`] when the generation stages reject the
+    /// program.
+    pub fn generate_only(
+        &self,
+        program: &Program,
+        pre: &Precondition,
+    ) -> Result<GeneratedSystem, ConstraintError> {
+        Ok(self.generate_staged(program, pre)?.0)
     }
 
     /// Runs Steps 1–3 only, returning the generated system together with
     /// the per-stage timings.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConstraintError`] when the generation stages reject the
+    /// program.
     pub fn generate_staged(
         &self,
         program: &Program,
         pre: &Precondition,
-    ) -> (GeneratedSystem, StageTimings) {
+    ) -> Result<(GeneratedSystem, StageTimings), ConstraintError> {
         let pipeline = self.pipeline();
         let mut ctx = pipeline.context(program, pre);
-        let generated = pipeline.generate(&mut ctx);
+        let generated = pipeline.generate(&mut ctx)?;
         let timings = ctx.timings().clone();
-        (generated, timings)
+        Ok((generated, timings))
     }
 
     /// Synthesizes an inductive invariant containing the target assertions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConstraintError`] when the generation stages reject the
+    /// program.
     ///
     /// # Panics
     ///
@@ -172,7 +191,7 @@ impl WeakSynthesis {
         program: &Program,
         pre: &Precondition,
         targets: &[TargetAssertion],
-    ) -> SynthesisOutcome {
+    ) -> Result<SynthesisOutcome, ConstraintError> {
         // Multiplier-degree ladder: cheaper constant multipliers often
         // suffice and produce a much smaller quadratic system; the requested
         // ϒ is attempted only when the cheap attempt fails. Soundness is
@@ -185,7 +204,7 @@ impl WeakSynthesis {
         let mut last: Option<SynthesisOutcome> = None;
         for (step, &upsilon) in ladder.iter().enumerate() {
             let options = self.options.clone().with_upsilon(upsilon);
-            let mut outcome = self.synthesize_with(program, pre, targets, &options);
+            let mut outcome = self.synthesize_with(program, pre, targets, &options)?;
             total.absorb(&outcome.timings);
             outcome.timings = total.clone();
             outcome.generation_time = total.generation();
@@ -196,7 +215,7 @@ impl WeakSynthesis {
                 break;
             }
         }
-        last.expect("the ladder is never empty")
+        Ok(last.expect("the ladder is never empty"))
     }
 
     fn synthesize_with(
@@ -205,16 +224,16 @@ impl WeakSynthesis {
         pre: &Precondition,
         targets: &[TargetAssertion],
         options: &SynthesisOptions,
-    ) -> SynthesisOutcome {
+    ) -> Result<SynthesisOutcome, ConstraintError> {
         let pipeline = Pipeline::new(options.clone()).with_backend(Arc::clone(&self.backend));
         let mut ctx = pipeline.context(program, pre);
-        let generated = pipeline.generate(&mut ctx);
+        let generated = pipeline.generate(&mut ctx)?;
 
         // Pin the template coefficients at the target labels.
         let fixed = fix_targets(&generated, targets);
         let solution = pipeline.solve(&mut ctx, &generated, fixed, None);
 
-        SynthesisOutcome {
+        Ok(SynthesisOutcome {
             status: if solution.feasible {
                 SynthesisStatus::Synthesized
             } else {
@@ -229,7 +248,7 @@ impl WeakSynthesis {
             solve_time: ctx.timings().solve(),
             timings: ctx.timings().clone(),
             backend: solution.backend,
-        }
+        })
     }
 }
 
@@ -285,7 +304,7 @@ mod tests {
         let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
         let pre = Precondition::from_program(&program);
         let synth = WeakSynthesis::new();
-        let generated = synth.generate_only(&program, &pre);
+        let generated = synth.generate_only(&program, &pre).unwrap();
         // |V^sum| = 5, matching the running example.
         assert_eq!(program.main().vars().len(), 5);
         assert!(generated.size() > 500);
@@ -295,7 +314,7 @@ mod tests {
     fn fixing_targets_pins_whole_template_rows() {
         let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
         let pre = Precondition::from_program(&program);
-        let generated = generate(&program, &pre, &SynthesisOptions::default());
+        let generated = generate(&program, &pre, &SynthesisOptions::default()).unwrap();
         let exit = program.main().exit_label();
         let (poly, _) =
             parse_assertion(&program, "sum", "0.5*n_in*n_in + 0.5*n_in + 1 - ret > 0").unwrap();
@@ -313,7 +332,7 @@ mod tests {
     fn cubic_target_with_quadratic_template_is_rejected() {
         let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
         let pre = Precondition::from_program(&program);
-        let generated = generate(&program, &pre, &SynthesisOptions::default());
+        let generated = generate(&program, &pre, &SynthesisOptions::default()).unwrap();
         let exit = program.main().exit_label();
         let (poly, _) = parse_assertion(&program, "sum", "n*n*n + 1 > 0").unwrap();
         fix_targets(&generated, &[TargetAssertion::new(exit, poly)]);
@@ -344,7 +363,9 @@ mod tests {
             .with_upsilon(2)
             .with_encoding(SosEncoding::Cholesky);
         let synth = WeakSynthesis::with_options(options);
-        let outcome = synth.synthesize(&program, &pre, &[TargetAssertion::new(exit, target)]);
+        let outcome = synth
+            .synthesize(&program, &pre, &[TargetAssertion::new(exit, target)])
+            .unwrap();
         assert_eq!(
             outcome.status,
             SynthesisStatus::Synthesized,

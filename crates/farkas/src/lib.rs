@@ -37,6 +37,13 @@ pub enum Inapplicability {
     /// The program is recursive; CAV 2003 does not handle recursion
     /// (Table 1 of the paper).
     Recursive,
+    /// The shared constraint generator rejected the program (defensive:
+    /// unreachable after `check_applicable` passes, which already rules out
+    /// the recursive programs the generator can reject).
+    Constraint {
+        /// The generator's message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for Inapplicability {
@@ -49,6 +56,7 @@ impl std::fmt::Display for Inapplicability {
                 write!(f, "non-linear guard `{expression}`")
             }
             Inapplicability::Recursive => write!(f, "recursive program"),
+            Inapplicability::Constraint { message } => write!(f, "{message}"),
         }
     }
 }
@@ -143,7 +151,9 @@ impl FarkasBaseline {
             epsilon_lower: self.epsilon_lower,
             force_recursive: false,
         };
-        Ok(generate(program, pre, &options))
+        generate(program, pre, &options).map_err(|error| Inapplicability::Constraint {
+            message: error.to_string(),
+        })
     }
 }
 
@@ -171,7 +181,7 @@ mod tests {
         assert!(generated.size() > 0);
         // The Farkas system is much smaller than the Putinar system of the
         // same program at degree 2.
-        let full = generate(&program, &pre, &SynthesisOptions::default());
+        let full = generate(&program, &pre, &SynthesisOptions::default()).unwrap();
         assert!(generated.size() < full.size());
     }
 

@@ -144,6 +144,9 @@ pub struct LStmt {
     pub label: Label,
     /// The statement payload.
     pub kind: StmtKind,
+    /// 1-based source line of the statement (`0` for synthesized statements
+    /// such as the implicit trailing `return 0`).
+    pub line: usize,
 }
 
 /// Resolved statement kinds.
@@ -315,6 +318,37 @@ impl Program {
     /// The function a label belongs to.
     pub fn label_function(&self, label: Label) -> &Function {
         &self.functions[self.label_function[label.index()]]
+    }
+
+    /// The 1-based source line of the statement at a label, when the label
+    /// belongs to a source statement (endpoint labels and synthesized
+    /// statements have no source line).
+    pub fn line_of_label(&self, label: Label) -> Option<usize> {
+        fn search(body: &[LStmt], label: Label) -> Option<usize> {
+            for stmt in body {
+                if stmt.label == label {
+                    return (stmt.line > 0).then_some(stmt.line);
+                }
+                let nested = match &stmt.kind {
+                    StmtKind::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    }
+                    | StmtKind::NondetIf {
+                        then_branch,
+                        else_branch,
+                    } => search(then_branch, label).or_else(|| search(else_branch, label)),
+                    StmtKind::While { body, .. } => search(body, label),
+                    _ => None,
+                };
+                if nested.is_some() {
+                    return nested;
+                }
+            }
+            None
+        }
+        self.functions.iter().find_map(|f| search(f.body(), label))
     }
 
     /// Returns `true` if the program contains no function-call statements
@@ -519,6 +553,7 @@ impl Resolver {
                 kind: StmtKind::Return {
                     expr: Polynomial::zero(),
                 },
+                line: 0,
             });
         }
         let exit_label = self.fresh_label(LabelKind::End, function_index);
@@ -644,6 +679,7 @@ impl<'a> FunctionContext<'a> {
                 let label = self.fresh_label(LabelKind::Assign);
                 Ok(LStmt {
                     label,
+                    line: stmt.line,
                     kind: StmtKind::Skip,
                 })
             }
@@ -653,6 +689,7 @@ impl<'a> FunctionContext<'a> {
                 let expr = self.lower_expr(expr);
                 Ok(LStmt {
                     label,
+                    line: stmt.line,
                     kind: StmtKind::Assign { var, expr },
                 })
             }
@@ -661,6 +698,7 @@ impl<'a> FunctionContext<'a> {
                 let var = self.var(var);
                 Ok(LStmt {
                     label,
+                    line: stmt.line,
                     kind: StmtKind::Havoc { var },
                 })
             }
@@ -669,6 +707,7 @@ impl<'a> FunctionContext<'a> {
                 let expr = self.lower_expr(expr);
                 Ok(LStmt {
                     label,
+                    line: stmt.line,
                     kind: StmtKind::Return { expr },
                 })
             }
@@ -696,6 +735,7 @@ impl<'a> FunctionContext<'a> {
                 let args: Vec<VarId> = args.iter().map(|a| self.var(a)).collect();
                 Ok(LStmt {
                     label,
+                    line: stmt.line,
                     kind: StmtKind::Call {
                         dest,
                         callee: callee.clone(),
@@ -714,6 +754,7 @@ impl<'a> FunctionContext<'a> {
                 let else_branch = self.resolve_stmt_list(else_branch)?;
                 Ok(LStmt {
                     label,
+                    line: stmt.line,
                     kind: StmtKind::If {
                         cond,
                         then_branch,
@@ -730,6 +771,7 @@ impl<'a> FunctionContext<'a> {
                 let else_branch = self.resolve_stmt_list(else_branch)?;
                 Ok(LStmt {
                     label,
+                    line: stmt.line,
                     kind: StmtKind::NondetIf {
                         then_branch,
                         else_branch,
@@ -742,6 +784,7 @@ impl<'a> FunctionContext<'a> {
                 let body = self.resolve_stmt_list(body)?;
                 Ok(LStmt {
                     label,
+                    line: stmt.line,
                     kind: StmtKind::While { cond, body },
                 })
             }

@@ -1,0 +1,632 @@
+//! Interned sparse polynomial representations.
+//!
+//! These are the hot-path counterparts of [`Polynomial`], [`TemplatePoly`]
+//! and [`QuadraticPoly`]: term lists keyed by [`MonoId`] instead of owned
+//! [`Monomial`](crate::Monomial) keys, sorted by raw id. All products go
+//! through the memoizing [`MonomialTable`], all accumulation is in place
+//! (binary-search insert + coefficient merge) — no `BTreeMap` rebuilds, no
+//! monomial clones, no whole-coefficient clones per insertion.
+//!
+//! Raw-id order is *not* the graded-lexicographic term order of the public
+//! API; conversions back to the `Monomial`-keyed types restore the canonical
+//! order, so display strings and downstream consumers are unaffected.
+
+use polyinv_arith::Rational;
+
+use crate::monomial::VarId;
+use crate::polynomial::Polynomial;
+use crate::symbolic::{LinExpr, QuadExpr, QuadraticPoly, TemplatePoly};
+use crate::table::{FxHashMap, MonoId, MonomialTable};
+
+/// Merges into the sorted term list at `id`: `hit` updates an existing
+/// coefficient in place, `miss` produces the fresh one, and entries that
+/// end up zero are dropped. Every sorted-`Vec` representation in this
+/// module funnels through here so the merge semantics cannot diverge.
+fn merge_slot<C, Z, H, M>(terms: &mut Vec<(MonoId, C)>, id: MonoId, is_zero: Z, hit: H, miss: M)
+where
+    Z: Fn(&C) -> bool,
+    H: FnOnce(&mut C),
+    M: FnOnce() -> C,
+{
+    match terms.binary_search_by_key(&id, |&(m, _)| m) {
+        Ok(pos) => {
+            hit(&mut terms[pos].1);
+            if is_zero(&terms[pos].1) {
+                terms.remove(pos);
+            }
+        }
+        Err(pos) => {
+            let value = miss();
+            if !is_zero(&value) {
+                terms.insert(pos, (id, value));
+            }
+        }
+    }
+}
+
+/// Merges an owned `coefficient` into the term list at `id` (the owned-move
+/// sibling of [`merge_slot`]; the value moves into exactly one branch).
+fn merge_term<C, Z, M>(terms: &mut Vec<(MonoId, C)>, id: MonoId, coefficient: C, is_zero: Z, add: M)
+where
+    Z: Fn(&C) -> bool,
+    M: FnOnce(&mut C, C),
+{
+    if is_zero(&coefficient) {
+        return;
+    }
+    match terms.binary_search_by_key(&id, |&(m, _)| m) {
+        Ok(pos) => {
+            add(&mut terms[pos].1, coefficient);
+            if is_zero(&terms[pos].1) {
+                terms.remove(pos);
+            }
+        }
+        Err(pos) => terms.insert(pos, (id, coefficient)),
+    }
+}
+
+/// A concrete polynomial with interned monomials: `Σ cᵢ·mᵢ` over
+/// [`Rational`] coefficients, keyed by [`MonoId`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IntPoly {
+    terms: Vec<(MonoId, Rational)>,
+}
+
+impl IntPoly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        IntPoly::default()
+    }
+
+    /// The polynomial of a single variable.
+    pub fn variable(var: VarId, table: &mut MonomialTable) -> Self {
+        IntPoly {
+            terms: vec![(table.var(var), Rational::one())],
+        }
+    }
+
+    /// Interns a [`Polynomial`].
+    pub fn from_polynomial(poly: &Polynomial, table: &mut MonomialTable) -> Self {
+        let mut terms: Vec<(MonoId, Rational)> = poly
+            .iter()
+            .map(|(m, c)| (table.intern(m.clone()), *c))
+            .collect();
+        terms.sort_by_key(|&(m, _)| m);
+        IntPoly { terms }
+    }
+
+    /// Converts back to the `Monomial`-keyed representation.
+    pub fn to_polynomial(&self, table: &MonomialTable) -> Polynomial {
+        Polynomial::from_terms(
+            self.terms
+                .iter()
+                .map(|&(m, c)| (c, table.monomial(m).clone())),
+        )
+    }
+
+    /// `true` for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The `(monomial, coefficient)` terms in raw-id order.
+    pub fn terms(&self) -> &[(MonoId, Rational)] {
+        &self.terms
+    }
+
+    /// Adds `coefficient · monomial` in place.
+    pub fn add_term(&mut self, id: MonoId, coefficient: Rational) {
+        merge_term(
+            &mut self.terms,
+            id,
+            coefficient,
+            Rational::is_zero,
+            |entry, c| *entry += c,
+        );
+    }
+
+    /// The product of two interned polynomials.
+    pub fn mul(&self, other: &IntPoly, table: &mut MonomialTable) -> IntPoly {
+        let mut result = IntPoly::zero();
+        for &(ma, ca) in &self.terms {
+            for &(mb, cb) in &other.terms {
+                result.add_term(table.mul(ma, mb), ca * cb);
+            }
+        }
+        result
+    }
+
+    /// The polynomial raised to a non-negative power.
+    pub fn pow(&self, exponent: u32, table: &mut MonomialTable) -> IntPoly {
+        let mut result = IntPoly {
+            terms: vec![(MonoId::ONE, Rational::one())],
+        };
+        for _ in 0..exponent {
+            result = result.mul(self, table);
+        }
+        result
+    }
+}
+
+/// Expands one interned monomial under a substitution `v ↦ pᵥ` into a
+/// concrete interned polynomial. Variables for which `subst` returns `None`
+/// are left untouched.
+pub fn substitute_monomial<'a, F>(id: MonoId, mut subst: F, table: &mut MonomialTable) -> IntPoly
+where
+    F: FnMut(VarId) -> Option<&'a IntPoly>,
+{
+    let powers: Vec<(VarId, u32)> = table.monomial(id).iter().collect();
+    let mut result = IntPoly {
+        terms: vec![(MonoId::ONE, Rational::one())],
+    };
+    for (var, exp) in powers {
+        match subst(var) {
+            Some(replacement) => {
+                let factor = replacement.pow(exp, table);
+                result = result.mul(&factor, table);
+            }
+            None => {
+                let var_id = table.var(var);
+                let mut factor = var_id;
+                for _ in 1..exp {
+                    factor = table.mul(factor, var_id);
+                }
+                let mono = IntPoly {
+                    terms: vec![(factor, Rational::one())],
+                };
+                result = result.mul(&mono, table);
+            }
+        }
+    }
+    result
+}
+
+/// A template polynomial with interned monomials: coefficients are affine
+/// [`LinExpr`]s over the unknowns, keys are [`MonoId`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IntTemplate {
+    terms: Vec<(MonoId, LinExpr)>,
+}
+
+impl IntTemplate {
+    /// The zero template.
+    pub fn zero() -> Self {
+        IntTemplate::default()
+    }
+
+    /// Lifts a concrete polynomial (constant coefficients).
+    pub fn from_polynomial(poly: &Polynomial, table: &mut MonomialTable) -> Self {
+        let mut terms: Vec<(MonoId, LinExpr)> = poly
+            .iter()
+            .map(|(m, c)| (table.intern(m.clone()), LinExpr::constant(*c)))
+            .collect();
+        terms.sort_by_key(|&(m, _)| m);
+        IntTemplate { terms }
+    }
+
+    /// Lifts a concrete interned polynomial (constant coefficients).
+    pub fn from_int_poly(poly: &IntPoly) -> Self {
+        IntTemplate {
+            terms: poly
+                .terms()
+                .iter()
+                .map(|&(m, c)| (m, LinExpr::constant(c)))
+                .collect(),
+        }
+    }
+
+    /// Interns a [`TemplatePoly`].
+    pub fn from_template(template: &TemplatePoly, table: &mut MonomialTable) -> Self {
+        let mut terms: Vec<(MonoId, LinExpr)> = template
+            .iter()
+            .map(|(m, c)| (table.intern(m.clone()), c.clone()))
+            .collect();
+        terms.sort_by_key(|&(m, _)| m);
+        IntTemplate { terms }
+    }
+
+    /// Converts back to the `Monomial`-keyed representation (canonical
+    /// graded-lexicographic order).
+    pub fn to_template(&self, table: &MonomialTable) -> TemplatePoly {
+        let mut result = TemplatePoly::zero();
+        for &(m, ref coeff) in &self.terms {
+            result.add_term(coeff.clone(), table.monomial(m).clone());
+        }
+        result
+    }
+
+    /// `true` when the template has no terms.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The number of terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The `(monomial, coefficient)` terms in raw-id order.
+    pub fn terms(&self) -> &[(MonoId, LinExpr)] {
+        &self.terms
+    }
+
+    /// `true` when every coefficient is a rational constant (no unknowns).
+    pub fn is_concrete(&self) -> bool {
+        self.terms.iter().all(|(_, coeff)| coeff.is_constant())
+    }
+
+    /// The program variables occurring in the template, sorted and
+    /// deduplicated.
+    pub fn variables(&self, table: &MonomialTable) -> Vec<VarId> {
+        let mut vars: Vec<VarId> = self
+            .terms
+            .iter()
+            .flat_map(|&(m, _)| table.monomial(m).variables().collect::<Vec<_>>())
+            .collect();
+        vars.sort();
+        vars.dedup();
+        vars
+    }
+
+    /// Adds `coefficient · monomial` in place (merging into an existing
+    /// term without cloning it).
+    pub fn add_term(&mut self, id: MonoId, coefficient: LinExpr) {
+        merge_term(
+            &mut self.terms,
+            id,
+            coefficient,
+            LinExpr::is_zero,
+            |entry, c| entry.add_expr(&c),
+        );
+    }
+
+    /// Adds `factor · coefficient · monomial` in place.
+    pub fn add_scaled_term(&mut self, id: MonoId, coefficient: &LinExpr, factor: Rational) {
+        if factor.is_zero() || coefficient.is_zero() {
+            return;
+        }
+        merge_slot(
+            &mut self.terms,
+            id,
+            LinExpr::is_zero,
+            |entry| entry.add_scaled(coefficient, factor),
+            || coefficient.scale(factor),
+        );
+    }
+
+    /// Substitutes program variables by interned polynomials (identity where
+    /// `None`), keeping the symbolic coefficients — `η(ℓ′) ∘ α` of Step 2.
+    pub fn substitute<'a, F>(&self, mut subst: F, table: &mut MonomialTable) -> IntTemplate
+    where
+        F: FnMut(VarId) -> Option<&'a IntPoly>,
+    {
+        let mut result = IntTemplate::zero();
+        for &(monomial, ref coeff) in &self.terms {
+            let expansion = substitute_monomial(monomial, &mut subst, table);
+            for &(mono, scalar) in expansion.terms() {
+                result.add_scaled_term(mono, coeff, scalar);
+            }
+        }
+        result
+    }
+
+    /// Multiplies two templates, producing quadratic coefficients — the
+    /// `hᵢ·gᵢ` products of the Putinar identity.
+    pub fn mul_template(&self, other: &IntTemplate, table: &mut MonomialTable) -> IntQuad {
+        let mut result = IntQuad::zero();
+        for &(ma, ref ca) in &self.terms {
+            for &(mb, ref cb) in &other.terms {
+                result.add_term(table.mul(ma, mb), ca.mul(cb));
+            }
+        }
+        result
+    }
+
+    /// Converts the template into an [`IntQuad`] with affine coefficients.
+    pub fn to_quadratic(&self) -> IntQuad {
+        IntQuad {
+            terms: self
+                .terms
+                .iter()
+                .map(|&(m, ref c)| (m, c.clone().into()))
+                .collect(),
+        }
+    }
+}
+
+/// A polynomial with interned monomials whose coefficients are quadratic
+/// expressions over the unknowns — the accumulation type of Step 3.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IntQuad {
+    terms: Vec<(MonoId, QuadExpr)>,
+}
+
+impl IntQuad {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        IntQuad::default()
+    }
+
+    /// `true` when there are no terms.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The number of terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The `(monomial, coefficient)` terms in raw-id order.
+    pub fn terms(&self) -> &[(MonoId, QuadExpr)] {
+        &self.terms
+    }
+
+    /// Consumes the polynomial, returning its terms.
+    pub fn into_terms(self) -> Vec<(MonoId, QuadExpr)> {
+        self.terms
+    }
+
+    /// Adds `coefficient · monomial` in place.
+    pub fn add_term(&mut self, id: MonoId, coefficient: QuadExpr) {
+        merge_term(
+            &mut self.terms,
+            id,
+            coefficient,
+            QuadExpr::is_zero,
+            |entry, c| entry.add_expr(&c),
+        );
+    }
+
+    /// Adds `factor · coefficient · monomial` in place, without
+    /// materializing the scaled coefficient when the term already exists.
+    pub fn add_scaled_term(&mut self, id: MonoId, coefficient: &QuadExpr, factor: Rational) {
+        if factor.is_zero() || coefficient.is_zero() {
+            return;
+        }
+        merge_slot(
+            &mut self.terms,
+            id,
+            QuadExpr::is_zero,
+            |entry| entry.add_scaled(coefficient, factor),
+            || coefficient.scale(factor),
+        );
+    }
+
+    /// Adds another polynomial in place.
+    pub fn add_assign(&mut self, other: IntQuad) {
+        for (id, coeff) in other.terms {
+            self.add_term(id, coeff);
+        }
+    }
+
+    /// Subtracts another polynomial in place.
+    pub fn sub_assign(&mut self, other: &IntQuad) {
+        for &(id, ref coeff) in &other.terms {
+            self.add_scaled_term(id, coeff, Rational::from_int(-1));
+        }
+    }
+
+    /// Converts back to the `Monomial`-keyed representation.
+    pub fn to_quadratic_poly(&self, table: &MonomialTable) -> QuadraticPoly {
+        let mut result = QuadraticPoly::zero();
+        for &(m, ref coeff) in &self.terms {
+            result.add_term(coeff.clone(), table.monomial(m).clone());
+        }
+        result
+    }
+}
+
+/// A hash-indexed accumulator for [`IntQuad`]-shaped sums.
+///
+/// [`IntQuad`] keeps its terms sorted, which costs an `O(n)` shift per fresh
+/// monomial; the accumulator instead appends and finds slots through an
+/// `FxHashMap`, making every merge amortized `O(1)`. The Putinar translation
+/// accumulates each pair's entire right-hand side through one of these and
+/// only sorts once at the end (into the canonical graded-lexicographic
+/// emission order).
+#[derive(Debug, Clone, Default)]
+pub struct QuadAccumulator {
+    terms: Vec<(MonoId, QuadExpr)>,
+    index: FxHashMap<MonoId, usize>,
+}
+
+impl QuadAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        QuadAccumulator::default()
+    }
+
+    /// The accumulated `(monomial, coefficient)` terms in discovery order
+    /// (zero coefficients possible until [`QuadAccumulator::into_terms`]).
+    pub fn terms(&self) -> &[(MonoId, QuadExpr)] {
+        &self.terms
+    }
+
+    /// The accumulated coefficient of a monomial, if the slot exists.
+    pub fn get(&self, id: MonoId) -> Option<&QuadExpr> {
+        self.index.get(&id).map(|&pos| &self.terms[pos].1)
+    }
+
+    /// The coefficient slot of a monomial, created on first use.
+    pub fn slot(&mut self, id: MonoId) -> &mut QuadExpr {
+        let pos = match self.index.get(&id) {
+            Some(&pos) => pos,
+            None => {
+                self.terms.push((id, QuadExpr::zero()));
+                let pos = self.terms.len() - 1;
+                self.index.insert(id, pos);
+                pos
+            }
+        };
+        &mut self.terms[pos].1
+    }
+
+    /// Adds `factor · coefficient · monomial`.
+    pub fn add_scaled_term(&mut self, id: MonoId, coefficient: &QuadExpr, factor: Rational) {
+        if factor.is_zero() || coefficient.is_zero() {
+            return;
+        }
+        self.slot(id).add_scaled(coefficient, factor);
+    }
+
+    /// Adds `coefficient · monomial`.
+    pub fn add_term(&mut self, id: MonoId, coefficient: &QuadExpr) {
+        if coefficient.is_zero() {
+            return;
+        }
+        self.slot(id).add_expr(coefficient);
+    }
+
+    /// Accumulates the product of two templates (`hᵢ·gᵢ`).
+    pub fn add_mul_template(
+        &mut self,
+        a: &IntTemplate,
+        b: &IntTemplate,
+        table: &mut MonomialTable,
+    ) {
+        for &(ma, ref ca) in a.terms() {
+            for &(mb, ref cb) in b.terms() {
+                let q = ca.mul(cb);
+                if !q.is_zero() {
+                    self.slot(table.mul(ma, mb)).add_expr(&q);
+                }
+            }
+        }
+    }
+
+    /// Negates every accumulated coefficient in place, then adds the
+    /// template's affine coefficients — turning an accumulated right-hand
+    /// side `Σ hᵢ·gᵢ + ε` into the coefficient difference `goal − rhs`
+    /// without copying the (much larger) accumulated side.
+    pub fn negate_then_add_template(&mut self, template: &IntTemplate) {
+        for (_, coeff) in &mut self.terms {
+            coeff.negate_in_place();
+        }
+        for &(m, ref lin) in template.terms() {
+            self.slot(m).add_lin(lin);
+        }
+    }
+
+    /// Consumes the accumulator, returning the non-zero terms (unsorted —
+    /// use [`MonomialTable::sort_terms`] for the canonical order).
+    pub fn into_terms(self) -> Vec<(MonoId, QuadExpr)> {
+        self.terms
+            .into_iter()
+            .filter(|(_, c)| !c.is_zero())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monomial::Monomial;
+    use crate::symbolic::UnknownId;
+
+    fn v(i: usize) -> VarId {
+        VarId::new(i)
+    }
+    fn int(x: i64) -> Rational {
+        Rational::from_int(x)
+    }
+
+    #[test]
+    fn int_poly_round_trips_and_multiplies() {
+        let mut table = MonomialTable::new();
+        let p = Polynomial::variable(v(0)) + Polynomial::constant(int(2));
+        let q = Polynomial::variable(v(1)) - Polynomial::constant(int(1));
+        let ip = IntPoly::from_polynomial(&p, &mut table);
+        let iq = IntPoly::from_polynomial(&q, &mut table);
+        assert_eq!(ip.to_polynomial(&table), p);
+        let product = ip.mul(&iq, &mut table);
+        assert_eq!(product.to_polynomial(&table), &p * &q);
+    }
+
+    #[test]
+    fn int_poly_pow_matches_reference() {
+        let mut table = MonomialTable::new();
+        let p = Polynomial::variable(v(0)) + Polynomial::constant(int(1));
+        let ip = IntPoly::from_polynomial(&p, &mut table);
+        assert_eq!(ip.pow(3, &mut table).to_polynomial(&table), p.pow(3));
+        assert_eq!(
+            ip.pow(0, &mut table).to_polynomial(&table),
+            Polynomial::one()
+        );
+    }
+
+    #[test]
+    fn template_substitution_matches_reference() {
+        let mut table = MonomialTable::new();
+        let mut template = TemplatePoly::zero();
+        template.add_term(
+            LinExpr::unknown(UnknownId::new(0)),
+            Monomial::from_powers(&[(v(0), 2)]),
+        );
+        template.add_term(
+            LinExpr::unknown(UnknownId::new(1)),
+            Monomial::variable(v(1)),
+        );
+        let replacement = Polynomial::variable(v(1)) + Polynomial::constant(int(1));
+        let expected = template.substitute(|var| {
+            if var == v(0) {
+                Some(replacement.clone())
+            } else {
+                None
+            }
+        });
+
+        let it = IntTemplate::from_template(&template, &mut table);
+        let ir = IntPoly::from_polynomial(&replacement, &mut table);
+        let substituted =
+            it.substitute(|var| if var == v(0) { Some(&ir) } else { None }, &mut table);
+        assert_eq!(substituted.to_template(&table), expected);
+    }
+
+    #[test]
+    fn template_product_matches_reference() {
+        let mut table = MonomialTable::new();
+        let mut a = TemplatePoly::zero();
+        a.add_term(LinExpr::unknown(UnknownId::new(0)), Monomial::one());
+        a.add_term(
+            LinExpr::unknown(UnknownId::new(1)),
+            Monomial::variable(v(0)),
+        );
+        let mut b = TemplatePoly::zero();
+        b.add_term(LinExpr::unknown(UnknownId::new(2)), Monomial::one());
+        b.add_term(
+            LinExpr::unknown(UnknownId::new(3)),
+            Monomial::variable(v(0)),
+        );
+        let expected = a.mul_template(&b);
+
+        let ia = IntTemplate::from_template(&a, &mut table);
+        let ib = IntTemplate::from_template(&b, &mut table);
+        let product = ia.mul_template(&ib, &mut table);
+        assert_eq!(product.to_quadratic_poly(&table), expected);
+    }
+
+    #[test]
+    fn quad_accumulation_cancels_in_place() {
+        let mut table = MonomialTable::new();
+        let x = table.var(v(0));
+        let mut acc = IntQuad::zero();
+        let mut coeff = QuadExpr::zero();
+        coeff.add_linear(UnknownId::new(0), int(3));
+        acc.add_term(x, coeff.clone());
+        acc.add_scaled_term(x, &coeff, int(-1));
+        assert!(acc.is_zero());
+    }
+
+    #[test]
+    fn concrete_detection_and_variables() {
+        let mut table = MonomialTable::new();
+        let p = Polynomial::variable(v(2)) + Polynomial::variable(v(0));
+        let it = IntTemplate::from_polynomial(&p, &mut table);
+        assert!(it.is_concrete());
+        assert_eq!(it.variables(&table), vec![v(0), v(2)]);
+        let mut with_unknown = it.clone();
+        with_unknown.add_term(table.var(v(0)), LinExpr::unknown(UnknownId::new(7)));
+        assert!(!with_unknown.is_concrete());
+    }
+}

@@ -14,6 +14,11 @@
 //!   the Putinar identity `g = ε + h₀ + Σ hᵢ·gᵢ`) produces a polynomial with
 //!   [`QuadExpr`] coefficients, whose coefficient-matching yields exactly the
 //!   quadratic constraints the paper hands to a QCLP solver.
+//! * [`MonomialTable`] and the interned representations ([`IntPoly`],
+//!   [`IntTemplate`], [`IntQuad`]) — the hash-consed hot-path core used by
+//!   constraint generation: monomials become dense [`MonoId`]s, products are
+//!   memoized, and accumulation merges coefficients in place instead of
+//!   rebuilding `BTreeMap`s.
 //!
 //! # Example
 //!
@@ -32,10 +37,14 @@
 //! );
 //! ```
 
+pub mod interned;
 pub mod monomial;
 pub mod polynomial;
 pub mod symbolic;
+pub mod table;
 
+pub use interned::{IntPoly, IntQuad, IntTemplate};
 pub use monomial::{Monomial, VarId};
 pub use polynomial::{Polynomial, RationalPoly};
 pub use symbolic::{LinExpr, QuadExpr, QuadraticPoly, TemplatePoly, UnknownId};
+pub use table::{MonoId, MonomialTable};

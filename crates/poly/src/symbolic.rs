@@ -124,6 +124,26 @@ impl LinExpr {
         }
     }
 
+    /// Adds another expression in place (no allocation when the unknown
+    /// sets already overlap).
+    pub fn add_expr(&mut self, other: &LinExpr) {
+        self.constant += other.constant;
+        for &(u, c) in &other.terms {
+            self.add_term(u, c);
+        }
+    }
+
+    /// Adds `factor · other` in place.
+    pub fn add_scaled(&mut self, other: &LinExpr, factor: Rational) {
+        if factor.is_zero() {
+            return;
+        }
+        self.constant += other.constant * factor;
+        for &(u, c) in &other.terms {
+            self.add_term(u, c * factor);
+        }
+    }
+
     /// Multiplies the expression by a rational constant.
     pub fn scale(&self, factor: Rational) -> LinExpr {
         if factor.is_zero() {
@@ -333,6 +353,57 @@ impl QuadExpr {
     /// Adds a constant to the expression.
     pub fn add_constant(&mut self, value: Rational) {
         self.constant += value;
+    }
+
+    /// Adds another expression in place. Unlike `self + other` this neither
+    /// consumes nor clones the operands — the merge the hot accumulation
+    /// loops of the Putinar translation rely on.
+    pub fn add_expr(&mut self, other: &QuadExpr) {
+        self.constant += other.constant;
+        for &(u, c) in &other.linear {
+            self.add_linear(u, c);
+        }
+        for &((a, b), c) in &other.quadratic {
+            self.add_quadratic(a, b, c);
+        }
+    }
+
+    /// Adds `factor · other` in place.
+    pub fn add_scaled(&mut self, other: &QuadExpr, factor: Rational) {
+        if factor.is_zero() {
+            return;
+        }
+        self.constant += other.constant * factor;
+        for &(u, c) in &other.linear {
+            self.add_linear(u, c * factor);
+        }
+        for &((a, b), c) in &other.quadratic {
+            self.add_quadratic(a, b, c * factor);
+        }
+    }
+
+    /// Subtracts another expression in place.
+    pub fn sub_expr(&mut self, other: &QuadExpr) {
+        self.add_scaled(other, Rational::from_int(-1));
+    }
+
+    /// Negates the expression in place (no allocation).
+    pub fn negate_in_place(&mut self) {
+        self.constant = -self.constant;
+        for (_, c) in &mut self.linear {
+            *c = -*c;
+        }
+        for (_, c) in &mut self.quadratic {
+            *c = -*c;
+        }
+    }
+
+    /// Adds an affine expression in place.
+    pub fn add_lin(&mut self, lin: &LinExpr) {
+        self.constant += lin.constant_part();
+        for &(u, c) in lin.terms() {
+            self.add_linear(u, c);
+        }
     }
 
     /// Multiplies the expression by a rational constant.

@@ -1,7 +1,12 @@
-//! Property-based tests for polynomial and template algebra.
+//! Property-based tests for polynomial and template algebra, including the
+//! agreement of the interned (`MonomialTable`-backed) representation with
+//! the reference `BTreeMap`-keyed arithmetic.
 
 use polyinv_arith::Rational;
-use polyinv_poly::{LinExpr, Monomial, Polynomial, TemplatePoly, UnknownId, VarId};
+use polyinv_poly::{
+    IntPoly, IntTemplate, LinExpr, Monomial, MonomialTable, Polynomial, TemplatePoly, UnknownId,
+    VarId,
+};
 use proptest::prelude::*;
 
 const NUM_VARS: usize = 3;
@@ -164,5 +169,106 @@ proptest! {
             .instantiate(assign)
             .substitute(|v| if v.index() == 0 { Some(q.clone()) } else { None });
         prop_assert_eq!(substituted_then_instantiated, instantiated_then_substituted);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interned representation vs the reference BTreeMap arithmetic.
+//
+// The hot path of constraint generation runs on `MonomialTable`-interned
+// term lists; these properties pin the ring laws (addition, multiplication,
+// substitution) and the canonical display order to the reference
+// implementation on random inputs.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn interned_addition_matches_reference(p in arb_poly(), q in arb_poly()) {
+        let mut table = MonomialTable::new();
+        let mut ip = IntPoly::from_polynomial(&p, &mut table);
+        let iq = IntPoly::from_polynomial(&q, &mut table);
+        for &(m, c) in iq.terms() {
+            ip.add_term(m, c);
+        }
+        prop_assert_eq!(ip.to_polynomial(&table), &p + &q);
+    }
+
+    #[test]
+    fn interned_multiplication_matches_reference(p in arb_poly(), q in arb_poly()) {
+        let mut table = MonomialTable::new();
+        let ip = IntPoly::from_polynomial(&p, &mut table);
+        let iq = IntPoly::from_polynomial(&q, &mut table);
+        prop_assert_eq!(ip.mul(&iq, &mut table).to_polynomial(&table), &p * &q);
+    }
+
+    #[test]
+    fn interned_multiplication_is_commutative_and_distributive(
+        p in arb_poly(), q in arb_poly(), r in arb_poly()
+    ) {
+        let mut table = MonomialTable::new();
+        let ip = IntPoly::from_polynomial(&p, &mut table);
+        let iq = IntPoly::from_polynomial(&q, &mut table);
+        let ir = IntPoly::from_polynomial(&r, &mut table);
+        prop_assert_eq!(ip.mul(&iq, &mut table), iq.mul(&ip, &mut table));
+        // p·(q + r) = p·q + p·r, computed entirely in the interned domain.
+        let mut q_plus_r = iq.clone();
+        for &(m, c) in ir.terms() {
+            q_plus_r.add_term(m, c);
+        }
+        let lhs = ip.mul(&q_plus_r, &mut table);
+        let mut rhs = ip.mul(&iq, &mut table);
+        for &(m, c) in ip.mul(&ir, &mut table).terms() {
+            rhs.add_term(m, c);
+        }
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn interned_substitution_matches_reference(p in arb_poly(), q in arb_poly()) {
+        let mut table = MonomialTable::new();
+        let template = TemplatePoly::from_polynomial(&p);
+        let expected = template.substitute(
+            |v| if v.index() == 0 { Some(q.clone()) } else { None },
+        );
+        let it = IntTemplate::from_polynomial(&p, &mut table);
+        let iq = IntPoly::from_polynomial(&q, &mut table);
+        let substituted = it.substitute(
+            |v| if v.index() == 0 { Some(&iq) } else { None },
+            &mut table,
+        );
+        prop_assert_eq!(substituted.to_template(&table), expected);
+    }
+
+    #[test]
+    fn interned_template_product_matches_reference(
+        a in arb_template(), b in arb_template()
+    ) {
+        let mut table = MonomialTable::new();
+        let ia = IntTemplate::from_template(&a, &mut table);
+        let ib = IntTemplate::from_template(&b, &mut table);
+        let product = ia.mul_template(&ib, &mut table);
+        prop_assert_eq!(product.to_quadratic_poly(&table), a.mul_template(&b));
+    }
+
+    #[test]
+    fn interned_round_trip_preserves_canonical_display_order(p in arb_poly()) {
+        let mut table = MonomialTable::new();
+        // Intern some unrelated monomials first so raw-id order and
+        // graded-lexicographic order genuinely disagree.
+        table.basis_up_to_degree(&[VarId::new(2), VarId::new(1)], 3);
+        let ip = IntPoly::from_polynomial(&p, &mut table);
+        let round_tripped = ip.to_polynomial(&table);
+        prop_assert_eq!(&round_tripped, &p);
+        // Identical canonical rendering, term order included.
+        prop_assert_eq!(round_tripped.to_string(), p.to_string());
+        // And sort_terms reproduces the reference iteration order.
+        let mut terms: Vec<_> = ip.terms().to_vec();
+        table.sort_terms(&mut terms);
+        let reference: Vec<Monomial> = p.iter().map(|(m, _)| m.clone()).collect();
+        let sorted: Vec<Monomial> = terms
+            .iter()
+            .map(|&(m, _)| table.monomial(m).clone())
+            .collect();
+        prop_assert_eq!(sorted, reference);
     }
 }

@@ -137,8 +137,11 @@ impl LmSolver {
     }
 
     /// Deterministic selection: the first feasible outcome in restart order,
-    /// otherwise the first outcome attaining the minimum violation.
+    /// otherwise the first outcome attaining the minimum violation. A
+    /// non-finite violation (NaN from an overflowing residual) compares as
+    /// worst, so it can never displace a finite candidate.
     fn pick_best(outcomes: Vec<SolveOutcome>) -> SolveOutcome {
+        let finite_or_inf = |v: f64| if v.is_finite() { v } else { f64::INFINITY };
         let mut best: Option<SolveOutcome> = None;
         for outcome in outcomes {
             let better = match &best {
@@ -147,7 +150,7 @@ impl LmSolver {
                     (outcome.status == SolveStatus::Feasible
                         && current.status != SolveStatus::Feasible)
                         || (outcome.status == current.status
-                            && outcome.violation < current.violation)
+                            && finite_or_inf(outcome.violation) < finite_or_inf(current.violation))
                 }
             };
             if better {
@@ -160,6 +163,8 @@ impl LmSolver {
                 break;
             }
         }
+        // `solve` clamps `restarts` to at least one, so `outcomes` is never
+        // empty here.
         best.expect("at least one restart runs")
     }
 
@@ -177,9 +182,14 @@ impl LmSolver {
                 .unwrap_or(0.0)
         };
         let minimizing = problem.objective.is_some() && opts.objective_weight > 0.0;
+        // A NaN objective or violation (e.g. an objective evaluating to NaN
+        // at the start point) must not poison best-candidate selection:
+        // every `<` comparison against NaN is false, which would freeze
+        // `best_x` at the initial point forever. Treat non-finite as +inf.
+        let finite_or_inf = |v: f64| if v.is_finite() { v } else { f64::INFINITY };
         let mut best_x = x.clone();
-        let mut best_violation = problem.max_violation(x);
-        let mut best_objective = objective_at(x);
+        let mut best_violation = finite_or_inf(problem.max_violation(x));
+        let mut best_objective = finite_or_inf(objective_at(x));
 
         for _ in 0..opts.max_iterations {
             iterations += 1;
@@ -227,7 +237,9 @@ impl LmSolver {
                 }
                 let (candidate_residuals, _) = self.residuals_and_rows(problem, &candidate);
                 let candidate_cost: f64 = candidate_residuals.iter().map(|r| r * r).sum();
-                if candidate_cost < cost {
+                // Skip non-finite candidate costs outright: accepting a
+                // NaN/inf point would derail every later comparison.
+                if candidate_cost.is_finite() && candidate_cost < cost {
                     *x = candidate;
                     lambda = (lambda * opts.lambda_down).max(1e-12);
                     accepted = true;
@@ -235,8 +247,8 @@ impl LmSolver {
                 }
                 lambda *= opts.lambda_up;
             }
-            let violation = problem.max_violation(x);
-            let objective = objective_at(x);
+            let violation = finite_or_inf(problem.max_violation(x));
+            let objective = finite_or_inf(objective_at(x));
             let better = if violation <= opts.tolerance && best_violation <= opts.tolerance {
                 objective < best_objective
             } else {
@@ -322,12 +334,18 @@ impl LmSolver {
             }
         }
         if let (Some(objective), true) = (&problem.objective, self.options.objective_weight > 0.0) {
-            residuals.push(self.options.objective_weight * objective.eval(x));
-            let row = sparse_gradient(objective, x, &mut gradient_buffer)
-                .into_iter()
-                .map(|(i, v)| (i, self.options.objective_weight * v))
-                .collect();
-            rows.push(row);
+            let value = objective.eval(x);
+            // A non-finite objective value would poison the whole
+            // least-squares cost (NaN cost rejects every step); drop the
+            // soft residual and let the constraints drive the solve.
+            if value.is_finite() {
+                residuals.push(self.options.objective_weight * value);
+                let row = sparse_gradient(objective, x, &mut gradient_buffer)
+                    .into_iter()
+                    .map(|(i, v)| (i, self.options.objective_weight * v))
+                    .collect();
+                rows.push(row);
+            }
         }
         (residuals, rows)
     }
@@ -414,6 +432,56 @@ mod tests {
         });
         let outcome = LmSolver::default().solve(&problem, None);
         assert_eq!(outcome.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn zero_restarts_are_clamped_to_one_instead_of_panicking() {
+        // restarts == 0 used to leave `pick_best` with no outcomes, hitting
+        // the `expect("at least one restart runs")`.
+        let mut problem = Problem::new(1);
+        problem.equalities.push(QuadraticForm {
+            constant: -2.0,
+            linear: vec![(0, 1.0)],
+            quadratic: Vec::new(),
+        });
+        let solver = LmSolver::new(LmOptions {
+            restarts: 0,
+            ..LmOptions::default()
+        });
+        let outcome = solver.solve(&problem, None);
+        assert_eq!(outcome.status, SolveStatus::Feasible);
+        assert!((outcome.assignment[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nan_objective_does_not_poison_best_candidate_selection() {
+        // An objective that evaluates to NaN everywhere must not block the
+        // violation-driven candidate updates: the solver should still find
+        // the feasible point of the constraints.
+        let mut problem = Problem::new(1);
+        problem.equalities.push(QuadraticForm {
+            constant: -3.0,
+            linear: vec![(0, 1.0)],
+            quadratic: Vec::new(),
+        });
+        problem.objective = Some(QuadraticForm {
+            constant: f64::NAN,
+            linear: Vec::new(),
+            quadratic: Vec::new(),
+        });
+        let solver = LmSolver::new(LmOptions {
+            objective_weight: 0.05,
+            restarts: 2,
+            ..LmOptions::default()
+        });
+        let outcome = solver.solve(&problem, Some(&[0.0]));
+        assert!(outcome.assignment[0].is_finite());
+        assert!(
+            (outcome.assignment[0] - 3.0).abs() < 1e-4,
+            "assignment {} violation {}",
+            outcome.assignment[0],
+            outcome.violation
+        );
     }
 
     #[test]

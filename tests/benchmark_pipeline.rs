@@ -15,7 +15,7 @@ fn small_table2_benchmarks_generate_systems_of_paper_scale() {
         let program = benchmark.program().unwrap();
         let pre = benchmark.precondition().unwrap();
         let options = SynthesisOptions::with_degree_and_size(benchmark.paper.d, benchmark.paper.n);
-        let generated = polyinv_constraints::generate(&program, &pre, &options);
+        let generated = polyinv_constraints::generate(&program, &pre, &options).unwrap();
         // Same order of magnitude as the paper's |S| (our encoding counts a
         // few more variables per benchmark — shadow parameters, return
         // variables and sequentialization temporaries — which inflates the
@@ -48,7 +48,9 @@ fn benchmark_difficulty_ordering_is_preserved() {
                 SynthesisOptions::with_degree_and_size(benchmark.paper.d, benchmark.paper.n);
             (
                 name.to_string(),
-                polyinv_constraints::generate(&program, &pre, &options).size(),
+                polyinv_constraints::generate(&program, &pre, &options)
+                    .unwrap()
+                    .size(),
             )
         })
         .collect();
@@ -102,7 +104,9 @@ fn weak_synthesis_closes_a_small_linear_benchmark() {
     let exit = program.main().exit_label();
     let (target, _) = parse_assertion(&program, "clamp", "y + 1 - ret > 0").unwrap();
     let synth = WeakSynthesis::with_options(SynthesisOptions::default().with_degree(1));
-    let outcome = synth.synthesize(&program, &pre, &[TargetAssertion::new(exit, target)]);
+    let outcome = synth
+        .synthesize(&program, &pre, &[TargetAssertion::new(exit, target)])
+        .unwrap();
     assert_eq!(
         outcome.status,
         SynthesisStatus::Synthesized,
@@ -131,7 +135,8 @@ fn farkas_baseline_rejects_polynomial_benchmarks_but_handles_linear_ones() {
     let pre = Precondition::from_program(&program);
     if FarkasBaseline::default().check_applicable(&program).is_ok() {
         let farkas = FarkasBaseline::default().generate(&program, &pre).unwrap();
-        let putinar = polyinv_constraints::generate(&program, &pre, &SynthesisOptions::default());
+        let putinar =
+            polyinv_constraints::generate(&program, &pre, &SynthesisOptions::default()).unwrap();
         assert!(farkas.size() < putinar.size());
     }
 }
@@ -143,7 +148,7 @@ fn recursive_benchmarks_are_treated_recursively() {
         let program = benchmark.program().unwrap();
         let pre = benchmark.precondition().unwrap();
         let options = SynthesisOptions::with_degree_and_size(benchmark.paper.d, benchmark.paper.n);
-        let generated = polyinv_constraints::generate(&program, &pre, &options);
+        let generated = polyinv_constraints::generate(&program, &pre, &options).unwrap();
         assert!(
             generated.recursive,
             "{name} must use the recursive algorithm"

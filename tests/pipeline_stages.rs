@@ -25,7 +25,7 @@ fn staged_artifacts_on_the_running_example_are_non_trivial() {
     assert!(templates.num_unknowns() >= 9 * 21);
 
     // Step 2: 11 constraint pairs (10 transitions + initiation).
-    let pairs = run_stage(&mut ctx, &PairStage, &templates);
+    let pairs = run_stage(&mut ctx, &PairStage, &templates).unwrap();
     assert_eq!(pairs.len(), 11);
 
     // Step 3: a quadratic system of the paper's order of magnitude.
@@ -56,7 +56,7 @@ fn recursive_sum_system_size_is_within_2x_of_the_paper() {
     let pre = benchmark.precondition().unwrap();
     let pipeline = Pipeline::new(options_for(&benchmark));
     let mut ctx = pipeline.context(&program, &pre);
-    let generated = pipeline.generate(&mut ctx);
+    let generated = pipeline.generate(&mut ctx).unwrap();
     assert!(
         generated.recursive,
         "recursive-sum uses the recursive algorithm"
@@ -90,7 +90,7 @@ fn solve_stage_runs_through_pluggable_backends() {
         let backend = backend_by_name(name).unwrap();
         let pipeline = Pipeline::new(options.clone()).with_backend(backend);
         let mut ctx = pipeline.context(&program, &pre);
-        let generated = pipeline.generate(&mut ctx);
+        let generated = pipeline.generate(&mut ctx).unwrap();
         let solution = pipeline.solve(&mut ctx, &generated, HashMap::new(), None);
         assert_eq!(solution.backend, name);
         assert_eq!(solution.assignment.len(), generated.system.num_unknowns());

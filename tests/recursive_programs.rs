@@ -22,7 +22,8 @@ impl NondetOracle for AlwaysAdd {
 fn figure_4_reduction_produces_call_and_post_condition_pairs() {
     let program = parse_program(RECURSIVE_EXAMPLE_SOURCE).unwrap();
     let pre = Precondition::from_program(&program);
-    let generated = polyinv_constraints::generate(&program, &pre, &SynthesisOptions::default());
+    let generated =
+        polyinv_constraints::generate(&program, &pre, &SynthesisOptions::default()).unwrap();
     assert!(generated.recursive);
     let call_pairs = generated
         .pairs
@@ -94,7 +95,7 @@ fn pw2_supports_multiple_conjuncts_per_label() {
     let program = benchmark.program().unwrap();
     let pre = benchmark.precondition().unwrap();
     let options = SynthesisOptions::with_degree_and_size(1, 2);
-    let generated = polyinv_constraints::generate(&program, &pre, &options);
+    let generated = polyinv_constraints::generate(&program, &pre, &options).unwrap();
     let entry = program.main().entry_label();
     assert_eq!(generated.templates.invariant(entry).conjuncts.len(), 2);
     // Interpreter sanity: pw2 returns the largest power of two ≤ x.

@@ -43,7 +43,8 @@ fn figure_2_program_has_the_paper_structure() {
 fn reduction_matches_example_6_template_counts() {
     let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
     let pre = Precondition::from_program(&program);
-    let generated = polyinv_constraints::generate(&program, &pre, &SynthesisOptions::default());
+    let generated =
+        polyinv_constraints::generate(&program, &pre, &SynthesisOptions::default()).unwrap();
     // Example 6: 21 monomials of degree ≤ 2 per label template.
     let entry = program.main().entry_label();
     assert_eq!(generated.templates.invariant(entry).basis.len(), 21);
@@ -66,7 +67,8 @@ fn hand_written_strengthening_is_certified_and_not_falsified() {
         &invariant,
         &Postcondition::new(),
         &CheckOptions::default(),
-    );
+    )
+    .unwrap();
     assert!(report.all_certified(), "failures: {:?}", report.failures());
     assert!(falsify(&program, &pre, &invariant, 150, 3).is_none());
 }
@@ -99,7 +101,8 @@ fn corrupted_strengthenings_are_rejected() {
         &invariant,
         &Postcondition::new(),
         &CheckOptions::default(),
-    );
+    )
+    .unwrap();
     assert!(!report.all_certified());
     assert!(falsify(&program, &pre, &invariant, 300, 5).is_some());
 }
