@@ -293,45 +293,7 @@ impl Engine {
         pre: &Precondition,
         backend: Arc<dyn QcqpBackend>,
     ) -> Result<SynthesisReport, ApiError> {
-        let targets: Vec<TargetAssertion> = request
-            .assertions
-            .iter()
-            .map(|spec| {
-                if spec.function.is_some() {
-                    return Err(ApiError::InvalidRequest {
-                        message: "post-condition assertions only apply to check requests"
-                            .to_string(),
-                    });
-                }
-                let label = resolve_label(program, spec.label)?;
-                let poly = parse_assertion(program, &spec.text)?;
-                if poly.degree() > request.options.degree {
-                    return Err(ApiError::InvalidRequest {
-                        message: format!(
-                            "target `{}` has degree {} but the template degree is {}",
-                            spec.text,
-                            poly.degree(),
-                            request.options.degree
-                        ),
-                    });
-                }
-                Ok(TargetAssertion::new(label, poly))
-            })
-            .collect::<Result<_, _>>()?;
-        let mut per_label: HashMap<Label, usize> = HashMap::new();
-        for target in &targets {
-            let count = per_label.entry(target.label).or_insert(0);
-            *count += 1;
-            if *count > request.options.size {
-                return Err(ApiError::InvalidRequest {
-                    message: format!(
-                        "more than {} target(s) at label {}; raise `options.size`",
-                        request.options.size, target.label
-                    ),
-                });
-            }
-        }
-
+        let targets = resolve_weak_targets(program, request)?;
         let synth = WeakSynthesis::with_options(request.options.clone()).backend(backend);
         let outcome = synth.synthesize(program, pre, &targets)?;
         let status = match outcome.status {
@@ -460,8 +422,69 @@ impl Engine {
     }
 }
 
-/// Resolves an assertion label index against the main function.
-fn resolve_label(program: &Program, index: Option<usize>) -> Result<Label, ApiError> {
+/// Resolves and validates the target assertions of a weak-mode request:
+/// post-condition specs are rejected, labels resolve against the main
+/// function, target degrees must fit the template degree and no label may
+/// receive more targets than the template has conjuncts. Shared between
+/// [`Engine`] weak runs and external drivers (the validation subsystem),
+/// so both entry points accept exactly the same requests.
+///
+/// # Errors
+///
+/// Returns [`ApiError::InvalidRequest`] / [`ApiError::UnknownLabel`] /
+/// [`ApiError::Assertion`] exactly as an Engine weak run would.
+pub fn resolve_weak_targets(
+    program: &Program,
+    request: &SynthesisRequest,
+) -> Result<Vec<TargetAssertion>, ApiError> {
+    let targets: Vec<TargetAssertion> = request
+        .assertions
+        .iter()
+        .map(|spec| {
+            if spec.function.is_some() {
+                return Err(ApiError::InvalidRequest {
+                    message: "post-condition assertions only apply to check requests".to_string(),
+                });
+            }
+            let label = resolve_label(program, spec.label)?;
+            let poly = parse_assertion(program, &spec.text)?;
+            if poly.degree() > request.options.degree {
+                return Err(ApiError::InvalidRequest {
+                    message: format!(
+                        "target `{}` has degree {} but the template degree is {}",
+                        spec.text,
+                        poly.degree(),
+                        request.options.degree
+                    ),
+                });
+            }
+            Ok(TargetAssertion::new(label, poly))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut per_label: HashMap<Label, usize> = HashMap::new();
+    for target in &targets {
+        let count = per_label.entry(target.label).or_insert(0);
+        *count += 1;
+        if *count > request.options.size {
+            return Err(ApiError::InvalidRequest {
+                message: format!(
+                    "more than {} target(s) at label {}; raise `options.size`",
+                    request.options.size, target.label
+                ),
+            });
+        }
+    }
+    Ok(targets)
+}
+
+/// Resolves an assertion label index against the main function (`None`
+/// means the exit label). Shared with external drivers (the validation
+/// subsystem) so that label indices mean the same thing everywhere.
+///
+/// # Errors
+///
+/// Returns [`ApiError::UnknownLabel`] when the index is out of range.
+pub fn resolve_label(program: &Program, index: Option<usize>) -> Result<Label, ApiError> {
     let labels = program.main().labels();
     match index {
         None => Ok(program.main().exit_label()),
@@ -474,8 +497,14 @@ fn resolve_label(program: &Program, index: Option<usize>) -> Result<Label, ApiEr
 }
 
 /// Parses one assertion in the scope of the main function, mapping the
-/// front-end error to [`ApiError::Assertion`].
-fn parse_assertion(program: &Program, text: &str) -> Result<Polynomial, ApiError> {
+/// front-end error to [`ApiError::Assertion`]. Shared with external
+/// drivers (the validation subsystem).
+///
+/// # Errors
+///
+/// Returns [`ApiError::Assertion`] with the front-end's span when the text
+/// does not parse in the main function's scope.
+pub fn parse_assertion(program: &Program, text: &str) -> Result<Polynomial, ApiError> {
     polyinv_lang::parse_assertion(program, program.main().name(), text)
         .map(|(poly, _)| poly)
         .map_err(|error| ApiError::Assertion {

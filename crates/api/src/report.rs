@@ -68,6 +68,123 @@ impl fmt::Display for ReportStatus {
     }
 }
 
+/// The exact-rational inductiveness re-check part of a validation record:
+/// the rounded invariant coefficients substituted back into the quadratic
+/// system, every constraint evaluated with `Rational` arithmetic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactRecord {
+    /// Number of (in)equalities evaluated exactly.
+    pub constraints: usize,
+    /// The worst exact violation, as a `numer/denom` rational string.
+    pub worst_violation: String,
+    /// The worst exact violation as a float (for quick reading).
+    pub worst_violation_f64: f64,
+    /// The tolerance of the re-check, as a `numer/denom` rational string.
+    pub tolerance: String,
+    /// Whether the re-check passed (worst violation within tolerance and no
+    /// arithmetic overflow).
+    pub passed: bool,
+}
+
+/// The serializable summary of a soundness validation run attached to a
+/// report: trace falsification against seeded interpreter runs plus the
+/// exact-rational inductiveness re-check. The rich, non-serializable form
+/// (with counterexample traces) lives in the `polyinv-validate` crate; this
+/// record is what travels in report JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationRecord {
+    /// Number of valid seeded traces checked against the invariant.
+    pub trace_runs: usize,
+    /// Number of recorded states checked (per-label obligations).
+    pub trace_states: usize,
+    /// Number of reachable states that violated the invariant.
+    pub trace_violations: usize,
+    /// The exact re-check outcome (absent when no solution was available to
+    /// re-check, e.g. the solver failed).
+    pub exact: Option<ExactRecord>,
+    /// `true` when the invariant survived both checks.
+    pub passed: bool,
+}
+
+impl ValidationRecord {
+    /// Serializes the record as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("trace_runs", Json::Number(self.trace_runs as f64)),
+            ("trace_states", Json::Number(self.trace_states as f64)),
+            (
+                "trace_violations",
+                Json::Number(self.trace_violations as f64),
+            ),
+            (
+                "exact",
+                match &self.exact {
+                    None => Json::Null,
+                    Some(exact) => Json::object(vec![
+                        ("constraints", Json::Number(exact.constraints as f64)),
+                        (
+                            "worst_violation",
+                            Json::string(exact.worst_violation.clone()),
+                        ),
+                        (
+                            "worst_violation_f64",
+                            Json::Number(exact.worst_violation_f64),
+                        ),
+                        ("tolerance", Json::string(exact.tolerance.clone())),
+                        ("passed", Json::Bool(exact.passed)),
+                    ]),
+                },
+            ),
+            ("passed", Json::Bool(self.passed)),
+        ])
+    }
+
+    /// Reads a record back from its JSON object form.
+    pub fn from_json(json: &Json) -> Result<Self, ApiError> {
+        let number = |name: &str| -> Result<usize, ApiError> {
+            json.get(name)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| ApiError::InvalidRequest {
+                    message: format!("validation field `{name}` must be a number"),
+                })
+        };
+        let exact = match json.get("exact") {
+            None | Some(Json::Null) => None,
+            Some(inner) => {
+                let text = |name: &str| -> Result<String, ApiError> {
+                    inner
+                        .get(name)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| ApiError::InvalidRequest {
+                            message: format!("validation field `exact.{name}` must be a string"),
+                        })
+                };
+                Some(ExactRecord {
+                    constraints: inner
+                        .get("constraints")
+                        .and_then(Json::as_usize)
+                        .unwrap_or(0),
+                    worst_violation: text("worst_violation")?,
+                    worst_violation_f64: inner
+                        .get("worst_violation_f64")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(0.0),
+                    tolerance: text("tolerance")?,
+                    passed: inner.get("passed").and_then(Json::as_bool).unwrap_or(false),
+                })
+            }
+        };
+        Ok(ValidationRecord {
+            trace_runs: number("trace_runs")?,
+            trace_states: number("trace_states")?,
+            trace_violations: number("trace_violations")?,
+            exact,
+            passed: json.get("passed").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
+}
+
 /// The full, serializable result of one Engine run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SynthesisReport {
@@ -102,6 +219,10 @@ pub struct SynthesisReport {
     pub timings: Vec<(String, f64)>,
     /// Human-readable diagnostics accumulated during the run.
     pub diagnostics: Vec<String>,
+    /// The soundness validation summary, when a validation pass ran (the
+    /// `polyinv validate` / `fuzz` drivers and `reproduce --validate` fill
+    /// this; plain Engine runs leave it empty).
+    pub validate: Option<ValidationRecord>,
 }
 
 impl SynthesisReport {
@@ -121,6 +242,7 @@ impl SynthesisReport {
             postconditions: Vec::new(),
             timings: Vec::new(),
             diagnostics: Vec::new(),
+            validate: None,
         }
     }
 
@@ -198,6 +320,13 @@ impl SynthesisReport {
                 "diagnostics",
                 Json::Array(self.diagnostics.iter().cloned().map(Json::Str).collect()),
             ),
+            (
+                "validate",
+                match &self.validate {
+                    None => Json::Null,
+                    Some(record) => record.to_json(),
+                },
+            ),
         ])
     }
 
@@ -269,6 +398,10 @@ impl SynthesisReport {
             postconditions: strings("postconditions")?,
             timings,
             diagnostics: strings("diagnostics")?,
+            validate: match json.get("validate") {
+                None | Some(Json::Null) => None,
+                Some(record) => Some(ValidationRecord::from_json(record)?),
+            },
         })
     }
 
@@ -297,6 +430,7 @@ mod tests {
             postconditions: vec![],
             timings: vec![("templates".to_string(), 0.012), ("solve".to_string(), 1.5)],
             diagnostics: vec!["ladder rung ϒ=0 solved".to_string()],
+            validate: None,
         }
     }
 
@@ -305,6 +439,36 @@ mod tests {
         let report = sample();
         let reparsed = SynthesisReport::from_json_str(&report.to_json_string()).unwrap();
         assert_eq!(reparsed, report);
+    }
+
+    #[test]
+    fn validation_records_round_trip_through_json() {
+        let mut report = sample();
+        report.validate = Some(ValidationRecord {
+            trace_runs: 1000,
+            trace_states: 48211,
+            trace_violations: 0,
+            exact: Some(ExactRecord {
+                constraints: 812,
+                worst_violation: "3/1000000".to_string(),
+                worst_violation_f64: 3e-6,
+                tolerance: "1/1000".to_string(),
+                passed: true,
+            }),
+            passed: true,
+        });
+        let reparsed = SynthesisReport::from_json_str(&report.to_json_string()).unwrap();
+        assert_eq!(reparsed, report);
+        // Reports without a record serialize `validate` as null and read
+        // back as None (forward compatibility for old snapshots).
+        let bare = sample();
+        assert!(bare.to_json_string().contains("\"validate\":null"));
+        assert_eq!(
+            SynthesisReport::from_json_str(&bare.to_json_string())
+                .unwrap()
+                .validate,
+            None
+        );
     }
 
     #[test]

@@ -67,6 +67,23 @@ fn arb_report() -> impl Strategy<Value = SynthesisReport> {
                     postconditions: lines.clone(),
                     timings,
                     diagnostics: lines,
+                    validate: if pairs_total % 3 == 0 {
+                        None
+                    } else {
+                        Some(polyinv_api::ValidationRecord {
+                            trace_runs: pairs_total,
+                            trace_states: num_unknowns,
+                            trace_violations: pairs_certified,
+                            exact: (pairs_total % 3 == 1).then(|| polyinv_api::ExactRecord {
+                                constraints: system_size,
+                                worst_violation: format!("{}/1000000", pairs_certified),
+                                worst_violation_f64: pairs_certified as f64 * 1e-6,
+                                tolerance: "1/1000".to_string(),
+                                passed: pairs_certified == 0,
+                            }),
+                            passed: pairs_certified == 0,
+                        })
+                    },
                 }
             },
         )

@@ -311,6 +311,25 @@ impl Rational {
         result
     }
 
+    /// Raises the rational to a non-negative integer power, returning an
+    /// error instead of panicking on overflow (used by the interpreter's
+    /// overflow-safe evaluation path).
+    pub fn checked_pow(&self, exp: u32) -> Result<Self, RationalError> {
+        let mut result = Rational::one();
+        let mut base = *self;
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = result.checked_mul(&base)?;
+            }
+            e >>= 1;
+            if e > 0 {
+                base = base.checked_mul(&base)?;
+            }
+        }
+        Ok(result)
+    }
+
     /// The floor of the rational as an integer.
     pub fn floor(&self) -> i128 {
         if self.numer >= 0 {

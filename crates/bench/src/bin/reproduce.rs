@@ -1,7 +1,7 @@
 //! Regenerates the paper's evaluation tables.
 //!
 //! ```text
-//! reproduce [table2|table3|ablations|baseline|all] [--solve] [--json [PATH]]
+//! reproduce [table2|table3|ablations|baseline|all] [--solve] [--validate] [--json [PATH]]
 //! ```
 //!
 //! Without `--solve` only the reduction (Steps 1–3) is run and the table
@@ -10,6 +10,13 @@
 //! numbers. With `--solve`, a weak-synthesis attempt (Step 4) is made for
 //! every row whose generated system is small enough for the local solver
 //! (see EXPERIMENTS.md for the recorded outcomes).
+//!
+//! With `--validate`, every row's paper target assertion is checked against
+//! ≥ 1000 seeded interpreter traces (the fast, always-on soundness gate on
+//! the Table 2/3 encodings). Combined with `--solve`, each solved row's
+//! synthesized invariant additionally goes through trace falsification and
+//! the exact-rational inductiveness re-check. Any violation makes the
+//! process exit non-zero — CI runs the `table2 --validate` gate.
 //!
 //! With `--json`, the measured rows are additionally written as a
 //! machine-readable snapshot (default `BENCH_3.json`, override with
@@ -23,14 +30,15 @@ use std::time::Instant;
 use polyinv::prelude::*;
 use polyinv_api::ApiError;
 use polyinv_bench::{
-    baseline_status, engine_for_tables, format_table, options_for, run_row_on, write_bench_json,
-    RowResult,
+    baseline_status, engine_for_tables, format_table, format_validation, options_for, run_row_full,
+    write_bench_json, RowResult,
 };
 use polyinv_farkas::FarkasBaseline;
 use polyinv_lang::program::RUNNING_EXAMPLE_SOURCE;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let validate = args.iter().any(|a| a == "--validate");
     let solve = args.iter().any(|a| a == "--solve");
     let json_value_pos = args.iter().position(|a| a == "--json").and_then(|pos| {
         args.get(pos + 1)
@@ -61,13 +69,13 @@ fn main() {
 
     let mut tables: Vec<(&str, Vec<RowResult>)> = Vec::new();
     match what.as_str() {
-        "table2" => tables.push(("table2", table2(solve))),
-        "table3" => tables.push(("table3", table3(solve))),
+        "table2" => tables.push(("table2", table2(solve, validate))),
+        "table3" => tables.push(("table3", table3(solve, validate))),
         "ablations" => ablations(),
         "baseline" => baseline(),
         "all" => {
-            tables.push(("table2", table2(solve)));
-            tables.push(("table3", table3(solve)));
+            tables.push(("table2", table2(solve, validate)));
+            tables.push(("table3", table3(solve, validate)));
             ablations();
             baseline();
         }
@@ -78,6 +86,13 @@ fn main() {
             std::process::exit(1);
         }
     }
+
+    let validation_failures: Vec<&str> = tables
+        .iter()
+        .flat_map(|(_, rows)| rows.iter())
+        .filter(|row| row.validate.as_ref().is_some_and(|v| !v.passed()))
+        .map(|row| row.name.as_str())
+        .collect();
 
     if let Some(path) = json_out {
         // Only table experiments produce rows; refuse to overwrite a
@@ -99,20 +114,25 @@ fn main() {
         }
         eprintln!("wrote {}", path.display());
     }
+
+    if !validation_failures.is_empty() {
+        eprintln!("validation FAILED for: {}", validation_failures.join(", "));
+        std::process::exit(1);
+    }
 }
 
 fn is_experiment(arg: &str) -> bool {
     matches!(arg, "table2" | "table3" | "ablations" | "baseline" | "all")
 }
 
-fn table2(solve: bool) -> Vec<RowResult> {
+fn table2(solve: bool, validate: bool) -> Vec<RowResult> {
     let engine = engine_for_tables();
     let rows: Vec<_> = polyinv_benchmarks::table2()
         .iter()
         .map(|b| {
             // Large systems are generated but not solved by default.
             let solve_this = solve && b.paper.system_size <= 6000;
-            run_row_on(&engine, b, solve_this)
+            run_row_full(&engine, b, solve_this, validate)
         })
         .collect();
     println!(
@@ -122,16 +142,19 @@ fn table2(solve: bool) -> Vec<RowResult> {
             &rows
         )
     );
+    if validate {
+        println!("{}", format_validation("Table 2", &rows));
+    }
     rows
 }
 
-fn table3(solve: bool) -> Vec<RowResult> {
+fn table3(solve: bool, validate: bool) -> Vec<RowResult> {
     let engine = engine_for_tables();
     let rows: Vec<_> = polyinv_benchmarks::table3()
         .iter()
         .map(|b| {
             let solve_this = solve && b.paper.system_size <= 6000;
-            run_row_on(&engine, b, solve_this)
+            run_row_full(&engine, b, solve_this, validate)
         })
         .collect();
     println!(
@@ -141,6 +164,9 @@ fn table3(solve: bool) -> Vec<RowResult> {
             &rows
         )
     );
+    if validate {
+        println!("{}", format_validation("Table 3", &rows));
+    }
     rows
 }
 

@@ -13,10 +13,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use polyinv::pipeline::stage_names;
-use polyinv_api::{ApiError, Engine, Json, ReportStatus, SynthesisRequest};
+use polyinv_api::{ApiError, Engine, Json, ReportStatus, SynthesisRequest, ValidationRecord};
 use polyinv_benchmarks::Benchmark;
 use polyinv_constraints::{SosEncoding, SynthesisOptions};
+use polyinv_lang::{InvariantMap, Postcondition, Precondition};
 use polyinv_qcqp::{LmOptions, LmSolver, QcqpBackend};
+use polyinv_validate::{falsify_traces, TraceCheckConfig, ValidationConfig};
 
 /// The measurements taken for one benchmark row.
 #[derive(Debug, Clone)]
@@ -45,6 +47,64 @@ pub struct RowResult {
     pub timings: Vec<(String, f64)>,
     /// Outcome of the solve attempt, if one was made.
     pub solve: Option<SolveRow>,
+    /// Soundness validation of the row (`reproduce --validate`).
+    pub validate: Option<RowValidation>,
+}
+
+/// The trace check of one row's paper target assertion.
+#[derive(Debug, Clone)]
+pub struct TargetCheck {
+    /// Valid traces the target was checked on.
+    pub runs: usize,
+    /// Reachable states violating the target.
+    pub violations: usize,
+    /// Whether the check passed (no violations *and* the requested trace
+    /// coverage was reached — a vacuous zero-trace pass fails).
+    pub passed: bool,
+}
+
+/// The validation outcome of one benchmark row.
+#[derive(Debug, Clone)]
+pub struct RowValidation {
+    /// The target-assertion trace check (`None` when the row has no target
+    /// assertion — distinct from a passing check).
+    pub target: Option<TargetCheck>,
+    /// Validation record of the synthesized invariant (rows with a solve):
+    /// trace falsification plus the exact-rational re-check.
+    pub invariant: Option<ValidationRecord>,
+}
+
+impl RowValidation {
+    /// `true` when the target (if any) held with full coverage and the
+    /// synthesized invariant (if any) survived both checks.
+    pub fn passed(&self) -> bool {
+        self.target.as_ref().map(|t| t.passed).unwrap_or(true)
+            && self.invariant.as_ref().map(|r| r.passed).unwrap_or(true)
+    }
+
+    /// The table cell: target outcome plus invariant outcome.
+    pub fn cell(&self) -> String {
+        let target = match &self.target {
+            None => "no-target".to_string(),
+            Some(t) if t.passed => format!("target-ok({})", t.runs),
+            Some(t) if t.violations > 0 => format!("TARGET-VIOLATION({})", t.violations),
+            Some(t) => format!("TARGET-COVERAGE({} runs)", t.runs),
+        };
+        let invariant = match &self.invariant {
+            None => "-".to_string(),
+            Some(record) if record.passed => format!(
+                "inv-ok({}tr{})",
+                record.trace_runs,
+                record
+                    .exact
+                    .as_ref()
+                    .map(|e| format!(", {:.0e}", e.worst_violation_f64))
+                    .unwrap_or_default()
+            ),
+            Some(record) => format!("INV-VIOLATION({})", record.trace_violations),
+        };
+        format!("{target} {invariant}")
+    }
 }
 
 impl RowResult {
@@ -122,6 +182,21 @@ pub fn solve_request(benchmark: &Benchmark) -> SynthesisRequest {
     request
 }
 
+/// The validation settings of `reproduce --validate`: ≥ 1000 valid traces
+/// per program (more attempts than default, so tightly pre-conditioned
+/// programs like the RL controllers still reach 1000 valid runs).
+pub fn validation_for_tables() -> ValidationConfig {
+    ValidationConfig {
+        trace: TraceCheckConfig {
+            runs: 1000,
+            seed: 2020,
+            max_attempts: 200_000,
+            ..TraceCheckConfig::default()
+        },
+        ..ValidationConfig::default()
+    }
+}
+
 /// Runs Steps 1–3 (and optionally Step 4) for one benchmark row on a shared
 /// Engine.
 ///
@@ -130,6 +205,23 @@ pub fn solve_request(benchmark: &Benchmark) -> SynthesisRequest {
 /// Panics if the embedded benchmark program fails to parse (guarded by the
 /// benchmark crate's tests).
 pub fn run_row_on(engine: &Engine, benchmark: &Benchmark, solve: bool) -> RowResult {
+    run_row_full(engine, benchmark, solve, false)
+}
+
+/// Like [`run_row_on`], optionally validating the row: the paper's target
+/// assertion is checked against ≥ 1000 seeded traces, and — when a solve is
+/// attempted — the synthesized invariant goes through trace falsification
+/// plus the exact-rational inductiveness re-check.
+///
+/// # Panics
+///
+/// Panics if the embedded benchmark program fails to parse.
+pub fn run_row_full(
+    engine: &Engine,
+    benchmark: &Benchmark,
+    solve: bool,
+    validate: bool,
+) -> RowResult {
     let program = engine
         .parse_program(benchmark.source)
         .expect("benchmark parses");
@@ -142,7 +234,66 @@ pub fn run_row_on(engine: &Engine, benchmark: &Benchmark, solve: bool) -> RowRes
         .expect("generation requests are valid");
     let mut timings = generated.timings.clone();
 
-    let solve_row = if solve {
+    let config = validation_for_tables();
+    let mut row_validation = if validate {
+        let pre = Precondition::from_program(&program);
+        let target_check = benchmark
+            .target_polynomial(&program)
+            .expect("benchmark targets resolve")
+            .map(|target| {
+                let mut invariant = InvariantMap::new();
+                invariant.add(program.main().exit_label(), target);
+                let report = falsify_traces(
+                    &program,
+                    &pre,
+                    &invariant,
+                    &Postcondition::new(),
+                    &config.trace,
+                );
+                TargetCheck {
+                    runs: report.valid_runs,
+                    violations: report.violations.len(),
+                    passed: report.passed(),
+                }
+            });
+        Some(RowValidation {
+            target: target_check,
+            invariant: None,
+        })
+    } else {
+        None
+    };
+
+    let solve_row = if solve && validate {
+        // Validated solve: same weak request and table solver budget,
+        // served by the validation driver so the solution's assignment can
+        // be exactly re-checked.
+        match polyinv_validate::run_validated_with_backend(
+            &solve_request(benchmark),
+            &config,
+            solver_for_tables(),
+        ) {
+            Ok(report) => {
+                let solve_secs = report.stage_seconds(stage_names::SOLVE);
+                timings.push((stage_names::SOLVE.to_string(), solve_secs));
+                if let (Some(validation), Some(record)) = (&mut row_validation, &report.validate) {
+                    validation.invariant = Some(record.clone());
+                }
+                Some(SolveRow {
+                    synthesized: report.status == ReportStatus::Synthesized,
+                    solve_time: Duration::from_secs_f64(solve_secs),
+                    violation: report.violation,
+                    backend: report.backend,
+                })
+            }
+            Err(error) => Some(SolveRow {
+                synthesized: false,
+                solve_time: Duration::ZERO,
+                violation: f64::INFINITY,
+                backend: format!("error:{}", error.kind()),
+            }),
+        }
+    } else if solve {
         // The weak request generates its own per-rung systems: the ϒ-ladder
         // deliberately attempts the much smaller ϒ = 0 reduction before the
         // full one above, so the staged system cannot simply be reused here.
@@ -181,7 +332,36 @@ pub fn run_row_on(engine: &Engine, benchmark: &Benchmark, solve: bool) -> RowRes
         paper_runtime: benchmark.paper.runtime_secs,
         timings,
         solve: solve_row,
+        validate: row_validation,
     }
+}
+
+/// Formats the validation section printed under a table by
+/// `reproduce --validate`.
+pub fn format_validation(title: &str, rows: &[RowResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## Validation — {title}\n"));
+    out.push_str(&format!(
+        "{:<26} {:>10} {:<40}\n",
+        "benchmark", "synthesized", "validation"
+    ));
+    for row in rows {
+        let Some(validation) = &row.validate else {
+            continue;
+        };
+        let synthesized = match &row.solve {
+            None => "-".to_string(),
+            Some(s) if s.synthesized => "yes".to_string(),
+            Some(_) => "no".to_string(),
+        };
+        out.push_str(&format!(
+            "{:<26} {:>10} {:<40}\n",
+            row.name,
+            synthesized,
+            validation.cell()
+        ));
+    }
+    out
 }
 
 /// Like [`run_row_on`], with a throwaway Engine (the benches and tests use

@@ -342,13 +342,20 @@ lcm2(a, b) {
 "#;
 
 /// `prodbin` — binary multiplication (Russian peasant).
+///
+/// The loop guard is `y ≥ 1` (not the integer algorithm's `y > 0`): under
+/// the paper's real-valued semantics the non-deterministic halving branch
+/// can make `y` fractional, and with a `y > 0` guard the decrement branch
+/// could then drive `y` negative and overshoot `z` past `a·b` — a real
+/// counterexample to the Table 2 target, found by trace falsification
+/// (`reproduce --validate`).
 pub const PRODBIN: &str = r#"
 prodbin(a, b) {
     @pre(a >= 0 && b >= 0);
     x := a;
     y := b;
     z := 0;
-    while y > 0 do
+    while y >= 1 do
         if * then
             z := z + x;
             y := y - 1
@@ -362,6 +369,12 @@ prodbin(a, b) {
 "#;
 
 /// `prod4br` — multiplication with four branches.
+///
+/// As with [`PRODBIN`], the guard is `a ≥ 1 ∧ b ≥ 1` rather than the
+/// integer algorithm's `> 0`: the non-deterministic halving branch makes
+/// the variables fractional under real semantics, and a `> 0` guard would
+/// let the decrement branches drive them negative and falsify the target
+/// bound.
 pub const PROD4BR: &str = r#"
 prod4br(x, y) {
     @pre(x >= 0 && y >= 0);
@@ -369,7 +382,7 @@ prod4br(x, y) {
     b := y;
     p := 1;
     q := 0;
-    while a > 0 && b > 0 do
+    while a >= 1 && b >= 1 do
         if * then
             a := a - 1;
             q := q + b * p

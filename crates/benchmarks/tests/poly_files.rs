@@ -1,0 +1,65 @@
+//! Parity between `programs/*.poly` and the embedded benchmark constants.
+//!
+//! Every Table 2/3 benchmark ships as a CLI-visible `.poly` file (the files
+//! double as fuzzer seeds and CLI scenarios). Each file must parse to the
+//! same resolved program as the corresponding constant in
+//! `polyinv_benchmarks::programs` — compared through the canonical
+//! pretty-print, which is insensitive to comments and whitespace but pins
+//! every label, guard and polynomial.
+
+use std::path::PathBuf;
+
+use polyinv_lang::parse_program;
+
+fn programs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../programs")
+}
+
+fn file_name(benchmark_name: &str) -> String {
+    format!("{}.poly", benchmark_name.replace('-', "_"))
+}
+
+#[test]
+fn every_benchmark_has_a_matching_poly_file() {
+    for benchmark in polyinv_benchmarks::all() {
+        let path = programs_dir().join(file_name(benchmark.name));
+        let file_source = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing program file {}: {e}", path.display()));
+        let from_file = parse_program(&file_source)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        let embedded = parse_program(benchmark.source)
+            .unwrap_or_else(|e| panic!("embedded `{}` does not parse: {e}", benchmark.name));
+
+        // Same canonical program: identical pretty-print pins every label,
+        // polynomial and guard; identical shape pins the label structure.
+        assert_eq!(
+            from_file.to_string(),
+            embedded.to_string(),
+            "{} diverges from the embedded `{}` constant",
+            path.display(),
+            benchmark.name
+        );
+        assert_eq!(from_file.num_labels(), embedded.num_labels());
+        assert_eq!(from_file.var_table().len(), embedded.var_table().len());
+    }
+}
+
+#[test]
+fn every_poly_file_parses() {
+    // Includes the non-benchmark scenarios (inc, running_example).
+    let mut count = 0;
+    for entry in std::fs::read_dir(programs_dir()).expect("programs/ exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("poly") {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path).expect("readable file");
+        parse_program(&source).unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        count += 1;
+    }
+    // 27 benchmarks + inc + running_example.
+    assert!(
+        count >= 29,
+        "expected at least 29 .poly files, found {count}"
+    );
+}

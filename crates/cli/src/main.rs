@@ -4,6 +4,8 @@
 //! polyinv parse <file> [--json]
 //! polyinv synth <file> [assertion options] [reduction options] [--json]
 //! polyinv check <file> --invariant <text> ... [--json]
+//! polyinv validate <file> [assertion options] [--trace-runs N] [--json]
+//! polyinv fuzz [--seed N] [--count N] [--artifacts DIR] [--json]
 //! polyinv batch <requests.json> [--json]
 //! ```
 //!
@@ -33,6 +35,8 @@ SUBCOMMANDS:
     parse <file>              Parse and resolve a program, print its shape
     synth <file>              Synthesize an inductive invariant (weak mode)
     check <file>              Certify a given candidate invariant
+    validate <file>           Weak synthesis + trace falsification + exact re-check
+    fuzz                      Generate seeded programs and attack the soundness claim
     batch <requests.json>     Run a JSON array of requests in parallel
 
 ASSERTION OPTIONS (synth: targets; check: candidate conjuncts):
@@ -49,6 +53,12 @@ REDUCTION OPTIONS:
     --strong                  Enumerate a representative set instead (synth)
     --attempts <n>            Multi-start attempts for --strong
     --generate-only           Steps 1-3 only: report |S|, unknowns, timings
+
+VALIDATION OPTIONS (validate, fuzz):
+    --seed <n>                Base seed (fuzz: programs; both: traces)  (default 0)
+    --count <n>               Fuzzed program count (fuzz)               (default 100)
+    --trace-runs <n>          Valid traces per invariant                (default 1000)
+    --artifacts <dir>         Write failing fuzz cases as JSON into <dir>
 
 OUTPUT:
     --json                    Machine-readable JSON on stdout
@@ -97,6 +107,8 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
         "parse" => cmd_parse(&args[1..]),
         "synth" => cmd_synth(&args[1..]),
         "check" => cmd_check(&args[1..]),
+        "validate" => cmd_validate(&args[1..]),
+        "fuzz" => cmd_fuzz(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
@@ -119,6 +131,10 @@ struct CommonArgs {
     strong: bool,
     attempts: Option<usize>,
     generate_only: bool,
+    seed: Option<u64>,
+    count: Option<usize>,
+    trace_runs: Option<usize>,
+    artifacts: Option<String>,
 }
 
 fn parse_common(args: &[String]) -> Result<CommonArgs, CliError> {
@@ -134,6 +150,10 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, CliError> {
         strong: false,
         attempts: None,
         generate_only: false,
+        seed: None,
+        count: None,
+        trace_runs: None,
+        artifacts: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -168,6 +188,10 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, CliError> {
             "--encoding" => parsed.encoding = Some(value(arg)?),
             "--backend" => parsed.backend = Some(value(arg)?),
             "--attempts" => parsed.attempts = Some(parse_number(arg, &value(arg)?)?),
+            "--seed" => parsed.seed = Some(parse_number(arg, &value(arg)?)?),
+            "--count" => parsed.count = Some(parse_number(arg, &value(arg)?)?),
+            "--trace-runs" => parsed.trace_runs = Some(parse_number(arg, &value(arg)?)?),
+            "--artifacts" => parsed.artifacts = Some(value(arg)?),
             other if other.starts_with("--") => {
                 return Err(usage(format!("unknown flag `{other}`")));
             }
@@ -308,6 +332,118 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, CliError> {
     Ok(exit_for(&report))
 }
 
+/// The validation settings shared by `validate` and `fuzz`.
+fn validation_config(parsed: &CommonArgs) -> polyinv_validate::ValidationConfig {
+    let mut config = polyinv_validate::ValidationConfig::default();
+    if let Some(runs) = parsed.trace_runs {
+        config.trace.runs = runs;
+    }
+    if let Some(seed) = parsed.seed {
+        config.trace.seed = seed;
+    }
+    config
+}
+
+fn cmd_validate(args: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = parse_common(args)?;
+    let path = parsed
+        .file
+        .clone()
+        .ok_or_else(|| usage("validate needs a file"))?;
+    let source = read_file(&path)?;
+    let request = build_request(&parsed, Mode::Weak, source)?.with_id(path);
+    let config = validation_config(&parsed);
+    let report = polyinv_validate::run_validated(&request, &config)?;
+    emit_report(&report, parsed.json);
+    let validated = report
+        .validate
+        .as_ref()
+        .map(|record| record.passed)
+        .unwrap_or(false);
+    Ok(if report.status.is_success() && validated {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = parse_common(args)?;
+    if parsed.file.is_some() {
+        return Err(usage("fuzz takes no input file (programs are generated)"));
+    }
+    let mut config = polyinv_validate::FuzzConfig {
+        validation: validation_config(&parsed),
+        ..polyinv_validate::FuzzConfig::default()
+    };
+    if let Some(seed) = parsed.seed {
+        config.seed = seed;
+    }
+    if let Some(count) = parsed.count {
+        config.count = count;
+    }
+    if let Some(degree) = parsed.degree {
+        config.options.degree = degree;
+    }
+    if let Some(size) = parsed.size {
+        config.options.size = size;
+    }
+    if let Some(upsilon) = parsed.upsilon {
+        config.options.upsilon = upsilon;
+    }
+    let summary = polyinv_validate::run_fuzz(&config);
+
+    if let Some(dir) = &parsed.artifacts {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir).map_err(|error| {
+            CliError::Api(ApiError::Io {
+                path: dir.display().to_string(),
+                message: error.to_string(),
+            })
+        })?;
+        for case in summary.failures() {
+            let path = dir.join(format!("fuzz-case-{}.json", case.index));
+            let mut text = case.to_json().pretty();
+            text.push('\n');
+            std::fs::write(&path, text).map_err(|error| {
+                CliError::Api(ApiError::Io {
+                    path: path.display().to_string(),
+                    message: error.to_string(),
+                })
+            })?;
+        }
+    }
+
+    if parsed.json {
+        println!("{}", summary.to_json().pretty());
+    } else {
+        println!(
+            "fuzz: {} case(s) from seed {} — {} sound, {} unsolved, {} violation(s), {} round-trip, {} generation",
+            summary.cases.len(),
+            config.seed,
+            summary.count("sound"),
+            summary.count("unsolved"),
+            summary.count("violation"),
+            summary.count("round-trip-mismatch"),
+            summary.count("generation-error"),
+        );
+        for case in summary.failures() {
+            println!(
+                "FAILURE case {} (seed {}): {}",
+                case.index,
+                case.seed,
+                case.status.label()
+            );
+            println!("{}", case.source);
+        }
+    }
+    Ok(if summary.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
 fn cmd_batch(args: &[String]) -> Result<ExitCode, CliError> {
     let parsed = parse_common(args)?;
     let path = parsed.file.ok_or_else(|| usage("batch needs a file"))?;
@@ -433,6 +569,23 @@ fn emit_report(report: &SynthesisReport, json: bool) {
             .map(|(stage, secs)| format!("{stage} {secs:.3}s"))
             .collect();
         println!("timings: {}", rendered.join(", "));
+    }
+    if let Some(record) = &report.validate {
+        println!(
+            "validation: {} — {} trace(s), {} state(s), {} violation(s){}",
+            if record.passed { "passed" } else { "FAILED" },
+            record.trace_runs,
+            record.trace_states,
+            record.trace_violations,
+            match &record.exact {
+                Some(exact) => format!(
+                    ", exact worst {} ({})",
+                    exact.worst_violation,
+                    if exact.passed { "ok" } else { "over tolerance" }
+                ),
+                None => String::new(),
+            }
+        );
     }
     if !report.invariants.is_empty() {
         println!("invariants:");

@@ -150,3 +150,76 @@ fn synth_closes_the_bounded_counter_and_batch_runs_it_four_times() {
         assert_eq!(report.get("status").unwrap().as_str(), Some("synthesized"));
     }
 }
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "drives synthesis + validation; run with `cargo test --release`"
+)]
+fn validate_closes_and_validates_the_bounded_counter() {
+    let output = polyinv(&[
+        "validate",
+        &program("inc.poly"),
+        "--target",
+        "x + 1 > 0",
+        "--degree",
+        "1",
+        "--trace-runs",
+        "300",
+        "--json",
+    ]);
+    assert!(output.status.success(), "exit: {:?}", output.status);
+    let doc = stdout_json(&output);
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("synthesized"));
+    let record = doc.get("validate").expect("validate block present");
+    assert_eq!(record.get("passed").unwrap().as_bool(), Some(true));
+    assert_eq!(record.get("trace_runs").unwrap().as_usize(), Some(300));
+    assert_eq!(record.get("trace_violations").unwrap().as_usize(), Some(0));
+    let exact = record.get("exact").expect("exact re-check ran");
+    assert_eq!(exact.get("passed").unwrap().as_bool(), Some(true));
+    assert!(exact
+        .get("worst_violation")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains('/'));
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "drives synthesis + validation; run with `cargo test --release`"
+)]
+fn fuzz_smoke_runs_clean_and_writes_artifacts_only_on_failure() {
+    let dir = std::env::temp_dir().join("polyinv-cli-smoke-fuzz");
+    let _ = std::fs::remove_dir_all(&dir);
+    let output = polyinv(&[
+        "fuzz",
+        "--seed",
+        "7",
+        "--count",
+        "5",
+        "--trace-runs",
+        "200",
+        "--artifacts",
+        dir.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(output.status.success(), "exit: {:?}", output.status);
+    let doc = stdout_json(&output);
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("polyinv-fuzz/v1"));
+    assert_eq!(doc.get("passed").unwrap().as_bool(), Some(true));
+    assert_eq!(doc.get("cases").unwrap().as_usize(), Some(5));
+    assert!(doc.get("failures").unwrap().as_array().unwrap().is_empty());
+    // No failures → no artifact files.
+    let artifacts = std::fs::read_dir(&dir)
+        .map(|entries| entries.count())
+        .unwrap_or(0);
+    assert_eq!(artifacts, 0);
+}
+
+#[test]
+fn fuzz_rejects_an_input_file_with_usage() {
+    let output = polyinv(&["fuzz", &program("inc.poly")]);
+    assert_eq!(output.status.code(), Some(2));
+}

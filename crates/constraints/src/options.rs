@@ -104,6 +104,19 @@ impl SynthesisOptions {
         self.force_recursive = force;
         self
     }
+
+    /// The multiplier-degree ladder the solve drivers climb: the much
+    /// smaller ϒ = 0 reduction (constant multipliers) first, then — when
+    /// the cheap rung finds nothing and ϒ > 0 was requested — the full
+    /// reduction. One definition so the weak, strong and validated drivers
+    /// cannot drift apart. Never empty.
+    pub fn upsilon_ladder(&self) -> Vec<u32> {
+        let mut ladder = vec![0];
+        if self.upsilon > 0 {
+            ladder.push(self.upsilon);
+        }
+        ladder
+    }
 }
 
 /// The full output of the reduction: the quadratic system plus everything

@@ -368,7 +368,6 @@ impl PairGenerator<'_> {
                     label: from,
                     callee: callee.to_string(),
                 })?;
-        let caller_fn = self.program.label_function(from);
         let post = self.templates.postcondition(callee).ok_or_else(|| {
             ConstraintError::MissingPostcondition {
                 label: from,
@@ -395,20 +394,26 @@ impl PairGenerator<'_> {
                 entry_subst.push((param, IntPoly::variable(arg[pos], self.table)));
             }
         }
-        // Atoms of the callee's entry pre-condition that, after the
-        // substitution, only mention the caller's variables. (Atoms about
-        // the callee's local variables — which are zero on entry — carry no
-        // information about the caller's state and are dropped.)
-        let caller_vars: HashSet<VarId> = caller_fn.vars().iter().copied().collect();
-        let entry_pre: Vec<IntTemplate> = self
-            .pre_templates_substituted(callee_fn.entry_label(), &entry_subst)
-            .into_iter()
-            .filter(|poly| {
-                poly.variables(self.table)
-                    .iter()
-                    .all(|v| caller_vars.contains(v))
-            })
-            .collect();
+        // Atoms of the callee's entry pre-condition that only constrain the
+        // values being passed in, i.e. whose variables are all parameters or
+        // shadow parameters (the substitution domain). Atoms about the
+        // callee's other variables describe the *callee frame* (locals and
+        // `ret_g` are zero on entry) and say nothing about the caller's
+        // state — importing them is unsound for self-recursive calls, where
+        // the callee's locals are the caller's own variables. (Found by the
+        // `polyinv-validate` fuzzer: the leaked `m = 0 ∧ ret = 0` facts let
+        // the solver synthesize invariants that real runs falsify.)
+        let subst_domain: HashSet<VarId> = params.iter().chain(shadows.iter()).copied().collect();
+        let mut entry_pre: Vec<IntTemplate> = Vec::new();
+        for poly in self.pre_templates(callee_fn.entry_label()) {
+            let in_domain = poly
+                .variables(self.table)
+                .iter()
+                .all(|v| subst_domain.contains(v));
+            if in_domain {
+                entry_pre.push(substitute(&poly, &entry_subst, self.table));
+            }
+        }
 
         // Substitution for the callee's post-condition template:
         // ret_f' ↦ v₀*, v̄'ᵢ ↦ argᵢ.

@@ -282,20 +282,24 @@ pub fn falsify(
             })
             .collect();
         let trace = interpreter.run(&inputs, &mut oracle);
-        // Validity: every visited state satisfies its pre-condition.
+        // Validity: every visited state satisfies its pre-condition
+        // (overflow-safe: an undecidable state invalidates the run).
         let valid = trace.states.iter().all(|state| {
-            pre.get(state.label)
-                .iter()
-                .all(|atom| atom.eval(|v| state.valuation.get(&v).copied().unwrap_or_default()))
+            pre.get(state.label).iter().all(|atom| {
+                atom.checked_eval(|v| state.valuation.get(&v).copied().unwrap_or_default())
+                    == Some(true)
+            })
         });
         if !valid {
             continue;
         }
         for state in &trace.states {
-            let holds = invariant.holds_at(state.label, |v| {
-                state.valuation.get(&v).copied().unwrap_or_default()
+            // `None` (overflow) is not a witnessed violation; skip it.
+            let violated = invariant.get(state.label).iter().any(|atom| {
+                atom.checked_eval(|v| state.valuation.get(&v).copied().unwrap_or_default())
+                    == Some(false)
             });
-            if !holds {
+            if violated {
                 return Some(Violation {
                     label: state.label,
                     valuation: state.valuation.clone(),

@@ -76,7 +76,7 @@ pub use pipeline::{Pipeline, Solution, StageTimings, SynthesisContext};
 #[allow(deprecated)]
 pub use strong::{StrongOptions, StrongSynthesis};
 #[allow(deprecated)]
-pub use weak::{SynthesisOutcome, SynthesisStatus, TargetAssertion, WeakSynthesis};
+pub use weak::{fix_targets, SynthesisOutcome, SynthesisStatus, TargetAssertion, WeakSynthesis};
 
 /// Convenient glob-import for downstream users and examples.
 pub mod prelude {

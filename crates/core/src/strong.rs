@@ -90,6 +90,12 @@ impl StrongSynthesis {
     /// Enumerates a representative set of inductive invariants of the
     /// requested shape.
     ///
+    /// Like the weak driver, enumeration climbs the multiplier-degree
+    /// ladder: the much smaller ϒ = 0 system (constant multipliers) is
+    /// attempted first, and the full-ϒ reduction only when the cheap rung
+    /// finds nothing. Soundness is unaffected — every accepted solution
+    /// satisfies the system it was solved against.
+    ///
     /// # Errors
     ///
     /// Returns a [`ConstraintError`] when the generation stages reject the
@@ -99,7 +105,24 @@ impl StrongSynthesis {
         program: &Program,
         pre: &Precondition,
     ) -> Result<Vec<StrongSolution>, ConstraintError> {
-        let pipeline = Pipeline::new(self.options.synthesis.clone());
+        let ladder = self.options.synthesis.upsilon_ladder();
+        for (step, &upsilon) in ladder.iter().enumerate() {
+            let options = self.options.synthesis.clone().with_upsilon(upsilon);
+            let solutions = self.enumerate_with(program, pre, &options)?;
+            if !solutions.is_empty() || step + 1 == ladder.len() {
+                return Ok(solutions);
+            }
+        }
+        unreachable!("the ladder is never empty")
+    }
+
+    fn enumerate_with(
+        &self,
+        program: &Program,
+        pre: &Precondition,
+        synthesis: &SynthesisOptions,
+    ) -> Result<Vec<StrongSolution>, ConstraintError> {
+        let pipeline = Pipeline::new(synthesis.clone());
         let mut ctx = pipeline.context(program, pre);
         let generated = pipeline.generate(&mut ctx)?;
         let template_ids = generated.system.registry.template_unknowns();

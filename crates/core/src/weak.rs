@@ -196,10 +196,7 @@ impl WeakSynthesis {
         // suffice and produce a much smaller quadratic system; the requested
         // ϒ is attempted only when the cheap attempt fails. Soundness is
         // unaffected (every accepted solution satisfies its own system).
-        let mut ladder = vec![0];
-        if self.options.upsilon > 0 {
-            ladder.push(self.options.upsilon);
-        }
+        let ladder = self.options.upsilon_ladder();
         let mut total = StageTimings::new();
         let mut last: Option<SynthesisOutcome> = None;
         for (step, &upsilon) in ladder.iter().enumerate() {
@@ -255,7 +252,17 @@ impl WeakSynthesis {
 /// Builds the map of s-variables pinned by the target assertions: for every
 /// target, conjunct 0 (or the next free conjunct) of the template at the
 /// target label is forced to equal the target polynomial coefficient-wise.
-pub(crate) fn fix_targets(
+///
+/// Public so that external drivers (the validation subsystem's
+/// synthesize-and-validate loop) can pin targets exactly like
+/// [`WeakSynthesis`] does before calling [`Pipeline::solve`].
+///
+/// # Panics
+///
+/// Panics if a label receives more targets than the template has conjuncts,
+/// or if a target mentions a monomial outside the template basis at its
+/// label (e.g. a cubic target with a quadratic template).
+pub fn fix_targets(
     generated: &GeneratedSystem,
     targets: &[TargetAssertion],
 ) -> HashMap<UnknownId, Rational> {

@@ -54,6 +54,20 @@ impl Atom {
         }
     }
 
+    /// Evaluates the atom at a rational valuation, returning `None` on
+    /// `i128` rational overflow (overflow-safe interpretation).
+    pub fn checked_eval<F>(&self, valuation: F) -> Option<bool>
+    where
+        F: FnMut(VarId) -> Rational,
+    {
+        let value = self.poly.checked_eval(valuation)?;
+        Some(if self.strict {
+            value.is_positive()
+        } else {
+            !value.is_negative()
+        })
+    }
+
     /// Evaluates the atom at an `f64` valuation with a small tolerance.
     pub fn eval_f64<F>(&self, valuation: F, tolerance: f64) -> bool
     where
@@ -175,6 +189,34 @@ impl BoolFormula {
             BoolFormula::And(parts) => parts.iter().all(|p| p.eval(valuation)),
             BoolFormula::Or(parts) => parts.iter().any(|p| p.eval(valuation)),
             BoolFormula::Not(inner) => !inner.eval(valuation),
+        }
+    }
+
+    /// Evaluates the formula at a rational valuation, returning `None` on
+    /// `i128` rational overflow in any atom that had to be evaluated.
+    pub fn checked_eval<F>(&self, valuation: &mut F) -> Option<bool>
+    where
+        F: FnMut(VarId) -> Rational,
+    {
+        match self {
+            BoolFormula::Atom(atom) => atom.checked_eval(&mut *valuation),
+            BoolFormula::And(parts) => {
+                for part in parts {
+                    if !part.checked_eval(valuation)? {
+                        return Some(false);
+                    }
+                }
+                Some(true)
+            }
+            BoolFormula::Or(parts) => {
+                for part in parts {
+                    if part.checked_eval(valuation)? {
+                        return Some(true);
+                    }
+                }
+                Some(false)
+            }
+            BoolFormula::Not(inner) => Some(!inner.checked_eval(valuation)?),
         }
     }
 

@@ -83,7 +83,9 @@ pub struct ExecutionTrace {
     /// The value returned by `fmain`, if the run terminated within the step
     /// limit.
     pub return_value: Option<Rational>,
-    /// `false` if the step limit was reached before termination.
+    /// `false` if the step limit was reached — or `i128` rational
+    /// arithmetic overflowed — before termination. The recorded states are
+    /// exact reachable states either way.
     pub completed: bool,
 }
 
@@ -97,6 +99,10 @@ pub struct Interpreter<'p> {
 enum Flow {
     Normal,
     Returned,
+    /// The step limit was exhausted, or exact rational arithmetic
+    /// overflowed `i128` (programs iterating rational dynamics square
+    /// their denominators every iteration). Either way the run stops and
+    /// is reported as not completed.
     OutOfFuel,
 }
 
@@ -227,7 +233,9 @@ impl<'p> Interpreter<'p> {
         match &stmt.kind {
             StmtKind::Skip => Flow::Normal,
             StmtKind::Assign { var, expr } => {
-                let value = expr.eval(|v| lookup(valuation, v));
+                let Some(value) = expr.checked_eval(|v| lookup(valuation, v)) else {
+                    return Flow::OutOfFuel;
+                };
                 valuation.insert(*var, value);
                 Flow::Normal
             }
@@ -236,7 +244,9 @@ impl<'p> Interpreter<'p> {
                 Flow::Normal
             }
             StmtKind::Return { expr } => {
-                let value = expr.eval(|v| lookup(valuation, v));
+                let Some(value) = expr.checked_eval(|v| lookup(valuation, v)) else {
+                    return Flow::OutOfFuel;
+                };
                 valuation.insert(function.ret_var(), value);
                 Flow::Returned
             }
@@ -260,7 +270,9 @@ impl<'p> Interpreter<'p> {
                 then_branch,
                 else_branch,
             } => {
-                let taken = cond.eval(&mut |v| lookup(valuation, v));
+                let Some(taken) = cond.checked_eval(&mut |v| lookup(valuation, v)) else {
+                    return Flow::OutOfFuel;
+                };
                 let branch = if taken { then_branch } else { else_branch };
                 self.exec_list(function, branch, valuation, oracle, trace, fuel, depth)
             }
@@ -280,7 +292,9 @@ impl<'p> Interpreter<'p> {
                     if *fuel == 0 {
                         return Flow::OutOfFuel;
                     }
-                    let taken = cond.eval(&mut |v| lookup(valuation, v));
+                    let Some(taken) = cond.checked_eval(&mut |v| lookup(valuation, v)) else {
+                        return Flow::OutOfFuel;
+                    };
                     if !taken {
                         return Flow::Normal;
                     }

@@ -17,7 +17,10 @@
 //!   form and DNF conversion (used by Step 2 of the algorithm);
 //! * [`spec`] — pre-conditions, post-conditions and invariant maps;
 //! * [`interp`] — a concrete interpreter of the stack semantics of
-//!   Section 2.2, used for testing and for falsifying candidate invariants.
+//!   Section 2.2, used for testing and for falsifying candidate invariants;
+//! * [`printer`] — a pretty-printer rendering resolved programs back to
+//!   parseable `.poly` source (`Program` implements `Display`), so
+//!   generated programs round-trip through the real parser.
 //!
 //! # Example
 //!
@@ -48,6 +51,7 @@ pub mod guard;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
+pub mod printer;
 pub mod program;
 pub mod spec;
 

@@ -1,0 +1,358 @@
+//! Pretty-printing resolved programs back to parseable `.poly` source.
+//!
+//! [`Program`] implements [`std::fmt::Display`] through this module: the
+//! printed text is valid input for [`crate::parse_program`], and re-parsing
+//! it yields a program with the same labels, guards and (canonical)
+//! polynomials. This is what lets generated programs round-trip through the
+//! real parser, and what the `programs/*.poly` parity tests compare against.
+//!
+//! Two conventions keep the output inside the grammar of Figure 5:
+//!
+//! * polynomials are printed in their canonical term order with explicit
+//!   `*` between factors (`0.5*n*n + 0.5*n + 1`), exponents expanded into
+//!   repeated products;
+//! * rational coefficients are printed as decimals whenever the denominator
+//!   is of the form `2^a·5^b` — which covers every constant reachable from
+//!   parsed source, since numeric literals are decimal and the language has
+//!   no division. Other denominators (constructible only through the API)
+//!   fall back to `p/q`, which deliberately does not re-parse.
+
+use std::fmt;
+
+use polyinv_arith::Rational;
+use polyinv_poly::Polynomial;
+
+use crate::guard::{Atom, BoolFormula};
+use crate::program::{Function, LStmt, Program, StmtKind};
+
+/// Renders a rational as a decimal literal when exact (`1/2` → `0.5`),
+/// falling back to `p/q` for denominators that have no finite decimal form.
+pub fn rational_to_source(value: &Rational) -> String {
+    let numer = value.numer();
+    let denom = value.denom();
+    if denom == 1 {
+        return numer.to_string();
+    }
+    // Count the 2s and 5s of the denominator; any other factor has no
+    // finite decimal expansion.
+    let mut rest = denom;
+    let mut twos = 0u32;
+    let mut fives = 0u32;
+    while rest % 2 == 0 {
+        rest /= 2;
+        twos += 1;
+    }
+    while rest % 5 == 0 {
+        rest /= 5;
+        fives += 1;
+    }
+    let digits = twos.max(fives);
+    if rest != 1 {
+        return format!("{numer}/{denom}");
+    }
+    let scale = 10i128
+        .checked_pow(digits)
+        .and_then(|p| p.checked_div(denom));
+    let Some(scale) = scale else {
+        return format!("{numer}/{denom}");
+    };
+    let Some(scaled) = numer.checked_mul(scale) else {
+        return format!("{numer}/{denom}");
+    };
+    let sign = if scaled < 0 { "-" } else { "" };
+    let text = scaled.unsigned_abs().to_string();
+    let digits = digits as usize;
+    if text.len() <= digits {
+        format!("{sign}0.{:0>width$}", text, width = digits)
+    } else {
+        let (whole, frac) = text.split_at(text.len() - digits);
+        format!("{sign}{whole}.{frac}")
+    }
+}
+
+/// Renders a polynomial as a parseable arithmetic expression over the
+/// program's variable display names (`0` for the zero polynomial).
+pub fn poly_to_source(program: &Program, poly: &Polynomial) -> String {
+    if poly.is_zero() {
+        return "0".to_string();
+    }
+    let mut out = String::new();
+    for (index, (monomial, coeff)) in poly.iter().enumerate() {
+        let negative = coeff.is_negative();
+        let magnitude = coeff.abs();
+        if index == 0 {
+            if negative {
+                out.push('-');
+            }
+        } else {
+            out.push_str(if negative { " - " } else { " + " });
+        }
+        let mut factors: Vec<String> = Vec::new();
+        if !magnitude.is_one() || monomial.is_one() {
+            factors.push(rational_to_source(&magnitude));
+        }
+        for (var, exponent) in monomial.iter() {
+            let name = program.var_table().display_name(var).to_string();
+            for _ in 0..exponent {
+                factors.push(name.clone());
+            }
+        }
+        out.push_str(&factors.join("*"));
+    }
+    out
+}
+
+/// Renders an atomic assertion (`poly > 0` / `poly >= 0`).
+pub fn atom_to_source(program: &Program, atom: &Atom) -> String {
+    format!(
+        "{} {} 0",
+        poly_to_source(program, &atom.poly),
+        if atom.strict { ">" } else { ">=" }
+    )
+}
+
+/// Renders a guard formula as parseable source. Conjunctions and
+/// disjunctions parenthesize every part, so nesting and mixed operators
+/// re-parse to the same tree.
+pub fn formula_to_source(program: &Program, formula: &BoolFormula) -> String {
+    match formula {
+        BoolFormula::Atom(atom) => atom_to_source(program, atom),
+        // Empty conjunctions/disjunctions cannot come out of the parser;
+        // print a parseable tautology/contradiction for API-built formulas.
+        BoolFormula::And(parts) if parts.is_empty() => "0 >= 0".to_string(),
+        BoolFormula::Or(parts) if parts.is_empty() => "0 > 0".to_string(),
+        BoolFormula::And(parts) => parts
+            .iter()
+            .map(|p| format!("({})", formula_to_source(program, p)))
+            .collect::<Vec<_>>()
+            .join(" && "),
+        BoolFormula::Or(parts) => parts
+            .iter()
+            .map(|p| format!("({})", formula_to_source(program, p)))
+            .collect::<Vec<_>>()
+            .join(" || "),
+        BoolFormula::Not(inner) => format!("!({})", formula_to_source(program, inner)),
+    }
+}
+
+/// Renders a resolved program as `.poly` source. This is the implementation
+/// behind `Program`'s [`Display`](fmt::Display).
+pub fn program_to_source(program: &Program) -> String {
+    let mut out = String::new();
+    for (index, function) in program.functions().iter().enumerate() {
+        if index > 0 {
+            out.push('\n');
+        }
+        write_function(program, function, &mut out);
+    }
+    out
+}
+
+fn write_function(program: &Program, function: &Function, out: &mut String) {
+    let params: Vec<&str> = function
+        .params()
+        .iter()
+        .map(|&p| program.var_table().display_name(p))
+        .collect();
+    out.push_str(&format!("{}({}) {{\n", function.name(), params.join(", ")));
+    write_block(program, function, function.body(), 1, out);
+    out.push_str("\n}\n");
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+/// Writes a statement block without a trailing newline (callers add the
+/// separator appropriate for their position).
+fn write_block(
+    program: &Program,
+    function: &Function,
+    body: &[LStmt],
+    depth: usize,
+    out: &mut String,
+) {
+    for (index, stmt) in body.iter().enumerate() {
+        if index > 0 {
+            out.push_str(";\n");
+        }
+        if let Some(atoms) = function.pre_annotations().get(&stmt.label) {
+            let rendered: Vec<String> = atoms
+                .iter()
+                .map(|atom| atom_to_source(program, atom))
+                .collect();
+            indent(depth, out);
+            out.push_str(&format!("@pre({});\n", rendered.join(" && ")));
+        }
+        write_stmt(program, function, stmt, depth, out);
+    }
+}
+
+fn write_stmt(
+    program: &Program,
+    function: &Function,
+    stmt: &LStmt,
+    depth: usize,
+    out: &mut String,
+) {
+    indent(depth, out);
+    let name = |v| program.var_table().display_name(v).to_string();
+    match &stmt.kind {
+        StmtKind::Skip => out.push_str("skip"),
+        StmtKind::Assign { var, expr } => {
+            out.push_str(&format!(
+                "{} := {}",
+                name(*var),
+                poly_to_source(program, expr)
+            ));
+        }
+        StmtKind::Havoc { var } => out.push_str(&format!("{} := *", name(*var))),
+        StmtKind::Return { expr } => {
+            out.push_str(&format!("return {}", poly_to_source(program, expr)));
+        }
+        StmtKind::Call { dest, callee, args } => {
+            let args: Vec<String> = args.iter().map(|&a| name(a)).collect();
+            out.push_str(&format!(
+                "{} := {}({})",
+                name(*dest),
+                callee,
+                args.join(", ")
+            ));
+        }
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            out.push_str(&format!("if {} then\n", formula_to_source(program, cond)));
+            write_block(program, function, then_branch, depth + 1, out);
+            out.push('\n');
+            indent(depth, out);
+            out.push_str("else\n");
+            write_block(program, function, else_branch, depth + 1, out);
+            out.push('\n');
+            indent(depth, out);
+            out.push_str("fi");
+        }
+        StmtKind::NondetIf {
+            then_branch,
+            else_branch,
+        } => {
+            out.push_str("if * then\n");
+            write_block(program, function, then_branch, depth + 1, out);
+            out.push('\n');
+            indent(depth, out);
+            out.push_str("else\n");
+            write_block(program, function, else_branch, depth + 1, out);
+            out.push('\n');
+            indent(depth, out);
+            out.push_str("fi");
+        }
+        StmtKind::While { cond, body } => {
+            out.push_str(&format!("while {} do\n", formula_to_source(program, cond)));
+            write_block(program, function, body, depth + 1, out);
+            out.push('\n');
+            indent(depth, out);
+            out.push_str("od");
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&program_to_source(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+    use crate::program::{RECURSIVE_EXAMPLE_SOURCE, RUNNING_EXAMPLE_SOURCE};
+
+    fn reprint(source: &str) -> (String, String) {
+        let program = parse_program(source).unwrap();
+        let printed = program.to_string();
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("printed program does not re-parse: {e}\n{printed}"));
+        (printed, reparsed.to_string())
+    }
+
+    #[test]
+    fn rationals_print_as_decimals_when_exact() {
+        assert_eq!(rational_to_source(&Rational::from_int(3)), "3");
+        assert_eq!(rational_to_source(&Rational::from_int(-7)), "-7");
+        assert_eq!(rational_to_source(&Rational::new(1, 2)), "0.5");
+        assert_eq!(rational_to_source(&Rational::new(-13, 4)), "-3.25");
+        assert_eq!(rational_to_source(&Rational::new(1, 10_000)), "0.0001");
+        assert_eq!(rational_to_source(&Rational::new(833, 5_000)), "0.1666");
+        // No finite decimal form: deliberately unparseable.
+        assert_eq!(rational_to_source(&Rational::new(1, 3)), "1/3");
+    }
+
+    #[test]
+    fn printing_reaches_a_fixpoint_on_the_paper_examples() {
+        for source in [RUNNING_EXAMPLE_SOURCE, RECURSIVE_EXAMPLE_SOURCE] {
+            let (printed, reprinted) = reprint(source);
+            assert_eq!(printed, reprinted);
+        }
+    }
+
+    #[test]
+    fn reparsed_programs_keep_their_shape() {
+        let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        let reparsed = parse_program(&program.to_string()).unwrap();
+        assert_eq!(program.num_labels(), reparsed.num_labels());
+        assert_eq!(program.var_table().len(), reparsed.var_table().len());
+        for index in 0..program.num_labels() {
+            let label = crate::program::Label::new(index);
+            assert_eq!(program.label_kind(label), reparsed.label_kind(label));
+        }
+    }
+
+    #[test]
+    fn annotations_guards_and_calls_survive_printing() {
+        let source = r#"
+            main(x, y) {
+                @pre(x >= 0 && y >= 1);
+                while (x >= 0 && y >= 0) || !(x + y < 10) do
+                    if * then
+                        x := x - 0.5*y
+                    else
+                        z := helper(x, y)
+                    fi;
+                    y := y - 1
+                od;
+                return x
+            }
+            helper(a, b) {
+                @pre(a >= 0);
+                return a * b + 1
+            }
+        "#;
+        let (printed, reprinted) = reprint(source);
+        assert_eq!(printed, reprinted);
+        // Comparisons are canonicalized: `y >= 1` becomes `-1 + y >= 0`.
+        assert!(printed.contains("@pre(x >= 0 && -1 + y >= 0)"));
+        assert!(printed.contains("z := helper(x, y)"));
+        assert!(printed.contains("if * then"));
+    }
+
+    #[test]
+    fn havoc_and_inner_annotations_round_trip() {
+        let source = r#"
+            f(s, e) {
+                @pre(e >= s);
+                j := *;
+                @pre(j >= s && e >= j + 1);
+                i := j + 1;
+                return i
+            }
+        "#;
+        let (printed, reprinted) = reprint(source);
+        assert_eq!(printed, reprinted);
+        assert!(printed.contains("j := *"));
+    }
+}

@@ -6,7 +6,7 @@ use polyinv_arith::Rational;
 use polyinv_poly::{Polynomial, VarId};
 
 use crate::guard::Atom;
-use crate::program::{Label, Program, VarKind};
+use crate::program::{Label, Program, StmtKind, VarKind};
 
 /// A pre-condition: a conjunction of non-strict polynomial inequalities
 /// `eᵢ ≥ 0` at every label.
@@ -33,6 +33,16 @@ impl Precondition {
     ///
     /// * `v ≥ 0 ∧ −v ≥ 0` for every local variable `v` at `ℓ_in^f`;
     /// * `v − v̄ ≥ 0 ∧ v̄ − v ≥ 0` for every parameter `v` at `ℓ_in^f`.
+    ///
+    /// Pre-conditions constrain *every* visit to a label (run validity,
+    /// Section 2.3), so the implicit entry facts are only sound when the
+    /// entry label cannot be revisited. When a function body *starts* with
+    /// a `while` loop, the entry label is the loop head and is re-entered
+    /// with updated variables on every iteration — the implicit facts are
+    /// therefore omitted for such functions (only the explicit `@pre`
+    /// annotations remain). The paper's benchmarks all begin with
+    /// assignments, where the facts are sound and kept. This corner was
+    /// found by the trace-falsification harness of `polyinv-validate`.
     pub fn from_program(program: &Program) -> Self {
         let mut pre = Precondition::new();
         for function in program.functions() {
@@ -43,6 +53,18 @@ impl Precondition {
                     // annotation atoms are relaxed.
                     pre.add_atom(label, atom.relaxed());
                 }
+            }
+            // A while statement revisits its own label on every iteration;
+            // entry-only facts would be assumed (and enforced) at every
+            // visit, which is unsound for the synthesis direction and
+            // declares every multi-iteration run invalid for the
+            // falsification direction.
+            let entry_revisited = matches!(
+                function.body().first().map(|stmt| &stmt.kind),
+                Some(StmtKind::While { .. })
+            );
+            if entry_revisited {
+                continue;
             }
             let entry = function.entry_label();
             // Parameters equal their shadow copies on entry.
@@ -249,6 +271,27 @@ mod tests {
         // No atoms elsewhere.
         let other = program.main().labels()[3];
         assert!(pre.get(other).is_empty());
+    }
+
+    #[test]
+    fn while_at_entry_functions_get_no_implicit_entry_facts() {
+        // The entry label of this function is the loop head, revisited with
+        // updated variables on every iteration: the implicit `x = x_in` /
+        // `ret = 0` facts would be wrong there.
+        let source = r#"
+            inc(x) {
+                @pre(x >= 0);
+                while x <= 10 do
+                    x := x + 1
+                od;
+                return x
+            }
+        "#;
+        let program = parse_program(source).unwrap();
+        let pre = Precondition::from_program(&program);
+        let entry = program.main().entry_label();
+        // Only the user annotation survives.
+        assert_eq!(pre.get(entry).len(), 1);
     }
 
     #[test]

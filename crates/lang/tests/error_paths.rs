@@ -1,0 +1,206 @@
+//! Error-path corpus: a table of malformed `.poly` inputs asserting the
+//! exact diagnostic and its line/column span for each failure class —
+//! lexer errors, parser errors (unterminated blocks, bad guards), resolver
+//! rejections and assertion-scope errors (unknown identifiers, degenerate
+//! specs). Regressions in error wording or span tracking fail here, not in
+//! downstream CLI output.
+
+use polyinv_lang::{parse_assertion, parse_program};
+
+/// One malformed program: source, expected message, expected span.
+struct ProgramCase {
+    name: &'static str,
+    source: &'static str,
+    message: &'static str,
+    line: Option<usize>,
+    column: Option<usize>,
+}
+
+#[test]
+fn malformed_programs_report_exact_diagnostics() {
+    let cases = [
+        ProgramCase {
+            name: "lexer: stray character",
+            source: "f(x) { x := # }",
+            message: "unexpected character `#`",
+            line: Some(1),
+            column: Some(13),
+        },
+        ProgramCase {
+            name: "lexer: lone colon",
+            source: "f(x) { x : 1 }",
+            message: "expected `:=`",
+            line: Some(1),
+            column: Some(10),
+        },
+        ProgramCase {
+            name: "lexer: single ampersand",
+            source: "f(x) {\n  while x > 0 & x < 9 do skip od;\n  return x\n}",
+            message: "expected `&&`",
+            line: Some(2),
+            column: Some(15),
+        },
+        ProgramCase {
+            name: "lexer: unknown annotation",
+            source: "f(x) { @post(x >= 0); return x }",
+            message: "unknown annotation `@post` (only `@pre` is supported)",
+            line: Some(1),
+            column: Some(8),
+        },
+        ProgramCase {
+            name: "parser: unterminated while block",
+            source: "f(x) {\n  while x >= 0 do\n    x := x - 1\n}",
+            message: "expected `od`, found `}`",
+            line: Some(4),
+            column: Some(1),
+        },
+        ProgramCase {
+            // The `return` after the `;` still belongs to the else block;
+            // the missing `fi` is discovered at the closing brace.
+            name: "parser: unterminated if block",
+            source: "f(x) { if x >= 0 then skip else skip ; return x }",
+            message: "expected `fi`, found `}`",
+            line: Some(1),
+            column: Some(49),
+        },
+        ProgramCase {
+            name: "parser: unterminated function body",
+            source: "f(x) { return x",
+            message: "expected `}`, found end of input",
+            line: None,
+            column: None,
+        },
+        ProgramCase {
+            // The guard parser backtracks from the failed comparison and
+            // reports from the start of the would-be primary expression.
+            name: "parser: bad guard (no comparison)",
+            source: "f(x) { while x do skip od; return x }",
+            message: "expected `(` or a comparison, found identifier `x`",
+            line: Some(1),
+            column: Some(14),
+        },
+        ProgramCase {
+            // Backtracking again reports from the primary expression start
+            // (the failed comparison consumed `x >=` before giving up).
+            name: "parser: guard missing right operand",
+            source: "f(x) { if x >= then skip else skip fi; return x }",
+            message: "expected `(` or a comparison, found identifier `x`",
+            line: Some(1),
+            column: Some(11),
+        },
+        ProgramCase {
+            name: "parser: empty block",
+            source: "f(x) { }",
+            message: "expected a statement, found `}`",
+            line: Some(1),
+            column: Some(8),
+        },
+        ProgramCase {
+            name: "resolver: duplicate parameter",
+            source: "f(x, x) { return x }",
+            message: "duplicate parameter `x` in function `f`",
+            line: Some(1),
+            column: None,
+        },
+        ProgramCase {
+            name: "resolver: duplicate function",
+            source: "f(x) { return x }\nf(y) { return y }",
+            message: "function `f` is defined more than once",
+            line: Some(2),
+            column: None,
+        },
+        ProgramCase {
+            name: "resolver: call to undefined function",
+            source: "f(x) {\n  y := g(x);\n  return y\n}",
+            message: "call to undefined function `g`",
+            line: Some(2),
+            column: None,
+        },
+        ProgramCase {
+            name: "resolver: arity mismatch",
+            source: "main(x) { y := h(x, x); return y }\nh(a) { return a }",
+            message: "function `h` expects 1 argument(s), got 2",
+            line: Some(1),
+            column: None,
+        },
+        ProgramCase {
+            name: "resolver: destination aliased as argument",
+            source: "main(x) { x := h(x); return x }\nh(a) { return a }",
+            message: "variable `x` appears on both sides of a call",
+            line: Some(1),
+            column: None,
+        },
+        ProgramCase {
+            name: "resolver: trailing @pre",
+            source: "f(x) { skip; @pre(x >= 0) }",
+            message: "`@pre` annotation must be followed by a statement in the same block",
+            line: None,
+            column: None,
+        },
+        ProgramCase {
+            name: "resolver: disjunctive @pre",
+            source: "f(x) {\n  @pre(x >= 0 || x <= 0 - 5);\n  return x\n}",
+            message: "`@pre` annotations must be conjunctions of comparisons",
+            line: Some(2),
+            column: None,
+        },
+    ];
+    for case in cases {
+        let error = parse_program(case.source)
+            .err()
+            .unwrap_or_else(|| panic!("{}: expected a parse error", case.name));
+        assert_eq!(error.message(), case.message, "{}: message", case.name);
+        assert_eq!(error.line(), case.line, "{}: line", case.name);
+        assert_eq!(error.column(), case.column, "{}: column", case.name);
+    }
+}
+
+#[test]
+fn malformed_assertions_report_exact_diagnostics() {
+    let program = parse_program("f(x) { y := x * x; return y }").unwrap();
+    let cases = [
+        (
+            "unknown identifier",
+            "z + 1 > 0",
+            "unknown variable `z` in function `f`",
+            None,
+            None,
+        ),
+        (
+            "degree-0 spec (no comparison)",
+            "1",
+            "expected a comparison operator, found end of input",
+            None,
+            None,
+        ),
+        (
+            "two comparisons",
+            "x > 0 && y > 0",
+            "expected end of assertion, found `&&`",
+            Some(1),
+            Some(7),
+        ),
+        (
+            "dangling operator",
+            "x + > 1",
+            "expected an arithmetic expression, found `>`",
+            Some(1),
+            Some(5),
+        ),
+    ];
+    for (name, text, message, line, column) in cases {
+        let error = parse_assertion(&program, "f", text)
+            .err()
+            .unwrap_or_else(|| panic!("{name}: expected an error"));
+        assert_eq!(error.message(), message, "{name}: message");
+        assert_eq!(error.line(), line, "{name}: line");
+        assert_eq!(error.column(), column, "{name}: column");
+    }
+}
+
+#[test]
+fn unknown_function_scope_is_reported() {
+    let program = parse_program("f(x) { return x }").unwrap();
+    let error = parse_assertion(&program, "nope", "x > 0").unwrap_err();
+    assert_eq!(error.message(), "unknown function `nope`");
+}

@@ -150,6 +150,20 @@ impl Monomial {
         result
     }
 
+    /// Evaluates the monomial at a valuation, returning `None` on `i128`
+    /// rational overflow (the interpreter's overflow-safe path).
+    pub fn checked_eval<F>(&self, mut valuation: F) -> Option<Rational>
+    where
+        F: FnMut(VarId) -> Rational,
+    {
+        let mut result = Rational::one();
+        for &(var, exp) in &self.powers {
+            let power = valuation(var).checked_pow(exp).ok()?;
+            result = result.checked_mul(&power).ok()?;
+        }
+        Some(result)
+    }
+
     /// Evaluates the monomial at an `f64` valuation.
     pub fn eval_f64<F>(&self, mut valuation: F) -> f64
     where

@@ -188,6 +188,24 @@ impl Polynomial {
         total
     }
 
+    /// Evaluates the polynomial at a rational valuation, returning `None`
+    /// on `i128` rational overflow. Programs iterating rational dynamics
+    /// (e.g. the reinforcement-learning benchmarks) square their
+    /// denominators every loop iteration, so concrete execution must be
+    /// able to stop gracefully instead of panicking.
+    pub fn checked_eval<F>(&self, mut valuation: F) -> Option<Rational>
+    where
+        F: FnMut(VarId) -> Rational,
+    {
+        let mut total = Rational::zero();
+        for (monomial, coeff) in &self.terms {
+            let value = monomial.checked_eval(&mut valuation)?;
+            let term = coeff.checked_mul(&value).ok()?;
+            total = total.checked_add(&term).ok()?;
+        }
+        Some(total)
+    }
+
     /// Evaluates the polynomial at an `f64` valuation.
     pub fn eval_f64<F>(&self, mut valuation: F) -> f64
     where

@@ -1,0 +1,203 @@
+//! Request-level driver: serves a weak-mode [`SynthesisRequest`] through
+//! [`synthesize_and_validate`](crate::synthesize_and_validate) and returns
+//! an API [`SynthesisReport`] with the [`ValidationRecord`] block filled.
+//!
+//! This is the engine the `polyinv validate` subcommand and the
+//! `reproduce --validate` harness run on. It deliberately shares the
+//! Engine's label/assertion resolution helpers so a label index or target
+//! text means exactly the same thing as in a plain `synth` request.
+
+use std::sync::Arc;
+
+use polyinv_api::engine::resolve_weak_targets;
+use polyinv_api::{ApiError, Mode, ReportStatus, SynthesisReport, SynthesisRequest};
+use polyinv_lang::Precondition;
+use polyinv_qcqp::{backend_by_name, default_backend, QcqpBackend};
+
+use crate::{synthesize_and_validate, ValidationConfig};
+
+/// Serves a weak-mode request with validation: synthesize, then attack the
+/// result with trace falsification and the exact-rational re-check.
+///
+/// The returned report is shaped like an Engine weak-mode report, with the
+/// `validate` field filled when the solve was feasible. A feasible solve
+/// that fails validation keeps [`ReportStatus::Synthesized`] (the solver's
+/// claim) — callers decide how hard to fail on `validate.passed == false`
+/// (the CLI exits non-zero).
+///
+/// # Errors
+///
+/// Returns the same [`ApiError`]s as an Engine weak request: parse errors
+/// with spans, unknown back-ends/labels, over-degree targets.
+pub fn run_validated(
+    request: &SynthesisRequest,
+    config: &ValidationConfig,
+) -> Result<SynthesisReport, ApiError> {
+    let backend: Arc<dyn QcqpBackend> = match &request.backend {
+        Some(name) => {
+            backend_by_name(name).ok_or_else(|| ApiError::UnknownBackend { name: name.clone() })?
+        }
+        None => default_backend(),
+    };
+    run_validated_with_backend(request, config, backend)
+}
+
+/// [`run_validated`] with a caller-supplied back-end (the bench harness
+/// passes its budgeted table solver). The request's `backend` field is
+/// ignored in favor of the argument.
+///
+/// # Errors
+///
+/// Same contract as [`run_validated`].
+pub fn run_validated_with_backend(
+    request: &SynthesisRequest,
+    config: &ValidationConfig,
+    backend: Arc<dyn QcqpBackend>,
+) -> Result<SynthesisReport, ApiError> {
+    if request.mode != Mode::Weak {
+        return Err(ApiError::InvalidRequest {
+            message: "validated synthesis serves weak-mode requests only".to_string(),
+        });
+    }
+    let program = polyinv_lang::parse_program(&request.source)?;
+    // The exact request validation the Engine's weak mode applies: both
+    // entry points accept and reject the same requests.
+    let targets = resolve_weak_targets(&program, request)?;
+
+    let pre = Precondition::from_program(&program);
+    let outcome =
+        synthesize_and_validate(&program, &pre, &targets, &request.options, backend, config)?;
+
+    let status = if outcome.feasible {
+        ReportStatus::Synthesized
+    } else {
+        ReportStatus::Failed
+    };
+    let mut report = SynthesisReport {
+        id: request.id.clone(),
+        mode: Mode::Weak,
+        status,
+        backend: outcome.backend.to_string(),
+        system_size: outcome.system_size,
+        num_unknowns: outcome.num_unknowns,
+        violation: outcome.violation,
+        pairs_total: 0,
+        pairs_certified: 0,
+        invariants: Vec::new(),
+        postconditions: Vec::new(),
+        timings: outcome
+            .timings
+            .iter()
+            .map(|(stage, duration)| (stage.to_string(), duration.as_secs_f64()))
+            .collect(),
+        diagnostics: Vec::new(),
+        validate: None,
+    };
+    if outcome.feasible {
+        report.invariants = outcome
+            .invariant
+            .render(&program)
+            .lines()
+            .map(str::to_string)
+            .collect();
+        for (function, atoms) in outcome.postconditions.iter() {
+            for atom in atoms {
+                report.postconditions.push(format!(
+                    "{function}: {} {} 0",
+                    program.render_poly(&atom.poly),
+                    if atom.strict { ">" } else { ">=" }
+                ));
+            }
+        }
+        report.postconditions.sort();
+    } else {
+        report.diagnostics.push(format!(
+            "solver `{}` stopped at violation {:.3e}",
+            outcome.backend, outcome.violation
+        ));
+    }
+    if let Some(validation) = &outcome.validation {
+        for violation in &validation.trace.violations {
+            report.diagnostics.push(format!(
+                "trace violation at {}: `{}` fails on inputs {:?} (seed {})",
+                violation.label, violation.atom, violation.minimized_inputs, violation.run_seed
+            ));
+        }
+        if let Some(exact) = &validation.exact {
+            if !exact.passed() {
+                report.diagnostics.push(format!(
+                    "exact re-check failed: {} violated by {} (tolerance {})",
+                    exact.worst_constraint, exact.worst_violation, exact.tolerance
+                ));
+            }
+        }
+        report.validate = Some(validation.to_record());
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_weak_requests_are_rejected() {
+        let request = SynthesisRequest::check("f(x) { return x }");
+        let error = run_validated(&request, &ValidationConfig::default()).unwrap_err();
+        assert!(matches!(error, ApiError::InvalidRequest { .. }));
+    }
+
+    #[test]
+    fn request_validation_matches_the_engine() {
+        let request = SynthesisRequest::weak("f(x) { return x }").with_backend("loqo");
+        assert!(matches!(
+            run_validated(&request, &ValidationConfig::default()),
+            Err(ApiError::UnknownBackend { .. })
+        ));
+        let request = SynthesisRequest::weak("f(x) { return x }").with_target_at(99, "x > 0");
+        assert!(matches!(
+            run_validated(&request, &ValidationConfig::default()),
+            Err(ApiError::UnknownLabel { index: 99, .. })
+        ));
+        let request = SynthesisRequest::weak("f(x) { return x }").with_target("x*x*x + 1 > 0");
+        assert!(matches!(
+            run_validated(&request, &ValidationConfig::default()),
+            Err(ApiError::InvalidRequest { .. })
+        ));
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; run with `cargo test --release`"
+    )]
+    fn validated_weak_requests_fill_the_record() {
+        let request = SynthesisRequest::weak(
+            r#"
+            inc(x) {
+                @pre(x >= 0);
+                while x <= 10 do
+                    x := x + 1
+                od;
+                return x
+            }
+            "#,
+        )
+        .with_id("inc/validate")
+        .with_degree(1)
+        .with_target("x + 1 > 0");
+        let report = run_validated(&request, &ValidationConfig::default()).unwrap();
+        assert_eq!(report.status, ReportStatus::Synthesized);
+        let record = report
+            .validate
+            .clone()
+            .expect("feasible runs carry a record");
+        assert!(record.passed, "diagnostics: {:?}", report.diagnostics);
+        assert_eq!(record.trace_runs, 1000);
+        assert!(record.exact.expect("exact re-check ran").passed);
+        // The record survives the JSON round trip.
+        let text = report.to_json_string();
+        let reparsed = SynthesisReport::from_json_str(&text).unwrap();
+        assert_eq!(reparsed, report);
+    }
+}

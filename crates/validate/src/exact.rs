@@ -1,0 +1,281 @@
+//! Exact-rational re-check of a solved quadratic system.
+//!
+//! The LM back-end works in floating point; the reported invariants are the
+//! templates instantiated at *rounded* coefficients. This module closes the
+//! loop: the rounded coefficients are substituted back into the Step-3
+//! constraints (the quadratic (in)equalities the Putinar translation derived
+//! from the Step-2 pairs) and every constraint is evaluated with [`Rational`]
+//! arithmetic — no floats, no solver, and therefore independent of the path
+//! that produced the solution.
+//!
+//! Rounding policy (DESIGN.md §8): template (s-) unknowns snap to the same
+//! `k/64` grid the presentation rounding uses when the solver's value is
+//! within `snap_threshold` of a grid point; every other value (including
+//! multiplier, Cholesky and witness variables) is rounded to a dyadic
+//! rational with denominator `2^dyadic_bits`. All denominators are powers
+//! of two bounded by `2^24`, so exact evaluation over `i128` rationals
+//! cannot blow up; arithmetic overflow (only reachable through extreme
+//! program coefficients) is still reported as a failure, never ignored.
+//! [`instantiate_exact`] instantiates the invariant templates at the same
+//! assignment, so trace falsification and the exact re-check attack one
+//! consistent object.
+
+use polyinv_arith::Rational;
+use polyinv_constraints::{GeneratedSystem, QuadraticSystem, UnknownKind};
+use polyinv_lang::{InvariantMap, Postcondition, Program};
+use polyinv_poly::QuadExpr;
+
+/// Configuration of the exact re-check.
+#[derive(Debug, Clone)]
+pub struct ExactCheckConfig {
+    /// Maximum exact violation accepted (equalities: `|residual|`;
+    /// inequalities: `max(0, -value)`).
+    pub tolerance: Rational,
+    /// Denominator exponent of the dyadic rounding (`2^bits`).
+    pub dyadic_bits: u32,
+    /// Template coefficients within this distance of a `k/64` grid point
+    /// snap to it (matching the presentation rounding of reported
+    /// invariants); farther values round dyadically.
+    pub snap_threshold: f64,
+}
+
+impl Default for ExactCheckConfig {
+    fn default() -> Self {
+        ExactCheckConfig {
+            // The LM tolerance is 1e-7 and snapping moves coefficients by up
+            // to 1e-4; 1/1000 absorbs both with margin.
+            tolerance: Rational::new(1, 1000),
+            dyadic_bits: 24,
+            snap_threshold: 1e-4,
+        }
+    }
+}
+
+/// The outcome of an exact re-check.
+#[derive(Debug, Clone)]
+pub struct ExactReport {
+    /// Number of equalities and inequalities evaluated.
+    pub constraints: usize,
+    /// The worst exact violation over all constraints.
+    pub worst_violation: Rational,
+    /// Which constraint attained the worst violation.
+    pub worst_constraint: String,
+    /// The tolerance the check ran with.
+    pub tolerance: Rational,
+    /// `true` if any evaluation overflowed `i128` rational arithmetic
+    /// (reported as a failure: the check could not prove the bound).
+    pub overflowed: bool,
+}
+
+impl ExactReport {
+    /// `true` when every constraint is exactly within tolerance.
+    pub fn passed(&self) -> bool {
+        !self.overflowed && self.worst_violation <= self.tolerance
+    }
+}
+
+/// Rounds a float to the dyadic rational `round(value · 2^bits) / 2^bits`.
+fn dyadic(value: f64, bits: u32) -> Rational {
+    if !value.is_finite() {
+        return Rational::zero();
+    }
+    let scale = 1i128 << bits.min(60);
+    let scaled = (value * scale as f64).round();
+    if scaled.abs() >= 1e27 {
+        // Out of the comfortable i128 range: fall back to the bounded
+        // continued-fraction approximation.
+        return Rational::approximate(value);
+    }
+    Rational::new(scaled as i128, scale)
+}
+
+/// The exact-rational assignment the re-check evaluates: `k/64` snapping
+/// for template unknowns near a grid point (matching the presentation
+/// rounding of reported invariants), dyadic rounding for everything else.
+/// Every denominator is a power of two ≤ `2^dyadic_bits`.
+pub fn exact_assignment(
+    system: &QuadraticSystem,
+    assignment: &[f64],
+    config: &ExactCheckConfig,
+) -> Vec<Rational> {
+    system
+        .registry
+        .iter()
+        .map(|(id, kind)| {
+            let value = assignment.get(id.index()).copied().unwrap_or(0.0);
+            let is_template = matches!(
+                kind,
+                UnknownKind::Template { .. } | UnknownKind::PostTemplate { .. }
+            );
+            if is_template {
+                let snapped = Rational::approximate((value * 64.0).round() / 64.0);
+                if (snapped.to_f64() - value).abs() < config.snap_threshold {
+                    return snapped;
+                }
+            }
+            dyadic(value, config.dyadic_bits)
+        })
+        .collect()
+}
+
+/// Instantiates the invariant (and post-condition) templates of a generated
+/// system at an exact assignment, dropping conjuncts that instantiate to
+/// zero — the exact-rational counterpart of the pipeline's float-side
+/// `instantiate_solution`.
+pub fn instantiate_exact(
+    program: &Program,
+    generated: &GeneratedSystem,
+    values: &[Rational],
+) -> (InvariantMap, Postcondition) {
+    let lookup = |u: polyinv_poly::UnknownId| values.get(u.index()).copied().unwrap_or_default();
+    let mut invariant = InvariantMap::new();
+    for function in program.functions() {
+        for &label in function.labels() {
+            for poly in generated.templates.invariant(label).instantiate(lookup) {
+                if !poly.is_zero() {
+                    invariant.add(label, poly);
+                }
+            }
+        }
+    }
+    let mut postconditions = Postcondition::new();
+    for (name, template) in &generated.templates.postconditions {
+        for poly in template.instantiate(lookup) {
+            if !poly.is_zero() {
+                postconditions.add(name, poly);
+            }
+        }
+    }
+    (invariant, postconditions)
+}
+
+/// Evaluates a quadratic expression with checked rational arithmetic.
+/// `None` means overflow.
+fn eval_checked(expr: &QuadExpr, values: &[Rational]) -> Option<Rational> {
+    let value_of = |index: usize| values.get(index).copied().unwrap_or_default();
+    let mut acc = expr.constant_part();
+    for &(u, c) in expr.linear_terms() {
+        let term = c.checked_mul(&value_of(u.index())).ok()?;
+        acc = acc.checked_add(&term).ok()?;
+    }
+    for &((a, b), c) in expr.quadratic_terms() {
+        let product = value_of(a.index()).checked_mul(&value_of(b.index())).ok()?;
+        let term = c.checked_mul(&product).ok()?;
+        acc = acc.checked_add(&term).ok()?;
+    }
+    Some(acc)
+}
+
+/// Re-checks a solved system exactly: substitutes the rounded assignment
+/// into every equality and inequality and measures the worst violation in
+/// exact rational arithmetic.
+pub fn exact_recheck(
+    system: &QuadraticSystem,
+    assignment: &[f64],
+    config: &ExactCheckConfig,
+) -> ExactReport {
+    let values = exact_assignment(system, assignment, config);
+    let mut report = ExactReport {
+        constraints: system.size(),
+        worst_violation: Rational::zero(),
+        worst_constraint: String::new(),
+        tolerance: config.tolerance,
+        overflowed: false,
+    };
+    let mut consider = |violation: Option<Rational>, description: String| match violation {
+        None => report.overflowed = true,
+        Some(violation) => {
+            if violation > report.worst_violation {
+                report.worst_violation = violation;
+                report.worst_constraint = description;
+            }
+        }
+    };
+    for (index, eq) in system.equalities.iter().enumerate() {
+        let violation = eval_checked(eq, &values).map(|v| v.abs());
+        consider(violation, format!("equality #{index}"));
+    }
+    for (index, ineq) in system.inequalities.iter().enumerate() {
+        let violation = eval_checked(ineq, &values).map(|v| {
+            if v.is_negative() {
+                -v
+            } else {
+                Rational::zero()
+            }
+        });
+        consider(violation, format!("inequality #{index}"));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyinv_constraints::UnknownRegistry;
+    use polyinv_poly::{LinExpr, UnknownId};
+
+    fn tiny_system() -> QuadraticSystem {
+        let mut registry = UnknownRegistry::new();
+        let u = registry.fresh(UnknownKind::Witness { pair: 0 });
+        let v = registry.fresh(UnknownKind::Witness { pair: 1 });
+        let mut system = QuadraticSystem::new(registry);
+        // u·v - 1 = 0 and u ≥ 0.
+        let mut eq = LinExpr::unknown(u).mul(&LinExpr::unknown(v));
+        eq.add_constant(Rational::from_int(-1));
+        system.equalities.push(eq);
+        system
+            .inequalities
+            .push(LinExpr::unknown(u).mul(&LinExpr::constant(Rational::one())));
+        let _ = UnknownId::new(0);
+        system
+    }
+
+    #[test]
+    fn exact_satisfaction_passes_with_zero_violation() {
+        let system = tiny_system();
+        let report = exact_recheck(&system, &[2.0, 0.5], &ExactCheckConfig::default());
+        assert!(report.passed());
+        assert_eq!(report.worst_violation, Rational::zero());
+        assert_eq!(report.constraints, 2);
+    }
+
+    #[test]
+    fn near_satisfaction_is_measured_exactly_and_tolerated() {
+        let system = tiny_system();
+        // u·v = 1 + ~2e-7: within the default tolerance, measured exactly.
+        let report = exact_recheck(&system, &[2.0, 0.5 + 1e-7], &ExactCheckConfig::default());
+        assert!(report.passed());
+        assert!(report.worst_violation > Rational::zero());
+        assert!(report.worst_violation < Rational::new(1, 1_000_000));
+    }
+
+    #[test]
+    fn gross_violations_fail_and_name_the_constraint() {
+        let system = tiny_system();
+        let report = exact_recheck(&system, &[-1.0, 1.0], &ExactCheckConfig::default());
+        assert!(!report.passed());
+        assert_eq!(report.worst_violation, Rational::from_int(2));
+        assert_eq!(report.worst_constraint, "equality #0");
+        // The inequality u >= 0 is also violated, by 1.
+        let tight = exact_recheck(
+            &system,
+            &[-1.0, -1.0],
+            &ExactCheckConfig {
+                tolerance: Rational::zero(),
+                ..ExactCheckConfig::default()
+            },
+        );
+        assert!(!tight.passed());
+    }
+
+    #[test]
+    fn dyadic_rounding_is_exact_on_dyadic_floats() {
+        assert_eq!(dyadic(0.5, 24), Rational::new(1, 2));
+        assert_eq!(dyadic(-0.25, 24), Rational::new(-1, 4));
+        assert_eq!(dyadic(3.0, 24), Rational::from_int(3));
+        assert_eq!(dyadic(f64::NAN, 24), Rational::zero());
+        // Error is bounded by 2^-25.
+        let approx = dyadic(0.1, 24);
+        assert!((approx.to_f64() - 0.1).abs() < 1.0 / (1u64 << 24) as f64);
+    }
+}

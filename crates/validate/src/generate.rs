@@ -1,0 +1,424 @@
+//! Grammar-based generation of well-formed `.poly` programs.
+//!
+//! The generator walks the statement grammar of Figure 5 with a seeded
+//! generator and a fuel budget, producing source text that is well-formed
+//! *by construction*:
+//!
+//! * every function carries a `@pre(...)` spec constraining its parameters
+//!   to the non-negative range the input sampler draws from, so seeded
+//!   interpreter runs are valid in the paper's sense;
+//! * while loops follow the bounded-counter pattern (`k := 0; while k <= c
+//!   do …; k := k + 1 od` with the counter never reassigned inside the
+//!   body), so every generated program terminates on every oracle;
+//! * recursive helpers follow the structurally-decreasing pattern of the
+//!   paper's Figure 4 (`h(n) = … h(n - 1) …` guarded by `n <= 0`), and
+//!   call arguments are freshly-assigned non-negative constants, so the
+//!   callee's pre-condition always holds;
+//! * non-determinism (`if *` branches and havoc assignments) is generated
+//!   only when the configuration allows it.
+//!
+//! Generated programs are size-bounded by [`GenConfig`] and deterministic
+//! per seed. They round-trip through the real parser — the crate's property
+//! tests pin `parse(print(parse(source)))` as a fixpoint.
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Bounds and feature switches of the generator.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Maximum number of parameters of the main function (at least 1).
+    pub max_params: usize,
+    /// Maximum statements generated per block.
+    pub max_block_stmts: usize,
+    /// Maximum nesting depth of compound statements.
+    pub max_depth: usize,
+    /// Generate a recursive helper function (and calls to it).
+    pub recursion: bool,
+    /// Generate non-deterministic branches and havoc assignments.
+    pub nondet: bool,
+    /// Upper bound of the bounded-loop counters.
+    pub loop_bound: i64,
+    /// Magnitude bound of generated integer coefficients.
+    pub max_coeff: i64,
+    /// Total statement budget of the main function body.
+    pub stmt_budget: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_params: 2,
+            max_block_stmts: 3,
+            max_depth: 2,
+            recursion: true,
+            nondet: true,
+            loop_bound: 4,
+            max_coeff: 3,
+            stmt_budget: 12,
+        }
+    }
+}
+
+/// One generated program: the source text plus the shape decisions made,
+/// so harnesses can report what a failing seed looked like.
+#[derive(Debug, Clone)]
+pub struct GeneratedProgram {
+    /// The seed the program was generated from.
+    pub seed: u64,
+    /// The `.poly` source text.
+    pub source: String,
+    /// Whether a recursive helper function was generated.
+    pub recursive: bool,
+    /// Number of parameters of the main function.
+    pub params: usize,
+}
+
+/// Generates one well-formed program from a seed.
+pub fn generate_program(seed: u64, config: &GenConfig) -> GeneratedProgram {
+    let mut gen = Generator {
+        rng: StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(seed)),
+        config: config.clone(),
+        locals: Vec::new(),
+        counters: Vec::new(),
+        next_local: 0,
+        next_counter: 0,
+        next_arg: 0,
+        fuel: config.stmt_budget,
+        helper: None,
+    };
+    let source = gen.program();
+    GeneratedProgram {
+        seed,
+        source,
+        recursive: gen.helper.is_some(),
+        params: gen.params(),
+    }
+}
+
+struct Generator {
+    rng: StdRng,
+    config: GenConfig,
+    /// Assignable variables in scope of the main function (params + locals).
+    locals: Vec<String>,
+    /// Loop counters: readable but never reassigned by generated statements.
+    counters: Vec<String>,
+    next_local: usize,
+    next_counter: usize,
+    next_arg: usize,
+    fuel: usize,
+    helper: Option<String>,
+}
+
+impl Generator {
+    fn params(&self) -> usize {
+        self.locals
+            .iter()
+            .filter(|name| name.starts_with('p'))
+            .count()
+    }
+
+    fn chance(&mut self, numer: u32, denom: u32) -> bool {
+        self.rng.random_range(0..denom) < numer
+    }
+
+    fn coeff(&mut self) -> i64 {
+        // Non-zero coefficient in [-max_coeff, max_coeff].
+        let bound = self.config.max_coeff.max(1);
+        let magnitude = self.rng.random_range(1..bound + 1);
+        if self.chance(1, 2) {
+            -magnitude
+        } else {
+            magnitude
+        }
+    }
+
+    fn small_const(&mut self) -> i64 {
+        self.rng.random_range(0..4i64)
+    }
+
+    /// A readable variable (params, locals or counters).
+    fn readable(&mut self) -> String {
+        let pool_len = self.locals.len() + self.counters.len();
+        let index = self.rng.random_range(0..pool_len);
+        if index < self.locals.len() {
+            self.locals[index].clone()
+        } else {
+            self.counters[index - self.locals.len()].clone()
+        }
+    }
+
+    /// An assignment target: an existing local/param or a fresh local.
+    fn target(&mut self) -> String {
+        if self.chance(1, 3) || self.locals.is_empty() {
+            let name = format!("v{}", self.next_local);
+            self.next_local += 1;
+            self.locals.push(name.clone());
+            name
+        } else {
+            let index = self.rng.random_range(0..self.locals.len());
+            self.locals[index].clone()
+        }
+    }
+
+    /// A random polynomial expression over the in-scope variables:
+    /// 1–3 terms of degree ≤ 2 with small integer coefficients.
+    fn poly_expr(&mut self) -> String {
+        let terms = self.rng.random_range(1..4usize);
+        let mut out = String::new();
+        for index in 0..terms {
+            let coeff = self.coeff();
+            let degree = self.rng.random_range(0..3u32);
+            let mut factors: Vec<String> = Vec::new();
+            for _ in 0..degree {
+                factors.push(self.readable());
+            }
+            let term = if factors.is_empty() {
+                coeff.abs().to_string()
+            } else if coeff.abs() == 1 {
+                factors.join("*")
+            } else {
+                format!("{}*{}", coeff.abs(), factors.join("*"))
+            };
+            if index == 0 {
+                if coeff < 0 {
+                    out.push_str("0 - ");
+                }
+                out.push_str(&term);
+            } else {
+                out.push_str(if coeff < 0 { " - " } else { " + " });
+                out.push_str(&term);
+            }
+        }
+        out
+    }
+
+    /// A comparison between a linear expression and a small constant.
+    fn comparison(&mut self) -> String {
+        let variable = self.readable();
+        let op = ["<", "<=", ">", ">="][self.rng.random_range(0..4usize)];
+        let bound = self.small_const();
+        if self.chance(1, 3) {
+            let other = self.readable();
+            format!("{variable} + {other} {op} {bound}")
+        } else {
+            format!("{variable} {op} {bound}")
+        }
+    }
+
+    fn program(&mut self) -> String {
+        let mut out = String::new();
+        let params: Vec<String> = (0..self.rng.random_range(1..self.config.max_params.max(1) + 1))
+            .map(|index| format!("p{index}"))
+            .collect();
+        self.locals = params.clone();
+
+        let has_helper = self.config.recursion && self.chance(1, 2);
+        if has_helper {
+            self.helper = Some("hrec".to_string());
+        }
+
+        let _ = writeln!(out, "fmain({}) {{", params.join(", "));
+        let pre: Vec<String> = params
+            .iter()
+            .map(|p| format!("{p} >= 0 && {p} <= 8"))
+            .collect();
+        let _ = writeln!(out, "    @pre({});", pre.join(" && "));
+        // A couple of initialized locals seed the variable pool.
+        for _ in 0..self.rng.random_range(1..3usize) {
+            let name = self.target();
+            let value = self.small_const();
+            let _ = writeln!(out, "    {name} := {value};");
+        }
+        let body = self.block(0);
+        out.push_str(&body);
+        let result = self.readable();
+        let _ = writeln!(out, "    return {result}");
+        out.push_str("}\n");
+
+        if has_helper {
+            out.push('\n');
+            out.push_str(&self.helper_function());
+        }
+        out
+    }
+
+    /// A structurally-decreasing recursive helper in the shape of Figure 4.
+    fn helper_function(&mut self) -> String {
+        let base = self.small_const();
+        let bump = if self.chance(1, 2) {
+            "n".to_string()
+        } else {
+            format!("{}*n", self.rng.random_range(1..3i64))
+        };
+        let ret = match self.rng.random_range(0..3u32) {
+            0 => "r".to_string(),
+            1 => "r + n".to_string(),
+            _ => format!("r + {}", self.small_const()),
+        };
+        let nondet_bump = if self.config.nondet && self.chance(1, 2) {
+            format!(
+                "        if * then\n            r := r + {bump}\n        else\n            skip\n        fi;\n"
+            )
+        } else {
+            String::new()
+        };
+        format!(
+            "hrec(n) {{\n    @pre(n >= 0);\n    if n <= 0 then\n        return {base}\n    else\n        m := n - 1;\n        r := hrec(m);\n{nondet_bump}        return {ret}\n    fi\n}}\n"
+        )
+    }
+
+    /// A statement block at nesting depth `depth`, `;`-separated with one
+    /// statement per line, indented for readability. Always non-empty.
+    fn block(&mut self, depth: usize) -> String {
+        let indent = "    ".repeat(depth + 1);
+        let count = self
+            .rng
+            .random_range(1..self.config.max_block_stmts.max(1) + 1);
+        let mut out = String::new();
+        let mut emitted = 0;
+        for _ in 0..count {
+            if self.fuel == 0 && emitted > 0 {
+                break;
+            }
+            self.fuel = self.fuel.saturating_sub(1);
+            let stmt = self.statement(depth);
+            out.push_str(&indent);
+            out.push_str(&stmt);
+            out.push_str(";\n");
+            emitted += 1;
+        }
+        if emitted == 0 {
+            out.push_str(&indent);
+            out.push_str("skip;\n");
+        }
+        out
+    }
+
+    fn statement(&mut self, depth: usize) -> String {
+        let deep = depth >= self.config.max_depth || self.fuel < 2;
+        loop {
+            match self.rng.random_range(0..8u32) {
+                // Polynomial assignment: the workhorse.
+                0..=2 => {
+                    let target = self.target();
+                    let expr = self.poly_expr();
+                    return format!("{target} := {expr}");
+                }
+                3 if self.config.nondet => {
+                    let target = self.target();
+                    return format!("{target} := *");
+                }
+                4 if !deep => {
+                    let indent = "    ".repeat(depth + 1);
+                    let head = if self.config.nondet && self.chance(1, 2) {
+                        "if * then\n".to_string()
+                    } else {
+                        format!("if {} then\n", self.comparison())
+                    };
+                    let then_branch = self.block(depth + 1);
+                    let else_branch = self.block(depth + 1);
+                    return format!("{head}{then_branch}{indent}else\n{else_branch}{indent}fi");
+                }
+                5 if !deep => {
+                    // Bounded loop: fresh counter, never reassigned inside.
+                    let counter = format!("k{}", self.next_counter);
+                    self.next_counter += 1;
+                    let bound = self.rng.random_range(1..self.config.loop_bound.max(1) + 1);
+                    self.counters.push(counter.clone());
+                    let body = self.block(depth + 1);
+                    let indent = "    ".repeat(depth + 1);
+                    return format!(
+                        "{counter} := 0;\n{indent}while {counter} <= {bound} do\n{body}{indent}    {counter} := {counter} + 1\n{indent}od"
+                    );
+                }
+                6 if self.helper.is_some() => {
+                    // Call with a freshly-assigned non-negative argument, so
+                    // the callee's `@pre(n >= 0)` holds on every run.
+                    let arg = format!("a{}", self.next_arg);
+                    self.next_arg += 1;
+                    let value = self.small_const();
+                    let target = self.target();
+                    // The argument is a dedicated variable: it never becomes
+                    // an assignment target, so it cannot collide with `dest`.
+                    return format!(
+                        "{arg} := {value};\n{}{target} := hrec({arg})",
+                        "    ".repeat(depth + 1)
+                    );
+                }
+                _ => {
+                    if self.chance(1, 4) {
+                        return "skip".to_string();
+                    }
+                    // Fall through and draw again.
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyinv_lang::parse_program;
+
+    #[test]
+    fn generated_programs_parse_and_are_deterministic() {
+        let config = GenConfig::default();
+        for seed in 0..64 {
+            let a = generate_program(seed, &config);
+            let b = generate_program(seed, &config);
+            assert_eq!(a.source, b.source, "seed {seed} is not deterministic");
+            parse_program(&a.source)
+                .unwrap_or_else(|e| panic!("seed {seed} does not parse: {e}\n{}", a.source));
+        }
+    }
+
+    #[test]
+    fn different_seeds_explore_different_programs() {
+        let config = GenConfig::default();
+        let distinct: std::collections::HashSet<String> = (0..32)
+            .map(|seed| generate_program(seed, &config).source)
+            .collect();
+        assert!(
+            distinct.len() > 24,
+            "only {} distinct programs",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn recursion_and_nondet_can_be_disabled() {
+        let config = GenConfig {
+            recursion: false,
+            nondet: false,
+            ..GenConfig::default()
+        };
+        for seed in 0..32 {
+            let generated = generate_program(seed, &config);
+            assert!(!generated.recursive);
+            assert!(!generated.source.contains("hrec"));
+            assert!(!generated.source.contains(":= *"));
+            assert!(!generated.source.contains("if * then"));
+            let program = parse_program(&generated.source).unwrap();
+            assert!(program.is_simple());
+        }
+    }
+
+    #[test]
+    fn recursive_helpers_appear_and_resolve() {
+        let config = GenConfig::default();
+        let mut saw_recursive = false;
+        for seed in 0..64 {
+            let generated = generate_program(seed, &config);
+            if generated.recursive {
+                saw_recursive = true;
+                let program = parse_program(&generated.source).unwrap();
+                assert!(program.function("hrec").is_some());
+            }
+        }
+        assert!(saw_recursive, "no recursive program in 64 seeds");
+    }
+}

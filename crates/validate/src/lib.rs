@@ -1,0 +1,386 @@
+//! # polyinv-validate — the soundness validation subsystem
+//!
+//! The paper's guarantee is *soundness*: a feasible solution of the
+//! generated quadratic system instantiates to an inductive invariant. This
+//! crate adversarially checks that guarantee, independently of the
+//! machinery that produced the solution:
+//!
+//! * [`generate`] — a seeded, grammar-based `.poly` program generator
+//!   (recursion- and nondet-aware, size-bounded, always emitting well-formed
+//!   `@pre` specs), opening an unbounded workload beyond the 27 embedded
+//!   Table 2/3 programs;
+//! * [`trace`] — a falsification harness running every synthesized
+//!   invariant against thousands of seeded [`Interpreter`] traces
+//!   (per-label obligations, post-conditions at endpoints, minimized
+//!   counterexamples);
+//! * [`exact`] — an exact-rational inductiveness re-check: the rounded
+//!   coefficients substituted back into the Step-3 constraints and every
+//!   (in)equality evaluated with [`Rational`](polyinv_arith::Rational)
+//!   arithmetic, no floats and no solver;
+//! * [`fuzz`] — the driver combining all three: generate, synthesize,
+//!   validate, and report any soundness violation with its counterexample.
+//!
+//! [`Interpreter`]: polyinv_lang::interp::Interpreter
+
+pub mod driver;
+pub mod exact;
+pub mod fuzz;
+pub mod generate;
+pub mod trace;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use polyinv::pipeline::{Pipeline, StageTimings};
+use polyinv::{fix_targets, TargetAssertion};
+use polyinv_api::report::{ExactRecord, ValidationRecord};
+use polyinv_constraints::{ConstraintError, SynthesisOptions};
+use polyinv_lang::{InvariantMap, Postcondition, Precondition, Program};
+use polyinv_qcqp::QcqpBackend;
+
+pub use driver::{run_validated, run_validated_with_backend};
+pub use exact::{exact_recheck, instantiate_exact, ExactCheckConfig, ExactReport};
+pub use fuzz::{run_fuzz, CaseStatus, FuzzCase, FuzzConfig, FuzzSummary};
+pub use generate::{generate_program, GenConfig, GeneratedProgram};
+pub use trace::{falsify_traces, TraceCheckConfig, TraceReport, TraceViolation};
+
+/// Configuration of a full validation pass (trace + exact).
+#[derive(Debug, Clone, Default)]
+pub struct ValidationConfig {
+    /// Trace-falsification settings (defaults to 1000 valid runs).
+    pub trace: TraceCheckConfig,
+    /// Exact re-check settings (defaults to tolerance 1/1000).
+    pub exact: ExactCheckConfig,
+}
+
+/// The outcome of validating one synthesized invariant.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// The trace-falsification outcome.
+    pub trace: TraceReport,
+    /// The exact re-check outcome (absent when no solved system was
+    /// available, e.g. the candidate came from outside the pipeline).
+    pub exact: Option<ExactReport>,
+}
+
+impl ValidationReport {
+    /// `true` when the invariant survived both checks.
+    pub fn sound(&self) -> bool {
+        let exact_ok = match &self.exact {
+            Some(exact) => exact.passed(),
+            None => true,
+        };
+        self.trace.passed() && exact_ok
+    }
+
+    /// The serializable summary attached to API reports.
+    pub fn to_record(&self) -> ValidationRecord {
+        ValidationRecord {
+            trace_runs: self.trace.valid_runs,
+            trace_states: self.trace.states_checked,
+            trace_violations: self.trace.violations.len(),
+            exact: self.exact.as_ref().map(|exact| ExactRecord {
+                constraints: exact.constraints,
+                worst_violation: format!(
+                    "{}/{}",
+                    exact.worst_violation.numer(),
+                    exact.worst_violation.denom()
+                ),
+                worst_violation_f64: exact.worst_violation.to_f64(),
+                tolerance: format!("{}/{}", exact.tolerance.numer(), exact.tolerance.denom()),
+                passed: exact.passed(),
+            }),
+            passed: self.sound(),
+        }
+    }
+
+    /// Serializes the full report — including counterexample traces — as a
+    /// JSON object (the artifact format the fuzz driver writes for CI).
+    pub fn to_json(&self) -> polyinv_api::Json {
+        use polyinv_api::Json;
+        let rational = |value: &polyinv_arith::Rational| Json::string(value.to_string());
+        let violations: Vec<Json> = self
+            .trace
+            .violations
+            .iter()
+            .map(|violation| {
+                Json::object(vec![
+                    ("label", Json::string(violation.label.to_string())),
+                    ("atom", Json::string(violation.atom.clone())),
+                    ("run_seed", Json::string(violation.run_seed.to_string())),
+                    (
+                        "inputs",
+                        Json::Array(violation.inputs.iter().map(rational).collect()),
+                    ),
+                    (
+                        "minimized_inputs",
+                        Json::Array(violation.minimized_inputs.iter().map(rational).collect()),
+                    ),
+                    (
+                        "valuation",
+                        Json::Object(
+                            violation
+                                .valuation
+                                .iter()
+                                .map(|(name, value)| (name.clone(), rational(value)))
+                                .collect(),
+                        ),
+                    ),
+                    ("trace_prefix", Json::Number(violation.trace_prefix as f64)),
+                ])
+            })
+            .collect();
+        Json::object(vec![
+            (
+                "trace",
+                Json::object(vec![
+                    ("valid_runs", Json::Number(self.trace.valid_runs as f64)),
+                    (
+                        "attempted_runs",
+                        Json::Number(self.trace.attempted_runs as f64),
+                    ),
+                    (
+                        "states_checked",
+                        Json::Number(self.trace.states_checked as f64),
+                    ),
+                    ("violations", Json::Array(violations)),
+                ]),
+            ),
+            (
+                "exact",
+                match &self.exact {
+                    None => Json::Null,
+                    Some(exact) => Json::object(vec![
+                        ("constraints", Json::Number(exact.constraints as f64)),
+                        ("worst_violation", rational(&exact.worst_violation)),
+                        (
+                            "worst_constraint",
+                            Json::string(exact.worst_constraint.clone()),
+                        ),
+                        ("tolerance", rational(&exact.tolerance)),
+                        ("overflowed", Json::Bool(exact.overflowed)),
+                        ("passed", Json::Bool(exact.passed())),
+                    ]),
+                },
+            ),
+            ("sound", Json::Bool(self.sound())),
+        ])
+    }
+
+    /// A one-cell summary for tables: `ok(1000tr, 2.1e-9)` or the failing
+    /// check.
+    pub fn summary(&self) -> String {
+        if self.sound() {
+            match &self.exact {
+                Some(exact) => format!(
+                    "ok({}tr, {:.1e})",
+                    self.trace.valid_runs,
+                    exact.worst_violation.to_f64()
+                ),
+                None => format!("ok({}tr)", self.trace.valid_runs),
+            }
+        } else if !self.trace.passed() {
+            format!("TRACE-VIOLATION({})", self.trace.violations.len())
+        } else {
+            "EXACT-VIOLATION".to_string()
+        }
+    }
+}
+
+/// Validates a solved pipeline run: trace-falsifies the instantiated
+/// invariant (and post-conditions) and exactly re-checks the quadratic
+/// system at the solution's assignment.
+///
+/// `pre` should be the plain program pre-condition
+/// ([`Precondition::from_program`]) — it defines run validity for the
+/// interpreter, independent of any bounded-reals augmentation the reduction
+/// may have used.
+pub fn validate_solution(
+    program: &Program,
+    pre: &Precondition,
+    generated: &polyinv_constraints::GeneratedSystem,
+    solution: &polyinv::pipeline::Solution,
+    config: &ValidationConfig,
+) -> ValidationReport {
+    // Both checks attack the same object: the templates instantiated at the
+    // exact-rational rounding of the solver's assignment.
+    let values = exact::exact_assignment(&generated.system, &solution.assignment, &config.exact);
+    let (invariant, postconditions) = instantiate_exact(program, generated, &values);
+    let trace = falsify_traces(program, pre, &invariant, &postconditions, &config.trace);
+    let exact = exact_recheck(&generated.system, &solution.assignment, &config.exact);
+    ValidationReport {
+        trace,
+        exact: Some(exact),
+    }
+}
+
+/// Validates a candidate invariant that did not come out of the pipeline
+/// (no quadratic system to re-check): trace falsification only.
+pub fn validate_candidate(
+    program: &Program,
+    pre: &Precondition,
+    invariant: &InvariantMap,
+    post: &Postcondition,
+    config: &ValidationConfig,
+) -> ValidationReport {
+    ValidationReport {
+        trace: falsify_traces(program, pre, invariant, post, &config.trace),
+        exact: None,
+    }
+}
+
+/// The result of [`synthesize_and_validate`].
+#[derive(Debug, Clone)]
+pub struct ValidatedOutcome {
+    /// Whether the quadratic system was solved within tolerance.
+    pub feasible: bool,
+    /// The instantiated invariant map (rounded coefficients).
+    pub invariant: InvariantMap,
+    /// The instantiated post-conditions (recursive programs only).
+    pub postconditions: Postcondition,
+    /// `|S|` of the accepted rung's system.
+    pub system_size: usize,
+    /// Unknown count of the accepted rung's system.
+    pub num_unknowns: usize,
+    /// The solver's worst (float) constraint violation.
+    pub violation: f64,
+    /// The back-end that produced the point.
+    pub backend: &'static str,
+    /// Accumulated per-stage timings across ladder rungs.
+    pub timings: StageTimings,
+    /// The validation outcome (present iff the solve was feasible).
+    pub validation: Option<ValidationReport>,
+}
+
+/// Weak synthesis with validation: runs the same ϒ-ladder as the weak
+/// driver, and — when a rung reports feasibility — trace-falsifies the
+/// instantiated invariant and exactly re-checks that rung's system.
+///
+/// # Errors
+///
+/// Returns a [`ConstraintError`] when the generation stages reject the
+/// program.
+///
+/// # Panics
+///
+/// Panics if a target mentions a monomial outside the template basis at its
+/// label (same contract as the weak driver).
+pub fn synthesize_and_validate(
+    program: &Program,
+    pre: &Precondition,
+    targets: &[TargetAssertion],
+    options: &SynthesisOptions,
+    backend: Arc<dyn QcqpBackend>,
+    config: &ValidationConfig,
+) -> Result<ValidatedOutcome, ConstraintError> {
+    let ladder = options.upsilon_ladder();
+    let mut total = StageTimings::new();
+    let mut last: Option<ValidatedOutcome> = None;
+    for (step, &upsilon) in ladder.iter().enumerate() {
+        let rung_options = options.clone().with_upsilon(upsilon);
+        let pipeline = Pipeline::new(rung_options).with_backend(Arc::clone(&backend));
+        let mut ctx = pipeline.context(program, pre);
+        let generated = pipeline.generate(&mut ctx)?;
+        let fixed = if targets.is_empty() {
+            HashMap::new()
+        } else {
+            fix_targets(&generated, targets)
+        };
+        let solution = pipeline.solve(&mut ctx, &generated, fixed, None);
+        total.absorb(ctx.timings());
+        let validation = solution
+            .feasible
+            .then(|| validate_solution(program, pre, &generated, &solution, config));
+        let outcome = ValidatedOutcome {
+            feasible: solution.feasible,
+            invariant: solution.invariant,
+            postconditions: solution.postconditions,
+            system_size: generated.size(),
+            num_unknowns: generated.system.num_unknowns(),
+            violation: solution.violation,
+            backend: solution.backend,
+            timings: total.clone(),
+            validation,
+        };
+        let done = outcome.feasible || step + 1 == ladder.len();
+        last = Some(outcome);
+        if done {
+            break;
+        }
+    }
+    Ok(last.expect("the ladder is never empty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyinv_lang::{parse_assertion, parse_program};
+    use polyinv_qcqp::default_backend;
+
+    const INC: &str = r#"
+        inc(x) {
+            @pre(x >= 0);
+            while x <= 10 do
+                x := x + 1
+            od;
+            return x
+        }
+    "#;
+
+    #[test]
+    fn candidate_validation_refutes_a_wrong_invariant() {
+        let program = parse_program(INC).unwrap();
+        let pre = Precondition::from_program(&program);
+        let mut invariant = InvariantMap::new();
+        let (poly, _) = parse_assertion(&program, "inc", "5 - x > 0").unwrap();
+        invariant.add(program.main().exit_label(), poly);
+        let report = validate_candidate(
+            &program,
+            &pre,
+            &invariant,
+            &Postcondition::new(),
+            &ValidationConfig::default(),
+        );
+        assert!(!report.sound());
+        let record = report.to_record();
+        assert!(!record.passed);
+        assert!(record.trace_violations > 0);
+        assert!(record.exact.is_none());
+        assert!(report.summary().contains("TRACE-VIOLATION"));
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; run with `cargo test --release`"
+    )]
+    fn synthesized_invariants_validate_end_to_end() {
+        let program = parse_program(INC).unwrap();
+        let pre = Precondition::from_program(&program);
+        let (target, _) = parse_assertion(&program, "inc", "x + 1 > 0").unwrap();
+        let options = SynthesisOptions::with_degree_and_size(1, 1).with_upsilon(2);
+        let outcome = synthesize_and_validate(
+            &program,
+            &pre,
+            &[TargetAssertion::new(program.main().exit_label(), target)],
+            &options,
+            default_backend(),
+            &ValidationConfig::default(),
+        )
+        .unwrap();
+        assert!(outcome.feasible, "violation {}", outcome.violation);
+        let validation = outcome.validation.expect("feasible runs validate");
+        assert!(
+            validation.sound(),
+            "trace: {:?}, exact: {:?}",
+            validation.trace.violations,
+            validation.exact
+        );
+        assert_eq!(validation.trace.valid_runs, 1000);
+        let record = validation.to_record();
+        assert!(record.passed);
+        let exact = record.exact.expect("pipeline runs re-check exactly");
+        assert!(exact.passed);
+        assert!(exact.constraints > 0);
+    }
+}

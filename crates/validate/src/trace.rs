@@ -1,0 +1,501 @@
+//! Trace falsification: adversarial checking of a candidate invariant
+//! against thousands of seeded interpreter runs.
+//!
+//! The obligation checked is per-label, exactly as in Definition 2.2 of the
+//! paper: on every *valid* run (one whose visited states all satisfy the
+//! pre-condition of their label), every visit to a label must satisfy the
+//! invariant attached to that label. A reachable state violating the
+//! invariant is a definitive refutation — this direction needs no solver
+//! and is completely independent of the synthesis pipeline.
+//!
+//! Violations are minimized before being reported: inputs are greedily
+//! shrunk towards zero while the violation (under the same oracle seed)
+//! persists, and the reported trace is truncated at the first violating
+//! state.
+
+use polyinv_arith::Rational;
+use polyinv_lang::guard::Atom;
+use polyinv_lang::interp::{Interpreter, SeededOracle, StateRecord};
+use polyinv_lang::{InvariantMap, Label, Postcondition, Precondition, Program};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of the trace falsifier.
+#[derive(Debug, Clone)]
+pub struct TraceCheckConfig {
+    /// Number of *valid* traces to check (invalid runs are re-drawn).
+    pub runs: usize,
+    /// Base seed; run `k` derives its oracle and inputs from `seed` and `k`.
+    pub seed: u64,
+    /// Interpreter step limit per run.
+    pub step_limit: usize,
+    /// Havoc values are drawn from `[-havoc_range, havoc_range]`.
+    pub havoc_range: i64,
+    /// Inputs are drawn from `[-2, input_range]`, biased non-negative.
+    pub input_range: i64,
+    /// Cap on total attempted runs (valid + discarded).
+    pub max_attempts: usize,
+}
+
+impl Default for TraceCheckConfig {
+    fn default() -> Self {
+        TraceCheckConfig {
+            runs: 1000,
+            seed: 0,
+            step_limit: 50_000,
+            havoc_range: 8,
+            input_range: 8,
+            max_attempts: 20_000,
+        }
+    }
+}
+
+/// A reachable state violating the candidate invariant, with the minimized
+/// counterexample run that reaches it.
+#[derive(Debug, Clone)]
+pub struct TraceViolation {
+    /// The label whose invariant is violated.
+    pub label: Label,
+    /// The violated conjunct, rendered with the program's variable names.
+    pub atom: String,
+    /// The run seed that reproduces the violation.
+    pub run_seed: u64,
+    /// The original inputs that exposed the violation.
+    pub inputs: Vec<Rational>,
+    /// The smallest inputs (greedy shrink towards zero) still violating.
+    pub minimized_inputs: Vec<Rational>,
+    /// The violating state's valuation, as `(variable, value)` pairs.
+    pub valuation: Vec<(String, Rational)>,
+    /// Number of states of the minimized trace up to the violation.
+    pub trace_prefix: usize,
+}
+
+/// The outcome of a trace-falsification pass.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// The number of valid traces requested.
+    pub requested_runs: usize,
+    /// The number of valid traces actually checked.
+    pub valid_runs: usize,
+    /// Total runs attempted (including discarded invalid runs).
+    pub attempted_runs: usize,
+    /// Total per-label obligations checked (states visited on valid runs).
+    pub states_checked: usize,
+    /// The violations found (empty for a sound invariant).
+    pub violations: Vec<TraceViolation>,
+}
+
+impl TraceReport {
+    /// `true` when no reachable state violated the invariant *and* the
+    /// requested coverage was reached. A report with zero violations but
+    /// fewer valid runs than requested (the pre-condition rejected almost
+    /// every drawn input within `max_attempts`) does NOT pass — a vacuous
+    /// "nothing checked, nothing failed" must fail the soundness gate
+    /// loudly, not slip through it.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty() && self.covered()
+    }
+
+    /// `true` when at least the requested number of valid runs executed.
+    pub fn covered(&self) -> bool {
+        self.valid_runs >= self.requested_runs
+    }
+}
+
+/// Draws the main-function inputs of run `k`: small integers biased to the
+/// non-negative range (which the benchmark pre-conditions accept), with an
+/// occasional negative probe.
+fn draw_inputs(rng: &mut StdRng, arity: usize, input_range: i64) -> Vec<Rational> {
+    (0..arity)
+        .map(|_| {
+            let range = input_range.max(1);
+            let value = if rng.random_range(0..5u32) == 0 {
+                rng.random_range(-2..range + 1)
+            } else {
+                rng.random_range(0..range + 1)
+            };
+            Rational::from_int(value)
+        })
+        .collect()
+}
+
+/// Which obligation a violating state breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Obligation {
+    /// Conjunct `index` of the invariant at the state's label.
+    Invariant(usize),
+    /// Conjunct `index` of the post-condition of the state's function
+    /// (checked at endpoint labels only).
+    Post(usize),
+}
+
+/// What a single seeded run yielded.
+enum RunOutcome {
+    /// A visited state broke its label's pre-condition: not a valid run in
+    /// the paper's sense, discarded.
+    Invalid,
+    /// A valid run with every obligation satisfied on the first `checked`
+    /// states (obligation evaluation past that point overflowed `i128`
+    /// rational arithmetic and is conservatively skipped).
+    Clean {
+        /// Number of states whose obligations were fully checked.
+        checked: usize,
+    },
+    /// State `state_index` violates `obligation` — a definitive refutation.
+    Violating {
+        /// The recorded states of the run.
+        states: Vec<StateRecord>,
+        /// Index of the violating state.
+        state_index: usize,
+        /// The violated obligation.
+        obligation: Obligation,
+    },
+}
+
+/// Executes one seeded run and checks validity plus every per-label
+/// obligation with overflow-safe rational evaluation.
+#[allow(clippy::too_many_arguments)]
+fn check_run(
+    interpreter: &Interpreter<'_>,
+    program: &Program,
+    pre: &Precondition,
+    invariant: &InvariantMap,
+    post: &Postcondition,
+    inputs: &[Rational],
+    oracle_seed: u64,
+    havoc_range: i64,
+) -> RunOutcome {
+    let mut oracle = SeededOracle::new(oracle_seed, havoc_range);
+    let trace = interpreter.run(inputs, &mut oracle);
+    let mut checked = 0;
+    for (index, state) in trace.states.iter().enumerate() {
+        let lookup = |v| state.valuation.get(&v).copied().unwrap_or_default();
+        // Run validity at this state. An overflowing pre-condition cannot
+        // be decided: stop checking the run here (earlier states stand).
+        for atom in pre.get(state.label) {
+            match atom.checked_eval(lookup) {
+                Some(true) => {}
+                Some(false) => return RunOutcome::Invalid,
+                None => return RunOutcome::Clean { checked },
+            }
+        }
+        for (atom_index, atom) in invariant.get(state.label).iter().enumerate() {
+            match atom.checked_eval(lookup) {
+                Some(true) => {}
+                Some(false) => {
+                    return RunOutcome::Violating {
+                        states: trace.states,
+                        state_index: index,
+                        obligation: Obligation::Invariant(atom_index),
+                    }
+                }
+                None => return RunOutcome::Clean { checked },
+            }
+        }
+        // Post-condition obligation at function endpoints: the trace only
+        // records an endpoint state on completed frames, where `ret_f` and
+        // the shadow parameters are in the valuation.
+        let function = program.label_function(state.label);
+        if state.label == function.exit_label() {
+            for (atom_index, atom) in post.get(function.name()).iter().enumerate() {
+                match atom.checked_eval(lookup) {
+                    Some(true) => {}
+                    Some(false) => {
+                        return RunOutcome::Violating {
+                            states: trace.states,
+                            state_index: index,
+                            obligation: Obligation::Post(atom_index),
+                        }
+                    }
+                    None => return RunOutcome::Clean { checked },
+                }
+            }
+        }
+        checked = index + 1;
+    }
+    RunOutcome::Clean { checked }
+}
+
+/// Greedily shrinks the inputs of a violating run towards zero while the
+/// violation (under the same oracle seed) persists.
+#[allow(clippy::too_many_arguments)]
+fn minimize_inputs(
+    interpreter: &Interpreter<'_>,
+    program: &Program,
+    pre: &Precondition,
+    invariant: &InvariantMap,
+    post: &Postcondition,
+    inputs: &[Rational],
+    oracle_seed: u64,
+    havoc_range: i64,
+) -> Vec<Rational> {
+    let mut best = inputs.to_vec();
+    let still_violates = |candidate: &[Rational]| {
+        matches!(
+            check_run(
+                interpreter,
+                program,
+                pre,
+                invariant,
+                post,
+                candidate,
+                oracle_seed,
+                havoc_range
+            ),
+            RunOutcome::Violating { .. }
+        )
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for index in 0..best.len() {
+            let current = best[index];
+            if current.is_zero() {
+                continue;
+            }
+            let halved = Rational::from_int(current.numer() as i64 / 2);
+            for candidate_value in [Rational::zero(), halved] {
+                if candidate_value == current {
+                    continue;
+                }
+                let mut candidate = best.clone();
+                candidate[index] = candidate_value;
+                if still_violates(&candidate) {
+                    best = candidate;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Runs the trace falsifier: `config.runs` valid seeded traces, per-label
+/// invariant obligations checked on every recorded state and post-condition
+/// obligations at every function endpoint.
+pub fn falsify_traces(
+    program: &Program,
+    pre: &Precondition,
+    invariant: &InvariantMap,
+    post: &Postcondition,
+    config: &TraceCheckConfig,
+) -> TraceReport {
+    let interpreter = Interpreter::new(program, config.step_limit);
+    let arity = program.main().params().len();
+    let mut report = TraceReport {
+        requested_runs: config.runs,
+        valid_runs: 0,
+        attempted_runs: 0,
+        states_checked: 0,
+        violations: Vec::new(),
+    };
+    let mut attempt = 0u64;
+    while report.valid_runs < config.runs && report.attempted_runs < config.max_attempts {
+        let run_seed = config
+            .seed
+            .wrapping_add(attempt.wrapping_mul(0x9e3779b97f4a7c15));
+        attempt += 1;
+        report.attempted_runs += 1;
+        let mut rng = StdRng::seed_from_u64(run_seed);
+        let inputs = draw_inputs(&mut rng, arity, config.input_range);
+        let (states, state_index, obligation) = match check_run(
+            &interpreter,
+            program,
+            pre,
+            invariant,
+            post,
+            &inputs,
+            run_seed,
+            config.havoc_range,
+        ) {
+            RunOutcome::Invalid => continue, // not a counterexample
+            RunOutcome::Clean { checked } => {
+                // A run whose very first state could not be evaluated
+                // (immediate overflow) contributes no checked obligations
+                // and must not inflate the coverage count.
+                if checked > 0 {
+                    report.valid_runs += 1;
+                    report.states_checked += checked;
+                }
+                continue;
+            }
+            RunOutcome::Violating {
+                states,
+                state_index,
+                obligation,
+            } => {
+                report.valid_runs += 1;
+                report.states_checked += state_index + 1;
+                (states, state_index, obligation)
+            }
+        };
+        let minimized = minimize_inputs(
+            &interpreter,
+            program,
+            pre,
+            invariant,
+            post,
+            &inputs,
+            run_seed,
+            config.havoc_range,
+        );
+        // Re-run with the minimized inputs to report the minimized state.
+        let (min_states, state_index, obligation) = match check_run(
+            &interpreter,
+            program,
+            pre,
+            invariant,
+            post,
+            &minimized,
+            run_seed,
+            config.havoc_range,
+        ) {
+            RunOutcome::Violating {
+                states,
+                state_index,
+                obligation,
+            } => (states, state_index, obligation),
+            // Minimization only keeps inputs that still violate.
+            _ => (states, state_index, obligation),
+        };
+        let state = &min_states[state_index];
+        let atom: &Atom = match obligation {
+            Obligation::Invariant(atom_index) => &invariant.get(state.label)[atom_index],
+            Obligation::Post(atom_index) => {
+                let function = program.label_function(state.label);
+                &post.get(function.name())[atom_index]
+            }
+        };
+        let mut valuation: Vec<(String, Rational)> = state
+            .valuation
+            .iter()
+            .map(|(&var, &value)| (program.var_table().display_name(var).to_string(), value))
+            .collect();
+        valuation.sort();
+        report.violations.push(TraceViolation {
+            label: state.label,
+            atom: format!(
+                "{} {} 0",
+                program.render_poly(&atom.poly),
+                if atom.strict { ">" } else { ">=" }
+            ),
+            run_seed,
+            inputs,
+            minimized_inputs: minimized,
+            valuation,
+            trace_prefix: state_index + 1,
+        });
+        // One counterexample per invariant is enough to refute; keep
+        // scanning other runs only until a handful are collected.
+        if report.violations.len() >= 5 {
+            break;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyinv_lang::program::RUNNING_EXAMPLE_SOURCE;
+    use polyinv_lang::{parse_assertion, parse_program};
+
+    fn setup() -> (Program, Precondition) {
+        let program = parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
+        let pre = Precondition::from_program(&program);
+        (program, pre)
+    }
+
+    #[test]
+    fn true_invariants_survive_a_thousand_traces() {
+        let (program, pre) = setup();
+        let mut invariant = InvariantMap::new();
+        // The paper's endpoint bound holds on every valid run.
+        let (poly, _) =
+            parse_assertion(&program, "sum", "0.5*n_in*n_in + 0.5*n_in + 1 - ret > 0").unwrap();
+        invariant.add(program.main().exit_label(), poly);
+        let report = falsify_traces(
+            &program,
+            &pre,
+            &invariant,
+            &Postcondition::new(),
+            &TraceCheckConfig::default(),
+        );
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.valid_runs, 1000);
+        assert!(report.states_checked > 1000);
+    }
+
+    #[test]
+    fn wrong_invariants_are_falsified_and_minimized() {
+        let (program, pre) = setup();
+        let mut invariant = InvariantMap::new();
+        // `s < 1` at the return label: false once the loop adds i = 1.
+        let (poly, _) = parse_assertion(&program, "sum", "1 - s > 0").unwrap();
+        let return_label = program.main().labels()[7];
+        invariant.add(return_label, poly);
+        let report = falsify_traces(
+            &program,
+            &pre,
+            &invariant,
+            &Postcondition::new(),
+            &TraceCheckConfig::default(),
+        );
+        assert!(!report.passed());
+        let violation = &report.violations[0];
+        assert_eq!(violation.label, return_label);
+        assert!(violation.atom.contains("1 - s"));
+        // Minimization shrinks the single input but keeps the violation:
+        // n = 1 still allows s = 1 (the loop body can add i = 1).
+        let minimized = violation.minimized_inputs[0];
+        assert!(minimized <= violation.inputs[0]);
+        assert!(minimized >= Rational::zero());
+        assert!(violation.trace_prefix >= 1);
+        // The reported valuation carries readable names.
+        assert!(violation.valuation.iter().any(|(name, _)| name == "s"));
+    }
+
+    #[test]
+    fn invalid_runs_are_discarded_not_reported() {
+        let (program, pre) = setup();
+        // `n > 0` holds at the entry of every *valid* run (@pre(n >= 1)),
+        // so negative probe inputs must be discarded, not reported.
+        let mut invariant = InvariantMap::new();
+        let (poly, _) = parse_assertion(&program, "sum", "n > 0").unwrap();
+        invariant.add(program.main().entry_label(), poly);
+        let config = TraceCheckConfig {
+            runs: 300,
+            ..TraceCheckConfig::default()
+        };
+        let report = falsify_traces(&program, &pre, &invariant, &Postcondition::new(), &config);
+        assert!(report.passed());
+        assert!(report.attempted_runs > report.valid_runs);
+    }
+
+    #[test]
+    fn postcondition_obligations_are_checked_at_endpoints() {
+        use polyinv_lang::program::RECURSIVE_EXAMPLE_SOURCE;
+        let program = parse_program(RECURSIVE_EXAMPLE_SOURCE).unwrap();
+        let pre = Precondition::from_program(&program);
+        // True post-condition: ret ≤ n(n+1)/2 < bound.
+        let mut post = Postcondition::new();
+        let (poly, _) =
+            parse_assertion(&program, "rsum", "0.5*n_in*n_in + 0.5*n_in + 1 - ret > 0").unwrap();
+        post.add("rsum", poly);
+        let config = TraceCheckConfig {
+            runs: 500,
+            ..TraceCheckConfig::default()
+        };
+        let report = falsify_traces(&program, &pre, &InvariantMap::new(), &post, &config);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+
+        // False post-condition: ret < 1 fails once the oracle adds n.
+        let mut wrong = Postcondition::new();
+        let (poly, _) = parse_assertion(&program, "rsum", "1 - ret > 0").unwrap();
+        wrong.add("rsum", poly);
+        let report = falsify_traces(&program, &pre, &InvariantMap::new(), &wrong, &config);
+        assert!(!report.passed());
+        assert_eq!(report.violations[0].label, program.main().exit_label());
+    }
+}

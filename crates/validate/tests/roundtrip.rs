@@ -1,0 +1,80 @@
+//! Property: pretty-print → reparse is the identity on canonical programs.
+//!
+//! Programs come from the grammar-based generator (seeded by the property
+//! input), parse through the real front-end, print through the new
+//! `Display for Program`, and must re-parse to a program with the same
+//! canonical print, the same label structure and the same variable table —
+//! pinning the printer to the parser.
+
+use polyinv_lang::{parse_program, Label};
+use polyinv_validate::{generate_program, GenConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_then_parse_is_identity(seed in 0i64..1_000_000) {
+        let seed = seed as u64;
+        let generated = generate_program(seed, &GenConfig::default());
+        let program = parse_program(&generated.source)
+            .unwrap_or_else(|e| panic!("seed {seed} does not parse: {e}\n{}", generated.source));
+        let printed = program.to_string();
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("seed {seed}: print does not re-parse: {e}\n{printed}"));
+
+        // parse(print(p)) == p, compared through the canonical print (the
+        // only difference between the two resolutions can be source lines).
+        prop_assert_eq!(&printed, &reparsed.to_string());
+
+        // The label structure and variable tables agree exactly.
+        prop_assert_eq!(program.num_labels(), reparsed.num_labels());
+        prop_assert_eq!(program.var_table().len(), reparsed.var_table().len());
+        for index in 0..program.num_labels() {
+            let label = Label::new(index);
+            prop_assert_eq!(program.label_kind(label), reparsed.label_kind(label));
+        }
+        for (a, b) in program.functions().iter().zip(reparsed.functions()) {
+            prop_assert_eq!(a.name(), b.name());
+            prop_assert_eq!(a.params().len(), b.params().len());
+            prop_assert_eq!(a.vars().len(), b.vars().len());
+            prop_assert_eq!(a.labels().len(), b.labels().len());
+            prop_assert_eq!(a.pre_annotations().len(), b.pre_annotations().len());
+        }
+    }
+
+    #[test]
+    fn nondet_free_programs_round_trip_too(seed in 0i64..100_000) {
+        let seed = seed as u64;
+        let config = GenConfig {
+            recursion: false,
+            nondet: false,
+            ..GenConfig::default()
+        };
+        let generated = generate_program(seed, &config);
+        let program = parse_program(&generated.source).unwrap();
+        let printed = program.to_string();
+        let reparsed = parse_program(&printed).unwrap();
+        prop_assert_eq!(printed, reparsed.to_string());
+    }
+}
+
+#[test]
+fn paper_benchmarks_round_trip_through_the_printer() {
+    for benchmark in polyinv_benchmarks_sources() {
+        let program = parse_program(benchmark).unwrap();
+        let printed = program.to_string();
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("benchmark print does not re-parse: {e}\n{printed}"));
+        assert_eq!(printed, reparsed.to_string());
+    }
+}
+
+/// A few structurally-diverse paper sources (the full set is covered by the
+/// `programs/*.poly` parity tests in `polyinv-benchmarks`).
+fn polyinv_benchmarks_sources() -> Vec<&'static str> {
+    vec![
+        polyinv_lang::program::RUNNING_EXAMPLE_SOURCE,
+        polyinv_lang::program::RECURSIVE_EXAMPLE_SOURCE,
+    ]
+}

@@ -1,0 +1,115 @@
+//! Golden snapshots: canonical-JSON `SynthesisReport`s for every
+//! `programs/*.poly` scenario, compared byte-for-byte against
+//! `tests/golden/<stem>.json`.
+//!
+//! The reports are generation-only runs (Steps 1–3) with the benchmark's
+//! paper configuration (template size `n`, degree `d`) when the file
+//! corresponds to a Table 2/3 row, and default options otherwise, with
+//! timings zeroed through `SynthesisReport::canonical()` — so the bytes pin
+//! `|S|`, unknown counts, stage structure, diagnostics and the JSON writer
+//! itself across refactors.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! POLYINV_REGEN_GOLDEN=1 cargo test --release -p polyinv-bench --test golden_reports
+//! ```
+
+use std::path::PathBuf;
+
+use polyinv_api::{Engine, SynthesisRequest};
+use polyinv_bench::options_for;
+
+fn workspace_path(relative: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(relative)
+}
+
+fn golden_report_json(engine: &Engine, path: &PathBuf) -> String {
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .expect("utf-8 stem")
+        .to_string();
+    let source = std::fs::read_to_string(path).expect("readable program");
+    let mut request = SynthesisRequest::generate_only(source).with_id(stem.clone());
+    if let Some(benchmark) = polyinv_benchmarks::by_name(&stem.replace('_', "-")) {
+        request = request.with_options(options_for(&benchmark));
+    }
+    let report = engine
+        .run(&request)
+        .unwrap_or_else(|e| panic!("{stem}: generation failed: {e}"))
+        .canonical();
+    let mut text = report.to_json().pretty();
+    text.push('\n');
+    text
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "generation over all 29 scenarios is slow unoptimized; run with `cargo test --release`"
+)]
+fn golden_reports_are_byte_stable() {
+    let regen = std::env::var("POLYINV_REGEN_GOLDEN").is_ok_and(|v| v == "1");
+    let golden_dir = workspace_path("tests/golden");
+    if regen {
+        std::fs::create_dir_all(&golden_dir).expect("create golden dir");
+    }
+
+    let mut programs: Vec<PathBuf> = std::fs::read_dir(workspace_path("programs"))
+        .expect("programs/ exists")
+        .map(|entry| entry.expect("readable entry").path())
+        .filter(|path| path.extension().and_then(|e| e.to_str()) == Some("poly"))
+        .collect();
+    programs.sort();
+    assert!(programs.len() >= 29, "expected ≥ 29 programs");
+
+    let engine = Engine::new();
+    let mut mismatches = Vec::new();
+    for path in &programs {
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap();
+        let actual = golden_report_json(&engine, path);
+        let golden_path = golden_dir.join(format!("{stem}.json"));
+        if regen {
+            std::fs::write(&golden_path, &actual).expect("write golden");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden snapshot {} ({e}); regenerate with POLYINV_REGEN_GOLDEN=1",
+                golden_path.display()
+            )
+        });
+        if actual != expected {
+            mismatches.push(stem.to_string());
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden reports changed for {mismatches:?}; if intentional, regenerate with \
+         POLYINV_REGEN_GOLDEN=1 cargo test --release -p polyinv-bench --test golden_reports"
+    );
+}
+
+#[test]
+fn golden_snapshots_parse_as_reports() {
+    // Cheap structural guard that runs in debug too: every committed golden
+    // parses back into a SynthesisReport with generation metrics.
+    let golden_dir = workspace_path("tests/golden");
+    let mut count = 0;
+    for entry in std::fs::read_dir(&golden_dir).expect("tests/golden exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable golden");
+        let report = polyinv_api::SynthesisReport::from_json_str(&text)
+            .unwrap_or_else(|e| panic!("{} is not a report: {e}", path.display()));
+        assert!(report.system_size > 0, "{}: empty system", path.display());
+        assert_eq!(report.status, polyinv_api::ReportStatus::Generated);
+        count += 1;
+    }
+    assert!(count >= 29, "expected ≥ 29 golden snapshots, found {count}");
+}
