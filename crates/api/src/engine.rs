@@ -306,6 +306,7 @@ impl Engine {
         report.num_unknowns = outcome.num_unknowns;
         report.violation = outcome.violation;
         report.timings = timings_to_seconds(&outcome.timings);
+        report.solver = Some(crate::report::SolverRecord::from(&outcome.solver));
         if status == ReportStatus::Synthesized {
             report.invariants = render_lines(&outcome.invariant.render(program));
             report.postconditions = render_postconditions(program, &outcome.postconditions);

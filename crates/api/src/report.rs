@@ -68,6 +68,86 @@ impl fmt::Display for ReportStatus {
     }
 }
 
+/// The serializable solver statistics of a solve-stage run: how the Step-4
+/// system was solved (iterations, restarts, final residual) and what the
+/// sparse substrate looked like (nnz of the Jacobian and of the LDLᵀ
+/// factor, factor/solve wall-clock split). Attached to reports whose mode
+/// ran the solver; generation-only reports leave it `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverRecord {
+    /// Total inner iterations across restarts.
+    pub iterations: usize,
+    /// Restarts actually run.
+    pub restarts: usize,
+    /// Sum-of-squares residual at the returned point.
+    pub final_residual: f64,
+    /// Stored entries of the sparse Jacobian pattern.
+    pub nnz_jacobian: usize,
+    /// Entries of the LDLᵀ factor (unit diagonal included).
+    pub nnz_factor: usize,
+    /// Numeric factorizations performed.
+    pub factorizations: usize,
+    /// Wall-clock seconds spent factorizing.
+    pub factor_seconds: f64,
+    /// Wall-clock seconds spent in triangular solves.
+    pub solve_seconds: f64,
+}
+
+impl From<&polyinv_qcqp::SolverStats> for SolverRecord {
+    /// The one mapping from the solver-side statistics to the serializable
+    /// record (`nnz_jtj` is deliberately not serialized — it is derivable
+    /// from the pattern and of no trajectory interest).
+    fn from(stats: &polyinv_qcqp::SolverStats) -> Self {
+        SolverRecord {
+            iterations: stats.iterations,
+            restarts: stats.restarts,
+            final_residual: stats.final_residual,
+            nnz_jacobian: stats.nnz_jacobian,
+            nnz_factor: stats.nnz_factor,
+            factorizations: stats.factorizations,
+            factor_seconds: stats.factor_seconds,
+            solve_seconds: stats.solve_seconds,
+        }
+    }
+}
+
+impl SolverRecord {
+    /// Serializes the record as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("iterations", Json::Number(self.iterations as f64)),
+            ("restarts", Json::Number(self.restarts as f64)),
+            ("final_residual", Json::Number(self.final_residual)),
+            ("nnz_jacobian", Json::Number(self.nnz_jacobian as f64)),
+            ("nnz_factor", Json::Number(self.nnz_factor as f64)),
+            ("factorizations", Json::Number(self.factorizations as f64)),
+            ("factor_seconds", Json::Number(self.factor_seconds)),
+            ("solve_seconds", Json::Number(self.solve_seconds)),
+        ])
+    }
+
+    /// Reads a record back from its JSON object form.
+    pub fn from_json(json: &Json) -> Result<Self, ApiError> {
+        let number = |name: &str| -> Result<f64, ApiError> {
+            json.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ApiError::InvalidRequest {
+                    message: format!("solver field `{name}` must be a number"),
+                })
+        };
+        Ok(SolverRecord {
+            iterations: number("iterations")? as usize,
+            restarts: number("restarts")? as usize,
+            final_residual: number("final_residual")?,
+            nnz_jacobian: number("nnz_jacobian")? as usize,
+            nnz_factor: number("nnz_factor")? as usize,
+            factorizations: number("factorizations")? as usize,
+            factor_seconds: number("factor_seconds")?,
+            solve_seconds: number("solve_seconds")?,
+        })
+    }
+}
+
 /// The exact-rational inductiveness re-check part of a validation record:
 /// the rounded invariant coefficients substituted back into the quadratic
 /// system, every constraint evaluated with `Rational` arithmetic.
@@ -223,6 +303,10 @@ pub struct SynthesisReport {
     /// `polyinv validate` / `fuzz` drivers and `reproduce --validate` fill
     /// this; plain Engine runs leave it empty).
     pub validate: Option<ValidationRecord>,
+    /// Solver statistics, when the request's mode ran the Step-4 solver
+    /// (weak synthesis). Generation-only, strong and check runs leave it
+    /// `None`.
+    pub solver: Option<SolverRecord>,
 }
 
 impl SynthesisReport {
@@ -243,6 +327,7 @@ impl SynthesisReport {
             timings: Vec::new(),
             diagnostics: Vec::new(),
             validate: None,
+            solver: None,
         }
     }
 
@@ -279,10 +364,16 @@ impl SynthesisReport {
 
     /// The report with its timings zeroed: the canonical form compared by
     /// the batch-determinism guarantee (wall-clock is the one field two
-    /// identical runs legitimately disagree on).
+    /// identical runs legitimately disagree on). The solver record's
+    /// wall-clock split is zeroed too; its counters and sparsity fields are
+    /// deterministic and stay.
     pub fn canonical(mut self) -> SynthesisReport {
         for (_, secs) in &mut self.timings {
             *secs = 0.0;
+        }
+        if let Some(solver) = &mut self.solver {
+            solver.factor_seconds = 0.0;
+            solver.solve_seconds = 0.0;
         }
         self
     }
@@ -323,6 +414,13 @@ impl SynthesisReport {
             (
                 "validate",
                 match &self.validate {
+                    None => Json::Null,
+                    Some(record) => record.to_json(),
+                },
+            ),
+            (
+                "solver",
+                match &self.solver {
                     None => Json::Null,
                     Some(record) => record.to_json(),
                 },
@@ -402,6 +500,10 @@ impl SynthesisReport {
                 None | Some(Json::Null) => None,
                 Some(record) => Some(ValidationRecord::from_json(record)?),
             },
+            solver: match json.get("solver") {
+                None | Some(Json::Null) => None,
+                Some(record) => Some(SolverRecord::from_json(record)?),
+            },
         })
     }
 
@@ -431,6 +533,20 @@ mod tests {
             timings: vec![("templates".to_string(), 0.012), ("solve".to_string(), 1.5)],
             diagnostics: vec!["ladder rung ϒ=0 solved".to_string()],
             validate: None,
+            solver: None,
+        }
+    }
+
+    fn sample_solver() -> SolverRecord {
+        SolverRecord {
+            iterations: 96,
+            restarts: 2,
+            final_residual: 3.4e-15,
+            nnz_jacobian: 17790,
+            nnz_factor: 48211,
+            factorizations: 101,
+            factor_seconds: 0.82,
+            solve_seconds: 0.07,
         }
     }
 
@@ -477,6 +593,32 @@ mod tests {
         assert_eq!(canonical.total_seconds(), 0.0);
         assert_eq!(canonical.timings.len(), 2);
         assert_eq!(canonical.system_size, 2348);
+    }
+
+    #[test]
+    fn solver_records_round_trip_and_canonicalize() {
+        let mut report = sample();
+        report.solver = Some(sample_solver());
+        let reparsed = SynthesisReport::from_json_str(&report.to_json_string()).unwrap();
+        assert_eq!(reparsed, report);
+        // Canonical form zeroes the wall-clock split but keeps the
+        // deterministic counters and sparsity fields.
+        let canonical = report.canonical();
+        let solver = canonical.solver.as_ref().unwrap();
+        assert_eq!(solver.factor_seconds, 0.0);
+        assert_eq!(solver.solve_seconds, 0.0);
+        assert_eq!(solver.iterations, 96);
+        assert_eq!(solver.nnz_factor, 48211);
+        // Reports without a record serialize `solver` as null and read
+        // back as None (forward compatibility for old snapshots).
+        let bare = sample();
+        assert!(bare.to_json_string().contains("\"solver\":null"));
+        assert_eq!(
+            SynthesisReport::from_json_str(&bare.to_json_string())
+                .unwrap()
+                .solver,
+            None
+        );
     }
 
     #[test]

@@ -138,6 +138,41 @@ fn identical_requests_produce_byte_identical_reports_through_the_interned_core()
 }
 
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "solver-bound; run with `cargo test --release`"
+)]
+fn sparse_weak_solves_produce_byte_identical_canonical_reports() {
+    // The sparse LM back-end fans its restarts out over worker threads but
+    // keeps the restart-winner policy deterministic, so two full weak-mode
+    // solves of the same golden scenario must serialize to the same
+    // canonical JSON — solver statistics included (their wall-clock split
+    // is the one non-deterministic part and is zeroed by `canonical()`).
+    let source = include_str!("../../../programs/inc.poly");
+    let request = SynthesisRequest::weak(source)
+        .with_id("det-solve")
+        .with_degree(1)
+        .with_target("x + 1 > 0");
+    let engine = Engine::new();
+    let first = engine.run(&request).unwrap();
+    assert_eq!(first.status, ReportStatus::Synthesized);
+    let solver = first.solver.as_ref().expect("weak runs report stats");
+    assert!(solver.iterations > 0);
+    assert!(solver.nnz_jacobian > 0);
+    assert!(solver.nnz_factor > 0);
+    let first = first.canonical().to_json_string();
+    let second = engine.run(&request).unwrap().canonical().to_json_string();
+    assert_eq!(first, second);
+    // A fresh engine (cold caches, new restart threads) too.
+    let third = Engine::new()
+        .run(&request)
+        .unwrap()
+        .canonical()
+        .to_json_string();
+    assert_eq!(first, third);
+}
+
+#[test]
 fn batch_requests_can_pick_their_own_backend() {
     let engine = Engine::new();
     let requests = vec![

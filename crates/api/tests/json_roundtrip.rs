@@ -84,6 +84,20 @@ fn arb_report() -> impl Strategy<Value = SynthesisReport> {
                             passed: pairs_certified == 0,
                         })
                     },
+                    solver: if pairs_certified % 2 == 0 {
+                        None
+                    } else {
+                        Some(polyinv_api::SolverRecord {
+                            iterations: pairs_total,
+                            restarts: pairs_certified,
+                            final_residual: violation * violation,
+                            nnz_jacobian: system_size,
+                            nnz_factor: num_unknowns,
+                            factorizations: pairs_total + pairs_certified,
+                            factor_seconds: violation.abs() * 1e-9,
+                            solve_seconds: violation.abs() * 1e-10,
+                        })
+                    },
                 }
             },
         )

@@ -11,7 +11,14 @@
 //!   LU solves, Cholesky and LDLᵀ factorizations, the Jacobi eigenvalue
 //!   algorithm for symmetric matrices, and projection onto the positive
 //!   semidefinite cone. These are the building blocks of the sum-of-squares
-//!   (Gram matrix) machinery in `polyinv-qcqp`.
+//!   (Gram matrix) machinery in `polyinv-qcqp`, and the oracle the sparse
+//!   routines are property-tested against.
+//! * [`sparse`] — the sparse substrate of the Step-4 solve path:
+//!   [`CsrMatrix`], the symbolic normal matrix [`JtjPattern`] (JᵀJ
+//!   accumulated directly from sparse Jacobian rows) and the sparse LDLᵀ
+//!   factorization [`SymbolicLdl`] with a fill-reducing minimum-degree
+//!   ordering whose symbolic analysis is computed once and reused across
+//!   solver iterations.
 //!
 //! # Example
 //!
@@ -29,6 +36,8 @@
 
 pub mod linalg;
 pub mod rational;
+pub mod sparse;
 
 pub use linalg::{Matrix, Vector};
 pub use rational::{ParseRationalError, Rational, RationalError};
+pub use sparse::{CsrMatrix, JtjPattern, JtjScratch, LdlNumeric, SymbolicLdl};

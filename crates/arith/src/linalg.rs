@@ -193,12 +193,23 @@ impl Matrix {
     /// The transpose of the matrix.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut t);
+        t
+    }
+
+    /// Writes the transpose into a caller-supplied matrix (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` does not have the transposed shape.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(out.rows, self.cols, "transpose_into shape mismatch");
+        assert_eq!(out.cols, self.rows, "transpose_into shape mismatch");
         for i in 0..self.rows {
             for j in 0..self.cols {
-                t.set(j, i, self.get(i, j));
+                out.set(j, i, self.get(i, j));
             }
         }
-        t
     }
 
     /// The Frobenius norm.
@@ -212,20 +223,55 @@ impl Matrix {
     ///
     /// Panics if the dimensions are incompatible.
     pub fn mul_vec(&self, v: &Vector) -> Vector {
+        let mut result = Vector::zeros(self.rows);
+        self.mul_vec_into(v, &mut result);
+        result
+    }
+
+    /// Matrix–vector product into a caller-supplied vector (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions are incompatible.
+    pub fn mul_vec_into(&self, v: &Vector, out: &mut Vector) {
         assert_eq!(
             self.cols,
             v.len(),
             "dimension mismatch in matrix-vector product"
         );
-        let mut result = Vector::zeros(self.rows);
+        assert_eq!(self.rows, out.len(), "output dimension mismatch");
         for i in 0..self.rows {
             let mut acc = 0.0;
             for j in 0..self.cols {
                 acc += self.get(i, j) * v[j];
             }
-            result[i] = acc;
+            out[i] = acc;
         }
-        result
+    }
+
+    /// Matrix product into a caller-supplied matrix (no allocation). `out`
+    /// is overwritten, not accumulated into.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions are incompatible or `out` aliases an input
+    /// shape-wise incorrectly.
+    pub fn mul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in matrix product");
+        assert_eq!(out.rows, self.rows, "output shape mismatch");
+        assert_eq!(out.cols, rhs.cols, "output shape mismatch");
+        out.data.fill(0.0);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.get(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out.add_to(i, j, aik * rhs.get(k, j));
+                }
+            }
+        }
     }
 
     /// Returns `true` if the matrix is (numerically) symmetric.
@@ -608,17 +654,7 @@ impl Mul for &Matrix {
     fn mul(self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows, "dimension mismatch in matrix product");
         let mut result = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self.get(i, k);
-                if aik == 0.0 {
-                    continue;
-                }
-                for j in 0..rhs.cols {
-                    result.add_to(i, j, aik * rhs.get(k, j));
-                }
-            }
-        }
+        self.mul_into(rhs, &mut result);
         result
     }
 }

@@ -1,0 +1,202 @@
+//! Property tests pinning the sparse substrate against the dense oracle:
+//! CSR mat-vec, JᵀJ accumulation from sparse rows, and the minimum-degree
+//! LDLᵀ factor-solve must agree with the corresponding dense
+//! [`Matrix`](polyinv_arith::Matrix) computations on random sparse systems.
+
+use polyinv_arith::sparse::{CsrMatrix, JtjPattern, JtjScratch, SymbolicLdl};
+use polyinv_arith::{Matrix, Vector};
+use proptest::prelude::*;
+
+/// A random sparse system derived from raw proptest material: `rows × cols`
+/// shape plus one short `(col, value)` list per row with strictly
+/// increasing columns.
+#[derive(Debug, Clone)]
+struct SparseSystem {
+    rows: usize,
+    cols: usize,
+    entries: Vec<Vec<(usize, f64)>>,
+}
+
+/// Raw material for one system: the vendored proptest stand-in has no
+/// `prop_flat_map`, so shapes and entries are drawn independently and the
+/// entry columns are folded into range (sorted, deduplicated) here.
+fn build_system(rows: usize, cols: usize, raw: Vec<Vec<(usize, f64)>>) -> SparseSystem {
+    let entries = raw
+        .into_iter()
+        .take(rows)
+        .chain(std::iter::repeat(Vec::new()))
+        .take(rows)
+        .map(|row| {
+            let mut folded: Vec<(usize, f64)> = Vec::new();
+            for (c, v) in row {
+                let col = c % cols;
+                match folded.binary_search_by_key(&col, |&(c, _)| c) {
+                    Ok(at) => folded[at].1 += v,
+                    Err(at) => folded.insert(at, (col, v)),
+                }
+            }
+            folded
+        })
+        .collect();
+    SparseSystem {
+        rows,
+        cols,
+        entries,
+    }
+}
+
+fn raw_entries() -> impl Strategy<Value = Vec<Vec<(usize, f64)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0usize..64, -4.0f64..4.0), 0..5),
+        8,
+    )
+}
+
+fn dense_of(system: &SparseSystem) -> Matrix {
+    let mut m = Matrix::zeros(system.rows, system.cols);
+    for (r, row) in system.entries.iter().enumerate() {
+        for &(c, v) in row {
+            m.add_to(r, c, v);
+        }
+    }
+    m
+}
+
+fn patterns_of(system: &SparseSystem) -> Vec<Vec<usize>> {
+    system
+        .entries
+        .iter()
+        .map(|row| row.iter().map(|&(c, _)| c).collect())
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn csr_mat_vec_matches_dense(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        raw in raw_entries(),
+        x in proptest::collection::vec(-3.0f64..3.0, 8),
+    ) {
+        let system = build_system(rows, cols, raw);
+        let triplets: Vec<(usize, usize, f64)> = system
+            .entries
+            .iter()
+            .enumerate()
+            .flat_map(|(r, row)| row.iter().map(move |&(c, v)| (r, c, v)))
+            .collect();
+        let csr = CsrMatrix::from_triplets(system.rows, system.cols, triplets);
+        let dense = dense_of(&system);
+        let x = &x[..system.cols];
+        let sparse_result = csr.mul_vec(x);
+        let dense_result = dense.mul_vec(&Vector::from_slice(x));
+        for r in 0..system.rows {
+            prop_assert!((sparse_result[r] - dense_result[r]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn jtj_accumulation_matches_dense_normal_matrix(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        raw in raw_entries(),
+    ) {
+        let system = build_system(rows, cols, raw);
+        let pattern = JtjPattern::new(system.cols, patterns_of(&system));
+        let mut values = pattern.values_buffer();
+        let mut scratch = JtjScratch::default();
+        for (r, row) in system.entries.iter().enumerate() {
+            pattern.accumulate_row(r, row, &mut values, &mut scratch);
+        }
+        let dense = dense_of(&system);
+        let jtj = &dense.transpose() * &dense;
+        let sparse_jtj = pattern.to_dense(&values);
+        for i in 0..system.cols {
+            for j in 0..system.cols {
+                prop_assert!(
+                    (sparse_jtj.get(i, j) - jtj.get(i, j)).abs() < 1e-9,
+                    "JtJ mismatch at ({}, {}): {} vs {}",
+                    i, j, sparse_jtj.get(i, j), jtj.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_ldlt_factor_solve_matches_dense_solve(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        raw in raw_entries(),
+        b in proptest::collection::vec(-3.0f64..3.0, 8),
+        damping in 0.01f64..2.0,
+    ) {
+        let system = build_system(rows, cols, raw);
+        let n = system.cols;
+        let pattern = JtjPattern::new(n, patterns_of(&system));
+        let mut values = pattern.values_buffer();
+        let mut scratch = JtjScratch::default();
+        for (r, row) in system.entries.iter().enumerate() {
+            pattern.accumulate_row(r, row, &mut values, &mut scratch);
+        }
+        let (row_ptr, col_idx) = pattern.pattern();
+        let symbolic = SymbolicLdl::analyze(n, row_ptr, col_idx);
+        let mut numeric = symbolic.numeric();
+        // JᵀJ + damping·I is positive definite for any J, so the
+        // factorization must succeed.
+        let diag_add = vec![damping; n];
+        prop_assert!(symbolic.factor(&values, &diag_add, &mut numeric));
+        let mut x: Vec<f64> = b[..n].to_vec();
+        symbolic.solve(&mut numeric, &mut x);
+
+        let mut dense = pattern.to_dense(&values);
+        for i in 0..n {
+            dense.add_to(i, i, damping);
+        }
+        let oracle = dense.solve(&Vector::from_slice(&b[..n])).expect("PD system");
+        for i in 0..n {
+            prop_assert!(
+                (x[i] - oracle[i]).abs() < 1e-6 * (1.0 + oracle[i].abs()),
+                "solve mismatch at {}: {} vs {}", i, x[i], oracle[i]
+            );
+        }
+    }
+
+    #[test]
+    fn symbolic_analysis_is_sane_for_arbitrary_patterns(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        raw in raw_entries(),
+    ) {
+        let system = build_system(rows, cols, raw);
+        let n = system.cols;
+        let pattern = JtjPattern::new(n, patterns_of(&system));
+        let (row_ptr, col_idx) = pattern.pattern();
+        let symbolic = SymbolicLdl::analyze(n, row_ptr, col_idx);
+        prop_assert!(symbolic.nnz_factor() >= n);
+        prop_assert!(symbolic.nnz_factor() <= n * (n + 1) / 2);
+        let mut perm = symbolic.permutation().to_vec();
+        perm.sort_unstable();
+        prop_assert_eq!(perm, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dense_into_buffer_variants_match_the_allocating_forms(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        raw in raw_entries(),
+        x in proptest::collection::vec(-3.0f64..3.0, 8),
+    ) {
+        let system = build_system(rows, cols, raw);
+        let dense = dense_of(&system);
+        let mut transposed = Matrix::zeros(system.cols, system.rows);
+        dense.transpose_into(&mut transposed);
+        assert_eq!(transposed, dense.transpose());
+        let mut product = Matrix::zeros(system.cols, system.cols);
+        transposed.mul_into(&dense, &mut product);
+        assert_eq!(product, &transposed * &dense);
+        let v = Vector::from_slice(&x[..system.cols]);
+        let mut out = Vector::zeros(system.rows);
+        dense.mul_vec_into(&v, &mut out);
+        assert_eq!(out, dense.mul_vec(&v));
+    }
+}

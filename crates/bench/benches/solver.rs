@@ -1,0 +1,90 @@
+//! Criterion benchmarks for the Step-4 solve stage.
+//!
+//! Three groups:
+//!
+//! * `lm_iteration` — one damped normal-equations iteration (accumulate
+//!   `JᵀJ`/`Jᵀr` from sparse rows, numeric LDLᵀ factor, triangular solves)
+//!   on real Table 2 systems, for the sparse production path and — on
+//!   cohendiv — the dense pre-rewrite oracle (dense `m×n` Jacobian, dense
+//!   `JᵀJ`, `O(n³)` solve). The dense bench is what the ≥5× acceptance
+//!   comparison reads against; expect two orders of magnitude. Both
+//!   iteration shapes come from `polyinv_bench::probe`, shared with the
+//!   `solver_comparison` example so every consumer measures the same
+//!   algorithm.
+//! * `symbolic_setup` — the once-per-problem cost the sparse path amortizes
+//!   (pattern construction + minimum-degree ordering + symbolic LDLᵀ).
+//! * `weak_synthesis_e2e` — an end-to-end weak synthesis (Steps 1–4)
+//!   through the Engine on a small program.
+//!
+//! CI smoke-compiles everything and short-runs the sparse iteration
+//! benches (`cargo bench -p polyinv-bench --bench solver -- sparse`); the
+//! full runs — including the slow dense oracle — are for local perf work.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polyinv_bench::probe::{dense_iteration, table_problem, SparseProbe};
+
+fn lm_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lm_iteration");
+    group.sample_size(10);
+    for name in ["freire1", "cohendiv", "mannadiv"] {
+        let mut probe = SparseProbe::new(table_problem(name));
+        let x = vec![0.05; probe.problem().num_vars];
+        group.bench_function(format!("sparse/{name}"), |b| {
+            b.iter(|| probe.iteration(&x, 1e-3))
+        });
+    }
+    // The dense oracle on the cohendiv-scale system: the pre-rewrite cost
+    // each LM iteration paid (dense J / Jᵀ / JᵀJ plus an O(n³) solve). One
+    // iteration takes ~19 s, so the sample budget stays minimal; the point
+    // of the bench is the ratio against `sparse/cohendiv`.
+    let problem = table_problem("cohendiv");
+    let x = vec![0.05; problem.num_vars];
+    group.measurement_time(Duration::from_secs(60));
+    group.bench_function("dense/cohendiv", |b| {
+        b.iter(|| dense_iteration(&problem, &x, 1e-3))
+    });
+    group.finish();
+}
+
+fn symbolic_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symbolic_setup");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    for name in ["cohendiv", "mannadiv"] {
+        let problem = table_problem(name);
+        group.bench_function(name, |b| {
+            b.iter(|| SparseProbe::new(problem.clone()).nnz_factor())
+        });
+    }
+    group.finish();
+}
+
+fn weak_synthesis_e2e(c: &mut Criterion) {
+    use polyinv_api::{ReportStatus, SynthesisRequest};
+    let mut group = c.benchmark_group("weak_synthesis_e2e");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20));
+    let source = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../programs/inc.poly"),
+    )
+    .expect("inc.poly exists");
+    let engine = polyinv_bench::engine_for_tables();
+    let request = SynthesisRequest::weak(source)
+        .with_degree(1)
+        .with_target("x + 1 > 0");
+    group.bench_function("inc", |b| {
+        b.iter(|| {
+            let report = engine.run(&request).unwrap();
+            assert_eq!(report.status, ReportStatus::Synthesized);
+            report.solver.as_ref().map(|s| s.iterations)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, lm_iteration, symbolic_setup, weak_synthesis_e2e);
+criterion_main!(benches);

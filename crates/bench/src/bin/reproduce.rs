@@ -20,9 +20,12 @@
 //!
 //! With `--json`, the measured rows are additionally written as a
 //! machine-readable snapshot (default `BENCH_3.json`, override with
-//! `--json PATH`): per benchmark `|S|`, unknowns and the per-stage timing
-//! breakdown. This is the file the perf trajectory tracks across PRs; CI
-//! regenerates it for Table 2 and asserts full coverage.
+//! `--json PATH`): per benchmark `|S|`, unknowns, the per-stage timing
+//! breakdown, and a `solve` block (null when the row was not solved;
+//! otherwise the outcome plus solver statistics — iterations, restarts,
+//! nnz(J), nnz(L), factor/solve wall-clock split). This is the file the
+//! perf trajectory tracks across PRs; CI regenerates it for Table 2 with
+//! `--solve` and asserts full coverage including the solve blocks.
 
 use std::path::PathBuf;
 use std::time::Instant;

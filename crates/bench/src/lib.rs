@@ -9,11 +9,15 @@
 //! columns), and the per-stage wall-clock timings of the reports flow
 //! directly into the printed tables.
 
+pub mod probe;
+
 use std::sync::Arc;
 use std::time::Duration;
 
 use polyinv::pipeline::stage_names;
-use polyinv_api::{ApiError, Engine, Json, ReportStatus, SynthesisRequest, ValidationRecord};
+use polyinv_api::{
+    ApiError, Engine, Json, ReportStatus, SolverRecord, SynthesisRequest, ValidationRecord,
+};
 use polyinv_benchmarks::Benchmark;
 use polyinv_constraints::{SosEncoding, SynthesisOptions};
 use polyinv_lang::{InvariantMap, Postcondition, Precondition};
@@ -139,6 +143,9 @@ pub struct SolveRow {
     pub violation: f64,
     /// The back-end that produced the attempt.
     pub backend: String,
+    /// Solver statistics of the attempt (iterations/restarts, nnz(J),
+    /// nnz(L), factor/solve split), when the report carried them.
+    pub stats: Option<SolverRecord>,
 }
 
 /// The reduction options matching a benchmark's paper configuration.
@@ -284,6 +291,7 @@ pub fn run_row_full(
                     solve_time: Duration::from_secs_f64(solve_secs),
                     violation: report.violation,
                     backend: report.backend,
+                    stats: report.solver,
                 })
             }
             Err(error) => Some(SolveRow {
@@ -291,6 +299,7 @@ pub fn run_row_full(
                 solve_time: Duration::ZERO,
                 violation: f64::INFINITY,
                 backend: format!("error:{}", error.kind()),
+                stats: None,
             }),
         }
     } else if solve {
@@ -307,6 +316,7 @@ pub fn run_row_full(
                     solve_time: Duration::from_secs_f64(solve_secs),
                     violation: report.violation,
                     backend: report.backend,
+                    stats: report.solver,
                 })
             }
             Err(error) => Some(SolveRow {
@@ -314,6 +324,7 @@ pub fn run_row_full(
                 solve_time: Duration::ZERO,
                 violation: f64::INFINITY,
                 backend: format!("error:{}", error.kind()),
+                stats: None,
             }),
         }
     } else {
@@ -381,9 +392,13 @@ pub fn baseline_status(outcome: Result<usize, ApiError>) -> String {
 
 /// Serializes benchmark rows into the machine-readable `BENCH_<n>.json`
 /// snapshot format: a schema marker plus one entry per row with the
-/// benchmark's configuration, `|S|`, unknown count and the per-stage
-/// generation timings (`templates`, `pairs`, `reduction`; plus `solve`
-/// when a solve was attempted).
+/// benchmark's configuration, `|S|`, unknown count, the per-stage
+/// generation timings (`templates`, `pairs`, `reduction`; plus `solve` in
+/// `timings` when a solve was attempted) and — always — a `solve` block:
+/// `null` for generation-only rows, otherwise the solve outcome with its
+/// wall-clock and solver statistics (iterations, restarts, nnz(J), nnz(L),
+/// factor/solve split). The solve-time trajectory across PRs lives in this
+/// block.
 pub fn rows_to_json(tables: &[(&str, &[RowResult])]) -> Json {
     let rows: Vec<Json> = tables
         .iter()
@@ -409,6 +424,7 @@ pub fn rows_to_json(tables: &[(&str, &[RowResult])]) -> Json {
                         Json::Number(row.generation_time().as_secs_f64()),
                     ),
                     ("timings", timings),
+                    ("solve", solve_row_json(row.solve.as_ref())),
                 ])
             })
         })
@@ -417,6 +433,39 @@ pub fn rows_to_json(tables: &[(&str, &[RowResult])]) -> Json {
         ("schema", Json::string("polyinv-bench/v1")),
         ("rows", Json::Array(rows)),
     ])
+}
+
+/// The `solve` block of one snapshot row (`null` when no solve was
+/// attempted for the row).
+fn solve_row_json(solve: Option<&SolveRow>) -> Json {
+    let Some(solve) = solve else {
+        return Json::Null;
+    };
+    let mut fields = vec![
+        ("synthesized", Json::Bool(solve.synthesized)),
+        ("backend", Json::string(solve.backend.clone())),
+        (
+            "solve_seconds",
+            Json::Number(solve.solve_time.as_secs_f64()),
+        ),
+        ("violation", Json::Number(solve.violation)),
+    ];
+    if let Some(stats) = &solve.stats {
+        fields.extend([
+            ("iterations", Json::Number(stats.iterations as f64)),
+            ("restarts", Json::Number(stats.restarts as f64)),
+            ("final_residual", Json::Number(stats.final_residual)),
+            ("nnz_jacobian", Json::Number(stats.nnz_jacobian as f64)),
+            ("nnz_factor", Json::Number(stats.nnz_factor as f64)),
+            ("factorizations", Json::Number(stats.factorizations as f64)),
+            ("factor_seconds", Json::Number(stats.factor_seconds)),
+            (
+                "solve_triangular_seconds",
+                Json::Number(stats.solve_seconds),
+            ),
+        ]);
+    }
+    Json::object(fields)
 }
 
 /// Writes the benchmark snapshot to `path` (pretty-printed, trailing
@@ -538,7 +587,62 @@ mod tests {
                 "missing {stage} timing in the snapshot"
             );
         }
+        // Generation-only rows carry an explicit null solve block.
+        assert_eq!(entry.get("solve"), Some(&Json::Null));
         // The document parses back (the CI coverage check relies on this).
+        let reparsed = Json::parse(&json.pretty()).unwrap();
+        assert_eq!(reparsed, json);
+    }
+
+    #[test]
+    fn solve_blocks_serialize_their_statistics() {
+        let row = RowResult {
+            name: "tiny".to_string(),
+            n: 1,
+            d: 1,
+            paper_vars: 2,
+            our_vars: 2,
+            paper_size: 10,
+            our_size: 12,
+            unknowns: 9,
+            paper_runtime: 0.1,
+            timings: vec![("solve".to_string(), 0.25)],
+            solve: Some(SolveRow {
+                synthesized: true,
+                solve_time: Duration::from_millis(250),
+                violation: 1e-9,
+                backend: "lm".to_string(),
+                stats: Some(SolverRecord {
+                    iterations: 40,
+                    restarts: 2,
+                    final_residual: 1e-17,
+                    nnz_jacobian: 60,
+                    nnz_factor: 33,
+                    factorizations: 44,
+                    factor_seconds: 0.2,
+                    solve_seconds: 0.01,
+                }),
+            }),
+            validate: None,
+        };
+        let json = rows_to_json(&[("table2", std::slice::from_ref(&row))]);
+        let entry = &json.get("rows").unwrap().as_array().unwrap()[0];
+        let solve = entry.get("solve").unwrap();
+        assert_eq!(solve.get("synthesized"), Some(&Json::Bool(true)));
+        assert_eq!(solve.get("backend").unwrap().as_str(), Some("lm"));
+        assert_eq!(solve.get("iterations").unwrap().as_usize(), Some(40));
+        assert_eq!(solve.get("restarts").unwrap().as_usize(), Some(2));
+        assert_eq!(solve.get("nnz_jacobian").unwrap().as_usize(), Some(60));
+        assert_eq!(solve.get("nnz_factor").unwrap().as_usize(), Some(33));
+        assert!(solve.get("factor_seconds").unwrap().as_f64().unwrap() > 0.0);
+        assert!(
+            solve
+                .get("solve_triangular_seconds")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
         let reparsed = Json::parse(&json.pretty()).unwrap();
         assert_eq!(reparsed, json);
     }

@@ -1,0 +1,256 @@
+//! Measurement probes for the Step-4 solve stage, shared by the criterion
+//! `solver` bench and the `solver_comparison` example so both measure the
+//! same algorithm.
+//!
+//! [`SparseProbe::iteration`] mirrors the *sparse* LM inner loop of
+//! `polyinv_qcqp::LmSolver` (one residual pass scattering the sparse
+//! Jacobian rows into `JᵀJ`/`Jᵀr`, then a damped LDLᵀ factor-solve on the
+//! shared symbolic analysis); [`dense_iteration`] reproduces the dense
+//! pre-rewrite computation (dense `m×n` Jacobian, dense transpose and
+//! `JᵀJ`, `O(n³)` solve) as the comparison oracle. Keep `SparseProbe` in
+//! sync with `LmSolver` when the inner loop changes — it exists so the
+//! benches never silently measure a different algorithm than the solver
+//! ships.
+
+use std::sync::Arc;
+
+use polyinv_arith::{JtjPattern, JtjScratch, LdlNumeric, Matrix, SymbolicLdl, Vector};
+use polyinv_lang::Precondition;
+use polyinv_qcqp::{Problem, ProblemStructure};
+
+use crate::options_for;
+
+/// Builds the numeric Step-4 problem of a Table 2/3 row (all unknowns
+/// free).
+///
+/// # Panics
+///
+/// Panics on unknown benchmark names.
+pub fn table_problem(name: &str) -> Problem {
+    let benchmark = polyinv_benchmarks::by_name(name).unwrap();
+    let program = benchmark.program().unwrap();
+    let pre = Precondition::from_program(&program);
+    let generated =
+        polyinv_constraints::generate(&program, &pre, &options_for(&benchmark)).unwrap();
+    polyinv::bridge::system_to_problem(&generated.system)
+}
+
+/// One sparse solve workspace plus its per-iteration buffers: what
+/// `LmSolver` builds once per solve (symbolic side) and once per restart
+/// (numeric side).
+#[derive(Debug)]
+pub struct SparseProbe {
+    problem: Problem,
+    structure: Arc<ProblemStructure>,
+    pattern: JtjPattern,
+    symbolic: SymbolicLdl,
+    numeric: LdlNumeric,
+    values: Vec<f64>,
+    jtr: Vec<f64>,
+    grad: Vec<f64>,
+    scratch: JtjScratch,
+    entries: Vec<(usize, f64)>,
+}
+
+impl SparseProbe {
+    /// Analyzes the problem: `JᵀJ` pattern, minimum-degree ordering and
+    /// symbolic LDLᵀ, plus zeroed numeric buffers.
+    pub fn new(problem: Problem) -> Self {
+        let structure = problem.structure();
+        let mut rows: Vec<Vec<usize>> = Vec::new();
+        rows.extend(structure.equality_vars.iter().cloned());
+        rows.extend(structure.inequality_vars.iter().cloned());
+        let pattern = JtjPattern::new(problem.num_vars, rows);
+        let (row_ptr, col_idx) = pattern.pattern();
+        let symbolic = SymbolicLdl::analyze(problem.num_vars, row_ptr, col_idx);
+        let numeric = symbolic.numeric();
+        let values = pattern.values_buffer();
+        let n = problem.num_vars;
+        SparseProbe {
+            problem,
+            structure,
+            pattern,
+            symbolic,
+            numeric,
+            values,
+            jtr: vec![0.0; n],
+            grad: vec![0.0; n],
+            scratch: JtjScratch::default(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// The problem under measurement.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// Stored entries of the Jacobian pattern.
+    pub fn nnz_jacobian(&self) -> usize {
+        self.pattern.jacobian_nnz()
+    }
+
+    /// Stored entries of the `JᵀJ` lower triangle.
+    pub fn nnz_jtj(&self) -> usize {
+        self.pattern.nnz()
+    }
+
+    /// Entries of the LDLᵀ factor (unit diagonal included).
+    pub fn nnz_factor(&self) -> usize {
+        self.symbolic.nnz_factor()
+    }
+
+    /// One sparse LM iteration at `x` with damping `lambda`: residual pass
+    /// scattering into `JᵀJ`/`Jᵀr`, damped numeric factor, triangular
+    /// solves. Returns a checksum of the step so the work cannot be
+    /// optimized away.
+    pub fn iteration(&mut self, x: &[f64], lambda: f64) -> f64 {
+        let SparseProbe {
+            problem,
+            structure,
+            pattern,
+            symbolic,
+            numeric,
+            values,
+            jtr,
+            grad,
+            scratch,
+            entries,
+        } = self;
+        values.fill(0.0);
+        jtr.fill(0.0);
+        let mut row = 0;
+        for (eq, vars) in problem.equalities.iter().zip(&structure.equality_vars) {
+            let r = eq.eval(x);
+            for &v in vars.iter() {
+                grad[v] = 0.0;
+            }
+            eq.add_gradient(x, grad, 1.0);
+            entries.clear();
+            for &v in vars.iter() {
+                if grad[v] != 0.0 {
+                    entries.push((v, grad[v]));
+                }
+            }
+            pattern.accumulate_row(row, entries, values, scratch);
+            for &(i, g) in entries.iter() {
+                jtr[i] += g * r;
+            }
+            row += 1;
+        }
+        for (ineq, vars) in problem.inequalities.iter().zip(&structure.inequality_vars) {
+            let value = ineq.eval(x);
+            if value < 0.0 {
+                for &v in vars.iter() {
+                    grad[v] = 0.0;
+                }
+                ineq.add_gradient(x, grad, -1.0);
+                entries.clear();
+                for &v in vars.iter() {
+                    if grad[v] != 0.0 {
+                        entries.push((v, grad[v]));
+                    }
+                }
+                pattern.accumulate_row(row, entries, values, scratch);
+                for &(i, g) in entries.iter() {
+                    jtr[i] += g * (-value);
+                }
+            }
+            row += 1;
+        }
+        let diag = pattern.diag_positions();
+        let diag_add: Vec<f64> = (0..problem.num_vars)
+            .map(|i| lambda * (1.0 + values[diag[i]]))
+            .collect();
+        assert!(symbolic.factor(values, &diag_add, numeric));
+        let mut step = jtr.clone();
+        symbolic.solve(numeric, &mut step);
+        step.iter().sum()
+    }
+}
+
+/// One dense LM iteration the way the pre-sparse back-end computed it:
+/// dense `m×n` Jacobian, dense transpose, dense `JᵀJ`, `O(n³)` solve.
+/// Returns a checksum of the step.
+///
+/// # Panics
+///
+/// Panics if the damped normal system is singular (it never is for
+/// `λ > 0`).
+pub fn dense_iteration(problem: &Problem, x: &[f64], lambda: f64) -> f64 {
+    let n = problem.num_vars;
+    let m = problem.equalities.len() + problem.inequalities.len();
+    let mut jacobian = Matrix::zeros(m, n);
+    let mut residuals = vec![0.0; m];
+    let mut grad = vec![0.0; n];
+    let mut row = 0;
+    for eq in &problem.equalities {
+        residuals[row] = eq.eval(x);
+        grad.fill(0.0);
+        eq.add_gradient(x, &mut grad, 1.0);
+        for (col, &g) in grad.iter().enumerate() {
+            if g != 0.0 {
+                jacobian.set(row, col, g);
+            }
+        }
+        row += 1;
+    }
+    for ineq in &problem.inequalities {
+        let value = ineq.eval(x);
+        if value < 0.0 {
+            residuals[row] = -value;
+            grad.fill(0.0);
+            ineq.add_gradient(x, &mut grad, -1.0);
+            for (col, &g) in grad.iter().enumerate() {
+                if g != 0.0 {
+                    jacobian.set(row, col, g);
+                }
+            }
+        }
+        row += 1;
+    }
+    let jt = jacobian.transpose();
+    let mut jtj = &jt * &jacobian;
+    for i in 0..n {
+        let d = jtj.get(i, i);
+        jtj.add_to(i, i, lambda * (1.0 + d));
+    }
+    let jtr = jt.mul_vec(&Vector::from_slice(&residuals));
+    let step = jtj.solve(&jtr).expect("damped system is PD");
+    (0..n).map(|i| step[i]).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_and_dense_probes_compute_the_same_step() {
+        use polyinv_qcqp::QuadraticForm;
+        // A small synthetic system keeps this fast in debug mode; the
+        // at-scale equivalence is covered by the lm/arith property tests.
+        let mut problem = Problem::new(6);
+        for i in 0..5 {
+            problem.equalities.push(QuadraticForm {
+                constant: -1.0 - i as f64,
+                linear: vec![(i, 2.0)],
+                quadratic: vec![(i, i + 1, 0.5)],
+            });
+        }
+        problem.inequalities.push(QuadraticForm {
+            constant: -10.0,
+            linear: vec![(3, 1.0)],
+            quadratic: Vec::new(),
+        });
+        let x = vec![0.05; 6];
+        let mut probe = SparseProbe::new(problem);
+        let sparse = probe.iteration(&x, 1e-3);
+        let dense = dense_iteration(probe.problem(), &x, 1e-3);
+        assert!(
+            (sparse - dense).abs() < 1e-6 * (1.0 + dense.abs()),
+            "checksum mismatch: sparse {sparse} vs dense {dense}"
+        );
+        assert!(probe.nnz_jacobian() > 0);
+        assert!(probe.nnz_factor() >= 6);
+    }
+}

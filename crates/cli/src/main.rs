@@ -570,6 +570,18 @@ fn emit_report(report: &SynthesisReport, json: bool) {
             .collect();
         println!("timings: {}", rendered.join(", "));
     }
+    if let Some(solver) = &report.solver {
+        println!(
+            "solver: {} iteration(s) over {} restart(s), nnz(J) = {}, nnz(L) = {}, \
+             factor {:.3}s, solve {:.3}s",
+            solver.iterations,
+            solver.restarts,
+            solver.nnz_jacobian,
+            solver.nnz_factor,
+            solver.factor_seconds,
+            solver.solve_seconds,
+        );
+    }
     if let Some(record) = &report.validate {
         println!(
             "validation: {} — {} trace(s), {} state(s), {} violation(s){}",

@@ -14,6 +14,7 @@ use polyinv_constraints::template::TemplateSet;
 use polyinv_constraints::{ConstraintPair, UnknownRegistry};
 use polyinv_lang::{InvariantMap, Postcondition, Program};
 use polyinv_poly::UnknownId;
+use polyinv_qcqp::SolverStats;
 
 pub use polyinv_constraints::GeneratedSystem;
 
@@ -90,8 +91,10 @@ pub struct Solution {
     pub violation: f64,
     /// The stable name of the back-end that produced the point.
     pub backend: &'static str,
-    /// Inner iterations the back-end reported.
-    pub iterations: usize,
+    /// Solver execution statistics: iterations and restarts, final
+    /// residual, sparsity of the Jacobian/normal matrix/factor, and the
+    /// factor/solve wall-clock split.
+    pub stats: SolverStats,
 }
 
 /// Instantiates the templates of a generated system under a numeric

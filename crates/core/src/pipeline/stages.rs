@@ -203,11 +203,15 @@ impl<'a> Stage<&'a GeneratedSystem> for SolveStage {
         let (invariant, postconditions) = instantiate_solution(ctx.program, generated, &assignment);
         let feasible = outcome.status == SolveStatus::Feasible;
         ctx.note(format!(
-            "solve[{}]: {} (violation {:.2e}, {} iteration(s))",
+            "solve[{}]: {} (violation {:.2e}, {} iteration(s), {} restart(s), \
+             nnz(J) = {}, nnz(L) = {})",
             self.backend.name(),
             if feasible { "feasible" } else { "infeasible" },
             outcome.violation,
-            outcome.iterations,
+            outcome.stats.iterations,
+            outcome.stats.restarts,
+            outcome.stats.nnz_jacobian,
+            outcome.stats.nnz_factor,
         ));
         Solution {
             feasible,
@@ -216,7 +220,7 @@ impl<'a> Stage<&'a GeneratedSystem> for SolveStage {
             assignment,
             violation: outcome.violation,
             backend: self.backend.name(),
-            iterations: outcome.iterations,
+            stats: outcome.stats,
         }
     }
 }

@@ -21,7 +21,7 @@ use polyinv_arith::Rational;
 use polyinv_constraints::{ConstraintError, GeneratedSystem, SynthesisOptions};
 use polyinv_lang::{InvariantMap, Label, Postcondition, Precondition, Program};
 use polyinv_poly::{Polynomial, UnknownId};
-use polyinv_qcqp::{default_backend, QcqpBackend};
+use polyinv_qcqp::{default_backend, QcqpBackend, SolverStats};
 
 use crate::pipeline::{Pipeline, StageTimings};
 
@@ -80,6 +80,10 @@ pub struct SynthesisOutcome {
     pub timings: StageTimings,
     /// The stable name of the back-end that produced the solution.
     pub backend: &'static str,
+    /// Solver statistics of the final (accepted or last) ladder attempt:
+    /// iterations/restarts, final residual, nnz(J)/nnz(L) and the
+    /// factor/solve wall-clock split.
+    pub solver: SolverStats,
 }
 
 /// The weak-synthesis driver.
@@ -245,6 +249,7 @@ impl WeakSynthesis {
             solve_time: ctx.timings().solve(),
             timings: ctx.timings().clone(),
             backend: solution.backend,
+            solver: solution.stats,
         })
     }
 }

@@ -27,9 +27,11 @@ pub mod lm;
 pub mod par;
 pub mod penalty;
 pub mod problem;
+pub mod stats;
 
 pub use backend::{backend_by_name, default_backend, QcqpBackend};
 pub use feasibility::{FeasibilityOptions, FeasibilitySolver};
 pub use lm::{LmOptions, LmSolver};
 pub use penalty::{AlmOptions, AlmSolver, SolveOutcome, SolveStatus};
-pub use problem::{Problem, PsdConstraint, QuadraticForm};
+pub use problem::{Problem, ProblemStructure, PsdConstraint, QuadraticForm};
+pub use stats::SolverStats;

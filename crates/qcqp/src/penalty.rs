@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::problem::Problem;
+use crate::stats::SolverStats;
 
 /// Configuration of the augmented-Lagrangian solver.
 #[derive(Debug, Clone)]
@@ -72,8 +73,10 @@ pub struct SolveOutcome {
     pub objective: f64,
     /// Feasibility status.
     pub status: SolveStatus,
-    /// Total number of inner iterations performed.
+    /// Inner iterations of the winning restart.
     pub iterations: usize,
+    /// Execution statistics aggregated over all restarts.
+    pub stats: SolverStats,
 }
 
 /// The augmented-Lagrangian solver.
@@ -92,6 +95,7 @@ impl AlmSolver {
     /// optional warm start) and returns the best outcome.
     pub fn solve(&self, problem: &Problem, warm_start: Option<&[f64]>) -> SolveOutcome {
         let mut best: Option<SolveOutcome> = None;
+        let mut stats = SolverStats::default();
         let restarts = self.options.restarts.max(1);
         for restart in 0..restarts {
             let mut rng = StdRng::seed_from_u64(self.options.seed.wrapping_add(restart as u64));
@@ -102,6 +106,7 @@ impl AlmSolver {
                     .collect(),
             };
             let outcome = self.solve_from(problem, &mut x, &mut rng);
+            stats.absorb_restart(&outcome.stats);
             let better = match &best {
                 None => true,
                 Some(current) => {
@@ -121,7 +126,10 @@ impl AlmSolver {
                 }
             }
         }
-        best.expect("at least one restart runs")
+        let mut best = best.expect("at least one restart runs");
+        stats.final_residual = best.stats.final_residual;
+        best.stats = stats;
+        best
     }
 
     fn solve_from(&self, problem: &Problem, x: &mut [f64], rng: &mut StdRng) -> SolveOutcome {
@@ -138,6 +146,14 @@ impl AlmSolver {
         let beta2 = 0.999;
         let eps = 1e-8;
         let mut total_iterations = 0usize;
+        // Variables no constraint or objective mentions never receive a
+        // gradient, so their Adam state stays zero and their value never
+        // moves: the update loop can skip them outright. The gradient
+        // buffer is likewise allocated once and re-zeroed per step instead
+        // of reallocated `outer × inner` times.
+        let structure = problem.structure();
+        let active = &structure.active_vars;
+        let mut grad = vec![0.0; n];
 
         let objective_at = |point: &[f64]| {
             problem
@@ -155,7 +171,9 @@ impl AlmSolver {
             for _ in 0..opts.inner_iterations {
                 total_iterations += 1;
                 step_count += 1.0;
-                let mut grad = vec![0.0; n];
+                for &i in active {
+                    grad[i] = 0.0;
+                }
                 // Objective gradient.
                 if let Some(objective) = &problem.objective {
                     objective.add_gradient(x, &mut grad, 1.0);
@@ -174,9 +192,9 @@ impl AlmSolver {
                         ineq.add_gradient(x, &mut grad, -slack);
                     }
                 }
-                // Adam update.
+                // Adam update over the active variables only.
                 let t = step_count;
-                for i in 0..n {
+                for &i in active {
                     m[i] = beta1 * m[i] + (1.0 - beta1) * grad[i];
                     v[i] = beta2 * v[i] + (1.0 - beta2) * grad[i] * grad[i];
                     let m_hat = m[i] / (1.0 - beta1.powf(t));
@@ -225,6 +243,20 @@ impl AlmSolver {
         }
 
         let violation = best_violation;
+        // Sum-of-squares residual at the returned point (equality residuals
+        // plus inequality hinges), for parity with the LM statistics.
+        let final_residual: f64 = problem
+            .equalities
+            .iter()
+            .map(|eq| {
+                let r = eq.eval(&best_x);
+                r * r
+            })
+            .chain(problem.inequalities.iter().map(|ineq| {
+                let r = (-ineq.eval(&best_x)).max(0.0);
+                r * r
+            }))
+            .sum();
         SolveOutcome {
             assignment: best_x,
             violation,
@@ -235,6 +267,12 @@ impl AlmSolver {
                 SolveStatus::Infeasible
             },
             iterations: total_iterations,
+            stats: SolverStats {
+                iterations: total_iterations,
+                restarts: 1,
+                final_residual,
+                ..SolverStats::default()
+            },
         }
     }
 }

@@ -1,5 +1,7 @@
 //! Problem representation for quadratically-constrained programs.
 
+use std::sync::{Arc, OnceLock};
+
 use polyinv_arith::Matrix;
 
 /// A sparse quadratic form `c + Σ aᵢ·xᵢ + Σ bᵢⱼ·xᵢ·xⱼ`.
@@ -62,6 +64,20 @@ impl QuadraticForm {
                 grad[j] += scale * c * x[i];
             }
         }
+    }
+
+    /// The sorted, deduplicated list of variables this form mentions — the
+    /// sparsity pattern of both its value and its gradient.
+    pub fn touched_vars(&self) -> Vec<usize> {
+        let mut vars: Vec<usize> = self
+            .linear
+            .iter()
+            .map(|&(i, _)| i)
+            .chain(self.quadratic.iter().flat_map(|&(i, j, _)| [i, j]))
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
     }
 
     /// The largest variable index mentioned (plus one), i.e. the minimum
@@ -132,6 +148,88 @@ impl PsdConstraint {
     }
 }
 
+/// Precomputed per-constraint sparsity metadata of a [`Problem`]: the
+/// touched-variable set of every constraint (and the objective), the total
+/// Jacobian nnz and the union of active variables. Both solver back-ends
+/// consume this instead of rediscovering structure every iteration; the
+/// sparse LM back-end derives its `JᵀJ` pattern and symbolic factorization
+/// from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProblemStructure {
+    /// Sorted touched-variable set of each equality constraint.
+    pub equality_vars: Vec<Vec<usize>>,
+    /// Sorted touched-variable set of each inequality constraint.
+    pub inequality_vars: Vec<Vec<usize>>,
+    /// Sorted touched-variable set of the objective (empty when absent).
+    pub objective_vars: Vec<usize>,
+    /// Sorted union of every variable any constraint or the objective
+    /// mentions. Variables outside this set never receive a gradient.
+    pub active_vars: Vec<usize>,
+    /// Total entries across the equality and inequality Jacobian rows.
+    pub jacobian_nnz: usize,
+    /// Whether the problem had an objective when analyzed. Part of the
+    /// staleness fingerprint: a *constant* objective also has an empty
+    /// `objective_vars`, so emptiness alone cannot distinguish "objective
+    /// touching nothing" from "no objective".
+    pub has_objective: bool,
+}
+
+impl ProblemStructure {
+    fn analyze(problem: &Problem) -> Self {
+        let equality_vars: Vec<Vec<usize>> = problem
+            .equalities
+            .iter()
+            .map(QuadraticForm::touched_vars)
+            .collect();
+        let inequality_vars: Vec<Vec<usize>> = problem
+            .inequalities
+            .iter()
+            .map(QuadraticForm::touched_vars)
+            .collect();
+        let objective_vars = problem
+            .objective
+            .as_ref()
+            .map(QuadraticForm::touched_vars)
+            .unwrap_or_default();
+        let jacobian_nnz = equality_vars
+            .iter()
+            .chain(&inequality_vars)
+            .map(Vec::len)
+            .sum();
+        let mut active_vars: Vec<usize> = equality_vars
+            .iter()
+            .chain(&inequality_vars)
+            .flatten()
+            .copied()
+            .chain(objective_vars.iter().copied())
+            .chain(
+                problem
+                    .psd
+                    .iter()
+                    .flat_map(|block| block.indices.iter().copied()),
+            )
+            .collect();
+        active_vars.sort_unstable();
+        active_vars.dedup();
+        ProblemStructure {
+            equality_vars,
+            inequality_vars,
+            objective_vars,
+            active_vars,
+            jacobian_nnz,
+            has_objective: problem.objective.is_some(),
+        }
+    }
+
+    /// `true` if this analysis still matches the problem's constraint
+    /// counts (the cheap staleness fingerprint used by the cache).
+    fn matches(&self, problem: &Problem) -> bool {
+        self.equality_vars.len() == problem.equalities.len()
+            && self.inequality_vars.len() == problem.inequalities.len()
+            && self.has_objective == problem.objective.is_some()
+    }
+}
+
 /// A quadratically-constrained program
 /// `min objective(x)  s.t.  eqᵢ(x) = 0,  ineqⱼ(x) ≥ 0,  Q_k(x) ⪰ 0,
 ///  lo ≤ x ≤ hi`.
@@ -149,6 +247,8 @@ pub struct Problem {
     pub objective: Option<QuadraticForm>,
     /// Per-variable box bounds (defaults to `(-BOUND, BOUND)`).
     pub bounds: Vec<(f64, f64)>,
+    /// Lazily-computed sparsity metadata (see [`Problem::structure`]).
+    structure: OnceLock<Arc<ProblemStructure>>,
 }
 
 /// Default symmetric box bound applied to every variable; it keeps the
@@ -165,6 +265,24 @@ impl Problem {
             psd: Vec::new(),
             objective: None,
             bounds: vec![(-DEFAULT_BOUND, DEFAULT_BOUND); num_vars],
+            structure: OnceLock::new(),
+        }
+    }
+
+    /// The per-constraint sparsity metadata of this problem, computed once
+    /// and cached. The fingerprint is the constraint *counts*: if the
+    /// problem gains or loses constraints after the first call a fresh
+    /// (uncached) analysis is returned, but mutating a constraint in place
+    /// is not detected — build the problem fully before solving it, as the
+    /// bridge does.
+    pub fn structure(&self) -> Arc<ProblemStructure> {
+        let cached = self
+            .structure
+            .get_or_init(|| Arc::new(ProblemStructure::analyze(self)));
+        if cached.matches(self) {
+            Arc::clone(cached)
+        } else {
+            Arc::new(ProblemStructure::analyze(self))
         }
     }
 
@@ -252,6 +370,46 @@ mod tests {
         assert!((x[0] - 0.5).abs() < 1e-9);
         assert!((x[1] - 0.5).abs() < 1e-9);
         assert!((x[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn structure_reports_per_constraint_sparsity_and_is_cached() {
+        let mut problem = Problem::new(5);
+        problem.equalities.push(QuadraticForm {
+            constant: 1.0,
+            linear: vec![(3, 2.0)],
+            quadratic: vec![(0, 3, 1.0)],
+        });
+        problem.inequalities.push(QuadraticForm::variable(1));
+        problem.objective = Some(QuadraticForm::variable(4));
+        let structure = problem.structure();
+        assert_eq!(structure.equality_vars, vec![vec![0, 3]]);
+        assert_eq!(structure.inequality_vars, vec![vec![1]]);
+        assert_eq!(structure.objective_vars, vec![4]);
+        assert_eq!(structure.active_vars, vec![0, 1, 3, 4]);
+        assert_eq!(structure.jacobian_nnz, 3);
+        // Cached: the same Arc comes back.
+        assert!(Arc::ptr_eq(&structure, &problem.structure()));
+        // Adding a constraint invalidates the fingerprint: a fresh analysis
+        // is returned instead of the stale cache.
+        problem.inequalities.push(QuadraticForm::variable(2));
+        let refreshed = problem.structure();
+        assert_eq!(refreshed.inequality_vars.len(), 2);
+        assert_eq!(refreshed.active_vars, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn constant_objectives_do_not_defeat_the_structure_cache() {
+        // A constant objective touches no variables; the fingerprint must
+        // still recognize the cached analysis as fresh (an empty
+        // `objective_vars` is not the same as "no objective").
+        let mut problem = Problem::new(2);
+        problem.equalities.push(QuadraticForm::variable(0));
+        problem.objective = Some(QuadraticForm::constant(1.5));
+        let first = problem.structure();
+        assert!(first.has_objective);
+        assert!(first.objective_vars.is_empty());
+        assert!(Arc::ptr_eq(&first, &problem.structure()));
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! Solver execution statistics.
+//!
+//! Every [`SolveOutcome`](crate::SolveOutcome) carries a [`SolverStats`]
+//! describing *how* the point was found: iteration and restart counts, the
+//! final least-squares residual, the sparsity of the Jacobian / normal
+//! matrix / factor, and the wall-clock split between numeric factorization
+//! and triangular solves. The synthesis pipeline threads these through to
+//! `SynthesisReport`s and the benchmark snapshots, so the solve-stage cost
+//! is visible (and regressable) per benchmark row.
+
+/// Statistics of one solver run (aggregated over its restarts).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolverStats {
+    /// Total inner iterations across all restarts.
+    pub iterations: usize,
+    /// Number of restarts actually run (early exit may skip some).
+    pub restarts: usize,
+    /// Sum-of-squares residual `‖r(x)‖²` at the returned point.
+    pub final_residual: f64,
+    /// Stored entries of the (sparse) Jacobian pattern — 0 for solvers that
+    /// never form one.
+    pub nnz_jacobian: usize,
+    /// Stored entries of the normal matrix `JᵀJ` (lower triangle).
+    pub nnz_jtj: usize,
+    /// Entries of the LDLᵀ factor `L` (unit diagonal included).
+    pub nnz_factor: usize,
+    /// Number of numeric factorizations performed.
+    pub factorizations: usize,
+    /// Wall-clock seconds spent in numeric factorization.
+    pub factor_seconds: f64,
+    /// Wall-clock seconds spent in triangular solves.
+    pub solve_seconds: f64,
+}
+
+impl SolverStats {
+    /// Folds the per-restart counters of `other` into `self` (sparsity
+    /// fields describe the shared pattern and are left untouched).
+    pub fn absorb_restart(&mut self, other: &SolverStats) {
+        self.iterations += other.iterations;
+        self.restarts += other.restarts;
+        self.factorizations += other.factorizations;
+        self.factor_seconds += other.factor_seconds;
+        self.solve_seconds += other.solve_seconds;
+    }
+}

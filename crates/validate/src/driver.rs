@@ -92,6 +92,7 @@ pub fn run_validated_with_backend(
             .collect(),
         diagnostics: Vec::new(),
         validate: None,
+        solver: Some(polyinv_api::SolverRecord::from(&outcome.solver)),
     };
     if outcome.feasible {
         report.invariants = outcome

@@ -248,6 +248,8 @@ pub struct ValidatedOutcome {
     pub backend: &'static str,
     /// Accumulated per-stage timings across ladder rungs.
     pub timings: StageTimings,
+    /// Solver statistics of the accepted (or last) rung's solve.
+    pub solver: polyinv_qcqp::SolverStats,
     /// The validation outcome (present iff the solve was feasible).
     pub validation: Option<ValidationReport>,
 }
@@ -300,6 +302,7 @@ pub fn synthesize_and_validate(
             violation: solution.violation,
             backend: solution.backend,
             timings: total.clone(),
+            solver: solution.stats,
             validation,
         };
         let done = outcome.feasible || step + 1 == ladder.len();

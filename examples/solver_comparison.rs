@@ -1,0 +1,61 @@
+//! Dense-vs-sparse Step-4 comparison on a real Table 2 system.
+//!
+//! Builds the cohendiv quadratic system (|S| ≈ 4.4k, ≈ 4.3k unknowns, >99%
+//! sparse), then times one Levenberg–Marquardt iteration both ways using
+//! the shared probes of `polyinv_bench::probe`:
+//!
+//! * **sparse** — the production path: residuals + sparse Jacobian rows
+//!   scattered straight into the `JᵀJ` pattern, damped sparse LDLᵀ
+//!   factor-solve with the symbolic analysis computed once up front;
+//! * **dense** — what the LM back-end did before the sparse rewrite:
+//!   materialize the dense `m×n` Jacobian, its transpose, the dense `JᵀJ`
+//!   product and an `O(n³)` Gaussian-elimination solve.
+//!
+//! Run with `cargo run --release --example solver_comparison`. On a typical
+//! machine the sparse iteration is two orders of magnitude faster (~0.15 s
+//! vs ~19 s) and works in O(nnz) ≈ 10 MB instead of several dense
+//! `m×n`/`n×n` buffers (~0.5 GB). The criterion benches in
+//! `crates/bench/benches/solver.rs` track the same probes continuously.
+
+use std::time::Instant;
+
+use polyinv_bench::probe::{dense_iteration, table_problem, SparseProbe};
+
+fn main() {
+    let problem = table_problem("cohendiv");
+    let n = problem.num_vars;
+    let m = problem.equalities.len() + problem.inequalities.len();
+    println!("cohendiv: n = {n} unknowns, m = {m} residual rows");
+    let x = vec![0.05; n];
+    let lambda = 1e-3;
+
+    let setup_start = Instant::now();
+    let mut probe = SparseProbe::new(problem);
+    println!(
+        "symbolic setup (once per problem): {:.3}s; nnz(J) = {}, nnz(JtJ) = {}, nnz(L) = {}",
+        setup_start.elapsed().as_secs_f64(),
+        probe.nnz_jacobian(),
+        probe.nnz_jtj(),
+        probe.nnz_factor(),
+    );
+
+    let iterations = 10u32;
+    let sparse_start = Instant::now();
+    for _ in 0..iterations {
+        std::hint::black_box(probe.iteration(&x, lambda));
+    }
+    let sparse_per_iter = sparse_start.elapsed() / iterations;
+    println!(
+        "sparse per-iteration: {:.4}s",
+        sparse_per_iter.as_secs_f64()
+    );
+
+    let dense_start = Instant::now();
+    std::hint::black_box(dense_iteration(probe.problem(), &x, lambda));
+    let dense_per_iter = dense_start.elapsed();
+    println!("dense per-iteration: {:.3}s", dense_per_iter.as_secs_f64());
+    println!(
+        "speedup: {:.0}x per LM iteration",
+        dense_per_iter.as_secs_f64() / sparse_per_iter.as_secs_f64()
+    );
+}
