@@ -294,7 +294,8 @@ impl Engine {
         backend: Arc<dyn QcqpBackend>,
     ) -> Result<SynthesisReport, ApiError> {
         let targets = resolve_weak_targets(program, request)?;
-        let synth = WeakSynthesis::with_options(request.options.clone()).backend(backend);
+        let (options, escalation) = escalate_degree(&request.options, &targets);
+        let synth = WeakSynthesis::with_options(options).backend(backend);
         let outcome = synth.synthesize(program, pre, &targets)?;
         let status = match outcome.status {
             SynthesisStatus::Synthesized => ReportStatus::Synthesized,
@@ -307,6 +308,13 @@ impl Engine {
         report.violation = outcome.violation;
         report.timings = timings_to_seconds(&outcome.timings);
         report.solver = Some(crate::report::SolverRecord::from(&outcome.solver));
+        report.presolve = outcome
+            .presolve
+            .as_ref()
+            .map(crate::report::PresolveRecord::from);
+        if let Some(note) = escalation {
+            report.diagnostics.push(note);
+        }
         if status == ReportStatus::Synthesized {
             report.invariants = render_lines(&outcome.invariant.render(program));
             report.postconditions = render_postconditions(program, &outcome.postconditions);
@@ -425,10 +433,12 @@ impl Engine {
 
 /// Resolves and validates the target assertions of a weak-mode request:
 /// post-condition specs are rejected, labels resolve against the main
-/// function, target degrees must fit the template degree and no label may
-/// receive more targets than the template has conjuncts. Shared between
-/// [`Engine`] weak runs and external drivers (the validation subsystem),
-/// so both entry points accept exactly the same requests.
+/// function, and no label may receive more targets than the template has
+/// conjuncts. Targets whose degree exceeds the requested template degree
+/// are *not* rejected here — [`escalate_degree`] raises the degree to fit
+/// them. Shared between [`Engine`] weak runs and external drivers (the
+/// validation subsystem), so both entry points accept exactly the same
+/// requests.
 ///
 /// # Errors
 ///
@@ -449,16 +459,6 @@ pub fn resolve_weak_targets(
             }
             let label = resolve_label(program, spec.label)?;
             let poly = parse_assertion(program, &spec.text)?;
-            if poly.degree() > request.options.degree {
-                return Err(ApiError::InvalidRequest {
-                    message: format!(
-                        "target `{}` has degree {} but the template degree is {}",
-                        spec.text,
-                        poly.degree(),
-                        request.options.degree
-                    ),
-                });
-            }
             Ok(TargetAssertion::new(label, poly))
         })
         .collect::<Result<_, _>>()?;
@@ -476,6 +476,32 @@ pub fn resolve_weak_targets(
         }
     }
     Ok(targets)
+}
+
+/// Raises the template degree to cover the targets: a degree-`k` target
+/// cannot be pinned into a degree-`d` template for `d < k` (its monomials
+/// fall outside the template basis), so rather than reject the request the
+/// degree is escalated to the highest target degree and the run carries a
+/// diagnostic saying so. Returns the options to run with and the diagnostic
+/// (`None` when the requested degree already fits). Shared between
+/// [`Engine`] weak runs and external drivers (the validation subsystem).
+pub fn escalate_degree(
+    options: &polyinv_constraints::SynthesisOptions,
+    targets: &[TargetAssertion],
+) -> (polyinv_constraints::SynthesisOptions, Option<String>) {
+    let needed = targets
+        .iter()
+        .map(|target| target.poly.degree())
+        .max()
+        .unwrap_or(0);
+    if needed <= options.degree {
+        return (options.clone(), None);
+    }
+    let note = format!(
+        "template degree escalated {} -> {} to fit the degree-{} target",
+        options.degree, needed, needed
+    );
+    (options.clone().with_degree(needed), Some(note))
 }
 
 /// Resolves an assertion label index against the main function (`None`
@@ -643,13 +669,24 @@ mod tests {
     }
 
     #[test]
-    fn over_degree_targets_are_rejected_not_panicking() {
+    fn over_degree_targets_escalate_the_template_degree() {
+        // A cubic target against the default degree-2 template used to come
+        // back as `error:invalid-request`; request validation now raises the
+        // degree to fit the target and says so in a diagnostic.
         let engine = Engine::new();
+        let program = engine.parse_program(RUNNING_EXAMPLE_SOURCE).unwrap();
         let request = SynthesisRequest::weak(RUNNING_EXAMPLE_SOURCE).with_target("n*n*n + 1 > 0");
-        assert!(matches!(
-            engine.run(&request),
-            Err(ApiError::InvalidRequest { .. })
-        ));
+        let targets = resolve_weak_targets(&program, &request).unwrap();
+        let (options, note) = escalate_degree(&request.options, &targets);
+        assert_eq!(request.options.degree, 2);
+        assert_eq!(options.degree, 3);
+        assert!(note.unwrap().contains("escalated 2 -> 3"));
+        // A target that already fits leaves the options untouched.
+        let fitting = SynthesisRequest::weak(RUNNING_EXAMPLE_SOURCE).with_target("n + 1 > 0");
+        let targets = resolve_weak_targets(&program, &fitting).unwrap();
+        let (options, note) = escalate_degree(&fitting.options, &targets);
+        assert_eq!(options.degree, 2);
+        assert!(note.is_none());
     }
 
     #[test]

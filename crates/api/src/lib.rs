@@ -50,7 +50,9 @@ pub mod request;
 pub use engine::Engine;
 pub use error::ApiError;
 pub use json::{Json, JsonError};
-pub use report::{ExactRecord, ReportStatus, SolverRecord, SynthesisReport, ValidationRecord};
+pub use report::{
+    ExactRecord, PresolveRecord, ReportStatus, SolverRecord, SynthesisReport, ValidationRecord,
+};
 pub use request::{AssertionSpec, Mode, SynthesisRequest};
 
 // Re-export the options type that travels inside requests, so callers of

@@ -148,6 +148,123 @@ impl SolverRecord {
     }
 }
 
+/// The serializable statistics of the affine presolve that shrank the
+/// Step-3 system before the solve: sizes before/after, fixpoint rounds and
+/// the per-rule elimination counts. Attached to reports whose mode ran the
+/// solver with presolve enabled; `--no-presolve` runs and generation-only
+/// reports leave it `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PresolveRecord {
+    /// `|S|` of the generated system.
+    pub size_before: usize,
+    /// `|S|` after the presolve fixpoint.
+    pub size_after: usize,
+    /// Unknowns of the generated system.
+    pub unknowns_before: usize,
+    /// Unknowns the solver actually sees.
+    pub unknowns_after: usize,
+    /// Fixpoint rounds run.
+    pub rounds: usize,
+    /// Unknowns eliminated because the caller pinned them.
+    pub pinned: usize,
+    /// Unknowns fixed to constants by singleton rows.
+    pub fixed: usize,
+    /// Unknowns eliminated by two-term affine rows.
+    pub affine: usize,
+    /// Unknowns eliminated by general (quadratic-RHS) definitions.
+    pub solved: usize,
+    /// Unknowns freed as exclusive difference-of-squares pairs.
+    pub freed: usize,
+    /// Surviving unknowns sign-rectified by dropped one-sided bounds.
+    pub rectified: usize,
+    /// Trivially-satisfied rows dropped.
+    pub dropped: usize,
+    /// Duplicate rows merged (up to scaling).
+    pub duplicates: usize,
+    /// Wall-clock seconds spent in the fixpoint.
+    pub seconds: f64,
+}
+
+impl From<&polyinv_constraints::PresolveStats> for PresolveRecord {
+    fn from(stats: &polyinv_constraints::PresolveStats) -> Self {
+        PresolveRecord {
+            size_before: stats.size_before,
+            size_after: stats.size_after,
+            unknowns_before: stats.unknowns_before,
+            unknowns_after: stats.unknowns_after,
+            rounds: stats.rounds,
+            pinned: stats.pinned,
+            fixed: stats.fixed,
+            affine: stats.affine,
+            solved: stats.solved,
+            freed: stats.freed,
+            rectified: stats.rectified,
+            dropped: stats.dropped,
+            duplicates: stats.duplicates,
+            seconds: stats.seconds,
+        }
+    }
+}
+
+impl PresolveRecord {
+    /// Fraction of `|S|` removed by the presolve (0 when the input was
+    /// empty).
+    pub fn size_reduction(&self) -> f64 {
+        if self.size_before == 0 {
+            0.0
+        } else {
+            1.0 - self.size_after as f64 / self.size_before as f64
+        }
+    }
+
+    /// Serializes the record as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("size_before", Json::Number(self.size_before as f64)),
+            ("size_after", Json::Number(self.size_after as f64)),
+            ("unknowns_before", Json::Number(self.unknowns_before as f64)),
+            ("unknowns_after", Json::Number(self.unknowns_after as f64)),
+            ("rounds", Json::Number(self.rounds as f64)),
+            ("pinned", Json::Number(self.pinned as f64)),
+            ("fixed", Json::Number(self.fixed as f64)),
+            ("affine", Json::Number(self.affine as f64)),
+            ("solved", Json::Number(self.solved as f64)),
+            ("freed", Json::Number(self.freed as f64)),
+            ("rectified", Json::Number(self.rectified as f64)),
+            ("dropped", Json::Number(self.dropped as f64)),
+            ("duplicates", Json::Number(self.duplicates as f64)),
+            ("seconds", Json::Number(self.seconds)),
+        ])
+    }
+
+    /// Reads a record back from its JSON object form.
+    pub fn from_json(json: &Json) -> Result<Self, ApiError> {
+        let number = |name: &str| -> Result<f64, ApiError> {
+            json.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ApiError::InvalidRequest {
+                    message: format!("presolve field `{name}` must be a number"),
+                })
+        };
+        Ok(PresolveRecord {
+            size_before: number("size_before")? as usize,
+            size_after: number("size_after")? as usize,
+            unknowns_before: number("unknowns_before")? as usize,
+            unknowns_after: number("unknowns_after")? as usize,
+            rounds: number("rounds")? as usize,
+            pinned: number("pinned")? as usize,
+            fixed: number("fixed")? as usize,
+            affine: number("affine")? as usize,
+            solved: number("solved")? as usize,
+            freed: number("freed")? as usize,
+            rectified: number("rectified")? as usize,
+            dropped: number("dropped")? as usize,
+            duplicates: number("duplicates")? as usize,
+            seconds: number("seconds")?,
+        })
+    }
+}
+
 /// The exact-rational inductiveness re-check part of a validation record:
 /// the rounded invariant coefficients substituted back into the quadratic
 /// system, every constraint evaluated with `Rational` arithmetic.
@@ -307,6 +424,10 @@ pub struct SynthesisReport {
     /// (weak synthesis). Generation-only, strong and check runs leave it
     /// `None`.
     pub solver: Option<SolverRecord>,
+    /// Affine presolve statistics, when the request's mode ran the solver
+    /// with presolve enabled. `--no-presolve` runs and generation-only,
+    /// strong and check runs leave it `None`.
+    pub presolve: Option<PresolveRecord>,
 }
 
 impl SynthesisReport {
@@ -328,6 +449,7 @@ impl SynthesisReport {
             diagnostics: Vec::new(),
             validate: None,
             solver: None,
+            presolve: None,
         }
     }
 
@@ -375,6 +497,9 @@ impl SynthesisReport {
             solver.factor_seconds = 0.0;
             solver.solve_seconds = 0.0;
         }
+        if let Some(presolve) = &mut self.presolve {
+            presolve.seconds = 0.0;
+        }
         self
     }
 
@@ -421,6 +546,13 @@ impl SynthesisReport {
             (
                 "solver",
                 match &self.solver {
+                    None => Json::Null,
+                    Some(record) => record.to_json(),
+                },
+            ),
+            (
+                "presolve",
+                match &self.presolve {
                     None => Json::Null,
                     Some(record) => record.to_json(),
                 },
@@ -504,6 +636,10 @@ impl SynthesisReport {
                 None | Some(Json::Null) => None,
                 Some(record) => Some(SolverRecord::from_json(record)?),
             },
+            presolve: match json.get("presolve") {
+                None | Some(Json::Null) => None,
+                Some(record) => Some(PresolveRecord::from_json(record)?),
+            },
         })
     }
 
@@ -534,6 +670,7 @@ mod tests {
             diagnostics: vec!["ladder rung ϒ=0 solved".to_string()],
             validate: None,
             solver: None,
+            presolve: None,
         }
     }
 
@@ -617,6 +754,50 @@ mod tests {
             SynthesisReport::from_json_str(&bare.to_json_string())
                 .unwrap()
                 .solver,
+            None
+        );
+    }
+
+    fn sample_presolve() -> PresolveRecord {
+        PresolveRecord {
+            size_before: 860,
+            size_after: 512,
+            unknowns_before: 750,
+            unknowns_after: 461,
+            rounds: 9,
+            pinned: 55,
+            fixed: 189,
+            affine: 9,
+            solved: 16,
+            freed: 20,
+            rectified: 63,
+            dropped: 348,
+            duplicates: 0,
+            seconds: 0.031,
+        }
+    }
+
+    #[test]
+    fn presolve_records_round_trip_and_canonicalize() {
+        let mut report = sample();
+        report.presolve = Some(sample_presolve());
+        let reparsed = SynthesisReport::from_json_str(&report.to_json_string()).unwrap();
+        assert_eq!(reparsed, report);
+        // Canonical form zeroes the wall-clock but keeps the deterministic
+        // size and rule counters.
+        let canonical = report.canonical();
+        let presolve = canonical.presolve.as_ref().unwrap();
+        assert_eq!(presolve.seconds, 0.0);
+        assert_eq!(presolve.size_after, 512);
+        assert!((presolve.size_reduction() - (1.0 - 512.0 / 860.0)).abs() < 1e-12);
+        // Reports without a record serialize `presolve` as null and read
+        // back as None (forward compatibility for old snapshots).
+        let bare = sample();
+        assert!(bare.to_json_string().contains("\"presolve\":null"));
+        assert_eq!(
+            SynthesisReport::from_json_str(&bare.to_json_string())
+                .unwrap()
+                .presolve,
             None
         );
     }

@@ -384,6 +384,7 @@ pub(crate) fn options_to_json(options: &SynthesisOptions) -> Json {
         ),
         ("epsilon_lower", rational_to_json(&options.epsilon_lower)),
         ("force_recursive", Json::Bool(options.force_recursive)),
+        ("presolve", Json::Bool(options.presolve)),
     ])
 }
 
@@ -422,6 +423,11 @@ pub(crate) fn options_from_json(json: &Json) -> Result<SynthesisOptions, ApiErro
     }
     if let Some(force) = json.get("force_recursive") {
         options.force_recursive = force.as_bool().ok_or_else(|| invalid("force_recursive"))?;
+    }
+    // Absent means the default (enabled): old request snapshots predate the
+    // presolve and ran the raw system through exactly this code path.
+    if let Some(presolve) = json.get("presolve") {
+        options.presolve = presolve.as_bool().ok_or_else(|| invalid("presolve"))?;
     }
     Ok(options)
 }
@@ -468,6 +474,22 @@ mod tests {
         assert_eq!(reparsed.options.size, 2);
         assert_eq!(reparsed.options.bounded_reals, Some(Rational::new(1000, 1)));
         assert_eq!(reparsed.options.epsilon_lower, Rational::new(1, 7));
+    }
+
+    #[test]
+    fn presolve_round_trips_and_defaults_on_for_old_snapshots() {
+        let request = SynthesisRequest::weak("f(x) { return x }")
+            .with_options(SynthesisOptions::default().with_presolve(false));
+        let reparsed = SynthesisRequest::from_json_str(&request.to_json().to_string()).unwrap();
+        assert!(!reparsed.options.presolve);
+        // A pre-presolve snapshot without the field keeps the default.
+        let old = r#"{"mode":"weak","source":"f(x) { return x }","options":{"degree":1}}"#;
+        assert!(
+            SynthesisRequest::from_json_str(old)
+                .unwrap()
+                .options
+                .presolve
+        );
     }
 
     #[test]

@@ -98,6 +98,26 @@ fn arb_report() -> impl Strategy<Value = SynthesisReport> {
                             solve_seconds: violation.abs() * 1e-10,
                         })
                     },
+                    presolve: if pairs_total % 2 == 0 {
+                        None
+                    } else {
+                        Some(polyinv_api::PresolveRecord {
+                            size_before: system_size,
+                            size_after: system_size / 2,
+                            unknowns_before: num_unknowns,
+                            unknowns_after: num_unknowns / 2,
+                            rounds: pairs_total,
+                            pinned: pairs_certified,
+                            fixed: pairs_total,
+                            affine: pairs_certified,
+                            solved: pairs_total / 2,
+                            freed: pairs_certified / 2,
+                            rectified: pairs_total / 3,
+                            dropped: system_size.saturating_sub(system_size / 2),
+                            duplicates: pairs_certified / 3,
+                            seconds: violation.abs() * 1e-8,
+                        })
+                    },
                 }
             },
         )

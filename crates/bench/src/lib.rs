@@ -16,7 +16,8 @@ use std::time::Duration;
 
 use polyinv::pipeline::stage_names;
 use polyinv_api::{
-    ApiError, Engine, Json, ReportStatus, SolverRecord, SynthesisRequest, ValidationRecord,
+    ApiError, Engine, Json, PresolveRecord, ReportStatus, SolverRecord, SynthesisRequest,
+    ValidationRecord,
 };
 use polyinv_benchmarks::Benchmark;
 use polyinv_constraints::{SosEncoding, SynthesisOptions};
@@ -51,6 +52,9 @@ pub struct RowResult {
     pub timings: Vec<(String, f64)>,
     /// Outcome of the solve attempt, if one was made.
     pub solve: Option<SolveRow>,
+    /// Affine presolve statistics of the solve attempt's accepted rung
+    /// (`None` for generation-only rows or when presolve was disabled).
+    pub presolve: Option<PresolveRecord>,
     /// Soundness validation of the row (`reproduce --validate`).
     pub validate: Option<RowValidation>,
 }
@@ -271,6 +275,7 @@ pub fn run_row_full(
         None
     };
 
+    let mut presolve = None;
     let solve_row = if solve && validate {
         // Validated solve: same weak request and table solver budget,
         // served by the validation driver so the solution's assignment can
@@ -286,6 +291,7 @@ pub fn run_row_full(
                 if let (Some(validation), Some(record)) = (&mut row_validation, &report.validate) {
                     validation.invariant = Some(record.clone());
                 }
+                presolve = report.presolve.clone();
                 Some(SolveRow {
                     synthesized: report.status == ReportStatus::Synthesized,
                     solve_time: Duration::from_secs_f64(solve_secs),
@@ -311,6 +317,7 @@ pub fn run_row_full(
             Ok(report) => {
                 let solve_secs = report.stage_seconds(stage_names::SOLVE);
                 timings.push((stage_names::SOLVE.to_string(), solve_secs));
+                presolve = report.presolve.clone();
                 Some(SolveRow {
                     synthesized: report.status == ReportStatus::Synthesized,
                     solve_time: Duration::from_secs_f64(solve_secs),
@@ -343,6 +350,7 @@ pub fn run_row_full(
         paper_runtime: benchmark.paper.runtime_secs,
         timings,
         solve: solve_row,
+        presolve,
         validate: row_validation,
     }
 }
@@ -425,6 +433,7 @@ pub fn rows_to_json(tables: &[(&str, &[RowResult])]) -> Json {
                     ),
                     ("timings", timings),
                     ("solve", solve_row_json(row.solve.as_ref())),
+                    ("presolve", presolve_row_json(row.presolve.as_ref())),
                 ])
             })
         })
@@ -466,6 +475,16 @@ fn solve_row_json(solve: Option<&SolveRow>) -> Json {
         ]);
     }
     Json::object(fields)
+}
+
+/// The `presolve` block of one snapshot row (`null` for generation-only
+/// rows or when presolve was disabled). Reuses the API record's JSON shape
+/// so the snapshot and report blocks stay byte-compatible.
+fn presolve_row_json(presolve: Option<&PresolveRecord>) -> Json {
+    match presolve {
+        Some(record) => record.to_json(),
+        None => Json::Null,
+    }
 }
 
 /// Writes the benchmark snapshot to `path` (pretty-printed, trailing
@@ -587,8 +606,9 @@ mod tests {
                 "missing {stage} timing in the snapshot"
             );
         }
-        // Generation-only rows carry an explicit null solve block.
+        // Generation-only rows carry explicit null solve/presolve blocks.
         assert_eq!(entry.get("solve"), Some(&Json::Null));
+        assert_eq!(entry.get("presolve"), Some(&Json::Null));
         // The document parses back (the CI coverage check relies on this).
         let reparsed = Json::parse(&json.pretty()).unwrap();
         assert_eq!(reparsed, json);
@@ -623,10 +643,30 @@ mod tests {
                     solve_seconds: 0.01,
                 }),
             }),
+            presolve: Some(PresolveRecord {
+                size_before: 12,
+                size_after: 7,
+                unknowns_before: 9,
+                unknowns_after: 6,
+                rounds: 2,
+                pinned: 1,
+                fixed: 2,
+                affine: 1,
+                solved: 0,
+                freed: 0,
+                rectified: 0,
+                dropped: 5,
+                duplicates: 0,
+                seconds: 0.001,
+            }),
             validate: None,
         };
         let json = rows_to_json(&[("table2", std::slice::from_ref(&row))]);
         let entry = &json.get("rows").unwrap().as_array().unwrap()[0];
+        let presolve = entry.get("presolve").unwrap();
+        assert_eq!(presolve.get("size_before").unwrap().as_usize(), Some(12));
+        assert_eq!(presolve.get("size_after").unwrap().as_usize(), Some(7));
+        assert_eq!(presolve.get("rounds").unwrap().as_usize(), Some(2));
         let solve = entry.get("solve").unwrap();
         assert_eq!(solve.get("synthesized"), Some(&Json::Bool(true)));
         assert_eq!(solve.get("backend").unwrap().as_str(), Some("lm"));

@@ -50,6 +50,7 @@ REDUCTION OPTIONS:
     --upsilon <n>             Multiplier degree bound ϒ  (default 2)
     --encoding <name>         cholesky | gram            (default cholesky)
     --backend <name>          lm | penalty               (default lm)
+    --no-presolve             Skip the affine presolve pass before Step 4
     --strong                  Enumerate a representative set instead (synth)
     --attempts <n>            Multi-start attempts for --strong
     --generate-only           Steps 1-3 only: report |S|, unknowns, timings
@@ -131,6 +132,7 @@ struct CommonArgs {
     strong: bool,
     attempts: Option<usize>,
     generate_only: bool,
+    no_presolve: bool,
     seed: Option<u64>,
     count: Option<usize>,
     trace_runs: Option<usize>,
@@ -150,6 +152,7 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, CliError> {
         strong: false,
         attempts: None,
         generate_only: false,
+        no_presolve: false,
         seed: None,
         count: None,
         trace_runs: None,
@@ -166,6 +169,7 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, CliError> {
             "--json" => parsed.json = true,
             "--strong" => parsed.strong = true,
             "--generate-only" => parsed.generate_only = true,
+            "--no-presolve" => parsed.no_presolve = true,
             "--target" | "--invariant" => {
                 let text = value(arg)?;
                 parsed.assertions.push(AssertionSpec::at_exit(text));
@@ -236,6 +240,9 @@ fn build_request(
     }
     if let Some(upsilon) = parsed.upsilon {
         request.options.upsilon = upsilon;
+    }
+    if parsed.no_presolve {
+        request.options.presolve = false;
     }
     if let Some(encoding) = &parsed.encoding {
         request.options.encoding = match encoding.as_str() {
@@ -482,10 +489,16 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, CliError> {
             .collect();
         println!("{}", Json::Array(entries).pretty());
     } else {
+        let (mut presolved, mut rows_before, mut rows_after) = (0usize, 0usize, 0usize);
         for (request, outcome) in requests.iter().zip(&outcomes) {
             match outcome {
                 Ok(report) => {
                     all_ok &= report.status.is_success();
+                    if let Some(record) = &report.presolve {
+                        presolved += 1;
+                        rows_before += record.size_before;
+                        rows_after += record.size_after;
+                    }
                     println!(
                         "{:<20} {:<13} {}",
                         display_id(&request.id),
@@ -498,6 +511,12 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, CliError> {
                     println!("{:<20} error         {error}", display_id(&request.id));
                 }
             }
+        }
+        if presolved > 0 && rows_before > 0 {
+            println!(
+                "presolve: {presolved} request(s), |S| {rows_before} -> {rows_after} ({:.1}% dropped)",
+                100.0 * (rows_before - rows_after) as f64 / rows_before as f64
+            );
         }
     }
     Ok(if all_ok {
@@ -523,12 +542,21 @@ fn summary_line(report: &SynthesisReport) -> String {
             report.pairs_total,
             report.total_seconds()
         ),
-        _ => format!(
-            "|S| = {}, unknowns = {}, {:.2}s",
-            report.system_size,
-            report.num_unknowns,
-            report.total_seconds()
-        ),
+        _ => {
+            let presolve = match &report.presolve {
+                Some(record) => format!(
+                    ", presolve |S| {} -> {}",
+                    record.size_before, record.size_after
+                ),
+                None => String::new(),
+            };
+            format!(
+                "|S| = {}, unknowns = {}{presolve}, {:.2}s",
+                report.system_size,
+                report.num_unknowns,
+                report.total_seconds()
+            )
+        }
     }
 }
 
@@ -553,6 +581,16 @@ fn emit_report(report: &SynthesisReport, json: bool) {
         "system: |S| = {}, unknowns = {}",
         report.system_size, report.num_unknowns
     );
+    if let Some(presolve) = &report.presolve {
+        println!(
+            "presolve: |S| {} -> {}, unknowns {} -> {}, {} round(s)",
+            presolve.size_before,
+            presolve.size_after,
+            presolve.unknowns_before,
+            presolve.unknowns_after,
+            presolve.rounds
+        );
+    }
     if report.mode == Mode::Check {
         println!(
             "certified: {}/{} constraint pairs",

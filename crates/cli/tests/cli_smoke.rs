@@ -120,6 +120,27 @@ fn synth_closes_the_bounded_counter_and_batch_runs_it_four_times() {
         .unwrap()
         .is_empty());
     assert!(doc.get("timings").unwrap().get("solve").is_some());
+    // Presolve ran and never grows the system.
+    let presolve = doc.get("presolve").expect("weak reports carry presolve");
+    let before = presolve.get("size_before").unwrap().as_usize().unwrap();
+    let after = presolve.get("size_after").unwrap().as_usize().unwrap();
+    assert!(after <= before, "presolve grew |S|: {before} -> {after}");
+
+    // `--no-presolve` drops the block and still synthesizes.
+    let output = polyinv(&[
+        "synth",
+        &program("inc.poly"),
+        "--target",
+        "x + 1 > 0",
+        "--degree",
+        "1",
+        "--no-presolve",
+        "--json",
+    ]);
+    assert!(output.status.success(), "exit: {:?}", output.status);
+    let doc = stdout_json(&output);
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("synthesized"));
+    assert!(doc.get("presolve").is_none() || doc.get("presolve") == Some(&Json::Null));
 
     // The same request four times over, through `polyinv batch`.
     let source = std::fs::read_to_string(program("inc.poly")).unwrap();

@@ -25,6 +25,7 @@
 pub mod error;
 pub mod options;
 pub mod pairs;
+pub mod presolve;
 pub mod putinar;
 pub mod system;
 pub mod template;
@@ -35,6 +36,9 @@ pub use options::{
     generate, prepare, reduce_pairs, GeneratedSystem, SosEncoding, SynthesisOptions,
 };
 pub use pairs::{ConstraintPair, PairKind};
+pub use presolve::{
+    presolve, Elimination, PresolveMap, PresolveOptions, PresolveStats, PresolvedSystem,
+};
 pub use system::{PsdBlock, QuadraticSystem};
 pub use template::{LabelTemplate, TemplateSet};
 pub use unknowns::{UnknownKind, UnknownRegistry};

@@ -36,6 +36,10 @@ pub struct SynthesisOptions {
     /// 2.b) even for call-free programs. Programs containing calls are
     /// always treated recursively regardless of this flag.
     pub force_recursive: bool,
+    /// Run the affine presolve fixpoint ([`crate::presolve`]) between the
+    /// reduction and the solve. On by default; the `--no-presolve` escape
+    /// hatch disables it to solve the raw Step-3 system.
+    pub presolve: bool,
 }
 
 impl Default for SynthesisOptions {
@@ -48,6 +52,7 @@ impl Default for SynthesisOptions {
             bounded_reals: None,
             epsilon_lower: Rational::new(1, 100),
             force_recursive: false,
+            presolve: true,
         }
     }
 }
@@ -102,6 +107,13 @@ impl SynthesisOptions {
     /// style).
     pub fn with_force_recursive(mut self, force: bool) -> Self {
         self.force_recursive = force;
+        self
+    }
+
+    /// Enables or disables the affine presolve between reduction and solve
+    /// (builder style). On by default.
+    pub fn with_presolve(mut self, presolve: bool) -> Self {
+        self.presolve = presolve;
         self
     }
 

@@ -11,7 +11,7 @@
 
 use polyinv_constraints::pairs::PairKind;
 use polyinv_constraints::template::TemplateSet;
-use polyinv_constraints::{ConstraintPair, UnknownRegistry};
+use polyinv_constraints::{ConstraintPair, PresolveStats, UnknownRegistry};
 use polyinv_lang::{InvariantMap, Postcondition, Program};
 use polyinv_poly::UnknownId;
 use polyinv_qcqp::SolverStats;
@@ -95,6 +95,9 @@ pub struct Solution {
     /// residual, sparsity of the Jacobian/normal matrix/factor, and the
     /// factor/solve wall-clock split.
     pub stats: SolverStats,
+    /// Statistics of the affine presolve that shrank the system before the
+    /// solve (`None` when presolve was disabled).
+    pub presolve: Option<PresolveStats>,
 }
 
 /// Instantiates the templates of a generated system under a numeric

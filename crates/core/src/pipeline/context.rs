@@ -14,6 +14,8 @@ pub mod stage_names {
     pub const PAIRS: &str = "pairs";
     /// Step 3 — Putinar/Handelman reduction to a quadratic system.
     pub const REDUCTION: &str = "reduction";
+    /// The affine presolve fixpoint shrinking the system before Step 4.
+    pub const PRESOLVE: &str = "presolve";
     /// Step 4 — QCQP solving.
     pub const SOLVE: &str = "solve";
 }
@@ -68,6 +70,11 @@ impl StageTimings {
         self.get(stage_names::TEMPLATES)
             + self.get(stage_names::PAIRS)
             + self.get(stage_names::REDUCTION)
+    }
+
+    /// Time spent in the affine presolve (between Steps 3 and 4).
+    pub fn presolve(&self) -> Duration {
+        self.get(stage_names::PRESOLVE)
     }
 
     /// Time spent solving (Step 4).

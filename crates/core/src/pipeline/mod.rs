@@ -7,8 +7,14 @@
 //! TemplateStage   ()                          → TemplateArtifact   (Step 1)
 //! PairStage       &TemplateArtifact           → ConstraintPairs    (Step 2)
 //! ReductionStage  (TemplateArtifact, Pairs)   → GeneratedSystem    (Step 3)
-//! SolveStage      &GeneratedSystem            → Solution           (Step 4)
+//! PresolveStage   &GeneratedSystem            → PresolvedSystem    (affine presolve)
+//! SolveStage      (&GeneratedSystem,
+//!                  Option<&PresolvedSystem>)  → Solution           (Step 4)
 //! ```
+//!
+//! The presolve stage runs between the reduction and the solve whenever
+//! `SynthesisOptions::presolve` is set (the default); `--no-presolve`
+//! disables it and the solve stage consumes the raw Step-3 system.
 //!
 //! A [`SynthesisContext`] threads the options, diagnostics and per-stage
 //! wall-clock timings through the run; [`Pipeline`] wires the stages
@@ -31,7 +37,9 @@ use polyinv_qcqp::{default_backend, QcqpBackend};
 
 pub use artifacts::{instantiate_solution, ConstraintPairs, Solution, TemplateArtifact};
 pub use context::{stage_names, StageTimings, SynthesisContext};
-pub use stages::{run_stage, PairStage, ReductionStage, SolveStage, Stage, TemplateStage};
+pub use stages::{
+    run_stage, PairStage, PresolveStage, ReductionStage, SolveStage, Stage, TemplateStage,
+};
 
 /// The staged synthesis pipeline: reduction options plus a pluggable solver
 /// back-end.
@@ -99,6 +107,11 @@ impl Pipeline {
 
     /// Runs Step 4 on a generated system with some unknowns pinned to exact
     /// values (pass an empty map to leave all unknowns free).
+    ///
+    /// When `options.presolve` is set (the default), the affine presolve
+    /// fixpoint runs first — seeded with the pins — and the back-end solves
+    /// the shrunk system; the returned [`Solution`] is back-substituted onto
+    /// the full unknown space and carries the presolve statistics.
     pub fn solve(
         &self,
         ctx: &mut SynthesisContext<'_>,
@@ -106,12 +119,20 @@ impl Pipeline {
         fixed: HashMap<UnknownId, Rational>,
         warm_start: Option<Vec<f64>>,
     ) -> Solution {
+        let presolved = if self.options.presolve {
+            let stage = PresolveStage {
+                pins: fixed.clone(),
+            };
+            Some(run_stage(ctx, &stage, generated))
+        } else {
+            None
+        };
         let stage = SolveStage {
             backend: Arc::clone(&self.backend),
             fixed,
             warm_start,
         };
-        run_stage(ctx, &stage, generated)
+        run_stage(ctx, &stage, (generated, presolved.as_ref()))
     }
 
     /// Convenience: full Steps 1–4 run with nothing pinned.

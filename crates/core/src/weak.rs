@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use polyinv_arith::Rational;
-use polyinv_constraints::{ConstraintError, GeneratedSystem, SynthesisOptions};
+use polyinv_constraints::{ConstraintError, GeneratedSystem, PresolveStats, SynthesisOptions};
 use polyinv_lang::{InvariantMap, Label, Postcondition, Precondition, Program};
 use polyinv_poly::{Polynomial, UnknownId};
 use polyinv_qcqp::{default_backend, QcqpBackend, SolverStats};
@@ -84,6 +84,9 @@ pub struct SynthesisOutcome {
     /// iterations/restarts, final residual, nnz(J)/nnz(L) and the
     /// factor/solve wall-clock split.
     pub solver: SolverStats,
+    /// Statistics of the affine presolve of the final (accepted or last)
+    /// ladder attempt (`None` when presolve was disabled).
+    pub presolve: Option<PresolveStats>,
 }
 
 /// The weak-synthesis driver.
@@ -250,6 +253,7 @@ impl WeakSynthesis {
             timings: ctx.timings().clone(),
             backend: solution.backend,
             solver: solution.stats,
+            presolve: solution.presolve,
         })
     }
 }

@@ -150,6 +150,7 @@ impl FarkasBaseline {
             bounded_reals: None,
             epsilon_lower: self.epsilon_lower,
             force_recursive: false,
+            presolve: true,
         };
         generate(program, pre, &options).map_err(|error| Inapplicability::Constraint {
             message: error.to_string(),

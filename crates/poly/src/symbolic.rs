@@ -258,7 +258,7 @@ impl Neg for LinExpr {
 }
 
 /// A quadratic expression `c + Σ aᵢ·uᵢ + Σ bᵢⱼ·uᵢ·uⱼ` over unknowns.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct QuadExpr {
     constant: Rational,
     /// Sorted by unknown id.

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use polyinv_api::engine::resolve_weak_targets;
+use polyinv_api::engine::{escalate_degree, resolve_weak_targets};
 use polyinv_api::{ApiError, Mode, ReportStatus, SynthesisReport, SynthesisRequest};
 use polyinv_lang::Precondition;
 use polyinv_qcqp::{backend_by_name, default_backend, QcqpBackend};
@@ -63,10 +63,10 @@ pub fn run_validated_with_backend(
     // The exact request validation the Engine's weak mode applies: both
     // entry points accept and reject the same requests.
     let targets = resolve_weak_targets(&program, request)?;
+    let (options, escalation) = escalate_degree(&request.options, &targets);
 
     let pre = Precondition::from_program(&program);
-    let outcome =
-        synthesize_and_validate(&program, &pre, &targets, &request.options, backend, config)?;
+    let outcome = synthesize_and_validate(&program, &pre, &targets, &options, backend, config)?;
 
     let status = if outcome.feasible {
         ReportStatus::Synthesized
@@ -93,7 +93,14 @@ pub fn run_validated_with_backend(
         diagnostics: Vec::new(),
         validate: None,
         solver: Some(polyinv_api::SolverRecord::from(&outcome.solver)),
+        presolve: outcome
+            .presolve
+            .as_ref()
+            .map(polyinv_api::PresolveRecord::from),
     };
+    if let Some(note) = escalation {
+        report.diagnostics.push(note);
+    }
     if outcome.feasible {
         report.invariants = outcome
             .invariant
@@ -160,11 +167,14 @@ mod tests {
             run_validated(&request, &ValidationConfig::default()),
             Err(ApiError::UnknownLabel { index: 99, .. })
         ));
+        // An over-degree target no longer rejects the request: like the
+        // Engine, the driver escalates the template degree to fit it.
         let request = SynthesisRequest::weak("f(x) { return x }").with_target("x*x*x + 1 > 0");
-        assert!(matches!(
-            run_validated(&request, &ValidationConfig::default()),
-            Err(ApiError::InvalidRequest { .. })
-        ));
+        let program = polyinv_lang::parse_program(&request.source).unwrap();
+        let targets = resolve_weak_targets(&program, &request).unwrap();
+        let (options, note) = escalate_degree(&request.options, &targets);
+        assert_eq!(options.degree, 3);
+        assert!(note.expect("escalation is diagnosed").contains("escalated"));
     }
 
     #[test]

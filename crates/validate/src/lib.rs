@@ -250,6 +250,9 @@ pub struct ValidatedOutcome {
     pub timings: StageTimings,
     /// Solver statistics of the accepted (or last) rung's solve.
     pub solver: polyinv_qcqp::SolverStats,
+    /// Affine presolve statistics of the accepted (or last) rung (`None`
+    /// when presolve was disabled).
+    pub presolve: Option<polyinv_constraints::PresolveStats>,
     /// The validation outcome (present iff the solve was feasible).
     pub validation: Option<ValidationReport>,
 }
@@ -303,6 +306,7 @@ pub fn synthesize_and_validate(
             backend: solution.backend,
             timings: total.clone(),
             solver: solution.stats,
+            presolve: solution.presolve,
             validation,
         };
         let done = outcome.feasible || step + 1 == ladder.len();

@@ -2,8 +2,9 @@
 //! baseline, checking the "shape" properties reported in the paper's tables.
 
 use polyinv::prelude::*;
-use polyinv::weak::{SynthesisStatus, TargetAssertion};
-use polyinv_benchmarks::{by_name, table2, table3, Category};
+use polyinv::weak::{fix_targets, SynthesisStatus, TargetAssertion};
+use polyinv_benchmarks::{by_name, table2, table3, Benchmark, Category};
+use polyinv_constraints::{presolve, PresolveOptions, PresolvedSystem};
 use polyinv_farkas::{FarkasBaseline, Inapplicability};
 
 #[test]
@@ -138,6 +139,80 @@ fn farkas_baseline_rejects_polynomial_benchmarks_but_handles_linear_ones() {
         let putinar =
             polyinv_constraints::generate(&program, &pre, &SynthesisOptions::default()).unwrap();
         assert!(farkas.size() < putinar.size());
+    }
+}
+
+/// Generates a benchmark's ϒ = 0 system (the ladder rung Step 4 attempts
+/// first), pins its exit target when it has one, and presolves it — the
+/// exact input the pipeline's presolve stage sees.
+fn presolve_first_rung(benchmark: &Benchmark) -> PresolvedSystem {
+    let program = benchmark.program().unwrap();
+    let pre = benchmark.precondition().unwrap();
+    let mut options = SynthesisOptions::with_degree_and_size(benchmark.paper.d, benchmark.paper.n);
+    let targets = match benchmark.target_polynomial(&program).unwrap() {
+        Some(target) => {
+            options.degree = options.degree.max(target.degree());
+            vec![TargetAssertion::new(program.main().exit_label(), target)]
+        }
+        None => Vec::new(),
+    };
+    let generated =
+        polyinv_constraints::generate(&program, &pre, &options.with_upsilon(0)).unwrap();
+    let pins = fix_targets(&generated, &targets);
+    presolve(&generated.system, &pins, &PresolveOptions::default())
+}
+
+#[test]
+fn presolve_shrinks_cohendiv_by_at_least_forty_percent() {
+    // The headline acceptance bar of the presolve engine: the paper solves
+    // cohendiv with |S| = 512; our ϒ = 0 generated system has 860 rows
+    // before presolve and must land at or under 60% of that.
+    let result = presolve_first_rung(&by_name("cohendiv").unwrap());
+    let stats = &result.stats;
+    assert!(
+        stats.size_reduction() >= 0.40,
+        "cohendiv presolve reduction regressed: |S| {} -> {} ({:.1}%)",
+        stats.size_before,
+        stats.size_after,
+        100.0 * stats.size_reduction()
+    );
+    assert!(
+        stats.unknowns_after < stats.unknowns_before,
+        "cohendiv presolve eliminated no unknowns"
+    );
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; run with `cargo test --release`"
+)]
+fn presolve_never_grows_any_benchmark_system() {
+    // Every Table 2/3 row: presolve is monotone in |S| and unknown count,
+    // and its bookkeeping is consistent with the surviving system.
+    for benchmark in table2().iter().chain(table3().iter()) {
+        let result = presolve_first_rung(benchmark);
+        let stats = &result.stats;
+        assert!(
+            stats.size_after <= stats.size_before,
+            "{}: presolve grew |S| {} -> {}",
+            benchmark.name,
+            stats.size_before,
+            stats.size_after
+        );
+        assert!(
+            stats.unknowns_after <= stats.unknowns_before,
+            "{}: presolve grew unknowns {} -> {}",
+            benchmark.name,
+            stats.unknowns_before,
+            stats.unknowns_after
+        );
+        assert_eq!(
+            stats.size_after,
+            result.system.size(),
+            "{}: stats disagree with the presolved system",
+            benchmark.name
+        );
     }
 }
 
