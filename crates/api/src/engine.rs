@@ -23,12 +23,18 @@ use polyinv::strong::{StrongOptions, StrongSynthesis};
 #[allow(deprecated)]
 use polyinv::weak::{SynthesisStatus, TargetAssertion, WeakSynthesis};
 
+use crate::cache::source_hash;
 use crate::error::ApiError;
 use crate::report::{ReportStatus, SynthesisReport};
 use crate::request::{Mode, SynthesisRequest};
 
 /// Default capacity of the parse cache (distinct programs).
 const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// Upper bound on parse-cache lock shards. Shards hold ≥ 8 entries each so
+/// small caches keep exact global LRU order (one shard), while service-sized
+/// caches spread unrelated sources over independent locks.
+const MAX_CACHE_SHARDS: usize = 16;
 
 /// One cached parse: the full source (to rule out hash collisions), the
 /// parsed program and the recency stamp the LRU eviction uses.
@@ -115,6 +121,47 @@ impl ProgramCache {
     }
 }
 
+/// The parse cache behind interior mutability that does not serialize
+/// unrelated requests: the key space is split over independent lock shards
+/// (source hash modulo shard count), so concurrent server workers parsing
+/// *different* programs never contend on one mutex. Small capacities
+/// collapse to a single shard, preserving exact global LRU order where the
+/// capacity itself is the interesting constraint.
+#[derive(Debug)]
+struct ShardedProgramCache {
+    shards: Vec<Mutex<ProgramCache>>,
+}
+
+impl ShardedProgramCache {
+    fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shards = capacity.div_ceil(8).clamp(1, MAX_CACHE_SHARDS);
+        // Distribute the capacity across shards; the remainder goes to the
+        // leading shards so the per-shard caps sum to the requested total.
+        let base = capacity / shards;
+        let remainder = capacity % shards;
+        ShardedProgramCache {
+            shards: (0..shards)
+                .map(|index| {
+                    let extra = usize::from(index < remainder);
+                    Mutex::new(ProgramCache::new(base + extra))
+                })
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<ProgramCache> {
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().expect("cache lock").len())
+            .sum()
+    }
+}
+
 /// The stable front door: parses (and caches) programs, dispatches the four
 /// modes, and serializes everything that comes back.
 ///
@@ -132,7 +179,7 @@ impl ProgramCache {
 #[derive(Debug)]
 pub struct Engine {
     backend: Arc<dyn QcqpBackend>,
-    cache: Mutex<ProgramCache>,
+    cache: ShardedProgramCache,
 }
 
 impl Default for Engine {
@@ -151,14 +198,14 @@ impl Engine {
     pub fn with_backend(backend: Arc<dyn QcqpBackend>) -> Self {
         Engine {
             backend,
-            cache: Mutex::new(ProgramCache::new(DEFAULT_CACHE_CAPACITY)),
+            cache: ShardedProgramCache::new(DEFAULT_CACHE_CAPACITY),
         }
     }
 
     /// Caps the parse cache at `capacity` distinct programs (LRU eviction;
     /// the default is 64). A capacity of zero is treated as one.
-    pub fn with_cache_capacity(self, capacity: usize) -> Self {
-        *self.cache.lock().expect("cache lock") = ProgramCache::new(capacity);
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = ShardedProgramCache::new(capacity);
         self
     }
 
@@ -187,15 +234,16 @@ impl Engine {
     /// Returns [`ApiError::Parse`] (with the front-end's source span) when
     /// the source does not lex, parse or resolve.
     pub fn parse_program(&self, source: &str) -> Result<Arc<Program>, ApiError> {
-        let key = fnv1a(source.as_bytes());
+        let key = source_hash(source);
+        let shard = self.cache.shard(key);
         {
-            let mut cache = self.cache.lock().expect("cache lock");
+            let mut cache = shard.lock().expect("cache lock");
             if let Some(program) = cache.get(key, source) {
                 return Ok(program);
             }
         }
         let program = Arc::new(polyinv_lang::parse_program(source)?);
-        let mut cache = self.cache.lock().expect("cache lock");
+        let mut cache = shard.lock().expect("cache lock");
         // Re-check under the lock: a concurrent batch worker may have parsed
         // the same source while this thread was parsing (check-then-act).
         if let Some(cached) = cache.get(key, source) {
@@ -207,7 +255,7 @@ impl Engine {
 
     /// Number of distinct programs currently cached.
     pub fn cached_programs(&self) -> usize {
-        self.cache.lock().expect("cache lock").len()
+        self.cache.len()
     }
 
     /// Serves one request.
@@ -568,21 +616,67 @@ fn render_postconditions(program: &Program, post: &Postcondition) -> Vec<String>
     lines
 }
 
-/// 64-bit FNV-1a: small, dependency-free and good enough to key a cache
-/// whose buckets verify the full source anyway.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &byte in bytes {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use polyinv_lang::program::RUNNING_EXAMPLE_SOURCE;
+
+    /// The Engine must stay shareable across server workers: one
+    /// `Arc<Engine>` is driven from many threads.
+    #[allow(dead_code)]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+    }
+
+    #[test]
+    fn colliding_source_hashes_never_alias_programs() {
+        // Regression test for the parse-cache collision hazard: force two
+        // different sources into the same hash bucket and assert each source
+        // only ever hits its own entry. (Real FNV-1a collisions between two
+        // well-formed programs are astronomically unlikely to construct, so
+        // the collision is synthesized at the cache layer, which only ever
+        // sees opaque keys.)
+        let mut cache = ProgramCache::new(8);
+        let source_a = "f(x) { return x + 1 }";
+        let source_b = "f(x) { return x + 2 }";
+        let program_a = Arc::new(polyinv_lang::parse_program(source_a).unwrap());
+        let program_b = Arc::new(polyinv_lang::parse_program(source_b).unwrap());
+        let key = 0xdead_beef_u64;
+        cache.insert(key, source_a, &program_a);
+        cache.insert(key, source_b, &program_b);
+        // A bare-hash lookup would return whichever entry came first; the
+        // source-verified lookup must return exactly the matching program.
+        let hit_a = cache.get(key, source_a).expect("source a cached");
+        let hit_b = cache.get(key, source_b).expect("source b cached");
+        assert!(Arc::ptr_eq(&hit_a, &program_a));
+        assert!(Arc::ptr_eq(&hit_b, &program_b));
+        // An unseen source under the colliding key is a miss, not a hit.
+        assert!(cache.get(key, "f(x) { return x + 3 }").is_none());
+    }
+
+    #[test]
+    fn shard_capacities_sum_to_the_requested_total() {
+        for capacity in [1, 2, 7, 8, 9, 64, 100, 1000] {
+            let cache = ShardedProgramCache::new(capacity);
+            let total: usize = cache
+                .shards
+                .iter()
+                .map(|shard| shard.lock().unwrap().capacity)
+                .sum();
+            assert_eq!(total, capacity, "capacity {capacity}");
+            assert!(cache.shards.len() <= MAX_CACHE_SHARDS);
+        }
+        // Small caches stay single-sharded so global LRU order is exact.
+        assert_eq!(ShardedProgramCache::new(8).shards.len(), 1);
+        // The default service-sized cache spreads over independent locks.
+        assert!(
+            ShardedProgramCache::new(DEFAULT_CACHE_CAPACITY)
+                .shards
+                .len()
+                > 1
+        );
+    }
 
     #[test]
     fn generate_only_reports_paper_scale_metrics() {

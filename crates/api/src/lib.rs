@@ -41,12 +41,14 @@
 //! # Ok::<(), polyinv_api::ApiError>(())
 //! ```
 
+pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod json;
 pub mod report;
 pub mod request;
 
+pub use cache::{CacheStats, RequestFingerprint, ResultCache};
 pub use engine::Engine;
 pub use error::ApiError;
 pub use json::{Json, JsonError};

@@ -211,6 +211,70 @@ fn strong_and_check_requests_reject_backend_overrides() {
 }
 
 #[test]
+fn one_shared_engine_serves_eight_threads_deterministically() {
+    // The serving layer drives one `Arc<Engine>` from a worker pool; the
+    // sharded parse cache must neither corrupt programs nor perturb output.
+    // Eight threads race a mixed request set and every canonical report must
+    // be byte-identical to a sequential run of the same request.
+    use std::sync::Arc;
+
+    let requests: Vec<SynthesisRequest> = (0..4)
+        .flat_map(|k| {
+            [
+                SynthesisRequest::generate_only(TICK)
+                    .with_id(format!("tick/{k}"))
+                    .with_degree(1 + (k % 2) as u32),
+                SynthesisRequest::generate_only(DOUBLE)
+                    .with_id(format!("double/{k}"))
+                    .with_upsilon((k % 3) as u32),
+                SynthesisRequest::check(TICK)
+                    .with_id(format!("check/{k}"))
+                    .with_target("1 > 0"),
+            ]
+        })
+        .collect();
+
+    let sequential: Vec<String> = {
+        let engine = Engine::new();
+        requests
+            .iter()
+            .map(|request| engine.run(request).unwrap().canonical().to_json_string())
+            .collect()
+    };
+
+    let engine = Arc::new(Engine::new());
+    let threads = 8;
+    let handles: Vec<_> = (0..threads)
+        .map(|thread| {
+            let engine = Arc::clone(&engine);
+            let requests = requests.clone();
+            std::thread::spawn(move || {
+                // Each thread walks the request list from a different
+                // offset, so distinct sources hit distinct cache shards at
+                // the same time.
+                (0..requests.len())
+                    .map(|step| {
+                        let index = (step + thread * 5) % requests.len();
+                        let report = engine.run(&requests[index]).unwrap();
+                        (index, report.canonical().to_json_string())
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    for handle in handles {
+        for (index, json) in handle.join().unwrap() {
+            assert_eq!(
+                json, sequential[index],
+                "concurrent report diverged from the sequential run (request {index})"
+            );
+        }
+    }
+    // Two distinct sources were parsed, however many threads raced.
+    assert_eq!(engine.cached_programs(), 2);
+}
+
+#[test]
 fn empty_batches_are_fine() {
     let engine = Engine::new();
     assert!(engine.run_batch(&[]).is_empty());

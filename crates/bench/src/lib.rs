@@ -489,16 +489,35 @@ fn presolve_row_json(presolve: Option<&PresolveRecord>) -> Json {
 
 /// Writes the benchmark snapshot to `path` (pretty-printed, trailing
 /// newline), returning an [`ApiError::Io`] on failure.
+///
+/// When `path` already holds a snapshot with a top-level `"throughput"`
+/// block (written by `polyinv-loadgen --bench-out`), that block is carried
+/// over: regenerating the tables must not erase the serving measurements.
 pub fn write_bench_json(
     path: &std::path::Path,
     tables: &[(&str, &[RowResult])],
 ) -> Result<(), ApiError> {
-    let mut text = rows_to_json(tables).pretty();
+    let mut doc = rows_to_json(tables);
+    if let Some(throughput) = read_existing_throughput(path) {
+        if let Json::Object(fields) = &mut doc {
+            fields.push(("throughput".to_string(), throughput));
+        }
+    }
+    let mut text = doc.pretty();
     text.push('\n');
     std::fs::write(path, text).map_err(|error| ApiError::Io {
         path: path.display().to_string(),
         message: error.to_string(),
     })
+}
+
+/// The `"throughput"` block of an existing snapshot file, if any. Unreadable
+/// or unparseable files yield `None` — the rewrite then proceeds as a fresh
+/// snapshot.
+fn read_existing_throughput(path: &std::path::Path) -> Option<Json> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = Json::parse(&text).ok()?;
+    doc.get("throughput").cloned()
 }
 
 /// Formats a collection of rows as the table printed by the `reproduce`
@@ -554,6 +573,45 @@ pub fn format_table(title: &str, rows: &[RowResult]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rewriting_a_snapshot_preserves_the_throughput_block() {
+        let path = std::env::temp_dir().join(format!(
+            "polyinv-bench-throughput-{}.json",
+            std::process::id()
+        ));
+        // Seed the file with a snapshot carrying a loadgen throughput block.
+        let seeded = Json::object(vec![
+            ("schema", Json::string("polyinv-bench/v1")),
+            ("rows", Json::Array(vec![])),
+            (
+                "throughput",
+                Json::object(vec![("programs", Json::Number(200.0))]),
+            ),
+        ]);
+        std::fs::write(&path, seeded.pretty()).unwrap();
+
+        // A regeneration with fresh tables must carry the block over…
+        write_bench_json(&path, &[("table3", &[])]).unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("polyinv-bench/v1")
+        );
+        assert_eq!(
+            doc.get("throughput")
+                .and_then(|block| block.get("programs"))
+                .and_then(Json::as_usize),
+            Some(200)
+        );
+
+        // …and a snapshot without one stays without one.
+        std::fs::remove_file(&path).unwrap();
+        write_bench_json(&path, &[("table3", &[])]).unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(doc.get("throughput").is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
 
     #[test]
     fn run_row_reports_generation_metrics_for_a_small_benchmark() {

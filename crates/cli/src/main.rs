@@ -7,6 +7,7 @@
 //! polyinv validate <file> [assertion options] [--trace-runs N] [--json]
 //! polyinv fuzz [--seed N] [--count N] [--artifacts DIR] [--json]
 //! polyinv batch <requests.json> [--json]
+//! polyinv serve [--addr HOST:PORT] [--workers N] [--queue-depth N] ...
 //! ```
 //!
 //! Every subcommand supports `--json` (machine-readable reports on stdout)
@@ -38,6 +39,7 @@ SUBCOMMANDS:
     validate <file>           Weak synthesis + trace falsification + exact re-check
     fuzz                      Generate seeded programs and attack the soundness claim
     batch <requests.json>     Run a JSON array of requests in parallel
+    serve                     Serve the Engine over HTTP (see SERVE OPTIONS)
 
 ASSERTION OPTIONS (synth: targets; check: candidate conjuncts):
     --target <text>           Assertion at the exit label (synonym: --invariant)
@@ -54,6 +56,15 @@ REDUCTION OPTIONS:
     --strong                  Enumerate a representative set instead (synth)
     --attempts <n>            Multi-start attempts for --strong
     --generate-only           Steps 1-3 only: report |S|, unknowns, timings
+
+SERVE OPTIONS:
+    --addr <host:port>        Bind address                     (default 127.0.0.1:8924)
+    --workers <n>             Worker threads, 0 = per core     (default 0)
+    --queue-depth <n>         Pending-request cap before 429   (default 64)
+    --cache-capacity <n>      Result-cache entries             (default 256)
+    --max-body-bytes <n>      Request body cap                 (default 1048576)
+    --read-timeout-secs <n>   Socket read timeout              (default 10)
+    --write-timeout-secs <n>  Socket write timeout             (default 10)
 
 VALIDATION OPTIONS (validate, fuzz):
     --seed <n>                Base seed (fuzz: programs; both: traces)  (default 0)
@@ -111,6 +122,7 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
         "validate" => cmd_validate(&args[1..]),
         "fuzz" => cmd_fuzz(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -524,6 +536,52 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, CliError> {
     } else {
         ExitCode::from(1)
     })
+}
+
+/// `polyinv serve`: run the HTTP service until `POST /shutdown`.
+fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
+    let mut config = polyinv_server::ServerConfig::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| -> Result<String, CliError> {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| usage(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value(arg)?,
+            "--workers" => config.workers = parse_number(arg, &value(arg)?)?,
+            "--queue-depth" => config.queue_depth = parse_number(arg, &value(arg)?)?,
+            "--cache-capacity" => config.cache_capacity = parse_number(arg, &value(arg)?)?,
+            "--max-body-bytes" => config.max_body_bytes = parse_number(arg, &value(arg)?)?,
+            "--read-timeout-secs" => {
+                config.read_timeout =
+                    std::time::Duration::from_secs(parse_number(arg, &value(arg)?)?);
+            }
+            "--write-timeout-secs" => {
+                config.write_timeout =
+                    std::time::Duration::from_secs(parse_number(arg, &value(arg)?)?);
+            }
+            other => return Err(usage(format!("unknown serve flag `{other}`"))),
+        }
+    }
+    if config.queue_depth == 0 {
+        return Err(usage("--queue-depth must be positive"));
+    }
+    let server = polyinv_server::Server::bind(config.clone()).map_err(|error| {
+        CliError::Api(ApiError::Io {
+            path: config.addr.clone(),
+            message: error.to_string(),
+        })
+    })?;
+    eprintln!(
+        "polyinv serve: listening on http://{} (POST /v1/synth · /v1/check · /v1/batch, \
+         GET /healthz · /metrics, POST /shutdown to drain)",
+        server.local_addr()
+    );
+    let summary = server.run();
+    eprintln!("polyinv serve: {}", summary.summary_line());
+    Ok(ExitCode::SUCCESS)
 }
 
 fn display_id(id: &str) -> &str {

@@ -1,0 +1,383 @@
+//! `polyinv-loadgen` — replay fuzzer-generated programs against a running
+//! `polyinv serve` instance and measure throughput and latency.
+//!
+//! ```text
+//! polyinv-loadgen --addr 127.0.0.1:8924 --programs 200 --concurrency 8
+//! ```
+//!
+//! The run has two phases: a **cold** pass over `--programs` *distinct*
+//! generated programs (every request a cache miss) and, unless
+//! `--no-repeat`, a **warm** replay of the same programs that must be
+//! answered entirely from the server's result cache (`x-polyinv-cache:
+//! hit` on every response). Every response body is validated as canonical
+//! report JSON by round-tripping it through `SynthesisReport`.
+//!
+//! With `--bench-out FILE` the summary is upserted as the top-level
+//! `"throughput"` block of the given `polyinv-bench/v1` JSON file
+//! (`BENCH_3.json` in CI); `--json` prints the same block to stdout.
+//! The exit code is non-zero when any request failed, any body failed
+//! canonical validation, or a warm response was not a cache hit.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use polyinv_api::{Json, Mode, SynthesisReport, SynthesisRequest};
+use polyinv_server::http_request;
+use polyinv_validate::{generate_program, GenConfig};
+
+struct Options {
+    addr: String,
+    programs: usize,
+    concurrency: usize,
+    seed: u64,
+    mode: Mode,
+    repeat: bool,
+    bench_out: Option<String>,
+    json: bool,
+    timeout: Duration,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: "127.0.0.1:8924".to_string(),
+            programs: 200,
+            concurrency: 8,
+            seed: 0,
+            mode: Mode::GenerateOnly,
+            repeat: true,
+            bench_out: None,
+            json: false,
+            timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+const USAGE: &str = "usage: polyinv-loadgen [--addr HOST:PORT] [--programs N] [--concurrency C] \
+[--seed S] [--mode weak|strong|check|generate-only] [--no-repeat] [--timeout-secs T] \
+[--bench-out FILE] [--json]";
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} expects a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => options.addr = value("--addr")?,
+            "--programs" => {
+                options.programs = value("--programs")?
+                    .parse()
+                    .map_err(|e| format!("--programs: {e}"))?;
+            }
+            "--concurrency" => {
+                options.concurrency = value("--concurrency")?
+                    .parse()
+                    .map_err(|e| format!("--concurrency: {e}"))?;
+            }
+            "--seed" => {
+                options.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--mode" => {
+                options.mode = value("--mode")?
+                    .parse()
+                    .map_err(|e| format!("--mode: {e:?}"))?;
+            }
+            "--no-repeat" => options.repeat = false,
+            "--timeout-secs" => {
+                options.timeout = Duration::from_secs(
+                    value("--timeout-secs")?
+                        .parse()
+                        .map_err(|e| format!("--timeout-secs: {e}"))?,
+                );
+            }
+            "--bench-out" => options.bench_out = Some(value("--bench-out")?),
+            "--json" => options.json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    if options.programs == 0 || options.concurrency == 0 {
+        return Err("--programs and --concurrency must be positive".to_string());
+    }
+    Ok(options)
+}
+
+/// `--programs` distinct program sources from the validation fuzzer's
+/// generator, deduplicated by source text (the generator is seeded and
+/// deterministic, so the same seed always yields the same corpus).
+fn build_corpus(options: &Options) -> Vec<String> {
+    let config = GenConfig::default();
+    let mut sources = Vec::with_capacity(options.programs);
+    let mut seen = std::collections::HashSet::new();
+    let mut seed = options.seed;
+    while sources.len() < options.programs {
+        let program = generate_program(seed, &config);
+        seed += 1;
+        if seen.insert(program.source.clone()) {
+            sources.push(program.source);
+        }
+    }
+    sources
+}
+
+/// The outcome of one HTTP request, as tallied by the phase driver.
+enum Sample {
+    Ok { latency: Duration, cache_hit: bool },
+    Error(String),
+}
+
+/// One measured pass over the corpus at the configured concurrency.
+struct PhaseResult {
+    label: &'static str,
+    requests: usize,
+    errors: Vec<String>,
+    cache_hits: usize,
+    seconds: f64,
+    latencies: Vec<Duration>,
+}
+
+/// Validates a 200-response body as canonical report JSON: it must parse
+/// as a `SynthesisReport` and re-serialize byte-identically.
+fn validate_canonical(body: &str) -> Result<(), String> {
+    let trimmed = body.trim_end_matches('\n');
+    let report = SynthesisReport::from_json_str(trimmed)
+        .map_err(|error| format!("body is not a report: {error}"))?;
+    if report.to_json_string() != trimmed {
+        return Err("body is not canonical report JSON (round-trip differs)".to_string());
+    }
+    Ok(())
+}
+
+/// Runs one phase: `concurrency` client threads pull work indices off a
+/// shared counter and post each program to `/v1/synth`.
+fn run_phase(
+    label: &'static str,
+    addr: SocketAddr,
+    corpus: Arc<Vec<String>>,
+    options: &Options,
+) -> PhaseResult {
+    let next = Arc::new(AtomicUsize::new(0));
+    let mode = options.mode;
+    let timeout = options.timeout;
+    let started = Instant::now();
+    let workers: Vec<_> = (0..options.concurrency.min(corpus.len()))
+        .map(|_| {
+            let next = Arc::clone(&next);
+            let corpus = Arc::clone(&corpus);
+            std::thread::spawn(move || {
+                let mut samples = Vec::new();
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= corpus.len() {
+                        break samples;
+                    }
+                    let request = SynthesisRequest::new(mode, corpus[index].clone())
+                        .with_id(format!("loadgen-{index}"));
+                    let body = request.to_json().to_string();
+                    let sent = Instant::now();
+                    let outcome = http_request(addr, "POST", "/v1/synth", Some(&body), timeout);
+                    let latency = sent.elapsed();
+                    samples.push(match outcome {
+                        Ok(response) if response.status == 200 => {
+                            match validate_canonical(&response.body) {
+                                Ok(()) => Sample::Ok {
+                                    latency,
+                                    cache_hit: response.header("x-polyinv-cache") == Some("hit"),
+                                },
+                                Err(reason) => Sample::Error(format!("program {index}: {reason}")),
+                            }
+                        }
+                        Ok(response) => Sample::Error(format!(
+                            "program {index}: HTTP {} — {}",
+                            response.status,
+                            response.body.trim_end()
+                        )),
+                        Err(error) => Sample::Error(format!("program {index}: {error}")),
+                    });
+                }
+            })
+        })
+        .collect();
+
+    let mut errors = Vec::new();
+    let mut cache_hits = 0;
+    let mut latencies = Vec::new();
+    for worker in workers {
+        for sample in worker.join().expect("client thread") {
+            match sample {
+                Sample::Ok { latency, cache_hit } => {
+                    latencies.push(latency);
+                    cache_hits += usize::from(cache_hit);
+                }
+                Sample::Error(reason) => errors.push(reason),
+            }
+        }
+    }
+    PhaseResult {
+        label,
+        requests: corpus.len(),
+        errors,
+        cache_hits,
+        seconds: started.elapsed().as_secs_f64(),
+        latencies,
+    }
+}
+
+/// The p-th percentile (0–100) of the sorted latency set, in milliseconds.
+fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)].as_secs_f64() * 1e3
+}
+
+impl PhaseResult {
+    fn to_json(&self) -> Json {
+        let mut sorted = self.latencies.clone();
+        sorted.sort();
+        let completed = self.latencies.len();
+        let throughput = if self.seconds > 0.0 {
+            completed as f64 / self.seconds
+        } else {
+            0.0
+        };
+        Json::object(vec![
+            ("requests", Json::Number(self.requests as f64)),
+            ("errors", Json::Number(self.errors.len() as f64)),
+            ("cache_hits", Json::Number(self.cache_hits as f64)),
+            ("seconds", Json::Number(self.seconds)),
+            ("programs_per_sec", Json::Number(throughput)),
+            (
+                "latency_ms",
+                Json::object(vec![
+                    ("p50", Json::Number(percentile_ms(&sorted, 50.0))),
+                    ("p90", Json::Number(percentile_ms(&sorted, 90.0))),
+                    ("p99", Json::Number(percentile_ms(&sorted, 99.0))),
+                ]),
+            ),
+        ])
+    }
+
+    fn describe(&self) -> String {
+        let mut sorted = self.latencies.clone();
+        sorted.sort();
+        format!(
+            "{}: {} request(s), {} error(s), {} cache hit(s) in {:.2}s \
+             ({:.1} programs/s; p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms)",
+            self.label,
+            self.requests,
+            self.errors.len(),
+            self.cache_hits,
+            self.seconds,
+            self.latencies.len() as f64 / self.seconds.max(1e-9),
+            percentile_ms(&sorted, 50.0),
+            percentile_ms(&sorted, 90.0),
+            percentile_ms(&sorted, 99.0),
+        )
+    }
+}
+
+/// Upserts the `"throughput"` key of a `polyinv-bench/v1` JSON file,
+/// leaving everything else (schema, rows) untouched.
+fn upsert_bench_throughput(path: &str, block: &Json) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|error| format!("read {path}: {error}"))?;
+    let mut doc = Json::parse(&text).map_err(|error| format!("parse {path}: {error}"))?;
+    let Json::Object(fields) = &mut doc else {
+        return Err(format!("{path}: top level is not a JSON object"));
+    };
+    match fields.iter_mut().find(|(key, _)| key == "throughput") {
+        Some((_, value)) => *value = block.clone(),
+        None => fields.push(("throughput".to_string(), block.clone())),
+    }
+    let mut out = doc.pretty();
+    out.push('\n');
+    std::fs::write(path, out).map_err(|error| format!("write {path}: {error}"))
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("polyinv-loadgen: {message}");
+            std::process::exit(2);
+        }
+    };
+    let addr: SocketAddr = match options.addr.parse() {
+        Ok(addr) => addr,
+        Err(error) => {
+            eprintln!("polyinv-loadgen: bad --addr `{}`: {error}", options.addr);
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "generating {} distinct program(s) from seed {}…",
+        options.programs, options.seed
+    );
+    let corpus = Arc::new(build_corpus(&options));
+
+    let cold = run_phase("cold", addr, Arc::clone(&corpus), &options);
+    eprintln!("{}", cold.describe());
+    let warm = options
+        .repeat
+        .then(|| run_phase("warm", addr, Arc::clone(&corpus), &options));
+    if let Some(warm) = &warm {
+        eprintln!("{}", warm.describe());
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+    failures.extend(cold.errors.iter().cloned());
+    if let Some(warm) = &warm {
+        failures.extend(warm.errors.iter().cloned());
+        let warm_ok = warm.requests - warm.errors.len();
+        if warm.cache_hits < warm_ok {
+            failures.push(format!(
+                "warm phase: only {} of {} successful replays were cache hits",
+                warm.cache_hits, warm_ok
+            ));
+        }
+    }
+
+    let mut block_fields = vec![
+        ("programs", Json::Number(corpus.len() as f64)),
+        ("concurrency", Json::Number(options.concurrency as f64)),
+        ("seed", Json::Number(options.seed as f64)),
+        ("mode", Json::string(options.mode.as_str())),
+        ("cold", cold.to_json()),
+    ];
+    if let Some(warm) = &warm {
+        block_fields.push(("warm", warm.to_json()));
+    }
+    let block = Json::object(block_fields);
+
+    if let Some(path) = &options.bench_out {
+        match upsert_bench_throughput(path, &block) {
+            Ok(()) => eprintln!("updated throughput block in {path}"),
+            Err(message) => failures.push(message),
+        }
+    }
+    if options.json {
+        println!("{}", block.pretty());
+    }
+
+    if !failures.is_empty() {
+        for failure in failures.iter().take(10) {
+            eprintln!("polyinv-loadgen: FAIL: {failure}");
+        }
+        if failures.len() > 10 {
+            eprintln!("… and {} more failure(s)", failures.len() - 10);
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,111 @@
+//! A tiny blocking HTTP/1.1 client, just enough to talk to the server.
+//!
+//! Shared by the `polyinv-loadgen` bench binary and the integration tests
+//! so both exercise the wire format exactly as the server emits it: one
+//! request per connection, read to EOF (every response carries
+//! `Connection: close`).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// The status code from the status line.
+    pub status: u16,
+    /// Header name/value pairs (names lower-cased).
+    pub headers: Vec<(String, String)>,
+    /// The body decoded as UTF-8 (lossy).
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// The first value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(key, _)| *key == name)
+            .map(|(_, value)| value.as_str())
+    }
+}
+
+/// Sends one request and reads the full response.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> std::io::Result<ClientResponse> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut stream = stream;
+
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// Splits a raw response into status, headers and body.
+pub fn parse_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
+    let malformed =
+        |reason: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, reason.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|window| window == b"\r\n\r\n")
+        .ok_or_else(|| malformed("response has no header terminator"))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| malformed("response head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| malformed("empty response"))?;
+    let status = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| malformed("bad status line"))?;
+    let headers = lines
+        .filter(|line| !line.is_empty())
+        .filter_map(|line| {
+            line.split_once(':')
+                .map(|(name, value)| (name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect();
+    let body = String::from_utf8_lossy(&raw[head_end + 4..]).into_owned();
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responses_parse_status_headers_and_body() {
+        let raw =
+            b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 1\r\ncontent-length: 3\r\n\r\nabc";
+        let response = parse_response(raw).unwrap();
+        assert_eq!(response.status, 429);
+        assert_eq!(response.header("retry-after"), Some("1"));
+        assert_eq!(response.body, "abc");
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicked_on() {
+        assert!(parse_response(b"not http at all").is_err());
+        assert!(parse_response(b"HTTP/1.1 huh\r\n\r\n").is_err());
+    }
+}

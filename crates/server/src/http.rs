@@ -1,0 +1,312 @@
+//! A minimal, robust HTTP/1.1 wire layer over blocking `TcpStream`s.
+//!
+//! The server speaks exactly the slice of HTTP/1.1 its JSON API needs:
+//! request line + headers + optional `Content-Length` body in; status
+//! line, headers and body out; one request per connection
+//! (`Connection: close` on every response). Robustness is the point of
+//! hand-rolling it:
+//!
+//! * the header section is capped ([`MAX_HEAD_BYTES`]) — a client streaming
+//!   endless headers gets `431`, not unbounded memory;
+//! * the body is capped by the server's configured `Content-Length` limit —
+//!   oversized uploads get `413` *before* any body byte is read;
+//! * reads run under the stream's read timeout — a stalled client gets
+//!   `408` and frees its worker;
+//! * anything that does not parse as HTTP gets `400` with a reason.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request line + headers (bytes). Generous for hand-written
+/// clients, small enough that a worker never buffers unbounded garbage.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct HttpRequest {
+    /// The method verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target, query string included, verbatim.
+    pub path: String,
+    /// Header name/value pairs in arrival order (names lower-cased).
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// The first value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(key, _)| *key == name)
+            .map(|(_, value)| value.as_str())
+    }
+
+    /// The body decoded as UTF-8.
+    pub fn body_utf8(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::Malformed("request body is not valid UTF-8".to_string()))
+    }
+}
+
+/// Everything that can go wrong reading a request off the wire, each with a
+/// definite HTTP status to answer with.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The client closed the connection before sending a full request
+    /// (including: before sending anything). Not answered — there is no one
+    /// left to answer.
+    Closed,
+    /// A read or write hit the stream's timeout → `408`.
+    Timeout,
+    /// The request line or a header did not parse → `400`.
+    Malformed(String),
+    /// The header section exceeded [`MAX_HEAD_BYTES`] → `431`.
+    HeadTooLarge,
+    /// The declared `Content-Length` exceeded the server's cap → `413`.
+    BodyTooLarge {
+        /// The declared length.
+        declared: usize,
+        /// The server's cap.
+        limit: usize,
+    },
+    /// Any other socket error. Not answered; the connection is dropped.
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The status code this error is answered with (`None`: just drop the
+    /// connection).
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            HttpError::Closed | HttpError::Io(_) => None,
+            HttpError::Timeout => Some(408),
+            HttpError::Malformed(_) => Some(400),
+            HttpError::HeadTooLarge => Some(431),
+            HttpError::BodyTooLarge { .. } => Some(413),
+        }
+    }
+
+    /// A human-readable reason for the error response body.
+    pub fn reason(&self) -> String {
+        match self {
+            HttpError::Closed => "connection closed".to_string(),
+            HttpError::Io(error) => format!("socket error: {error}"),
+            HttpError::Timeout => "timed out reading the request".to_string(),
+            HttpError::Malformed(reason) => reason.clone(),
+            HttpError::HeadTooLarge => {
+                format!("request headers exceed {MAX_HEAD_BYTES} bytes")
+            }
+            HttpError::BodyTooLarge { declared, limit } => {
+                format!("request body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+        }
+    }
+}
+
+fn classify_io(error: io::Error) -> HttpError {
+    match error.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => HttpError::Timeout,
+        io::ErrorKind::UnexpectedEof
+        | io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::BrokenPipe => HttpError::Closed,
+        _ => HttpError::Io(error),
+    }
+}
+
+/// Reads one request: head (bounded), then exactly `Content-Length` body
+/// bytes (bounded by `max_body`).
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<HttpRequest, HttpError> {
+    let mut buffer: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buffer) {
+            break pos;
+        }
+        if buffer.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        let n = stream.read(&mut chunk).map_err(classify_io)?;
+        if n == 0 {
+            return Err(HttpError::Closed);
+        }
+        buffer.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buffer[..head_end])
+        .map_err(|_| HttpError::Malformed("request head is not valid UTF-8".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".to_string()))?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing method".to_string()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".to_string()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".to_string()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported protocol version `{version}`"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("malformed header `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(name, _)| name == "content-length")
+        .map(|(_, value)| {
+            value
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("invalid Content-Length `{value}`")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+
+    // Body bytes already read past the head, then the remainder.
+    let mut body = buffer[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(classify_io)?;
+        if n == 0 {
+            return Err(HttpError::Closed);
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(HttpRequest {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+fn find_head_end(buffer: &[u8]) -> Option<usize> {
+    buffer.windows(4).position(|window| window == b"\r\n\r\n")
+}
+
+/// One response under construction.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// The status code.
+    pub status: u16,
+    /// Extra headers beyond the always-present set.
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: &polyinv_api::Json) -> Self {
+        let mut text = body.to_string();
+        text.push('\n');
+        HttpResponse {
+            status,
+            headers: vec![("content-type".to_string(), "application/json".to_string())],
+            body: text.into_bytes(),
+        }
+    }
+
+    /// Adds a header (builder style).
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serializes and writes the response; the caller closes the stream.
+    pub fn write(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            reason_phrase(self.status)
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!("content-length: {}\r\n", self.body.len()));
+        head.push_str("connection: close\r\n\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// The reason phrase of the status codes this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn error_statuses_are_stable() {
+        assert_eq!(HttpError::Timeout.status(), Some(408));
+        assert_eq!(HttpError::HeadTooLarge.status(), Some(431));
+        assert_eq!(
+            HttpError::BodyTooLarge {
+                declared: 10,
+                limit: 5
+            }
+            .status(),
+            Some(413)
+        );
+        assert_eq!(HttpError::Closed.status(), None);
+        assert!(HttpError::BodyTooLarge {
+            declared: 10,
+            limit: 5
+        }
+        .reason()
+        .contains("5-byte limit"));
+    }
+}

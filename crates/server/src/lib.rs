@@ -1,0 +1,49 @@
+//! # polyinv-server — the synthesis engine as a batch service
+//!
+//! A hand-rolled HTTP/1.1 server (plain `std::net`, no async runtime — the
+//! workspace builds offline with no external dependencies) that exposes the
+//! [`polyinv_api::Engine`] over five endpoints:
+//!
+//! | Endpoint          | Method | Body                                     |
+//! |-------------------|--------|------------------------------------------|
+//! | `/v1/synth`       | POST   | one `SynthesisRequest` (default mode `weak`) |
+//! | `/v1/check`       | POST   | one `SynthesisRequest` (default mode `check`) |
+//! | `/v1/batch`       | POST   | array of requests, or `{"requests": [...]}` |
+//! | `/healthz`        | GET    | —                                        |
+//! | `/metrics`        | GET    | —                                        |
+//! | `/shutdown`       | POST   | — (begins the graceful drain)            |
+//!
+//! Request and response JSON are exactly the `polyinv_api::json` forms the
+//! CLI already speaks: a served report is byte-identical to the one
+//! `polyinv run` would print for the same request.
+//!
+//! The interesting parts, in their modules:
+//!
+//! * [`http`] — the bounded wire layer: capped head, capped body,
+//!   timeouts, one request per connection;
+//! * [`server`] — acceptor + bounded queue + worker pool, result caching
+//!   keyed by [`polyinv_api::RequestFingerprint`], `429` backpressure,
+//!   graceful drain;
+//! * [`metrics`] — lock-free counters behind `GET /metrics`;
+//! * [`client`] — the small blocking client the loadgen bench and the
+//!   integration tests drive the server with.
+//!
+//! ```no_run
+//! use polyinv_server::{Server, ServerConfig};
+//!
+//! let server = Server::bind(ServerConfig::default())?;
+//! println!("listening on {}", server.local_addr());
+//! let summary = server.run(); // blocks until POST /shutdown
+//! eprintln!("{}", summary.summary_line());
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod server;
+
+pub use client::{http_request, ClientResponse};
+pub use http::{HttpError, HttpRequest, HttpResponse};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use server::{Server, ServerConfig, ServerHandle};

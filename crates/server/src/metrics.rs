@@ -1,0 +1,264 @@
+//! Lock-free service counters, surfaced as the flat `GET /metrics` JSON
+//! object and mirrored into the one-line shutdown summary.
+//!
+//! Everything is a relaxed atomic: the counters are monotone tallies (plus
+//! two gauges — queue depth and in-flight requests) whose readers tolerate
+//! slightly stale values; no counter is ever used for control flow.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use polyinv_api::{CacheStats, Json};
+
+/// The per-endpoint and service-wide counters.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests fully parsed and routed (any endpoint).
+    pub requests_total: AtomicU64,
+    /// `POST /v1/synth` requests.
+    pub synth_requests: AtomicU64,
+    /// `POST /v1/check` requests.
+    pub check_requests: AtomicU64,
+    /// `POST /v1/batch` requests.
+    pub batch_requests: AtomicU64,
+    /// Individual items across all batch requests.
+    pub batch_items: AtomicU64,
+    /// `GET /healthz` requests.
+    pub healthz_requests: AtomicU64,
+    /// `GET /metrics` requests.
+    pub metrics_requests: AtomicU64,
+    /// Wall-clock spent serving `/v1/synth`, in microseconds.
+    pub synth_latency_micros: AtomicU64,
+    /// Wall-clock spent serving `/v1/check`, in microseconds.
+    pub check_latency_micros: AtomicU64,
+    /// Wall-clock spent serving `/v1/batch`, in microseconds.
+    pub batch_latency_micros: AtomicU64,
+    /// Responses in the 2xx class.
+    pub responses_2xx: AtomicU64,
+    /// Responses in the 4xx class (the 429s below are counted here too).
+    pub responses_4xx: AtomicU64,
+    /// Responses in the 5xx class.
+    pub responses_5xx: AtomicU64,
+    /// Connections answered `429` by the acceptor under saturation.
+    pub rejected: AtomicU64,
+    /// Connections dropped for wire-level errors without a response.
+    pub dropped: AtomicU64,
+    /// Gauge: connections accepted and waiting for a worker.
+    pub queued: AtomicU64,
+    /// Gauge: requests currently being served by workers.
+    pub in_flight: AtomicU64,
+}
+
+impl Metrics {
+    /// Bumps a counter by one.
+    pub fn incr(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds to a counter.
+    pub fn add(counter: &AtomicU64, amount: u64) {
+        counter.fetch_add(amount, Ordering::Relaxed);
+    }
+
+    /// Decrements a gauge (saturating at zero).
+    pub fn decr(gauge: &AtomicU64) {
+        // fetch_update never fails with this closure, but stay defensive.
+        let _ = gauge.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |value| {
+            Some(value.saturating_sub(1))
+        });
+    }
+
+    /// Tallies a response by status class.
+    pub fn count_response(&self, status: u16) {
+        let class = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        Metrics::incr(class);
+    }
+
+    /// A point-in-time copy of every counter, merged with the result
+    /// cache's statistics and the service uptime.
+    pub fn snapshot(&self, cache: CacheStats, started: Instant) -> MetricsSnapshot {
+        let get = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            uptime_seconds: started.elapsed().as_secs_f64(),
+            requests_total: get(&self.requests_total),
+            synth_requests: get(&self.synth_requests),
+            check_requests: get(&self.check_requests),
+            batch_requests: get(&self.batch_requests),
+            batch_items: get(&self.batch_items),
+            healthz_requests: get(&self.healthz_requests),
+            metrics_requests: get(&self.metrics_requests),
+            synth_latency_seconds_sum: get(&self.synth_latency_micros) as f64 / 1e6,
+            check_latency_seconds_sum: get(&self.check_latency_micros) as f64 / 1e6,
+            batch_latency_seconds_sum: get(&self.batch_latency_micros) as f64 / 1e6,
+            responses_2xx: get(&self.responses_2xx),
+            responses_4xx: get(&self.responses_4xx),
+            responses_5xx: get(&self.responses_5xx),
+            rejected: get(&self.rejected),
+            dropped: get(&self.dropped),
+            queued: get(&self.queued),
+            in_flight: get(&self.in_flight),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_entries: cache.entries as u64,
+        }
+    }
+}
+
+/// A frozen copy of the counters, as serialized by `GET /metrics` and
+/// returned by `Server::run` after the drain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Seconds since the listener bound.
+    pub uptime_seconds: f64,
+    /// Requests fully parsed and routed.
+    pub requests_total: u64,
+    /// `POST /v1/synth` requests.
+    pub synth_requests: u64,
+    /// `POST /v1/check` requests.
+    pub check_requests: u64,
+    /// `POST /v1/batch` requests.
+    pub batch_requests: u64,
+    /// Items across all batch requests.
+    pub batch_items: u64,
+    /// `GET /healthz` requests.
+    pub healthz_requests: u64,
+    /// `GET /metrics` requests.
+    pub metrics_requests: u64,
+    /// Total `/v1/synth` service time.
+    pub synth_latency_seconds_sum: f64,
+    /// Total `/v1/check` service time.
+    pub check_latency_seconds_sum: f64,
+    /// Total `/v1/batch` service time.
+    pub batch_latency_seconds_sum: f64,
+    /// Responses in the 2xx class.
+    pub responses_2xx: u64,
+    /// Responses in the 4xx class.
+    pub responses_4xx: u64,
+    /// Responses in the 5xx class.
+    pub responses_5xx: u64,
+    /// Connections answered `429` under saturation.
+    pub rejected: u64,
+    /// Connections dropped without a response.
+    pub dropped: u64,
+    /// Gauge: connections waiting for a worker.
+    pub queued: u64,
+    /// Gauge: requests currently in flight.
+    pub in_flight: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Result-cache evictions.
+    pub cache_evictions: u64,
+    /// Result-cache resident entries.
+    pub cache_entries: u64,
+}
+
+impl MetricsSnapshot {
+    /// The flat JSON object served by `GET /metrics`.
+    pub fn to_json(&self) -> Json {
+        let count = |n: u64| Json::Number(n as f64);
+        Json::object(vec![
+            ("uptime_seconds", Json::Number(self.uptime_seconds)),
+            ("requests_total", count(self.requests_total)),
+            ("synth_requests", count(self.synth_requests)),
+            ("check_requests", count(self.check_requests)),
+            ("batch_requests", count(self.batch_requests)),
+            ("batch_items", count(self.batch_items)),
+            ("healthz_requests", count(self.healthz_requests)),
+            ("metrics_requests", count(self.metrics_requests)),
+            (
+                "synth_latency_seconds_sum",
+                Json::Number(self.synth_latency_seconds_sum),
+            ),
+            (
+                "check_latency_seconds_sum",
+                Json::Number(self.check_latency_seconds_sum),
+            ),
+            (
+                "batch_latency_seconds_sum",
+                Json::Number(self.batch_latency_seconds_sum),
+            ),
+            ("responses_2xx", count(self.responses_2xx)),
+            ("responses_4xx", count(self.responses_4xx)),
+            ("responses_5xx", count(self.responses_5xx)),
+            ("rejected", count(self.rejected)),
+            ("dropped", count(self.dropped)),
+            ("queued", count(self.queued)),
+            ("in_flight", count(self.in_flight)),
+            ("cache_hits", count(self.cache_hits)),
+            ("cache_misses", count(self.cache_misses)),
+            ("cache_evictions", count(self.cache_evictions)),
+            ("cache_entries", count(self.cache_entries)),
+        ])
+    }
+
+    /// The one-line summary mirrored into the shutdown log.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "served {} request(s) ({} 2xx / {} 4xx / {} 5xx) in {:.1}s — \
+             cache {} hit(s) / {} miss(es) / {} eviction(s), \
+             {} rejected (429), {} dropped",
+            self.requests_total,
+            self.responses_2xx,
+            self.responses_4xx,
+            self.responses_5xx,
+            self.uptime_seconds,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.rejected,
+            self.dropped,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_serializes_every_counter_flat() {
+        let metrics = Metrics::default();
+        Metrics::incr(&metrics.requests_total);
+        Metrics::incr(&metrics.synth_requests);
+        Metrics::add(&metrics.synth_latency_micros, 1_500_000);
+        metrics.count_response(200);
+        metrics.count_response(429);
+        let cache = CacheStats {
+            hits: 3,
+            misses: 4,
+            evictions: 1,
+            entries: 2,
+        };
+        let snapshot = metrics.snapshot(cache, Instant::now());
+        let json = snapshot.to_json();
+        assert_eq!(json.get("requests_total").unwrap().as_usize(), Some(1));
+        assert_eq!(json.get("cache_hits").unwrap().as_usize(), Some(3));
+        assert_eq!(json.get("responses_4xx").unwrap().as_usize(), Some(1));
+        assert_eq!(
+            json.get("synth_latency_seconds_sum").unwrap().as_f64(),
+            Some(1.5)
+        );
+        // Flat: every field is a bare number, no nested objects.
+        for (name, value) in json.as_object().unwrap() {
+            assert!(value.as_f64().is_some(), "metric `{name}` is not flat");
+        }
+        assert!(snapshot.summary_line().contains("3 hit(s)"));
+    }
+
+    #[test]
+    fn gauges_saturate_at_zero() {
+        let metrics = Metrics::default();
+        Metrics::decr(&metrics.queued);
+        assert_eq!(metrics.queued.load(Ordering::Relaxed), 0);
+        Metrics::incr(&metrics.queued);
+        Metrics::decr(&metrics.queued);
+        assert_eq!(metrics.queued.load(Ordering::Relaxed), 0);
+    }
+}
