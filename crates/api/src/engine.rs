@@ -21,7 +21,7 @@ use polyinv_qcqp::{backend_by_name, default_backend, QcqpBackend};
 #[allow(deprecated)]
 use polyinv::strong::{StrongOptions, StrongSynthesis};
 #[allow(deprecated)]
-use polyinv::weak::{SynthesisStatus, TargetAssertion, WeakSynthesis};
+use polyinv::weak::TargetAssertion;
 
 use crate::cache::source_hash;
 use crate::error::ApiError;
@@ -333,7 +333,6 @@ impl Engine {
         Ok(report)
     }
 
-    #[allow(deprecated)]
     fn run_weak(
         &self,
         request: &SynthesisRequest,
@@ -343,11 +342,22 @@ impl Engine {
     ) -> Result<SynthesisReport, ApiError> {
         let targets = resolve_weak_targets(program, request)?;
         let (options, escalation) = escalate_degree(&request.options, &targets);
-        let synth = WeakSynthesis::with_options(options).backend(backend);
-        let outcome = synth.synthesize(program, pre, &targets)?;
-        let status = match outcome.status {
-            SynthesisStatus::Synthesized => ReportStatus::Synthesized,
-            SynthesisStatus::Failed => ReportStatus::Failed,
+        // The orchestrator builds its own portfolio; an explicit back-end
+        // choice (request-level, or an Engine constructed around a
+        // non-default back-end) narrows the portfolio to that lane.
+        let preference = request
+            .backend
+            .as_deref()
+            .or_else(|| (backend.name() != default_backend().name()).then(|| backend.name()));
+        let mut plan = polyinv::SolvePlan::new(options);
+        if let Some(name) = preference {
+            plan = plan.with_backend_preference(name);
+        }
+        let outcome = polyinv::Orchestrator::new(plan).solve(program, pre, &targets)?;
+        let status = if outcome.certified {
+            ReportStatus::Synthesized
+        } else {
+            ReportStatus::Failed
         };
         let mut report = SynthesisReport::skeleton(&request.id, request.mode, status);
         report.backend = outcome.backend.to_string();
@@ -360,16 +370,28 @@ impl Engine {
             .presolve
             .as_ref()
             .map(crate::report::PresolveRecord::from);
+        report.orchestrator = Some(crate::report::OrchestratorRecord::from(&outcome.stats));
         if let Some(note) = escalation {
             report.diagnostics.push(note);
         }
         if status == ReportStatus::Synthesized {
             report.invariants = render_lines(&outcome.invariant.render(program));
             report.postconditions = render_postconditions(program, &outcome.postconditions);
+            report.diagnostics.push(format!(
+                "certified at ϒ = {} after {} attempt(s); exact worst violation {:.3e}",
+                outcome.stats.rung_reached,
+                outcome.stats.attempts,
+                outcome.stats.certificate_violation
+            ));
         } else {
             report.diagnostics.push(format!(
-                "solver `{}` stopped at violation {:.3e}",
-                outcome.backend, outcome.violation
+                "uncertified after {} attempt(s) over {} rung(s); solver `{}` stopped at \
+                 violation {:.3e}, exact re-check at {:.3e}",
+                outcome.stats.attempts,
+                outcome.stats.rungs_tried,
+                outcome.backend,
+                outcome.violation,
+                outcome.stats.certificate_violation
             ));
         }
         Ok(report)
@@ -834,7 +856,8 @@ mod tests {
         .with_target("x + 1 > 0");
         let report = engine.run(&request).unwrap();
         assert_eq!(report.status, ReportStatus::Synthesized);
-        assert_eq!(report.backend, "lm");
+        // Either portfolio lane may win the race; both are legitimate.
+        assert!(matches!(report.backend.as_str(), "lm" | "penalty"));
         assert!(!report.invariants.is_empty());
         assert!(report.stage_seconds(stage_names::SOLVE) > 0.0);
     }

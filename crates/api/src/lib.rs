@@ -53,7 +53,8 @@ pub use engine::Engine;
 pub use error::ApiError;
 pub use json::{Json, JsonError};
 pub use report::{
-    ExactRecord, PresolveRecord, ReportStatus, SolverRecord, SynthesisReport, ValidationRecord,
+    AttemptRecord, ExactRecord, OrchestratorRecord, PresolveRecord, ReportStatus, SolverRecord,
+    SynthesisReport, ValidationRecord,
 };
 pub use request::{AssertionSpec, Mode, SynthesisRequest};
 

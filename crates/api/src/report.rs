@@ -265,6 +265,161 @@ impl PresolveRecord {
     }
 }
 
+/// One attempt in the orchestrator's history: a portfolio lane, a polish
+/// pass or a certificate check on some ϒ rung.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptRecord {
+    /// The ϒ value of the rung the attempt ran on.
+    pub upsilon: u32,
+    /// `"lm"`, `"penalty"`, `"polish"` or `"certificate"`.
+    pub backend: String,
+    /// Whether the attempt met its acceptance bar (solver tolerance for
+    /// lanes and polish, exact-rational tolerance for certificates).
+    pub feasible: bool,
+    /// The attempt's worst violation (exact, as f64, for certificates).
+    pub violation: f64,
+    /// Wall-clock seconds the attempt took.
+    pub seconds: f64,
+}
+
+/// The serializable summary of an orchestrated solve: how many attempts
+/// ran, which ϒ rung was accepted, which portfolio lane produced the
+/// candidate and whether it carries a passing exact-rational certificate.
+/// Attached to reports whose solve went through the orchestrator; the
+/// per-row `orchestrator` block of the benchmark snapshot is this record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrchestratorRecord {
+    /// Total attempts recorded (lanes + polish passes + certificate checks
+    /// over all rungs).
+    pub attempts: usize,
+    /// Number of ϒ-ladder rungs tried.
+    pub rungs_tried: usize,
+    /// The ϒ value of the accepted (or last) rung.
+    pub rung_reached: u32,
+    /// The lane that produced the returned candidate.
+    pub winning_backend: String,
+    /// Whether the candidate passed the exact-rational certificate.
+    pub certified: bool,
+    /// The exact worst violation of the certificate check (f64 view).
+    pub certificate_violation: f64,
+    /// The attempt history, in execution order.
+    pub history: Vec<AttemptRecord>,
+}
+
+impl From<&polyinv::OrchestratorStats> for OrchestratorRecord {
+    fn from(stats: &polyinv::OrchestratorStats) -> Self {
+        OrchestratorRecord {
+            attempts: stats.attempts,
+            rungs_tried: stats.rungs_tried,
+            rung_reached: stats.rung_reached,
+            winning_backend: stats.winning_backend.clone(),
+            certified: stats.certified,
+            certificate_violation: stats.certificate_violation,
+            history: stats
+                .history
+                .iter()
+                .map(|attempt| AttemptRecord {
+                    upsilon: attempt.upsilon,
+                    backend: attempt.backend.clone(),
+                    feasible: attempt.feasible,
+                    violation: attempt.violation,
+                    seconds: attempt.seconds,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl OrchestratorRecord {
+    /// Serializes the record as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("attempts", Json::Number(self.attempts as f64)),
+            ("rungs_tried", Json::Number(self.rungs_tried as f64)),
+            ("rung_reached", Json::Number(self.rung_reached as f64)),
+            (
+                "winning_backend",
+                Json::string(self.winning_backend.clone()),
+            ),
+            ("certified", Json::Bool(self.certified)),
+            (
+                "certificate_violation",
+                Json::Number(self.certificate_violation),
+            ),
+            (
+                "history",
+                Json::Array(
+                    self.history
+                        .iter()
+                        .map(|attempt| {
+                            Json::object(vec![
+                                ("upsilon", Json::Number(attempt.upsilon as f64)),
+                                ("backend", Json::string(attempt.backend.clone())),
+                                ("feasible", Json::Bool(attempt.feasible)),
+                                ("violation", Json::Number(attempt.violation)),
+                                ("seconds", Json::Number(attempt.seconds)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Reads a record back from its JSON object form.
+    pub fn from_json(json: &Json) -> Result<Self, ApiError> {
+        let number = |name: &str| -> Result<f64, ApiError> {
+            json.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ApiError::InvalidRequest {
+                    message: format!("orchestrator field `{name}` must be a number"),
+                })
+        };
+        let history = match json.get("history") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(items) => items
+                .as_array()
+                .ok_or_else(|| ApiError::InvalidRequest {
+                    message: "orchestrator field `history` must be an array".to_string(),
+                })?
+                .iter()
+                .map(|item| {
+                    Ok(AttemptRecord {
+                        upsilon: item.get("upsilon").and_then(Json::as_usize).unwrap_or(0) as u32,
+                        backend: item
+                            .get("backend")
+                            .and_then(Json::as_str)
+                            .unwrap_or_default()
+                            .to_string(),
+                        feasible: item
+                            .get("feasible")
+                            .and_then(Json::as_bool)
+                            .unwrap_or(false),
+                        violation: item.get("violation").and_then(Json::as_f64).unwrap_or(0.0),
+                        seconds: item.get("seconds").and_then(Json::as_f64).unwrap_or(0.0),
+                    })
+                })
+                .collect::<Result<Vec<_>, ApiError>>()?,
+        };
+        Ok(OrchestratorRecord {
+            attempts: number("attempts")? as usize,
+            rungs_tried: number("rungs_tried")? as usize,
+            rung_reached: number("rung_reached")? as u32,
+            winning_backend: json
+                .get("winning_backend")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            certified: json
+                .get("certified")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            certificate_violation: number("certificate_violation")?,
+            history,
+        })
+    }
+}
+
 /// The exact-rational inductiveness re-check part of a validation record:
 /// the rounded invariant coefficients substituted back into the quadratic
 /// system, every constraint evaluated with `Rational` arithmetic.
@@ -428,6 +583,11 @@ pub struct SynthesisReport {
     /// with presolve enabled. `--no-presolve` runs and generation-only,
     /// strong and check runs leave it `None`.
     pub presolve: Option<PresolveRecord>,
+    /// Orchestration summary, when the request's solve went through the
+    /// adaptive orchestrator (weak synthesis): attempts, rung reached,
+    /// winning back-end and certificate status. Generation-only, strong
+    /// and check runs leave it `None`.
+    pub orchestrator: Option<OrchestratorRecord>,
 }
 
 impl SynthesisReport {
@@ -450,6 +610,7 @@ impl SynthesisReport {
             validate: None,
             solver: None,
             presolve: None,
+            orchestrator: None,
         }
     }
 
@@ -499,6 +660,11 @@ impl SynthesisReport {
         }
         if let Some(presolve) = &mut self.presolve {
             presolve.seconds = 0.0;
+        }
+        if let Some(orchestrator) = &mut self.orchestrator {
+            for attempt in &mut orchestrator.history {
+                attempt.seconds = 0.0;
+            }
         }
         self
     }
@@ -553,6 +719,13 @@ impl SynthesisReport {
             (
                 "presolve",
                 match &self.presolve {
+                    None => Json::Null,
+                    Some(record) => record.to_json(),
+                },
+            ),
+            (
+                "orchestrator",
+                match &self.orchestrator {
                     None => Json::Null,
                     Some(record) => record.to_json(),
                 },
@@ -640,6 +813,10 @@ impl SynthesisReport {
                 None | Some(Json::Null) => None,
                 Some(record) => Some(PresolveRecord::from_json(record)?),
             },
+            orchestrator: match json.get("orchestrator") {
+                None | Some(Json::Null) => None,
+                Some(record) => Some(OrchestratorRecord::from_json(record)?),
+            },
         })
     }
 
@@ -671,6 +848,7 @@ mod tests {
             validate: None,
             solver: None,
             presolve: None,
+            orchestrator: None,
         }
     }
 
@@ -798,6 +976,59 @@ mod tests {
             SynthesisReport::from_json_str(&bare.to_json_string())
                 .unwrap()
                 .presolve,
+            None
+        );
+    }
+
+    fn sample_orchestrator() -> OrchestratorRecord {
+        OrchestratorRecord {
+            attempts: 4,
+            rungs_tried: 2,
+            rung_reached: 2,
+            winning_backend: "lm".to_string(),
+            certified: true,
+            certificate_violation: 5.1e-4,
+            history: vec![
+                AttemptRecord {
+                    upsilon: 0,
+                    backend: "lm".to_string(),
+                    feasible: false,
+                    violation: 3.4e-3,
+                    seconds: 0.12,
+                },
+                AttemptRecord {
+                    upsilon: 2,
+                    backend: "certificate".to_string(),
+                    feasible: true,
+                    violation: 5.1e-4,
+                    seconds: 0.01,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn orchestrator_records_round_trip_and_canonicalize() {
+        let mut report = sample();
+        report.orchestrator = Some(sample_orchestrator());
+        let reparsed = SynthesisReport::from_json_str(&report.to_json_string()).unwrap();
+        assert_eq!(reparsed, report);
+        // Canonical form zeroes the per-attempt wall-clock but keeps the
+        // deterministic attempt structure and certificate fields.
+        let canonical = report.canonical();
+        let orchestrator = canonical.orchestrator.as_ref().unwrap();
+        assert!(orchestrator.history.iter().all(|a| a.seconds == 0.0));
+        assert_eq!(orchestrator.attempts, 4);
+        assert_eq!(orchestrator.rung_reached, 2);
+        assert!(orchestrator.certified);
+        // Reports without a record serialize `orchestrator` as null and read
+        // back as None (forward compatibility for old snapshots).
+        let bare = sample();
+        assert!(bare.to_json_string().contains("\"orchestrator\":null"));
+        assert_eq!(
+            SynthesisReport::from_json_str(&bare.to_json_string())
+                .unwrap()
+                .orchestrator,
             None
         );
     }

@@ -158,8 +158,12 @@ fn sparse_weak_solves_produce_byte_identical_canonical_reports() {
     assert_eq!(first.status, ReportStatus::Synthesized);
     let solver = first.solver.as_ref().expect("weak runs report stats");
     assert!(solver.iterations > 0);
-    assert!(solver.nnz_jacobian > 0);
-    assert!(solver.nnz_factor > 0);
+    // Sparse-factorization counters only exist on the LM lane; the penalty
+    // lane can legitimately win the portfolio race with dense statistics.
+    if first.backend == "lm" {
+        assert!(solver.nnz_jacobian > 0);
+        assert!(solver.nnz_factor > 0);
+    }
     let first = first.canonical().to_json_string();
     let second = engine.run(&request).unwrap().canonical().to_json_string();
     assert_eq!(first, second);

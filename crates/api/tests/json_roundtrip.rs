@@ -53,6 +53,25 @@ fn arb_report() -> impl Strategy<Value = SynthesisReport> {
                     timings,
                 ),
             )| {
+                let orchestrator = if pairs_certified % 3 == 0 {
+                    None
+                } else {
+                    Some(polyinv_api::OrchestratorRecord {
+                        attempts: pairs_total,
+                        rungs_tried: pairs_certified.max(1),
+                        rung_reached: (pairs_certified % 5) as u32,
+                        winning_backend: backend.clone(),
+                        certified: pairs_certified % 2 == 0,
+                        certificate_violation: violation.abs() * 1e-7,
+                        history: vec![polyinv_api::AttemptRecord {
+                            upsilon: (pairs_total % 3) as u32,
+                            backend: backend.clone(),
+                            feasible: pairs_total % 2 == 0,
+                            violation: violation.abs() * 1e-5,
+                            seconds: violation.abs() * 1e-9,
+                        }],
+                    })
+                };
                 SynthesisReport {
                     id,
                     mode,
@@ -98,6 +117,7 @@ fn arb_report() -> impl Strategy<Value = SynthesisReport> {
                             solve_seconds: violation.abs() * 1e-10,
                         })
                     },
+                    orchestrator,
                     presolve: if pairs_total % 2 == 0 {
                         None
                     } else {

@@ -21,11 +21,13 @@
 //! With `--json`, the measured rows are additionally written as a
 //! machine-readable snapshot (default `BENCH_3.json`, override with
 //! `--json PATH`): per benchmark `|S|`, unknowns, the per-stage timing
-//! breakdown, and a `solve` block (null when the row was not solved;
-//! otherwise the outcome plus solver statistics — iterations, restarts,
-//! nnz(J), nnz(L), factor/solve wall-clock split). This is the file the
-//! perf trajectory tracks across PRs; CI regenerates it for Table 2 with
-//! `--solve` and asserts full coverage including the solve blocks.
+//! breakdown, and — under `--solve` — an explicit `solve` block on every
+//! row: status `synthesized`/`failed`/`skipped`, a machine-readable reason
+//! for skips and failures, the orchestrator ladder history, and the solver
+//! statistics of attempted rows (iterations, restarts, nnz(J), nnz(L),
+//! factor/solve wall-clock split). This is the file the perf trajectory
+//! tracks across PRs; CI regenerates it for Table 2 with `--solve` and
+//! gates on the synthesized-row count.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -34,7 +36,7 @@ use polyinv::prelude::*;
 use polyinv_api::ApiError;
 use polyinv_bench::{
     baseline_status, engine_for_tables, format_table, format_validation, options_for, run_row_full,
-    write_bench_json, RowResult,
+    solve_policy_for, write_bench_json, RowResult,
 };
 use polyinv_farkas::FarkasBaseline;
 use polyinv_lang::program::RUNNING_EXAMPLE_SOURCE;
@@ -133,9 +135,10 @@ fn table2(solve: bool, validate: bool) -> Vec<RowResult> {
     let rows: Vec<_> = polyinv_benchmarks::table2()
         .iter()
         .map(|b| {
-            // Large systems are generated but not solved by default.
-            let solve_this = solve && b.paper.system_size <= 6000;
-            run_row_full(&engine, b, solve_this, validate)
+            // Large systems are generated but not solved by default; the
+            // skip is an explicit solve block with a machine-readable
+            // reason, never a silent null.
+            run_row_full(&engine, b, solve_policy_for(b, solve), validate)
         })
         .collect();
     println!(
@@ -155,10 +158,7 @@ fn table3(solve: bool, validate: bool) -> Vec<RowResult> {
     let engine = engine_for_tables();
     let rows: Vec<_> = polyinv_benchmarks::table3()
         .iter()
-        .map(|b| {
-            let solve_this = solve && b.paper.system_size <= 6000;
-            run_row_full(&engine, b, solve_this, validate)
-        })
+        .map(|b| run_row_full(&engine, b, solve_policy_for(b, solve), validate))
         .collect();
     println!(
         "{}",

@@ -11,18 +11,17 @@
 
 pub mod probe;
 
-use std::sync::Arc;
 use std::time::Duration;
 
 use polyinv::pipeline::stage_names;
+use polyinv::SolvePlan;
 use polyinv_api::{
-    ApiError, Engine, Json, PresolveRecord, ReportStatus, SolverRecord, SynthesisRequest,
-    ValidationRecord,
+    ApiError, Engine, Json, OrchestratorRecord, PresolveRecord, ReportStatus, SolverRecord,
+    SynthesisRequest, ValidationRecord,
 };
 use polyinv_benchmarks::Benchmark;
 use polyinv_constraints::{SosEncoding, SynthesisOptions};
 use polyinv_lang::{InvariantMap, Postcondition, Precondition};
-use polyinv_qcqp::{LmOptions, LmSolver, QcqpBackend};
 use polyinv_validate::{falsify_traces, TraceCheckConfig, ValidationConfig};
 
 /// The measurements taken for one benchmark row.
@@ -135,21 +134,110 @@ impl RowResult {
     }
 }
 
+/// The outcome class of a row's solve block. Every `--solve` row carries
+/// one of these explicitly — absent data can no longer masquerade as "not
+/// attempted".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// The orchestrator produced a candidate that passed the exact-rational
+    /// inductiveness certificate.
+    Synthesized,
+    /// A solve was attempted (or errored) but no certified candidate came
+    /// out; `reason` says why in machine-readable form.
+    Failed,
+    /// The solve was deliberately not attempted; `reason` says why.
+    Skipped,
+}
+
+impl SolveStatus {
+    /// Stable snapshot label (`"synthesized"` / `"failed"` / `"skipped"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SolveStatus::Synthesized => "synthesized",
+            SolveStatus::Failed => "failed",
+            SolveStatus::Skipped => "skipped",
+        }
+    }
+}
+
+/// What to do about Step 4 for one row.
+#[derive(Debug, Clone)]
+pub enum SolvePolicy {
+    /// Generation-only run: the row carries no solve block (`solve: null`).
+    None,
+    /// Run the weak-synthesis solve through the orchestrator.
+    Attempt,
+    /// Emit an explicit skipped solve block carrying `reason`.
+    Skip {
+        /// Machine-readable reason the solve was not attempted.
+        reason: String,
+    },
+}
+
+/// Paper system-size cap above which `reproduce --solve` skips the solve
+/// attempt (the generated quadratic systems grow past the local solver
+/// budget well before this point).
+pub const SOLVE_SIZE_CAP: usize = 6000;
+
+/// The solve policy `reproduce` applies to one row: attempt every row
+/// within [`SOLVE_SIZE_CAP`], skip the rest with an explicit
+/// machine-readable reason.
+pub fn solve_policy_for(benchmark: &Benchmark, solve: bool) -> SolvePolicy {
+    if !solve {
+        SolvePolicy::None
+    } else if benchmark.paper.system_size <= SOLVE_SIZE_CAP {
+        SolvePolicy::Attempt
+    } else {
+        SolvePolicy::Skip {
+            reason: format!(
+                "size-cap:{}>{}",
+                benchmark.paper.system_size, SOLVE_SIZE_CAP
+            ),
+        }
+    }
+}
+
 /// The solve part of a row.
 #[derive(Debug, Clone)]
 pub struct SolveRow {
-    /// Whether the quadratic system was solved (an invariant containing the
-    /// target was synthesized).
-    pub synthesized: bool,
+    /// What happened to the solve attempt.
+    pub status: SolveStatus,
     /// Time spent solving.
     pub solve_time: Duration,
     /// Final constraint violation of the best assignment.
     pub violation: f64,
-    /// The back-end that produced the attempt.
+    /// The back-end that produced the attempt (empty for skipped rows).
     pub backend: String,
+    /// Machine-readable reason for skipped and failed rows (`None` on
+    /// success).
+    pub reason: Option<String>,
     /// Solver statistics of the attempt (iterations/restarts, nnz(J),
     /// nnz(L), factor/solve split), when the report carried them.
     pub stats: Option<SolverRecord>,
+    /// Orchestrator ladder statistics of the attempt: rungs tried, the
+    /// winning back-end, the certificate outcome and the full attempt
+    /// history.
+    pub orchestrator: Option<OrchestratorRecord>,
+}
+
+impl SolveRow {
+    /// `true` when the row's solve produced a certified invariant.
+    pub fn synthesized(&self) -> bool {
+        self.status == SolveStatus::Synthesized
+    }
+
+    /// An explicit skipped block (no attempt made).
+    pub fn skipped(reason: String) -> SolveRow {
+        SolveRow {
+            status: SolveStatus::Skipped,
+            solve_time: Duration::ZERO,
+            violation: f64::NAN,
+            backend: String::new(),
+            reason: Some(reason),
+            stats: None,
+            orchestrator: None,
+        }
+    }
 }
 
 /// The reduction options matching a benchmark's paper configuration.
@@ -159,19 +247,11 @@ pub fn options_for(benchmark: &Benchmark) -> SynthesisOptions {
         .with_encoding(SosEncoding::Cholesky)
 }
 
-/// The solver configuration used for the solve attempts of the tables.
-pub fn solver_for_tables() -> Arc<dyn QcqpBackend> {
-    Arc::new(LmSolver::new(LmOptions {
-        max_iterations: 150,
-        restarts: 2,
-        ..LmOptions::default()
-    }))
-}
-
 /// An Engine configured like the paper's evaluation runs (shared across
-/// rows so that programs parse once).
+/// rows so that programs parse once). Solve attempts run the default
+/// orchestrator portfolio — the LM and penalty lanes race on every ϒ rung.
 pub fn engine_for_tables() -> Engine {
-    Engine::with_backend(solver_for_tables())
+    Engine::new()
 }
 
 /// The generation-only request of a row.
@@ -216,7 +296,12 @@ pub fn validation_for_tables() -> ValidationConfig {
 /// Panics if the embedded benchmark program fails to parse (guarded by the
 /// benchmark crate's tests).
 pub fn run_row_on(engine: &Engine, benchmark: &Benchmark, solve: bool) -> RowResult {
-    run_row_full(engine, benchmark, solve, false)
+    let policy = if solve {
+        SolvePolicy::Attempt
+    } else {
+        SolvePolicy::None
+    };
+    run_row_full(engine, benchmark, policy, false)
 }
 
 /// Like [`run_row_on`], optionally validating the row: the paper's target
@@ -230,7 +315,7 @@ pub fn run_row_on(engine: &Engine, benchmark: &Benchmark, solve: bool) -> RowRes
 pub fn run_row_full(
     engine: &Engine,
     benchmark: &Benchmark,
-    solve: bool,
+    solve: SolvePolicy,
     validate: bool,
 ) -> RowResult {
     let program = engine
@@ -275,67 +360,74 @@ pub fn run_row_full(
         None
     };
 
+    // Row-level size/unknowns: generation-only rows report the paper-config
+    // run above; solved rows are overridden below with the system the
+    // orchestrator's accepted rung actually generated (post-ladder,
+    // pre-presolve), so the row and its presolve block describe the same
+    // system.
+    let mut our_size = generated.system_size;
+    let mut unknowns = generated.num_unknowns;
+
     let mut presolve = None;
-    let solve_row = if solve && validate {
-        // Validated solve: same weak request and table solver budget,
-        // served by the validation driver so the solution's assignment can
-        // be exactly re-checked.
-        match polyinv_validate::run_validated_with_backend(
-            &solve_request(benchmark),
-            &config,
-            solver_for_tables(),
-        ) {
-            Ok(report) => {
-                let solve_secs = report.stage_seconds(stage_names::SOLVE);
-                timings.push((stage_names::SOLVE.to_string(), solve_secs));
-                if let (Some(validation), Some(record)) = (&mut row_validation, &report.validate) {
-                    validation.invariant = Some(record.clone());
+    let solve_row = match solve {
+        SolvePolicy::None => None,
+        SolvePolicy::Skip { reason } => Some(SolveRow::skipped(reason)),
+        SolvePolicy::Attempt => {
+            // The weak request runs the full orchestrator ladder with its own
+            // per-rung systems: the ϒ-ladder deliberately attempts the much
+            // smaller ϒ = 0 reduction before the full one above, so the
+            // staged system cannot simply be reused here. With `--validate`
+            // the same plan is served by the validation driver so the
+            // solution's assignment goes through trace falsification on top
+            // of the orchestrator's certificate.
+            let outcome = if validate {
+                polyinv_validate::run_validated_with_plan(
+                    &solve_request(benchmark),
+                    &config,
+                    SolvePlan::new,
+                )
+            } else {
+                engine.run(&solve_request(benchmark))
+            };
+            match outcome {
+                Ok(report) => {
+                    let solve_secs = report.stage_seconds(stage_names::SOLVE);
+                    timings.push((stage_names::SOLVE.to_string(), solve_secs));
+                    if let (Some(validation), Some(record)) =
+                        (&mut row_validation, &report.validate)
+                    {
+                        validation.invariant = Some(record.clone());
+                    }
+                    presolve = report.presolve.clone();
+                    our_size = report.system_size;
+                    unknowns = report.num_unknowns;
+                    let synthesized = report.status == ReportStatus::Synthesized;
+                    Some(SolveRow {
+                        status: if synthesized {
+                            SolveStatus::Synthesized
+                        } else {
+                            SolveStatus::Failed
+                        },
+                        solve_time: Duration::from_secs_f64(solve_secs),
+                        violation: report.violation,
+                        backend: report.backend,
+                        reason: (!synthesized)
+                            .then(|| format!("uncertified:violation={:.3e}", report.violation)),
+                        stats: report.solver,
+                        orchestrator: report.orchestrator,
+                    })
                 }
-                presolve = report.presolve.clone();
-                Some(SolveRow {
-                    synthesized: report.status == ReportStatus::Synthesized,
-                    solve_time: Duration::from_secs_f64(solve_secs),
-                    violation: report.violation,
-                    backend: report.backend,
-                    stats: report.solver,
-                })
+                Err(error) => Some(SolveRow {
+                    status: SolveStatus::Failed,
+                    solve_time: Duration::ZERO,
+                    violation: f64::INFINITY,
+                    backend: String::new(),
+                    reason: Some(format!("error:{}", error.kind())),
+                    stats: None,
+                    orchestrator: None,
+                }),
             }
-            Err(error) => Some(SolveRow {
-                synthesized: false,
-                solve_time: Duration::ZERO,
-                violation: f64::INFINITY,
-                backend: format!("error:{}", error.kind()),
-                stats: None,
-            }),
         }
-    } else if solve {
-        // The weak request generates its own per-rung systems: the ϒ-ladder
-        // deliberately attempts the much smaller ϒ = 0 reduction before the
-        // full one above, so the staged system cannot simply be reused here.
-        // The row's gen-time columns report the full-ϒ staged run only.
-        match engine.run(&solve_request(benchmark)) {
-            Ok(report) => {
-                let solve_secs = report.stage_seconds(stage_names::SOLVE);
-                timings.push((stage_names::SOLVE.to_string(), solve_secs));
-                presolve = report.presolve.clone();
-                Some(SolveRow {
-                    synthesized: report.status == ReportStatus::Synthesized,
-                    solve_time: Duration::from_secs_f64(solve_secs),
-                    violation: report.violation,
-                    backend: report.backend,
-                    stats: report.solver,
-                })
-            }
-            Err(error) => Some(SolveRow {
-                synthesized: false,
-                solve_time: Duration::ZERO,
-                violation: f64::INFINITY,
-                backend: format!("error:{}", error.kind()),
-                stats: None,
-            }),
-        }
-    } else {
-        None
     };
 
     RowResult {
@@ -345,8 +437,8 @@ pub fn run_row_full(
         paper_vars: benchmark.paper.vars,
         our_vars: program.main().vars().len(),
         paper_size: benchmark.paper.system_size,
-        our_size: generated.system_size,
-        unknowns: generated.num_unknowns,
+        our_size,
+        unknowns,
         paper_runtime: benchmark.paper.runtime_secs,
         timings,
         solve: solve_row,
@@ -370,8 +462,11 @@ pub fn format_validation(title: &str, rows: &[RowResult]) -> String {
         };
         let synthesized = match &row.solve {
             None => "-".to_string(),
-            Some(s) if s.synthesized => "yes".to_string(),
-            Some(_) => "no".to_string(),
+            Some(s) => match s.status {
+                SolveStatus::Synthesized => "yes".to_string(),
+                SolveStatus::Failed => "no".to_string(),
+                SolveStatus::Skipped => "skip".to_string(),
+            },
         };
         out.push_str(&format!(
             "{:<26} {:>10} {:<40}\n",
@@ -444,21 +539,39 @@ pub fn rows_to_json(tables: &[(&str, &[RowResult])]) -> Json {
     ])
 }
 
-/// The `solve` block of one snapshot row (`null` when no solve was
-/// attempted for the row).
+/// The `solve` block of one snapshot row (`null` only for generation-only
+/// rows; every `--solve` row serializes an explicit block with its
+/// `status` and, for skipped/failed rows, a machine-readable `reason`).
 fn solve_row_json(solve: Option<&SolveRow>) -> Json {
     let Some(solve) = solve else {
         return Json::Null;
     };
     let mut fields = vec![
-        ("synthesized", Json::Bool(solve.synthesized)),
+        ("status", Json::string(solve.status.label())),
+        ("synthesized", Json::Bool(solve.synthesized())),
+        (
+            "reason",
+            match &solve.reason {
+                Some(reason) => Json::string(reason.clone()),
+                None => Json::Null,
+            },
+        ),
+    ];
+    if solve.status == SolveStatus::Skipped {
+        // Skipped rows have no attempt to describe: the status/reason pair
+        // is the whole story, and the solver fields stay explicit nulls.
+        fields.push(("backend", Json::Null));
+        fields.push(("orchestrator", Json::Null));
+        return Json::object(fields);
+    }
+    fields.extend([
         ("backend", Json::string(solve.backend.clone())),
         (
             "solve_seconds",
             Json::Number(solve.solve_time.as_secs_f64()),
         ),
         ("violation", Json::Number(solve.violation)),
-    ];
+    ]);
     if let Some(stats) = &solve.stats {
         fields.extend([
             ("iterations", Json::Number(stats.iterations as f64)),
@@ -474,6 +587,13 @@ fn solve_row_json(solve: Option<&SolveRow>) -> Json {
             ),
         ]);
     }
+    fields.push((
+        "orchestrator",
+        match &solve.orchestrator {
+            Some(record) => record.to_json(),
+            None => Json::Null,
+        },
+    ));
     Json::object(fields)
 }
 
@@ -544,10 +664,13 @@ pub fn format_table(title: &str, rows: &[RowResult]) -> String {
     for row in rows {
         let solve = match &row.solve {
             None => "-".to_string(),
-            Some(s) if s.synthesized => {
-                format!("{}({:.1}s)", s.backend, s.solve_time.as_secs_f64())
-            }
-            Some(s) => format!("fail({:.0e})", s.violation),
+            Some(s) => match s.status {
+                SolveStatus::Synthesized => {
+                    format!("{}({:.1}s)", s.backend, s.solve_time.as_secs_f64())
+                }
+                SolveStatus::Failed => format!("fail({:.0e})", s.violation),
+                SolveStatus::Skipped => "skip".to_string(),
+            },
         };
         let stage = |name: &str| format!("{:.3}s", row.stage_seconds(name));
         out.push_str(&format!(
@@ -686,10 +809,12 @@ mod tests {
             paper_runtime: 0.1,
             timings: vec![("solve".to_string(), 0.25)],
             solve: Some(SolveRow {
-                synthesized: true,
+                status: SolveStatus::Synthesized,
                 solve_time: Duration::from_millis(250),
                 violation: 1e-9,
                 backend: "lm".to_string(),
+                reason: None,
+                orchestrator: None,
                 stats: Some(SolverRecord {
                     iterations: 40,
                     restarts: 2,
@@ -726,7 +851,9 @@ mod tests {
         assert_eq!(presolve.get("size_after").unwrap().as_usize(), Some(7));
         assert_eq!(presolve.get("rounds").unwrap().as_usize(), Some(2));
         let solve = entry.get("solve").unwrap();
+        assert_eq!(solve.get("status").unwrap().as_str(), Some("synthesized"));
         assert_eq!(solve.get("synthesized"), Some(&Json::Bool(true)));
+        assert_eq!(solve.get("reason"), Some(&Json::Null));
         assert_eq!(solve.get("backend").unwrap().as_str(), Some("lm"));
         assert_eq!(solve.get("iterations").unwrap().as_usize(), Some(40));
         assert_eq!(solve.get("restarts").unwrap().as_usize(), Some(2));
@@ -743,6 +870,104 @@ mod tests {
         );
         let reparsed = Json::parse(&json.pretty()).unwrap();
         assert_eq!(reparsed, json);
+    }
+
+    #[test]
+    fn skipped_rows_emit_explicit_solve_blocks() {
+        // Satellite of the "silent solve: null" bugfix: a row the harness
+        // declines to solve still serializes a full solve block with a
+        // skipped status and a machine-readable reason.
+        let benchmark = polyinv_benchmarks::by_name("merge-sort").unwrap();
+        let policy = solve_policy_for(&benchmark, true);
+        let SolvePolicy::Skip { reason } = policy else {
+            panic!("merge-sort (paper |S| 33002) must exceed the solve cap");
+        };
+        assert_eq!(reason, format!("size-cap:33002>{SOLVE_SIZE_CAP}"));
+
+        let row = RowResult {
+            name: benchmark.name.to_string(),
+            n: 2,
+            d: 2,
+            paper_vars: 6,
+            our_vars: 6,
+            paper_size: 33002,
+            our_size: 30778,
+            unknowns: 1000,
+            paper_runtime: 10.0,
+            timings: vec![],
+            solve: Some(SolveRow::skipped(reason)),
+            presolve: None,
+            validate: None,
+        };
+        let json = rows_to_json(&[("table3", std::slice::from_ref(&row))]);
+        let entry = &json.get("rows").unwrap().as_array().unwrap()[0];
+        let solve = entry.get("solve").unwrap();
+        assert_ne!(solve, &Json::Null, "skipped rows keep an explicit block");
+        assert_eq!(solve.get("status").unwrap().as_str(), Some("skipped"));
+        assert_eq!(solve.get("synthesized"), Some(&Json::Bool(false)));
+        assert_eq!(
+            solve.get("reason").unwrap().as_str(),
+            Some(format!("size-cap:33002>{SOLVE_SIZE_CAP}").as_str())
+        );
+        // No attempt happened, so the solver fields are explicit nulls.
+        assert_eq!(solve.get("backend"), Some(&Json::Null));
+        assert_eq!(solve.get("orchestrator"), Some(&Json::Null));
+        // And the whole document still round-trips.
+        let reparsed = Json::parse(&json.pretty()).unwrap();
+        assert_eq!(reparsed, json);
+    }
+
+    #[test]
+    fn solve_policies_follow_the_size_cap() {
+        let small = polyinv_benchmarks::by_name("pw2").unwrap();
+        assert!(matches!(
+            solve_policy_for(&small, true),
+            SolvePolicy::Attempt
+        ));
+        assert!(matches!(solve_policy_for(&small, false), SolvePolicy::None));
+        let large = polyinv_benchmarks::by_name("euclidex3").unwrap();
+        assert!(matches!(
+            solve_policy_for(&large, true),
+            SolvePolicy::Skip { .. }
+        ));
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; run with `cargo test --release`"
+    )]
+    fn solved_rows_describe_the_accepted_rungs_system() {
+        // Regression test for the size-mismatch bug: a solved row's
+        // `size`/`unknowns` and its presolve block must describe the same
+        // (post-ladder, pre-presolve) system — the one the orchestrator's
+        // accepted rung generated — not the generation-only paper-config
+        // run.
+        let engine = engine_for_tables();
+        let benchmark = polyinv_benchmarks::by_name("pw2").unwrap();
+        let row = run_row_full(&engine, &benchmark, SolvePolicy::Attempt, false);
+        let solve = row.solve.as_ref().expect("the solve was attempted");
+        assert_ne!(solve.status, SolveStatus::Skipped);
+        let orchestrator = solve
+            .orchestrator
+            .as_ref()
+            .expect("attempted rows carry the ladder statistics");
+        assert!(orchestrator.attempts >= 1);
+        if solve.synthesized() {
+            assert!(orchestrator.certified, "synthesized rows are certified");
+        }
+        let presolve = row
+            .presolve
+            .as_ref()
+            .expect("the accepted rung ran presolve");
+        assert_eq!(
+            row.our_size, presolve.size_before,
+            "row size and presolve must describe the same system"
+        );
+        assert_eq!(
+            row.unknowns, presolve.unknowns_before,
+            "row unknowns and presolve must describe the same system"
+        );
     }
 
     #[test]

@@ -678,6 +678,22 @@ fn emit_report(report: &SynthesisReport, json: bool) {
             solver.solve_seconds,
         );
     }
+    if let Some(orchestrator) = &report.orchestrator {
+        println!(
+            "orchestrator: {} attempt(s) over {} rung(s), reached ϒ = {}, won by `{}`, \
+             certificate {} ({:.3e})",
+            orchestrator.attempts,
+            orchestrator.rungs_tried,
+            orchestrator.rung_reached,
+            orchestrator.winning_backend,
+            if orchestrator.certified {
+                "passed"
+            } else {
+                "failed"
+            },
+            orchestrator.certificate_violation,
+        );
+    }
     if let Some(record) = &report.validate {
         println!(
             "validation: {} — {} trace(s), {} state(s), {} violation(s){}",

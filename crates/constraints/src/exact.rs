@@ -20,8 +20,8 @@
 //! assignment, so trace falsification and the exact re-check attack one
 //! consistent object.
 
+use crate::{GeneratedSystem, QuadraticSystem, UnknownKind};
 use polyinv_arith::Rational;
-use polyinv_constraints::{GeneratedSystem, QuadraticSystem, UnknownKind};
 use polyinv_lang::{InvariantMap, Postcondition, Program};
 use polyinv_poly::QuadExpr;
 
@@ -211,7 +211,7 @@ pub fn exact_recheck(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use polyinv_constraints::UnknownRegistry;
+    use crate::UnknownRegistry;
     use polyinv_poly::{LinExpr, UnknownId};
 
     fn tiny_system() -> QuadraticSystem {

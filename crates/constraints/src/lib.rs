@@ -23,6 +23,7 @@
 //! solve and the `polyinv` crate interprets back into invariants.
 
 pub mod error;
+pub mod exact;
 pub mod options;
 pub mod pairs;
 pub mod presolve;
@@ -32,6 +33,9 @@ pub mod template;
 pub mod unknowns;
 
 pub use error::ConstraintError;
+pub use exact::{
+    exact_assignment, exact_recheck, instantiate_exact, ExactCheckConfig, ExactReport,
+};
 pub use options::{
     generate, prepare, reduce_pairs, GeneratedSystem, SosEncoding, SynthesisOptions,
 };

@@ -72,7 +72,10 @@ pub mod weak;
 
 pub use bridge::{system_to_problem, system_to_problem_with_fixed};
 pub use check::{check_inductive, falsify, CheckOptions, CheckReport, PairCertificate};
-pub use pipeline::{Pipeline, Solution, StageTimings, SynthesisContext};
+pub use pipeline::{
+    Orchestrator, OrchestratorOutcome, OrchestratorStats, Pipeline, Solution, SolveAttempt,
+    SolvePlan, StageTimings, SynthesisContext,
+};
 #[allow(deprecated)]
 pub use strong::{StrongOptions, StrongSynthesis};
 #[allow(deprecated)]

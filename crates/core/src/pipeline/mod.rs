@@ -24,6 +24,7 @@
 
 pub mod artifacts;
 pub mod context;
+pub mod orchestrator;
 pub mod stages;
 
 use std::collections::HashMap;
@@ -37,6 +38,9 @@ use polyinv_qcqp::{default_backend, QcqpBackend};
 
 pub use artifacts::{instantiate_solution, ConstraintPairs, Solution, TemplateArtifact};
 pub use context::{stage_names, StageTimings, SynthesisContext};
+pub use orchestrator::{
+    Orchestrator, OrchestratorOutcome, OrchestratorStats, SolveAttempt, SolvePlan,
+};
 pub use stages::{
     run_stage, PairStage, PresolveStage, ReductionStage, SolveStage, Stage, TemplateStage,
 };

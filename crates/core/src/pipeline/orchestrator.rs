@@ -1,0 +1,792 @@
+//! The adaptive solve orchestrator (DESIGN.md §12).
+//!
+//! One request, a ladder of attempts. Each rung of the ϒ ladder generates
+//! its quadratic system, races the LM and penalty back-ends as a portfolio
+//! under per-attempt wall-clock and iteration budgets, refines the winning
+//! candidate with a block-coordinate polish that exploits the bilinear
+//! structure of the Putinar translation, and finally snaps the coefficients
+//! (`k/64` for template unknowns, dyadic for the rest) and re-checks the
+//! system in exact [`Rational`](polyinv_arith::Rational) arithmetic. A rung
+//! is accepted — and the ladder stops — only when that exact re-check
+//! passes, so every "synthesized" answer carries a machine-checked
+//! certificate; otherwise the orchestrator escalates to the next rung and,
+//! when the ladder is exhausted, returns the best uncertified attempt with
+//! its full attempt history.
+//!
+//! The polish stage is where most certificates are won. The Step-3 system
+//! is bilinear across the unknown families: with the template (s-) and
+//! Cholesky (l-) blocks pinned, every remaining constraint is *linear* in
+//! the multiplier (t-) and witness (ε-) unknowns, so a final least-squares
+//! pass lands the globally best residual compatible with the snapped
+//! coefficients. The alternation (free the SOS side, then the template
+//! side, then the linear tail) walks the candidate out of the plateau the
+//! joint solve stalls on.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use polyinv_arith::Rational;
+use polyinv_constraints::exact::{exact_recheck, ExactCheckConfig, ExactReport};
+use polyinv_constraints::{
+    ConstraintError, GeneratedSystem, PresolveOptions, PresolveStats, QuadraticSystem,
+    SynthesisOptions, UnknownKind,
+};
+use polyinv_lang::{InvariantMap, Postcondition, Precondition, Program};
+use polyinv_poly::UnknownId;
+use polyinv_qcqp::{AlmOptions, AlmSolver, LmOptions, LmSolver, QcqpBackend, SolverStats};
+
+use crate::bridge::system_to_problem_with_fixed;
+use crate::pipeline::{instantiate_solution, stage_names, Pipeline, StageTimings};
+use crate::weak::TargetAssertion;
+
+/// The budgets and acceptance policy of an orchestrated solve: how hard
+/// each rung may try, which back-ends race, and what the certificate must
+/// establish.
+#[derive(Debug, Clone)]
+pub struct SolvePlan {
+    /// Reduction options of the *last* rung; earlier rungs run the cheaper
+    /// ϒ values of [`SynthesisOptions::upsilon_ladder`]. Degree escalation
+    /// (PR 6) happens before the plan is built, so `options.degree` already
+    /// fits the targets.
+    pub options: SynthesisOptions,
+    /// The LM lane of the portfolio: iteration/restart/wall-clock budget of
+    /// one rung attempt.
+    pub lm: LmOptions,
+    /// The penalty (augmented-Lagrangian) lane; `None` disables the second
+    /// lane and the rung runs LM alone.
+    pub penalty: Option<AlmOptions>,
+    /// Number of block-coordinate polish rounds applied to the portfolio
+    /// winner (each round: free the SOS block, then the template block).
+    pub polish_rounds: usize,
+    /// LM budget of one polish sub-solve.
+    pub polish_lm: LmOptions,
+    /// Snap-and-recheck policy: dyadic denominator, `k/64` snap window and
+    /// the exact-rational tolerance a certificate must meet.
+    pub certificate: ExactCheckConfig,
+}
+
+impl SolvePlan {
+    /// The default plan for the given (degree-escalated) options: a
+    /// budgeted LM lane racing a short penalty lane, three polish rounds
+    /// and the acceptance certificate tolerance.
+    ///
+    /// The certificate tolerance is `1/100` — exactly the `epsilon_lower`
+    /// strictness margin of the Putinar translation. Every strict
+    /// inequality of the source program is witnessed with an ε ≥ 1/100
+    /// slack, so an exact violation below that margin still leaves each
+    /// strict obligation witnessed by a positive (if reduced) ε; this is
+    /// the loosest tolerance under which the certificate remains a sound
+    /// acceptance criterion.
+    pub fn new(options: SynthesisOptions) -> Self {
+        SolvePlan {
+            options,
+            lm: LmOptions {
+                max_iterations: 400,
+                restarts: 3,
+                tolerance: 1e-7,
+                max_seconds: 60.0,
+                ..LmOptions::default()
+            },
+            penalty: Some(AlmOptions {
+                restarts: 2,
+                max_seconds: 20.0,
+                ..AlmOptions::default()
+            }),
+            polish_rounds: 3,
+            polish_lm: LmOptions {
+                max_iterations: 150,
+                restarts: 1,
+                parallel_restarts: false,
+                max_seconds: 20.0,
+                ..LmOptions::default()
+            },
+            certificate: ExactCheckConfig {
+                tolerance: Rational::new(1, 100),
+                ..ExactCheckConfig::default()
+            },
+        }
+    }
+
+    /// Restricts the portfolio to the named back-end (`"lm"` keeps only the
+    /// LM lane; `"penalty"`/`"alm"` runs the penalty lane alone with the LM
+    /// lane reduced to a polish role). Unknown names leave the plan as-is.
+    pub fn with_backend_preference(mut self, name: &str) -> Self {
+        match name {
+            "lm" => self.penalty = None,
+            "penalty" | "alm" => {
+                if self.penalty.is_none() {
+                    self.penalty = Some(AlmOptions {
+                        restarts: 2,
+                        max_seconds: 20.0,
+                        ..AlmOptions::default()
+                    });
+                }
+                // The LM lane is demoted to a token budget so the penalty
+                // lane's candidate wins unless LM stumbles on feasibility.
+                self.lm.max_iterations = 1;
+                self.lm.restarts = 1;
+            }
+            _ => {}
+        }
+        self
+    }
+}
+
+/// One attempt in the orchestrator's history: a portfolio lane, a polish
+/// pass or a certificate check on some rung.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveAttempt {
+    /// The ϒ value of the rung the attempt ran on.
+    pub upsilon: u32,
+    /// `"lm"`, `"penalty"`, `"polish"` or `"certificate"`.
+    pub backend: String,
+    /// Whether the attempt's point satisfied its system within the solver
+    /// tolerance (for `"certificate"`: whether the exact re-check passed).
+    pub feasible: bool,
+    /// Float-side worst violation of the attempt's point (for
+    /// `"certificate"`: the exact worst violation rounded to f64).
+    pub violation: f64,
+    /// Wall-clock seconds the attempt took.
+    pub seconds: f64,
+}
+
+/// The orchestrator's summary, threaded through `SolveOutcome` →
+/// `SynthesisReport` → the CLI and the per-row `orchestrator` block of the
+/// benchmark snapshot.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OrchestratorStats {
+    /// Total attempts recorded (portfolio lanes + polish passes +
+    /// certificate checks over all rungs).
+    pub attempts: usize,
+    /// Number of ladder rungs tried.
+    pub rungs_tried: usize,
+    /// The ϒ value of the accepted (or last) rung.
+    pub rung_reached: u32,
+    /// The lane that produced the returned candidate (`"lm"` or
+    /// `"penalty"`; polish refines but does not rename).
+    pub winning_backend: String,
+    /// Whether the returned candidate carries a passing exact-rational
+    /// certificate.
+    pub certified: bool,
+    /// The exact worst violation of the certificate check (f64 view;
+    /// meaningful whether or not it passed).
+    pub certificate_violation: f64,
+    /// The attempt history, in execution order.
+    pub history: Vec<SolveAttempt>,
+}
+
+/// The result of an orchestrated solve: the best candidate over all rungs,
+/// its certificate, and everything downstream consumers (engine, validate,
+/// bench) need to report it.
+#[derive(Debug, Clone)]
+pub struct OrchestratorOutcome {
+    /// `true` when the candidate passed the exact-rational certificate —
+    /// the orchestrator's definition of "synthesized".
+    pub certified: bool,
+    /// Whether the float-side solver reached its own tolerance (a weaker
+    /// property than `certified`, kept for diagnostics).
+    pub feasible: bool,
+    /// The invariant map instantiated at the candidate.
+    pub invariant: InvariantMap,
+    /// The synthesized post-conditions (recursive programs only).
+    pub postconditions: Postcondition,
+    /// The candidate assignment over the final rung's unknown space.
+    pub assignment: Vec<f64>,
+    /// The final rung's generated system (post-ladder, pre-presolve): the
+    /// single source of truth for `system_size`/`num_unknowns` and the
+    /// system the certificate was checked against.
+    pub generated: GeneratedSystem,
+    /// `|S|` of `generated` (post-ladder, pre-presolve).
+    pub system_size: usize,
+    /// Unknowns of `generated`.
+    pub num_unknowns: usize,
+    /// Float-side worst violation of the candidate on `generated`.
+    pub violation: f64,
+    /// Per-stage wall-clock accumulated over all rungs.
+    pub timings: StageTimings,
+    /// The winning lane's stable name.
+    pub backend: &'static str,
+    /// Solver statistics of the winning lane on the accepted (or last)
+    /// rung.
+    pub solver: SolverStats,
+    /// Presolve statistics of the accepted (or last) rung.
+    pub presolve: Option<PresolveStats>,
+    /// The exact re-check report of the returned candidate.
+    pub exact: Option<ExactReport>,
+    /// The orchestration summary.
+    pub stats: OrchestratorStats,
+}
+
+/// One portfolio lane's raw result on a rung.
+struct LaneResult {
+    backend: &'static str,
+    assignment: Vec<f64>,
+    violation: f64,
+    feasible: bool,
+    stats: SolverStats,
+}
+
+/// The per-rung candidate after portfolio + polish + certificate.
+struct RungResult {
+    assignment: Vec<f64>,
+    violation: f64,
+    feasible: bool,
+    certified: bool,
+    backend: &'static str,
+    solver: SolverStats,
+    presolve: Option<PresolveStats>,
+    exact: ExactReport,
+    generated: GeneratedSystem,
+}
+
+/// The adaptive solve orchestrator.
+#[derive(Debug, Clone)]
+pub struct Orchestrator {
+    plan: SolvePlan,
+}
+
+impl Orchestrator {
+    /// Creates an orchestrator with the given plan.
+    pub fn new(plan: SolvePlan) -> Self {
+        Orchestrator { plan }
+    }
+
+    /// The plan in use.
+    pub fn plan(&self) -> &SolvePlan {
+        &self.plan
+    }
+
+    /// Runs the ladder of attempts for one weak-synthesis request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConstraintError`] when the generation stages reject the
+    /// program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target mentions a monomial outside the template basis at
+    /// its label (same contract as [`crate::fix_targets`]).
+    pub fn solve(
+        &self,
+        program: &Program,
+        pre: &Precondition,
+        targets: &[TargetAssertion],
+    ) -> Result<OrchestratorOutcome, ConstraintError> {
+        let ladder = self.plan.options.upsilon_ladder();
+        let mut timings = StageTimings::new();
+        let mut history: Vec<SolveAttempt> = Vec::new();
+        let mut best: Option<RungResult> = None;
+        let mut rung_reached = 0;
+        let mut rungs_tried = 0;
+
+        for &upsilon in &ladder {
+            rungs_tried += 1;
+            rung_reached = upsilon;
+            let options = self.plan.options.clone().with_upsilon(upsilon);
+            let rung = self.run_rung(
+                program,
+                pre,
+                targets,
+                &options,
+                upsilon,
+                &mut timings,
+                &mut history,
+            )?;
+            let accept = rung.certified;
+            let better = match &best {
+                None => true,
+                Some(current) => {
+                    let cert_gain = rung.certified && !current.certified;
+                    let feas_gain = rung.feasible && !current.feasible;
+                    let viol_gain =
+                        rung.feasible == current.feasible && rung.violation < current.violation;
+                    cert_gain || (rung.certified == current.certified && (feas_gain || viol_gain))
+                }
+            };
+            if better {
+                best = Some(rung);
+            }
+            if accept {
+                break;
+            }
+        }
+
+        let best = best.expect("the ϒ ladder is never empty");
+        let (invariant, postconditions) =
+            instantiate_solution(program, &best.generated, &best.assignment);
+        Ok(OrchestratorOutcome {
+            certified: best.certified,
+            feasible: best.feasible,
+            invariant,
+            postconditions,
+            system_size: best.generated.size(),
+            num_unknowns: best.generated.system.num_unknowns(),
+            violation: best.violation,
+            timings,
+            backend: best.backend,
+            solver: best.solver,
+            presolve: best.presolve,
+            stats: OrchestratorStats {
+                attempts: history.len(),
+                rungs_tried,
+                rung_reached,
+                winning_backend: best.backend.to_string(),
+                certified: best.certified,
+                certificate_violation: best.exact.worst_violation.to_f64(),
+                history,
+            },
+            exact: Some(best.exact),
+            assignment: best.assignment,
+            generated: best.generated,
+        })
+    }
+
+    /// One rung: generate, presolve, race the portfolio, polish the winner,
+    /// snap and certify.
+    #[allow(clippy::too_many_arguments)]
+    fn run_rung(
+        &self,
+        program: &Program,
+        pre: &Precondition,
+        targets: &[TargetAssertion],
+        options: &SynthesisOptions,
+        upsilon: u32,
+        timings: &mut StageTimings,
+        history: &mut Vec<SolveAttempt>,
+    ) -> Result<RungResult, ConstraintError> {
+        // Steps 1–3 through the staged pipeline (one timing entry each).
+        let pipeline = Pipeline::new(options.clone());
+        let mut ctx = pipeline.context(program, pre);
+        let generated = pipeline.generate(&mut ctx)?;
+        timings.absorb(ctx.timings());
+        let fixed = crate::fix_targets(&generated, targets);
+
+        // Affine presolve, seeded with the target pins.
+        let presolve_start = Instant::now();
+        let presolved = options.presolve.then(|| {
+            polyinv_constraints::presolve(&generated.system, &fixed, &PresolveOptions::default())
+        });
+        let mut presolve_timing = StageTimings::new();
+        presolve_timing.record(stage_names::PRESOLVE, presolve_start.elapsed());
+
+        // The back-ends see the presolved system; eliminated unknowns are
+        // pinned out of the variable space exactly like the solve stage
+        // does (placeholders are overwritten by back-substitution).
+        let (sub_system, solver_fixed) = match &presolved {
+            Some(result) => {
+                let mut solver_fixed = fixed.clone();
+                for elim in result.map.iter() {
+                    if elim.eliminates() {
+                        let value = match elim {
+                            polyinv_constraints::Elimination::Fixed { value, .. } => *value,
+                            _ => Rational::zero(),
+                        };
+                        solver_fixed.insert(elim.unknown(), value);
+                    }
+                }
+                (&result.system, solver_fixed)
+            }
+            None => (&generated.system, fixed.clone()),
+        };
+
+        // Portfolio race: both lanes run to completion under their own
+        // budgets; the winner is picked deterministically afterwards, so
+        // the outcome does not depend on which lane finishes first.
+        let solve_start = Instant::now();
+        let lm_backend = LmSolver::new(self.plan.lm.clone());
+        let penalty_backend = self.plan.penalty.clone().map(AlmSolver::new);
+        let (lm_lane, penalty_lane) = std::thread::scope(|scope| {
+            let penalty_handle = penalty_backend
+                .as_ref()
+                .map(|backend| scope.spawn(|| run_lane(backend, sub_system, &solver_fixed)));
+            let lm_lane = run_lane(&lm_backend, sub_system, &solver_fixed);
+            let penalty_lane =
+                penalty_handle.map(|handle| handle.join().expect("penalty lane panicked"));
+            (lm_lane, penalty_lane)
+        });
+
+        // Reassemble each lane onto the full unknown space and score it on
+        // the *original* system, so the comparison means the same thing
+        // with and without presolve.
+        let mut lanes = Vec::new();
+        for lane in [Some(lm_lane), penalty_lane].into_iter().flatten() {
+            let mut assignment = vec![0.0; generated.system.num_unknowns()];
+            for (id, value) in &solver_fixed {
+                assignment[id.index()] = value.to_f64();
+            }
+            for (slot, id) in lane.mapping.iter().enumerate() {
+                assignment[id.index()] = lane.outcome.assignment[slot];
+            }
+            if let Some(result) = &presolved {
+                result.map.back_substitute(&mut assignment);
+            }
+            let violation = generated.system.max_violation(&assignment);
+            let feasible = lane.outcome.status == polyinv_qcqp::SolveStatus::Feasible;
+            history.push(SolveAttempt {
+                upsilon,
+                backend: lane.backend.to_string(),
+                feasible,
+                violation,
+                seconds: lane.seconds,
+            });
+            lanes.push(LaneResult {
+                backend: lane.backend,
+                assignment,
+                violation,
+                feasible,
+                stats: lane.outcome.stats,
+            });
+        }
+        let winner = pick_winner(lanes);
+
+        // Block-coordinate polish of the winner on the original system.
+        let mut assignment = winner.assignment;
+        let mut violation = winner.violation;
+        if self.plan.polish_rounds > 0 && violation > self.plan.lm.tolerance {
+            let polish_start = Instant::now();
+            let polished = self.polish(&generated, &fixed, assignment, violation);
+            assignment = polished.0;
+            violation = polished.1;
+            history.push(SolveAttempt {
+                upsilon,
+                backend: "polish".to_string(),
+                feasible: violation <= self.plan.lm.tolerance,
+                violation,
+                seconds: polish_start.elapsed().as_secs_f64(),
+            });
+        }
+        presolve_timing.record(stage_names::SOLVE, solve_start.elapsed());
+        timings.absorb(&presolve_timing);
+
+        // Snap and certify: the exact re-check rounds the assignment
+        // (`k/64` for template unknowns near a grid point, dyadic
+        // otherwise) and evaluates every constraint in rational
+        // arithmetic.
+        let cert_start = Instant::now();
+        let exact = exact_recheck(&generated.system, &assignment, &self.plan.certificate);
+        let certified = exact.passed();
+        history.push(SolveAttempt {
+            upsilon,
+            backend: "certificate".to_string(),
+            feasible: certified,
+            violation: exact.worst_violation.to_f64(),
+            seconds: cert_start.elapsed().as_secs_f64(),
+        });
+
+        let feasible = violation <= self.plan.lm.tolerance || winner.feasible;
+        Ok(RungResult {
+            assignment,
+            violation,
+            feasible,
+            certified,
+            backend: winner.backend,
+            solver: winner.stats,
+            presolve: presolved.map(|result| result.stats),
+            exact,
+            generated,
+        })
+    }
+
+    /// Block-coordinate polish: alternately frees the SOS side (multiplier,
+    /// Cholesky/Gram and witness unknowns) and the template side, then runs
+    /// a final pass over the *linear* tail (multiplier + witness unknowns
+    /// with both the template and Cholesky blocks pinned — a least-squares
+    /// problem whose optimum is the best residual compatible with the
+    /// snapped coefficients). Keeps the best point seen.
+    fn polish(
+        &self,
+        generated: &GeneratedSystem,
+        fixed: &HashMap<UnknownId, Rational>,
+        start: Vec<f64>,
+        start_violation: f64,
+    ) -> (Vec<f64>, f64) {
+        let registry = &generated.system.registry;
+        let is_template = |kind: &UnknownKind| {
+            matches!(
+                kind,
+                UnknownKind::Template { .. } | UnknownKind::PostTemplate { .. }
+            )
+        };
+        let is_sos = |kind: &UnknownKind| {
+            matches!(
+                kind,
+                UnknownKind::Cholesky { .. } | UnknownKind::Gram { .. }
+            )
+        };
+        let template_block: Vec<UnknownId> = registry
+            .iter()
+            .filter(|(_, kind)| is_template(kind))
+            .map(|(id, _)| id)
+            .collect();
+        let sos_block: Vec<UnknownId> = registry
+            .iter()
+            .filter(|(_, kind)| is_sos(kind))
+            .map(|(id, _)| id)
+            .collect();
+
+        let mut best = start;
+        let mut best_violation = start_violation;
+        for round in 0..self.plan.polish_rounds {
+            // Pass 1: pin the template block, free {t, l, ε}.
+            let (candidate, candidate_violation) =
+                self.polish_pass(&generated.system, fixed, &best, &template_block);
+            if candidate_violation < best_violation {
+                best = candidate;
+                best_violation = candidate_violation;
+            }
+            // Pass 2: pin the Cholesky/Gram block, free {s, t, ε} (the
+            // remaining system is bilinear in s·t, LM's sweet spot).
+            let (candidate, candidate_violation) =
+                self.polish_pass(&generated.system, fixed, &best, &sos_block);
+            if candidate_violation < best_violation {
+                best = candidate;
+                best_violation = candidate_violation;
+            }
+            // Final pass: pin both blocks; the tail {t, ε} is linear, so
+            // one LM sub-solve reaches the least-squares optimum.
+            if round + 1 == self.plan.polish_rounds {
+                let both: Vec<UnknownId> = template_block
+                    .iter()
+                    .chain(sos_block.iter())
+                    .copied()
+                    .collect();
+                let (candidate, candidate_violation) =
+                    self.polish_pass(&generated.system, fixed, &best, &both);
+                if candidate_violation < best_violation {
+                    best = candidate;
+                    best_violation = candidate_violation;
+                }
+            }
+            if best_violation <= self.plan.lm.tolerance {
+                break;
+            }
+        }
+        (best, best_violation)
+    }
+
+    /// One polish sub-solve: pin `block` at (dyadic roundings of) the
+    /// current values, solve the rest warm-started from the current point,
+    /// and score the merged assignment on the full system.
+    fn polish_pass(
+        &self,
+        system: &QuadraticSystem,
+        fixed: &HashMap<UnknownId, Rational>,
+        current: &[f64],
+        block: &[UnknownId],
+    ) -> (Vec<f64>, f64) {
+        let mut pins = fixed.clone();
+        for &id in block {
+            pins.entry(id)
+                .or_insert_with(|| dyadic_pin(current[id.index()]));
+        }
+        let (problem, mapping) = system_to_problem_with_fixed(system, &pins);
+        if mapping.is_empty() {
+            return (current.to_vec(), system.max_violation(current));
+        }
+        let warm: Vec<f64> = mapping.iter().map(|id| current[id.index()]).collect();
+        let solver = LmSolver::new(self.plan.polish_lm.clone());
+        let outcome = solver.solve(&problem, Some(&warm));
+        let mut assignment = current.to_vec();
+        for (id, value) in &pins {
+            assignment[id.index()] = value.to_f64();
+        }
+        for (slot, id) in mapping.iter().enumerate() {
+            assignment[id.index()] = outcome.assignment[slot];
+        }
+        let violation = system.max_violation(&assignment);
+        (assignment, violation)
+    }
+}
+
+/// A lane's raw solver output plus its problem-space metadata.
+struct RawLane {
+    backend: &'static str,
+    outcome: polyinv_qcqp::SolveOutcome,
+    mapping: Vec<UnknownId>,
+    seconds: f64,
+}
+
+/// Runs one portfolio lane on the (presolved) system.
+fn run_lane(
+    backend: &dyn QcqpBackend,
+    system: &QuadraticSystem,
+    solver_fixed: &HashMap<UnknownId, Rational>,
+) -> RawLane {
+    let start = Instant::now();
+    let (problem, mapping) = system_to_problem_with_fixed(system, solver_fixed);
+    let warm = vec![0.05; problem.num_vars];
+    let outcome = backend.solve(&problem, Some(&warm));
+    RawLane {
+        backend: backend.name(),
+        outcome,
+        mapping,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Deterministic portfolio tie-breaking: a feasible lane beats an
+/// infeasible one; among equals the smaller violation wins; on exact ties
+/// the earlier lane (LM first) wins. Non-finite violations compare as +∞.
+fn pick_winner(lanes: Vec<LaneResult>) -> LaneResult {
+    let finite_or_inf = |v: f64| if v.is_finite() { v } else { f64::INFINITY };
+    let mut best: Option<LaneResult> = None;
+    for lane in lanes {
+        let better = match &best {
+            None => true,
+            Some(current) => {
+                (lane.feasible && !current.feasible)
+                    || (lane.feasible == current.feasible
+                        && finite_or_inf(lane.violation) < finite_or_inf(current.violation))
+            }
+        };
+        if better {
+            best = Some(lane);
+        }
+    }
+    best.expect("the portfolio always has at least the LM lane")
+}
+
+/// Rounds a float to the dyadic rational used to pin polish blocks — the
+/// same `2^-24` grid the certificate's dyadic rounding uses, so the polish
+/// optimizes the residual at (essentially) the certified point.
+fn dyadic_pin(value: f64) -> Rational {
+    if !value.is_finite() {
+        return Rational::zero();
+    }
+    let scale = 1i128 << 24;
+    let scaled = (value * scale as f64).round();
+    if scaled.abs() >= 1e27 {
+        return Rational::approximate(value);
+    }
+    Rational::new(scaled as i128, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyinv_lang::parse_program;
+
+    fn lane(backend: &'static str, feasible: bool, violation: f64) -> LaneResult {
+        LaneResult {
+            backend,
+            assignment: vec![0.0],
+            violation,
+            feasible,
+            stats: SolverStats::default(),
+        }
+    }
+
+    #[test]
+    fn portfolio_tie_breaking_is_deterministic() {
+        // A feasible lane beats a lower-violation infeasible one.
+        let winner = pick_winner(vec![lane("lm", false, 1e-9), lane("penalty", true, 1e-8)]);
+        assert_eq!(winner.backend, "penalty");
+        // Among infeasible lanes the smaller violation wins.
+        let winner = pick_winner(vec![lane("lm", false, 0.5), lane("penalty", false, 0.2)]);
+        assert_eq!(winner.backend, "penalty");
+        // On an exact tie the earlier (LM) lane wins.
+        let winner = pick_winner(vec![lane("lm", false, 0.3), lane("penalty", false, 0.3)]);
+        assert_eq!(winner.backend, "lm");
+        // NaN violations never displace a finite candidate.
+        let winner = pick_winner(vec![
+            lane("lm", false, f64::NAN),
+            lane("penalty", false, 9.0),
+        ]);
+        assert_eq!(winner.backend, "penalty");
+    }
+
+    #[test]
+    fn backend_preference_shapes_the_portfolio() {
+        let plan = SolvePlan::new(SynthesisOptions::default()).with_backend_preference("lm");
+        assert!(plan.penalty.is_none());
+        let plan = SolvePlan::new(SynthesisOptions::default()).with_backend_preference("penalty");
+        assert!(plan.penalty.is_some());
+        assert_eq!(plan.lm.max_iterations, 1);
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; run with `cargo test --release`"
+    )]
+    fn a_certifiable_program_stops_at_the_first_rung() {
+        let program = parse_program(
+            r#"
+            inc(x) {
+                @pre(x >= 0);
+                while x <= 10 do
+                    x := x + 1
+                od;
+                return x
+            }
+            "#,
+        )
+        .unwrap();
+        let pre = Precondition::from_program(&program);
+        let exit = program.main().exit_label();
+        let (target, _) = polyinv_lang::parse_assertion(&program, "inc", "x + 1 > 0").unwrap();
+        let options = SynthesisOptions::with_degree_and_size(1, 1).with_upsilon(2);
+        let orchestrator = Orchestrator::new(SolvePlan::new(options));
+        let outcome = orchestrator
+            .solve(&program, &pre, &[TargetAssertion::new(exit, target)])
+            .unwrap();
+        assert!(outcome.certified, "violation {}", outcome.violation);
+        assert!(outcome.feasible);
+        assert_eq!(outcome.stats.rung_reached, 0, "ϒ = 0 suffices here");
+        assert_eq!(outcome.stats.rungs_tried, 1);
+        assert!(outcome.stats.certified);
+        assert!(!outcome.invariant.get(exit).is_empty());
+        let exact = outcome.exact.expect("certificate report present");
+        assert!(exact.passed());
+        // Every attempt in the history belongs to the single rung tried.
+        assert!(outcome.stats.history.iter().all(|a| a.upsilon == 0));
+        assert!(outcome
+            .stats
+            .history
+            .iter()
+            .any(|a| a.backend == "certificate" && a.feasible));
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; run with `cargo test --release`"
+    )]
+    fn an_unprovable_target_escalates_through_every_rung() {
+        // x never exceeds 11, so x - 1000 > 0 at the exit is unprovable:
+        // no rung can certify and the ladder must be exhausted.
+        let program = parse_program(
+            r#"
+            inc(x) {
+                @pre(x >= 0);
+                while x <= 10 do
+                    x := x + 1
+                od;
+                return x
+            }
+            "#,
+        )
+        .unwrap();
+        let pre = Precondition::from_program(&program);
+        let exit = program.main().exit_label();
+        let (target, _) = polyinv_lang::parse_assertion(&program, "inc", "x - 1000 > 0").unwrap();
+        let options = SynthesisOptions::with_degree_and_size(1, 1).with_upsilon(2);
+        let mut plan = SolvePlan::new(options);
+        // Keep the escalation test fast: tiny budgets, no polish.
+        plan.lm.max_iterations = 40;
+        plan.lm.restarts = 1;
+        plan.penalty = None;
+        plan.polish_rounds = 0;
+        let orchestrator = Orchestrator::new(plan);
+        let outcome = orchestrator
+            .solve(&program, &pre, &[TargetAssertion::new(exit, target)])
+            .unwrap();
+        assert!(!outcome.certified);
+        assert_eq!(outcome.stats.rungs_tried, 2, "ladder [0, 2] is exhausted");
+        assert_eq!(outcome.stats.rung_reached, 2);
+        // Both rungs left their attempts in the history.
+        assert!(outcome.stats.history.iter().any(|a| a.upsilon == 0));
+        assert!(outcome.stats.history.iter().any(|a| a.upsilon == 2));
+    }
+}

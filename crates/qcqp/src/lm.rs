@@ -59,6 +59,16 @@ pub struct LmOptions {
     /// per-pair fan-out, strong synthesis' per-attempt fan-out) set this to
     /// `false` to avoid oversubscribing the CPU with nested waves.
     pub parallel_restarts: bool,
+    /// Number of consecutive iterations without a meaningful improvement of
+    /// the best violation (relative decrease below 0.1%) after which a
+    /// restart bails out with its best-so-far point. `0` disables stall
+    /// detection.
+    pub stall_iterations: usize,
+    /// Wall-clock budget in seconds for the whole solve, shared across all
+    /// restarts; any restart past the deadline stops at the next iteration
+    /// boundary and returns its best-so-far point. `0` disables the
+    /// deadline.
+    pub max_seconds: f64,
 }
 
 impl Default for LmOptions {
@@ -74,9 +84,16 @@ impl Default for LmOptions {
             init_scale: 0.3,
             objective_weight: 0.0,
             parallel_restarts: true,
+            stall_iterations: 40,
+            max_seconds: 0.0,
         }
     }
 }
+
+/// Relative violation decrease below which an iteration counts as stalled:
+/// the kind of 1e-6-per-iteration trickle that burned minutes on a single
+/// ϒ rung without ever reaching feasibility.
+const STALL_RELATIVE_IMPROVEMENT: f64 = 1e-3;
 
 /// The per-problem sparse workspace: the symbolic side of the solve,
 /// computed once per [`LmSolver::solve`] call and shared (immutably) by
@@ -157,10 +174,15 @@ impl LmSolver {
     pub fn solve(&self, problem: &Problem, warm_start: Option<&[f64]>) -> SolveOutcome {
         let workspace = LmWorkspace::build(problem, self.options.objective_weight);
         let restarts = self.options.restarts.max(1);
+        // The wall-clock budget covers the whole solve: every restart —
+        // parallel or sequential — checks its deadline against this one
+        // start instant, so serial fallback cannot multiply the budget by
+        // the restart count.
+        let started = Instant::now();
         let outcomes = if self.options.parallel_restarts {
             crate::par::parallel_indexed_until(
                 restarts,
-                |restart| self.run_restart(problem, &workspace, warm_start, restart),
+                |restart| self.run_restart(problem, &workspace, warm_start, restart, started),
                 |outcome| outcome.status == SolveStatus::Feasible,
             )
         } else {
@@ -168,7 +190,7 @@ impl LmSolver {
             // when the caller already parallelizes one level up.
             let mut outcomes = Vec::with_capacity(restarts);
             for restart in 0..restarts {
-                let outcome = self.run_restart(problem, &workspace, warm_start, restart);
+                let outcome = self.run_restart(problem, &workspace, warm_start, restart, started);
                 let feasible = outcome.status == SolveStatus::Feasible;
                 outcomes.push(outcome);
                 if feasible {
@@ -196,6 +218,7 @@ impl LmSolver {
         workspace: &LmWorkspace,
         warm_start: Option<&[f64]>,
         restart: usize,
+        started: Instant,
     ) -> SolveOutcome {
         let mut rng = StdRng::seed_from_u64(self.options.seed.wrapping_add(restart as u64));
         let mut x: Vec<f64> = match (restart, warm_start) {
@@ -205,7 +228,7 @@ impl LmSolver {
                 .collect(),
         };
         problem.clamp(&mut x);
-        self.solve_from(problem, workspace, &mut x)
+        self.solve_from(problem, workspace, &mut x, started)
     }
 
     /// Deterministic selection: the first feasible outcome in restart order,
@@ -240,7 +263,13 @@ impl LmSolver {
         best.expect("at least one restart runs")
     }
 
-    fn solve_from(&self, problem: &Problem, ws: &LmWorkspace, x: &mut Vec<f64>) -> SolveOutcome {
+    fn solve_from(
+        &self,
+        problem: &Problem,
+        ws: &LmWorkspace,
+        x: &mut Vec<f64>,
+        started: Instant,
+    ) -> SolveOutcome {
         let opts = &self.options;
         let n = problem.num_vars;
         let mut lambda = opts.initial_lambda;
@@ -277,7 +306,11 @@ impl LmSolver {
         };
         let mut best_objective = finite_or_inf(objective_at(x));
 
+        let mut stalled = 0usize;
         for _ in 0..opts.max_iterations {
+            if opts.max_seconds > 0.0 && started.elapsed().as_secs_f64() >= opts.max_seconds {
+                break;
+            }
             stats.iterations += 1;
             // One pass evaluates the residuals and scatters the sparse
             // Jacobian rows straight into `JᵀJ` and `Jᵀr`.
@@ -345,12 +378,31 @@ impl LmSolver {
             } else {
                 violation < best_violation
             };
+            // Stall detection: an iteration makes progress only when it
+            // shaves a meaningful relative slice off the best violation (or,
+            // in minimizing mode, improves the objective among feasible
+            // points). Accepted steps whose cost decreases while the
+            // violation flatlines used to spin for the full iteration
+            // budget.
+            let progressed = violation < best_violation * (1.0 - STALL_RELATIVE_IMPROVEMENT)
+                || (minimizing
+                    && violation <= opts.tolerance
+                    && best_violation <= opts.tolerance
+                    && objective < best_objective);
             if better {
                 best_violation = violation;
                 best_objective = objective;
                 best_x = x.clone();
             }
+            if progressed {
+                stalled = 0;
+            } else {
+                stalled += 1;
+            }
             if !accepted {
+                break;
+            }
+            if opts.stall_iterations > 0 && stalled >= opts.stall_iterations {
                 break;
             }
         }
@@ -708,6 +760,59 @@ mod tests {
         let outcome = solver.solve(&problem, Some(&[50.0]));
         assert_eq!(outcome.status, SolveStatus::Feasible);
         assert!(outcome.assignment[0] < 10.0);
+    }
+
+    #[test]
+    fn stalled_restarts_bail_out_with_their_best_point() {
+        // x² + 1 = 0 is infeasible: from a far warm start the residual
+        // (x²+1)² keeps shrinking by ever-smaller amounts as x → 0, so
+        // every step is accepted and the pre-stall solver burned the whole
+        // iteration budget. Stall detection must cut the run short while
+        // still returning the best (violation ≈ 1) point.
+        let mut problem = Problem::new(1);
+        problem.equalities.push(QuadraticForm {
+            constant: 1.0,
+            linear: Vec::new(),
+            quadratic: vec![(0, 0, 1.0)],
+        });
+        let solver = LmSolver::new(LmOptions {
+            max_iterations: 10_000,
+            restarts: 1,
+            stall_iterations: 10,
+            ..LmOptions::default()
+        });
+        let outcome = solver.solve(&problem, Some(&[5.0]));
+        assert_eq!(outcome.status, SolveStatus::Infeasible);
+        assert!(
+            outcome.stats.iterations < 500,
+            "stall detection did not bail: {} iterations",
+            outcome.stats.iterations
+        );
+        assert!(
+            (outcome.violation - 1.0).abs() < 0.05,
+            "best-so-far point was not kept: violation {}",
+            outcome.violation
+        );
+    }
+
+    #[test]
+    fn the_wall_clock_deadline_stops_the_solve() {
+        let mut problem = Problem::new(1);
+        problem.equalities.push(QuadraticForm {
+            constant: -2.0,
+            linear: vec![(0, 1.0)],
+            quadratic: Vec::new(),
+        });
+        let solver = LmSolver::new(LmOptions {
+            restarts: 1,
+            max_seconds: 1e-9,
+            ..LmOptions::default()
+        });
+        // The deadline fires before the first iteration; the warm start is
+        // returned untouched as the best-so-far point.
+        let outcome = solver.solve(&problem, Some(&[0.5]));
+        assert_eq!(outcome.stats.iterations, 0);
+        assert!((outcome.assignment[0] - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub struct AlmOptions {
     pub seed: u64,
     /// Standard deviation of the random initialization noise.
     pub init_scale: f64,
+    /// Wall-clock budget in seconds over all restarts; once exceeded, the
+    /// current restart stops at the next outer-iteration boundary and no
+    /// further restarts launch. `0` disables the deadline.
+    pub max_seconds: f64,
 }
 
 impl Default for AlmOptions {
@@ -48,6 +52,7 @@ impl Default for AlmOptions {
             restarts: 3,
             seed: 0x5eed,
             init_scale: 0.1,
+            max_seconds: 0.0,
         }
     }
 }
@@ -97,7 +102,14 @@ impl AlmSolver {
         let mut best: Option<SolveOutcome> = None;
         let mut stats = SolverStats::default();
         let restarts = self.options.restarts.max(1);
+        let started = std::time::Instant::now();
+        let deadline = (self.options.max_seconds > 0.0).then_some(self.options.max_seconds);
         for restart in 0..restarts {
+            if restart > 0
+                && deadline.is_some_and(|budget| started.elapsed().as_secs_f64() >= budget)
+            {
+                break;
+            }
             let mut rng = StdRng::seed_from_u64(self.options.seed.wrapping_add(restart as u64));
             let mut x = match (restart, warm_start) {
                 (0, Some(start)) if start.len() == problem.num_vars => start.to_vec(),
@@ -105,7 +117,8 @@ impl AlmSolver {
                     .map(|_| rng.random_range(-self.options.init_scale..self.options.init_scale))
                     .collect(),
             };
-            let outcome = self.solve_from(problem, &mut x, &mut rng);
+            let remaining = deadline.map(|budget| budget - started.elapsed().as_secs_f64());
+            let outcome = self.solve_from(problem, &mut x, &mut rng, remaining);
             stats.absorb_restart(&outcome.stats);
             let better = match &best {
                 None => true,
@@ -132,9 +145,16 @@ impl AlmSolver {
         best
     }
 
-    fn solve_from(&self, problem: &Problem, x: &mut [f64], rng: &mut StdRng) -> SolveOutcome {
+    fn solve_from(
+        &self,
+        problem: &Problem,
+        x: &mut [f64],
+        rng: &mut StdRng,
+        max_seconds: Option<f64>,
+    ) -> SolveOutcome {
         let n = problem.num_vars;
         let opts = &self.options;
+        let started = std::time::Instant::now();
         let mut rho = opts.initial_penalty;
         // Multiplier estimates.
         let mut lambda_eq = vec![0.0; problem.equalities.len()];
@@ -167,6 +187,9 @@ impl AlmSolver {
         let mut best_objective = objective_at(x);
 
         for outer in 0..opts.outer_iterations {
+            if max_seconds.is_some_and(|budget| started.elapsed().as_secs_f64() >= budget) {
+                break;
+            }
             let mut step_count = 0.0f64;
             for _ in 0..opts.inner_iterations {
                 total_iterations += 1;

@@ -7,23 +7,23 @@
 //! Engine's label/assertion resolution helpers so a label index or target
 //! text means exactly the same thing as in a plain `synth` request.
 
-use std::sync::Arc;
-
+use polyinv::SolvePlan;
 use polyinv_api::engine::{escalate_degree, resolve_weak_targets};
 use polyinv_api::{ApiError, Mode, ReportStatus, SynthesisReport, SynthesisRequest};
 use polyinv_lang::Precondition;
-use polyinv_qcqp::{backend_by_name, default_backend, QcqpBackend};
+use polyinv_qcqp::backend_by_name;
 
 use crate::{synthesize_and_validate, ValidationConfig};
 
-/// Serves a weak-mode request with validation: synthesize, then attack the
-/// result with trace falsification and the exact-rational re-check.
+/// Serves a weak-mode request with validation: synthesize through the
+/// orchestrator, then attack the result with trace falsification and the
+/// exact-rational re-check.
 ///
 /// The returned report is shaped like an Engine weak-mode report, with the
-/// `validate` field filled when the solve was feasible. A feasible solve
-/// that fails validation keeps [`ReportStatus::Synthesized`] (the solver's
-/// claim) — callers decide how hard to fail on `validate.passed == false`
-/// (the CLI exits non-zero).
+/// `validate` field filled when the solve produced a candidate. A certified
+/// solve that fails trace validation keeps [`ReportStatus::Synthesized`]
+/// (the solver's claim) — callers decide how hard to fail on
+/// `validate.passed == false` (the CLI exits non-zero).
 ///
 /// # Errors
 ///
@@ -33,26 +33,32 @@ pub fn run_validated(
     request: &SynthesisRequest,
     config: &ValidationConfig,
 ) -> Result<SynthesisReport, ApiError> {
-    let backend: Arc<dyn QcqpBackend> = match &request.backend {
-        Some(name) => {
-            backend_by_name(name).ok_or_else(|| ApiError::UnknownBackend { name: name.clone() })?
+    if let Some(name) = &request.backend {
+        // Same rejection the Engine applies: an unknown back-end name is a
+        // request error, not a silently ignored preference.
+        backend_by_name(name).ok_or_else(|| ApiError::UnknownBackend { name: name.clone() })?;
+    }
+    run_validated_with_plan(request, config, |options| {
+        let mut plan = SolvePlan::new(options);
+        if let Some(name) = &request.backend {
+            plan = plan.with_backend_preference(name);
         }
-        None => default_backend(),
-    };
-    run_validated_with_backend(request, config, backend)
+        plan
+    })
 }
 
-/// [`run_validated`] with a caller-supplied back-end (the bench harness
-/// passes its budgeted table solver). The request's `backend` field is
-/// ignored in favor of the argument.
+/// [`run_validated`] with a caller-supplied solve plan (the bench harness
+/// passes its budgeted table plan). `make_plan` receives the
+/// degree-escalated options of the request; the request's `backend` field
+/// is ignored in favor of whatever portfolio the plan encodes.
 ///
 /// # Errors
 ///
 /// Same contract as [`run_validated`].
-pub fn run_validated_with_backend(
+pub fn run_validated_with_plan(
     request: &SynthesisRequest,
     config: &ValidationConfig,
-    backend: Arc<dyn QcqpBackend>,
+    make_plan: impl FnOnce(polyinv_constraints::SynthesisOptions) -> SolvePlan,
 ) -> Result<SynthesisReport, ApiError> {
     if request.mode != Mode::Weak {
         return Err(ApiError::InvalidRequest {
@@ -64,11 +70,12 @@ pub fn run_validated_with_backend(
     // entry points accept and reject the same requests.
     let targets = resolve_weak_targets(&program, request)?;
     let (options, escalation) = escalate_degree(&request.options, &targets);
+    let plan = make_plan(options);
 
     let pre = Precondition::from_program(&program);
-    let outcome = synthesize_and_validate(&program, &pre, &targets, &options, backend, config)?;
+    let outcome = synthesize_and_validate(&program, &pre, &targets, &plan, config)?;
 
-    let status = if outcome.feasible {
+    let status = if outcome.certified {
         ReportStatus::Synthesized
     } else {
         ReportStatus::Failed
@@ -97,11 +104,14 @@ pub fn run_validated_with_backend(
             .presolve
             .as_ref()
             .map(polyinv_api::PresolveRecord::from),
+        orchestrator: Some(polyinv_api::report::OrchestratorRecord::from(
+            &outcome.stats,
+        )),
     };
     if let Some(note) = escalation {
         report.diagnostics.push(note);
     }
-    if outcome.feasible {
+    if outcome.certified {
         report.invariants = outcome
             .invariant
             .render(&program)

@@ -15,11 +15,10 @@
 //! summary carries everything needed to reproduce a failing case: the seed,
 //! the source and the minimized counterexample.
 
-use std::sync::Arc;
-
+use polyinv::SolvePlan;
 use polyinv_constraints::SynthesisOptions;
 use polyinv_lang::{parse_program, Precondition};
-use polyinv_qcqp::{LmOptions, LmSolver, QcqpBackend};
+use polyinv_qcqp::LmOptions;
 
 use crate::generate::{generate_program, GenConfig};
 use crate::{synthesize_and_validate, ValidationConfig, ValidationReport};
@@ -196,16 +195,16 @@ fn check_case(source: &str, config: &FuzzConfig) -> CaseStatus {
     }
 
     // 2. Synthesis with no targets: any feasible point claims soundness.
+    // The fuzz loop keeps the orchestrator lean — the configured LM lane
+    // only, no polish — so a campaign's cost profile matches the old
+    // single-solver loop; the point is attacking claims, not winning
+    // certificates.
     let pre = Precondition::from_program(&program);
-    let backend: Arc<dyn QcqpBackend> = Arc::new(LmSolver::new(config.solver.clone()));
-    let outcome = match synthesize_and_validate(
-        &program,
-        &pre,
-        &[],
-        &config.options,
-        backend,
-        &config.validation,
-    ) {
+    let mut plan = SolvePlan::new(config.options.clone());
+    plan.lm = config.solver.clone();
+    plan.penalty = None;
+    plan.polish_rounds = 0;
+    let outcome = match synthesize_and_validate(&program, &pre, &[], &plan, &config.validation) {
         Ok(outcome) => outcome,
         Err(error) => return CaseStatus::GenerationError(error.to_string()),
     };

@@ -23,25 +23,23 @@
 //! [`Interpreter`]: polyinv_lang::interp::Interpreter
 
 pub mod driver;
-pub mod exact;
+
 pub mod fuzz;
 pub mod generate;
 pub mod trace;
 
-use std::collections::HashMap;
-use std::sync::Arc;
-
-use polyinv::pipeline::{Pipeline, StageTimings};
-use polyinv::{fix_targets, TargetAssertion};
+use polyinv::pipeline::StageTimings;
+use polyinv::{Orchestrator, OrchestratorStats, SolvePlan, TargetAssertion};
 use polyinv_api::report::{ExactRecord, ValidationRecord};
-use polyinv_constraints::{ConstraintError, SynthesisOptions};
+use polyinv_constraints::ConstraintError;
 use polyinv_lang::{InvariantMap, Postcondition, Precondition, Program};
-use polyinv_qcqp::QcqpBackend;
 
-pub use driver::{run_validated, run_validated_with_backend};
-pub use exact::{exact_recheck, instantiate_exact, ExactCheckConfig, ExactReport};
+pub use driver::{run_validated, run_validated_with_plan};
 pub use fuzz::{run_fuzz, CaseStatus, FuzzCase, FuzzConfig, FuzzSummary};
 pub use generate::{generate_program, GenConfig, GeneratedProgram};
+pub use polyinv_constraints::exact::{
+    exact_assignment, exact_recheck, instantiate_exact, ExactCheckConfig, ExactReport,
+};
 pub use trace::{falsify_traces, TraceCheckConfig, TraceReport, TraceViolation};
 
 /// Configuration of a full validation pass (trace + exact).
@@ -204,7 +202,7 @@ pub fn validate_solution(
 ) -> ValidationReport {
     // Both checks attack the same object: the templates instantiated at the
     // exact-rational rounding of the solver's assignment.
-    let values = exact::exact_assignment(&generated.system, &solution.assignment, &config.exact);
+    let values = exact_assignment(&generated.system, &solution.assignment, &config.exact);
     let (invariant, postconditions) = instantiate_exact(program, generated, &values);
     let trace = falsify_traces(program, pre, &invariant, &postconditions, &config.trace);
     let exact = exact_recheck(&generated.system, &solution.assignment, &config.exact);
@@ -232,8 +230,11 @@ pub fn validate_candidate(
 /// The result of [`synthesize_and_validate`].
 #[derive(Debug, Clone)]
 pub struct ValidatedOutcome {
-    /// Whether the quadratic system was solved within tolerance.
+    /// Whether the quadratic system was solved within the float tolerance.
     pub feasible: bool,
+    /// Whether the snapped candidate passed the orchestrator's
+    /// exact-rational certificate (the "synthesized" criterion).
+    pub certified: bool,
     /// The instantiated invariant map (rounded coefficients).
     pub invariant: InvariantMap,
     /// The instantiated post-conditions (recursive programs only).
@@ -253,13 +254,21 @@ pub struct ValidatedOutcome {
     /// Affine presolve statistics of the accepted (or last) rung (`None`
     /// when presolve was disabled).
     pub presolve: Option<polyinv_constraints::PresolveStats>,
-    /// The validation outcome (present iff the solve was feasible).
+    /// The orchestration summary (attempts, rung reached, winning lane,
+    /// certificate status).
+    pub stats: OrchestratorStats,
+    /// The validation outcome (present iff the solve produced a candidate
+    /// worth attacking: float-feasible or certified).
     pub validation: Option<ValidationReport>,
 }
 
-/// Weak synthesis with validation: runs the same ϒ-ladder as the weak
-/// driver, and — when a rung reports feasibility — trace-falsifies the
-/// instantiated invariant and exactly re-checks that rung's system.
+/// Weak synthesis with validation: runs the solve orchestrator (ϒ ladder,
+/// portfolio race, polish, snap-and-certify) and — when a candidate is
+/// float-feasible or certified — trace-falsifies the instantiated invariant.
+/// The exact re-check of the validation report *is* the orchestrator's
+/// certificate: both attack the same snapped assignment under the plan's
+/// acceptance tolerance, so a `certified` outcome and a passing
+/// `validation.exact` cannot disagree.
 ///
 /// # Errors
 ///
@@ -274,55 +283,46 @@ pub fn synthesize_and_validate(
     program: &Program,
     pre: &Precondition,
     targets: &[TargetAssertion],
-    options: &SynthesisOptions,
-    backend: Arc<dyn QcqpBackend>,
+    plan: &SolvePlan,
     config: &ValidationConfig,
 ) -> Result<ValidatedOutcome, ConstraintError> {
-    let ladder = options.upsilon_ladder();
-    let mut total = StageTimings::new();
-    let mut last: Option<ValidatedOutcome> = None;
-    for (step, &upsilon) in ladder.iter().enumerate() {
-        let rung_options = options.clone().with_upsilon(upsilon);
-        let pipeline = Pipeline::new(rung_options).with_backend(Arc::clone(&backend));
-        let mut ctx = pipeline.context(program, pre);
-        let generated = pipeline.generate(&mut ctx)?;
-        let fixed = if targets.is_empty() {
-            HashMap::new()
-        } else {
-            fix_targets(&generated, targets)
-        };
-        let solution = pipeline.solve(&mut ctx, &generated, fixed, None);
-        total.absorb(ctx.timings());
-        let validation = solution
-            .feasible
-            .then(|| validate_solution(program, pre, &generated, &solution, config));
-        let outcome = ValidatedOutcome {
-            feasible: solution.feasible,
-            invariant: solution.invariant,
-            postconditions: solution.postconditions,
-            system_size: generated.size(),
-            num_unknowns: generated.system.num_unknowns(),
-            violation: solution.violation,
-            backend: solution.backend,
-            timings: total.clone(),
-            solver: solution.stats,
-            presolve: solution.presolve,
-            validation,
-        };
-        let done = outcome.feasible || step + 1 == ladder.len();
-        last = Some(outcome);
-        if done {
-            break;
+    let outcome = Orchestrator::new(plan.clone()).solve(program, pre, targets)?;
+    let validation = (outcome.feasible || outcome.certified).then(|| {
+        // Attack the same snapped point the certificate covers.
+        let values = exact_assignment(
+            &outcome.generated.system,
+            &outcome.assignment,
+            &plan.certificate,
+        );
+        let (invariant, postconditions) = instantiate_exact(program, &outcome.generated, &values);
+        let trace = falsify_traces(program, pre, &invariant, &postconditions, &config.trace);
+        ValidationReport {
+            trace,
+            exact: outcome.exact.clone(),
         }
-    }
-    Ok(last.expect("the ladder is never empty"))
+    });
+    Ok(ValidatedOutcome {
+        feasible: outcome.feasible,
+        certified: outcome.certified,
+        invariant: outcome.invariant,
+        postconditions: outcome.postconditions,
+        system_size: outcome.system_size,
+        num_unknowns: outcome.num_unknowns,
+        violation: outcome.violation,
+        backend: outcome.backend,
+        timings: outcome.timings,
+        solver: outcome.solver,
+        presolve: outcome.presolve,
+        stats: outcome.stats,
+        validation,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use polyinv_constraints::SynthesisOptions;
     use polyinv_lang::{parse_assertion, parse_program};
-    use polyinv_qcqp::default_backend;
 
     const INC: &str = r#"
         inc(x) {
@@ -366,16 +366,17 @@ mod tests {
         let pre = Precondition::from_program(&program);
         let (target, _) = parse_assertion(&program, "inc", "x + 1 > 0").unwrap();
         let options = SynthesisOptions::with_degree_and_size(1, 1).with_upsilon(2);
+        let plan = SolvePlan::new(options);
         let outcome = synthesize_and_validate(
             &program,
             &pre,
             &[TargetAssertion::new(program.main().exit_label(), target)],
-            &options,
-            default_backend(),
+            &plan,
             &ValidationConfig::default(),
         )
         .unwrap();
         assert!(outcome.feasible, "violation {}", outcome.violation);
+        assert!(outcome.certified, "exact {:?}", outcome.stats);
         let validation = outcome.validation.expect("feasible runs validate");
         assert!(
             validation.sound(),

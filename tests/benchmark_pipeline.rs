@@ -119,6 +119,49 @@ fn weak_synthesis_closes_a_small_linear_benchmark() {
 }
 
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; run with `cargo test --release`"
+)]
+fn synthesized_reports_carry_a_passing_exact_certificate() {
+    // The orchestrator's acceptance criterion end-to-end: a report may only
+    // say `synthesized` when the snapped candidate passed the
+    // exact-rational inductiveness re-check, and the validation record's
+    // exact block is that same certificate.
+    let benchmark = by_name("pw2").unwrap();
+    let mut request = polyinv_api::SynthesisRequest::weak(benchmark.source)
+        .with_id("pw2/e2e-certificate")
+        .with_options(polyinv_bench::options_for(&benchmark));
+    if let Some(target) = benchmark.target {
+        request = request.with_target(target);
+    }
+    let report =
+        polyinv_validate::run_validated(&request, &polyinv_validate::ValidationConfig::default())
+            .unwrap();
+    assert_eq!(
+        report.status,
+        polyinv_api::ReportStatus::Synthesized,
+        "diagnostics: {:?}",
+        report.diagnostics
+    );
+    let orchestrator = report
+        .orchestrator
+        .as_ref()
+        .expect("weak reports carry the ladder record");
+    assert!(
+        orchestrator.certified,
+        "synthesized without a certificate: {orchestrator:?}"
+    );
+    assert!(!orchestrator.history.is_empty());
+    let validate = report.validate.as_ref().expect("validation ran");
+    let exact = validate
+        .exact
+        .as_ref()
+        .expect("synthesized rows carry the exact re-check");
+    assert!(exact.passed, "certificate did not pass: {exact:?}");
+}
+
+#[test]
 fn farkas_baseline_rejects_polynomial_benchmarks_but_handles_linear_ones() {
     // The Table-1 comparison: Colón et al. 2003 cannot handle the polynomial
     // benchmarks the paper targets.
