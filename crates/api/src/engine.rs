@@ -349,7 +349,8 @@ impl Engine {
             .backend
             .as_deref()
             .or_else(|| (backend.name() != default_backend().name()).then(|| backend.name()));
-        let mut plan = polyinv::SolvePlan::new(options);
+        let mut plan =
+            polyinv::SolvePlan::new(options).with_solve_budget(request.solve_budget_seconds);
         if let Some(name) = preference {
             plan = plan.with_backend_preference(name);
         }

@@ -91,6 +91,12 @@ pub struct SolverRecord {
     pub factor_seconds: f64,
     /// Wall-clock seconds spent in triangular solves.
     pub solve_seconds: f64,
+    /// Wall-clock seconds spent evaluating residuals and accumulating the
+    /// normal equations (the chunk-parallel part of an iteration).
+    pub eval_seconds: f64,
+    /// Worker threads of the iteration core (1 = fully serial; reflects the
+    /// `POLYINV_THREADS` budget the row actually ran with).
+    pub threads: usize,
 }
 
 impl From<&polyinv_qcqp::SolverStats> for SolverRecord {
@@ -107,6 +113,8 @@ impl From<&polyinv_qcqp::SolverStats> for SolverRecord {
             factorizations: stats.factorizations,
             factor_seconds: stats.factor_seconds,
             solve_seconds: stats.solve_seconds,
+            eval_seconds: stats.eval_seconds,
+            threads: stats.threads,
         }
     }
 }
@@ -123,6 +131,8 @@ impl SolverRecord {
             ("factorizations", Json::Number(self.factorizations as f64)),
             ("factor_seconds", Json::Number(self.factor_seconds)),
             ("solve_seconds", Json::Number(self.solve_seconds)),
+            ("eval_seconds", Json::Number(self.eval_seconds)),
+            ("threads", Json::Number(self.threads as f64)),
         ])
     }
 
@@ -144,6 +154,12 @@ impl SolverRecord {
             factorizations: number("factorizations")? as usize,
             factor_seconds: number("factor_seconds")?,
             solve_seconds: number("solve_seconds")?,
+            // Absent in pre-parallelism snapshots: default rather than fail.
+            eval_seconds: json
+                .get("eval_seconds")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            threads: json.get("threads").and_then(Json::as_usize).unwrap_or(1),
         })
     }
 }
@@ -657,6 +673,11 @@ impl SynthesisReport {
         if let Some(solver) = &mut self.solver {
             solver.factor_seconds = 0.0;
             solver.solve_seconds = 0.0;
+            solver.eval_seconds = 0.0;
+            // The worker count is an environment fact, not a result: byte
+            // identity across `POLYINV_THREADS` settings requires dropping
+            // it from the canonical form.
+            solver.threads = 0;
         }
         if let Some(presolve) = &mut self.presolve {
             presolve.seconds = 0.0;
@@ -862,6 +883,8 @@ mod tests {
             factorizations: 101,
             factor_seconds: 0.82,
             solve_seconds: 0.07,
+            eval_seconds: 0.41,
+            threads: 8,
         }
     }
 
@@ -922,6 +945,8 @@ mod tests {
         let solver = canonical.solver.as_ref().unwrap();
         assert_eq!(solver.factor_seconds, 0.0);
         assert_eq!(solver.solve_seconds, 0.0);
+        assert_eq!(solver.eval_seconds, 0.0);
+        assert_eq!(solver.threads, 0, "thread count is not canonical");
         assert_eq!(solver.iterations, 96);
         assert_eq!(solver.nnz_factor, 48211);
         // Reports without a record serialize `solver` as null and read

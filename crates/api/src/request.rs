@@ -168,6 +168,11 @@ pub struct SynthesisRequest {
     /// Number of multi-start attempts for [`Mode::Strong`]; `None` uses the
     /// enumeration default.
     pub attempts: Option<usize>,
+    /// Wall-clock budget for the whole solve ([`Mode::Weak`] only), in
+    /// seconds. `0.0` (the default) means unbudgeted: the orchestrator runs
+    /// its full ladder. A positive budget still always attempts the first
+    /// rung, so every request produces a real verdict.
+    pub solve_budget_seconds: f64,
 }
 
 impl SynthesisRequest {
@@ -181,6 +186,7 @@ impl SynthesisRequest {
             assertions: Vec::new(),
             backend: None,
             attempts: None,
+            solve_budget_seconds: 0.0,
         }
     }
 
@@ -258,6 +264,17 @@ impl SynthesisRequest {
         self
     }
 
+    /// Sets the wall-clock solve budget in seconds (builder style).
+    /// Non-positive or non-finite values mean unbudgeted.
+    pub fn with_solve_budget(mut self, seconds: f64) -> Self {
+        self.solve_budget_seconds = if seconds.is_finite() && seconds > 0.0 {
+            seconds
+        } else {
+            0.0
+        };
+        self
+    }
+
     /// Serializes the request as a JSON object.
     pub fn to_json(&self) -> Json {
         Json::object(vec![
@@ -281,6 +298,14 @@ impl SynthesisRequest {
                 match self.attempts {
                     Some(n) => Json::Number(n as f64),
                     None => Json::Null,
+                },
+            ),
+            (
+                "solve_budget_seconds",
+                if self.solve_budget_seconds > 0.0 {
+                    Json::Number(self.solve_budget_seconds)
+                } else {
+                    Json::Null
                 },
             ),
         ])
@@ -326,6 +351,17 @@ impl SynthesisRequest {
         if let Some(attempts) = json.get("attempts") {
             if !attempts.is_null() {
                 request.attempts = Some(attempts.as_usize().ok_or_else(|| invalid("attempts"))?);
+            }
+        }
+        // Absent or null means unbudgeted — old request snapshots predate
+        // the solve budget.
+        if let Some(budget) = json.get("solve_budget_seconds") {
+            if !budget.is_null() {
+                request = request.with_solve_budget(
+                    budget
+                        .as_f64()
+                        .ok_or_else(|| invalid("solve_budget_seconds"))?,
+                );
             }
         }
         Ok(request)
@@ -462,9 +498,11 @@ mod tests {
                     .with_bounded_reals(Rational::new(1000, 1))
                     .with_epsilon_lower(Rational::new(1, 7)),
             )
-            .with_attempts(5);
+            .with_attempts(5)
+            .with_solve_budget(90.0);
         let text = request.to_json().to_string();
         let reparsed = SynthesisRequest::from_json_str(&text).unwrap();
+        assert_eq!(reparsed.solve_budget_seconds, 90.0);
         assert_eq!(reparsed.id, request.id);
         assert_eq!(reparsed.mode, request.mode);
         assert_eq!(reparsed.source, request.source);

@@ -115,6 +115,8 @@ fn arb_report() -> impl Strategy<Value = SynthesisReport> {
                             factorizations: pairs_total + pairs_certified,
                             factor_seconds: violation.abs() * 1e-9,
                             solve_seconds: violation.abs() * 1e-10,
+                            eval_seconds: violation.abs() * 1e-11,
+                            threads: pairs_total % 9,
                         })
                     },
                     orchestrator,

@@ -313,6 +313,23 @@ impl JtjPattern {
         }
     }
 
+    /// Folds one per-chunk partial accumulation into `target`
+    /// (`target[p] += partial[p]`).
+    ///
+    /// The chunk-parallel evaluator accumulates disjoint row ranges into
+    /// private buffers and merges them **in chunk-index order**: because
+    /// chunk boundaries are fixed by the row count (never by the worker
+    /// count), the floating-point sum sequence — and therefore every bit of
+    /// the result — is identical whether the chunks were filled by 1 thread
+    /// or 16.
+    pub fn merge_partial(&self, target: &mut [f64], partial: &[f64]) {
+        debug_assert_eq!(target.len(), self.nnz());
+        debug_assert_eq!(partial.len(), self.nnz());
+        for (t, p) in target.iter_mut().zip(partial) {
+            *t += p;
+        }
+    }
+
     /// Densifies a values buffer into the full symmetric matrix (oracle).
     pub fn to_dense(&self, values: &[f64]) -> Matrix {
         let mut m = Matrix::zeros(self.n, self.n);
@@ -462,6 +479,75 @@ pub struct LdlNumeric {
     work: Vec<f64>,
 }
 
+impl LdlNumeric {
+    /// The pivots `D` of the last successful factorization (test oracle for
+    /// the bitwise serial/parallel equivalence).
+    pub fn pivots(&self) -> &[f64] {
+        &self.d
+    }
+
+    /// The strictly-lower factor values of the last successful factorization
+    /// (test oracle for the bitwise serial/parallel equivalence).
+    pub fn factor_values(&self) -> &[f64] {
+        &self.l_values
+    }
+}
+
+/// Raw views into an [`LdlNumeric`]'s buffers, shared across the subtree
+/// workers of [`SymbolicLdl::factor_parallel`]. Columns of disjoint
+/// elimination-tree subtrees touch disjoint indices of every one of these
+/// arrays, which is what makes the aliasing sound.
+struct ColumnBuffers {
+    y: *mut f64,
+    flag: *mut usize,
+    next_slot: *mut usize,
+    d: *mut f64,
+    l_row: *mut usize,
+    l_values: *mut f64,
+}
+
+// SAFETY: the pointers are only dereferenced under the subtree-disjointness
+// protocol documented on `factor_column`. This is the workspace's one
+// audited unsafe island: the deny(unsafe_code) default stays in force
+// everywhere else.
+#[allow(unsafe_code)]
+unsafe impl Sync for ColumnBuffers {}
+
+impl ColumnBuffers {
+    fn from_numeric(num: &mut LdlNumeric) -> Self {
+        ColumnBuffers {
+            y: num.y.as_mut_ptr(),
+            flag: num.flag.as_mut_ptr(),
+            next_slot: num.next_slot.as_mut_ptr(),
+            d: num.d.as_mut_ptr(),
+            l_row: num.l_row.as_mut_ptr(),
+            l_values: num.l_values.as_mut_ptr(),
+        }
+    }
+}
+
+/// The column partition [`SymbolicLdl::subtree_schedule`] hands to the
+/// parallel factorization: independent subtrees (safe to factor
+/// concurrently) plus the serial top-of-tree columns.
+#[derive(Debug, Clone)]
+pub struct SubtreeSchedule {
+    subtrees: Vec<Vec<usize>>,
+    top: Vec<usize>,
+}
+
+impl SubtreeSchedule {
+    /// The independent subtrees, each listing its columns in ascending
+    /// order.
+    pub fn subtrees(&self) -> &[Vec<usize>] {
+        &self.subtrees
+    }
+
+    /// The serial top-of-tree columns, ascending.
+    pub fn top(&self) -> &[usize] {
+        &self.top
+    }
+}
+
 impl SymbolicLdl {
     /// Analyzes a symmetric pattern given as its **lower triangle in CSR**
     /// (row `j` holds the sorted columns `i ≤ j`, diagonal present in every
@@ -591,53 +677,227 @@ impl SymbolicLdl {
     /// strictly positive (the matrix is not numerically positive definite at
     /// this damping) — the factor is then unusable and the caller should
     /// increase the damping.
+    #[allow(unsafe_code)]
     pub fn factor(&self, values: &[f64], diag_add: &[f64], num: &mut LdlNumeric) -> bool {
         let n = self.n;
         num.next_slot.copy_from_slice(&self.l_col_ptr[..n]);
+        let buffers = ColumnBuffers::from_numeric(num);
+        let pattern = num.pattern.as_mut_ptr();
         for k in 0..n {
-            // Pattern of row k of L: nodes reachable from the column's
-            // entries through the elimination tree, in topological order.
-            let mut top = n;
-            num.flag[k] = k;
-            num.y[k] = 0.0;
-            for p in self.a_col_ptr[k]..self.a_col_ptr[k + 1] {
-                let i = self.a_row[p];
-                num.y[i] += values[self.a_val_pos[p]];
-                let mut len = 0;
-                let mut j = i;
-                while num.flag[j] != k {
-                    num.pattern[len] = j;
-                    len += 1;
-                    num.flag[j] = k;
-                    j = self.parent[j];
-                }
-                while len > 0 {
-                    len -= 1;
-                    top -= 1;
-                    num.pattern[top] = num.pattern[len];
-                }
-            }
-            let mut dk = values[self.a_diag_pos[k]] + diag_add[self.perm[k]];
-            for t in top..n {
-                let j = num.pattern[t];
-                let yj = num.y[j];
-                num.y[j] = 0.0;
-                for p in self.l_col_ptr[j]..num.next_slot[j] {
-                    num.y[num.l_row[p]] -= num.l_values[p] * yj;
-                }
-                let dj = num.d[j];
-                let lkj = yj / dj;
-                dk -= lkj * yj;
-                num.l_row[num.next_slot[j]] = k;
-                num.l_values[num.next_slot[j]] = lkj;
-                num.next_slot[j] += 1;
-            }
-            // A NaN pivot fails both comparisons, so non-finite values are
-            // rejected along with non-positive ones.
-            if dk <= 0.0 || !dk.is_finite() {
+            // SAFETY: exclusive `&mut num` — no other access is live.
+            if !unsafe { self.factor_column(k, values, diag_add, &buffers, pattern) } {
                 return false;
             }
-            num.d[k] = dk;
+        }
+        true
+    }
+
+    /// One column of the up-looking factorization, operating through raw
+    /// pointers so independent elimination-tree subtrees can run on worker
+    /// threads over the *same* numeric buffers.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that no concurrent `factor_column` call
+    /// touches an overlapping index set. Column `k` reads and writes only
+    /// `y`/`flag`/`next_slot`/`d` at `k` and its elimination-tree
+    /// descendants, and the `l_row`/`l_values` spans of those descendant
+    /// columns — so columns in **disjoint subtrees** never alias (the basis
+    /// of [`factor_parallel`](Self::factor_parallel)). `pattern` is a
+    /// caller-private stack of length ≥ `n`.
+    #[allow(unsafe_code)]
+    unsafe fn factor_column(
+        &self,
+        k: usize,
+        values: &[f64],
+        diag_add: &[f64],
+        buf: &ColumnBuffers,
+        pattern: *mut usize,
+    ) -> bool {
+        let n = self.n;
+        // Pattern of row k of L: nodes reachable from the column's
+        // entries through the elimination tree, in topological order.
+        let mut top = n;
+        *buf.flag.add(k) = k;
+        *buf.y.add(k) = 0.0;
+        for p in self.a_col_ptr[k]..self.a_col_ptr[k + 1] {
+            let i = self.a_row[p];
+            *buf.y.add(i) += values[self.a_val_pos[p]];
+            let mut len = 0;
+            let mut j = i;
+            while *buf.flag.add(j) != k {
+                *pattern.add(len) = j;
+                len += 1;
+                *buf.flag.add(j) = k;
+                j = self.parent[j];
+            }
+            while len > 0 {
+                len -= 1;
+                top -= 1;
+                *pattern.add(top) = *pattern.add(len);
+            }
+        }
+        let mut dk = values[self.a_diag_pos[k]] + diag_add[self.perm[k]];
+        for t in top..n {
+            let j = *pattern.add(t);
+            let yj = *buf.y.add(j);
+            *buf.y.add(j) = 0.0;
+            let slot = *buf.next_slot.add(j);
+            for p in self.l_col_ptr[j]..slot {
+                *buf.y.add(*buf.l_row.add(p)) -= *buf.l_values.add(p) * yj;
+            }
+            let dj = *buf.d.add(j);
+            let lkj = yj / dj;
+            dk -= lkj * yj;
+            *buf.l_row.add(slot) = k;
+            *buf.l_values.add(slot) = lkj;
+            *buf.next_slot.add(j) = slot + 1;
+        }
+        // A NaN pivot fails both comparisons, so non-finite values are
+        // rejected along with non-positive ones.
+        if dk <= 0.0 || !dk.is_finite() {
+            return false;
+        }
+        *buf.d.add(k) = dk;
+        true
+    }
+
+    /// Partitions the columns for parallel factorization: maximal
+    /// elimination-tree subtrees small enough to balance across `threads`
+    /// workers, plus the serial top-of-tree remainder.
+    ///
+    /// Columns inside a subtree stay in ascending order and the top columns
+    /// run last, also ascending — exactly the visit order of the serial
+    /// factorization, so the arithmetic (and the factor's bit pattern) is
+    /// unchanged no matter how subtrees are spread over workers.
+    pub fn subtree_schedule(&self, threads: usize) -> SubtreeSchedule {
+        let n = self.n;
+        // Subtree sizes: children precede parents (parent[k] > k), so one
+        // ascending pass suffices.
+        let mut size = vec![1usize; n];
+        for k in 0..n {
+            if self.parent[k] != NONE {
+                size[self.parent[k]] += size[k];
+            }
+        }
+        // A column is "top" when its subtree is too big to hand to one
+        // worker. Subtree size is monotone up the tree, so the top set is
+        // upward-closed and everything below it splits into independent
+        // subtrees.
+        let cutoff = (n / threads.max(1).saturating_mul(4)).max(32);
+        let is_top: Vec<bool> = size.iter().map(|&s| s > cutoff).collect();
+        // Assign each non-top column to the root of its maximal non-top
+        // subtree. Parents have larger indices, so a descending pass sees
+        // the parent's assignment first.
+        let mut root = vec![NONE; n];
+        for k in (0..n).rev() {
+            if is_top[k] {
+                continue;
+            }
+            let p = self.parent[k];
+            root[k] = if p == NONE || is_top[p] { k } else { root[p] };
+        }
+        let mut subtrees_by_root: Vec<Vec<usize>> = Vec::new();
+        let mut root_slot = vec![NONE; n];
+        let mut top = Vec::new();
+        for k in 0..n {
+            if is_top[k] {
+                top.push(k);
+            } else {
+                let r = root[k];
+                if root_slot[r] == NONE {
+                    root_slot[r] = subtrees_by_root.len();
+                    subtrees_by_root.push(Vec::new());
+                }
+                subtrees_by_root[root_slot[r]].push(k);
+            }
+        }
+        SubtreeSchedule {
+            subtrees: subtrees_by_root,
+            top,
+        }
+    }
+
+    /// Like [`factor`](Self::factor), but with the independent
+    /// elimination-tree subtrees of [`subtree_schedule`](Self::
+    /// subtree_schedule) factored on up to `threads` worker threads before
+    /// the serial top-of-tree pass. Falls back to the serial path when the
+    /// budget or the schedule offers no parallelism.
+    ///
+    /// The result — factor values, pivots, and the success verdict — is
+    /// bitwise identical to the serial factorization: every column performs
+    /// the same operations in the same order, only *which thread* runs a
+    /// subtree changes.
+    #[allow(unsafe_code)]
+    pub fn factor_parallel(
+        &self,
+        values: &[f64],
+        diag_add: &[f64],
+        num: &mut LdlNumeric,
+        threads: usize,
+    ) -> bool {
+        if threads <= 1 || self.n < 64 {
+            return self.factor(values, diag_add, num);
+        }
+        let schedule = self.subtree_schedule(threads);
+        if schedule.subtrees.len() <= 1 {
+            return self.factor(values, diag_add, num);
+        }
+        let n = self.n;
+        num.next_slot.copy_from_slice(&self.l_col_ptr[..n]);
+        let buffers = ColumnBuffers::from_numeric(num);
+        let ok = std::sync::atomic::AtomicBool::new(true);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let workers = threads.min(schedule.subtrees.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let buffers = &buffers;
+                let schedule = &schedule;
+                let ok = &ok;
+                let next = &next;
+                scope.spawn(move || {
+                    // Worker-private pattern stack; every other buffer is
+                    // shared but touched at subtree-disjoint indices.
+                    let mut pattern = vec![0usize; n];
+                    loop {
+                        let s = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if s >= schedule.subtrees.len()
+                            || !ok.load(std::sync::atomic::Ordering::Relaxed)
+                        {
+                            return;
+                        }
+                        for &k in &schedule.subtrees[s] {
+                            // SAFETY: columns of distinct subtrees touch
+                            // disjoint indices (see `factor_column`), and a
+                            // subtree is processed by exactly one worker.
+                            let fine = unsafe {
+                                self.factor_column(
+                                    k,
+                                    values,
+                                    diag_add,
+                                    buffers,
+                                    pattern.as_mut_ptr(),
+                                )
+                            };
+                            if !fine {
+                                ok.store(false, std::sync::atomic::Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        if !ok.load(std::sync::atomic::Ordering::Relaxed) {
+            return false;
+        }
+        // Top-of-tree columns depend on multiple subtrees: serial, ascending.
+        let pattern = num.pattern.as_mut_ptr();
+        for &k in &schedule.top {
+            // SAFETY: the worker scope has joined; access is exclusive again.
+            if !unsafe { self.factor_column(k, values, diag_add, &buffers, pattern) } {
+                return false;
+            }
         }
         true
     }
@@ -816,6 +1076,77 @@ mod tests {
         assert!(!symbolic.factor(&values, &[0.0, 0.0], &mut numeric));
         // Damping restores positive definiteness.
         assert!(symbolic.factor(&values, &[1e-3, 1e-3], &mut numeric));
+    }
+
+    #[test]
+    fn the_subtree_schedule_partitions_every_column_exactly_once() {
+        // Four 25-column chains coupled only through their last columns: the
+        // elimination tree is four branches meeting below a small top — the
+        // shape subtree parallelism exploits. (A single band would give a
+        // path etree and, correctly, a single subtree.)
+        let mut patterns: Vec<Vec<usize>> = Vec::new();
+        for g in 0..4 {
+            for i in 0..24 {
+                patterns.push(vec![25 * g + i, 25 * g + i + 1]);
+            }
+        }
+        patterns.push(vec![24, 49, 74, 99]);
+        let jtj = JtjPattern::new(100, patterns);
+        let (row_ptr, col_idx) = jtj.pattern();
+        let symbolic = SymbolicLdl::analyze(100, row_ptr, col_idx);
+        let schedule = symbolic.subtree_schedule(4);
+        let mut seen = vec![0usize; 100];
+        for subtree in schedule.subtrees() {
+            assert!(!subtree.is_empty());
+            for w in subtree.windows(2) {
+                assert!(w[0] < w[1], "subtree columns must ascend");
+            }
+            for &k in subtree {
+                seen[k] += 1;
+            }
+        }
+        for w in schedule.top().windows(2) {
+            assert!(w[0] < w[1], "top columns must ascend");
+        }
+        for &k in schedule.top() {
+            seen[k] += 1;
+        }
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "every column appears exactly once: {seen:?}"
+        );
+        assert!(
+            schedule.subtrees().len() > 1,
+            "a banded etree must split into multiple subtrees"
+        );
+    }
+
+    #[test]
+    fn parallel_factorization_rejects_what_the_serial_one_rejects() {
+        // 80 decoupled 2×2 indefinite blocks: the failing pivot sits inside
+        // a worker subtree, not the serial top.
+        let patterns: Vec<Vec<usize>> = (0..40).map(|i| vec![2 * i, 2 * i + 1]).collect();
+        let jtj = JtjPattern::new(80, patterns);
+        let mut values = jtj.values_buffer();
+        let mut scratch = JtjScratch::default();
+        for i in 0..40 {
+            // Outer product [1, 1]: singular, so the second pivot of each
+            // block is exactly zero without damping.
+            jtj.accumulate_row(i, &[(2 * i, 1.0), (2 * i + 1, 1.0)], &mut values, &mut scratch);
+        }
+        let (row_ptr, col_idx) = jtj.pattern();
+        let symbolic = SymbolicLdl::analyze(80, row_ptr, col_idx);
+        let mut numeric = symbolic.numeric();
+        let zero = vec![0.0; 80];
+        assert!(!symbolic.factor_parallel(&values, &zero, &mut numeric, 4));
+        // Damping restores positive definiteness — including after the
+        // failed attempt (no stale state may leak between factor calls).
+        let damp = vec![1e-3; 80];
+        assert!(symbolic.factor_parallel(&values, &damp, &mut numeric, 4));
+        let mut serial = symbolic.numeric();
+        assert!(symbolic.factor(&values, &damp, &mut serial));
+        assert_eq!(serial.pivots(), numeric.pivots());
+        assert_eq!(serial.factor_values(), numeric.factor_values());
     }
 
     #[test]

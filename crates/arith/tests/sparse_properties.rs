@@ -180,6 +180,109 @@ proptest! {
     }
 
     #[test]
+    fn chunked_jtj_merge_matches_dense_and_is_chunk_order_invariant(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        raw in raw_entries(),
+        chunks in 1usize..5,
+    ) {
+        let system = build_system(rows, cols, raw);
+        let pattern = JtjPattern::new(system.cols, patterns_of(&system));
+        let mut scratch = JtjScratch::default();
+        // Fixed chunk boundaries over the row range (never a function of the
+        // worker count).
+        let chunk_size = system.rows.div_ceil(chunks);
+        let ranges: Vec<std::ops::Range<usize>> = (0..chunks)
+            .map(|c| (c * chunk_size).min(system.rows)..((c + 1) * chunk_size).min(system.rows))
+            .collect();
+        let fill = |range: &std::ops::Range<usize>| {
+            let mut partial = pattern.values_buffer();
+            let mut scratch = JtjScratch::default();
+            for r in range.clone() {
+                pattern.accumulate_row(r, &system.entries[r], &mut partial, &mut scratch);
+            }
+            partial
+        };
+        // "Thread schedule A": fill chunks first-to-last; "schedule B":
+        // last-to-first. The merge itself always runs in chunk-index order.
+        let partials_fwd: Vec<Vec<f64>> = ranges.iter().map(&fill).collect();
+        let mut partials_rev: Vec<Vec<f64>> = ranges.iter().rev().map(&fill).collect();
+        partials_rev.reverse();
+        let mut merged_fwd = pattern.values_buffer();
+        let mut merged_rev = pattern.values_buffer();
+        for c in 0..chunks {
+            pattern.merge_partial(&mut merged_fwd, &partials_fwd[c]);
+            pattern.merge_partial(&mut merged_rev, &partials_rev[c]);
+        }
+        // Bitwise invariance across fill orders: the worker count never
+        // shows in the output.
+        prop_assert_eq!(
+            merged_fwd.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            merged_rev.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // And the merged accumulation is still the normal matrix.
+        let mut serial = pattern.values_buffer();
+        for (r, row) in system.entries.iter().enumerate() {
+            pattern.accumulate_row(r, row, &mut serial, &mut scratch);
+        }
+        for (m, s) in merged_fwd.iter().zip(&serial) {
+            prop_assert!((m - s).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn subtree_parallel_factor_is_bitwise_equal_to_serial(
+        raw in proptest::collection::vec(
+            proptest::collection::vec((0usize..96, -4.0f64..4.0), 0..5),
+            48,
+        ),
+        damping in 0.01f64..2.0,
+        threads in 2usize..9,
+    ) {
+        // A 96-variable system: big enough to clear factor_parallel's
+        // small-matrix fallback and produce a real subtree schedule.
+        let n = 96;
+        let system = build_system(48, n, raw);
+        let pattern = JtjPattern::new(n, patterns_of(&system));
+        let mut values = pattern.values_buffer();
+        let mut scratch = JtjScratch::default();
+        for (r, row) in system.entries.iter().enumerate() {
+            pattern.accumulate_row(r, row, &mut values, &mut scratch);
+        }
+        let (row_ptr, col_idx) = pattern.pattern();
+        let symbolic = SymbolicLdl::analyze(n, row_ptr, col_idx);
+        let diag_add = vec![damping; n];
+        let mut serial = symbolic.numeric();
+        prop_assert!(symbolic.factor(&values, &diag_add, &mut serial));
+        let mut parallel = symbolic.numeric();
+        prop_assert!(symbolic.factor_parallel(&values, &diag_add, &mut parallel, threads));
+        // Bitwise: every pivot and factor entry, not just "close".
+        prop_assert_eq!(
+            serial.pivots().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            parallel.pivots().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            serial.factor_values().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            parallel.factor_values().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // And the parallel factor solves against the dense oracle.
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut x = b.clone();
+        symbolic.solve(&mut parallel, &mut x);
+        let mut dense = pattern.to_dense(&values);
+        for i in 0..n {
+            dense.add_to(i, i, damping);
+        }
+        let oracle = dense.solve(&Vector::from_slice(&b)).expect("PD system");
+        for i in 0..n {
+            prop_assert!(
+                (x[i] - oracle[i]).abs() < 1e-6 * (1.0 + oracle[i].abs()),
+                "solve mismatch at {}: {} vs {}", i, x[i], oracle[i]
+            );
+        }
+    }
+
+    #[test]
     fn dense_into_buffer_variants_match_the_allocating_forms(
         rows in 1usize..8,
         cols in 1usize..8,

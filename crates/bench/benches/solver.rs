@@ -1,6 +1,6 @@
 //! Criterion benchmarks for the Step-4 solve stage.
 //!
-//! Three groups:
+//! Four groups:
 //!
 //! * `lm_iteration` — one damped normal-equations iteration (accumulate
 //!   `JᵀJ`/`Jᵀr` from sparse rows, numeric LDLᵀ factor, triangular solves)
@@ -11,6 +11,13 @@
 //!   iteration shapes come from `polyinv_bench::probe`, shared with the
 //!   `solver_comparison` example so every consumer measures the same
 //!   algorithm.
+//! * `lm_iteration_large` — the same single iteration on the *presolved*
+//!   systems of the formerly size-capped rows (euclidex1, merge-sort), at
+//!   1/2/4/8 evaluation worker threads. This is where the chunked parallel
+//!   evaluation pays off; the serial/8-thread ratio is the scaling
+//!   acceptance number (expect ≥3× on an 8-core box; on fewer cores the
+//!   curve flattens accordingly — the outputs stay byte-identical either
+//!   way).
 //! * `symbolic_setup` — the once-per-problem cost the sparse path amortizes
 //!   (pattern construction + minimum-degree ordering + symbolic LDLᵀ).
 //! * `weak_synthesis_e2e` — an end-to-end weak synthesis (Steps 1–4)
@@ -18,12 +25,13 @@
 //!
 //! CI smoke-compiles everything and short-runs the sparse iteration
 //! benches (`cargo bench -p polyinv-bench --bench solver -- sparse`); the
-//! full runs — including the slow dense oracle — are for local perf work.
+//! full runs — including the slow dense oracle and the large-system
+//! scaling group — are for local perf work.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use polyinv_bench::probe::{dense_iteration, table_problem, SparseProbe};
+use polyinv_bench::probe::{dense_iteration, presolved_table_problem, table_problem, SparseProbe};
 
 fn lm_iteration(c: &mut Criterion) {
     let mut group = c.benchmark_group("lm_iteration");
@@ -45,6 +53,38 @@ fn lm_iteration(c: &mut Criterion) {
     group.bench_function("dense/cohendiv", |b| {
         b.iter(|| dense_iteration(&problem, &x, 1e-3))
     });
+    group.finish();
+}
+
+fn lm_iteration_large(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lm_iteration_large");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(30));
+    // The presolved systems of two formerly size-capped rows: what Step 4
+    // actually receives once the orchestrator's presolve has run. Checksums
+    // are asserted equal across thread counts so a run that loses bitwise
+    // determinism fails loudly instead of publishing misleading numbers.
+    for name in ["euclidex1", "merge-sort"] {
+        let problem = presolved_table_problem(name);
+        let x = vec![0.05; problem.num_vars];
+        let mut reference = None;
+        for threads in [1usize, 2, 4, 8] {
+            let mut probe = SparseProbe::with_threads(problem.clone(), threads);
+            let checksum = probe.iteration(&x, 1e-3);
+            match reference {
+                None => reference = Some(checksum),
+                Some(expected) => assert_eq!(
+                    expected.to_bits(),
+                    checksum.to_bits(),
+                    "{name}: iteration diverged at {threads} threads"
+                ),
+            }
+            group.bench_function(format!("{name}/threads{threads}"), |b| {
+                b.iter(|| probe.iteration(&x, 1e-3))
+            });
+        }
+    }
     group.finish();
 }
 
@@ -86,5 +126,11 @@ fn weak_synthesis_e2e(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, lm_iteration, symbolic_setup, weak_synthesis_e2e);
+criterion_group!(
+    benches,
+    lm_iteration,
+    lm_iteration_large,
+    symbolic_setup,
+    weak_synthesis_e2e
+);
 criterion_main!(benches);

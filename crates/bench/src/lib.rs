@@ -165,36 +165,62 @@ impl SolveStatus {
 pub enum SolvePolicy {
     /// Generation-only run: the row carries no solve block (`solve: null`).
     None,
-    /// Run the weak-synthesis solve through the orchestrator.
-    Attempt,
-    /// Emit an explicit skipped solve block carrying `reason`.
+    /// Run the weak-synthesis solve through the orchestrator under a
+    /// wall-clock budget (`0.0` = unbudgeted: run the full ladder).
+    Attempt {
+        /// Per-row solve budget in seconds. The first ladder rung always
+        /// runs, so even a tight budget yields a real verdict.
+        budget_seconds: f64,
+    },
+    /// Emit an explicit skipped solve block. Only produced when the caller
+    /// asked for an explicit size cap — the default policy attempts every
+    /// row under the wall-clock budget instead.
     Skip {
-        /// Machine-readable reason the solve was not attempted.
-        reason: String,
+        /// The paper system-size cap the row exceeded.
+        cap: usize,
     },
 }
 
-/// Paper system-size cap above which `reproduce --solve` skips the solve
-/// attempt (the generated quadratic systems grow past the local solver
-/// budget well before this point).
-pub const SOLVE_SIZE_CAP: usize = 6000;
+/// Default per-row wall-clock solve budget of `reproduce --solve`, in
+/// seconds. Replaces the old hard paper-size cap (6000): every row is now
+/// attempted, and rows the budget cannot certify come back as `failed`
+/// with real solver statistics instead of `skipped`. Override per run with
+/// `--solve-cap SECONDS`.
+pub const DEFAULT_SOLVE_BUDGET_SECONDS: f64 = 120.0;
 
 /// The solve policy `reproduce` applies to one row: attempt every row
-/// within [`SOLVE_SIZE_CAP`], skip the rest with an explicit
-/// machine-readable reason.
+/// under the default wall-clock budget
+/// ([`DEFAULT_SOLVE_BUDGET_SECONDS`]).
 pub fn solve_policy_for(benchmark: &Benchmark, solve: bool) -> SolvePolicy {
+    solve_policy_with_budget(benchmark, solve, DEFAULT_SOLVE_BUDGET_SECONDS, None)
+}
+
+/// [`solve_policy_for`] with an explicit wall-clock budget and an optional
+/// paper system-size cap. The cap is opt-in (there is no default size cap
+/// any more): rows above it skip with a machine-readable reason naming
+/// both the paper and generated sizes.
+pub fn solve_policy_with_budget(
+    benchmark: &Benchmark,
+    solve: bool,
+    budget_seconds: f64,
+    size_cap: Option<usize>,
+) -> SolvePolicy {
     if !solve {
         SolvePolicy::None
-    } else if benchmark.paper.system_size <= SOLVE_SIZE_CAP {
-        SolvePolicy::Attempt
+    } else if let Some(cap) = size_cap.filter(|cap| benchmark.paper.system_size > *cap) {
+        SolvePolicy::Skip { cap }
     } else {
-        SolvePolicy::Skip {
-            reason: format!(
-                "size-cap:{}>{}",
-                benchmark.paper.system_size, SOLVE_SIZE_CAP
-            ),
-        }
+        SolvePolicy::Attempt { budget_seconds }
     }
+}
+
+/// The machine-readable reason of a size-capped skip. Names the paper's
+/// reported system size (what the cap compares against) *and* the size of
+/// our generated system explicitly — the row's `size` field prints the
+/// generated size, so a reason naming only one of them reads as a
+/// mismatch.
+pub fn size_cap_reason(paper_size: usize, generated_size: usize, cap: usize) -> String {
+    format!("size-cap:paper={paper_size},generated={generated_size},cap={cap}")
 }
 
 /// The solve part of a row.
@@ -296,11 +322,7 @@ pub fn validation_for_tables() -> ValidationConfig {
 /// Panics if the embedded benchmark program fails to parse (guarded by the
 /// benchmark crate's tests).
 pub fn run_row_on(engine: &Engine, benchmark: &Benchmark, solve: bool) -> RowResult {
-    let policy = if solve {
-        SolvePolicy::Attempt
-    } else {
-        SolvePolicy::None
-    };
+    let policy = solve_policy_for(benchmark, solve);
     run_row_full(engine, benchmark, policy, false)
 }
 
@@ -371,8 +393,12 @@ pub fn run_row_full(
     let mut presolve = None;
     let solve_row = match solve {
         SolvePolicy::None => None,
-        SolvePolicy::Skip { reason } => Some(SolveRow::skipped(reason)),
-        SolvePolicy::Attempt => {
+        SolvePolicy::Skip { cap } => Some(SolveRow::skipped(size_cap_reason(
+            benchmark.paper.system_size,
+            our_size,
+            cap,
+        ))),
+        SolvePolicy::Attempt { budget_seconds } => {
             // The weak request runs the full orchestrator ladder with its own
             // per-rung systems: the ϒ-ladder deliberately attempts the much
             // smaller ϒ = 0 reduction before the full one above, so the
@@ -380,14 +406,13 @@ pub fn run_row_full(
             // the same plan is served by the validation driver so the
             // solution's assignment goes through trace falsification on top
             // of the orchestrator's certificate.
+            let request = solve_request(benchmark).with_solve_budget(budget_seconds);
             let outcome = if validate {
-                polyinv_validate::run_validated_with_plan(
-                    &solve_request(benchmark),
-                    &config,
-                    SolvePlan::new,
-                )
+                polyinv_validate::run_validated_with_plan(&request, &config, |options| {
+                    SolvePlan::new(options).with_solve_budget(budget_seconds)
+                })
             } else {
-                engine.run(&solve_request(benchmark))
+                engine.run(&request)
             };
             match outcome {
                 Ok(report) => {
@@ -585,6 +610,8 @@ fn solve_row_json(solve: Option<&SolveRow>) -> Json {
                 "solve_triangular_seconds",
                 Json::Number(stats.solve_seconds),
             ),
+            ("eval_seconds", Json::Number(stats.eval_seconds)),
+            ("threads", Json::Number(stats.threads as f64)),
         ]);
     }
     fields.push((
@@ -824,6 +851,8 @@ mod tests {
                     factorizations: 44,
                     factor_seconds: 0.2,
                     solve_seconds: 0.01,
+                    eval_seconds: 0.05,
+                    threads: 4,
                 }),
             }),
             presolve: Some(PresolveRecord {
@@ -868,6 +897,8 @@ mod tests {
                 .unwrap()
                 > 0.0
         );
+        assert_eq!(solve.get("eval_seconds").unwrap().as_f64(), Some(0.05));
+        assert_eq!(solve.get("threads").unwrap().as_usize(), Some(4));
         let reparsed = Json::parse(&json.pretty()).unwrap();
         assert_eq!(reparsed, json);
     }
@@ -876,13 +907,16 @@ mod tests {
     fn skipped_rows_emit_explicit_solve_blocks() {
         // Satellite of the "silent solve: null" bugfix: a row the harness
         // declines to solve still serializes a full solve block with a
-        // skipped status and a machine-readable reason.
+        // skipped status and a machine-readable reason. Size caps are
+        // opt-in now; the reason names the paper *and* generated sizes so
+        // it cannot be misread against the row's `size` field.
         let benchmark = polyinv_benchmarks::by_name("merge-sort").unwrap();
-        let policy = solve_policy_for(&benchmark, true);
-        let SolvePolicy::Skip { reason } = policy else {
-            panic!("merge-sort (paper |S| 33002) must exceed the solve cap");
+        let policy = solve_policy_with_budget(&benchmark, true, 60.0, Some(6000));
+        let SolvePolicy::Skip { cap } = policy else {
+            panic!("merge-sort (paper |S| 33002) must exceed the requested cap");
         };
-        assert_eq!(reason, format!("size-cap:33002>{SOLVE_SIZE_CAP}"));
+        let reason = size_cap_reason(benchmark.paper.system_size, 30778, cap);
+        assert_eq!(reason, "size-cap:paper=33002,generated=30778,cap=6000");
 
         let row = RowResult {
             name: benchmark.name.to_string(),
@@ -907,7 +941,7 @@ mod tests {
         assert_eq!(solve.get("synthesized"), Some(&Json::Bool(false)));
         assert_eq!(
             solve.get("reason").unwrap().as_str(),
-            Some(format!("size-cap:33002>{SOLVE_SIZE_CAP}").as_str())
+            Some("size-cap:paper=33002,generated=30778,cap=6000")
         );
         // No attempt happened, so the solver fields are explicit nulls.
         assert_eq!(solve.get("backend"), Some(&Json::Null));
@@ -918,18 +952,40 @@ mod tests {
     }
 
     #[test]
-    fn solve_policies_follow_the_size_cap() {
+    fn solve_policies_attempt_every_row_under_a_wall_clock_budget() {
+        // The hard 6000 paper-size cap is gone: the default policy attempts
+        // every row (including the formerly-skipped large ones) under the
+        // default wall-clock budget. An explicit size cap stays available
+        // as an opt-in.
+        fn attempt_budget(policy: SolvePolicy) -> Option<f64> {
+            match policy {
+                SolvePolicy::Attempt { budget_seconds } => Some(budget_seconds),
+                _ => None,
+            }
+        }
         let small = polyinv_benchmarks::by_name("pw2").unwrap();
-        assert!(matches!(
-            solve_policy_for(&small, true),
-            SolvePolicy::Attempt
-        ));
+        assert_eq!(
+            attempt_budget(solve_policy_for(&small, true)),
+            Some(DEFAULT_SOLVE_BUDGET_SECONDS)
+        );
         assert!(matches!(solve_policy_for(&small, false), SolvePolicy::None));
         let large = polyinv_benchmarks::by_name("euclidex3").unwrap();
+        assert_eq!(
+            attempt_budget(solve_policy_for(&large, true)),
+            Some(DEFAULT_SOLVE_BUDGET_SECONDS)
+        );
+        assert_eq!(
+            attempt_budget(solve_policy_with_budget(&large, true, 30.0, None)),
+            Some(30.0)
+        );
         assert!(matches!(
-            solve_policy_for(&large, true),
-            SolvePolicy::Skip { .. }
+            solve_policy_with_budget(&large, true, 30.0, Some(6000)),
+            SolvePolicy::Skip { cap: 6000 }
         ));
+        assert_eq!(
+            attempt_budget(solve_policy_with_budget(&small, true, 30.0, Some(6000))),
+            Some(30.0)
+        );
     }
 
     #[test]
@@ -945,7 +1001,14 @@ mod tests {
         // run.
         let engine = engine_for_tables();
         let benchmark = polyinv_benchmarks::by_name("pw2").unwrap();
-        let row = run_row_full(&engine, &benchmark, SolvePolicy::Attempt, false);
+        let row = run_row_full(
+            &engine,
+            &benchmark,
+            SolvePolicy::Attempt {
+                budget_seconds: 0.0,
+            },
+            false,
+        );
         let solve = row.solve.as_ref().expect("the solve was attempted");
         assert_ne!(solve.status, SolveStatus::Skipped);
         let orchestrator = solve

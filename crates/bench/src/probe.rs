@@ -2,21 +2,21 @@
 //! `solver` bench and the `solver_comparison` example so both measure the
 //! same algorithm.
 //!
-//! [`SparseProbe::iteration`] mirrors the *sparse* LM inner loop of
-//! `polyinv_qcqp::LmSolver` (one residual pass scattering the sparse
-//! Jacobian rows into `JᵀJ`/`Jᵀr`, then a damped LDLᵀ factor-solve on the
-//! shared symbolic analysis); [`dense_iteration`] reproduces the dense
+//! [`SparseProbe::iteration`] runs one *sparse* LM inner-loop iteration
+//! through the solver's own public pieces — [`LmWorkspace`] for the
+//! symbolic side, [`LmEvaluator`] for the residual pass scattering the
+//! sparse Jacobian rows into `JᵀJ`/`Jᵀr`, then a damped LDLᵀ factor-solve
+//! on the shared symbolic analysis. Because the probe delegates to the
+//! shipped evaluator instead of duplicating its loop, the benches cannot
+//! silently measure a different algorithm than the solver ships, and the
+//! probe picks up solver-side changes (like the chunked parallel
+//! evaluation) for free. [`dense_iteration`] reproduces the dense
 //! pre-rewrite computation (dense `m×n` Jacobian, dense transpose and
-//! `JᵀJ`, `O(n³)` solve) as the comparison oracle. Keep `SparseProbe` in
-//! sync with `LmSolver` when the inner loop changes — it exists so the
-//! benches never silently measure a different algorithm than the solver
-//! ships.
+//! `JᵀJ`, `O(n³)` solve) as the comparison oracle.
 
-use std::sync::Arc;
-
-use polyinv_arith::{JtjPattern, JtjScratch, LdlNumeric, Matrix, SymbolicLdl, Vector};
+use polyinv_arith::{LdlNumeric, Matrix, Vector};
 use polyinv_lang::Precondition;
-use polyinv_qcqp::{Problem, ProblemStructure};
+use polyinv_qcqp::{LmEvaluator, LmWorkspace, Problem};
 
 use crate::options_for;
 
@@ -35,48 +35,57 @@ pub fn table_problem(name: &str) -> Problem {
     polyinv::bridge::system_to_problem(&generated.system)
 }
 
-/// One sparse solve workspace plus its per-iteration buffers: what
+/// Like [`table_problem`], but with the affine presolve applied first —
+/// the system Step 4 actually receives in the pipeline. This is the scale
+/// the large-system bench group measures.
+///
+/// # Panics
+///
+/// Panics on unknown benchmark names.
+pub fn presolved_table_problem(name: &str) -> Problem {
+    let benchmark = polyinv_benchmarks::by_name(name).unwrap();
+    let program = benchmark.program().unwrap();
+    let pre = Precondition::from_program(&program);
+    let generated =
+        polyinv_constraints::generate(&program, &pre, &options_for(&benchmark)).unwrap();
+    let presolved = polyinv_constraints::presolve(
+        &generated.system,
+        &std::collections::HashMap::new(),
+        &polyinv_constraints::PresolveOptions::default(),
+    );
+    polyinv::bridge::system_to_problem(&presolved.system)
+}
+
+/// One sparse solve workspace plus its numeric factor buffer: what
 /// `LmSolver` builds once per solve (symbolic side) and once per restart
-/// (numeric side).
+/// (numeric side), exposed for per-iteration measurement.
 #[derive(Debug)]
 pub struct SparseProbe {
     problem: Problem,
-    structure: Arc<ProblemStructure>,
-    pattern: JtjPattern,
-    symbolic: SymbolicLdl,
+    ws: LmWorkspace,
     numeric: LdlNumeric,
-    values: Vec<f64>,
-    jtr: Vec<f64>,
-    grad: Vec<f64>,
-    scratch: JtjScratch,
-    entries: Vec<(usize, f64)>,
+    eval_threads: usize,
 }
 
 impl SparseProbe {
-    /// Analyzes the problem: `JᵀJ` pattern, minimum-degree ordering and
-    /// symbolic LDLᵀ, plus zeroed numeric buffers.
+    /// Analyzes the problem with a serial evaluator: `JᵀJ` pattern,
+    /// minimum-degree ordering and symbolic LDLᵀ, plus zeroed numeric
+    /// buffers.
     pub fn new(problem: Problem) -> Self {
-        let structure = problem.structure();
-        let mut rows: Vec<Vec<usize>> = Vec::new();
-        rows.extend(structure.equality_vars.iter().cloned());
-        rows.extend(structure.inequality_vars.iter().cloned());
-        let pattern = JtjPattern::new(problem.num_vars, rows);
-        let (row_ptr, col_idx) = pattern.pattern();
-        let symbolic = SymbolicLdl::analyze(problem.num_vars, row_ptr, col_idx);
-        let numeric = symbolic.numeric();
-        let values = pattern.values_buffer();
-        let n = problem.num_vars;
+        SparseProbe::with_threads(problem, 1)
+    }
+
+    /// [`SparseProbe::new`] with an explicit evaluation worker count
+    /// (`LmOptions::eval_threads`); chunked parallel evaluation engages at
+    /// the same row threshold as the shipping solver.
+    pub fn with_threads(problem: Problem, eval_threads: usize) -> Self {
+        let ws = LmWorkspace::build(&problem, 0.0);
+        let numeric = ws.symbolic().numeric();
         SparseProbe {
             problem,
-            structure,
-            pattern,
-            symbolic,
+            ws,
             numeric,
-            values,
-            jtr: vec![0.0; n],
-            grad: vec![0.0; n],
-            scratch: JtjScratch::default(),
-            entries: Vec::new(),
+            eval_threads: eval_threads.max(1),
         }
     }
 
@@ -87,84 +96,35 @@ impl SparseProbe {
 
     /// Stored entries of the Jacobian pattern.
     pub fn nnz_jacobian(&self) -> usize {
-        self.pattern.jacobian_nnz()
+        self.ws.pattern().jacobian_nnz()
     }
 
     /// Stored entries of the `JᵀJ` lower triangle.
     pub fn nnz_jtj(&self) -> usize {
-        self.pattern.nnz()
+        self.ws.pattern().nnz()
     }
 
     /// Entries of the LDLᵀ factor (unit diagonal included).
     pub fn nnz_factor(&self) -> usize {
-        self.symbolic.nnz_factor()
+        self.ws.symbolic().nnz_factor()
     }
 
     /// One sparse LM iteration at `x` with damping `lambda`: residual pass
-    /// scattering into `JᵀJ`/`Jᵀr`, damped numeric factor, triangular
-    /// solves. Returns a checksum of the step so the work cannot be
-    /// optimized away.
+    /// scattering into `JᵀJ`/`Jᵀr` (through the solver's own evaluator,
+    /// chunked across `eval_threads` workers at scale), damped numeric
+    /// factor, triangular solves. Returns a checksum of the step so the
+    /// work cannot be optimized away.
     pub fn iteration(&mut self, x: &[f64], lambda: f64) -> f64 {
-        let SparseProbe {
-            problem,
-            structure,
-            pattern,
-            symbolic,
-            numeric,
-            values,
-            jtr,
-            grad,
-            scratch,
-            entries,
-        } = self;
-        values.fill(0.0);
-        jtr.fill(0.0);
-        let mut row = 0;
-        for (eq, vars) in problem.equalities.iter().zip(&structure.equality_vars) {
-            let r = eq.eval(x);
-            for &v in vars.iter() {
-                grad[v] = 0.0;
-            }
-            eq.add_gradient(x, grad, 1.0);
-            entries.clear();
-            for &v in vars.iter() {
-                if grad[v] != 0.0 {
-                    entries.push((v, grad[v]));
-                }
-            }
-            pattern.accumulate_row(row, entries, values, scratch);
-            for &(i, g) in entries.iter() {
-                jtr[i] += g * r;
-            }
-            row += 1;
-        }
-        for (ineq, vars) in problem.inequalities.iter().zip(&structure.inequality_vars) {
-            let value = ineq.eval(x);
-            if value < 0.0 {
-                for &v in vars.iter() {
-                    grad[v] = 0.0;
-                }
-                ineq.add_gradient(x, grad, -1.0);
-                entries.clear();
-                for &v in vars.iter() {
-                    if grad[v] != 0.0 {
-                        entries.push((v, grad[v]));
-                    }
-                }
-                pattern.accumulate_row(row, entries, values, scratch);
-                for &(i, g) in entries.iter() {
-                    jtr[i] += g * (-value);
-                }
-            }
-            row += 1;
-        }
-        let diag = pattern.diag_positions();
-        let diag_add: Vec<f64> = (0..problem.num_vars)
+        let mut eval = LmEvaluator::new(&self.problem, &self.ws, 0.0, self.eval_threads);
+        eval.residuals_and_normal(x);
+        let values = eval.jtj_values();
+        let diag = self.ws.pattern().diag_positions();
+        let diag_add: Vec<f64> = (0..self.problem.num_vars)
             .map(|i| lambda * (1.0 + values[diag[i]]))
             .collect();
-        assert!(symbolic.factor(values, &diag_add, numeric));
-        let mut step = jtr.clone();
-        symbolic.solve(numeric, &mut step);
+        assert!(self.ws.symbolic().factor(values, &diag_add, &mut self.numeric));
+        let mut step = eval.jtr().to_vec();
+        self.ws.symbolic().solve(&mut self.numeric, &mut step);
         step.iter().sum()
     }
 }
@@ -252,5 +212,18 @@ mod tests {
         );
         assert!(probe.nnz_jacobian() > 0);
         assert!(probe.nnz_factor() >= 6);
+    }
+
+    #[test]
+    fn probe_iterations_are_identical_across_thread_counts() {
+        // The probe delegates to the shipping evaluator, so its chunked
+        // parallel path must agree bitwise with the serial one.
+        let problem = table_problem("pw2");
+        let x: Vec<f64> = (0..problem.num_vars)
+            .map(|i| 0.05 + 1e-4 * (i % 7) as f64)
+            .collect();
+        let serial = SparseProbe::new(problem.clone()).iteration(&x, 1e-3);
+        let parallel = SparseProbe::with_threads(problem, 4).iteration(&x, 1e-3);
+        assert_eq!(serial.to_bits(), parallel.to_bits());
     }
 }

@@ -56,6 +56,7 @@ REDUCTION OPTIONS:
     --strong                  Enumerate a representative set instead (synth)
     --attempts <n>            Multi-start attempts for --strong
     --generate-only           Steps 1-3 only: report |S|, unknowns, timings
+    --solve-budget <secs>     Wall-clock budget for the whole solve (0 = none)
 
 SERVE OPTIONS:
     --addr <host:port>        Bind address                     (default 127.0.0.1:8924)
@@ -74,6 +75,8 @@ VALIDATION OPTIONS (validate, fuzz):
 
 OUTPUT:
     --json                    Machine-readable JSON on stdout
+    --canonical               JSON with timings/thread counts normalized out —
+                              byte-identical across machines and POLYINV_THREADS
 
 EXIT CODES:
     0 success · 1 negative outcome · 2 usage error · 3 invalid input
@@ -135,6 +138,8 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
 struct CommonArgs {
     file: Option<String>,
     json: bool,
+    canonical: bool,
+    solve_budget: Option<f64>,
     assertions: Vec<AssertionSpec>,
     degree: Option<u32>,
     size: Option<usize>,
@@ -155,6 +160,8 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, CliError> {
     let mut parsed = CommonArgs {
         file: None,
         json: false,
+        canonical: false,
+        solve_budget: None,
         assertions: Vec::new(),
         degree: None,
         size: None,
@@ -179,6 +186,8 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, CliError> {
         };
         match arg.as_str() {
             "--json" => parsed.json = true,
+            "--canonical" => parsed.canonical = true,
+            "--solve-budget" => parsed.solve_budget = Some(parse_number(arg, &value(arg)?)?),
             "--strong" => parsed.strong = true,
             "--generate-only" => parsed.generate_only = true,
             "--no-presolve" => parsed.no_presolve = true,
@@ -244,6 +253,9 @@ fn build_request(
     request.assertions = parsed.assertions.clone();
     request.backend = parsed.backend.clone();
     request.attempts = parsed.attempts;
+    if let Some(budget) = parsed.solve_budget {
+        request = request.with_solve_budget(budget);
+    }
     if let Some(degree) = parsed.degree {
         request.options.degree = degree;
     }
@@ -333,7 +345,7 @@ fn cmd_synth(args: &[String]) -> Result<ExitCode, CliError> {
     let request = build_request(&parsed, mode, source)?.with_id(path);
     let engine = Engine::new();
     let report = engine.run(&request)?;
-    emit_report(&report, parsed.json);
+    emit_report(&report, parsed.json, parsed.canonical);
     Ok(exit_for(&report))
 }
 
@@ -347,7 +359,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, CliError> {
     let request = build_request(&parsed, Mode::Check, source)?.with_id(path);
     let engine = Engine::new();
     let report = engine.run(&request)?;
-    emit_report(&report, parsed.json);
+    emit_report(&report, parsed.json, parsed.canonical);
     Ok(exit_for(&report))
 }
 
@@ -373,7 +385,7 @@ fn cmd_validate(args: &[String]) -> Result<ExitCode, CliError> {
     let request = build_request(&parsed, Mode::Weak, source)?.with_id(path);
     let config = validation_config(&parsed);
     let report = polyinv_validate::run_validated(&request, &config)?;
-    emit_report(&report, parsed.json);
+    emit_report(&report, parsed.json, parsed.canonical);
     let validated = report
         .validate
         .as_ref()
@@ -626,7 +638,14 @@ fn exit_for(report: &SynthesisReport) -> ExitCode {
     }
 }
 
-fn emit_report(report: &SynthesisReport, json: bool) {
+fn emit_report(report: &SynthesisReport, json: bool, canonical: bool) {
+    if canonical {
+        // The canonical form zeroes every timing and normalizes the worker
+        // count, so two runs of the same request print byte-identical JSON
+        // regardless of machine speed or POLYINV_THREADS.
+        println!("{}", report.clone().canonical().to_json().pretty());
+        return;
+    }
     if json {
         println!("{}", report.to_json().pretty());
         return;

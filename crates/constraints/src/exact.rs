@@ -51,6 +51,66 @@ impl Default for ExactCheckConfig {
     }
 }
 
+/// One rung of the certification snap ladder: which grid the template
+/// coefficients snap to (when close enough), and the dyadic denominator for
+/// everything else.
+///
+/// A float candidate sits *near* an exactly-feasible rational point; which
+/// rounding reaches that point depends on the candidate. Coarse `k/64`
+/// coefficients make the prettiest invariants but move each value by up to
+/// `snap_threshold`; when the system's constraints are too tight for that
+/// perturbation, a finer grid — or no snapping at all, at a higher dyadic
+/// resolution — can still land inside the feasible region. The ladder
+/// ([`snap_ladder`]) tries policies coarse-to-fine and accepts the first
+/// certificate that passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapPolicy {
+    /// Template unknowns within `snap_threshold` of a `k/grid` point snap
+    /// to it; `None` disables snapping (templates round dyadically too).
+    pub snap_grid: Option<i128>,
+    /// Denominator exponent of the dyadic rounding (`2^bits`).
+    pub dyadic_bits: u32,
+}
+
+impl SnapPolicy {
+    /// A stable human-readable name (`"snap/64+dyadic24"`,
+    /// `"dyadic32"`, …) recorded in the report.
+    pub fn describe(&self) -> String {
+        match self.snap_grid {
+            Some(grid) => format!("snap/{grid}+dyadic{}", self.dyadic_bits),
+            None => format!("dyadic{}", self.dyadic_bits),
+        }
+    }
+}
+
+/// The coarse-to-fine rounding ladder of [`exact_recheck_ladder`]: the
+/// config's own policy first (presentation-friendly `k/64` snapping), then
+/// a 4× finer snap grid, then pure dyadic rounding at the configured and at
+/// 32-bit resolution. Deduplicated so a custom config cannot run the same
+/// policy twice.
+pub fn snap_ladder(config: &ExactCheckConfig) -> Vec<SnapPolicy> {
+    let mut ladder = vec![
+        SnapPolicy {
+            snap_grid: Some(64),
+            dyadic_bits: config.dyadic_bits,
+        },
+        SnapPolicy {
+            snap_grid: Some(256),
+            dyadic_bits: config.dyadic_bits,
+        },
+        SnapPolicy {
+            snap_grid: None,
+            dyadic_bits: config.dyadic_bits,
+        },
+        SnapPolicy {
+            snap_grid: None,
+            dyadic_bits: 32,
+        },
+    ];
+    ladder.dedup();
+    ladder
+}
+
 /// The outcome of an exact re-check.
 #[derive(Debug, Clone)]
 pub struct ExactReport {
@@ -65,6 +125,9 @@ pub struct ExactReport {
     /// `true` if any evaluation overflowed `i128` rational arithmetic
     /// (reported as a failure: the check could not prove the bound).
     pub overflowed: bool,
+    /// The rounding policy that produced this report
+    /// ([`SnapPolicy::describe`]).
+    pub rounding: String,
 }
 
 impl ExactReport {
@@ -98,6 +161,25 @@ pub fn exact_assignment(
     assignment: &[f64],
     config: &ExactCheckConfig,
 ) -> Vec<Rational> {
+    exact_assignment_with(
+        system,
+        assignment,
+        config,
+        SnapPolicy {
+            snap_grid: Some(64),
+            dyadic_bits: config.dyadic_bits,
+        },
+    )
+}
+
+/// [`exact_assignment`] under an explicit rounding policy (one rung of the
+/// snap ladder).
+pub fn exact_assignment_with(
+    system: &QuadraticSystem,
+    assignment: &[f64],
+    config: &ExactCheckConfig,
+    policy: SnapPolicy,
+) -> Vec<Rational> {
     system
         .registry
         .iter()
@@ -108,12 +190,15 @@ pub fn exact_assignment(
                 UnknownKind::Template { .. } | UnknownKind::PostTemplate { .. }
             );
             if is_template {
-                let snapped = Rational::approximate((value * 64.0).round() / 64.0);
-                if (snapped.to_f64() - value).abs() < config.snap_threshold {
-                    return snapped;
+                if let Some(grid) = policy.snap_grid {
+                    let grid_f = grid as f64;
+                    let snapped = Rational::approximate((value * grid_f).round() / grid_f);
+                    if (snapped.to_f64() - value).abs() < config.snap_threshold {
+                        return snapped;
+                    }
                 }
             }
-            dyadic(value, config.dyadic_bits)
+            dyadic(value, policy.dyadic_bits)
         })
         .collect()
 }
@@ -174,13 +259,63 @@ pub fn exact_recheck(
     assignment: &[f64],
     config: &ExactCheckConfig,
 ) -> ExactReport {
-    let values = exact_assignment(system, assignment, config);
+    exact_recheck_with(
+        system,
+        assignment,
+        config,
+        SnapPolicy {
+            snap_grid: Some(64),
+            dyadic_bits: config.dyadic_bits,
+        },
+    )
+}
+
+/// Runs the re-check down the coarse-to-fine [`snap_ladder`]: the first
+/// policy whose rounded assignment passes wins (its report is returned).
+/// When none passes, the report of the policy with the smallest exact
+/// violation is returned — non-overflowing reports always beat overflowing
+/// ones — so "how close was the best rounding" survives into diagnostics.
+pub fn exact_recheck_ladder(
+    system: &QuadraticSystem,
+    assignment: &[f64],
+    config: &ExactCheckConfig,
+) -> ExactReport {
+    let mut best: Option<ExactReport> = None;
+    for policy in snap_ladder(config) {
+        let report = exact_recheck_with(system, assignment, config, policy);
+        if report.passed() {
+            return report;
+        }
+        let better = match &best {
+            None => true,
+            Some(current) => {
+                (!report.overflowed && current.overflowed)
+                    || (report.overflowed == current.overflowed
+                        && report.worst_violation < current.worst_violation)
+            }
+        };
+        if better {
+            best = Some(report);
+        }
+    }
+    best.expect("the snap ladder is never empty")
+}
+
+/// [`exact_recheck`] under an explicit rounding policy.
+pub fn exact_recheck_with(
+    system: &QuadraticSystem,
+    assignment: &[f64],
+    config: &ExactCheckConfig,
+    policy: SnapPolicy,
+) -> ExactReport {
+    let values = exact_assignment_with(system, assignment, config, policy);
     let mut report = ExactReport {
         constraints: system.size(),
         worst_violation: Rational::zero(),
         worst_constraint: String::new(),
         tolerance: config.tolerance,
         overflowed: false,
+        rounding: policy.describe(),
     };
     let mut consider = |violation: Option<Rational>, description: String| match violation {
         None => report.overflowed = true,
@@ -266,6 +401,63 @@ mod tests {
             },
         );
         assert!(!tight.passed());
+    }
+
+    #[test]
+    fn the_snap_ladder_escalates_to_a_finer_snap_grid() {
+        // t = 1/256 exactly; the float candidate is 1e-5 off. The k/64 rung
+        // cannot snap (no grid point within the threshold) so it rounds
+        // dyadically and keeps the 1e-5 error, which the 1024× coefficient
+        // amplifies past the tolerance; the k/256 rung snaps to the exact
+        // point and certifies.
+        let mut registry = UnknownRegistry::new();
+        let t = registry.fresh(UnknownKind::PostTemplate {
+            function: "f".to_string(),
+            conjunct: 0,
+            monomial: 0,
+        });
+        let mut system = QuadraticSystem::new(registry);
+        let mut eq = LinExpr::unknown(t).mul(&LinExpr::constant(Rational::from_int(1024)));
+        eq.add_constant(Rational::from_int(-4));
+        system.equalities.push(eq);
+        let candidate = [1.0 / 256.0 + 1e-5];
+        let config = ExactCheckConfig::default();
+        let coarse = exact_recheck(&system, &candidate, &config);
+        assert!(!coarse.passed(), "the k/64 policy alone must fail here");
+        let report = exact_recheck_ladder(&system, &candidate, &config);
+        assert!(report.passed());
+        assert_eq!(report.rounding, "snap/256+dyadic24");
+    }
+
+    #[test]
+    fn the_snap_ladder_raises_the_dyadic_resolution_when_needed() {
+        // u = 2^-28 needs more than 24 bits of denominator: the 2^24 dyadic
+        // rounding collapses it to 0 and the 2^28 coefficient turns that
+        // into a violation of 1; the final 2^32 rung represents it exactly.
+        let mut registry = UnknownRegistry::new();
+        let u = registry.fresh(UnknownKind::Witness { pair: 0 });
+        let mut system = QuadraticSystem::new(registry);
+        let mut eq =
+            LinExpr::unknown(u).mul(&LinExpr::constant(Rational::from_int(1i64 << 28)));
+        eq.add_constant(Rational::from_int(-1));
+        system.equalities.push(eq);
+        let candidate = [1.0 / (1u64 << 28) as f64];
+        let config = ExactCheckConfig::default();
+        assert!(!exact_recheck(&system, &candidate, &config).passed());
+        let report = exact_recheck_ladder(&system, &candidate, &config);
+        assert!(report.passed());
+        assert_eq!(report.rounding, "dyadic32");
+    }
+
+    #[test]
+    fn an_uncertifiable_point_reports_its_best_rung() {
+        // No rounding can fix a gross violation; the ladder returns the
+        // rung with the smallest exact violation for diagnostics.
+        let system = tiny_system();
+        let report = exact_recheck_ladder(&system, &[-1.0, 1.0], &ExactCheckConfig::default());
+        assert!(!report.passed());
+        assert_eq!(report.worst_violation, Rational::from_int(2));
+        assert!(!report.rounding.is_empty());
     }
 
     #[test]

@@ -34,7 +34,8 @@ pub mod unknowns;
 
 pub use error::ConstraintError;
 pub use exact::{
-    exact_assignment, exact_recheck, instantiate_exact, ExactCheckConfig, ExactReport,
+    exact_assignment, exact_recheck, exact_recheck_ladder, instantiate_exact, ExactCheckConfig,
+    ExactReport, SnapPolicy,
 };
 pub use options::{
     generate, prepare, reduce_pairs, GeneratedSystem, SosEncoding, SynthesisOptions,

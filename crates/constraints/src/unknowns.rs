@@ -18,7 +18,11 @@ use polyinv_lang::Label;
 use polyinv_poly::UnknownId;
 
 /// The provenance of an unknown.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Kinds are `Eq + Hash` so a solution found at one ϒ-rung can be keyed by
+/// provenance and replayed as a warm start at the next rung, where the same
+/// unknown generally has a different dense index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum UnknownKind {
     /// A template coefficient `s_{ℓ,i,j}`: conjunct `i`, monomial index `j`
     /// of the invariant template at label `ℓ`.

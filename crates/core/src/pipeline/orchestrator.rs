@@ -26,14 +26,17 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use polyinv_arith::Rational;
-use polyinv_constraints::exact::{exact_recheck, ExactCheckConfig, ExactReport};
+use polyinv_constraints::exact::{exact_recheck_ladder, ExactCheckConfig, ExactReport};
 use polyinv_constraints::{
     ConstraintError, GeneratedSystem, PresolveOptions, PresolveStats, QuadraticSystem,
     SynthesisOptions, UnknownKind,
 };
 use polyinv_lang::{InvariantMap, Postcondition, Precondition, Program};
 use polyinv_poly::UnknownId;
-use polyinv_qcqp::{AlmOptions, AlmSolver, LmOptions, LmSolver, QcqpBackend, SolverStats};
+use polyinv_qcqp::{
+    AlmOptions, AlmSolver, LmOptions, LmSolver, LmWorkspace, Problem, QcqpBackend, SolveOutcome,
+    SolverStats,
+};
 
 use crate::bridge::system_to_problem_with_fixed;
 use crate::pipeline::{instantiate_solution, stage_names, Pipeline, StageTimings};
@@ -63,6 +66,12 @@ pub struct SolvePlan {
     /// Snap-and-recheck policy: dyadic denominator, `k/64` snap window and
     /// the exact-rational tolerance a certificate must meet.
     pub certificate: ExactCheckConfig,
+    /// Wall-clock budget in seconds for the whole orchestrated solve (all
+    /// rungs, lanes and polish rounds together). When the deadline passes,
+    /// no further rung starts and per-lane budgets are clamped to the time
+    /// remaining — so arbitrarily large systems get a bounded, best-effort
+    /// attempt instead of being skipped outright. `0` disables the budget.
+    pub solve_budget_seconds: f64,
 }
 
 impl SolvePlan {
@@ -104,7 +113,18 @@ impl SolvePlan {
                 tolerance: Rational::new(1, 100),
                 ..ExactCheckConfig::default()
             },
+            solve_budget_seconds: 0.0,
         }
+    }
+
+    /// Sets the whole-solve wall-clock budget (`0` disables it).
+    pub fn with_solve_budget(mut self, seconds: f64) -> Self {
+        self.solve_budget_seconds = if seconds.is_finite() && seconds > 0.0 {
+            seconds
+        } else {
+            0.0
+        };
+        self
     }
 
     /// Restricts the portfolio to the named back-end (`"lm"` keeps only the
@@ -239,6 +259,97 @@ struct RungResult {
     generated: GeneratedSystem,
 }
 
+/// State reused across the rungs, lanes and polish rounds of **one**
+/// orchestrated solve.
+///
+/// Two kinds of reuse live here. The symbolic side of an LM solve (`JᵀJ`
+/// pattern, fill-reducing ordering, symbolic LDLᵀ) depends only on the
+/// problem's sparsity structure, so polish rounds — which pin the same
+/// blocks round after round — and repeated rungs with unchanged sparsity
+/// skip the analysis entirely. And the previous rung's best point is kept
+/// keyed by [`UnknownKind`] (provenance, not index), so when the next rung
+/// re-registers its unknowns in a different order the surviving coordinates
+/// still warm-start at their old values instead of the cold `0.05`.
+#[derive(Default)]
+struct SolveCache {
+    /// Symbolic LM workspaces, most recently used last. Checked via
+    /// [`LmWorkspace::matches`]; bounded so a long ladder cannot hoard
+    /// memory.
+    workspaces: Vec<LmWorkspace>,
+    /// The previous rung's best assignment, keyed by unknown provenance.
+    warm: HashMap<UnknownKind, f64>,
+}
+
+/// At most this many symbolic workspaces are kept alive (the polish
+/// alternation uses three structures per rung; a few rungs' worth covers
+/// every repeat customer).
+const WORKSPACE_CACHE_LIMIT: usize = 8;
+
+impl SolveCache {
+    /// Solves with a cached symbolic workspace when one matches the
+    /// problem's structure; builds (and caches) the workspace otherwise.
+    fn solve_lm(
+        &mut self,
+        solver: &LmSolver,
+        problem: &Problem,
+        warm_start: Option<&[f64]>,
+    ) -> SolveOutcome {
+        let weight = solver.options().objective_weight;
+        if let Some(pos) = self
+            .workspaces
+            .iter()
+            .position(|ws| ws.matches(problem, weight))
+        {
+            // Move the hit to the back: the eviction below drops the least
+            // recently used structure.
+            let ws = self.workspaces.remove(pos);
+            let outcome = solver.solve_with_workspace(problem, &ws, warm_start);
+            self.workspaces.push(ws);
+            return outcome;
+        }
+        let ws = LmWorkspace::build(problem, weight);
+        let outcome = solver.solve_with_workspace(problem, &ws, warm_start);
+        if self.workspaces.len() >= WORKSPACE_CACHE_LIMIT {
+            self.workspaces.remove(0);
+        }
+        self.workspaces.push(ws);
+        outcome
+    }
+
+    /// The warm-start vector for a solver-space `mapping`: coordinates whose
+    /// provenance appeared in the previous rung resume at their old values,
+    /// new unknowns start at the cold default `0.05`.
+    fn warm_vector(
+        &self,
+        registry: &polyinv_constraints::UnknownRegistry,
+        mapping: &[UnknownId],
+    ) -> Vec<f64> {
+        mapping
+            .iter()
+            .map(|&id| {
+                self.warm
+                    .get(registry.kind(id))
+                    .copied()
+                    .filter(|v| v.is_finite())
+                    .unwrap_or(0.05)
+            })
+            .collect()
+    }
+
+    /// Records a rung's best full-space assignment as the next rung's warm
+    /// start.
+    fn record_rung(
+        &mut self,
+        registry: &polyinv_constraints::UnknownRegistry,
+        assignment: &[f64],
+    ) {
+        self.warm = registry
+            .iter()
+            .map(|(id, kind)| (kind.clone(), assignment[id.index()]))
+            .collect();
+    }
+}
+
 /// The adaptive solve orchestrator.
 #[derive(Debug, Clone)]
 pub struct Orchestrator {
@@ -274,13 +385,28 @@ impl Orchestrator {
         targets: &[TargetAssertion],
     ) -> Result<OrchestratorOutcome, ConstraintError> {
         let ladder = self.plan.options.upsilon_ladder();
+        let started = Instant::now();
+        let budget = self.plan.solve_budget_seconds;
         let mut timings = StageTimings::new();
         let mut history: Vec<SolveAttempt> = Vec::new();
+        let mut cache = SolveCache::default();
         let mut best: Option<RungResult> = None;
         let mut rung_reached = 0;
         let mut rungs_tried = 0;
 
         for &upsilon in &ladder {
+            // The whole-solve deadline: the first rung always runs (a
+            // best-effort attempt is the point of the budget), later rungs
+            // only start while time remains.
+            let remaining = if budget > 0.0 {
+                let left = budget - started.elapsed().as_secs_f64();
+                if left <= 0.0 && best.is_some() {
+                    break;
+                }
+                Some(left.max(1.0))
+            } else {
+                None
+            };
             rungs_tried += 1;
             rung_reached = upsilon;
             let options = self.plan.options.clone().with_upsilon(upsilon);
@@ -290,6 +416,8 @@ impl Orchestrator {
                 targets,
                 &options,
                 upsilon,
+                remaining,
+                &mut cache,
                 &mut timings,
                 &mut history,
             )?;
@@ -352,6 +480,8 @@ impl Orchestrator {
         targets: &[TargetAssertion],
         options: &SynthesisOptions,
         upsilon: u32,
+        remaining_seconds: Option<f64>,
+        cache: &mut SolveCache,
         timings: &mut StageTimings,
         history: &mut Vec<SolveAttempt>,
     ) -> Result<RungResult, ConstraintError> {
@@ -392,17 +522,51 @@ impl Orchestrator {
 
         // Portfolio race: both lanes run to completion under their own
         // budgets; the winner is picked deterministically afterwards, so
-        // the outcome does not depend on which lane finishes first.
+        // the outcome does not depend on which lane finishes first. Under a
+        // whole-solve budget each lane's wall-clock cap is clamped to the
+        // time remaining.
         let solve_start = Instant::now();
-        let lm_backend = LmSolver::new(self.plan.lm.clone());
-        let penalty_backend = self.plan.penalty.clone().map(AlmSolver::new);
+        let mut lm_options = self.plan.lm.clone();
+        let mut penalty_options = self.plan.penalty.clone();
+        if let Some(remaining) = remaining_seconds {
+            lm_options.max_seconds = clamp_budget(lm_options.max_seconds, remaining);
+            if let Some(alm) = penalty_options.as_mut() {
+                alm.max_seconds = clamp_budget(alm.max_seconds, remaining);
+            }
+        }
+        let lm_backend = LmSolver::new(lm_options);
+        let penalty_backend = penalty_options.map(AlmSolver::new);
+
+        // Both lanes share one problem build and one warm start: the
+        // previous rung's best point, carried across the re-indexed unknown
+        // space by provenance ([`SolveCache::warm_vector`]).
+        let (problem, mapping) = system_to_problem_with_fixed(sub_system, &solver_fixed);
+        let warm = cache.warm_vector(&generated.system.registry, &mapping);
         let (lm_lane, penalty_lane) = std::thread::scope(|scope| {
-            let penalty_handle = penalty_backend
-                .as_ref()
-                .map(|backend| scope.spawn(|| run_lane(backend, sub_system, &solver_fixed)));
-            let lm_lane = run_lane(&lm_backend, sub_system, &solver_fixed);
-            let penalty_lane =
-                penalty_handle.map(|handle| handle.join().expect("penalty lane panicked"));
+            let penalty_handle = penalty_backend.as_ref().map(|backend| {
+                let problem = &problem;
+                let warm = &warm;
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    let outcome = backend.solve(problem, Some(warm));
+                    (outcome, start.elapsed().as_secs_f64())
+                })
+            });
+            let start = Instant::now();
+            let outcome = cache.solve_lm(&lm_backend, &problem, Some(&warm));
+            let lm_lane = RawLane {
+                backend: lm_backend.name(),
+                outcome,
+                seconds: start.elapsed().as_secs_f64(),
+            };
+            let penalty_lane = penalty_handle.map(|handle| {
+                let (outcome, seconds) = handle.join().expect("penalty lane panicked");
+                RawLane {
+                    backend: "penalty",
+                    outcome,
+                    seconds,
+                }
+            });
             (lm_lane, penalty_lane)
         });
 
@@ -415,7 +579,7 @@ impl Orchestrator {
             for (id, value) in &solver_fixed {
                 assignment[id.index()] = value.to_f64();
             }
-            for (slot, id) in lane.mapping.iter().enumerate() {
+            for (slot, id) in mapping.iter().enumerate() {
                 assignment[id.index()] = lane.outcome.assignment[slot];
             }
             if let Some(result) = &presolved {
@@ -445,7 +609,7 @@ impl Orchestrator {
         let mut violation = winner.violation;
         if self.plan.polish_rounds > 0 && violation > self.plan.lm.tolerance {
             let polish_start = Instant::now();
-            let polished = self.polish(&generated, &fixed, assignment, violation);
+            let polished = self.polish(&generated, &fixed, assignment, violation, cache);
             assignment = polished.0;
             violation = polished.1;
             history.push(SolveAttempt {
@@ -459,12 +623,12 @@ impl Orchestrator {
         presolve_timing.record(stage_names::SOLVE, solve_start.elapsed());
         timings.absorb(&presolve_timing);
 
-        // Snap and certify: the exact re-check rounds the assignment
-        // (`k/64` for template unknowns near a grid point, dyadic
-        // otherwise) and evaluates every constraint in rational
-        // arithmetic.
+        // Snap and certify: the exact re-check walks the coarse-to-fine
+        // snap ladder (`k/64` → `k/256` → pure dyadic at 2^24 and 2^32),
+        // evaluating every constraint in rational arithmetic, and accepts
+        // the first rounding whose certificate passes.
         let cert_start = Instant::now();
-        let exact = exact_recheck(&generated.system, &assignment, &self.plan.certificate);
+        let exact = exact_recheck_ladder(&generated.system, &assignment, &self.plan.certificate);
         let certified = exact.passed();
         history.push(SolveAttempt {
             upsilon,
@@ -473,6 +637,10 @@ impl Orchestrator {
             violation: exact.worst_violation.to_f64(),
             seconds: cert_start.elapsed().as_secs_f64(),
         });
+
+        // The rung's polished point becomes the next rung's warm start,
+        // carried by unknown provenance across the re-indexed registry.
+        cache.record_rung(&generated.system.registry, &assignment);
 
         let feasible = violation <= self.plan.lm.tolerance || winner.feasible;
         Ok(RungResult {
@@ -500,6 +668,7 @@ impl Orchestrator {
         fixed: &HashMap<UnknownId, Rational>,
         start: Vec<f64>,
         start_violation: f64,
+        cache: &mut SolveCache,
     ) -> (Vec<f64>, f64) {
         let registry = &generated.system.registry;
         let is_template = |kind: &UnknownKind| {
@@ -530,7 +699,7 @@ impl Orchestrator {
         for round in 0..self.plan.polish_rounds {
             // Pass 1: pin the template block, free {t, l, ε}.
             let (candidate, candidate_violation) =
-                self.polish_pass(&generated.system, fixed, &best, &template_block);
+                self.polish_pass(&generated.system, fixed, &best, &template_block, cache);
             if candidate_violation < best_violation {
                 best = candidate;
                 best_violation = candidate_violation;
@@ -538,7 +707,7 @@ impl Orchestrator {
             // Pass 2: pin the Cholesky/Gram block, free {s, t, ε} (the
             // remaining system is bilinear in s·t, LM's sweet spot).
             let (candidate, candidate_violation) =
-                self.polish_pass(&generated.system, fixed, &best, &sos_block);
+                self.polish_pass(&generated.system, fixed, &best, &sos_block, cache);
             if candidate_violation < best_violation {
                 best = candidate;
                 best_violation = candidate_violation;
@@ -552,7 +721,7 @@ impl Orchestrator {
                     .copied()
                     .collect();
                 let (candidate, candidate_violation) =
-                    self.polish_pass(&generated.system, fixed, &best, &both);
+                    self.polish_pass(&generated.system, fixed, &best, &both, cache);
                 if candidate_violation < best_violation {
                     best = candidate;
                     best_violation = candidate_violation;
@@ -574,6 +743,7 @@ impl Orchestrator {
         fixed: &HashMap<UnknownId, Rational>,
         current: &[f64],
         block: &[UnknownId],
+        cache: &mut SolveCache,
     ) -> (Vec<f64>, f64) {
         let mut pins = fixed.clone();
         for &id in block {
@@ -585,8 +755,10 @@ impl Orchestrator {
             return (current.to_vec(), system.max_violation(current));
         }
         let warm: Vec<f64> = mapping.iter().map(|id| current[id.index()]).collect();
+        // The polish alternation re-solves the same three structures round
+        // after round; the cache skips the repeated symbolic analysis.
         let solver = LmSolver::new(self.plan.polish_lm.clone());
-        let outcome = solver.solve(&problem, Some(&warm));
+        let outcome = cache.solve_lm(&solver, &problem, Some(&warm));
         let mut assignment = current.to_vec();
         for (id, value) in &pins {
             assignment[id.index()] = value.to_f64();
@@ -599,29 +771,22 @@ impl Orchestrator {
     }
 }
 
-/// A lane's raw solver output plus its problem-space metadata.
+/// A lane's raw solver output (the problem build and unknown mapping are
+/// shared by both lanes of a rung).
 struct RawLane {
     backend: &'static str,
-    outcome: polyinv_qcqp::SolveOutcome,
-    mapping: Vec<UnknownId>,
+    outcome: SolveOutcome,
     seconds: f64,
 }
 
-/// Runs one portfolio lane on the (presolved) system.
-fn run_lane(
-    backend: &dyn QcqpBackend,
-    system: &QuadraticSystem,
-    solver_fixed: &HashMap<UnknownId, Rational>,
-) -> RawLane {
-    let start = Instant::now();
-    let (problem, mapping) = system_to_problem_with_fixed(system, solver_fixed);
-    let warm = vec![0.05; problem.num_vars];
-    let outcome = backend.solve(&problem, Some(&warm));
-    RawLane {
-        backend: backend.name(),
-        outcome,
-        mapping,
-        seconds: start.elapsed().as_secs_f64(),
+/// Clamps a per-lane wall-clock cap to the whole-solve time remaining
+/// (`0` means "uncapped" on the lane side, so the remaining time becomes
+/// the cap).
+fn clamp_budget(lane_cap: f64, remaining: f64) -> f64 {
+    if lane_cap > 0.0 {
+        lane_cap.min(remaining)
+    } else {
+        remaining
     }
 }
 

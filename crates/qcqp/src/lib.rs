@@ -31,7 +31,8 @@ pub mod stats;
 
 pub use backend::{backend_by_name, default_backend, QcqpBackend};
 pub use feasibility::{FeasibilityOptions, FeasibilitySolver};
-pub use lm::{LmOptions, LmSolver};
+pub use lm::{Evaluator as LmEvaluator, LmOptions, LmSolver, LmWorkspace};
+pub use par::{configured_threads, ThreadBudget, PAR_ROW_THRESHOLD};
 pub use penalty::{AlmOptions, AlmSolver, SolveOutcome, SolveStatus};
 pub use problem::{Problem, ProblemStructure, PsdConstraint, QuadraticForm};
 pub use stats::SolverStats;

@@ -69,6 +69,16 @@ pub struct LmOptions {
     /// boundary and returns its best-so-far point. `0` disables the
     /// deadline.
     pub max_seconds: f64,
+    /// Worker threads for the *intra-iteration* parallelism (chunked
+    /// residual evaluation and subtree-parallel factorization). `0` lets the
+    /// [`ThreadBudget`](crate::ThreadBudget) arbiter decide from the row
+    /// count and the global `POLYINV_THREADS` budget; an explicit value
+    /// pins it (the criterion benches sweep 1/2/4/8 this way).
+    ///
+    /// The thread count never changes *what* is computed — chunk boundaries
+    /// and merge order are functions of the row count alone — so solver
+    /// outputs are byte-identical across values of this knob.
+    pub eval_threads: usize,
 }
 
 impl Default for LmOptions {
@@ -86,6 +96,7 @@ impl Default for LmOptions {
             parallel_restarts: true,
             stall_iterations: 40,
             max_seconds: 0.0,
+            eval_threads: 0,
         }
     }
 }
@@ -96,12 +107,18 @@ impl Default for LmOptions {
 const STALL_RELATIVE_IMPROVEMENT: f64 = 1e-3;
 
 /// The per-problem sparse workspace: the symbolic side of the solve,
-/// computed once per [`LmSolver::solve`] call and shared (immutably) by
-/// every restart. The Jacobian's sparsity pattern is fixed by the
-/// [`Problem`], so the `JᵀJ` pattern, the fill-reducing ordering and the
-/// symbolic factorization never change — only values do.
+/// computed once and shared (immutably) by every restart. The Jacobian's
+/// sparsity pattern is fixed by the [`Problem`], so the `JᵀJ` pattern, the
+/// fill-reducing ordering and the symbolic factorization never change —
+/// only values do.
+///
+/// [`LmSolver::solve`] builds one per call; callers that solve a sequence
+/// of structurally identical problems (the orchestrator's polish rounds,
+/// repeated rungs with unchanged sparsity) build it once with
+/// [`LmWorkspace::build`], check [`matches`](LmWorkspace::matches), and pass
+/// it to [`LmSolver::solve_with_workspace`] to skip the symbolic analysis.
 #[derive(Debug)]
-struct LmWorkspace {
+pub struct LmWorkspace {
     /// The problem's sparsity metadata, fetched once per solve.
     structure: std::sync::Arc<crate::problem::ProblemStructure>,
     /// Symbolic `JᵀJ`: pattern plus per-row scatter positions.
@@ -113,7 +130,9 @@ struct LmWorkspace {
 }
 
 impl LmWorkspace {
-    fn build(problem: &Problem, objective_weight: f64) -> Self {
+    /// Runs the symbolic analysis for `problem`: `JᵀJ` pattern, ordering,
+    /// elimination tree.
+    pub fn build(problem: &Problem, objective_weight: f64) -> Self {
         let structure = problem.structure();
         let objective_row = problem.objective.is_some() && objective_weight > 0.0;
         let mut rows: Vec<Vec<usize>> =
@@ -132,6 +151,30 @@ impl LmWorkspace {
             symbolic,
             objective_row,
         }
+    }
+
+    /// Whether this workspace was built for a problem with exactly the same
+    /// sparsity structure (and objective-row decision) as `problem` — the
+    /// reuse precondition of [`LmSolver::solve_with_workspace`].
+    pub fn matches(&self, problem: &Problem, objective_weight: f64) -> bool {
+        let objective_row = problem.objective.is_some() && objective_weight > 0.0;
+        if self.objective_row != objective_row || self.pattern.dimension() != problem.num_vars {
+            return false;
+        }
+        let structure = problem.structure();
+        self.structure.equality_vars == structure.equality_vars
+            && self.structure.inequality_vars == structure.inequality_vars
+            && (!objective_row || self.structure.objective_vars == structure.objective_vars)
+    }
+
+    /// The symbolic `JᵀJ` pattern.
+    pub fn pattern(&self) -> &JtjPattern {
+        &self.pattern
+    }
+
+    /// The symbolic LDLᵀ analysis.
+    pub fn symbolic(&self) -> &SymbolicLdl {
+        &self.symbolic
     }
 
     /// The sparsity statistics of this workspace.
@@ -157,6 +200,13 @@ impl LmSolver {
         LmSolver { options }
     }
 
+    /// The solver's options (callers managing their own
+    /// [`LmWorkspace`] cache need the objective weight to check
+    /// [`LmWorkspace::matches`]).
+    pub fn options(&self) -> &LmOptions {
+        &self.options
+    }
+
     /// Solves the problem, optionally starting from a warm-start point.
     ///
     /// The multi-start restarts are independent (restart `k` seeds its own
@@ -173,37 +223,61 @@ impl LmSolver {
     /// input).
     pub fn solve(&self, problem: &Problem, warm_start: Option<&[f64]>) -> SolveOutcome {
         let workspace = LmWorkspace::build(problem, self.options.objective_weight);
+        self.solve_with_workspace(problem, &workspace, warm_start)
+    }
+
+    /// Like [`solve`](Self::solve), but reusing a prebuilt symbolic
+    /// workspace. The caller must ensure
+    /// [`workspace.matches(problem, …)`](LmWorkspace::matches): the
+    /// orchestrator uses this to hoist the `JᵀJ` pattern and LDLᵀ analysis
+    /// out of repeated solves over structurally identical systems.
+    pub fn solve_with_workspace(
+        &self,
+        problem: &Problem,
+        workspace: &LmWorkspace,
+        warm_start: Option<&[f64]>,
+    ) -> SolveOutcome {
+        debug_assert!(
+            workspace.matches(problem, self.options.objective_weight),
+            "workspace reused across structurally different problems"
+        );
         let restarts = self.options.restarts.max(1);
+        // The thread-budget arbiter: restart-level and intra-iteration
+        // parallelism multiply, so the global budget goes to exactly one
+        // axis — inside the iteration for big systems, across restarts for
+        // small ones. An explicit `eval_threads` wins over the arbiter.
+        let rows = problem.equalities.len() + problem.inequalities.len();
+        let budget = crate::par::ThreadBudget::for_rows(rows);
+        let eval_threads = if self.options.eval_threads > 0 {
+            self.options.eval_threads
+        } else {
+            budget.eval_threads
+        };
+        let restart_workers = if self.options.parallel_restarts {
+            budget.restart_threads
+        } else {
+            1
+        };
         // The wall-clock budget covers the whole solve: every restart —
         // parallel or sequential — checks its deadline against this one
         // start instant, so serial fallback cannot multiply the budget by
-        // the restart count.
+        // the restart count. `restart_workers == 1` degrades to the classic
+        // sequential first-feasible-wins loop.
         let started = Instant::now();
-        let outcomes = if self.options.parallel_restarts {
-            crate::par::parallel_indexed_until(
-                restarts,
-                |restart| self.run_restart(problem, &workspace, warm_start, restart, started),
-                |outcome| outcome.status == SolveStatus::Feasible,
-            )
-        } else {
-            // Sequential with the classic first-feasible early exit; used
-            // when the caller already parallelizes one level up.
-            let mut outcomes = Vec::with_capacity(restarts);
-            for restart in 0..restarts {
-                let outcome = self.run_restart(problem, &workspace, warm_start, restart, started);
-                let feasible = outcome.status == SolveStatus::Feasible;
-                outcomes.push(outcome);
-                if feasible {
-                    break;
-                }
-            }
-            outcomes
-        };
+        let outcomes = crate::par::parallel_indexed_until_bounded(
+            restarts,
+            restart_workers,
+            |restart| {
+                self.run_restart(problem, workspace, warm_start, restart, started, eval_threads)
+            },
+            |outcome| outcome.status == SolveStatus::Feasible,
+        );
         // Aggregate the work done across restarts onto the winning outcome.
         let mut stats = workspace.stats_skeleton();
         for outcome in &outcomes {
             stats.absorb_restart(&outcome.stats);
         }
+        stats.threads = eval_threads.max(restart_workers.min(restarts)).max(1);
         let mut best = Self::pick_best(outcomes);
         stats.final_residual = best.stats.final_residual;
         best.stats = stats;
@@ -212,6 +286,7 @@ impl LmSolver {
 
     /// Runs one independent restart: restart 0 consumes the warm start, all
     /// others draw a fresh random initialization from their own generator.
+    #[allow(clippy::too_many_arguments)]
     fn run_restart(
         &self,
         problem: &Problem,
@@ -219,6 +294,7 @@ impl LmSolver {
         warm_start: Option<&[f64]>,
         restart: usize,
         started: Instant,
+        eval_threads: usize,
     ) -> SolveOutcome {
         let mut rng = StdRng::seed_from_u64(self.options.seed.wrapping_add(restart as u64));
         let mut x: Vec<f64> = match (restart, warm_start) {
@@ -228,7 +304,7 @@ impl LmSolver {
                 .collect(),
         };
         problem.clamp(&mut x);
-        self.solve_from(problem, workspace, &mut x, started)
+        self.solve_from(problem, workspace, &mut x, started, eval_threads)
     }
 
     /// Deterministic selection: the first feasible outcome in restart order,
@@ -269,6 +345,7 @@ impl LmSolver {
         ws: &LmWorkspace,
         x: &mut Vec<f64>,
         started: Instant,
+        eval_threads: usize,
     ) -> SolveOutcome {
         let opts = &self.options;
         let n = problem.num_vars;
@@ -293,7 +370,7 @@ impl LmSolver {
         let finite_or_inf = |v: f64| if v.is_finite() { v } else { f64::INFINITY };
 
         // Per-restart numeric buffers; the symbolic side lives in `ws`.
-        let mut eval = Evaluator::new(problem, ws, opts.objective_weight);
+        let mut eval = Evaluator::new(problem, ws, opts.objective_weight, eval_threads);
         let mut numeric = ws.symbolic.numeric();
         let mut step = vec![0.0; n];
         let mut diag_add = vec![0.0; n];
@@ -301,7 +378,9 @@ impl LmSolver {
 
         let mut best_x = x.clone();
         let mut best_violation = {
+            let eval_start = Instant::now();
             let (_, constraint_violation) = eval.residuals_only(x);
+            stats.eval_seconds += eval_start.elapsed().as_secs_f64();
             finite_or_inf(full_violation(problem, x, constraint_violation))
         };
         let mut best_objective = finite_or_inf(objective_at(x));
@@ -314,7 +393,9 @@ impl LmSolver {
             stats.iterations += 1;
             // One pass evaluates the residuals and scatters the sparse
             // Jacobian rows straight into `JᵀJ` and `Jᵀr`.
+            let eval_start = Instant::now();
             let (cost, constraint_violation) = eval.residuals_and_normal(x);
+            stats.eval_seconds += eval_start.elapsed().as_secs_f64();
             let mut current_violation = full_violation(problem, x, constraint_violation);
             if !minimizing && current_violation <= opts.tolerance {
                 best_x = x.clone();
@@ -334,9 +415,12 @@ impl LmSolver {
                 }
                 stats.factorizations += 1;
                 let factor_start = Instant::now();
-                let factored = ws
-                    .symbolic
-                    .factor(&eval.jtj_values, &diag_add, &mut numeric);
+                let factored = ws.symbolic.factor_parallel(
+                    &eval.jtj_values,
+                    &diag_add,
+                    &mut numeric,
+                    eval_threads,
+                );
                 stats.factor_seconds += factor_start.elapsed().as_secs_f64();
                 if !factored {
                     lambda *= opts.lambda_up;
@@ -358,8 +442,10 @@ impl LmSolver {
                 // Residuals-only evaluation: the Jacobian is not needed to
                 // score a candidate, and its constraint violation falls out
                 // of the same pass (no separate `max_violation` sweep).
+                let eval_start = Instant::now();
                 let (candidate_cost, candidate_constraint_violation) =
                     eval.residuals_only(&candidate);
+                stats.eval_seconds += eval_start.elapsed().as_secs_f64();
                 // Skip non-finite candidate costs outright: accepting a
                 // NaN/inf point would derail every later comparison.
                 if candidate_cost.is_finite() && candidate_cost < cost {
@@ -443,14 +529,50 @@ fn full_violation(problem: &Problem, x: &[f64], constraint_violation: f64) -> f6
     worst
 }
 
+/// Residual-row count at which the evaluator switches from the plain serial
+/// pass to the chunked accumulation. The switch depends **only** on the row
+/// count — never on the thread budget — so a given problem always takes the
+/// same numerical path regardless of `POLYINV_THREADS`.
+const CHUNKED_ROW_THRESHOLD: usize = crate::par::PAR_ROW_THRESHOLD;
+
+/// Fixed number of chunks in the chunked evaluation. Chunk boundaries and
+/// the merge order are functions of this constant and the row count alone,
+/// which is what keeps the accumulated sums byte-identical across worker
+/// counts.
+const EVAL_CHUNKS: usize = 16;
+
+/// One chunk's private accumulation: merged into the shared buffers in
+/// chunk-index order after every pass (and cleared by the merge).
+struct ChunkBuf {
+    jtj: Vec<f64>,
+    jtr: Vec<f64>,
+    cost: f64,
+    violation: f64,
+}
+
 /// Per-restart residual/Jacobian evaluator: owns the numeric buffers and
 /// scatters sparse gradient rows directly into the `JᵀJ` values and `Jᵀr`.
-struct Evaluator<'a> {
+///
+/// Systems with at least [`CHUNKED_ROW_THRESHOLD`] residual rows are
+/// evaluated in [`EVAL_CHUNKS`] fixed row ranges that worker threads pick up
+/// dynamically; each chunk accumulates into a private buffer and the buffers
+/// are merged in chunk-index order, so the result does not depend on the
+/// worker count (including 1). Smaller systems keep the original serial
+/// pass untouched.
+pub struct Evaluator<'a> {
     problem: &'a Problem,
     ws: &'a LmWorkspace,
     objective_weight: f64,
     /// Number of Jacobian rows (equalities + inequalities + soft objective).
     rows: usize,
+    /// Worker threads for the chunked pass (1 = fill chunks sequentially).
+    eval_threads: usize,
+    /// Fixed chunk boundaries; empty = serial mode.
+    chunk_ranges: Vec<std::ops::Range<usize>>,
+    /// Per-chunk private accumulation buffers. The mutexes are uncontended
+    /// (each chunk is claimed by exactly one worker per pass); they exist to
+    /// hand distinct `Vec` elements to distinct threads safely.
+    chunk_bufs: Vec<std::sync::Mutex<ChunkBuf>>,
     /// Accumulated lower-triangle `JᵀJ` values (layout: `ws.pattern`).
     jtj_values: Vec<f64>,
     /// Accumulated `Jᵀr`.
@@ -464,14 +586,44 @@ struct Evaluator<'a> {
 }
 
 impl<'a> Evaluator<'a> {
-    fn new(problem: &'a Problem, ws: &'a LmWorkspace, objective_weight: f64) -> Self {
+    /// Creates an evaluator. `eval_threads` caps the workers of the chunked
+    /// pass; it has no influence on *what* is computed.
+    pub fn new(
+        problem: &'a Problem,
+        ws: &'a LmWorkspace,
+        objective_weight: f64,
+        eval_threads: usize,
+    ) -> Self {
         let rows =
             problem.equalities.len() + problem.inequalities.len() + usize::from(ws.objective_row);
+        let chunked = rows >= CHUNKED_ROW_THRESHOLD;
+        let chunk_ranges: Vec<std::ops::Range<usize>> = if chunked {
+            let size = rows.div_ceil(EVAL_CHUNKS);
+            (0..EVAL_CHUNKS)
+                .map(|c| (c * size).min(rows)..((c + 1) * size).min(rows))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let chunk_bufs = chunk_ranges
+            .iter()
+            .map(|_| {
+                std::sync::Mutex::new(ChunkBuf {
+                    jtj: ws.pattern.values_buffer(),
+                    jtr: vec![0.0; problem.num_vars],
+                    cost: 0.0,
+                    violation: 0.0,
+                })
+            })
+            .collect();
         Evaluator {
             problem,
             ws,
             objective_weight,
             rows,
+            eval_threads: eval_threads.max(1),
+            chunk_ranges,
+            chunk_bufs,
             jtj_values: ws.pattern.values_buffer(),
             jtr: vec![0.0; problem.num_vars],
             grad: vec![0.0; problem.num_vars],
@@ -480,88 +632,122 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// Collects the sparse gradient of `scale · form` at `x` into
-    /// `self.entries`, using only the form's touched variables.
-    fn gradient_entries(&mut self, form: &QuadraticForm, vars: &[usize], x: &[f64], scale: f64) {
-        for &v in vars {
-            self.grad[v] = 0.0;
-        }
-        form.add_gradient(x, &mut self.grad, scale);
-        self.entries.clear();
-        for &v in vars {
-            let g = self.grad[v];
-            if g != 0.0 {
-                self.entries.push((v, g));
-            }
-        }
+    /// The accumulated lower-triangle `JᵀJ` values of the last
+    /// [`residuals_and_normal`](Self::residuals_and_normal) pass.
+    pub fn jtj_values(&self) -> &[f64] {
+        &self.jtj_values
+    }
+
+    /// The accumulated `Jᵀr` of the last pass.
+    pub fn jtr(&self) -> &[f64] {
+        &self.jtr
     }
 
     /// Evaluates the residual vector at `x` while accumulating `JᵀJ` and
     /// `Jᵀr` from the sparse rows. Returns the sum-of-squares cost and the
     /// worst equality/inequality violation (a by-product of the same pass).
-    fn residuals_and_normal(&mut self, x: &[f64]) -> (f64, f64) {
+    pub fn residuals_and_normal(&mut self, x: &[f64]) -> (f64, f64) {
         self.jtj_values.fill(0.0);
         self.jtr.fill(0.0);
-        let mut cost = 0.0;
-        let mut violation = 0.0f64;
-        let problem = self.problem;
-        let ws = self.ws;
         // The workspace fetched the structure once per solve; re-borrowing
         // through an Arc clone keeps `self` free for the scatter calls.
-        let structure = std::sync::Arc::clone(&ws.structure);
-        let mut row = 0;
-        for (eq, vars) in problem.equalities.iter().zip(&structure.equality_vars) {
-            let r = eq.eval(x);
-            cost += r * r;
-            violation = violation.max(r.abs());
-            self.gradient_entries(eq, vars, x, 1.0);
-            ws.pattern
-                .accumulate_row(row, &self.entries, &mut self.jtj_values, &mut self.scratch);
-            for &(i, g) in &self.entries {
-                self.jtr[i] += g * r;
-            }
-            row += 1;
+        let structure = std::sync::Arc::clone(&self.ws.structure);
+        if self.chunk_ranges.is_empty() {
+            return accumulate_rows(
+                self.problem,
+                &structure,
+                self.ws,
+                self.objective_weight,
+                0..self.rows,
+                x,
+                &mut self.jtj_values,
+                &mut self.jtr,
+                &mut self.grad,
+                &mut self.entries,
+                &mut self.scratch,
+            );
         }
-        for (ineq, vars) in problem.inequalities.iter().zip(&structure.inequality_vars) {
-            let value = ineq.eval(x);
-            if value < 0.0 {
-                let r = -value;
-                cost += r * r;
-                violation = violation.max(r);
-                self.gradient_entries(ineq, vars, x, -1.0);
-                ws.pattern.accumulate_row(
-                    row,
-                    &self.entries,
-                    &mut self.jtj_values,
+        let workers = self.eval_threads.min(self.chunk_ranges.len());
+        if workers <= 1 {
+            // One worker: fill each chunk in order with the evaluator's own
+            // scratch. Same buffers, same merge — bitwise identical to the
+            // multi-worker path.
+            for (range, slot) in self.chunk_ranges.iter().zip(&mut self.chunk_bufs) {
+                let buf = slot.get_mut().expect("chunk mutex poisoned");
+                let (cost, violation) = accumulate_rows(
+                    self.problem,
+                    &structure,
+                    self.ws,
+                    self.objective_weight,
+                    range.clone(),
+                    x,
+                    &mut buf.jtj,
+                    &mut buf.jtr,
+                    &mut self.grad,
+                    &mut self.entries,
                     &mut self.scratch,
                 );
-                for &(i, g) in &self.entries {
-                    self.jtr[i] += g * r;
-                }
+                buf.cost = cost;
+                buf.violation = violation;
             }
-            row += 1;
+        } else {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let problem = self.problem;
+            let ws = self.ws;
+            let objective_weight = self.objective_weight;
+            let chunk_ranges = &self.chunk_ranges;
+            let chunk_bufs = &self.chunk_bufs;
+            let structure = &structure;
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        let mut grad = vec![0.0; problem.num_vars];
+                        let mut entries = Vec::new();
+                        let mut scratch = JtjScratch::default();
+                        loop {
+                            let c = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if c >= chunk_ranges.len() {
+                                return;
+                            }
+                            let mut buf = chunk_bufs[c].lock().expect("chunk mutex poisoned");
+                            let buf = &mut *buf;
+                            let (cost, violation) = accumulate_rows(
+                                problem,
+                                structure,
+                                ws,
+                                objective_weight,
+                                chunk_ranges[c].clone(),
+                                x,
+                                &mut buf.jtj,
+                                &mut buf.jtr,
+                                &mut grad,
+                                &mut entries,
+                                &mut scratch,
+                            );
+                            buf.cost = cost;
+                            buf.violation = violation;
+                        }
+                    });
+                }
+            });
         }
-        if ws.objective_row {
-            let objective = problem.objective.as_ref().expect("objective row");
-            let value = objective.eval(x);
-            // A non-finite objective value would poison the whole
-            // least-squares cost (NaN cost rejects every step); drop the
-            // soft residual and let the constraints drive the solve.
-            if value.is_finite() {
-                let r = self.objective_weight * value;
-                cost += r * r;
-                let weight = self.objective_weight;
-                self.gradient_entries(objective, &structure.objective_vars, x, weight);
-                ws.pattern.accumulate_row(
-                    row,
-                    &self.entries,
-                    &mut self.jtj_values,
-                    &mut self.scratch,
-                );
-                for &(i, g) in &self.entries {
-                    self.jtr[i] += g * r;
-                }
+        // Deterministic reduction: merge in chunk-index order, clearing each
+        // partial for the next pass (cheaper than a separate zeroing sweep,
+        // and the cleared buffer is what the next iteration expects).
+        let mut cost = 0.0;
+        let mut violation = 0.0f64;
+        for slot in &mut self.chunk_bufs {
+            let buf = slot.get_mut().expect("chunk mutex poisoned");
+            for (t, p) in self.jtj_values.iter_mut().zip(buf.jtj.iter_mut()) {
+                *t += *p;
+                *p = 0.0;
             }
+            for (t, p) in self.jtr.iter_mut().zip(buf.jtr.iter_mut()) {
+                *t += *p;
+                *p = 0.0;
+            }
+            cost += buf.cost;
+            violation = violation.max(buf.violation);
         }
         (cost, violation)
     }
@@ -570,35 +756,181 @@ impl<'a> Evaluator<'a> {
     /// sum-of-squares cost plus the worst equality/inequality violation.
     /// Used to score step candidates, where the former implementation
     /// computed and discarded full Jacobian rows.
-    fn residuals_only(&self, x: &[f64]) -> (f64, f64) {
+    pub fn residuals_only(&self, x: &[f64]) -> (f64, f64) {
+        if self.chunk_ranges.is_empty() {
+            return residual_rows(self.problem, self.ws, self.objective_weight, 0..self.rows, x);
+        }
+        let workers = self.eval_threads.min(self.chunk_ranges.len());
+        let per_chunk: Vec<(f64, f64)> = if workers <= 1 {
+            self.chunk_ranges
+                .iter()
+                .map(|range| {
+                    residual_rows(self.problem, self.ws, self.objective_weight, range.clone(), x)
+                })
+                .collect()
+        } else {
+            crate::par::parallel_indexed_until_bounded(
+                self.chunk_ranges.len(),
+                workers,
+                |c| {
+                    residual_rows(
+                        self.problem,
+                        self.ws,
+                        self.objective_weight,
+                        self.chunk_ranges[c].clone(),
+                        x,
+                    )
+                },
+                |_| false,
+            )
+        };
+        // Fold in chunk-index order: same sum sequence for any worker count.
         let mut cost = 0.0;
         let mut violation = 0.0f64;
-        for eq in &self.problem.equalities {
+        for (chunk_cost, chunk_violation) in per_chunk {
+            cost += chunk_cost;
+            violation = violation.max(chunk_violation);
+        }
+        (cost, violation)
+    }
+}
+
+/// Collects the sparse gradient of `scale · form` at `x` into `entries`,
+/// using only the form's touched variables.
+fn gradient_entries(
+    form: &QuadraticForm,
+    vars: &[usize],
+    x: &[f64],
+    scale: f64,
+    grad: &mut [f64],
+    entries: &mut Vec<(usize, f64)>,
+) {
+    for &v in vars {
+        grad[v] = 0.0;
+    }
+    form.add_gradient(x, grad, scale);
+    entries.clear();
+    for &v in vars {
+        let g = grad[v];
+        if g != 0.0 {
+            entries.push((v, g));
+        }
+    }
+}
+
+/// Evaluates the residual rows of `range` (global row indices: equalities,
+/// then inequalities, then the soft objective row) at `x`, accumulating
+/// `JᵀJ` and `Jᵀr` into the given buffers. Returns the range's
+/// sum-of-squares cost and worst violation.
+///
+/// Both the serial pass (one range covering every row) and each chunk of the
+/// parallel pass run exactly this code, so the two modes differ only in how
+/// partial sums are grouped.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_rows(
+    problem: &Problem,
+    structure: &crate::problem::ProblemStructure,
+    ws: &LmWorkspace,
+    objective_weight: f64,
+    range: std::ops::Range<usize>,
+    x: &[f64],
+    jtj: &mut [f64],
+    jtr: &mut [f64],
+    grad: &mut [f64],
+    entries: &mut Vec<(usize, f64)>,
+    scratch: &mut JtjScratch,
+) -> (f64, f64) {
+    let num_eq = problem.equalities.len();
+    let num_ineq = problem.inequalities.len();
+    let mut cost = 0.0;
+    let mut violation = 0.0f64;
+    for row in range {
+        if row < num_eq {
+            let eq = &problem.equalities[row];
+            let vars = &structure.equality_vars[row];
             let r = eq.eval(x);
             cost += r * r;
             violation = violation.max(r.abs());
-        }
-        for ineq in &self.problem.inequalities {
+            gradient_entries(eq, vars, x, 1.0, grad, entries);
+            ws.pattern.accumulate_row(row, entries, jtj, scratch);
+            for &(i, g) in entries.iter() {
+                jtr[i] += g * r;
+            }
+        } else if row < num_eq + num_ineq {
+            let k = row - num_eq;
+            let ineq = &problem.inequalities[k];
             let value = ineq.eval(x);
+            if value < 0.0 {
+                let r = -value;
+                cost += r * r;
+                violation = violation.max(r);
+                gradient_entries(ineq, &structure.inequality_vars[k], x, -1.0, grad, entries);
+                ws.pattern.accumulate_row(row, entries, jtj, scratch);
+                for &(i, g) in entries.iter() {
+                    jtr[i] += g * r;
+                }
+            }
+        } else {
+            let objective = problem.objective.as_ref().expect("objective row");
+            let value = objective.eval(x);
+            // A non-finite objective value would poison the whole
+            // least-squares cost (NaN cost rejects every step); drop the
+            // soft residual and let the constraints drive the solve.
+            if value.is_finite() {
+                let r = objective_weight * value;
+                cost += r * r;
+                gradient_entries(
+                    objective,
+                    &structure.objective_vars,
+                    x,
+                    objective_weight,
+                    grad,
+                    entries,
+                );
+                ws.pattern.accumulate_row(row, entries, jtj, scratch);
+                for &(i, g) in entries.iter() {
+                    jtr[i] += g * r;
+                }
+            }
+        }
+    }
+    (cost, violation)
+}
+
+/// Residual-only twin of [`accumulate_rows`]: cost and worst violation of
+/// the rows in `range`, no Jacobian work.
+fn residual_rows(
+    problem: &Problem,
+    ws: &LmWorkspace,
+    objective_weight: f64,
+    range: std::ops::Range<usize>,
+    x: &[f64],
+) -> (f64, f64) {
+    let num_eq = problem.equalities.len();
+    let num_ineq = problem.inequalities.len();
+    let mut cost = 0.0;
+    let mut violation = 0.0f64;
+    for row in range {
+        if row < num_eq {
+            let r = problem.equalities[row].eval(x);
+            cost += r * r;
+            violation = violation.max(r.abs());
+        } else if row < num_eq + num_ineq {
+            let value = problem.inequalities[row - num_eq].eval(x);
             if value < 0.0 {
                 cost += value * value;
                 violation = violation.max(-value);
             }
-        }
-        if self.ws.objective_row {
-            let value = self
-                .problem
-                .objective
-                .as_ref()
-                .expect("objective row")
-                .eval(x);
+        } else {
+            debug_assert!(ws.objective_row);
+            let value = problem.objective.as_ref().expect("objective row").eval(x);
             if value.is_finite() {
-                let r = self.objective_weight * value;
+                let r = objective_weight * value;
                 cost += r * r;
             }
         }
-        (cost, violation)
     }
+    (cost, violation)
 }
 
 #[cfg(test)]
@@ -844,7 +1176,7 @@ mod tests {
 
             // Sparse path.
             let ws = LmWorkspace::build(&problem, 0.0);
-            let mut eval = Evaluator::new(&problem, &ws, 0.0);
+            let mut eval = Evaluator::new(&problem, &ws, 0.0, 1);
             let _ = eval.residuals_and_normal(&x);
             let mut numeric = ws.symbolic.numeric();
             let diag = ws.pattern.diag_positions();
@@ -886,5 +1218,80 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Builds a sparse random system large enough to cross the chunked
+    /// evaluation threshold (`rows ≥ 2048`).
+    fn big_random_problem(rows: usize, n: usize, seed: u64) -> Problem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut problem = Problem::new(n);
+        for _ in 0..rows {
+            let a = rng.random_range(0..n as u64) as usize;
+            let b = rng.random_range(0..n as u64) as usize;
+            let (lo, hi) = (a.min(b), a.max(b));
+            problem.equalities.push(QuadraticForm {
+                constant: rng.random_range(-0.5..0.5),
+                linear: vec![(a, rng.random_range(-2.0..2.0))],
+                quadratic: vec![(lo, hi, rng.random_range(-2.0..2.0))],
+            });
+        }
+        problem
+    }
+
+    #[test]
+    fn chunked_solves_are_byte_identical_across_eval_thread_counts() {
+        let problem = big_random_problem(2100, 40, 7);
+        let solve = |eval_threads: usize| {
+            let solver = LmSolver::new(LmOptions {
+                max_iterations: 6,
+                restarts: 1,
+                parallel_restarts: false,
+                eval_threads,
+                ..LmOptions::default()
+            });
+            solver.solve(&problem, None)
+        };
+        let serial = solve(1);
+        for threads in [4, 8] {
+            let parallel = solve(threads);
+            assert_eq!(serial.status, parallel.status);
+            assert_eq!(
+                serial
+                    .assignment
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                parallel
+                    .assignment
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "eval_threads={threads} diverged from the serial chunked pass"
+            );
+            assert_eq!(serial.stats.iterations, parallel.stats.iterations);
+            assert_eq!(serial.stats.factorizations, parallel.stats.factorizations);
+            assert_eq!(
+                serial.stats.final_residual.to_bits(),
+                parallel.stats.final_residual.to_bits()
+            );
+        }
+        assert_eq!(serial.stats.threads, 1);
+    }
+
+    /// Below the threshold the evaluator must keep the original fully-serial
+    /// accumulation — byte-for-byte — so that every existing golden stays
+    /// valid. The chunked path groups partial sums differently and would
+    /// drift in the last bits.
+    #[test]
+    fn small_systems_keep_the_legacy_serial_accumulation() {
+        let problem = big_random_problem(64, 12, 11);
+        let ws = LmWorkspace::build(&problem, 0.0);
+        let mut eval = Evaluator::new(&problem, &ws, 0.0, 8);
+        assert!(eval.chunk_ranges.is_empty(), "64 rows must stay serial");
+        let x: Vec<f64> = (0..12).map(|i| 0.1 * i as f64 - 0.5).collect();
+        let (cost, violation) = eval.residuals_and_normal(&x);
+        let (cost2, violation2) = eval.residuals_only(&x);
+        assert_eq!(cost.to_bits(), cost2.to_bits());
+        assert_eq!(violation.to_bits(), violation2.to_bits());
     }
 }

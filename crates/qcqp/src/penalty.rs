@@ -141,6 +141,8 @@ impl AlmSolver {
         }
         let mut best = best.expect("at least one restart runs");
         stats.final_residual = best.stats.final_residual;
+        // The ALM loop is sequential with serial evaluation throughout.
+        stats.threads = 1;
         best.stats = stats;
         best
     }

@@ -30,6 +30,12 @@ pub struct SolverStats {
     pub factor_seconds: f64,
     /// Wall-clock seconds spent in triangular solves.
     pub solve_seconds: f64,
+    /// Wall-clock seconds spent evaluating residuals and scattering the
+    /// normal equations (the chunk-parallel part of an iteration).
+    pub eval_seconds: f64,
+    /// Worker threads used for residual evaluation / factorization (1 =
+    /// fully serial iteration core).
+    pub threads: usize,
 }
 
 impl SolverStats {
@@ -41,5 +47,6 @@ impl SolverStats {
         self.factorizations += other.factorizations;
         self.factor_seconds += other.factor_seconds;
         self.solve_seconds += other.solve_seconds;
+        self.eval_seconds += other.eval_seconds;
     }
 }

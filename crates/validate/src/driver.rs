@@ -39,7 +39,7 @@ pub fn run_validated(
         backend_by_name(name).ok_or_else(|| ApiError::UnknownBackend { name: name.clone() })?;
     }
     run_validated_with_plan(request, config, |options| {
-        let mut plan = SolvePlan::new(options);
+        let mut plan = SolvePlan::new(options).with_solve_budget(request.solve_budget_seconds);
         if let Some(name) = &request.backend {
             plan = plan.with_backend_preference(name);
         }
